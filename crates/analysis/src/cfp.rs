@@ -1,0 +1,135 @@
+//! Cumulative Frequency Plots (Section 5.5): the paper's accuracy-loss
+//! presentation. A point `(x, y)` means a fraction `y` of all measured
+//! differences are below `x`; a curve further left means better accuracy.
+
+/// A cumulative frequency plot over a set of non-negative differences.
+#[derive(Debug, Clone)]
+pub struct Cfp {
+    sorted: Vec<f64>,
+}
+
+impl Cfp {
+    /// Builds the plot from raw values (NaNs are dropped).
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cfp { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the plot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v < x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(!self.sorted.is_empty(), "quantile of empty plot");
+        let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+        self.sorted[idx]
+    }
+
+    /// Mean of the samples (the paper's "average information loss").
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Evenly-spaced plot points `(x, fraction_below_or_equal)` for printing
+    /// a curve with `steps` segments.
+    pub fn curve(&self, steps: usize) -> Vec<(f64, f64)> {
+        assert!(steps >= 1);
+        if self.sorted.is_empty() {
+            return vec![];
+        }
+        let max = *self.sorted.last().unwrap();
+        (0..=steps)
+            .map(|i| {
+                let x = max * i as f64 / steps as f64;
+                let y = self.sorted.partition_point(|&v| v <= x) as f64
+                    / self.sorted.len() as f64;
+                (x, y)
+            })
+            .collect()
+    }
+
+    /// `true` if this curve is (weakly) left of `other` at every probed
+    /// point — i.e. this method is at least as accurate (smaller
+    /// differences) as the other.
+    pub fn dominates(&self, other: &Cfp, probes: usize) -> bool {
+        if self.sorted.is_empty() || other.sorted.is_empty() {
+            return other.sorted.is_empty();
+        }
+        let max = self
+            .sorted
+            .last()
+            .unwrap()
+            .max(*other.sorted.last().unwrap());
+        (0..=probes).all(|i| {
+            let x = max * i as f64 / probes as f64;
+            self.fraction_below(x) + 1e-12 >= other.fraction_below(x)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let c = Cfp::from_values(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(2.5), 0.5);
+        assert_eq!(c.fraction_below(100.0), 1.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert!((c.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = Cfp::from_values((0..100).map(|i| (i as f64).sqrt()).collect());
+        let pts = c.curve(20);
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn smaller_errors_dominate() {
+        let good = Cfp::from_values(vec![0.1, 0.2, 0.3]);
+        let bad = Cfp::from_values(vec![1.0, 2.0, 3.0]);
+        assert!(good.dominates(&bad, 50));
+        assert!(!bad.dominates(&good, 50));
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let c = Cfp::from_values(vec![f64::NAN, 1.0]);
+        assert_eq!(c.len(), 1);
+        let e = Cfp::from_values(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.mean(), 0.0);
+        assert!(e.curve(10).is_empty());
+    }
+}

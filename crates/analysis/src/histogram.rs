@@ -1,0 +1,359 @@
+//! Full-data histograms — the scan-based path the paper's *full data* method
+//! uses, and the shared substrate all metrics are computed from.
+//!
+//! Every metric in this crate is a pure function of (joint) bin counts. The
+//! bitmap path obtains the same counts from cached popcounts and compressed
+//! AND operations; this module obtains them by scanning the raw arrays.
+//! Because both paths feed identical counts into identical scoring code, the
+//! bitmap results match the full-data results *exactly* (the paper's
+//! no-accuracy-loss claim), which the tests assert bit-for-bit.
+
+use ibis_core::{Binner, BitmapIndex};
+use rayon::prelude::*;
+
+/// Per-bin counts of `data` under `binner` (sequential scan).
+pub fn histogram(data: &[f64], binner: &Binner) -> Vec<u64> {
+    let mut h = vec![0u64; binner.nbins()];
+    for &v in data {
+        h[binner.bin_of(v) as usize] += 1;
+    }
+    h
+}
+
+/// Per-bin counts computed in parallel on the current rayon pool.
+pub fn histogram_par(data: &[f64], binner: &Binner) -> Vec<u64> {
+    let nbins = binner.nbins();
+    data.par_chunks(64 * 1024)
+        .map(|chunk| histogram(chunk, binner))
+        .reduce(
+            || vec![0u64; nbins],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Joint bin counts of two equal-length arrays, flattened row-major
+/// (`joint[j * nb + k]` = elements with `a` in bin `j` and `b` in bin `k`).
+pub fn joint_histogram(
+    a: &[f64],
+    b: &[f64],
+    binner_a: &Binner,
+    binner_b: &Binner,
+) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "joint histogram needs equal-length arrays");
+    let nb = binner_b.nbins();
+    let mut h = vec![0u64; binner_a.nbins() * nb];
+    for (&x, &y) in a.iter().zip(b) {
+        h[binner_a.bin_of(x) as usize * nb + binner_b.bin_of(y) as usize] += 1;
+    }
+    h
+}
+
+/// Parallel joint histogram.
+pub fn joint_histogram_par(
+    a: &[f64],
+    b: &[f64],
+    binner_a: &Binner,
+    binner_b: &Binner,
+) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "joint histogram needs equal-length arrays");
+    let (na, nb) = (binner_a.nbins(), binner_b.nbins());
+    a.par_chunks(64 * 1024)
+        .zip(b.par_chunks(64 * 1024))
+        .map(|(ca, cb)| joint_histogram(ca, cb, binner_a, binner_b))
+        .reduce(
+            || vec![0u64; na * nb],
+            |mut x, y| {
+                for (p, q) in x.iter_mut().zip(y) {
+                    *p += q;
+                }
+                x
+            },
+        )
+}
+
+/// Joint bin counts obtained from two bitmap indices: `AND` + popcount per
+/// bin pair, the paper's Figure 5 kernel. Exactly equals
+/// [`joint_histogram`] on the underlying data when the binners match.
+///
+/// Two exact shortcuts keep the `m × n` loop cheap on the near-diagonal
+/// joint tables that evolving simulation steps produce: a row stops as soon
+/// as its counts sum to bin `j`'s total, and columns are probed outward
+/// from `k = j` first (values drift slowly between steps, so the mass sits
+/// near the diagonal).
+pub fn joint_counts_from_indexes(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "indexes cover different element counts");
+    let (na, nb) = (a.nbins(), b.nbins());
+    let mut h = vec![0u64; na * nb];
+    for j in 0..na {
+        let mut remaining = a.counts()[j];
+        if remaining == 0 {
+            continue; // empty bin: the whole row is zero
+        }
+        for k in diagonal_order(j.min(nb - 1), nb) {
+            if b.counts()[k] == 0 {
+                continue;
+            }
+            let c = a.bin(j).and_count(b.bin(k));
+            h[j * nb + k] = c;
+            remaining -= c;
+            if remaining == 0 {
+                break; // every element of bin j is accounted for
+            }
+        }
+        debug_assert_eq!(remaining, 0, "bins of B must partition the domain");
+    }
+    h
+}
+
+/// Yields `0..n` ordered by distance from `center` (ties: lower first).
+fn diagonal_order(center: usize, n: usize) -> impl Iterator<Item = usize> {
+    debug_assert!(center < n);
+    let mut lo = center as isize; // next candidate below (inclusive)
+    let mut hi = center as isize + 1; // next candidate above
+    std::iter::from_fn(move || {
+        let below_left = lo >= 0;
+        let above_left = (hi as usize) < n;
+        match (below_left, above_left) {
+            (false, false) => None,
+            (true, false) => {
+                lo -= 1;
+                Some((lo + 1) as usize)
+            }
+            (false, true) => {
+                hi += 1;
+                Some((hi - 1) as usize)
+            }
+            (true, true) => {
+                // pick whichever is closer to the center
+                if center as isize - lo <= hi - center as isize {
+                    lo -= 1;
+                    Some((lo + 1) as usize)
+                } else {
+                    hi += 1;
+                    Some((hi - 1) as usize)
+                }
+            }
+        }
+    })
+}
+
+/// Parallel variant of [`joint_counts_from_indexes`] (rows fan out across
+/// the rayon pool).
+pub fn joint_counts_from_indexes_par(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "indexes cover different element counts");
+    let nb = b.nbins();
+    let rows: Vec<Vec<u64>> = (0..a.nbins())
+        .into_par_iter()
+        .map(|j| {
+            let mut row = vec![0u64; nb];
+            let mut remaining = a.counts()[j];
+            if remaining != 0 {
+                for k in diagonal_order(j.min(nb - 1), nb) {
+                    if b.counts()[k] == 0 {
+                        continue;
+                    }
+                    let c = a.bin(j).and_count(b.bin(k));
+                    row[k] = c;
+                    remaining -= c;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+            row
+        })
+        .collect();
+    rows.concat()
+}
+
+/// Decodes an index back into per-element bin ids — the inverse of
+/// building, O(words + n). Purely a bitmap computation (no raw data), used
+/// by the adaptive joint-table path below.
+pub fn decode_bin_ids(index: &BitmapIndex) -> Vec<u32> {
+    let mut ids = vec![0u32; index.len() as usize];
+    for (b, vec) in index.bins().iter().enumerate().skip(1) {
+        // bin 0 is the default value; only scatter the others
+        for pos in vec.iter_ones() {
+            ids[pos as usize] = b as u32;
+        }
+    }
+    ids
+}
+
+/// Joint bin counts from two indices, choosing the cheaper strategy:
+/// the paper's `m × n` compressed ANDs when the indices are small, or a
+/// decode-and-scan when the AND table would touch more words than the
+/// element count (offline analyses are not memory-constrained, so the
+/// transient id arrays are acceptable there). Result is identical either
+/// way.
+pub fn joint_counts_adaptive(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "indexes cover different element counts");
+    let n = a.len();
+    let words =
+        (a.size_bytes() + b.size_bytes()) as u64 / std::mem::size_of::<u32>() as u64;
+    let and_bound = a.nbins().min(b.nbins()) as u64 * words;
+    if and_bound <= 4 * n {
+        return joint_counts_from_indexes(a, b);
+    }
+    let ids_a = decode_bin_ids(a);
+    let ids_b = decode_bin_ids(b);
+    let nb = b.nbins();
+    let mut h = vec![0u64; a.nbins() * nb];
+    for (&ja, &kb) in ids_a.iter().zip(&ids_b) {
+        h[ja as usize * nb + kb as usize] += 1;
+    }
+    h
+}
+
+/// Row sums of a flattened joint table (marginal of the first variable).
+pub fn marginal_a(joint: &[u64], na: usize, nb: usize) -> Vec<u64> {
+    assert_eq!(joint.len(), na * nb);
+    (0..na).map(|j| joint[j * nb..(j + 1) * nb].iter().sum()).collect()
+}
+
+/// Column sums of a flattened joint table (marginal of the second variable).
+pub fn marginal_b(joint: &[u64], na: usize, nb: usize) -> Vec<u64> {
+    assert_eq!(joint.len(), na * nb);
+    (0..nb).map(|k| (0..na).map(|j| joint[j * nb + k]).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_a() -> Vec<f64> {
+        (0..2000).map(|i| ((i * 13) % 97) as f64).collect()
+    }
+
+    fn data_b() -> Vec<f64> {
+        (0..2000).map(|i| ((i * 7 + 3) % 89) as f64).collect()
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let b = Binner::fixed_width(0.0, 100.0, 16);
+        let h = histogram(&data_a(), &b);
+        assert_eq!(h.iter().sum::<u64>(), 2000);
+    }
+
+    #[test]
+    fn parallel_histogram_identical() {
+        let b = Binner::fixed_width(0.0, 100.0, 16);
+        assert_eq!(histogram(&data_a(), &b), histogram_par(&data_a(), &b));
+    }
+
+    #[test]
+    fn joint_marginals_match_individual_histograms() {
+        let ba = Binner::fixed_width(0.0, 100.0, 12);
+        let bb = Binner::fixed_width(0.0, 90.0, 9);
+        let j = joint_histogram(&data_a(), &data_b(), &ba, &bb);
+        assert_eq!(marginal_a(&j, 12, 9), histogram(&data_a(), &ba));
+        assert_eq!(marginal_b(&j, 12, 9), histogram(&data_b(), &bb));
+    }
+
+    #[test]
+    fn parallel_joint_identical() {
+        let ba = Binner::fixed_width(0.0, 100.0, 12);
+        let bb = Binner::fixed_width(0.0, 90.0, 9);
+        assert_eq!(
+            joint_histogram(&data_a(), &data_b(), &ba, &bb),
+            joint_histogram_par(&data_a(), &data_b(), &ba, &bb)
+        );
+    }
+
+    #[test]
+    fn bitmap_joint_counts_equal_full_scan() {
+        let ba = Binner::fixed_width(0.0, 100.0, 12);
+        let bb = Binner::fixed_width(0.0, 90.0, 9);
+        let ia = BitmapIndex::build(&data_a(), ba.clone());
+        let ib = BitmapIndex::build(&data_b(), bb.clone());
+        let want = joint_histogram(&data_a(), &data_b(), &ba, &bb);
+        assert_eq!(joint_counts_from_indexes(&ia, &ib), want);
+        assert_eq!(joint_counts_from_indexes_par(&ia, &ib), want);
+    }
+
+    #[test]
+    fn decode_bin_ids_inverts_build() {
+        let data: Vec<f64> = (0..1234).map(|i| ((i * 11) % 30) as f64).collect();
+        let binner = Binner::distinct_ints(0, 29);
+        let idx = BitmapIndex::build(&data, binner.clone());
+        assert_eq!(decode_bin_ids(&idx), binner.bin_all(&data));
+    }
+
+    #[test]
+    fn adaptive_joint_equals_direct() {
+        // dense many-bin case (decode path) and small case (AND path)
+        for nbins in [4usize, 64] {
+            let a: Vec<f64> = (0..3000).map(|i| ((i * 7) % nbins) as f64).collect();
+            let b: Vec<f64> = (0..3000).map(|i| ((i * 13 + 1) % nbins) as f64).collect();
+            let binner = Binner::distinct_ints(0, nbins as i64 - 1);
+            let ia = BitmapIndex::build(&a, binner.clone());
+            let ib = BitmapIndex::build(&b, binner.clone());
+            assert_eq!(
+                joint_counts_adaptive(&ia, &ib),
+                joint_histogram(&a, &b, &binner, &binner),
+                "nbins={nbins}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_data() {
+        let b = Binner::fixed_width(0.0, 1.0, 4);
+        assert_eq!(histogram(&[], &b), vec![0; 4]);
+        assert_eq!(joint_histogram(&[], &[], &b, &b), vec![0; 16]);
+    }
+
+    #[test]
+    fn diagonal_order_is_a_permutation() {
+        for n in [1usize, 2, 5, 10] {
+            for c in 0..n {
+                let mut seen: Vec<usize> = diagonal_order(c, n).collect();
+                assert_eq!(seen[0], c, "center first");
+                seen.sort_unstable();
+                assert_eq!(seen, (0..n).collect::<Vec<_>>(), "c={c} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_order_expands_outward() {
+        let order: Vec<usize> = diagonal_order(3, 7).collect();
+        assert_eq!(order, vec![3, 2, 4, 1, 5, 0, 6]);
+        let order: Vec<usize> = diagonal_order(0, 4).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        let order: Vec<usize> = diagonal_order(3, 4).collect();
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn bitmap_joint_counts_rectangular_tables() {
+        // na != nb exercises the clamped diagonal start
+        let a: Vec<f64> = (0..777).map(|i| ((i * 3) % 50) as f64).collect();
+        let b: Vec<f64> = (0..777).map(|i| ((i * 7) % 20) as f64).collect();
+        let ba = Binner::distinct_ints(0, 49);
+        let bb = Binner::distinct_ints(0, 19);
+        let ia = BitmapIndex::build(&a, ba.clone());
+        let ib = BitmapIndex::build(&b, bb.clone());
+        assert_eq!(
+            joint_counts_from_indexes(&ia, &ib),
+            joint_histogram(&a, &b, &ba, &bb)
+        );
+        assert_eq!(
+            joint_counts_from_indexes(&ib, &ia),
+            joint_histogram(&b, &a, &bb, &ba)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn joint_rejects_length_mismatch() {
+        let b = Binner::fixed_width(0.0, 1.0, 2);
+        let _ = joint_histogram(&[0.1], &[0.1, 0.2], &b, &b);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # ibis-analysis — online and offline analytics on bitmaps
+//!
+//! Every analysis in the paper, in both its *full data* form (scans over raw
+//! arrays) and its *bitmaps* form (popcounts + compressed AND/XOR on
+//! [`ibis_core::BitmapIndex`]) — with **exactly equal results** under the
+//! same binning scale, the paper's central no-accuracy-loss claim (asserted
+//! bit-for-bit by this crate's tests):
+//!
+//! * [`entropy`] — Shannon entropy, mutual information, conditional entropy
+//!   (Equations 4–6).
+//! * [`emd`] — Earth Mover's Distance, count-based and spatial/XOR variants
+//!   (Equation 3, Figure 4).
+//! * [`selection`] — greedy importance-driven time-steps selection with
+//!   fixed-length and information-volume partitioning, plus a
+//!   dynamic-programming selector (Section 3).
+//! * [`mining`] — correlation mining over value and spatial subsets
+//!   (Algorithm 2), single- and multi-level.
+//! * [`sampling`] — the in-situ sampling baseline and its information-loss
+//!   measurements (Section 5.5).
+//! * [`cfp`] — cumulative frequency plots, the paper's accuracy-loss
+//!   presentation.
+//! * [`aggregate`] / [`query`] — the prior-work capabilities the paper
+//!   builds on: approximate aggregation with guaranteed error bounds, and
+//!   correlation queries over value/dimension subsets (Section 4.1).
+
+pub mod aggregate;
+pub mod cfp;
+pub mod emd;
+pub mod entropy;
+pub mod histogram;
+pub mod impute;
+pub mod mining;
+pub mod query;
+pub mod sampling;
+pub mod selection;
+pub mod subgroup;
+pub mod summary;
+
+pub use aggregate::Estimate;
+pub use cfp::Cfp;
+pub use impute::{impute_from, ImputeStrategy, Imputed, MaskedIndex};
+pub use query::{correlation_query, CorrelationAnswer, SubsetQuery};
+pub use mining::{mine_full, mine_index, mine_multilevel, MinedSubset, MiningConfig, MiningResult};
+pub use sampling::{sample, SamplingMethod};
+pub use selection::{select_dp, select_greedy, Partitioning, Selection};
+pub use subgroup::{discover_subgroups, Subgroup, SubgroupConfig};
+pub use summary::{Metric, StepSummary, VarSummary};

@@ -1,0 +1,288 @@
+//! Subgroup discovery on bitmaps — the SciSD capability the paper lists
+//! among the analyses bitmaps support without the original data
+//! (Section 2.2, citing the authors' SciSD work [39]).
+//!
+//! A *subgroup* is a conjunction of value-range conditions over descriptor
+//! variables (`temp ∈ [18, 22) ∧ depth ∈ [0, 100)`); its *quality* weighs
+//! how strongly the target variable deviates from the population inside
+//! the subgroup against the subgroup's coverage. Everything is computed
+//! from bitmaps: a condition is an OR over a bin range, a conjunction is an
+//! AND of selections, the target statistics come from midpoint aggregation
+//! — the raw data is never touched.
+
+use crate::aggregate;
+use ibis_core::{BitmapIndex, WahVec};
+
+/// One value-range condition: descriptor variable `var` restricted to bins
+/// `bin_lo..=bin_hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Condition {
+    /// Index into the descriptor list.
+    pub var: usize,
+    /// First bin of the range (inclusive).
+    pub bin_lo: usize,
+    /// Last bin of the range (inclusive).
+    pub bin_hi: usize,
+}
+
+/// A discovered subgroup.
+#[derive(Debug, Clone)]
+pub struct Subgroup {
+    /// The conjunction describing the subgroup (at most `max_depth` terms).
+    pub conditions: Vec<Condition>,
+    /// Elements covered.
+    pub coverage: u64,
+    /// Estimated target mean inside the subgroup.
+    pub target_mean: f64,
+    /// Quality: `sqrt(coverage/n) × |mean_subgroup − mean_population|`.
+    pub quality: f64,
+}
+
+/// Search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SubgroupConfig {
+    /// Beam width (candidates kept per refinement level).
+    pub beam_width: usize,
+    /// Maximum conditions per subgroup.
+    pub max_depth: usize,
+    /// Bins grouped per seed condition (condition granularity).
+    pub bins_per_condition: usize,
+    /// Minimum elements a subgroup must cover.
+    pub min_coverage: u64,
+    /// Results returned.
+    pub top_k: usize,
+}
+
+impl Default for SubgroupConfig {
+    fn default() -> Self {
+        SubgroupConfig {
+            beam_width: 8,
+            max_depth: 2,
+            bins_per_condition: 4,
+            min_coverage: 32,
+            top_k: 5,
+        }
+    }
+}
+
+/// Beam-search subgroup discovery: `descriptors` are the candidate
+/// condition variables, `target` the variable whose deviation defines
+/// interestingness. All indices must cover the same positions.
+pub fn discover_subgroups(
+    descriptors: &[&BitmapIndex],
+    target: &BitmapIndex,
+    cfg: &SubgroupConfig,
+) -> Vec<Subgroup> {
+    assert!(!descriptors.is_empty(), "need at least one descriptor");
+    assert!(cfg.beam_width >= 1 && cfg.max_depth >= 1 && cfg.top_k >= 1, "degenerate config");
+    assert!(cfg.bins_per_condition >= 1, "bins_per_condition must be positive");
+    let n = target.len();
+    for d in descriptors {
+        assert_eq!(d.len(), n, "descriptor covers different positions than target");
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+    let pop_mean = match aggregate::mean(target) {
+        Some(m) => m.value,
+        None => return Vec::new(),
+    };
+
+    // Seed conditions: consecutive bin windows per descriptor.
+    let mut seeds: Vec<(Condition, WahVec)> = Vec::new();
+    for (v, d) in descriptors.iter().enumerate() {
+        let mut bin = 0;
+        while bin < d.nbins() {
+            let hi = (bin + cfg.bins_per_condition - 1).min(d.nbins() - 1);
+            let sel = d.query_bins(bin..=hi);
+            if sel.count_ones() >= cfg.min_coverage {
+                seeds.push((Condition { var: v, bin_lo: bin, bin_hi: hi }, sel));
+            }
+            bin = hi + 1;
+        }
+    }
+
+    let score = |sel: &WahVec| -> Option<(u64, f64, f64)> {
+        let coverage = sel.count_ones();
+        if coverage < cfg.min_coverage {
+            return None;
+        }
+        let mean = aggregate::mean_selected(target, sel)?.value;
+        let quality = (coverage as f64 / n as f64).sqrt() * (mean - pop_mean).abs();
+        Some((coverage, mean, quality))
+    };
+
+    // candidate = (conditions, selection, coverage, mean, quality)
+    struct Cand {
+        conditions: Vec<Condition>,
+        sel: WahVec,
+        coverage: u64,
+        mean: f64,
+        quality: f64,
+    }
+    fn sort_cands(v: &mut [Cand]) {
+        v.sort_by(|a, b| b.quality.partial_cmp(&a.quality).unwrap());
+    }
+    fn to_subgroup(c: &Cand) -> Subgroup {
+        Subgroup {
+            conditions: c.conditions.clone(),
+            coverage: c.coverage,
+            target_mean: c.mean,
+            quality: c.quality,
+        }
+    }
+    let mut beam: Vec<Cand> = seeds
+        .iter()
+        .filter_map(|(c, sel)| {
+            let (coverage, mean, quality) = score(sel)?;
+            Some(Cand { conditions: vec![*c], sel: sel.clone(), coverage, mean, quality })
+        })
+        .collect();
+    sort_cands(&mut beam);
+    beam.truncate(cfg.beam_width);
+    let mut best: Vec<Subgroup> = beam.iter().map(to_subgroup).collect();
+
+    for _depth in 1..cfg.max_depth {
+        let mut next: Vec<Cand> = Vec::new();
+        for cand in &beam {
+            for (c, seed_sel) in &seeds {
+                // one condition per variable, in variable order (canonical
+                // form — avoids symmetric duplicates)
+                if cand.conditions.iter().any(|e| e.var >= c.var) {
+                    continue;
+                }
+                let sel = cand.sel.and(seed_sel);
+                let Some((coverage, mean, quality)) = score(&sel) else { continue };
+                let mut conditions = cand.conditions.clone();
+                conditions.push(*c);
+                next.push(Cand { conditions, sel, coverage, mean, quality });
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        sort_cands(&mut next);
+        next.truncate(cfg.beam_width);
+        best.extend(next.iter().map(to_subgroup));
+        beam = next;
+    }
+
+    best.sort_by(|a, b| b.quality.partial_cmp(&a.quality).unwrap());
+    best.dedup_by(|a, b| a.conditions == b.conditions);
+    best.truncate(cfg.top_k);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_core::Binner;
+
+    /// Target elevated exactly where `d1 ∈ [5,6) ∧ d2 ∈ [2,3)` — a planted
+    /// two-condition subgroup.
+    fn planted(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let d1: Vec<f64> = (0..n).map(|i| ((i / 7) % 10) as f64).collect();
+        let d2: Vec<f64> = (0..n).map(|i| ((i / 3) % 5) as f64).collect();
+        let target: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = ((i * 31) % 17) as f64 * 0.1;
+                if d1[i] == 5.0 && d2[i] == 2.0 {
+                    base + 10.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        (d1, d2, target)
+    }
+
+    fn indexes(n: usize) -> (BitmapIndex, BitmapIndex, BitmapIndex) {
+        let (d1, d2, t) = planted(n);
+        (
+            BitmapIndex::build(&d1, Binner::distinct_ints(0, 9)),
+            BitmapIndex::build(&d2, Binner::distinct_ints(0, 4)),
+            BitmapIndex::build(&t, Binner::fit(&t, 64)),
+        )
+    }
+
+    #[test]
+    fn finds_the_planted_subgroup() {
+        let (i1, i2, it) = indexes(4000);
+        let cfg = SubgroupConfig {
+            bins_per_condition: 1,
+            max_depth: 2,
+            beam_width: 12,
+            min_coverage: 16,
+            top_k: 3,
+        };
+        let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
+        assert!(!found.is_empty());
+        let top = &found[0];
+        assert_eq!(top.conditions.len(), 2, "should refine to the conjunction: {top:?}");
+        let c1 = top.conditions.iter().find(|c| c.var == 0).expect("condition on d1");
+        let c2 = top.conditions.iter().find(|c| c.var == 1).expect("condition on d2");
+        assert!((c1.bin_lo..=c1.bin_hi).contains(&5), "d1 range {c1:?}");
+        assert!((c2.bin_lo..=c2.bin_hi).contains(&2), "d2 range {c2:?}");
+        assert!(top.target_mean > 5.0, "elevated target mean: {}", top.target_mean);
+    }
+
+    #[test]
+    fn results_sorted_and_capped() {
+        let (i1, i2, it) = indexes(2000);
+        let cfg = SubgroupConfig { top_k: 4, bins_per_condition: 2, ..Default::default() };
+        let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
+        assert!(found.len() <= 4);
+        for w in found.windows(2) {
+            assert!(w[0].quality >= w[1].quality);
+        }
+        for sg in &found {
+            assert!(sg.coverage >= cfg.min_coverage);
+        }
+    }
+
+    #[test]
+    fn depth_one_only_single_conditions() {
+        let (i1, i2, it) = indexes(2000);
+        let cfg = SubgroupConfig { max_depth: 1, bins_per_condition: 1, ..Default::default() };
+        let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
+        assert!(found.iter().all(|sg| sg.conditions.len() == 1));
+    }
+
+    #[test]
+    fn min_coverage_is_respected() {
+        let (i1, i2, it) = indexes(2000);
+        let cfg = SubgroupConfig { min_coverage: 1900, ..Default::default() };
+        let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
+        for sg in &found {
+            assert!(sg.coverage >= 1900);
+        }
+    }
+
+    #[test]
+    fn empty_and_constant_inputs() {
+        let e = BitmapIndex::build(&[], Binner::fixed_width(0.0, 1.0, 2));
+        let found = discover_subgroups(&[&e], &e, &SubgroupConfig::default());
+        assert!(found.is_empty());
+        // constant target: no deviation, still well-defined
+        let d: Vec<f64> = (0..200).map(|i| (i % 4) as f64).collect();
+        let t = vec![1.0; 200];
+        let id = BitmapIndex::build(&d, Binner::distinct_ints(0, 3));
+        let it = BitmapIndex::build(&t, Binner::fixed_width(0.0, 2.0, 4));
+        let found = discover_subgroups(
+            &[&id],
+            &it,
+            &SubgroupConfig { bins_per_condition: 1, min_coverage: 10, ..Default::default() },
+        );
+        for sg in &found {
+            assert!(sg.quality.abs() < 1e-9, "no subgroup can beat a constant target");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different positions")]
+    fn mismatched_lengths_panic() {
+        let a = BitmapIndex::build(&[1.0, 2.0], Binner::fixed_width(0.0, 3.0, 3));
+        let t = BitmapIndex::build(&[1.0], Binner::fixed_width(0.0, 3.0, 3));
+        let _ = discover_subgroups(&[&a], &t, &SubgroupConfig::default());
+    }
+}

@@ -1,0 +1,5 @@
+//! Codec-comparison ablation — `cargo bench -p ibis-bench --bench ablation_codec`.
+
+fn main() {
+    ibis_bench::ablations::ablation_codec();
+}

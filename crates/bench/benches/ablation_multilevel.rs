@@ -1,0 +1,5 @@
+//! Ablation bench — run with `cargo bench -p ibis-bench --bench ablation_multilevel`.
+
+fn main() {
+    ibis_bench::ablations::ablation_multilevel();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 07 — run with
+//! `cargo bench -p ibis-bench --bench fig07_heat3d_xeon`.
+
+fn main() {
+    ibis_bench::figures::fig07();
+}

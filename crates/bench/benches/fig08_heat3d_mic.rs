@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 08 — run with
+//! `cargo bench -p ibis-bench --bench fig08_heat3d_mic`.
+
+fn main() {
+    ibis_bench::figures::fig08();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 09 — run with
+//! `cargo bench -p ibis-bench --bench fig09_lulesh_xeon`.
+
+fn main() {
+    ibis_bench::figures::fig09();
+}

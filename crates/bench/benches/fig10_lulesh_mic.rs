@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 10 — run with
+//! `cargo bench -p ibis-bench --bench fig10_lulesh_mic`.
+
+fn main() {
+    ibis_bench::figures::fig10();
+}

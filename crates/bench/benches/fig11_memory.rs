@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 11 — run with
+//! `cargo bench -p ibis-bench --bench fig11_memory`.
+
+fn main() {
+    ibis_bench::figures::fig11();
+}

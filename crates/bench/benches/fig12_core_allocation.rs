@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 12 — run with
+//! `cargo bench -p ibis-bench --bench fig12_core_allocation`.
+
+fn main() {
+    ibis_bench::figures::fig12();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 13 — run with
+//! `cargo bench -p ibis-bench --bench fig13_cluster`.
+
+fn main() {
+    ibis_bench::figures::fig13();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 14 — run with
+//! `cargo bench -p ibis-bench --bench fig14_mining`.
+
+fn main() {
+    ibis_bench::figures::fig14();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 15 — run with
+//! `cargo bench -p ibis-bench --bench fig15_sampling_time`.
+
+fn main() {
+    ibis_bench::figures::fig15();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 16 — run with
+//! `cargo bench -p ibis-bench --bench fig16_sampling_accuracy`.
+
+fn main() {
+    ibis_bench::figures::fig16();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 17 — run with
+//! `cargo bench -p ibis-bench --bench fig17_mining_accuracy`.
+
+fn main() {
+    ibis_bench::figures::fig17();
+}

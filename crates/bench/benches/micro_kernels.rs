@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks for the compute kernels: WAH construction
+//! and logical operations (vs the uncompressed baseline), the bitmap vs
+//! full-data metric kernels, and the correlation-mining inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibis_analysis::emd::{emd_spatial_full, emd_spatial_index};
+use ibis_analysis::entropy::{conditional_entropy_full, conditional_entropy_index};
+use ibis_analysis::{
+    aggregate, correlation_query, mine_full, mine_index, MiningConfig, SubsetQuery,
+};
+use ibis_core::{Binner, BitmapIndex, Bitset, MultiWahBuilder, WahVec};
+use ibis_datagen::{OceanConfig, OceanModel};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 1 << 20; // 1M elements
+
+fn smooth_field(phase: f64) -> Vec<f64> {
+    (0..N).map(|i| (i as f64 * 1e-4 + phase).sin() * 50.0).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let data = smooth_field(0.0);
+    let binner = Binner::fixed_width(-51.0, 51.0, 100);
+    let ids = binner.bin_all(&data);
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("algorithm1_streaming_1M", |b| {
+        b.iter(|| {
+            let mut mb = MultiWahBuilder::new(binner.nbins());
+            mb.extend_from(black_box(&ids));
+            black_box(mb.finish())
+        })
+    });
+    g.bench_function("index_build_with_binning_1M", |b| {
+        b.iter(|| black_box(BitmapIndex::build(black_box(&data), binner.clone())))
+    });
+    g.bench_function("uncompressed_bitsets_1M", |b| {
+        b.iter(|| {
+            let mut sets: Vec<Bitset> =
+                (0..binner.nbins()).map(|_| Bitset::new(N as u64)).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                sets[id as usize].set(i as u64, true);
+            }
+            black_box(sets)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    // runs-heavy vectors (the smooth-field regime WAH targets)
+    let a = WahVec::from_bits((0..N as u64).map(|i| (i / 1000) % 3 == 0));
+    let b = WahVec::from_bits((0..N as u64).map(|i| (i / 700) % 4 == 0));
+    let mut g = c.benchmark_group("wah_ops");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("and_1M", |bch| bch.iter(|| black_box(a.and(&b))));
+    g.bench_function("xor_1M", |bch| bch.iter(|| black_box(a.xor(&b))));
+    g.bench_function("and_count_1M", |bch| bch.iter(|| black_box(a.and_count(&b))));
+    g.bench_function("xor_count_1M", |bch| bch.iter(|| black_box(a.xor_count(&b))));
+    g.bench_function("count_ones_1M", |bch| bch.iter(|| black_box(a.count_ones())));
+    g.bench_function("count_per_unit_1M", |bch| {
+        bch.iter(|| black_box(a.count_ones_per_unit(4096)))
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = smooth_field(0.0);
+    let b = smooth_field(0.9);
+    let binner = Binner::fixed_width(-51.0, 51.0, 100);
+    let ia = BitmapIndex::build(&a, binner.clone());
+    let ib = BitmapIndex::build(&b, binner.clone());
+    let mut g = c.benchmark_group("metrics");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("cond_entropy_fulldata_1M", |bch| {
+        bch.iter(|| black_box(conditional_entropy_full(&a, &b, &binner, &binner)))
+    });
+    g.bench_function("cond_entropy_bitmaps_1M", |bch| {
+        bch.iter(|| black_box(conditional_entropy_index(&ia, &ib)))
+    });
+    g.bench_function("emd_spatial_fulldata_1M", |bch| {
+        bch.iter(|| black_box(emd_spatial_full(&a, &b, &binner)))
+    });
+    g.bench_function("emd_spatial_bitmaps_1M", |bch| {
+        bch.iter(|| black_box(emd_spatial_index(&ia, &ib)))
+    });
+    g.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let cfg = OceanConfig { nlon: 128, nlat: 96, ndepth: 2, ..Default::default() };
+    let ocean = OceanModel::new(cfg);
+    let t = ocean.variable("temperature");
+    let s = ocean.variable("salinity");
+    let bt = Binner::fit(&t, 24);
+    let bs = Binner::fit(&s, 24);
+    let it = BitmapIndex::build(&t, bt.clone());
+    let is = BitmapIndex::build(&s, bs.clone());
+    let mc = MiningConfig { value_threshold: 0.002, spatial_threshold: 0.08, unit_size: 512 };
+    let mut g = c.benchmark_group("mining");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, bitmaps) in [("bitmaps", true), ("fulldata", false)] {
+        g.bench_with_input(BenchmarkId::new("ocean_24k", label), &bitmaps, |bch, &bm| {
+            bch.iter(|| {
+                if bm {
+                    black_box(mine_index(&it, &is, &mc))
+                } else {
+                    black_box(mine_full(&t, &s, &bt, &bs, &mc))
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let a = smooth_field(0.0);
+    let b = smooth_field(1.3);
+    let binner = Binner::fixed_width(-51.0, 51.0, 100);
+    let ia = BitmapIndex::build(&a, binner.clone());
+    let ib = BitmapIndex::build(&b, binner.clone());
+    let mut g = c.benchmark_group("queries");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("range_query_1M", |bch| {
+        bch.iter(|| black_box(ia.query_range(black_box(-10.0), black_box(10.0))))
+    });
+    g.bench_function("approx_mean_1M", |bch| bch.iter(|| black_box(aggregate::mean(&ia))));
+    g.bench_function("approx_pearson_1M", |bch| {
+        bch.iter(|| black_box(aggregate::pearson(&ia, &ib)))
+    });
+    let region = SubsetQuery::region(100_000..500_000);
+    g.bench_function("correlation_query_region_1M", |bch| {
+        bch.iter(|| black_box(correlation_query(&ia, &ib, &region, &SubsetQuery::all())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_ops,
+    bench_metrics,
+    bench_mining,
+    bench_queries
+);
+criterion_main!(benches);

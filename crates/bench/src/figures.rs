@@ -1,0 +1,680 @@
+//! The per-figure experiment drivers. Each function regenerates one figure
+//! of the paper's evaluation (Section 5) and records paper-vs-measured in
+//! `target/figures/*.csv`; EXPERIMENTS.md discusses the comparisons.
+
+use crate::{
+    heat3d_binner, heat3d_config, lulesh_binners, lulesh_config, mb, scaled_count, secs,
+    speedup, steps_and_k, Figure,
+};
+use ibis_analysis::entropy::mutual_information_from_counts;
+use ibis_analysis::histogram::joint_histogram;
+use ibis_analysis::sampling::{
+    pairwise_metric_loss, pairwise_relative_loss, sample, SamplingMethod,
+};
+use ibis_analysis::{mine_full, mine_index, mine_multilevel, Cfp, Metric, MiningConfig};
+use ibis_analysis::{StepSummary, VarSummary};
+use ibis_core::{Binner, BitmapIndex, MultiLevelIndex, ZOrderLayout};
+use ibis_datagen::{
+    Heat3D, MiniLulesh, OceanConfig, OceanModel, Simulation, StepOutput,
+};
+use ibis_insitu::{
+    auto_allocate, run_cluster, run_pipeline, ClusterConfig, ClusterIo, ClusterReduction,
+    CoreAllocation, InsituReport, LocalDisk, MachineModel, PipelineConfig, Reduction,
+    ScalingModel,
+};
+use std::time::Instant;
+
+#[allow(clippy::too_many_arguments)] // a config record, not an API
+fn base_pipeline(
+    machine: MachineModel,
+    cores: usize,
+    reduction: Reduction,
+    steps: usize,
+    k: usize,
+    metric: Metric,
+    binners: Vec<Binner>,
+    sim_scaling: ScalingModel,
+) -> PipelineConfig {
+    PipelineConfig {
+        machine,
+        cores,
+        allocation: CoreAllocation::Shared,
+        reduction,
+        steps,
+        select_k: k,
+        metric,
+        binners,
+        per_step_precision: None,
+        queue_capacity: 4,
+        sim_scaling,
+    }
+}
+
+/// Shared driver for Figures 7–10: in-situ time breakdown, full data vs
+/// bitmaps, across a core sweep.
+#[allow(clippy::too_many_arguments)]
+fn core_sweep<F>(
+    id: &'static str,
+    title: &str,
+    machine: MachineModel,
+    cores_list: &[usize],
+    make_sim: F,
+    binners: Vec<Binner>,
+    metric: Metric,
+    sim_scaling: ScalingModel,
+) where
+    F: Fn() -> Box<dyn Simulation>,
+{
+    let (steps, k) = steps_and_k();
+    let mut fig = Figure::new(
+        id,
+        title,
+        &[
+            "cores", "method", "sim(s)", "reduce(s)", "select(s)", "output(s)", "total(s)",
+            "speedup",
+        ],
+    );
+    for &cores in cores_list {
+        let mut reports: Vec<(&str, InsituReport)> = Vec::new();
+        for (label, reduction) in
+            [("bitmaps", Reduction::Bitmaps), ("fulldata", Reduction::FullData)]
+        {
+            let cfg = base_pipeline(
+                machine.clone(),
+                cores,
+                reduction,
+                steps,
+                k,
+                metric,
+                binners.clone(),
+                sim_scaling,
+            );
+            let disk = LocalDisk::new(machine.disk_bw);
+            let r = run_pipeline(make_sim(), &cfg, &disk);
+            reports.push((label, r));
+        }
+        let full_total = reports[1].1.total_modeled;
+        for (label, r) in &reports {
+            fig.row(&[
+                &cores,
+                label,
+                &secs(r.phases.simulate),
+                &secs(r.phases.reduce),
+                &secs(r.phases.select),
+                &secs(r.phases.output),
+                &secs(r.total_modeled),
+                &speedup(full_total, r.total_modeled),
+            ]);
+        }
+        // sanity: both methods must pick the same steps
+        assert_eq!(reports[0].1.selected, reports[1].1.selected, "selection must agree");
+    }
+    fig.finish();
+}
+
+/// Figure 7: Heat3D, selecting 25 of 100 time-steps, Xeon, 1–32 cores,
+/// conditional entropy.
+pub fn fig07() {
+    let heat = heat3d_config();
+    core_sweep(
+        "fig07",
+        "Heat3D time-steps selection breakdown (Xeon)",
+        MachineModel::xeon32(),
+        &[1, 2, 4, 8, 16, 32],
+        move || Box::new(Heat3D::new(heat.clone())),
+        vec![heat3d_binner()],
+        Metric::ConditionalEntropy,
+        ScalingModel::heat3d(),
+    );
+}
+
+/// Figure 8: the same on the MIC profile (more but slower cores, slower
+/// disk, smaller problem — the paper uses a quarter-size mesh for the 8 GB
+/// node).
+pub fn fig08() {
+    let mut heat = heat3d_config();
+    heat.nz = (heat.nz / 4).max(8); // the paper's 200×1000×1000 vs 800×1000×1000
+    core_sweep(
+        "fig08",
+        "Heat3D time-steps selection breakdown (MIC)",
+        MachineModel::mic60(),
+        &[1, 4, 16, 32, 60],
+        move || Box::new(Heat3D::new(heat.clone())),
+        vec![heat3d_binner()],
+        Metric::ConditionalEntropy,
+        ScalingModel::heat3d(),
+    );
+}
+
+/// Figure 9: mini-LULESH (12 arrays), Xeon, Earth Mover's Distance.
+pub fn fig09() {
+    let cfg = lulesh_config();
+    let binners = lulesh_binners(&cfg, 3, 48);
+    core_sweep(
+        "fig09",
+        "LULESH time-steps selection breakdown (Xeon)",
+        MachineModel::xeon32(),
+        &[1, 2, 4, 8, 16, 32],
+        move || Box::new(MiniLulesh::new(cfg.clone())),
+        binners,
+        Metric::EmdSpatial,
+        ScalingModel::lulesh(),
+    );
+}
+
+/// Figure 10: mini-LULESH on the MIC profile (smaller mesh).
+pub fn fig10() {
+    let mut cfg = lulesh_config();
+    cfg.edge = (cfg.edge / 2).max(6);
+    let binners = lulesh_binners(&cfg, 3, 48);
+    core_sweep(
+        "fig10",
+        "LULESH time-steps selection breakdown (MIC)",
+        MachineModel::mic60(),
+        &[1, 4, 16, 32, 60],
+        move || Box::new(MiniLulesh::new(cfg.clone())),
+        binners,
+        Metric::EmdSpatial,
+        ScalingModel::lulesh(),
+    );
+}
+
+/// Figure 11: peak analysis memory, full data vs bitmaps, holding a
+/// 10-step selection window (the paper's setting).
+pub fn fig11() {
+    let mut fig = Figure::new(
+        "fig11",
+        "Peak analysis memory, 10 steps held for selection",
+        &["workload", "method", "peak(MB)", "ratio"],
+    );
+    // steps/k chosen so each selection interval holds 10 steps
+    let steps = 31;
+    let k = 4;
+
+    let heat = heat3d_config();
+    let run_heat = |reduction: Reduction| {
+        let cfg = base_pipeline(
+            MachineModel::xeon32(),
+            8,
+            reduction,
+            steps,
+            k,
+            Metric::ConditionalEntropy,
+            vec![heat3d_binner()],
+            ScalingModel::heat3d(),
+        );
+        let disk = LocalDisk::new(1e9);
+        run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk)
+    };
+    let hb = run_heat(Reduction::Bitmaps);
+    let hf = run_heat(Reduction::FullData);
+    fig.row(&[&"heat3d", &"fulldata", &mb(hf.peak_memory_bytes), &"1.00x"]);
+    fig.row(&[
+        &"heat3d",
+        &"bitmaps",
+        &mb(hb.peak_memory_bytes),
+        &speedup(hf.peak_memory_bytes as f64, hb.peak_memory_bytes as f64),
+    ]);
+
+    let lcfg = lulesh_config();
+    let binners = lulesh_binners(&lcfg, 3, 48);
+    let run_lul = |reduction: Reduction| {
+        let cfg = base_pipeline(
+            MachineModel::xeon32(),
+            8,
+            reduction,
+            21,
+            3,
+            Metric::EmdSpatial,
+            binners.clone(),
+            ScalingModel::lulesh(),
+        );
+        let disk = LocalDisk::new(1e9);
+        run_pipeline(MiniLulesh::new(lcfg.clone()), &cfg, &disk)
+    };
+    let lb = run_lul(Reduction::Bitmaps);
+    let lf = run_lul(Reduction::FullData);
+    fig.row(&[&"lulesh", &"fulldata", &mb(lf.peak_memory_bytes), &"1.00x"]);
+    fig.row(&[
+        &"lulesh",
+        &"bitmaps",
+        &mb(lb.peak_memory_bytes),
+        &speedup(lf.peak_memory_bytes as f64, lb.peak_memory_bytes as f64),
+    ]);
+    fig.finish();
+    assert!(hb.peak_memory_bytes < hf.peak_memory_bytes);
+    assert!(lb.peak_memory_bytes < lf.peak_memory_bytes);
+}
+
+/// Figure 12: Shared vs Separate core allocation — (a) Heat3D/Xeon-28,
+/// (b) Heat3D/MIC-56, (c) LULESH/Xeon-28 — plus the Equations 1–2 split.
+pub fn fig12() {
+    let mut fig = Figure::new(
+        "fig12",
+        "Core allocation strategies: simulation + bitmaps time over all steps",
+        &["panel", "allocation", "sim(s)", "bitmap(s)", "total(s)"],
+    );
+    let (steps, k) = steps_and_k();
+
+    let mut panel = |name: &'static str,
+                     machine: MachineModel,
+                     total: usize,
+                     splits: &[(usize, usize)],
+                     make_sim: &dyn Fn() -> Box<dyn Simulation>,
+                     binners: Vec<Binner>,
+                     metric: Metric,
+                     scaling: ScalingModel| {
+        let base = base_pipeline(
+            machine.clone(),
+            total,
+            Reduction::Bitmaps,
+            steps,
+            k,
+            metric,
+            binners.clone(),
+            scaling,
+        );
+        let disk = LocalDisk::new(machine.disk_bw);
+        let shared = run_pipeline(make_sim(), &base, &disk);
+        fig.row(&[
+            &name,
+            &"c_all",
+            &secs(shared.phases.simulate),
+            &secs(shared.phases.reduce),
+            &secs(shared.total_modeled),
+        ]);
+        for &(sim_c, bm_c) in splits {
+            let mut cfg = base.clone();
+            cfg.allocation = CoreAllocation::Separate { sim_cores: sim_c, bitmap_cores: bm_c };
+            let disk = LocalDisk::new(machine.disk_bw);
+            let r = run_pipeline(make_sim(), &cfg, &disk);
+            fig.row(&[
+                &name,
+                &format!("c{sim_c}_c{bm_c}"),
+                &secs(r.phases.simulate),
+                &secs(r.phases.reduce),
+                &secs(r.total_modeled),
+            ]);
+        }
+        // Equations 1–2 auto split
+        let mut probe = make_sim();
+        let alloc = auto_allocate(&mut probe, &binners, &machine, total, 2);
+        let CoreAllocation::Separate { sim_cores, bitmap_cores } = alloc else {
+            unreachable!()
+        };
+        let mut cfg = base.clone();
+        cfg.allocation = alloc;
+        let disk = LocalDisk::new(machine.disk_bw);
+        let r = run_pipeline(make_sim(), &cfg, &disk);
+        fig.row(&[
+            &name,
+            &format!("auto c{sim_cores}_c{bitmap_cores}"),
+            &secs(r.phases.simulate),
+            &secs(r.phases.reduce),
+            &secs(r.total_modeled),
+        ]);
+    };
+
+    let heat = heat3d_config();
+    panel(
+        "a:heat3d-xeon28",
+        MachineModel::xeon32(),
+        28,
+        &[(24, 4), (20, 8), (16, 12), (12, 16), (8, 20)],
+        &|| Box::new(Heat3D::new(heat.clone())),
+        vec![heat3d_binner()],
+        Metric::ConditionalEntropy,
+        ScalingModel::heat3d(),
+    );
+    let mut heat_mic = heat3d_config();
+    heat_mic.nz = (heat_mic.nz / 4).max(8);
+    panel(
+        "b:heat3d-mic56",
+        MachineModel::mic60(),
+        56,
+        &[(48, 8), (40, 16), (32, 24), (24, 32), (16, 40)],
+        &|| Box::new(Heat3D::new(heat_mic.clone())),
+        vec![heat3d_binner()],
+        Metric::ConditionalEntropy,
+        ScalingModel::heat3d(),
+    );
+    let lcfg = lulesh_config();
+    let lbinners = lulesh_binners(&lcfg, 3, 48);
+    panel(
+        "c:lulesh-xeon28",
+        MachineModel::xeon32(),
+        28,
+        &[(24, 4), (20, 8), (16, 12), (12, 16)],
+        &|| Box::new(MiniLulesh::new(lcfg.clone())),
+        lbinners,
+        Metric::EmdSpatial,
+        ScalingModel::lulesh(),
+    );
+    fig.finish();
+}
+
+/// Figure 13: cluster scalability — Heat3D over 1..N nodes, bitmaps vs
+/// full data, local vs shared-remote storage.
+pub fn fig13() {
+    let mut fig = Figure::new(
+        "fig13",
+        "Cluster in-situ: total modeled time vs node count",
+        &["nodes", "method", "io", "sim(s)", "output(s)", "total(s)", "speedup"],
+    );
+    let heat = heat3d_config();
+    let steps = scaled_count(16);
+    let k = (steps / 4).max(2);
+    let machine = MachineModel::oakley_node();
+    let remote_bw = MachineModel::remote_link_bw();
+    for &nodes in &[1usize, 2, 4, 8, 16] {
+        let base = ClusterConfig {
+            nodes,
+            cores_per_node: 8,
+            machine: machine.clone(),
+            heat: heat.clone(),
+            sweeps_per_step: heat.sweeps_per_step,
+            steps,
+            select_k: k,
+            binner: heat3d_binner(),
+            reduction: ClusterReduction::Bitmaps,
+            io: ClusterIo::Local,
+            remote_bw,
+            sim_scaling: ScalingModel::heat3d(),
+        };
+        for io in [ClusterIo::Local, ClusterIo::Remote] {
+            let mut totals = Vec::new();
+            for reduction in [ClusterReduction::Bitmaps, ClusterReduction::FullData] {
+                let cfg = ClusterConfig { reduction, io, ..base.clone() };
+                let r = run_cluster(&cfg);
+                totals.push((reduction, r));
+            }
+            let full_total = totals[1].1.total_modeled;
+            for (reduction, r) in &totals {
+                let label = match reduction {
+                    ClusterReduction::Bitmaps => "bitmaps",
+                    ClusterReduction::FullData => "fulldata",
+                };
+                let io_label = match io {
+                    ClusterIo::Local => "local",
+                    ClusterIo::Remote => "remote",
+                };
+                fig.row(&[
+                    &nodes,
+                    &label,
+                    &io_label,
+                    &secs(r.phases.simulate),
+                    &secs(r.phases.output),
+                    &secs(r.total_modeled),
+                    &speedup(full_total, r.total_modeled),
+                ]);
+            }
+        }
+    }
+    fig.finish();
+}
+
+/// Figure 14: correlation-mining time vs data size, bitmaps (single- and
+/// multi-level) vs full data, on the ocean (POP-substitute) dataset.
+///
+/// This is the paper's *offline* scenario: the bitmaps were already
+/// generated in-situ, so each method pays for loading its representation
+/// from storage (modeled at the Xeon disk bandwidth) plus the mining
+/// compute. Bitmaps load a fraction of the bytes and prune with cheap
+/// compressed ANDs.
+pub fn fig14() {
+    let mut fig = Figure::new(
+        "fig14",
+        "Correlation mining: load + mine vs data size (ocean temp x salinity)",
+        &[
+            "elements", "full_load(s)", "full_mine(s)", "bm_load(s)", "bm_mine(s)",
+            "ml_mine(s)", "speedup", "subsets",
+        ],
+    );
+    let disk_bw = MachineModel::xeon32().disk_bw;
+    let mining = MiningConfig { value_threshold: 0.002, spatial_threshold: 0.08, unit_size: 512 };
+    for &(nlon, nlat, nd) in
+        &[(128usize, 96usize, 2usize), (160, 120, 3), (192, 144, 4), (256, 192, 4)]
+    {
+        let cfg = OceanConfig { nlon, nlat, ndepth: nd, ..Default::default() };
+        let ocean = OceanModel::new(cfg.clone());
+        let z = ZOrderLayout::new(&[nlon, nlat, nd]);
+        let t = z.reorder(&ocean.variable("temperature"));
+        let s = z.reorder(&ocean.variable("salinity"));
+        let bt = Binner::fit(&t, 32);
+        let bs = Binner::fit(&s, 32);
+        // Generated in-situ; not part of the offline mining cost.
+        let it = BitmapIndex::build(&t, bt.clone());
+        let is = BitmapIndex::build(&s, bs.clone());
+        let mt = MultiLevelIndex::from_low(it.clone(), 4);
+        let ms = MultiLevelIndex::from_low(is.clone(), 4);
+
+        let full_load = (t.len() + s.len()) as f64 * 8.0 / disk_bw;
+        let bm_load = (it.size_bytes() + is.size_bytes()) as f64 / disk_bw;
+
+        let t0 = Instant::now();
+        let rf = mine_full(&t, &s, &bt, &bs, &mining);
+        let full_mine = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let rb = mine_index(&it, &is, &mining);
+        let bm_mine = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let (rm, _) = mine_multilevel(&mt, &ms, &mining);
+        let ml_mine = t0.elapsed().as_secs_f64();
+
+        assert_eq!(rb.subsets, rf.subsets, "bitmap miner must equal full-data miner");
+        let _ = rm;
+        fig.row(&[
+            &(nlon * nlat * nd),
+            &secs(full_load),
+            &secs(full_mine),
+            &secs(bm_load),
+            &secs(bm_mine),
+            &secs(ml_mine),
+            &speedup(full_load + full_mine, bm_load + bm_mine.min(ml_mine)),
+            &rb.subsets.len(),
+        ]);
+    }
+    fig.finish();
+}
+
+/// Figure 15: bitmaps vs in-situ sampling (30/15/5/1%) — time breakdown at
+/// 32 cores.
+pub fn fig15() {
+    let mut fig = Figure::new(
+        "fig15",
+        "Bitmaps vs sampling: in-situ time breakdown (Heat3D, 32 cores)",
+        &["method", "sim(s)", "reduce(s)", "select(s)", "output(s)", "total(s)"],
+    );
+    let heat = heat3d_config();
+    let (steps, k) = steps_and_k();
+    let machine = MachineModel::xeon32();
+    let mut run = |label: String, reduction: Reduction| {
+        let cfg = base_pipeline(
+            machine.clone(),
+            32,
+            reduction,
+            steps,
+            k,
+            Metric::ConditionalEntropy,
+            vec![heat3d_binner()],
+            ScalingModel::heat3d(),
+        );
+        let disk = LocalDisk::new(machine.disk_bw);
+        let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk);
+        fig.row(&[
+            &label,
+            &secs(r.phases.simulate),
+            &secs(r.phases.reduce),
+            &secs(r.phases.select),
+            &secs(r.phases.output),
+            &secs(r.total_modeled),
+        ]);
+    };
+    run("bitmaps".into(), Reduction::Bitmaps);
+    for pct in [30.0, 15.0, 5.0, 1.0] {
+        run(
+            format!("sample-{pct}%"),
+            Reduction::Sampling { percent: pct, method: SamplingMethod::Stride },
+        );
+    }
+    fig.finish();
+}
+
+fn heat3d_step_arrays(steps: usize) -> Vec<Vec<f64>> {
+    let mut heat = heat3d_config();
+    // accuracy figures need many pairwise metrics: shrink the grid
+    heat.nx /= 2;
+    heat.ny /= 2;
+    heat.nz /= 2;
+    let mut sim = Heat3D::new(heat);
+    sim.run(steps).into_iter().map(|mut s: StepOutput| s.fields.remove(0).data).collect()
+}
+
+/// Figure 16: information loss of sampling for time-steps selection — CFP
+/// of per-pair conditional-entropy differences plus mean relative loss.
+pub fn fig16() {
+    let mut fig = Figure::new(
+        "fig16",
+        "Sampling accuracy loss for selection metrics (CFP of CE error)",
+        &["method", "mean_abs", "p50", "p90", "mean_rel_loss%"],
+    );
+    let arrays = heat3d_step_arrays(scaled_count(14));
+    let binner = heat3d_binner();
+    let full: Vec<StepSummary> = arrays
+        .iter()
+        .enumerate()
+        .map(|(i, a)| StepSummary {
+            step: i,
+            vars: vec![VarSummary::full(a.clone(), binner.clone())],
+        })
+        .collect();
+    // bitmaps: zero loss by construction
+    let bitmaps: Vec<StepSummary> = arrays
+        .iter()
+        .enumerate()
+        .map(|(i, a)| StepSummary {
+            step: i,
+            vars: vec![VarSummary::bitmap(a, binner.clone())],
+        })
+        .collect();
+    let metric = Metric::ConditionalEntropy;
+    {
+        // compare bitmap metrics against full metrics pair by pair
+        let mut diffs = Vec::new();
+        for i in 0..full.len() {
+            for j in i + 1..full.len() {
+                let a = full[j].metric(&full[i], metric);
+                let b = bitmaps[j].metric(&bitmaps[i], metric);
+                diffs.push((a - b).abs());
+            }
+        }
+        let cfp = Cfp::from_values(diffs);
+        fig.row(&[
+            &"bitmaps",
+            &format!("{:.6}", cfp.mean()),
+            &format!("{:.6}", cfp.quantile(0.5)),
+            &format!("{:.6}", cfp.quantile(0.9)),
+            &"0.00",
+        ]);
+        assert_eq!(cfp.mean(), 0.0, "bitmaps must incur zero loss");
+    }
+    for pct in [30.0, 15.0, 5.0] {
+        let sampled: Vec<StepSummary> = arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| StepSummary {
+                step: i,
+                vars: vec![VarSummary::full(
+                    sample(a, pct, SamplingMethod::Stride),
+                    binner.clone(),
+                )],
+            })
+            .collect();
+        let abs = pairwise_metric_loss(&full, &sampled, metric);
+        let rel = pairwise_relative_loss(&full, &sampled, metric);
+        let cfp = Cfp::from_values(abs);
+        let mean_rel = 100.0 * rel.iter().sum::<f64>() / rel.len().max(1) as f64;
+        fig.row(&[
+            &format!("sample-{pct}%"),
+            &format!("{:.6}", cfp.mean()),
+            &format!("{:.6}", cfp.quantile(0.5)),
+            &format!("{:.6}", cfp.quantile(0.9)),
+            &format!("{mean_rel:.2}"),
+        ]);
+    }
+    fig.finish();
+}
+
+/// Figure 17: information loss of sampling for correlation mining — MI over
+/// 60 value×spatial subsets, sampled vs full, as relative-error CFPs.
+pub fn fig17() {
+    let mut fig = Figure::new(
+        "fig17",
+        "Sampling accuracy loss for mining MI over 60 subsets",
+        &["method", "mean_rel_loss%", "p50%", "p90%"],
+    );
+    let cfg = OceanConfig { nlon: 256, nlat: 192, ndepth: 4, ..Default::default() };
+    let ocean = OceanModel::new(cfg.clone());
+    let z = ZOrderLayout::new(&[cfg.nlon, cfg.nlat, cfg.ndepth]);
+    let t = z.reorder(&ocean.variable("temperature"));
+    let s = z.reorder(&ocean.variable("salinity"));
+    let bt = Binner::fit(&t, 16);
+    let bs = Binner::fit(&s, 16);
+    let n = t.len();
+
+    // 60 subsets: 10 spatial units × 6 temperature-value groups.
+    let units = 10usize;
+    let groups = 6usize;
+    let unit_len = n.div_ceil(units);
+    let group_of = |v: f64| (bt.bin_of(v) as usize * groups / bt.nbins()).min(groups - 1);
+    let subset_members = |data_t: &[f64], positions: &[usize]| -> Vec<Vec<usize>> {
+        let mut subsets = vec![Vec::new(); units * groups];
+        for &p in positions {
+            let u = (p / unit_len).min(units - 1);
+            let g = group_of(data_t[p]);
+            subsets[u * groups + g].push(p);
+        }
+        subsets
+    };
+    let mi_of = |members: &[usize]| -> f64 {
+        if members.len() < 8 {
+            return 0.0;
+        }
+        let ta: Vec<f64> = members.iter().map(|&p| t[p]).collect();
+        let sa: Vec<f64> = members.iter().map(|&p| s[p]).collect();
+        let joint = joint_histogram(&ta, &sa, &bt, &bs);
+        mutual_information_from_counts(&joint, bt.nbins(), bs.nbins())
+    };
+
+    let all_positions: Vec<usize> = (0..n).collect();
+    let full_subsets = subset_members(&t, &all_positions);
+    let full_mi: Vec<f64> = full_subsets.iter().map(|m| mi_of(m)).collect();
+
+    // bitmaps row: exact
+    fig.row(&[&"bitmaps", &"0.00", &"0.00", &"0.00"]);
+
+    for pct in [50.0, 30.0, 15.0, 5.0] {
+        let keep = ((n as f64 * pct / 100.0) as usize).max(1);
+        let positions: Vec<usize> = (0..keep).map(|i| i * n / keep).collect();
+        let sampled_subsets = subset_members(&t, &positions);
+        let mut rels = Vec::new();
+        for (idx, full) in full_mi.iter().enumerate() {
+            if *full < 1e-9 {
+                continue;
+            }
+            let sampled = mi_of(&sampled_subsets[idx]);
+            rels.push(100.0 * ((full - sampled) / full).abs());
+        }
+        let cfp = Cfp::from_values(rels.clone());
+        let mean = rels.iter().sum::<f64>() / rels.len().max(1) as f64;
+        fig.row(&[
+            &format!("sample-{pct}%"),
+            &format!("{mean:.2}"),
+            &format!("{:.2}", cfp.quantile(0.5)),
+            &format!("{:.2}", cfp.quantile(0.9)),
+        ]);
+    }
+    fig.finish();
+}

@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+//! # ibis-bench — figure-regeneration harnesses and micro-benchmarks
+//!
+//! One bench target per evaluation figure of the paper (Figures 7–17); each
+//! prints the same rows/series the paper plots and appends a CSV under
+//! `target/figures/`. Absolute numbers differ from the paper's testbed (our
+//! substrate runs at laptop scale with modeled cores and I/O — see
+//! DESIGN.md §3), but the *shape* — who wins, by what rough factor, where
+//! the crossovers fall — is the reproduction target, recorded in
+//! EXPERIMENTS.md.
+//!
+//! Workload sizes scale with the `IBIS_SCALE` environment variable
+//! (default 1.0): set e.g. `IBIS_SCALE=2` for larger grids or `0.5` for a
+//! quick pass.
+
+pub mod ablations;
+pub mod figures;
+
+use ibis_core::Binner;
+use ibis_datagen::{Heat3DConfig, LuleshConfig, MiniLulesh, Simulation};
+use std::fmt::Display;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The global size multiplier from `IBIS_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("IBIS_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&v| v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scales a linear dimension.
+pub fn scaled_dim(base: usize) -> usize {
+    ((base as f64 * scale().cbrt()).round() as usize).max(8)
+}
+
+/// Scales a count (steps, nodes, …).
+pub fn scaled_count(base: usize) -> usize {
+    ((base as f64 * scale()).round() as usize).max(2)
+}
+
+/// The benchmark Heat3D problem (paper: 800×1000×1000; here 64³ × scale).
+pub fn heat3d_config() -> Heat3DConfig {
+    let d = scaled_dim(64);
+    Heat3DConfig { nx: d, ny: d, nz: d, ..Default::default() }
+}
+
+/// The benchmark Heat3D binning scale. The paper bins to one decimal digit
+/// over each step's range, yielding 64–206 bitvectors; our fixed global
+/// range at integer precision lands in the same regime (103 bins).
+pub fn heat3d_binner() -> Binner {
+    Binner::precision(-1.0, 101.0, 0)
+}
+
+/// The benchmark mini-LULESH problem.
+pub fn lulesh_config() -> LuleshConfig {
+    LuleshConfig { edge: scaled_dim(14), ..Default::default() }
+}
+
+/// Fits one binner per LULESH output array from a short probe run (the
+/// binning scale must be shared across steps for cross-step metrics).
+pub fn lulesh_binners(cfg: &LuleshConfig, probe_steps: usize, bins: usize) -> Vec<Binner> {
+    let mut probe = MiniLulesh::new(cfg.clone());
+    let steps = probe.run(probe_steps);
+    (0..steps[0].fields.len())
+        .map(|f| {
+            let all: Vec<f64> = steps
+                .iter()
+                .flat_map(|s| s.fields[f].data.iter().copied())
+                .collect();
+            Binner::fit(&all, bins)
+        })
+        .collect()
+}
+
+/// The paper's 100-steps-select-25 setting, scaled.
+pub fn steps_and_k() -> (usize, usize) {
+    let steps = scaled_count(32);
+    (steps, (steps / 4).max(2))
+}
+
+/// A printed + CSV-persisted result table for one figure.
+pub struct Figure {
+    id: &'static str,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Figure {
+    /// Starts a figure table with the given identifier (e.g. `"fig07"`) and
+    /// column headers.
+    pub fn new(id: &'static str, title: &str, columns: &[&str]) -> Self {
+        println!("\n=== {id}: {title} ===");
+        Figure { id, columns: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Prints the table and writes `target/figures/<id>.csv`.
+    pub fn finish(self) {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        print_row(&self.columns);
+        for row in &self.rows {
+            print_row(row);
+        }
+        // CSV
+        let dir = figures_dir();
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("{}.csv", self.id));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(f, "{}", self.columns.join(","));
+            for row in &self.rows {
+                let _ = writeln!(f, "{}", row.join(","));
+            }
+            println!("  [written {}]", path.display());
+        }
+    }
+}
+
+/// Where figure CSVs are collected.
+pub fn figures_dir() -> PathBuf {
+    // target/ relative to the workspace root, regardless of cwd
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.join("target").join("figures")
+}
+
+/// Formats seconds with 3 decimals (table cells).
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a speedup factor.
+pub fn speedup(full: f64, ours: f64) -> String {
+    format!("{:.2}x", full / ours)
+}
+
+/// Formats bytes as MB.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_one() {
+        // (test env does not set IBIS_SCALE)
+        if std::env::var("IBIS_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+            assert_eq!(scaled_dim(64), 64);
+            assert_eq!(scaled_count(32), 32);
+        }
+    }
+
+    #[test]
+    fn figure_writes_csv() {
+        let mut f = Figure::new("figtest", "smoke", &["a", "b"]);
+        f.row(&[&1, &"x"]);
+        f.row(&[&2, &"y"]);
+        f.finish();
+        let p = figures_dir().join("figtest.csv");
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.contains("a,b"));
+        assert!(s.contains("2,y"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(speedup(2.0, 1.0), "2.00x");
+        assert_eq!(mb(1_500_000), "1.50");
+    }
+
+    #[test]
+    fn lulesh_binners_cover_probe() {
+        let cfg = LuleshConfig::tiny();
+        let binners = lulesh_binners(&cfg, 2, 16);
+        assert_eq!(binners.len(), 12);
+    }
+}

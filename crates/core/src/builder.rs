@@ -1,0 +1,524 @@
+//! Streaming WAH construction — the paper's Algorithm 1.
+//!
+//! [`WahBuilder`] appends bits / 31-bit segments / runs to a single
+//! compressed vector in O(1) working state, merging fills on the fly, so a
+//! bitvector is never held uncompressed. [`MultiWahBuilder`] runs one builder
+//! per bin and consumes a stream of bin ids (one per data element), which is
+//! exactly the in-place in-situ compression of Algorithm 1: data is scanned
+//! once, segment by segment, and each segment is merged into the existing
+//! compressed bitvectors.
+
+use crate::wah::{
+    fill_bits, is_fill, make_fill, WahVec, FLAG_MASK, LITERAL_MASK, MAX_FILL_BITS, ONE_FILL,
+    SEG_BITS, ZERO_FILL,
+};
+
+/// Incremental builder for a single [`WahVec`].
+///
+/// ```
+/// use ibis_core::WahBuilder;
+///
+/// let mut b = WahBuilder::new();
+/// b.append_run(false, 1000);
+/// b.push_bit(true);
+/// b.append_run(false, 1000);
+/// let v = b.finish();
+/// assert_eq!(v.len(), 2001);
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WahBuilder {
+    words: Vec<u32>,
+    /// Bits committed into `words`; always a multiple of 31.
+    committed: u64,
+    /// Partial segment not yet committed (LSB-first).
+    pending: u32,
+    pending_bits: u8,
+}
+
+impl WahBuilder {
+    /// A builder for an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resumes building from an existing vector (its bits are kept).
+    pub fn from_vec(v: WahVec) -> Self {
+        let mut words = v.words;
+        let len = v.len_bits;
+        let tail = len % SEG_BITS;
+        let (pending, pending_bits) = if tail != 0 {
+            let w = words.pop().expect("non-empty tail requires a word");
+            debug_assert!(!is_fill(w), "partial tail must be a literal");
+            (w, tail as u8)
+        } else {
+            (0, 0)
+        };
+        WahBuilder { words, committed: len - tail, pending, pending_bits }
+    }
+
+    /// Total bits appended so far.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.committed + self.pending_bits as u64
+    }
+
+    /// `true` if no bits have been appended.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if bit {
+            self.pending |= 1 << self.pending_bits;
+        }
+        self.pending_bits += 1;
+        if self.pending_bits as u64 == SEG_BITS {
+            let seg = self.pending;
+            self.pending = 0;
+            self.pending_bits = 0;
+            self.append_seg31(seg);
+        }
+    }
+
+    /// Appends a full 31-bit segment (LSB-first payload). This is the merge
+    /// step of Algorithm 1, lines 10–27: an all-ones segment extends or
+    /// starts a 1-fill, an all-zeros segment a 0-fill, anything else is
+    /// pushed as a literal word.
+    ///
+    /// # Panics (debug)
+    /// The builder must be on a segment boundary.
+    #[inline]
+    pub fn append_seg31(&mut self, payload: u32) {
+        debug_assert_eq!(self.pending_bits, 0, "append_seg31 off segment boundary");
+        debug_assert_eq!(payload & !LITERAL_MASK, 0, "payload has flag bits set");
+        match payload {
+            0 => self.append_fill_aligned(false, SEG_BITS),
+            LITERAL_MASK => self.append_fill_aligned(true, SEG_BITS),
+            _ => {
+                self.words.push(payload);
+                self.committed += SEG_BITS;
+            }
+        }
+    }
+
+    /// Appends `nbits` copies of `bit`, handling any alignment.
+    pub fn append_run(&mut self, bit: bool, mut nbits: u64) {
+        while self.pending_bits != 0 && nbits > 0 {
+            self.push_bit(bit);
+            nbits -= 1;
+        }
+        let whole = nbits - nbits % SEG_BITS;
+        if whole > 0 {
+            self.append_fill_aligned(bit, whole);
+        }
+        for _ in 0..nbits % SEG_BITS {
+            self.push_bit(bit);
+        }
+    }
+
+    /// Appends an aligned fill; `nbits` must be a positive multiple of 31 and
+    /// the builder must sit on a segment boundary.
+    fn append_fill_aligned(&mut self, bit: bool, mut nbits: u64) {
+        debug_assert_eq!(self.pending_bits, 0);
+        debug_assert!(nbits > 0 && nbits.is_multiple_of(SEG_BITS));
+        self.committed += nbits;
+        let flag = if bit { ONE_FILL } else { ZERO_FILL };
+        if let Some(last) = self.words.last_mut() {
+            if is_fill(*last) && *last & FLAG_MASK == flag {
+                let have = fill_bits(*last);
+                let take = nbits.min(MAX_FILL_BITS - have);
+                debug_assert!(take.is_multiple_of(SEG_BITS));
+                if take > 0 {
+                    *last += take as u32; // the paper's `LastSeg += 31`, batched
+                    nbits -= take;
+                }
+            }
+        }
+        while nbits > 0 {
+            let take = nbits.min(MAX_FILL_BITS);
+            self.words.push(make_fill(bit, take));
+            nbits -= take;
+        }
+    }
+
+    /// Appends the contents of a compressed vector (used to concatenate the
+    /// per-sub-block results of parallel generation).
+    pub fn append_wah(&mut self, other: &WahVec) {
+        for run in other.runs() {
+            match run {
+                crate::runs::Run::Fill(bit, n) => self.append_run(bit, n),
+                crate::runs::Run::Literal(payload, nbits) => {
+                    if nbits as u64 == SEG_BITS && self.pending_bits == 0 {
+                        self.append_seg31(payload);
+                    } else {
+                        for j in 0..nbits {
+                            self.push_bit(payload & (1 << j) != 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes the vector; a partial segment becomes the tail literal.
+    pub fn finish(mut self) -> WahVec {
+        let len = self.len();
+        if self.pending_bits > 0 {
+            self.words.push(self.pending & LITERAL_MASK);
+        }
+        WahVec { words: self.words, len_bits: len }
+    }
+}
+
+/// Algorithm 1 over all bins at once: one [`WahBuilder`] per bin consuming a
+/// stream of bin ids.
+///
+/// Memory never exceeds the compressed output plus one 31-bit segment per
+/// *touched* bin — the property that makes in-situ generation viable on
+/// memory-constrained nodes. Bins untouched by a segment are extended with
+/// 0-fills lazily (a per-bin segment deficit), so each segment costs
+/// O(bins touched), not O(total bins).
+///
+/// ```
+/// use ibis_core::MultiWahBuilder;
+///
+/// let mut mb = MultiWahBuilder::new(4);
+/// for id in [0u32, 1, 1, 2, 3, 3, 2, 0] {
+///     mb.push(id);
+/// }
+/// let bins = mb.finish();
+/// assert_eq!(bins.len(), 4);
+/// assert_eq!(bins[1].iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct MultiWahBuilder {
+    builders: Vec<WahBuilder>,
+    /// Per-bin count of 31-bit segments already appended to its builder.
+    appended_segs: Vec<u64>,
+    /// Current segment payload per bin (valid only for touched bins).
+    segbuf: Vec<u32>,
+    /// Bins touched by the current segment.
+    touched: Vec<u32>,
+    pos_in_seg: u8,
+    /// Completed segments so far.
+    global_segs: u64,
+    /// Total elements consumed.
+    total_bits: u64,
+}
+
+impl MultiWahBuilder {
+    /// A builder producing `nbins` parallel bitvectors.
+    pub fn new(nbins: usize) -> Self {
+        MultiWahBuilder {
+            builders: vec![WahBuilder::new(); nbins],
+            appended_segs: vec![0; nbins],
+            segbuf: vec![0; nbins],
+            touched: Vec::with_capacity(SEG_BITS as usize),
+            pos_in_seg: 0,
+            global_segs: 0,
+            total_bits: 0,
+        }
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn nbins(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Elements consumed so far.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// `true` if no elements have been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total_bits == 0
+    }
+
+    /// Consumes one element mapped to `bin_id` (Algorithm 1 lines 6–9).
+    #[inline]
+    pub fn push(&mut self, bin_id: u32) {
+        let b = bin_id as usize;
+        debug_assert!(b < self.builders.len(), "bin id {b} out of range");
+        if self.segbuf[b] == 0 {
+            self.touched.push(bin_id);
+        }
+        self.segbuf[b] |= 1 << self.pos_in_seg;
+        self.pos_in_seg += 1;
+        self.total_bits += 1;
+        if self.pos_in_seg as u64 == SEG_BITS {
+            self.flush_seg();
+        }
+    }
+
+    /// Consumes a slice of bin ids.
+    pub fn extend_from(&mut self, ids: &[u32]) {
+        for &id in ids {
+            self.push(id);
+        }
+    }
+
+    /// Merges the completed segment into every touched builder
+    /// (Algorithm 1 lines 10–27).
+    fn flush_seg(&mut self) {
+        for &b in &self.touched {
+            let b = b as usize;
+            let deficit = self.global_segs - self.appended_segs[b];
+            if deficit > 0 {
+                self.builders[b].append_fill_aligned(false, deficit * SEG_BITS);
+            }
+            self.builders[b].append_seg31(self.segbuf[b]);
+            self.appended_segs[b] = self.global_segs + 1;
+            self.segbuf[b] = 0;
+        }
+        self.touched.clear();
+        self.global_segs += 1;
+        self.pos_in_seg = 0;
+    }
+
+    /// Finalizes all bins; every bitvector has length equal to the number of
+    /// elements consumed.
+    pub fn finish(mut self) -> Vec<WahVec> {
+        // Partial tail segment: append deficits then the partial literals.
+        let partial = self.pos_in_seg;
+        let touched = std::mem::take(&mut self.touched);
+        for &b in &touched {
+            let b = b as usize;
+            let deficit = self.global_segs - self.appended_segs[b];
+            if deficit > 0 {
+                self.builders[b].append_fill_aligned(false, deficit * SEG_BITS);
+            }
+            let seg = self.segbuf[b];
+            for j in 0..partial {
+                self.builders[b].push_bit(seg & (1 << j) != 0);
+            }
+            self.appended_segs[b] = self.global_segs; // deficit now settled
+        }
+        let total = self.total_bits;
+        self.builders
+            .into_iter()
+            .map(|mut bld| {
+                let miss = total - bld.len();
+                if miss > 0 {
+                    bld.append_run(false, miss);
+                }
+                bld.finish()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wah::COUNT_MASK;
+
+    #[test]
+    fn push_bits_roundtrip() {
+        let bits: Vec<bool> = (0..97).map(|i| i % 5 < 2).collect();
+        let mut b = WahBuilder::new();
+        for &bit in &bits {
+            b.push_bit(bit);
+        }
+        let v = b.finish();
+        assert_eq!(v.to_bools(), bits);
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn append_run_merges_across_calls() {
+        let mut b = WahBuilder::new();
+        b.append_run(true, 62);
+        b.append_run(true, 62);
+        let v = b.finish();
+        assert_eq!(v.words().len(), 1);
+        assert_eq!(v.count_ones(), 124);
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn append_run_zero_is_noop() {
+        let mut b = WahBuilder::new();
+        b.append_run(true, 0);
+        b.push_bit(false);
+        b.append_run(false, 0);
+        let v = b.finish();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn unaligned_run_then_segment() {
+        let mut b = WahBuilder::new();
+        b.push_bit(true); // off-boundary
+        b.append_run(false, 100);
+        b.append_run(true, 100);
+        let v = b.finish();
+        assert_eq!(v.len(), 201);
+        assert_eq!(v.count_ones(), 101);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(!v.get(100));
+        assert!(v.get(101));
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn fill_overflow_splits() {
+        let huge = MAX_FILL_BITS * 2 + SEG_BITS * 3;
+        let mut b = WahBuilder::new();
+        b.append_run(true, huge);
+        let v = b.finish();
+        assert_eq!(v.len(), huge);
+        assert_eq!(v.count_ones(), huge);
+        assert_eq!(v.words().len(), 3);
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn from_vec_resumes_partial_tail() {
+        let bits: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        let mut b = WahBuilder::from_vec(v);
+        b.push_bit(true);
+        let v2 = b.finish();
+        let mut want = bits;
+        want.push(true);
+        assert_eq!(v2.to_bools(), want);
+        v2.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn from_vec_resumes_aligned() {
+        let v = WahVec::ones(62);
+        let mut b = WahBuilder::from_vec(v);
+        b.append_run(true, 31);
+        let v2 = b.finish();
+        assert_eq!(v2.len(), 93);
+        assert_eq!(v2.words().len(), 1);
+    }
+
+    #[test]
+    fn append_wah_equals_manual_concat() {
+        let a_bits: Vec<bool> = (0..75).map(|i| i % 7 == 0).collect();
+        let b_bits: Vec<bool> = (0..50).map(|i| i % 2 == 0).collect();
+        let mut bld = WahBuilder::new();
+        bld.append_wah(&WahVec::from_bits(a_bits.iter().copied()));
+        bld.append_wah(&WahVec::from_bits(b_bits.iter().copied()));
+        let v = bld.finish();
+        let want: Vec<bool> = a_bits.into_iter().chain(b_bits).collect();
+        assert_eq!(v.to_bools(), want);
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn multi_builder_basic() {
+        let ids = [0u32, 1, 1, 2, 3, 3, 2, 0]; // Figure 1's example dataset
+        let mut mb = MultiWahBuilder::new(4);
+        mb.extend_from(&ids);
+        assert_eq!(mb.len(), 8);
+        let bins = mb.finish();
+        assert_eq!(bins[0].iter_ones().collect::<Vec<_>>(), vec![0, 7]);
+        assert_eq!(bins[1].iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(bins[2].iter_ones().collect::<Vec<_>>(), vec![3, 6]);
+        assert_eq!(bins[3].iter_ones().collect::<Vec<_>>(), vec![4, 5]);
+        for b in &bins {
+            assert_eq!(b.len(), 8);
+            b.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_builder_exactly_one_bin_per_position() {
+        let ids: Vec<u32> = (0..500).map(|i| (i * i) % 7).collect();
+        let mut mb = MultiWahBuilder::new(7);
+        mb.extend_from(&ids);
+        let bins = mb.finish();
+        for pos in 0..500u64 {
+            let set: Vec<usize> =
+                (0..7).filter(|&b| bins[b].get(pos)).collect();
+            assert_eq!(set, vec![ids[pos as usize] as usize], "position {pos}");
+        }
+    }
+
+    #[test]
+    fn multi_builder_untouched_bin_is_all_zero_fill() {
+        let ids = vec![0u32; 310];
+        let mut mb = MultiWahBuilder::new(3);
+        mb.extend_from(&ids);
+        let bins = mb.finish();
+        assert_eq!(bins[0].count_ones(), 310);
+        assert_eq!(bins[1].count_ones(), 0);
+        assert_eq!(bins[1].words().len(), 1, "untouched bin should be a single fill");
+        assert_eq!(bins[2].words().len(), 1);
+        for b in &bins {
+            b.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_builder_partial_tail() {
+        let ids = [2u32, 0, 1]; // 3 elements, well under a segment
+        let mut mb = MultiWahBuilder::new(3);
+        mb.extend_from(&ids);
+        let bins = mb.finish();
+        for (b, bin) in bins.iter().enumerate() {
+            assert_eq!(bin.len(), 3);
+            assert_eq!(bin.count_ones(), 1, "bin {b}");
+            bin.check_canonical().unwrap();
+        }
+        assert!(bins[2].get(0));
+        assert!(bins[0].get(1));
+        assert!(bins[1].get(2));
+    }
+
+    #[test]
+    fn multi_builder_deficit_spanning_many_segments() {
+        // Bin 1 is touched only at the very start and very end; the long gap
+        // must appear as one merged 0-fill.
+        let mut ids = vec![0u32; 31 * 100];
+        ids[0] = 1;
+        let last = ids.len() - 1;
+        ids[last] = 1;
+        let mut mb = MultiWahBuilder::new(2);
+        mb.extend_from(&ids);
+        let bins = mb.finish();
+        assert_eq!(bins[1].count_ones(), 2);
+        assert_eq!(bins[1].iter_ones().collect::<Vec<_>>(), vec![0, last as u64]);
+        assert!(bins[1].words().len() <= 4, "gap should compress to one fill");
+        bins[0].check_canonical().unwrap();
+        bins[1].check_canonical().unwrap();
+    }
+
+    #[test]
+    fn multi_builder_zero_bins_zero_elems() {
+        let mb = MultiWahBuilder::new(0);
+        assert!(mb.finish().is_empty());
+        let mb = MultiWahBuilder::new(3);
+        let bins = mb.finish();
+        assert!(bins.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn builder_len_tracks() {
+        let mut b = WahBuilder::new();
+        assert!(b.is_empty());
+        b.push_bit(true);
+        assert_eq!(b.len(), 1);
+        b.append_run(false, 61);
+        assert_eq!(b.len(), 62);
+    }
+
+    #[test]
+    fn count_mask_capacity_sane() {
+        assert!(MAX_FILL_BITS.is_multiple_of(SEG_BITS));
+        assert!(MAX_FILL_BITS + SEG_BITS <= COUNT_MASK as u64);
+    }
+}

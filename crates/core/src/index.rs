@@ -1,0 +1,257 @@
+//! The bitmap index: one WAH bitvector per bin over a single variable's
+//! values for one time-step.
+//!
+//! The index doubles as the paper's data summary: its cached per-bin 1-bit
+//! counts *are* the value histogram, so Shannon entropy and count-based EMD
+//! come for free, while joint distributions (conditional entropy, mutual
+//! information) and spatial differences (spatial EMD) are bitwise AND / XOR
+//! away. After the index is built the original data can be discarded.
+
+use crate::binning::Binner;
+use crate::builder::MultiWahBuilder;
+use crate::wah::WahVec;
+
+/// A (single-level) bitmap index over one array of values.
+///
+/// ```
+/// use ibis_core::{Binner, BitmapIndex};
+///
+/// let data = [4.0, 1.0, 2.0, 2.0, 3.0, 4.0, 3.0, 1.0]; // Figure 1
+/// let index = BitmapIndex::build(&data, Binner::distinct_ints(1, 4));
+/// assert_eq!(index.counts(), &[2, 2, 2, 2]);
+/// assert_eq!(index.bin(0).iter_ones().collect::<Vec<_>>(), vec![1, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    binner: Binner,
+    bins: Vec<WahVec>,
+    counts: Vec<u64>,
+    len: u64,
+}
+
+impl BitmapIndex {
+    /// Builds the index with the paper's Algorithm 1: one pass over the
+    /// data, compressing as it goes.
+    pub fn build(data: &[f64], binner: Binner) -> Self {
+        let mut mb = MultiWahBuilder::new(binner.nbins());
+        for &v in data {
+            mb.push(binner.bin_of(v));
+        }
+        Self::from_bins(binner, mb.finish())
+    }
+
+    /// Builds from pre-computed bin ids (ids must be `< binner.nbins()`).
+    pub fn build_from_ids(ids: &[u32], binner: Binner) -> Self {
+        let mut mb = MultiWahBuilder::new(binner.nbins());
+        mb.extend_from(ids);
+        Self::from_bins(binner, mb.finish())
+    }
+
+    /// Assembles an index from existing bitvectors (e.g. concatenated
+    /// sub-block results of parallel generation).
+    ///
+    /// # Panics
+    /// Panics if bin count mismatches the binner or lengths differ.
+    pub fn from_bins(binner: Binner, bins: Vec<WahVec>) -> Self {
+        assert_eq!(bins.len(), binner.nbins(), "bin count mismatch");
+        let len = bins.first().map_or(0, WahVec::len);
+        assert!(bins.iter().all(|b| b.len() == len), "bins must share a length");
+        let counts = bins.iter().map(WahVec::count_ones).collect();
+        BitmapIndex { binner, bins, counts, len }
+    }
+
+    /// The binning scale the index was built with.
+    pub fn binner(&self) -> &Binner {
+        &self.binner
+    }
+
+    /// Number of bins (bitvectors).
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if no elements are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bitvector of bin `b`.
+    pub fn bin(&self, b: usize) -> &WahVec {
+        &self.bins[b]
+    }
+
+    /// All bitvectors.
+    pub fn bins(&self) -> &[WahVec] {
+        &self.bins
+    }
+
+    /// Per-bin 1-bit counts — the exact value histogram of the indexed data.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Compressed size in bytes of all bitvectors — what the in-situ pipeline
+    /// charges to memory and writes to storage instead of the raw data.
+    pub fn size_bytes(&self) -> usize {
+        self.bins.iter().map(WahVec::size_bytes).sum()
+    }
+
+    /// Positions whose value falls in `[lo, hi)`: OR of the overlapping
+    /// bins. Values are matched at bin granularity (the usual bitmap-index
+    /// semantics — a bin is included if its range intersects `[lo, hi)`).
+    pub fn query_range(&self, lo: f64, hi: f64) -> WahVec {
+        let nonempty_interval = hi > lo; // false for NaN bounds too
+        if self.bins.is_empty() || !nonempty_interval {
+            return WahVec::zeros(self.len);
+        }
+        let b0 = self.binner.bin_of(lo) as usize;
+        let b1 = self.binner.bin_of(hi) as usize;
+        // hi is exclusive: drop the last bin when hi is exactly its low edge.
+        let b1 = if b1 > b0 && self.binner.bin_range(b1).0 >= hi { b1 - 1 } else { b1 };
+        self.query_bins(b0..=b1)
+    }
+
+    /// OR of an inclusive range of bins.
+    pub fn query_bins(&self, bins: std::ops::RangeInclusive<usize>) -> WahVec {
+        let slice = &self.bins[*bins.start()..=*bins.end()];
+        let mut result = WahVec::or_many(slice.iter());
+        if result.is_empty() {
+            result = WahVec::zeros(self.len);
+        }
+        result
+    }
+
+    /// Verifies structural invariants (tests / debugging): per-bin lengths,
+    /// cached counts, each position set in exactly one bin.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        for (i, b) in self.bins.iter().enumerate() {
+            if b.len() != self.len {
+                return Err(format!("bin {i} has length {} != {}", b.len(), self.len));
+            }
+            b.check_canonical().map_err(|e| format!("bin {i}: {e}"))?;
+            if b.count_ones() != self.counts[i] {
+                return Err(format!("bin {i}: stale cached count"));
+            }
+        }
+        let total: u64 = self.counts.iter().sum();
+        if total != self.len {
+            return Err(format!("counts sum to {total}, expected {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_index() -> BitmapIndex {
+        BitmapIndex::build(
+            &[4.0, 1.0, 2.0, 2.0, 3.0, 4.0, 3.0, 1.0],
+            Binner::distinct_ints(1, 4),
+        )
+    }
+
+    #[test]
+    fn figure1_low_level_bitvectors() {
+        let idx = figure1_index();
+        // Matches the paper's Figure 1 low-level indices exactly.
+        assert_eq!(idx.bin(0).to_bools(), bits("01000001"));
+        assert_eq!(idx.bin(1).to_bools(), bits("00110000"));
+        assert_eq!(idx.bin(2).to_bools(), bits("00001010"));
+        assert_eq!(idx.bin(3).to_bools(), bits("10000100"));
+        idx.check_consistent().unwrap();
+    }
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn counts_are_exact_histogram() {
+        let data: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 100) as f64).collect();
+        let binner = Binner::fixed_width(0.0, 100.0, 10);
+        let idx = BitmapIndex::build(&data, binner.clone());
+        let mut hist = vec![0u64; 10];
+        for &v in &data {
+            hist[binner.bin_of(v) as usize] += 1;
+        }
+        assert_eq!(idx.counts(), hist.as_slice());
+        idx.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn build_from_ids_equals_build() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin()).collect();
+        let binner = Binner::fixed_width(-1.0, 1.0, 8);
+        let a = BitmapIndex::build(&data, binner.clone());
+        let ids = binner.bin_all(&data);
+        let b = BitmapIndex::build_from_ids(&ids, binner);
+        for k in 0..8 {
+            assert_eq!(a.bin(k), b.bin(k));
+        }
+    }
+
+    #[test]
+    fn empty_data() {
+        let idx = BitmapIndex::build(&[], Binner::fixed_width(0.0, 1.0, 4));
+        assert!(idx.is_empty());
+        assert_eq!(idx.counts(), &[0, 0, 0, 0]);
+        idx.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn query_range_matches_scan() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 50) as f64).collect();
+        let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 50.0, 50));
+        let hits = idx.query_range(10.0, 20.0);
+        let want: Vec<u64> = data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| (10.0..20.0).contains(&v).then_some(i as u64))
+            .collect();
+        assert_eq!(hits.iter_ones().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn query_range_empty_interval() {
+        let data = [1.0, 2.0, 3.0];
+        let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 4.0, 4));
+        assert_eq!(idx.query_range(2.0, 2.0).count_ones(), 0);
+        assert_eq!(idx.query_range(3.0, 1.0).count_ones(), 0);
+    }
+
+    #[test]
+    fn size_much_smaller_than_data_for_smooth_fields() {
+        // Smooth data (long runs of equal bins) compresses well — the paper's
+        // "<30% of the original data" observation.
+        let data: Vec<f64> = (0..100_000).map(|i| (i as f64 / 10_000.0).floor()).collect();
+        let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 10.0, 10));
+        assert!(
+            idx.size_bytes() < data.len() * 8 / 10,
+            "index {} bytes vs data {} bytes",
+            idx.size_bytes(),
+            data.len() * 8
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn from_bins_validates_count() {
+        let _ = BitmapIndex::from_bins(Binner::fixed_width(0.0, 1.0, 3), vec![WahVec::zeros(10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn from_bins_validates_lengths() {
+        let _ = BitmapIndex::from_bins(
+            Binner::fixed_width(0.0, 1.0, 2),
+            vec![WahVec::zeros(10), WahVec::zeros(11)],
+        );
+    }
+}

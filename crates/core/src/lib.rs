@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # ibis-core — WAH bitmaps and bitmap indices for in-situ analysis
+//!
+//! The summary structure at the heart of the HPDC'15 paper *"In-Situ Bitmaps
+//! Generation and Efficient Data Analysis based on Bitmaps"*:
+//!
+//! * [`WahVec`] — a WAH-compressed bitvector (31-bit segments, bit-counted
+//!   fills) supporting AND/OR/XOR and popcounts directly on the compressed
+//!   words.
+//! * [`WahBuilder`] / [`MultiWahBuilder`] — the paper's Algorithm 1:
+//!   streaming, in-place compression with O(bins) working state, suitable
+//!   for memory-constrained in-situ generation.
+//! * [`Binner`] — value-to-bin mapping (distinct integers, fixed width,
+//!   decimal precision, explicit edges) plus [`Binner::coarsen`] for
+//!   multi-level indices.
+//! * [`BitmapIndex`] / [`MultiLevelIndex`] — per-variable per-time-step
+//!   indices; cached bin popcounts double as exact histograms.
+//! * [`parallel`] — sub-block-parallel generation with 31-aligned seams
+//!   (Figure 2's distributed bitmaps generation).
+//! * [`ZOrderLayout`] — Morton-order traversal so contiguous bit ranges are
+//!   compact spatial blocks (the miner's spatial units).
+//! * [`Bitset`] — uncompressed oracle/baseline.
+
+pub mod bbc;
+mod binning;
+mod builder;
+mod index;
+mod multilevel;
+pub mod parallel;
+mod ops;
+mod runs;
+mod verbatim;
+pub mod wah;
+pub mod zorder;
+
+pub use bbc::BbcVec;
+pub use binning::{Binner, BinnerSpec};
+pub use builder::{MultiWahBuilder, WahBuilder};
+pub use index::BitmapIndex;
+pub use multilevel::MultiLevelIndex;
+pub use parallel::{aligned_partition, build_index_parallel};
+pub use verbatim::{build_index_two_phase, Bitset};
+pub use wah::WahVec;
+pub use zorder::ZOrderLayout;

@@ -1,0 +1,147 @@
+//! Multi-level bitmap indices (Figure 1's high-level indices).
+//!
+//! The high level groups `group` consecutive low bins per high bin; a high
+//! bitvector is the OR of its children. The correlation miner starts at the
+//! high level to prune uncorrelated value ranges cheaply (Section 4.2,
+//! optimization 2) and only descends into the children of surviving bins.
+
+use crate::binning::Binner;
+use crate::index::BitmapIndex;
+use crate::wah::WahVec;
+
+/// A two-level bitmap index over one array.
+#[derive(Debug, Clone)]
+pub struct MultiLevelIndex {
+    low: BitmapIndex,
+    high: BitmapIndex,
+    group: usize,
+}
+
+impl MultiLevelIndex {
+    /// Builds both levels: the low level with Algorithm 1, the high level by
+    /// OR-ing each group of `group` low bitvectors (no second data scan).
+    pub fn build(data: &[f64], binner: Binner, group: usize) -> Self {
+        let low = BitmapIndex::build(data, binner);
+        Self::from_low(low, group)
+    }
+
+    /// Derives the high level from an existing low-level index.
+    pub fn from_low(low: BitmapIndex, group: usize) -> Self {
+        assert!(group >= 1, "group must be at least 1");
+        let high_binner = low.binner().coarsen(group);
+        let n_high = high_binner.nbins();
+        let mut high_bins = Vec::with_capacity(n_high);
+        for h in 0..n_high {
+            let lo = h * group;
+            let hi = (lo + group).min(low.nbins());
+            let mut v = WahVec::or_many(low.bins()[lo..hi].iter());
+            if v.is_empty() {
+                v = WahVec::zeros(low.len());
+            }
+            high_bins.push(v);
+        }
+        let high = BitmapIndex::from_bins(high_binner, high_bins);
+        MultiLevelIndex { low, high, group }
+    }
+
+    /// The low (fine) level.
+    pub fn low(&self) -> &BitmapIndex {
+        &self.low
+    }
+
+    /// The high (coarse) level.
+    pub fn high(&self) -> &BitmapIndex {
+        &self.high
+    }
+
+    /// Low bins grouped under each high bin.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// The low-bin range belonging to high bin `h`.
+    pub fn children(&self, h: usize) -> std::ops::Range<usize> {
+        assert!(h < self.high.nbins(), "high bin {h} out of range");
+        let lo = h * self.group;
+        lo..(lo + self.group).min(self.low.nbins())
+    }
+
+    /// Total compressed bytes across both levels.
+    pub fn size_bytes(&self) -> usize {
+        self.low.size_bytes() + self.high.size_bytes()
+    }
+
+    /// Verifies that each high bitvector equals the OR of its children and
+    /// both levels are internally consistent.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        self.low.check_consistent().map_err(|e| format!("low: {e}"))?;
+        self.high.check_consistent().map_err(|e| format!("high: {e}"))?;
+        for h in 0..self.high.nbins() {
+            let children = self.children(h);
+            let or = WahVec::or_many(self.low.bins()[children.clone()].iter());
+            if &or != self.high.bin(h) {
+                return Err(format!("high bin {h} != OR of low bins {children:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_high_level() {
+        // Figure 1: values 1..4, high level groups [1,2] and [3,4].
+        let data = [4.0, 1.0, 2.0, 2.0, 3.0, 4.0, 3.0, 1.0];
+        let ml = MultiLevelIndex::build(&data, Binner::distinct_ints(1, 4), 2);
+        assert_eq!(ml.high().nbins(), 2);
+        let i0: Vec<bool> = "01110001".chars().map(|c| c == '1').collect();
+        let i1: Vec<bool> = "10001110".chars().map(|c| c == '1').collect();
+        assert_eq!(ml.high().bin(0).to_bools(), i0);
+        assert_eq!(ml.high().bin(1).to_bools(), i1);
+        ml.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn ragged_last_group() {
+        let data: Vec<f64> = (0..700).map(|i| (i % 7) as f64).collect();
+        let ml = MultiLevelIndex::build(&data, Binner::distinct_ints(0, 6), 3);
+        assert_eq!(ml.high().nbins(), 3); // groups {0,1,2} {3,4,5} {6}
+        assert_eq!(ml.children(2), 6..7);
+        assert_eq!(ml.high().counts()[2], 100);
+        ml.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn high_counts_sum_children() {
+        let data: Vec<f64> = (0..5000).map(|i| ((i * 17) % 90) as f64 / 9.0).collect();
+        let ml = MultiLevelIndex::build(&data, Binner::fixed_width(0.0, 10.0, 20), 4);
+        for h in 0..ml.high().nbins() {
+            let want: u64 = ml.children(h).map(|b| ml.low().counts()[b]).sum();
+            assert_eq!(ml.high().counts()[h], want, "high bin {h}");
+        }
+    }
+
+    #[test]
+    fn high_binner_agrees_with_grouping() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let ml = MultiLevelIndex::build(&data, Binner::fixed_width(0.0, 10.0, 10), 3);
+        for &v in &data {
+            let low_bin = ml.low().binner().bin_of(v) as usize;
+            let high_bin = ml.high().binner().bin_of(v) as usize;
+            assert!(ml.children(high_bin).contains(&low_bin), "v={v}");
+        }
+    }
+
+    #[test]
+    fn group_one_levels_identical() {
+        let data = [1.0, 2.0, 3.0, 1.0];
+        let ml = MultiLevelIndex::build(&data, Binner::distinct_ints(1, 3), 1);
+        assert_eq!(ml.high().nbins(), ml.low().nbins());
+        for b in 0..3 {
+            assert_eq!(ml.high().bin(b), ml.low().bin(b));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Logical operations on WAH vectors, executed directly on the compressed
+//! form — the fast bitwise kernels behind every bitmap-only analysis:
+//! AND for joint value distributions, XOR for the spatial Earth Mover's
+//! Distance, OR for range queries and high-level index construction.
+
+use crate::builder::WahBuilder;
+use crate::runs::SegCursor;
+use crate::wah::{WahVec, LITERAL_MASK, SEG_BITS};
+
+impl WahVec {
+    /// Bitwise AND; both vectors must have the same length.
+    pub fn and(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR — the element-difference kernel of the spatial EMD
+    /// (Section 3.2 of the paper).
+    pub fn xor(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a ^ b)
+    }
+
+    /// Bitwise AND-NOT (`self & !other`).
+    pub fn andnot(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a & !b)
+    }
+
+    /// Bitwise complement.
+    pub fn not(&self) -> WahVec {
+        let ones = WahVec::ones(self.len());
+        binary(self, &ones, |a, b| !a & b)
+    }
+
+    /// Number of positions where the vectors differ: `popcount(a XOR b)`
+    /// without materializing the XOR.
+    pub fn xor_count(&self, other: &WahVec) -> u64 {
+        fold_binary(self, other, |a, b| a ^ b)
+    }
+
+    /// `popcount(a AND b)` without materializing the AND — the joint-bin
+    /// counting kernel of conditional entropy and correlation mining.
+    pub fn and_count(&self, other: &WahVec) -> u64 {
+        fold_binary(self, other, |a, b| a & b)
+    }
+
+    /// Per-unit 1-bit counts of `self AND other` without materializing the
+    /// intersection — the correlation miner's spatial stage in one fused
+    /// pass (unit `u` covers bits `[u*unit_bits, (u+1)*unit_bits)`).
+    pub fn and_count_per_unit(&self, other: &WahVec, unit_bits: u64) -> Vec<u64> {
+        assert_eq!(self.len(), other.len(), "binary op on different-length vectors");
+        assert!(unit_bits > 0, "unit_bits must be positive");
+        let nunits = self.len().div_ceil(unit_bits) as usize;
+        let mut out = vec![0u64; nunits];
+        let mut pos = 0u64;
+        let mut ra = self.runs();
+        let mut rb = other.runs();
+        let mut run_a = ra.next();
+        let mut run_b = rb.next();
+        let bump = |pos: u64, n: u64, out: &mut [u64]| {
+            // add a run of n one-bits at pos, split across unit boundaries
+            let mut p = pos;
+            let mut rem = n;
+            while rem > 0 {
+                let u = (p / unit_bits) as usize;
+                let in_unit = (u as u64 + 1) * unit_bits - p;
+                let take = in_unit.min(rem);
+                out[u] += take;
+                p += take;
+                rem -= take;
+            }
+        };
+        loop {
+            match (run_a, run_b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    use crate::runs::Run::*;
+                    match (x, y) {
+                        (Fill(fa, na), Fill(fb, nb)) => {
+                            let n = na.min(nb);
+                            if fa && fb {
+                                bump(pos, n, &mut out);
+                            }
+                            pos += n;
+                            run_a = shrink_fill(fa, na, n, &mut ra);
+                            run_b = shrink_fill(fb, nb, n, &mut rb);
+                        }
+                        (Fill(fa, na), Literal(p, w)) | (Literal(p, w), Fill(fa, na)) => {
+                            if fa {
+                                add_literal_per_unit(p, w, pos, unit_bits, &mut out);
+                            }
+                            pos += w as u64;
+                            // shrink whichever side was the fill
+                            if matches!(x, Fill(..)) {
+                                run_a = shrink_fill(fa, na, w as u64, &mut ra);
+                                run_b = rb.next();
+                            } else {
+                                run_a = ra.next();
+                                run_b = shrink_fill(fa, na, w as u64, &mut rb);
+                            }
+                        }
+                        (Literal(pa, wa), Literal(pb, wb)) => {
+                            debug_assert_eq!(wa, wb);
+                            let v = pa & pb & lit_mask(wa);
+                            if v != 0 {
+                                add_literal_per_unit(v, wa, pos, unit_bits, &mut out);
+                            }
+                            pos += wa as u64;
+                            run_a = ra.next();
+                            run_b = rb.next();
+                        }
+                    }
+                }
+                _ => unreachable!("cursors of equal-length vectors end together"),
+            }
+        }
+        out
+    }
+
+    /// OR of many vectors (all the same length); used for high-level index
+    /// construction and value-range queries. Returns an empty vector for an
+    /// empty input.
+    ///
+    /// Uses pairwise (tree) reduction: with `k` inputs the accumulator is
+    /// combined `log k` times instead of `k` times, so a wide union of
+    /// sparse bins does not repeatedly re-walk an ever-denser accumulator.
+    pub fn or_many<'a, I: IntoIterator<Item = &'a WahVec>>(vecs: I) -> WahVec {
+        let mut layer: Vec<WahVec> = vecs.into_iter().cloned().collect();
+        if layer.is_empty() {
+            return WahVec::new();
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.chunks_exact(2);
+            for pair in &mut it {
+                next.push(pair[0].or(&pair[1]));
+            }
+            if let [odd] = it.remainder() {
+                next.push(odd.clone());
+            }
+            layer = next;
+        }
+        layer.pop().expect("non-empty layer")
+    }
+}
+
+/// Generic compressed binary operation. Fill×fill stretches are combined in
+/// O(1) per run pair; mixed stretches fall back to 31-bit segments.
+fn binary(a: &WahVec, b: &WahVec, f: impl Fn(u32, u32) -> u32) -> WahVec {
+    assert_eq!(a.len(), b.len(), "binary op on different-length vectors");
+    let mut ca = SegCursor::new(&a.words, a.len_bits);
+    let mut cb = SegCursor::new(&b.words, b.len_bits);
+    let mut out = WahBuilder::new();
+    loop {
+        if let (Some((ba, na)), Some((bb, nb))) = (ca.peek_fill(), cb.peek_fill()) {
+            let n = na.min(nb);
+            let r = f(mask_of(ba), mask_of(bb)) & LITERAL_MASK;
+            debug_assert!(r == 0 || r == LITERAL_MASK, "fill op must yield a fill");
+            out.append_run(r == LITERAL_MASK, n);
+            ca.skip_fill(n);
+            cb.skip_fill(n);
+            continue;
+        }
+        match (ca.next_seg(), cb.next_seg()) {
+            (None, None) => break,
+            (Some((pa, na)), Some((pb, nb))) => {
+                debug_assert_eq!(na, nb, "same-length vectors must stay aligned");
+                let r = f(pa, pb) & LITERAL_MASK;
+                if na as u64 == SEG_BITS {
+                    out.append_seg31(r);
+                } else {
+                    for j in 0..na {
+                        out.push_bit(r & (1 << j) != 0);
+                    }
+                }
+            }
+            _ => unreachable!("cursors of equal-length vectors end together"),
+        }
+    }
+    out.finish()
+}
+
+/// Like [`binary`] but only counts result 1-bits. A run-merge loop: each
+/// literal word costs one match, fill×fill stretches cost O(1) — the hot
+/// kernel behind `and_count` / `xor_count` in metric evaluation and mining.
+fn fold_binary(a: &WahVec, b: &WahVec, f: impl Fn(u32, u32) -> u32) -> u64 {
+    assert_eq!(a.len(), b.len(), "binary op on different-length vectors");
+    let mut ra = a.runs();
+    let mut rb = b.runs();
+    let mut run_a = ra.next();
+    let mut run_b = rb.next();
+    let mut total = 0u64;
+    loop {
+        match (run_a, run_b) {
+            (None, None) => break,
+            (Some(x), Some(y)) => {
+                use crate::runs::Run::*;
+                match (x, y) {
+                    (Fill(fa, na), Fill(fb, nb)) => {
+                        let n = na.min(nb);
+                        if f(mask_of(fa), mask_of(fb)) & LITERAL_MASK != 0 {
+                            total += n;
+                        }
+                        run_a = shrink_fill(fa, na, n, &mut ra);
+                        run_b = shrink_fill(fb, nb, n, &mut rb);
+                    }
+                    (Fill(fa, na), Literal(p, w)) => {
+                        // a literal run is at most 31 bits, a fill at least 31
+                        let mask = lit_mask(w);
+                        total += (f(mask_of(fa), p) & mask).count_ones() as u64;
+                        run_a = shrink_fill(fa, na, w as u64, &mut ra);
+                        run_b = rb.next();
+                    }
+                    (Literal(p, w), Fill(fb, nb)) => {
+                        let mask = lit_mask(w);
+                        total += (f(p, mask_of(fb)) & mask).count_ones() as u64;
+                        run_a = ra.next();
+                        run_b = shrink_fill(fb, nb, w as u64, &mut rb);
+                    }
+                    (Literal(pa, wa), Literal(pb, wb)) => {
+                        debug_assert_eq!(wa, wb, "equal-length vectors stay aligned");
+                        total += (f(pa, pb) & lit_mask(wa)).count_ones() as u64;
+                        run_a = ra.next();
+                        run_b = rb.next();
+                    }
+                }
+            }
+            _ => unreachable!("cursors of equal-length vectors end together"),
+        }
+    }
+    total
+}
+
+/// Consumes `take` bits from a fill run of `n`, returning the remainder (or
+/// the next run when exhausted).
+#[inline]
+fn shrink_fill(
+    bit: bool,
+    n: u64,
+    take: u64,
+    iter: &mut crate::runs::RunIter<'_>,
+) -> Option<crate::runs::Run> {
+    debug_assert!(take <= n);
+    if take == n {
+        iter.next()
+    } else {
+        Some(crate::runs::Run::Fill(bit, n - take))
+    }
+}
+
+/// Scatters a literal word's set bits into per-unit buckets.
+#[inline]
+fn add_literal_per_unit(payload: u32, width: u8, pos: u64, unit_bits: u64, out: &mut [u64]) {
+    let mut payload = payload;
+    let mut p = pos;
+    let mut rem = width as u64;
+    while rem > 0 {
+        let u = (p / unit_bits) as usize;
+        let in_unit = (u as u64 + 1) * unit_bits - p;
+        let take = in_unit.min(rem) as u32;
+        let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+        out[u] += (payload & mask).count_ones() as u64;
+        payload = if take == 32 { 0 } else { payload >> take };
+        p += take as u64;
+        rem -= take as u64;
+    }
+}
+
+#[inline]
+fn lit_mask(width: u8) -> u32 {
+    if width as u64 == SEG_BITS {
+        LITERAL_MASK
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+#[inline]
+fn mask_of(bit: bool) -> u32 {
+    if bit {
+        LITERAL_MASK
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_op(a: &[bool], b: &[bool], f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+        a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+    }
+
+    fn cases() -> Vec<(Vec<bool>, Vec<bool>)> {
+        let lens = [0usize, 1, 30, 31, 32, 62, 93, 100, 311, 1000];
+        lens.iter()
+            .map(|&n| {
+                let a: Vec<bool> = (0..n).map(|i| (i * 7) % 11 < 5).collect();
+                let b: Vec<bool> = (0..n).map(|i| i % 2 == 0 || i > n / 2).collect();
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn and_or_xor_andnot_match_naive() {
+        for (a_bits, b_bits) in cases() {
+            let a = WahVec::from_bits(a_bits.iter().copied());
+            let b = WahVec::from_bits(b_bits.iter().copied());
+            assert_eq!(a.and(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x & y));
+            assert_eq!(a.or(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x | y));
+            assert_eq!(a.xor(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x ^ y));
+            assert_eq!(a.andnot(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x & !y));
+            a.and(&b).check_canonical().unwrap();
+            a.or(&b).check_canonical().unwrap();
+            a.xor(&b).check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn counts_match_materialized() {
+        for (a_bits, b_bits) in cases() {
+            let a = WahVec::from_bits(a_bits.iter().copied());
+            let b = WahVec::from_bits(b_bits.iter().copied());
+            assert_eq!(a.and_count(&b), a.and(&b).count_ones());
+            assert_eq!(a.xor_count(&b), a.xor(&b).count_ones());
+        }
+    }
+
+    #[test]
+    fn not_flips_everything() {
+        let bits: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        let n = v.not();
+        assert_eq!(n.to_bools(), bits.iter().map(|&b| !b).collect::<Vec<_>>());
+        assert_eq!(n.count_ones() + v.count_ones(), 200);
+        n.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn fill_fast_path_stays_compressed() {
+        let a = WahVec::zeros(1_000_000);
+        let b = WahVec::ones(1_000_000);
+        let r = a.or(&b);
+        assert_eq!(r.count_ones(), 1_000_000);
+        assert!(r.words().len() <= 2);
+        let r = a.and(&b);
+        assert_eq!(r.count_ones(), 0);
+        assert!(r.words().len() <= 2);
+    }
+
+    #[test]
+    fn fill_fast_path_mixed_lengths() {
+        // a: big zero fill then ones; b: ones then zero fill — forces the
+        // min(na, nb) splitting logic through several iterations.
+        let mut a_bits = vec![false; 31 * 50];
+        a_bits.extend(vec![true; 31 * 30]);
+        let mut b_bits = vec![true; 31 * 20];
+        b_bits.extend(vec![false; 31 * 60]);
+        let a = WahVec::from_bits(a_bits.iter().copied());
+        let b = WahVec::from_bits(b_bits.iter().copied());
+        assert_eq!(a.xor(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x ^ y));
+        assert_eq!(a.xor_count(&b), (31 * 20 + 31 * 30) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "different-length")]
+    fn length_mismatch_panics() {
+        let _ = WahVec::zeros(31).and(&WahVec::zeros(62));
+    }
+
+    #[test]
+    fn or_many_unions() {
+        let vs: Vec<WahVec> =
+            (0..5).map(|k| WahVec::from_ones(&[k * 10], 100)).collect();
+        let u = WahVec::or_many(vs.iter());
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![0, 10, 20, 30, 40]);
+        assert_eq!(WahVec::or_many(std::iter::empty()).len(), 0);
+        let single = WahVec::or_many(std::iter::once(&vs[0]));
+        assert_eq!(single, vs[0]);
+    }
+
+    #[test]
+    fn and_count_per_unit_matches_materialized() {
+        for (a_bits, b_bits) in cases() {
+            let a = WahVec::from_bits(a_bits.iter().copied());
+            let b = WahVec::from_bits(b_bits.iter().copied());
+            let joint = a.and(&b);
+            for unit in [1u64, 7, 31, 64, 1000] {
+                assert_eq!(
+                    a.and_count_per_unit(&b, unit),
+                    joint.count_ones_per_unit(unit),
+                    "len {} unit {unit}",
+                    a.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_count_per_unit_fill_heavy() {
+        let mut a_bits = vec![true; 31 * 40];
+        a_bits.extend(vec![false; 31 * 40]);
+        let b_bits = vec![true; 31 * 80];
+        let a = WahVec::from_bits(a_bits.iter().copied());
+        let b = WahVec::from_bits(b_bits.iter().copied());
+        let per = a.and_count_per_unit(&b, 500);
+        assert_eq!(per.iter().sum::<u64>(), 31 * 40);
+        assert_eq!(per, a.and(&b).count_ones_per_unit(500));
+    }
+
+    #[test]
+    fn ops_on_empty_vectors() {
+        let e = WahVec::new();
+        assert_eq!(e.and(&e).len(), 0);
+        assert_eq!(e.xor_count(&e), 0);
+        assert_eq!(e.not().len(), 0);
+    }
+
+    #[test]
+    fn demorgan() {
+        let a = WahVec::from_bits((0..500).map(|i| (i * 3) % 7 == 0));
+        let b = WahVec::from_bits((0..500).map(|i| (i * 5) % 11 < 4));
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+}

@@ -1,0 +1,142 @@
+//! Parallel in-situ bitmap generation (Section 2.3, Figure 2).
+//!
+//! The time-step's data is logically partitioned into sub-blocks — one per
+//! core assigned to bitmap generation — each core runs Algorithm 1 on its
+//! sub-block independently, and the per-bin results are concatenated.
+//! Sub-block boundaries are rounded to 31-bit segment multiples so the
+//! concatenation is a pure word append (fills merge at the seams).
+
+use crate::binning::Binner;
+use crate::builder::{MultiWahBuilder, WahBuilder};
+use crate::index::BitmapIndex;
+use crate::wah::{WahVec, SEG_BITS};
+use rayon::prelude::*;
+
+/// Splits `n` elements into at most `parts` chunks whose sizes (except the
+/// last) are multiples of 31. Returns chunk lengths.
+pub fn aligned_partition(n: usize, parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "need at least one part");
+    if n == 0 {
+        return vec![];
+    }
+    let seg = SEG_BITS as usize;
+    let base = n.div_ceil(parts); // target chunk size
+    let chunk = base.div_ceil(seg) * seg; // round up to segment multiple
+    let mut out = Vec::new();
+    let mut rem = n;
+    while rem > 0 {
+        let take = chunk.min(rem);
+        out.push(take);
+        rem -= take;
+    }
+    out
+}
+
+/// Builds a [`BitmapIndex`] in parallel on the current rayon pool: each
+/// worker compresses one 31-aligned sub-block with Algorithm 1, then per-bin
+/// results are concatenated (also in parallel across bins).
+///
+/// Produces bit-identical output to [`BitmapIndex::build`].
+pub fn build_index_parallel(data: &[f64], binner: Binner) -> BitmapIndex {
+    let threads = rayon::current_num_threads();
+    let sizes = aligned_partition(data.len(), threads);
+    if sizes.len() <= 1 {
+        return BitmapIndex::build(data, binner);
+    }
+    let nbins = binner.nbins();
+    // Phase 1: per-sub-block compression, fully independent (Figure 2).
+    let mut blocks: Vec<&[f64]> = Vec::with_capacity(sizes.len());
+    let mut off = 0;
+    for &s in &sizes {
+        blocks.push(&data[off..off + s]);
+        off += s;
+    }
+    let partials: Vec<Vec<WahVec>> = blocks
+        .par_iter()
+        .map(|block| {
+            let mut mb = MultiWahBuilder::new(nbins);
+            for &v in *block {
+                mb.push(binner.bin_of(v));
+            }
+            mb.finish()
+        })
+        .collect();
+    // Phase 2: concatenate per bin.
+    let bins: Vec<WahVec> = (0..nbins)
+        .into_par_iter()
+        .map(|b| {
+            let mut bld = WahBuilder::new();
+            for part in &partials {
+                bld.append_wah(&part[b]);
+            }
+            bld.finish()
+        })
+        .collect();
+    BitmapIndex::from_bins(binner, bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for n in [0usize, 1, 30, 31, 32, 100, 1000, 12345] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let sizes = aligned_partition(n, parts);
+                assert_eq!(sizes.iter().sum::<usize>(), n, "n={n} parts={parts}");
+                for (i, &s) in sizes.iter().enumerate() {
+                    if i + 1 < sizes.len() {
+                        assert_eq!(s % 31, 0, "non-final chunk must be 31-aligned");
+                    }
+                    assert!(s > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_respects_part_budget() {
+        let sizes = aligned_partition(1000, 4);
+        assert!(sizes.len() <= 4 + 1, "got {} chunks", sizes.len());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let data: Vec<f64> =
+            (0..20_000).map(|i| ((i as f64 * 0.013).sin() * 50.0).round() / 10.0).collect();
+        let binner = Binner::fit_precision(&data, 1);
+        let seq = BitmapIndex::build(&data, binner.clone());
+        let par = build_index_parallel(&data, binner);
+        assert_eq!(seq.nbins(), par.nbins());
+        for b in 0..seq.nbins() {
+            assert_eq!(seq.bin(b), par.bin(b), "bin {b} differs");
+        }
+        par.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn parallel_build_small_inputs() {
+        for n in [0usize, 1, 30, 31, 62] {
+            let data: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+            let binner = Binner::distinct_ints(0, 4);
+            let seq = BitmapIndex::build(&data, binner.clone());
+            let par = build_index_parallel(&data, binner);
+            for b in 0..5 {
+                assert_eq!(seq.bin(b), par.bin(b), "n={n} bin {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_inside_sized_pool() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let data: Vec<f64> = (0..5000).map(|i| ((i / 100) % 8) as f64).collect();
+        let binner = Binner::distinct_ints(0, 7);
+        let par = pool.install(|| build_index_parallel(&data, binner.clone()));
+        let seq = BitmapIndex::build(&data, binner);
+        for b in 0..8 {
+            assert_eq!(seq.bin(b), par.bin(b));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Run decoding for WAH words: turns the compressed word stream into a
+//! sequence of [`Run`]s without materializing bits.
+
+use crate::wah::{fill_bits, is_fill, is_one_fill, LITERAL_MASK, SEG_BITS};
+
+/// One decoded run of a WAH vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Run {
+    /// A fill of `u64` bits of the given value; always a multiple of 31.
+    Fill(bool, u64),
+    /// A literal segment: payload (LSB-first) and its bit width (31 for all
+    /// words except a partial tail).
+    Literal(u32, u8),
+}
+
+impl Run {
+    /// Number of bits this run covers.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        match *self {
+            Run::Fill(_, n) => n,
+            Run::Literal(_, n) => n as u64,
+        }
+    }
+}
+
+/// Iterator over the runs of a WAH word slice.
+pub(crate) struct RunIter<'a> {
+    words: &'a [u32],
+    idx: usize,
+    /// Bits remaining to be produced (drives tail-literal widths).
+    remaining: u64,
+}
+
+impl<'a> RunIter<'a> {
+    pub fn new(words: &'a [u32], len_bits: u64) -> Self {
+        RunIter { words, idx: 0, remaining: len_bits }
+    }
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        if self.remaining == 0 {
+            debug_assert_eq!(self.idx, self.words.len(), "words extend past len");
+            return None;
+        }
+        let w = *self.words.get(self.idx)?;
+        self.idx += 1;
+        let run = if is_fill(w) {
+            let n = fill_bits(w);
+            debug_assert!(n <= self.remaining, "fill exceeds remaining bits");
+            Run::Fill(is_one_fill(w), n)
+        } else {
+            let nbits = self.remaining.min(SEG_BITS) as u8;
+            Run::Literal(w & LITERAL_MASK, nbits)
+        };
+        self.remaining -= run.len();
+        Some(run)
+    }
+}
+
+/// A cursor over runs that can hand out 31-bit segments on demand and skip
+/// whole fills; the workhorse behind the compressed binary operations.
+pub(crate) struct SegCursor<'a> {
+    runs: RunIter<'a>,
+    current: Option<Run>,
+}
+
+impl<'a> SegCursor<'a> {
+    pub fn new(words: &'a [u32], len_bits: u64) -> Self {
+        let mut runs = RunIter::new(words, len_bits);
+        let current = runs.next();
+        SegCursor { runs, current }
+    }
+
+    /// If positioned on a fill, returns `(bit, remaining_bits)`.
+    #[inline]
+    pub fn peek_fill(&self) -> Option<(bool, u64)> {
+        match self.current {
+            Some(Run::Fill(bit, n)) => Some((bit, n)),
+            _ => None,
+        }
+    }
+
+    /// Consumes `nbits` from the current fill; `nbits` must be a multiple of
+    /// 31 not exceeding the fill's remaining length.
+    #[inline]
+    pub fn skip_fill(&mut self, nbits: u64) {
+        match self.current {
+            Some(Run::Fill(bit, n)) => {
+                debug_assert!(nbits <= n && nbits.is_multiple_of(SEG_BITS));
+                if nbits == n {
+                    self.current = self.runs.next();
+                } else {
+                    self.current = Some(Run::Fill(bit, n - nbits));
+                }
+            }
+            _ => panic!("skip_fill on a non-fill run"),
+        }
+    }
+
+    /// Produces the next segment as `(payload, nbits)`; fills are expanded to
+    /// 31-bit all-zero / all-one segments. Returns `None` at the end.
+    #[inline]
+    pub fn next_seg(&mut self) -> Option<(u32, u8)> {
+        match self.current {
+            None => None,
+            Some(Run::Literal(payload, nbits)) => {
+                self.current = self.runs.next();
+                Some((payload, nbits))
+            }
+            Some(Run::Fill(bit, n)) => {
+                let payload = if bit { LITERAL_MASK } else { 0 };
+                if n == SEG_BITS {
+                    self.current = self.runs.next();
+                } else {
+                    self.current = Some(Run::Fill(bit, n - SEG_BITS));
+                }
+                Some((payload, SEG_BITS as u8))
+            }
+        }
+    }
+
+    /// `true` once every bit has been consumed.
+    #[cfg(test)]
+    pub fn is_done(&self) -> bool {
+        self.current.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WahVec;
+
+    fn runs_of(v: &WahVec) -> Vec<Run> {
+        RunIter::new(v.words(), v.len()).collect()
+    }
+
+    #[test]
+    fn decodes_fill_and_literal() {
+        let mut bits = vec![false; 62];
+        bits.extend([true, false, true]);
+        let v = WahVec::from_bits(bits.iter().copied());
+        let runs = runs_of(&v);
+        assert_eq!(runs, vec![Run::Fill(false, 62), Run::Literal(0b101, 3)]);
+    }
+
+    #[test]
+    fn tail_literal_width() {
+        let v = WahVec::from_bits((0..40).map(|i| i % 2 == 0));
+        let runs = runs_of(&v);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].len(), 31);
+        assert_eq!(runs[1].len(), 9);
+    }
+
+    #[test]
+    fn run_lengths_sum_to_len() {
+        for len in [0u64, 1, 31, 62, 63, 310, 311, 1000] {
+            let v = WahVec::from_bits((0..len).map(|i| i % 7 < 3));
+            let total: u64 = runs_of(&v).iter().map(Run::len).sum();
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn seg_cursor_expands_fills() {
+        let v = WahVec::ones(93);
+        let mut c = SegCursor::new(v.words(), v.len());
+        for _ in 0..3 {
+            assert_eq!(c.next_seg(), Some((LITERAL_MASK, 31)));
+        }
+        assert_eq!(c.next_seg(), None);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn seg_cursor_skip_fill() {
+        let v = WahVec::zeros(31 * 10);
+        let mut c = SegCursor::new(v.words(), v.len());
+        assert_eq!(c.peek_fill(), Some((false, 310)));
+        c.skip_fill(31 * 9);
+        assert_eq!(c.peek_fill(), Some((false, 31)));
+        assert_eq!(c.next_seg(), Some((0, 31)));
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn seg_cursor_tail() {
+        let v = WahVec::from_bits((0..33).map(|_| true));
+        let mut c = SegCursor::new(v.words(), v.len());
+        assert_eq!(c.next_seg(), Some((LITERAL_MASK, 31)));
+        assert_eq!(c.next_seg(), Some((0b11, 2)));
+        assert_eq!(c.next_seg(), None);
+    }
+}

@@ -1,0 +1,714 @@
+//! The WAH-compressed bitvector used throughout `ibis`.
+//!
+//! This is the 32-bit word-aligned-hybrid variant from the paper's
+//! Algorithm 1:
+//!
+//! * **literal word** — most-significant bit is `0`; the low 31 bits hold a
+//!   31-bit segment of the bitvector, LSB-first (bit `j` of the segment is
+//!   `1 << j`).
+//! * **0-fill word** — the top two bits are `10`; the low 30 bits count the
+//!   number of zero *bits* covered (always a multiple of 31).
+//! * **1-fill word** — the top two bits are `11`; the low 30 bits count the
+//!   number of one *bits* covered (always a multiple of 31).
+//!
+//! Unlike classic WAH (which counts fill *words*), the paper's variant counts
+//! fill *bits* and extends a fill by literally adding `31` to the previous
+//! word (`LastSeg += 31` in Algorithm 1); we keep that representation.
+//!
+//! A vector of `len` bits where `len % 31 != 0` stores its final partial
+//! segment in a trailing literal word holding `len % 31` bits; everything
+//! before the tail covers whole 31-bit segments.
+
+use crate::builder::WahBuilder;
+use crate::runs::{Run, RunIter};
+
+/// Number of payload bits per literal word / per fill increment.
+pub const SEG_BITS: u64 = 31;
+/// Mask selecting the 31 payload bits of a literal word.
+pub const LITERAL_MASK: u32 = 0x7FFF_FFFF;
+/// Mask selecting the two flag bits of a word.
+pub const FLAG_MASK: u32 = 0xC000_0000;
+/// Flag bits of a 0-fill word (`10…`).
+pub const ZERO_FILL: u32 = 0x8000_0000;
+/// Flag bits of a 1-fill word (`11…`).
+pub const ONE_FILL: u32 = 0xC000_0000;
+/// Mask selecting the 30-bit fill counter.
+pub const COUNT_MASK: u32 = 0x3FFF_FFFF;
+/// Largest bit count a single fill word may hold (a multiple of 31 chosen so
+/// that adding another 31 bits can never overflow into the flag bits).
+pub const MAX_FILL_BITS: u64 = ((COUNT_MASK as u64 - SEG_BITS) / SEG_BITS) * SEG_BITS;
+
+/// Returns `true` if `word` is a fill word (of either bit).
+#[inline]
+pub fn is_fill(word: u32) -> bool {
+    word & ZERO_FILL != 0
+}
+
+/// Returns `true` if `word` is a 1-fill word.
+#[inline]
+pub fn is_one_fill(word: u32) -> bool {
+    word & FLAG_MASK == ONE_FILL
+}
+
+/// Returns `true` if `word` is a 0-fill word.
+#[inline]
+pub fn is_zero_fill(word: u32) -> bool {
+    word & FLAG_MASK == ZERO_FILL
+}
+
+/// Number of bits covered by a fill word.
+#[inline]
+pub fn fill_bits(word: u32) -> u64 {
+    (word & COUNT_MASK) as u64
+}
+
+/// Builds a fill word for `bit` covering `nbits` bits.
+#[inline]
+pub fn make_fill(bit: bool, nbits: u64) -> u32 {
+    debug_assert!(nbits <= COUNT_MASK as u64);
+    debug_assert!(nbits.is_multiple_of(SEG_BITS) && nbits > 0);
+    (if bit { ONE_FILL } else { ZERO_FILL }) | nbits as u32
+}
+
+/// A WAH-compressed bitvector.
+///
+/// `WahVec` is the compressed bitvector produced by the paper's streaming
+/// Algorithm 1 and consumed by every bitmap-only analysis: logical
+/// AND/OR/XOR run directly on the compressed words, and 1-bit counts are
+/// computed without decompression.
+///
+/// ```
+/// use ibis_core::WahVec;
+///
+/// let a = WahVec::from_bits((0..100).map(|i| i % 2 == 0));
+/// let b = WahVec::from_bits((0..100).map(|i| i % 3 == 0));
+/// let both = a.and(&b); // positions divisible by 6
+/// assert_eq!(both.count_ones(), 17);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WahVec {
+    pub(crate) words: Vec<u32>,
+    pub(crate) len_bits: u64,
+}
+
+impl std::fmt::Debug for WahVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WahVec {{ len: {}, ones: {}, words: {} }}",
+            self.len_bits,
+            self.count_ones(),
+            self.words.len()
+        )
+    }
+}
+
+impl WahVec {
+    /// The empty bitvector.
+    pub fn new() -> Self {
+        WahVec { words: Vec::new(), len_bits: 0 }
+    }
+
+    /// An all-zeros bitvector of `len` bits.
+    pub fn zeros(len: u64) -> Self {
+        Self::filled(false, len)
+    }
+
+    /// An all-ones bitvector of `len` bits.
+    pub fn ones(len: u64) -> Self {
+        Self::filled(true, len)
+    }
+
+    fn filled(bit: bool, len: u64) -> Self {
+        let mut b = WahBuilder::new();
+        b.append_run(bit, len);
+        b.finish()
+    }
+
+    /// Builds a vector from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut b = WahBuilder::new();
+        for bit in bits {
+            b.push_bit(bit);
+        }
+        b.finish()
+    }
+
+    /// Builds a vector of `len` bits with ones at the given sorted,
+    /// strictly-increasing positions.
+    ///
+    /// # Panics
+    /// Panics if positions are not strictly increasing or exceed `len`.
+    pub fn from_ones(positions: &[u64], len: u64) -> Self {
+        let mut b = WahBuilder::new();
+        let mut cur = 0u64;
+        for &p in positions {
+            assert!(p >= cur, "positions must be strictly increasing");
+            assert!(p < len, "position {p} out of range {len}");
+            b.append_run(false, p - cur);
+            b.push_bit(true);
+            cur = p + 1;
+        }
+        b.append_run(false, len - cur);
+        b.finish()
+    }
+
+    /// Reconstructs a vector from raw compressed words and its bit length
+    /// (deserialization). Returns `None` unless the words cover exactly
+    /// `len_bits` bits with well-formed fills and masked literals.
+    pub fn from_raw(words: Vec<u32>, len_bits: u64) -> Option<Self> {
+        let mut covered = 0u64;
+        for &w in &words {
+            if covered >= len_bits {
+                return None; // words extend past the declared length
+            }
+            if is_fill(w) {
+                let n = fill_bits(w);
+                if n == 0 || !n.is_multiple_of(SEG_BITS) || covered + n > len_bits {
+                    return None;
+                }
+                covered += n;
+            } else {
+                let nbits = (len_bits - covered).min(SEG_BITS);
+                let mask = if nbits == SEG_BITS { LITERAL_MASK } else { (1u32 << nbits) - 1 };
+                if w & !mask != 0 {
+                    return None;
+                }
+                covered += nbits;
+            }
+        }
+        (covered == len_bits).then_some(WahVec { words, len_bits })
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// `true` if the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// The raw compressed words (for inspection / serialization).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Compressed size in bytes (words + header), the quantity the paper's
+    /// memory and I/O accounting uses.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4 + std::mem::size_of::<WahVec>()
+    }
+
+    /// Iterates the decoded runs of the vector.
+    #[inline]
+    pub(crate) fn runs(&self) -> RunIter<'_> {
+        RunIter::new(&self.words, self.len_bits)
+    }
+
+    /// Number of 1-bits, computed on the compressed form.
+    pub fn count_ones(&self) -> u64 {
+        let mut total = 0u64;
+        for run in self.runs() {
+            match run {
+                Run::Fill(true, n) => total += n,
+                Run::Fill(false, _) => {}
+                Run::Literal(payload, _) => total += payload.count_ones() as u64,
+            }
+        }
+        total
+    }
+
+    /// Number of 1-bits in the half-open bit range `[start, end)`.
+    pub fn count_ones_in_range(&self, start: u64, end: u64) -> u64 {
+        assert!(start <= end && end <= self.len_bits, "range out of bounds");
+        let mut total = 0u64;
+        let mut pos = 0u64;
+        for run in self.runs() {
+            if pos >= end {
+                break;
+            }
+            let n = run.len();
+            let (lo, hi) = (start.max(pos), end.min(pos + n));
+            if lo < hi {
+                match run {
+                    Run::Fill(true, _) => total += hi - lo,
+                    Run::Fill(false, _) => {}
+                    Run::Literal(payload, _) => {
+                        let off = (lo - pos) as u32;
+                        let width = (hi - lo) as u32;
+                        let mask = if width == 32 { u32::MAX } else { ((1u32 << width) - 1) << off };
+                        total += (payload & mask).count_ones() as u64;
+                    }
+                }
+            }
+            pos += n;
+        }
+        total
+    }
+
+    /// 1-bit counts per consecutive unit of `unit_bits` bits (the last unit
+    /// may be shorter). One decoding pass; used by the correlation miner's
+    /// spatial-unit stage.
+    pub fn count_ones_per_unit(&self, unit_bits: u64) -> Vec<u64> {
+        assert!(unit_bits > 0, "unit_bits must be positive");
+        let nunits = self.len_bits.div_ceil(unit_bits) as usize;
+        let mut out = vec![0u64; nunits];
+        let mut pos = 0u64;
+        for run in self.runs() {
+            let mut rem = run.len();
+            match run {
+                Run::Fill(false, _) => pos += rem,
+                Run::Fill(true, _) => {
+                    while rem > 0 {
+                        let unit = (pos / unit_bits) as usize;
+                        let in_unit = (unit as u64 + 1) * unit_bits - pos;
+                        let take = in_unit.min(rem);
+                        out[unit] += take;
+                        pos += take;
+                        rem -= take;
+                    }
+                }
+                Run::Literal(payload, nbits) => {
+                    let mut payload = payload;
+                    let mut rem = nbits as u64;
+                    while rem > 0 {
+                        let unit = (pos / unit_bits) as usize;
+                        let in_unit = (unit as u64 + 1) * unit_bits - pos;
+                        let take = in_unit.min(rem) as u32;
+                        let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+                        out[unit] += (payload & mask).count_ones() as u64;
+                        payload = if take == 32 { 0 } else { payload >> take };
+                        pos += take as u64;
+                        rem -= take as u64;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `rank(i)`: number of 1-bits in `[0, i)` — equivalent to
+    /// `count_ones_in_range(0, i)` but named for the classic succinct-index
+    /// operation.
+    pub fn rank(&self, i: u64) -> u64 {
+        self.count_ones_in_range(0, i)
+    }
+
+    /// `select(k)`: position of the `k`-th 1-bit (0-based), or `None` when
+    /// fewer than `k + 1` bits are set. One run-decoding pass.
+    pub fn select(&self, k: u64) -> Option<u64> {
+        let mut remaining = k;
+        let mut pos = 0u64;
+        for run in self.runs() {
+            match run {
+                Run::Fill(false, n) => pos += n,
+                Run::Fill(true, n) => {
+                    if remaining < n {
+                        return Some(pos + remaining);
+                    }
+                    remaining -= n;
+                    pos += n;
+                }
+                Run::Literal(payload, nbits) => {
+                    let ones = payload.count_ones() as u64;
+                    if remaining < ones {
+                        // walk the word's set bits
+                        let mut p = payload;
+                        for _ in 0..remaining {
+                            p &= p - 1; // clear lowest set bit
+                        }
+                        return Some(pos + p.trailing_zeros() as u64);
+                    }
+                    remaining -= ones;
+                    pos += nbits as u64;
+                }
+            }
+        }
+        None
+    }
+
+    /// Reads the bit at position `i` (O(words) scan).
+    pub fn get(&self, i: u64) -> bool {
+        assert!(i < self.len_bits, "index {i} out of range {}", self.len_bits);
+        let mut pos = 0u64;
+        for run in self.runs() {
+            let n = run.len();
+            if i < pos + n {
+                return match run {
+                    Run::Fill(bit, _) => bit,
+                    Run::Literal(payload, _) => payload & (1 << (i - pos)) != 0,
+                };
+            }
+            pos += n;
+        }
+        unreachable!("runs cover fewer bits than len")
+    }
+
+    /// Iterates every bit in order.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        self.runs().flat_map(|run| {
+            let (bit_fn, n): (Box<dyn Fn(u64) -> bool>, u64) = match run {
+                Run::Fill(bit, n) => (Box::new(move |_| bit), n),
+                Run::Literal(payload, nbits) => {
+                    (Box::new(move |j| payload & (1 << j) != 0), nbits as u64)
+                }
+            };
+            (0..n).map(bit_fn)
+        })
+    }
+
+    /// Iterates the positions of 1-bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut pos = 0u64;
+        self.runs().flat_map(move |run| {
+            let base = pos;
+            pos += run.len();
+            let iter: Box<dyn Iterator<Item = u64>> = match run {
+                Run::Fill(true, n) => Box::new(base..base + n),
+                Run::Fill(false, _) => Box::new(std::iter::empty()),
+                Run::Literal(payload, _) => Box::new(
+                    (0..31u64).filter(move |j| payload & (1 << j) != 0).map(move |j| base + j),
+                ),
+            };
+            iter
+        })
+    }
+
+    /// Decompresses into a `Vec<bool>` (testing / debugging aid).
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter_bits().collect()
+    }
+
+    /// Appends another vector's bits after this one's. The receiver must end
+    /// on a 31-bit segment boundary (the parallel generator partitions data
+    /// on such boundaries precisely so sub-block results concatenate).
+    ///
+    /// # Panics
+    /// Panics if `self.len() % 31 != 0` and `other` is non-empty.
+    pub fn concat(&mut self, other: &WahVec) {
+        if other.is_empty() {
+            return;
+        }
+        assert!(
+            self.len_bits.is_multiple_of(SEG_BITS),
+            "concat target must end on a segment boundary (len {} % 31 != 0)",
+            self.len_bits
+        );
+        let mut b = WahBuilder::from_vec(std::mem::take(self));
+        b.append_wah(other);
+        *self = b.finish();
+    }
+
+    /// Verifies representation invariants; used by tests.
+    ///
+    /// Checks: fill counts are positive multiples of 31; literal words have
+    /// clear flag bits and masked tails; run lengths sum to `len`; adjacent
+    /// fills of the same bit only occur when the former is at capacity; no
+    /// all-zero / all-one full literal word (those must be fills).
+    pub fn check_canonical(&self) -> Result<(), String> {
+        let mut covered = 0u64;
+        let n = self.words.len();
+        for (i, &w) in self.words.iter().enumerate() {
+            let last = i + 1 == n;
+            if is_fill(w) {
+                let bits = fill_bits(w);
+                if bits == 0 || !bits.is_multiple_of(SEG_BITS) {
+                    return Err(format!("word {i}: fill of {bits} bits"));
+                }
+                if bits > COUNT_MASK as u64 {
+                    return Err(format!("word {i}: fill overflow"));
+                }
+                if i > 0 {
+                    let p = self.words[i - 1];
+                    if is_fill(p)
+                        && (p & FLAG_MASK) == (w & FLAG_MASK)
+                        && fill_bits(p) < MAX_FILL_BITS
+                    {
+                        return Err(format!("word {i}: mergeable adjacent fills"));
+                    }
+                }
+                covered += bits;
+            } else {
+                let nbits = if last && !self.len_bits.is_multiple_of(SEG_BITS) {
+                    self.len_bits % SEG_BITS
+                } else {
+                    SEG_BITS
+                };
+                let mask =
+                    if nbits == SEG_BITS { LITERAL_MASK } else { (1u32 << nbits) - 1 };
+                if w & !mask != 0 {
+                    return Err(format!("word {i}: literal has bits outside mask"));
+                }
+                if nbits == SEG_BITS && (w == 0 || w == LITERAL_MASK) {
+                    return Err(format!("word {i}: uncompressed full literal {w:#x}"));
+                }
+                covered += nbits;
+            }
+        }
+        if covered != self.len_bits {
+            return Err(format!("covers {covered} bits, len is {}", self.len_bits));
+        }
+        Ok(())
+    }
+}
+
+impl Default for WahVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<bool> for WahVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_vec() {
+        let v = WahVec::new();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert!(v.check_canonical().is_ok());
+        assert_eq!(v.to_bools(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        for len in [1u64, 30, 31, 32, 62, 93, 100, 1000, 10_000] {
+            let z = WahVec::zeros(len);
+            assert_eq!(z.len(), len);
+            assert_eq!(z.count_ones(), 0);
+            z.check_canonical().unwrap();
+            let o = WahVec::ones(len);
+            assert_eq!(o.len(), len);
+            assert_eq!(o.count_ones(), len);
+            o.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn long_fill_is_compact() {
+        let v = WahVec::zeros(10_000_000);
+        assert!(v.words().len() <= 2, "10M zero bits should be 1-2 words, got {}", v.words().len());
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![],
+            vec![true],
+            vec![false],
+            (0..31).map(|i| i % 2 == 0).collect(),
+            (0..32).map(|i| i % 3 == 0).collect(),
+            (0..100).map(|i| i < 50).collect(),
+            (0..310).map(|_| true).collect(),
+            (0..311).map(|i| i != 200).collect(),
+        ];
+        for bits in patterns {
+            let v = WahVec::from_bits(bits.iter().copied());
+            assert_eq!(v.len(), bits.len() as u64);
+            assert_eq!(v.to_bools(), bits);
+            v.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn from_ones_matches() {
+        let v = WahVec::from_ones(&[0, 5, 31, 62, 99], 100);
+        assert_eq!(v.count_ones(), 5);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 5, 31, 62, 99]);
+        assert!(v.get(5));
+        assert!(!v.get(6));
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_ones_rejects_unsorted() {
+        let _ = WahVec::from_ones(&[5, 3], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ones_rejects_oob() {
+        let _ = WahVec::from_ones(&[10], 10);
+    }
+
+    #[test]
+    fn count_ones_in_range_basics() {
+        let v = WahVec::from_bits((0..200).map(|i| i % 2 == 0));
+        assert_eq!(v.count_ones_in_range(0, 200), 100);
+        assert_eq!(v.count_ones_in_range(0, 0), 0);
+        assert_eq!(v.count_ones_in_range(0, 1), 1);
+        assert_eq!(v.count_ones_in_range(1, 2), 0);
+        assert_eq!(v.count_ones_in_range(50, 150), 50);
+        assert_eq!(v.count_ones_in_range(199, 200), 0);
+    }
+
+    #[test]
+    fn count_ones_in_range_over_fills() {
+        let mut bits = vec![false; 500];
+        for b in bits.iter_mut().take(400).skip(100) {
+            *b = true;
+        }
+        let v = WahVec::from_bits(bits.iter().copied());
+        assert_eq!(v.count_ones_in_range(0, 100), 0);
+        assert_eq!(v.count_ones_in_range(100, 400), 300);
+        assert_eq!(v.count_ones_in_range(50, 150), 50);
+        assert_eq!(v.count_ones_in_range(350, 500), 50);
+    }
+
+    #[test]
+    fn count_per_unit_matches_ranges() {
+        let bits: Vec<bool> = (0..1000).map(|i| (i * 7) % 13 < 4).collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        for unit in [1u64, 7, 31, 64, 100, 999, 1000, 2000] {
+            let per = v.count_ones_per_unit(unit);
+            let nunits = (1000u64).div_ceil(unit) as usize;
+            assert_eq!(per.len(), nunits);
+            for (u, &c) in per.iter().enumerate() {
+                let lo = u as u64 * unit;
+                let hi = (lo + unit).min(1000);
+                assert_eq!(c, v.count_ones_in_range(lo, hi), "unit {u} size {unit}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_select_inverse() {
+        let bits: Vec<bool> = (0..800).map(|i| (i * 7) % 13 < 4).collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        let ones: Vec<u64> = v.iter_ones().collect();
+        for (k, &pos) in ones.iter().enumerate() {
+            assert_eq!(v.select(k as u64), Some(pos), "select({k})");
+            assert_eq!(v.rank(pos), k as u64, "rank({pos})");
+            assert_eq!(v.rank(pos + 1), k as u64 + 1);
+        }
+        assert_eq!(v.select(ones.len() as u64), None, "past the last one-bit");
+        assert_eq!(v.rank(0), 0);
+    }
+
+    #[test]
+    fn select_inside_long_fill() {
+        let mut bits = vec![false; 100];
+        bits.extend(vec![true; 500]);
+        bits.extend(vec![false; 100]);
+        let v = WahVec::from_bits(bits.iter().copied());
+        assert_eq!(v.select(0), Some(100));
+        assert_eq!(v.select(250), Some(350));
+        assert_eq!(v.select(499), Some(599));
+        assert_eq!(v.select(500), None);
+    }
+
+    #[test]
+    fn get_across_runs() {
+        let mut bits = [false; 93];
+        bits[0] = true;
+        bits[45] = true;
+        bits[92] = true;
+        let v = WahVec::from_bits(bits.iter().copied());
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(v.get(i as u64), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn concat_aligned() {
+        let a_bits: Vec<bool> = (0..62).map(|i| i % 5 == 0).collect();
+        let b_bits: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        let mut a = WahVec::from_bits(a_bits.iter().copied());
+        let b = WahVec::from_bits(b_bits.iter().copied());
+        a.concat(&b);
+        let want: Vec<bool> = a_bits.into_iter().chain(b_bits).collect();
+        assert_eq!(a.to_bools(), want);
+        a.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn concat_merges_fills_at_seam() {
+        let mut a = WahVec::zeros(62);
+        let b = WahVec::zeros(62);
+        a.concat(&b);
+        assert_eq!(a.len(), 124);
+        assert_eq!(a.words().len(), 1, "seam fills should merge");
+        a.check_canonical().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "segment boundary")]
+    fn concat_unaligned_panics() {
+        let mut a = WahVec::zeros(30);
+        let b = WahVec::zeros(31);
+        a.concat(&b);
+    }
+
+    #[test]
+    fn concat_empty_other_is_noop_even_unaligned() {
+        let mut a = WahVec::zeros(30);
+        a.concat(&WahVec::new());
+        assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn size_bytes_reflects_compression() {
+        let sparse = WahVec::from_ones(&[5000], 1_000_000);
+        assert!(sparse.size_bytes() < 100);
+        let dense: WahVec = (0..1_000_000).map(|i: u64| i.is_multiple_of(2)).collect();
+        assert!(dense.size_bytes() > 100_000);
+    }
+
+    #[test]
+    fn iter_ones_dense() {
+        let bits: Vec<bool> = (0..500).map(|i| (i * 31) % 7 == 0).collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        let want: Vec<u64> = bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u64))
+            .collect();
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let v = WahVec::from_bits((0..400).map(|i| i % 9 < 2));
+        let back = WahVec::from_raw(v.words().to_vec(), v.len()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_input() {
+        let v = WahVec::from_bits((0..400).map(|i| i % 9 < 2));
+        // wrong length
+        assert!(WahVec::from_raw(v.words().to_vec(), v.len() + 31).is_none());
+        // a shortened length is caught when the dropped tail bit was set
+        let ones = WahVec::ones(400);
+        assert!(WahVec::from_raw(ones.words().to_vec(), 399).is_none());
+        // zero-length fill word
+        assert!(WahVec::from_raw(vec![super::ZERO_FILL], 31).is_none());
+        // literal with flag bit set where a tail literal is expected
+        assert!(WahVec::from_raw(vec![0xFFFF_FFFF], 5).is_none());
+        // empty is fine
+        assert!(WahVec::from_raw(vec![], 0).is_some());
+    }
+
+    #[test]
+    fn debug_format_is_summary() {
+        let v = WahVec::ones(62);
+        let s = format!("{v:?}");
+        assert!(s.contains("len: 62"));
+        assert!(s.contains("ones: 62"));
+    }
+}

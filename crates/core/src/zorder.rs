@@ -1,0 +1,280 @@
+//! Z-order (Morton) curve layout for multi-dimensional grids.
+//!
+//! The paper iterates multi-dimensional data in Z-order during bitmap
+//! generation (Section 4.2, optimization 1) so that a *contiguous bit range*
+//! of a bitvector corresponds to a *compact spatial block*. The correlation
+//! miner's "basic spatial units" are then simply consecutive unit-sized
+//! ranges of the Z-ordered bitvectors.
+
+/// Interleaves the low 32 bits of `x` and `y` (x in even positions).
+#[inline]
+pub fn morton2(x: u32, y: u32) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Interleaves the low 21 bits of `x`, `y`, `z` (x in positions 0, 3, 6, …).
+#[inline]
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x < (1 << 21) && y < (1 << 21) && z < (1 << 21));
+    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+}
+
+/// Inverse of [`morton2`].
+#[inline]
+pub fn demorton2(m: u64) -> (u32, u32) {
+    (compact1by1(m), compact1by1(m >> 1))
+}
+
+/// Inverse of [`morton3`].
+#[inline]
+pub fn demorton3(m: u64) -> (u32, u32, u32) {
+    (compact1by2(m), compact1by2(m >> 1), compact1by2(m >> 2))
+}
+
+#[inline]
+fn part1by1(x: u32) -> u64 {
+    let mut x = x as u64;
+    x &= 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+#[inline]
+fn compact1by1(mut x: u64) -> u32 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+#[inline]
+fn part1by2(x: u32) -> u64 {
+    let mut x = x as u64;
+    x &= 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+#[inline]
+fn compact1by2(mut x: u64) -> u32 {
+    x &= 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x0000_0000_001F_FFFF;
+    x as u32
+}
+
+/// A Z-order traversal of a (possibly non-power-of-two) 2-D or 3-D grid.
+///
+/// `perm[z_position] = row_major_position`: applying the permutation yields
+/// data in Z-order; spatial unit `u` of size `s` covers z-positions
+/// `[u*s, (u+1)*s)`, a compact block of the grid.
+#[derive(Debug, Clone)]
+pub struct ZOrderLayout {
+    dims: Vec<usize>,
+    perm: Vec<u32>,
+}
+
+impl ZOrderLayout {
+    /// Builds the layout for a grid with the given dimensions (2 or 3 dims;
+    /// each ≤ 2^21 so Morton codes fit in `u64`).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() == 2 || dims.len() == 3,
+            "ZOrderLayout supports 2-D and 3-D grids, got {} dims",
+            dims.len()
+        );
+        assert!(dims.iter().all(|&d| d > 0 && d <= 1 << 21), "dims out of range");
+        let n: usize = dims.iter().product();
+        assert!(n <= u32::MAX as usize, "grid too large for u32 permutation");
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n);
+        match dims {
+            [nx, ny] => {
+                for y in 0..*ny {
+                    for x in 0..*nx {
+                        let lin = (y * nx + x) as u32;
+                        keyed.push((morton2(x as u32, y as u32), lin));
+                    }
+                }
+            }
+            [nx, ny, nz] => {
+                for z in 0..*nz {
+                    for y in 0..*ny {
+                        for x in 0..*nx {
+                            let lin = ((z * ny + y) * nx + x) as u32;
+                            keyed.push((morton3(x as u32, y as u32, z as u32), lin));
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        keyed.sort_unstable_by_key(|&(m, _)| m);
+        ZOrderLayout { dims: dims.to_vec(), perm: keyed.into_iter().map(|(_, l)| l).collect() }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// `true` for a zero-cell grid (cannot occur — dims are positive).
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The row-major position stored at Z-position `z`.
+    pub fn row_major_of(&self, z: usize) -> usize {
+        self.perm[z] as usize
+    }
+
+    /// Reorders row-major data into Z-order.
+    pub fn reorder<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.perm.len(), "data length mismatch");
+        self.perm.iter().map(|&p| data[p as usize]).collect()
+    }
+
+    /// Scatters Z-ordered data back to row-major.
+    pub fn restore<T: Copy + Default>(&self, zdata: &[T]) -> Vec<T> {
+        assert_eq!(zdata.len(), self.perm.len(), "data length mismatch");
+        let mut out = vec![T::default(); zdata.len()];
+        for (z, &p) in self.perm.iter().enumerate() {
+            out[p as usize] = zdata[z];
+        }
+        out
+    }
+
+    /// Bounding box (inclusive min, exclusive max per dimension) of the
+    /// spatial unit covering z-positions `[start, start+len)` — lets callers
+    /// report *where* a mined spatial subset lives.
+    pub fn unit_bounds(&self, start: usize, len: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(start + len <= self.perm.len() && len > 0, "unit out of range");
+        let d = self.dims.len();
+        let mut lo = vec![usize::MAX; d];
+        let mut hi = vec![0usize; d];
+        for z in start..start + len {
+            let coords = self.coords_of(self.perm[z] as usize);
+            for (k, &c) in coords.iter().enumerate() {
+                lo[k] = lo[k].min(c);
+                hi[k] = hi[k].max(c + 1);
+            }
+        }
+        (lo, hi)
+    }
+
+    fn coords_of(&self, lin: usize) -> Vec<usize> {
+        match self.dims.as_slice() {
+            [nx, _] => vec![lin % nx, lin / nx],
+            [nx, ny, _] => vec![lin % nx, (lin / nx) % ny, lin / (nx * ny)],
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton2_roundtrip() {
+        for x in [0u32, 1, 7, 255, 1000, 65535] {
+            for y in [0u32, 3, 128, 40000] {
+                assert_eq!(demorton2(morton2(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn morton3_roundtrip() {
+        for x in [0u32, 1, 20, 1 << 20] {
+            for y in [0u32, 5, 999] {
+                for z in [0u32, 2, (1 << 21) - 1] {
+                    assert_eq!(demorton3(morton3(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton2_known_values() {
+        assert_eq!(morton2(0, 0), 0);
+        assert_eq!(morton2(1, 0), 1);
+        assert_eq!(morton2(0, 1), 2);
+        assert_eq!(morton2(1, 1), 3);
+        assert_eq!(morton2(2, 0), 4);
+    }
+
+    #[test]
+    fn morton_orders_quadrants() {
+        // All of the 2x2 block at origin precedes anything at (2,2)+.
+        let block: Vec<u64> =
+            vec![morton2(0, 0), morton2(1, 0), morton2(0, 1), morton2(1, 1)];
+        assert!(block.iter().all(|&m| m < morton2(2, 2)));
+    }
+
+    #[test]
+    fn layout_is_permutation() {
+        for dims in [vec![4usize, 4], vec![3, 5], vec![2, 3, 4], vec![8, 8, 8]] {
+            let z = ZOrderLayout::new(&dims);
+            let n: usize = dims.iter().product();
+            assert_eq!(z.len(), n);
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let p = z.row_major_of(i);
+                assert!(!seen[p], "duplicate in permutation");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_restore_roundtrip() {
+        let dims = [5usize, 7, 3];
+        let n: usize = dims.iter().product();
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let z = ZOrderLayout::new(&dims);
+        let zd = z.reorder(&data);
+        assert_eq!(z.restore(&zd), data);
+    }
+
+    #[test]
+    fn pow2_units_are_square_blocks() {
+        // In an 8x8 grid, the first 4 z-positions are the 2x2 block at origin.
+        let z = ZOrderLayout::new(&[8, 8]);
+        let (lo, hi) = z.unit_bounds(0, 4);
+        assert_eq!((lo, hi), (vec![0, 0], vec![2, 2]));
+        let (lo, hi) = z.unit_bounds(0, 16);
+        assert_eq!((lo, hi), (vec![0, 0], vec![4, 4]));
+    }
+
+    #[test]
+    fn units_are_spatially_compact_3d() {
+        let z = ZOrderLayout::new(&[8, 8, 8]);
+        let (lo, hi) = z.unit_bounds(0, 8);
+        assert_eq!((lo, hi), (vec![0, 0, 0], vec![2, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D and 3-D")]
+    fn rejects_1d() {
+        let _ = ZOrderLayout::new(&[10]);
+    }
+}

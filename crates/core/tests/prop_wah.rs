@@ -1,0 +1,229 @@
+//! Property-based tests for the WAH bitvector and builders, checked against
+//! the uncompressed [`Bitset`] oracle.
+
+use ibis_core::bbc::BbcVec;
+use ibis_core::{Binner, BitmapIndex, Bitset, MultiLevelIndex, MultiWahBuilder, WahBuilder, WahVec};
+use proptest::prelude::*;
+
+/// Bit patterns biased toward runs (the regime WAH targets) as well as noise.
+fn bit_vec() -> impl Strategy<Value = Vec<bool>> {
+    prop_oneof![
+        // pure noise
+        proptest::collection::vec(any::<bool>(), 0..400),
+        // run-structured: concatenated (bit, len) runs
+        proptest::collection::vec((any::<bool>(), 1usize..120), 0..12).prop_map(|runs| {
+            runs.into_iter().flat_map(|(b, n)| std::iter::repeat_n(b, n)).collect()
+        }),
+        // sparse ones
+        (1usize..2000, proptest::collection::vec(0usize..2000, 0..10)).prop_map(|(len, ones)| {
+            let mut v = vec![false; len];
+            for o in ones {
+                if o < len {
+                    v[o] = true;
+                }
+            }
+            v
+        }),
+    ]
+}
+
+fn pair_same_len() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {
+    (0usize..500).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(bits in bit_vec()) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        prop_assert_eq!(v.len(), bits.len() as u64);
+        prop_assert_eq!(v.to_bools(), bits);
+        v.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn count_ones_matches_oracle(bits in bit_vec()) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        let oracle = Bitset::from_bits(bits.iter().copied());
+        prop_assert_eq!(v.count_ones(), oracle.count_ones());
+    }
+
+    #[test]
+    fn get_matches_oracle(bits in bit_vec()) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i as u64), b);
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches(bits in bit_vec()) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        let want: Vec<u64> = bits.iter().enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u64)).collect();
+        prop_assert_eq!(v.iter_ones().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn binary_ops_match_oracle((a_bits, b_bits) in pair_same_len()) {
+        let a = WahVec::from_bits(a_bits.iter().copied());
+        let b = WahVec::from_bits(b_bits.iter().copied());
+        let n = a_bits.len();
+
+        let and = a.and(&b);
+        let or = a.or(&b);
+        let xor = a.xor(&b);
+        let andnot = a.andnot(&b);
+        for i in 0..n {
+            let (x, y) = (a_bits[i], b_bits[i]);
+            prop_assert_eq!(and.get(i as u64), x & y);
+            prop_assert_eq!(or.get(i as u64), x | y);
+            prop_assert_eq!(xor.get(i as u64), x ^ y);
+            prop_assert_eq!(andnot.get(i as u64), x & !y);
+        }
+        and.check_canonical().unwrap();
+        or.check_canonical().unwrap();
+        xor.check_canonical().unwrap();
+        andnot.check_canonical().unwrap();
+        prop_assert_eq!(a.and_count(&b), and.count_ones());
+        prop_assert_eq!(a.xor_count(&b), xor.count_ones());
+    }
+
+    #[test]
+    fn ranged_count_matches_scan(bits in bit_vec(), lo_frac in 0.0f64..1.0, hi_frac in 0.0f64..1.0) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        let n = bits.len() as u64;
+        let (mut lo, mut hi) = ((lo_frac * n as f64) as u64, (hi_frac * n as f64) as u64);
+        if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+        let want = bits[lo as usize..hi as usize].iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(v.count_ones_in_range(lo, hi), want);
+    }
+
+    #[test]
+    fn per_unit_counts_sum(bits in bit_vec(), unit in 1u64..100) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        let per = v.count_ones_per_unit(unit);
+        prop_assert_eq!(per.iter().sum::<u64>(), v.count_ones());
+        prop_assert_eq!(per.len() as u64, v.len().div_ceil(unit));
+    }
+
+    #[test]
+    fn concat_roundtrip(a_bits in bit_vec(), b_bits in bit_vec()) {
+        // Pad a to a 31-bit boundary as the parallel generator does.
+        let mut a_bits = a_bits;
+        while a_bits.len() % 31 != 0 { a_bits.push(false); }
+        let mut a = WahVec::from_bits(a_bits.iter().copied());
+        let b = WahVec::from_bits(b_bits.iter().copied());
+        a.concat(&b);
+        let want: Vec<bool> = a_bits.into_iter().chain(b_bits).collect();
+        prop_assert_eq!(a.to_bools(), want);
+        a.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn builder_append_run_equivalence(runs in proptest::collection::vec((any::<bool>(), 0u64..200), 0..10)) {
+        // append_run(bit, n) must equal pushing n bits one at a time.
+        let mut fast = WahBuilder::new();
+        let mut slow = WahBuilder::new();
+        for &(bit, n) in &runs {
+            fast.append_run(bit, n);
+            for _ in 0..n { slow.push_bit(bit); }
+        }
+        let (f, s) = (fast.finish(), slow.finish());
+        prop_assert_eq!(&f, &s);
+        f.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn multi_builder_partitions_positions(ids in proptest::collection::vec(0u32..12, 0..400)) {
+        let mut mb = MultiWahBuilder::new(12);
+        mb.extend_from(&ids);
+        let bins = mb.finish();
+        // every position is set in exactly the bin of its id
+        for (pos, &id) in ids.iter().enumerate() {
+            for (b, bin) in bins.iter().enumerate() {
+                prop_assert_eq!(bin.get(pos as u64), b as u32 == id);
+            }
+        }
+        for bin in &bins {
+            bin.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn index_counts_are_histogram(data in proptest::collection::vec(-100.0f64..100.0, 0..500), nbins in 1usize..40) {
+        let binner = Binner::fixed_width(-100.0, 100.0, nbins);
+        let idx = BitmapIndex::build(&data, binner.clone());
+        let mut hist = vec![0u64; nbins];
+        for &v in &data {
+            hist[binner.bin_of(v) as usize] += 1;
+        }
+        prop_assert_eq!(idx.counts(), hist.as_slice());
+        idx.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn multilevel_consistent(data in proptest::collection::vec(0.0f64..10.0, 1..300), group in 1usize..8) {
+        let ml = MultiLevelIndex::build(&data, Binner::fixed_width(0.0, 10.0, 17), group);
+        ml.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn parallel_build_identical(data in proptest::collection::vec(0.0f64..50.0, 0..800)) {
+        let binner = Binner::fixed_width(0.0, 50.0, 25);
+        let seq = BitmapIndex::build(&data, binner.clone());
+        let par = ibis_core::build_index_parallel(&data, binner);
+        for b in 0..25 {
+            prop_assert_eq!(seq.bin(b), par.bin(b));
+        }
+    }
+
+    #[test]
+    fn bbc_roundtrip_and_counts(bits in bit_vec()) {
+        let v = BbcVec::from_bits(bits.iter().copied());
+        prop_assert_eq!(v.len(), bits.len() as u64);
+        prop_assert_eq!(v.to_bools(), bits.clone());
+        let ones = bits.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(v.count_ones(), ones);
+    }
+
+    #[test]
+    fn bbc_and_count_matches_wah((a_bits, b_bits) in pair_same_len()) {
+        let ba = BbcVec::from_bits(a_bits.iter().copied());
+        let bb = BbcVec::from_bits(b_bits.iter().copied());
+        let wa = WahVec::from_bits(a_bits.iter().copied());
+        let wb = WahVec::from_bits(b_bits.iter().copied());
+        prop_assert_eq!(ba.and_count(&bb), wa.and_count(&wb));
+    }
+
+    #[test]
+    fn not_is_involution(bits in bit_vec()) {
+        let v = WahVec::from_bits(bits.iter().copied());
+        prop_assert_eq!(&v.not().not(), &v);
+    }
+
+    #[test]
+    fn or_many_equals_fold(vec_count in 0usize..6, len in 0usize..200, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let vecs: Vec<WahVec> = (0..vec_count)
+            .map(|_| WahVec::from_bits((0..len).map(|_| next() % 3 == 0)))
+            .collect();
+        let many = WahVec::or_many(vecs.iter());
+        let fold = vecs.iter().fold(None::<WahVec>, |acc, v| match acc {
+            None => Some(v.clone()),
+            Some(a) => Some(a.or(v)),
+        });
+        match fold {
+            None => prop_assert_eq!(many.len(), 0),
+            Some(f) => prop_assert_eq!(many, f),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Output containers shared by all simulations.
+
+/// One named output array of a time-step.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Variable name, e.g. `"temperature"` or `"velocity_x"`.
+    pub name: &'static str,
+    /// One value per mesh element / node, row-major.
+    pub data: Vec<f64>,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: &'static str, data: Vec<f64>) -> Self {
+        Field { name, data }
+    }
+
+    /// Raw size in bytes (what the full-data method must keep and write).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// The complete output of one simulated time-step.
+#[derive(Debug, Clone)]
+pub struct StepOutput {
+    /// Zero-based time-step number.
+    pub step: usize,
+    /// All analysed arrays (Heat3D: 1; mini-LULESH: 12).
+    pub fields: Vec<Field>,
+}
+
+impl StepOutput {
+    /// Raw size in bytes across all fields.
+    pub fn size_bytes(&self) -> usize {
+        self.fields.iter().map(Field::size_bytes).sum()
+    }
+
+    /// Looks a field up by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_lookup() {
+        let s = StepOutput {
+            step: 3,
+            fields: vec![
+                Field::new("a", vec![1.0; 100]),
+                Field::new("b", vec![2.0; 50]),
+            ],
+        };
+        assert_eq!(s.size_bytes(), 150 * 8);
+        assert_eq!(s.field("b").unwrap().data.len(), 50);
+        assert!(s.field("c").is_none());
+    }
+}

@@ -1,0 +1,452 @@
+//! Heat3D: 3-D heat diffusion on a regular mesh — the paper's first
+//! evaluation workload ("developed to estimate the effect of different
+//! geologic structures on heat flow"; the variable generated is
+//! temperature).
+//!
+//! A Jacobi stencil advances the temperature field; a time-varying heat
+//! source at the bottom plate keeps the value distribution evolving so that
+//! time-steps genuinely differ in information content (which is what the
+//! time-step selector must detect). The sweep is rayon-parallel over z-slabs
+//! and the problem can also be block-partitioned along z for the cluster
+//! experiment, with explicit halo planes exchanged between partitions.
+
+use crate::field::{Field, StepOutput};
+use crate::Simulation;
+use rayon::prelude::*;
+
+/// Configuration for a [`Heat3D`] run.
+#[derive(Debug, Clone)]
+pub struct Heat3DConfig {
+    /// Mesh extent in x (fastest-varying), y, z.
+    pub nx: usize,
+    /// Mesh extent in y.
+    pub ny: usize,
+    /// Mesh extent in z (slowest-varying; the cluster partition axis).
+    pub nz: usize,
+    /// Diffusion coefficient (stability requires `alpha <= 1/6`).
+    pub alpha: f64,
+    /// Jacobi sweeps per output time-step.
+    pub sweeps_per_step: usize,
+    /// Peak temperature of the bottom-plate source.
+    pub source_peak: f64,
+    /// Source modulation period, in output steps.
+    pub source_period: f64,
+}
+
+impl Default for Heat3DConfig {
+    fn default() -> Self {
+        Heat3DConfig {
+            nx: 48,
+            ny: 48,
+            nz: 48,
+            alpha: 0.12,
+            sweeps_per_step: 2,
+            source_peak: 100.0,
+            source_period: 40.0,
+        }
+    }
+}
+
+impl Heat3DConfig {
+    /// A small configuration for tests.
+    pub fn tiny() -> Self {
+        Heat3DConfig { nx: 12, ny: 12, nz: 12, ..Default::default() }
+    }
+
+    /// Elements per time-step.
+    pub fn num_elements(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// The Heat3D simulation over the whole mesh (single node).
+#[derive(Debug, Clone)]
+pub struct Heat3D {
+    cfg: Heat3DConfig,
+    t: Vec<f64>,
+    t_next: Vec<f64>,
+    step: usize,
+}
+
+impl Heat3D {
+    /// Initializes the field at ambient temperature with the source applied.
+    pub fn new(cfg: Heat3DConfig) -> Self {
+        let n = cfg.num_elements();
+        let mut sim = Heat3D { cfg, t: vec![0.0; n], t_next: vec![0.0; n], step: 0 };
+        sim.apply_source();
+        sim
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Heat3DConfig {
+        &self.cfg
+    }
+
+    /// Current temperature field (row-major, x fastest).
+    pub fn temperature(&self) -> &[f64] {
+        &self.t
+    }
+
+    fn source_temp(&self) -> f64 {
+        // Slow modulation: early steps heat up, later steps cool — gives the
+        // greedy selector distinct phases to pick from.
+        let phase = self.step as f64 / self.cfg.source_period * std::f64::consts::TAU;
+        self.cfg.source_peak * (0.6 + 0.4 * phase.sin())
+    }
+
+    fn apply_source(&mut self) {
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let s = self.source_temp();
+        // Heated plate: a disc on the z=0 plane.
+        let (cx, cy) = (nx as f64 / 2.0, ny as f64 / 2.0);
+        let r2 = (nx.min(ny) as f64 / 3.0).powi(2);
+        for j in 0..ny {
+            for i in 0..nx {
+                let d2 = (i as f64 - cx).powi(2) + (j as f64 - cy).powi(2);
+                if d2 <= r2 {
+                    self.t[j * nx + i] = s;
+                }
+            }
+        }
+    }
+
+    fn sweep(&mut self) {
+        let (nx, ny, nz) = (self.cfg.nx, self.cfg.ny, self.cfg.nz);
+        let alpha = self.cfg.alpha;
+        let plane = nx * ny;
+        let t = &self.t;
+        self.t_next
+            .par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(k, out_plane)| {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let idx = k * plane + j * nx + i;
+                        let c = t[idx];
+                        let xm = if i > 0 { t[idx - 1] } else { c };
+                        let xp = if i + 1 < nx { t[idx + 1] } else { c };
+                        let ym = if j > 0 { t[idx - nx] } else { c };
+                        let yp = if j + 1 < ny { t[idx + nx] } else { c };
+                        let zm = if k > 0 { t[idx - plane] } else { c };
+                        let zp = if k + 1 < nz { t[idx + plane] } else { c };
+                        out_plane[j * nx + i] =
+                            c + alpha * (xm + xp + ym + yp + zm + zp - 6.0 * c);
+                    }
+                }
+            });
+        std::mem::swap(&mut self.t, &mut self.t_next);
+    }
+}
+
+impl Simulation for Heat3D {
+    fn step(&mut self) -> StepOutput {
+        for _ in 0..self.cfg.sweeps_per_step {
+            self.apply_source();
+            self.sweep();
+        }
+        let out = StepOutput {
+            step: self.step,
+            fields: vec![Field::new("temperature", self.t.clone())],
+        };
+        self.step += 1;
+        out
+    }
+
+    fn num_elements(&self) -> usize {
+        self.cfg.num_elements()
+    }
+
+    fn name(&self) -> &'static str {
+        "heat3d"
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // double-buffered temperature field (the paper's "1 intermediate
+        // time-step" plus the current one)
+        (self.t.len() + self.t_next.len()) * 8
+    }
+}
+
+/// One z-slab of a Heat3D mesh distributed across cluster nodes.
+///
+/// The owning driver exchanges the boundary planes: before each sweep the
+/// partition needs its neighbours' adjacent planes (`set_halo_*`), and it
+/// exposes its own boundary planes (`boundary_*`) for them — the MPI
+/// communication pattern of the paper's Figure 13 experiment, carried over
+/// channels.
+#[derive(Debug, Clone)]
+pub struct Heat3DPartition {
+    cfg: Heat3DConfig,
+    /// Global z-range `[z0, z1)` owned by this partition.
+    z0: usize,
+    z1: usize,
+    /// Owned planes plus one halo plane on each interior side.
+    t: Vec<f64>,
+    t_next: Vec<f64>,
+    has_lo_halo: bool,
+    has_hi_halo: bool,
+    /// Sweeps executed; the source phase advances every
+    /// `cfg.sweeps_per_step` sweeps, matching the monolithic simulation's
+    /// output-step clock.
+    sweeps: usize,
+}
+
+impl Heat3DPartition {
+    /// Creates the partition owning global planes `[z0, z1)` of `nodes`
+    /// total partitions over `cfg.nz`.
+    pub fn new(cfg: Heat3DConfig, z0: usize, z1: usize) -> Self {
+        assert!(z0 < z1 && z1 <= cfg.nz, "bad z-range {z0}..{z1}");
+        let has_lo_halo = z0 > 0;
+        let has_hi_halo = z1 < cfg.nz;
+        let planes = (z1 - z0) + has_lo_halo as usize + has_hi_halo as usize;
+        let n = planes * cfg.nx * cfg.ny;
+        let mut p = Heat3DPartition {
+            cfg,
+            z0,
+            z1,
+            t: vec![0.0; n],
+            t_next: vec![0.0; n],
+            has_lo_halo,
+            has_hi_halo,
+            sweeps: 0,
+        };
+        p.apply_source();
+        p
+    }
+
+    /// Splits a mesh into `nodes` contiguous z-slabs.
+    pub fn split(cfg: &Heat3DConfig, nodes: usize) -> Vec<Heat3DPartition> {
+        assert!(nodes >= 1 && nodes <= cfg.nz, "cannot split {} planes {nodes} ways", cfg.nz);
+        let base = cfg.nz / nodes;
+        let extra = cfg.nz % nodes;
+        let mut out = Vec::with_capacity(nodes);
+        let mut z = 0;
+        for r in 0..nodes {
+            let take = base + usize::from(r < extra);
+            out.push(Heat3DPartition::new(cfg.clone(), z, z + take));
+            z += take;
+        }
+        out
+    }
+
+    fn plane(&self) -> usize {
+        self.cfg.nx * self.cfg.ny
+    }
+
+    /// Number of owned elements (halos excluded).
+    pub fn num_owned(&self) -> usize {
+        (self.z1 - self.z0) * self.plane()
+    }
+
+    /// The owned z-range.
+    pub fn z_range(&self) -> (usize, usize) {
+        (self.z0, self.z1)
+    }
+
+    fn local_offset(&self, owned_plane: usize) -> usize {
+        (owned_plane + self.has_lo_halo as usize) * self.plane()
+    }
+
+    /// Lowest owned plane (to send to the lower neighbour).
+    pub fn boundary_low(&self) -> Vec<f64> {
+        let o = self.local_offset(0);
+        self.t[o..o + self.plane()].to_vec()
+    }
+
+    /// Highest owned plane (to send to the upper neighbour).
+    pub fn boundary_high(&self) -> Vec<f64> {
+        let o = self.local_offset(self.z1 - self.z0 - 1);
+        self.t[o..o + self.plane()].to_vec()
+    }
+
+    /// Installs the lower neighbour's boundary plane as our low halo.
+    pub fn set_halo_low(&mut self, plane: &[f64]) {
+        assert!(self.has_lo_halo, "partition has no low halo");
+        assert_eq!(plane.len(), self.plane());
+        self.t[..plane.len()].copy_from_slice(plane);
+    }
+
+    /// Installs the upper neighbour's boundary plane as our high halo.
+    pub fn set_halo_high(&mut self, plane: &[f64]) {
+        assert!(self.has_hi_halo, "partition has no high halo");
+        assert_eq!(plane.len(), self.plane());
+        let o = self.t.len() - plane.len();
+        self.t[o..].copy_from_slice(plane);
+    }
+
+    fn apply_source(&mut self) {
+        if self.z0 != 0 {
+            return; // source lives on the global z=0 plane
+        }
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let step = self.sweeps / self.cfg.sweeps_per_step.max(1);
+        let phase = step as f64 / self.cfg.source_period * std::f64::consts::TAU;
+        let s = self.cfg.source_peak * (0.6 + 0.4 * phase.sin());
+        let (cx, cy) = (nx as f64 / 2.0, ny as f64 / 2.0);
+        let r2 = (nx.min(ny) as f64 / 3.0).powi(2);
+        let o = self.local_offset(0);
+        for j in 0..ny {
+            for i in 0..nx {
+                let d2 = (i as f64 - cx).powi(2) + (j as f64 - cy).powi(2);
+                if d2 <= r2 {
+                    self.t[o + j * nx + i] = s;
+                }
+            }
+        }
+    }
+
+    /// One Jacobi sweep over the owned planes (halos must be current).
+    pub fn sweep(&mut self) {
+        self.apply_source();
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let plane = self.plane();
+        let alpha = self.cfg.alpha;
+        let owned = self.z1 - self.z0;
+        let lo = self.has_lo_halo as usize;
+        let t = &self.t;
+        let total_planes = owned + lo + self.has_hi_halo as usize;
+        self.t_next[lo * plane..(lo + owned) * plane]
+            .par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(pk, out_plane)| {
+                let k = pk + lo; // local plane index
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let idx = k * plane + j * nx + i;
+                        let c = t[idx];
+                        let xm = if i > 0 { t[idx - 1] } else { c };
+                        let xp = if i + 1 < nx { t[idx + 1] } else { c };
+                        let ym = if j > 0 { t[idx - nx] } else { c };
+                        let yp = if j + 1 < ny { t[idx + nx] } else { c };
+                        let zm = if k > 0 { t[idx - plane] } else { c };
+                        let zp = if k + 1 < total_planes { t[idx + plane] } else { c };
+                        out_plane[j * nx + i] =
+                            c + alpha * (xm + xp + ym + yp + zm + zp - 6.0 * c);
+                    }
+                }
+            });
+        // Copy halos across so the next swap keeps them (they will be
+        // overwritten by the next exchange anyway).
+        if lo == 1 {
+            let (head, _) = self.t_next.split_at_mut(plane);
+            head.copy_from_slice(&t[..plane]);
+        }
+        if self.has_hi_halo {
+            let o = self.t.len() - plane;
+            self.t_next[o..].copy_from_slice(&t[o..]);
+        }
+        std::mem::swap(&mut self.t, &mut self.t_next);
+        self.sweeps += 1;
+    }
+
+    /// The owned portion of the temperature field.
+    pub fn owned_data(&self) -> Vec<f64> {
+        let o = self.local_offset(0);
+        self.t[o..o + self.num_owned()].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_steps_with_expected_shape() {
+        let mut sim = Heat3D::new(Heat3DConfig::tiny());
+        let s0 = sim.step();
+        assert_eq!(s0.step, 0);
+        assert_eq!(s0.fields.len(), 1);
+        assert_eq!(s0.fields[0].data.len(), 12 * 12 * 12);
+        let s1 = sim.step();
+        assert_eq!(s1.step, 1);
+    }
+
+    #[test]
+    fn heat_diffuses_upward() {
+        let mut sim = Heat3D::new(Heat3DConfig::tiny());
+        for _ in 0..30 {
+            sim.step();
+        }
+        let nx = 12;
+        let plane = nx * nx;
+        let center = |k: usize| sim.temperature()[k * plane + 6 * nx + 6];
+        assert!(center(0) > center(5), "bottom should be hotter than middle");
+        assert!(center(5) > 0.0, "heat should have reached the middle");
+        assert!(center(0) > center(11), "top coolest");
+    }
+
+    #[test]
+    fn field_evolves_between_steps() {
+        let mut sim = Heat3D::new(Heat3DConfig::tiny());
+        let a = sim.step().fields[0].data.clone();
+        let b = sim.step().fields[0].data.clone();
+        assert_ne!(a, b, "consecutive steps must differ");
+    }
+
+    #[test]
+    fn values_stay_finite_and_bounded() {
+        let cfg = Heat3DConfig::tiny();
+        let peak = cfg.source_peak;
+        let mut sim = Heat3D::new(cfg);
+        for _ in 0..50 {
+            let out = sim.step();
+            for &v in &out.fields[0].data {
+                assert!(v.is_finite());
+                assert!((-1.0..=peak * 1.01).contains(&v), "value {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn split_covers_mesh() {
+        let cfg = Heat3DConfig::tiny();
+        for nodes in [1usize, 2, 3, 5] {
+            let parts = Heat3DPartition::split(&cfg, nodes);
+            assert_eq!(parts.len(), nodes);
+            let total: usize = parts.iter().map(Heat3DPartition::num_owned).sum();
+            assert_eq!(total, cfg.num_elements());
+            assert_eq!(parts[0].z_range().0, 0);
+            assert_eq!(parts.last().unwrap().z_range().1, cfg.nz);
+        }
+    }
+
+    #[test]
+    fn partitioned_sweep_matches_monolithic() {
+        let cfg =
+            Heat3DConfig { nx: 8, ny: 8, nz: 12, sweeps_per_step: 1, ..Heat3DConfig::tiny() };
+        let mut mono = Heat3D::new(cfg.clone());
+        let mut parts = Heat3DPartition::split(&cfg, 3);
+        for _ in 0..10 {
+            // halo exchange then one sweep everywhere
+            for p in 0..parts.len() {
+                if p > 0 {
+                    let b = parts[p - 1].boundary_high();
+                    parts[p].set_halo_low(&b);
+                }
+                if p + 1 < parts.len() {
+                    let b = parts[p + 1].boundary_low();
+                    parts[p].set_halo_high(&b);
+                }
+            }
+            for p in parts.iter_mut() {
+                p.sweep();
+            }
+            mono.apply_source();
+            mono.sweep();
+            mono.step += 1;
+        }
+        let distributed: Vec<f64> = parts.iter().flat_map(|p| p.owned_data()).collect();
+        for (i, (a, b)) in mono.temperature().iter().zip(&distributed).enumerate() {
+            assert!((a - b).abs() < 1e-12, "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no low halo")]
+    fn bottom_partition_rejects_low_halo() {
+        let cfg = Heat3DConfig::tiny();
+        let mut parts = Heat3DPartition::split(&cfg, 2);
+        let plane = vec![0.0; cfg.nx * cfg.ny];
+        parts[0].set_halo_low(&plane);
+    }
+}

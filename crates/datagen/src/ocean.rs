@@ -1,0 +1,445 @@
+//! A synthetic ocean-state generator standing in for the Parallel Ocean
+//! Program (POP) dataset.
+//!
+//! The paper's correlation-mining evaluation uses POP output (26 variables
+//! on a lon×lat×depth grid, NetCDF) because "some of them have strong
+//! correlations within either the value or spatial subsets". The data (and
+//! even to the authors, the simulation code) is unavailable, so this module
+//! synthesizes fields engineered to have the same property:
+//!
+//! * `temperature` — a thermocline profile (warm surface, tanh decay with
+//!   depth), a latitudinal gradient, plus drifting Gaussian eddies.
+//! * `salinity` — inside a "current" band it is a linear function of the
+//!   local temperature anomaly plus small noise (**high mutual
+//!   information**, concentrated in specific value ranges and spatial
+//!   blocks); outside the band it follows an independent pattern (**low
+//!   MI**).
+//!
+//! Because we control where the correlation lives, the miner's output can
+//! be *tested* against ground truth, which the real POP data would not
+//! allow.
+
+use crate::field::{Field, StepOutput};
+use crate::Simulation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the [`OceanModel`].
+#[derive(Debug, Clone)]
+pub struct OceanConfig {
+    /// Longitude cells (fastest-varying).
+    pub nlon: usize,
+    /// Latitude cells.
+    pub nlat: usize,
+    /// Depth levels (slowest-varying).
+    pub ndepth: usize,
+    /// Number of drifting warm-core eddies.
+    pub eddies: usize,
+    /// RNG seed (fields are fully reproducible).
+    pub seed: u64,
+    /// Latitude band `[lo, hi)` (as a fraction of `nlat`) where salinity is
+    /// temperature-coupled — the planted high-correlation region.
+    pub current_band: (f64, f64),
+    /// Coupling slope between temperature anomaly and salinity inside the
+    /// band.
+    pub coupling: f64,
+    /// Amplitude of the independent noise.
+    pub noise: f64,
+}
+
+impl Default for OceanConfig {
+    fn default() -> Self {
+        OceanConfig {
+            nlon: 64,
+            nlat: 48,
+            ndepth: 8,
+            eddies: 4,
+            seed: 0x0CEA_2015,
+            current_band: (0.25, 0.5),
+            coupling: 0.8,
+            noise: 0.05,
+        }
+    }
+}
+
+impl OceanConfig {
+    /// A small configuration for tests.
+    pub fn tiny() -> Self {
+        OceanConfig { nlon: 16, nlat: 12, ndepth: 4, eddies: 2, ..Default::default() }
+    }
+
+    /// Cells per variable per time-step.
+    pub fn num_elements(&self) -> usize {
+        self.nlon * self.nlat * self.ndepth
+    }
+}
+
+/// The variables the generator produces each step. POP carries 26
+/// variables; we synthesize twelve with physically-motivated couplings —
+/// enough structure for multivariate queries and mining to have real
+/// relationships to find.
+pub const OCEAN_FIELDS: [&str; 12] = [
+    "temperature",
+    "salinity",
+    "velocity_u",
+    "velocity_v",
+    "velocity_w",
+    "ssh",
+    "oxygen",
+    "density",
+    "pressure",
+    "nitrate",
+    "chlorophyll",
+    "mixed_layer_depth",
+];
+
+#[derive(Debug, Clone, Copy)]
+struct Eddy {
+    lon: f64,
+    lat: f64,
+    radius: f64,
+    amplitude: f64,
+    drift: f64,
+}
+
+/// The synthetic ocean model.
+#[derive(Debug, Clone)]
+pub struct OceanModel {
+    cfg: OceanConfig,
+    eddies: Vec<Eddy>,
+    step: usize,
+}
+
+impl OceanModel {
+    /// Creates the model; eddy positions/strengths are drawn from `seed`.
+    pub fn new(cfg: OceanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let eddies = (0..cfg.eddies)
+            .map(|_| Eddy {
+                lon: rng.gen_range(0.0..cfg.nlon as f64),
+                lat: rng.gen_range(0.2..0.8) * cfg.nlat as f64,
+                radius: rng.gen_range(0.08..0.2) * cfg.nlon as f64,
+                amplitude: rng.gen_range(2.0..5.0),
+                drift: rng.gen_range(0.2..0.8),
+            })
+            .collect();
+        OceanModel { cfg, eddies, step: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OceanConfig {
+        &self.cfg
+    }
+
+    /// `true` if cell latitude `j` lies in the planted high-correlation band.
+    pub fn in_current_band(&self, lat_cell: usize) -> bool {
+        let f = lat_cell as f64 / self.cfg.nlat as f64;
+        f >= self.cfg.current_band.0 && f < self.cfg.current_band.1
+    }
+
+    /// Deterministic per-cell noise in `[-1, 1]` (hashed, so any cell of any
+    /// step can be regenerated independently).
+    fn noise(&self, cell: usize, salt: u64) -> f64 {
+        let mut h = (cell as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.cfg.seed)
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h as f64 / u64::MAX as f64) * 2.0 - 1.0
+    }
+
+    fn temperature_at(&self, i: usize, j: usize, k: usize, t: f64) -> f64 {
+        let cfg = &self.cfg;
+        // Thermocline: 22 °C at the surface decaying towards 4 °C at depth.
+        let depth_frac = k as f64 / cfg.ndepth.max(1) as f64;
+        let base = 4.0 + 18.0 * (1.0 - (4.0 * (depth_frac - 0.3)).tanh()) / 2.0;
+        // Latitudinal gradient: warm "equator" at lat = nlat/2.
+        let lat_frac = (j as f64 / cfg.nlat as f64 - 0.5).abs();
+        let lat_term = -10.0 * lat_frac;
+        // Drifting eddies (surface-intensified warm cores).
+        let mut eddy_term = 0.0;
+        for e in &self.eddies {
+            let lon = (e.lon + e.drift * t).rem_euclid(cfg.nlon as f64);
+            let mut dlon = (i as f64 - lon).abs();
+            dlon = dlon.min(cfg.nlon as f64 - dlon); // periodic longitude
+            let dlat = j as f64 - e.lat;
+            let d2 = dlon * dlon + dlat * dlat;
+            eddy_term +=
+                e.amplitude * (-d2 / (2.0 * e.radius * e.radius)).exp() * (1.0 - depth_frac);
+        }
+        let cell = (k * cfg.nlat + j) * cfg.nlon + i;
+        base + lat_term + eddy_term + cfg.noise * self.noise(cell, 1 + t as u64)
+    }
+
+    /// Generates one variable at the current step.
+    pub fn variable(&self, name: &str) -> Vec<f64> {
+        let cfg = &self.cfg;
+        let t = self.step as f64;
+        let n = cfg.num_elements();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..cfg.ndepth {
+            for j in 0..cfg.nlat {
+                for i in 0..cfg.nlon {
+                    let cell = (k * cfg.nlat + j) * cfg.nlon + i;
+                    let temp = self.temperature_at(i, j, k, t);
+                    let v = match name {
+                        "temperature" => temp,
+                        "salinity" => {
+                            // baseline haline profile
+                            let base = 34.0 + 0.8 * (k as f64 / cfg.ndepth.max(1) as f64);
+                            if self.in_current_band(j) {
+                                // planted correlation: salinity tracks the
+                                // temperature anomaly inside the band
+                                let anomaly = temp - 12.0;
+                                base + cfg.coupling * anomaly * 0.1
+                                    + cfg.noise * 0.1 * self.noise(cell, 2)
+                            } else {
+                                base + 0.4 * ((i as f64 * 0.23).sin() * (j as f64 * 0.31).cos())
+                                    + cfg.noise * self.noise(cell, 3)
+                            }
+                        }
+                        "velocity_u" => {
+                            // geostrophic-ish: proportional to the meridional
+                            // temperature gradient
+                            let tm = self.temperature_at(i, j.saturating_sub(1), k, t);
+                            let tp = self.temperature_at(i, (j + 1).min(cfg.nlat - 1), k, t);
+                            (tp - tm) * 0.5
+                        }
+                        "velocity_v" => {
+                            let im = self.temperature_at(i.saturating_sub(1), j, k, t);
+                            let ip = self.temperature_at((i + 1).min(cfg.nlon - 1), j, k, t);
+                            (im - ip) * 0.5
+                        }
+                        "velocity_w" => {
+                            // weak vertical motion: eddy pumping — upwelling
+                            // where the surface is anomalously warm
+                            let anomaly = temp - 12.0;
+                            0.01 * anomaly * (1.0 - k as f64 / cfg.ndepth.max(1) as f64)
+                                + cfg.noise * 0.02 * self.noise(cell, 11)
+                        }
+                        "ssh" => {
+                            // sea-surface height ~ column-integrated warmth
+                            (temp - 10.0) * 0.02 + cfg.noise * 0.01 * self.noise(cell, 4)
+                        }
+                        "oxygen" => {
+                            // anticorrelated with temperature (solubility)
+                            9.0 - 0.15 * temp + cfg.noise * self.noise(cell, 5)
+                        }
+                        "density" => {
+                            // linearized seawater equation of state:
+                            // rho = rho0 - alpha*T + beta*S
+                            let base_sal = 34.0 + 0.8 * (k as f64 / cfg.ndepth.max(1) as f64);
+                            1025.0 - 0.2 * (temp - 10.0) + 0.78 * (base_sal - 34.0)
+                                + cfg.noise * 0.02 * self.noise(cell, 6)
+                        }
+                        "pressure" => {
+                            // hydrostatic: ~1 dbar per meter of depth
+                            let depth_m = (k as f64 + 0.5) * 50.0;
+                            depth_m * 1.005 + cfg.noise * 0.1 * self.noise(cell, 7)
+                        }
+                        "nitrate" => {
+                            // nutrients deplete at the warm surface,
+                            // accumulate at depth
+                            let depth_frac = k as f64 / cfg.ndepth.max(1) as f64;
+                            (2.0 + 28.0 * depth_frac - 0.3 * (temp - 10.0))
+                                .max(0.0)
+                                + cfg.noise * self.noise(cell, 8)
+                        }
+                        "chlorophyll" => {
+                            // blooms where warm eddy water meets the surface
+                            let depth_frac = k as f64 / cfg.ndepth.max(1) as f64;
+                            let light = (1.0 - depth_frac).max(0.0);
+                            let anomaly = (temp - 12.0).max(0.0);
+                            (0.1 + 0.08 * anomaly * light)
+                                + cfg.noise * 0.05 * self.noise(cell, 9).abs()
+                        }
+                        "mixed_layer_depth" => {
+                            // deepens toward the "poles" (cold, convective)
+                            let lat_frac = (j as f64 / cfg.nlat as f64 - 0.5).abs();
+                            30.0 + 140.0 * lat_frac + 5.0 * (t * 0.2).sin()
+                                + cfg.noise * 2.0 * self.noise(cell, 10)
+                        }
+                        other => panic!("unknown ocean variable {other:?}"),
+                    };
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Simulation for OceanModel {
+    fn step(&mut self) -> StepOutput {
+        let fields =
+            OCEAN_FIELDS.iter().map(|&n| Field::new(n, self.variable(n))).collect();
+        let out = StepOutput { step: self.step, fields };
+        self.step += 1;
+        out
+    }
+
+    fn num_elements(&self) -> usize {
+        self.cfg.num_elements()
+    }
+
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma).powi(2);
+            vb += (y - mb).powi(2);
+        }
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+
+    #[test]
+    fn produces_all_variables() {
+        let mut m = OceanModel::new(OceanConfig::tiny());
+        let out = m.step();
+        assert_eq!(out.fields.len(), 12);
+        let n = OceanConfig::tiny().num_elements();
+        for f in &out.fields {
+            assert_eq!(f.data.len(), n);
+            assert!(f.data.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = OceanModel::new(OceanConfig::tiny()).variable("temperature");
+        let b = OceanModel::new(OceanConfig::tiny()).variable("temperature");
+        assert_eq!(a, b);
+        let mut other_seed = OceanConfig::tiny();
+        other_seed.seed ^= 1;
+        let c = OceanModel::new(other_seed).variable("temperature");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn surface_warmer_than_deep() {
+        let cfg = OceanConfig::tiny();
+        let m = OceanModel::new(cfg.clone());
+        let t = m.variable("temperature");
+        let plane = cfg.nlon * cfg.nlat;
+        let surface: f64 = t[..plane].iter().sum::<f64>() / plane as f64;
+        let deep: f64 = t[t.len() - plane..].iter().sum::<f64>() / plane as f64;
+        assert!(surface > deep + 3.0, "surface {surface} vs deep {deep}");
+    }
+
+    #[test]
+    fn correlation_is_planted_in_band_only() {
+        let cfg = OceanConfig::tiny();
+        let m = OceanModel::new(cfg.clone());
+        let t = m.variable("temperature");
+        let s = m.variable("salinity");
+        let (mut band_t, mut band_s) = (Vec::new(), Vec::new());
+        let (mut out_t, mut out_s) = (Vec::new(), Vec::new());
+        for k in 0..cfg.ndepth {
+            for j in 0..cfg.nlat {
+                for i in 0..cfg.nlon {
+                    let c = (k * cfg.nlat + j) * cfg.nlon + i;
+                    if m.in_current_band(j) {
+                        band_t.push(t[c]);
+                        band_s.push(s[c]);
+                    } else {
+                        out_t.push(t[c]);
+                        out_s.push(s[c]);
+                    }
+                }
+            }
+        }
+        let band_corr = corr(&band_t, &band_s).abs();
+        let out_corr = corr(&out_t, &out_s).abs();
+        assert!(band_corr > 0.8, "in-band correlation too weak: {band_corr}");
+        assert!(band_corr > out_corr + 0.2, "band {band_corr} vs outside {out_corr}");
+    }
+
+    #[test]
+    fn oxygen_anticorrelates_with_temperature() {
+        let m = OceanModel::new(OceanConfig::tiny());
+        let t = m.variable("temperature");
+        let o = m.variable("oxygen");
+        assert!(corr(&t, &o) < -0.8);
+    }
+
+    #[test]
+    fn eddies_drift_over_time() {
+        let mut m = OceanModel::new(OceanConfig::tiny());
+        let a = m.step().field("temperature").unwrap().data.clone();
+        for _ in 0..5 {
+            m.step();
+        }
+        let b = m.step().field("temperature").unwrap().data.clone();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ocean variable")]
+    fn unknown_variable_panics() {
+        let m = OceanModel::new(OceanConfig::tiny());
+        let _ = m.variable("plankton_bloom_index");
+    }
+
+    #[test]
+    fn density_couples_to_temperature_and_salinity() {
+        let m = OceanModel::new(OceanConfig::tiny());
+        let t = m.variable("temperature");
+        let d = m.variable("density");
+        // equation of state: density falls as temperature rises
+        assert!(corr(&t, &d) < -0.5, "T-density corr {}", corr(&t, &d));
+    }
+
+    #[test]
+    fn nitrate_rises_with_depth() {
+        let cfg = OceanConfig::tiny();
+        let m = OceanModel::new(cfg.clone());
+        let n = m.variable("nitrate");
+        let plane = cfg.nlon * cfg.nlat;
+        let surface: f64 = n[..plane].iter().sum::<f64>() / plane as f64;
+        let deep: f64 = n[n.len() - plane..].iter().sum::<f64>() / plane as f64;
+        assert!(deep > surface + 5.0, "surface {surface} deep {deep}");
+    }
+
+    #[test]
+    fn pressure_is_nearly_hydrostatic() {
+        let cfg = OceanConfig::tiny();
+        let m = OceanModel::new(cfg.clone());
+        let p = m.variable("pressure");
+        let plane = cfg.nlon * cfg.nlat;
+        for k in 1..cfg.ndepth {
+            let upper: f64 = p[(k - 1) * plane..k * plane].iter().sum::<f64>() / plane as f64;
+            let lower: f64 = p[k * plane..(k + 1) * plane].iter().sum::<f64>() / plane as f64;
+            assert!(lower > upper + 40.0, "level {k}: {upper} vs {lower}");
+        }
+    }
+
+    #[test]
+    fn chlorophyll_nonnegative_and_surface_intensified() {
+        let cfg = OceanConfig::tiny();
+        let m = OceanModel::new(cfg.clone());
+        let c = m.variable("chlorophyll");
+        assert!(c.iter().all(|&v| v >= 0.0));
+        let plane = cfg.nlon * cfg.nlat;
+        let surface: f64 = c[..plane].iter().sum::<f64>() / plane as f64;
+        let deep: f64 = c[c.len() - plane..].iter().sum::<f64>() / plane as f64;
+        assert!(surface > deep);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the simulation substrates: distribution
+//! invariance of the partitioned Heat3D, numerical sanity of all
+//! generators, determinism of the ocean model.
+
+use ibis_datagen::{
+    Heat3D, Heat3DConfig, Heat3DPartition, LuleshConfig, MiniLulesh, OceanConfig, OceanModel,
+    Simulation, OCEAN_FIELDS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn heat3d_partitioning_is_exact(
+        nx in 4usize..10,
+        ny in 4usize..10,
+        nz in 6usize..14,
+        nodes in 1usize..5,
+        sweeps in 1usize..6,
+    ) {
+        prop_assume!(nodes <= nz);
+        // both versions must share the source clock: sweeps_per_step drives
+        // when the boundary condition advances
+        let cfg =
+            Heat3DConfig { nx, ny, nz, sweeps_per_step: sweeps, ..Heat3DConfig::tiny() };
+        let mut parts = Heat3DPartition::split(&cfg, nodes);
+        // drive the distributed version
+        for _ in 0..sweeps {
+            for p in 0..parts.len() {
+                if p > 0 {
+                    let b = parts[p - 1].boundary_high();
+                    parts[p].set_halo_low(&b);
+                }
+                if p + 1 < parts.len() {
+                    let b = parts[p + 1].boundary_low();
+                    parts[p].set_halo_high(&b);
+                }
+            }
+            for p in parts.iter_mut() {
+                p.sweep();
+            }
+        }
+        // drive the monolithic version through the same number of sweeps
+        let mut mono = Heat3D::new(cfg);
+        let out = mono.step();
+        let distributed: Vec<f64> = parts.iter().flat_map(|p| p.owned_data()).collect();
+        for (i, (a, b)) in out.fields[0].data.iter().zip(&distributed).enumerate() {
+            prop_assert!((a - b).abs() < 1e-12, "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn heat3d_stays_bounded(steps in 1usize..12, dim in 6usize..14) {
+        let cfg = Heat3DConfig { nx: dim, ny: dim, nz: dim, ..Heat3DConfig::tiny() };
+        let peak = cfg.source_peak;
+        let mut sim = Heat3D::new(cfg);
+        for _ in 0..steps {
+            let out = sim.step();
+            for &v in &out.fields[0].data {
+                prop_assert!(v.is_finite());
+                prop_assert!((-1e-9..=peak * 1.01).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn lulesh_all_arrays_finite(edge in 4usize..9, steps in 1usize..5) {
+        let mut sim = MiniLulesh::new(LuleshConfig { edge, ..LuleshConfig::tiny() });
+        for _ in 0..steps {
+            let out = sim.step();
+            prop_assert_eq!(out.fields.len(), 12);
+            for f in &out.fields {
+                prop_assert!(f.data.iter().all(|v| v.is_finite()), "{}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ocean_deterministic_and_finite(
+        seed in any::<u64>(),
+        nlon in 8usize..20,
+        nlat in 6usize..16,
+        ndepth in 1usize..5,
+    ) {
+        let cfg = OceanConfig { nlon, nlat, ndepth, seed, ..OceanConfig::tiny() };
+        let a = OceanModel::new(cfg.clone());
+        let b = OceanModel::new(cfg);
+        for name in OCEAN_FIELDS {
+            let va = a.variable(name);
+            prop_assert_eq!(&va, &b.variable(name), "{} must be deterministic", name);
+            prop_assert!(va.iter().all(|v| v.is_finite()), "{} must be finite", name);
+            prop_assert_eq!(va.len(), nlon * nlat * ndepth);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Parallel in-situ environment (Section 5.3, Figure 13): `N` nodes each
+//! simulate a z-slab of the Heat3D mesh, exchange boundary planes with
+//! their neighbours every sweep (the paper's MPI communication, carried
+//! over channels), build local bitmaps, and cooperate on a *global*
+//! time-steps selection.
+//!
+//! Global selection works because every quantity the conditional-entropy
+//! metric needs is **additive across nodes**: each node computes the joint
+//! bin counts of (candidate, previously-selected) over its own slab, a
+//! coordinator sums them and evaluates the metric on the global counts —
+//! bit-identical to a single-node run over the whole mesh.
+//!
+//! Output goes either to node-local disks (independent, parallel) or to one
+//! shared remote data server whose link serializes all writers
+//! ([`crate::io::RemoteLink`]) — the contrast that yields the paper's
+//! 1.24×–3.79× remote-case speedups.
+
+use crate::io::{LocalDisk, RemoteLink, Storage};
+use crate::machine::{decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel};
+use crate::report::PhaseTimes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ibis_analysis::entropy::conditional_entropy_from_counts;
+use ibis_analysis::histogram::{joint_counts_from_indexes, joint_histogram};
+use ibis_analysis::selection::fixed_intervals;
+use ibis_core::{Binner, BitmapIndex};
+use ibis_datagen::{Heat3DConfig, Heat3DPartition};
+use std::time::Duration;
+
+/// Where each node's selected summaries are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterIo {
+    /// Node-local disks: writes proceed in parallel.
+    Local,
+    /// One shared remote data server (~100 MB/s): writes contend.
+    Remote,
+}
+
+/// Reduction method for the cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterReduction {
+    /// Local WAH bitmap indices.
+    Bitmaps,
+    /// Keep (and ship) the raw slabs.
+    FullData,
+}
+
+/// Configuration of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of compute nodes (threads-as-nodes).
+    pub nodes: usize,
+    /// Cores used on each node.
+    pub cores_per_node: usize,
+    /// Per-node platform profile.
+    pub machine: MachineModel,
+    /// The Heat3D mesh, split along z across the nodes.
+    pub heat: Heat3DConfig,
+    /// Jacobi sweeps per output time-step.
+    pub sweeps_per_step: usize,
+    /// Time-steps to simulate.
+    pub steps: usize,
+    /// Time-steps to select.
+    pub select_k: usize,
+    /// Shared binning scale for the temperature variable.
+    pub binner: Binner,
+    /// Reduction method.
+    pub reduction: ClusterReduction,
+    /// Output target.
+    pub io: ClusterIo,
+    /// Bandwidth of the shared remote link in bytes/second (the paper's
+    /// data server runs at ~100 MB/s; benches rescale it to preserve the
+    /// paper's data-to-bandwidth ratio at reduced problem sizes).
+    pub remote_bw: f64,
+    /// Simulation scalability per node.
+    pub sim_scaling: ScalingModel,
+}
+
+/// The cluster run's result.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Slowest node's modeled per-phase times (nodes run in parallel).
+    pub phases: PhaseTimes,
+    /// End-to-end modeled time (slowest node, I/O contention included).
+    pub total_modeled: f64,
+    /// Globally selected step indices.
+    pub selected: Vec<usize>,
+    /// Total bytes shipped to storage across all nodes.
+    pub bytes_written: u64,
+    /// Nodes used.
+    pub nodes: usize,
+}
+
+/// One node's local summary of a step.
+enum LocalSummary {
+    Bitmap(BitmapIndex),
+    Full(Vec<f64>),
+}
+
+impl LocalSummary {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            LocalSummary::Bitmap(idx) => idx.size_bytes() as u64,
+            LocalSummary::Full(d) => (d.len() * 8) as u64,
+        }
+    }
+
+    /// Joint bin counts of (self = candidate, prev) over this node's slab.
+    fn joint_counts(&self, prev: &LocalSummary, binner: &Binner) -> Vec<u64> {
+        match (self, prev) {
+            (LocalSummary::Bitmap(a), LocalSummary::Bitmap(b)) => {
+                joint_counts_from_indexes(a, b)
+            }
+            (LocalSummary::Full(a), LocalSummary::Full(b)) => {
+                joint_histogram(a, b, binner, binner)
+            }
+            _ => unreachable!("a run uses one reduction throughout"),
+        }
+    }
+}
+
+/// Per-interval message from a node: local joint counts per candidate step.
+struct NodeVote {
+    /// `(step index, flattened joint counts vs prev)` per buffered candidate.
+    candidates: Vec<(usize, Vec<u64>)>,
+}
+
+/// Runs the cluster experiment; returns the per-node-max report.
+pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
+    assert!(cfg.nodes >= 1, "need at least one node");
+    assert!(cfg.steps >= 1 && cfg.select_k >= 1 && cfg.select_k <= cfg.steps, "bad steps/k");
+    let nbins = cfg.binner.nbins();
+    // the partitions' source clock must tick with this run's sweep count
+    let mut heat = cfg.heat.clone();
+    heat.sweeps_per_step = cfg.sweeps_per_step;
+    let parts = Heat3DPartition::split(&heat, cfg.nodes);
+    let intervals =
+        if cfg.select_k > 1 { fixed_intervals(cfg.steps, cfg.select_k - 1) } else { vec![] };
+
+    // Storage: one shared remote link, or one disk per node.
+    let remote = RemoteLink::new(cfg.remote_bw);
+    let locals: Vec<LocalDisk> =
+        (0..cfg.nodes).map(|_| LocalDisk::new(cfg.machine.disk_bw)).collect();
+
+    // Halo channels: one pair per adjacent node boundary.
+    let mut up_tx: Vec<Option<Sender<Vec<f64>>>> = vec![None; cfg.nodes];
+    let mut up_rx: Vec<Option<Receiver<Vec<f64>>>> = vec![None; cfg.nodes];
+    let mut down_tx: Vec<Option<Sender<Vec<f64>>>> = vec![None; cfg.nodes];
+    let mut down_rx: Vec<Option<Receiver<Vec<f64>>>> = vec![None; cfg.nodes];
+    for i in 0..cfg.nodes.saturating_sub(1) {
+        let (tx, rx) = bounded(1); // i -> i+1 (upward boundary plane)
+        up_tx[i] = Some(tx);
+        up_rx[i + 1] = Some(rx);
+        let (tx, rx) = bounded(1); // i+1 -> i (downward boundary plane)
+        down_tx[i + 1] = Some(tx);
+        down_rx[i] = Some(rx);
+    }
+
+    // Selection coordination channels.
+    let (vote_tx, vote_rx) = unbounded::<NodeVote>();
+    let mut decision_tx: Vec<Sender<usize>> = Vec::new();
+    let mut decision_rx: Vec<Option<Receiver<usize>>> = Vec::new();
+    for _ in 0..cfg.nodes {
+        let (tx, rx) = unbounded::<usize>();
+        decision_tx.push(tx);
+        decision_rx.push(Some(rx));
+    }
+
+    struct NodeResult {
+        phases: PhaseTimes,
+        total: f64,
+        bytes: u64,
+        selected: Vec<usize>,
+    }
+
+    let results: Vec<NodeResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (node_id, mut part) in parts.into_iter().enumerate() {
+            let utx = up_tx[node_id].take();
+            let urx = up_rx[node_id].take();
+            let dtx = down_tx[node_id].take();
+            let drx = down_rx[node_id].take();
+            let my_decisions = decision_rx[node_id].take().unwrap();
+            let vote_tx = vote_tx.clone();
+            let intervals = intervals.clone();
+            let remote = &remote;
+            let local_disk = &locals[node_id];
+            let cfg = &cfg;
+            handles.push(scope.spawn(move || {
+                let pool = cfg.machine.pool(cfg.cores_per_node);
+                let threads = pool.current_num_threads();
+                let mut sim_t = Duration::ZERO;
+                let mut reduce_t = Duration::ZERO;
+                let mut select_t = Duration::ZERO;
+                let mut output_modeled = 0.0f64;
+                let mut bytes = 0u64;
+                let mut prev: Option<LocalSummary> = None;
+                let mut buffer: Vec<(usize, LocalSummary)> = Vec::new();
+                let mut selected = Vec::new();
+                let mut cur_interval = 0usize;
+
+                let storage: &dyn Storage = match cfg.io {
+                    ClusterIo::Remote => remote,
+                    ClusterIo::Local => local_disk,
+                };
+
+                for step in 0..cfg.steps {
+                    // --- simulate (halo exchange + sweeps) ---
+                    // Boundary copies are timed on the node thread; the
+                    // sweep inside its pool. Waits on neighbours are
+                    // excluded (on an oversubscribed host they measure the
+                    // scheduler, not the algorithm).
+                    for _ in 0..cfg.sweeps_per_step {
+                        let c = PhaseClock::start();
+                        if let Some(tx) = &utx {
+                            tx.send(part.boundary_high()).expect("neighbour hung up");
+                        }
+                        if let Some(tx) = &dtx {
+                            tx.send(part.boundary_low()).expect("neighbour hung up");
+                        }
+                        sim_t += c.elapsed();
+                        if let Some(rx) = &urx {
+                            let plane = rx.recv().expect("neighbour hung up");
+                            let c = PhaseClock::start();
+                            part.set_halo_low(&plane);
+                            sim_t += c.elapsed();
+                        }
+                        if let Some(rx) = &drx {
+                            let plane = rx.recv().expect("neighbour hung up");
+                            let c = PhaseClock::start();
+                            part.set_halo_high(&plane);
+                            sim_t += c.elapsed();
+                        }
+                        let ((), d) = timed_in_pool(&pool, || part.sweep());
+                        sim_t += d;
+                    }
+                    let c = PhaseClock::start();
+                    let data = part.owned_data();
+                    sim_t += c.elapsed();
+
+                    // --- reduce ---
+                    let (summary, d) = timed_in_pool(&pool, || match cfg.reduction {
+                        ClusterReduction::Bitmaps => LocalSummary::Bitmap(
+                            ibis_core::build_index_parallel(&data, cfg.binner.clone()),
+                        ),
+                        ClusterReduction::FullData => LocalSummary::Full(data),
+                    });
+                    reduce_t += d;
+
+                    // --- select (global, coordinated) ---
+                    if step == 0 {
+                        selected.push(0);
+                        bytes += summary.size_bytes();
+                        let now = node_time(
+                            sim_t, reduce_t, select_t, output_modeled, threads, cfg,
+                        );
+                        output_modeled += storage.write(now, summary.size_bytes());
+                        prev = Some(summary);
+                        continue;
+                    }
+                    buffer.push((step, summary));
+                    let done = intervals
+                        .get(cur_interval)
+                        .is_some_and(|iv| step + 1 == iv.end);
+                    if !done {
+                        continue;
+                    }
+                    cur_interval += 1;
+                    let clock = PhaseClock::start();
+                    let p = prev.as_ref().expect("seeded at step 0");
+                    let candidates: Vec<(usize, Vec<u64>)> = buffer
+                        .iter()
+                        .map(|(idx, s)| (*idx, s.joint_counts(p, &cfg.binner)))
+                        .collect();
+                    select_t += clock.elapsed();
+                    vote_tx.send(NodeVote { candidates }).expect("coordinator hung up");
+                    let winner = my_decisions.recv().expect("coordinator hung up");
+                    selected.push(winner);
+                    let mut kept = None;
+                    for (idx, s) in buffer.drain(..) {
+                        if idx == winner {
+                            kept = Some(s);
+                        }
+                    }
+                    let kept = kept.expect("winner must be in the interval");
+                    bytes += kept.size_bytes();
+                    let now =
+                        node_time(sim_t, reduce_t, select_t, output_modeled, threads, cfg);
+                    output_modeled += storage.write(now, kept.size_bytes());
+                    prev = Some(kept);
+                }
+
+                // CPU-time clocks (one-thread pools, node-thread work) need
+                // no correction; wall-measured wide pools do.
+                let active = cfg.nodes * threads;
+                let sim_t = if threads == 1 { sim_t } else { decontend(sim_t, active) };
+                let reduce_t = if threads == 1 { reduce_t } else { decontend(reduce_t, active) };
+                let select_t = select_t; // always node-thread CPU time
+                let speed = cfg.machine.core_speed;
+                let phases = PhaseTimes {
+                    simulate: modeled_seconds(
+                        sim_t, threads, cfg.cores_per_node, &cfg.sim_scaling, speed,
+                    ),
+                    reduce: modeled_seconds(
+                        reduce_t,
+                        threads,
+                        cfg.cores_per_node,
+                        &ScalingModel::bitmap_gen(),
+                        speed,
+                    ),
+                    select: modeled_seconds(
+                        select_t,
+                        threads,
+                        cfg.cores_per_node,
+                        &ScalingModel::selection(),
+                        speed,
+                    ),
+                    output: output_modeled,
+                };
+                NodeResult { total: phases.sum(), phases, bytes, selected }
+            }));
+        }
+        drop(vote_tx);
+
+        // Coordinator: sum each interval's joint counts across nodes,
+        // evaluate conditional entropy on the *global* counts, broadcast the
+        // winner.
+        let mut pending: Vec<NodeVote> = Vec::new();
+        for _ in 0..intervals.len() {
+            pending.clear();
+            for _ in 0..cfg.nodes {
+                pending.push(vote_rx.recv().expect("node hung up"));
+            }
+            let candidates = &pending[0].candidates;
+            let mut best: Option<(usize, f64)> = None;
+            for (c, (step_idx, _)) in candidates.iter().enumerate() {
+                let mut global = vec![0u64; nbins * nbins];
+                for vote in &pending {
+                    debug_assert_eq!(vote.candidates[c].0, *step_idx);
+                    for (g, v) in global.iter_mut().zip(&vote.candidates[c].1) {
+                        *g += v;
+                    }
+                }
+                let score = conditional_entropy_from_counts(&global, nbins, nbins);
+                if best.is_none_or(|(_, b)| score > b) {
+                    best = Some((*step_idx, score));
+                }
+            }
+            let (winner, _) = best.expect("non-empty interval");
+            for tx in &decision_tx {
+                tx.send(winner).expect("node hung up");
+            }
+        }
+
+        handles.into_iter().map(|h| h.join().expect("node panicked")).collect()
+    });
+
+    // Parallel nodes: the cluster finishes when the slowest node does.
+    let mut phases = PhaseTimes::default();
+    let mut total = 0.0f64;
+    let mut bytes = 0u64;
+    for r in &results {
+        phases.simulate = phases.simulate.max(r.phases.simulate);
+        phases.reduce = phases.reduce.max(r.phases.reduce);
+        phases.select = phases.select.max(r.phases.select);
+        phases.output = phases.output.max(r.phases.output);
+        total = total.max(r.total);
+        bytes += r.bytes;
+    }
+    let selected = results[0].selected.clone();
+    debug_assert!(results.iter().all(|r| r.selected == selected), "nodes must agree");
+    ClusterReport { phases, total_modeled: total, selected, bytes_written: bytes, nodes: cfg.nodes }
+}
+
+/// A node's modeled elapsed time so far (used as the arrival time for
+/// contended remote writes).
+fn node_time(
+    sim_t: Duration,
+    reduce_t: Duration,
+    select_t: Duration,
+    output_so_far: f64,
+    threads: usize,
+    cfg: &ClusterConfig,
+) -> f64 {
+    let active = cfg.nodes * threads;
+    let sim_t = if threads == 1 { sim_t } else { decontend(sim_t, active) };
+    let reduce_t = if threads == 1 { reduce_t } else { decontend(reduce_t, active) };
+    let speed = cfg.machine.core_speed;
+    modeled_seconds(sim_t, threads, cfg.cores_per_node, &cfg.sim_scaling, speed)
+        + modeled_seconds(
+            reduce_t,
+            threads,
+            cfg.cores_per_node,
+            &ScalingModel::bitmap_gen(),
+            speed,
+        )
+        + modeled_seconds(
+            select_t,
+            threads,
+            cfg.cores_per_node,
+            &ScalingModel::selection(),
+            speed,
+        )
+        + output_so_far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(nodes: usize, reduction: ClusterReduction, io: ClusterIo) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            cores_per_node: 4,
+            machine: MachineModel::oakley_node(),
+            heat: Heat3DConfig { nx: 16, ny: 16, nz: 24, ..Heat3DConfig::tiny() },
+            sweeps_per_step: 1,
+            steps: 9,
+            select_k: 3,
+            binner: Binner::precision(-1.0, 101.0, 0),
+            reduction,
+            io,
+            remote_bw: MachineModel::remote_link_bw(),
+            sim_scaling: ScalingModel::heat3d(),
+        }
+    }
+
+    #[test]
+    fn single_node_runs() {
+        let r = run_cluster(&base(1, ClusterReduction::Bitmaps, ClusterIo::Local));
+        assert_eq!(r.nodes, 1);
+        assert_eq!(r.selected.len(), 3);
+        assert_eq!(r.selected[0], 0);
+        assert!(r.bytes_written > 0);
+    }
+
+    #[test]
+    fn nodes_agree_and_match_single_node_selection() {
+        // additive joint counts ⇒ the 3-node global selection equals the
+        // 1-node selection over the same mesh
+        let r1 = run_cluster(&base(1, ClusterReduction::Bitmaps, ClusterIo::Local));
+        let r3 = run_cluster(&base(3, ClusterReduction::Bitmaps, ClusterIo::Local));
+        assert_eq!(r1.selected, r3.selected);
+    }
+
+    #[test]
+    fn bitmap_and_full_reductions_select_identically() {
+        let rb = run_cluster(&base(2, ClusterReduction::Bitmaps, ClusterIo::Local));
+        let rf = run_cluster(&base(2, ClusterReduction::FullData, ClusterIo::Local));
+        assert_eq!(rb.selected, rf.selected, "no accuracy loss in the cluster");
+        assert!(rb.bytes_written < rf.bytes_written, "bitmaps ship fewer bytes");
+    }
+
+    #[test]
+    fn remote_io_is_contended() {
+        // full data over the shared link must cost more output time than
+        // bitmaps over the same link
+        let rb = run_cluster(&base(3, ClusterReduction::Bitmaps, ClusterIo::Remote));
+        let rf = run_cluster(&base(3, ClusterReduction::FullData, ClusterIo::Remote));
+        assert!(
+            rf.phases.output > rb.phases.output,
+            "full {} vs bitmaps {}",
+            rf.phases.output,
+            rb.phases.output
+        );
+    }
+
+    #[test]
+    fn more_nodes_less_sim_time_per_node() {
+        let r1 = run_cluster(&base(1, ClusterReduction::Bitmaps, ClusterIo::Local));
+        let r4 = run_cluster(&base(4, ClusterReduction::Bitmaps, ClusterIo::Local));
+        assert!(
+            r4.phases.simulate < r1.phases.simulate,
+            "4 nodes {} vs 1 node {}",
+            r4.phases.simulate,
+            r1.phases.simulate
+        );
+    }
+}

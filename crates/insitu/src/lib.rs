@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # ibis-insitu — the in-situ analysis pipeline
+//!
+//! Runs a simulation and its bitmap-based analysis together on a modeled
+//! platform, reproducing the paper's Section 5 experiments:
+//!
+//! * [`machine`] — platform profiles (Xeon-32, MIC-60, Oakley node) with
+//!   per-workload Amdahl scaling curves; compute phases are really executed
+//!   and measured, core-count effects and I/O times are modeled.
+//! * [`pipeline`] — the Shared-Cores and Separate-Cores strategies
+//!   (Section 2.3), streaming greedy time-steps selection (Figure 3), and
+//!   the three reductions: bitmaps, full data, sampling.
+//! * [`calibrate`] — the Equations 1–2 automatic core split.
+//! * [`cluster`] — threads-as-nodes Heat3D with halo exchange, global
+//!   selection via additive joint counts, and local vs contended-remote
+//!   storage (Figure 13).
+//! * [`io`] / [`memory`] / [`report`] — storage cost models (plus a real
+//!   file sink and WAH codec), the Figure 11 memory accounting, and result
+//!   records.
+
+pub mod calibrate;
+pub mod cluster;
+pub mod io;
+pub mod machine;
+pub mod memory;
+pub mod pipeline;
+pub mod report;
+pub mod store;
+
+pub use calibrate::{auto_allocate, calibrate, Calibration};
+pub use cluster::{run_cluster, ClusterConfig, ClusterIo, ClusterReduction, ClusterReport};
+pub use io::{codec, FileSink, LocalDisk, RemoteLink, Storage};
+pub use machine::{host_parallelism, modeled_seconds, MachineModel, ScalingModel};
+pub use memory::MemoryTracker;
+pub use pipeline::{run_pipeline, CoreAllocation, PipelineConfig, Reduction};
+pub use report::{InsituReport, PhaseTimes};
+pub use store::{Store, StoreWriter};

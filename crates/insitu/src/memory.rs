@@ -1,0 +1,93 @@
+//! Memory accounting for the in-situ pipeline (the Figure 11 measurement).
+//!
+//! Tracks the bytes the analysis holds resident — raw step arrays, bitmap
+//! summaries, queue contents — as they are allocated and freed. Thread-safe
+//! so the Separate-Cores pipeline's producer and consumer can both charge
+//! it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A live/peak byte counter.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `bytes` of newly resident data.
+    pub fn alloc(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more is freed than was allocated (an accounting bug).
+    pub fn free(&self, bytes: u64) {
+        let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
+        assert!(prev >= bytes, "memory tracker underflow: freeing {bytes} of {prev}");
+    }
+
+    /// Bytes currently resident.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_current_and_peak() {
+        let m = MemoryTracker::new();
+        m.alloc(100);
+        m.alloc(50);
+        assert_eq!(m.current(), 150);
+        m.free(100);
+        assert_eq!(m.current(), 50);
+        m.alloc(10);
+        assert_eq!(m.peak(), 150, "peak keeps the high-water mark");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_is_a_bug() {
+        let m = MemoryTracker::new();
+        m.alloc(10);
+        m.free(11);
+    }
+
+    #[test]
+    fn concurrent_charging() {
+        let m = std::sync::Arc::new(MemoryTracker::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.alloc(3);
+                        m.free(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.current(), 0);
+        assert!(m.peak() >= 3);
+    }
+}

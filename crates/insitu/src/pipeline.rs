@@ -1,0 +1,600 @@
+//! The in-situ pipeline (Sections 2.3 and 3, Figures 2 and 3): simulate →
+//! reduce (bitmaps / sampling / nothing) → select time-steps → write the
+//! selected summaries.
+//!
+//! Two core-allocation strategies are implemented exactly as described:
+//!
+//! * **Shared Cores** — every phase uses all the cores, phases alternate:
+//!   simulate a step, pause the simulation, build its bitmaps, continue.
+//! * **Separate Cores** — the cores are split into a simulation set and a
+//!   bitmaps set; the simulation streams steps into a bounded **data queue**
+//!   (a crossbeam channel whose capacity models the memory budget) and the
+//!   bitmap cores drain it concurrently.
+//!
+//! Selection is the streaming greedy algorithm of Figure 3 with fixed-length
+//! intervals: the pipeline buffers one interval of summaries, scores each
+//! against the previously selected step when the interval completes, keeps
+//! the most dissimilar one, writes it out, and frees the rest.
+
+use crate::io::Storage;
+use crate::machine::{decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel};
+use crate::memory::MemoryTracker;
+use crate::report::{InsituReport, PhaseTimes};
+use ibis_analysis::sampling::{sample, SamplingMethod};
+use ibis_analysis::selection::fixed_intervals;
+use ibis_analysis::{Metric, StepSummary, VarSummary};
+use ibis_core::{build_index_parallel, Binner};
+use ibis_datagen::{Simulation, StepOutput};
+use std::time::{Duration, Instant};
+
+/// What each time-step is reduced to before the raw data is discarded.
+#[derive(Debug, Clone)]
+pub enum Reduction {
+    /// WAH bitmap indices (the paper's method) — raw data freed afterwards.
+    Bitmaps,
+    /// Keep the raw arrays (the *full data* baseline).
+    FullData,
+    /// Keep a sample of the elements (the Section 5.5 baseline).
+    Sampling {
+        /// Percentage of elements kept, in `(0, 100]`.
+        percent: f64,
+        /// Element-choice policy.
+        method: SamplingMethod,
+    },
+}
+
+/// How cores are divided between simulation and reduction (Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreAllocation {
+    /// All cores alternate between the phases.
+    Shared,
+    /// Dedicated sets running concurrently, joined by the data queue.
+    Separate {
+        /// Cores running the simulation.
+        sim_cores: usize,
+        /// Cores generating bitmaps.
+        bitmap_cores: usize,
+    },
+}
+
+/// Full configuration of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Platform profile (core budget, core speed, disk bandwidth).
+    pub machine: MachineModel,
+    /// Cores used by this run (≤ `machine.total_cores`).
+    pub cores: usize,
+    /// Core-allocation strategy.
+    pub allocation: CoreAllocation,
+    /// Reduction method.
+    pub reduction: Reduction,
+    /// Time-steps to simulate.
+    pub steps: usize,
+    /// Time-steps to select (K of N).
+    pub select_k: usize,
+    /// Correlation metric for selection.
+    pub metric: Metric,
+    /// One binning scale per simulation output field, shared by every
+    /// time-step (so cross-step metrics are well-defined). Ignored when
+    /// `per_step_precision` is set.
+    pub binners: Vec<Binner>,
+    /// The paper's actual Heat3D configuration: bin each step to this many
+    /// decimal digits over *that step's own value range*, anchored to a
+    /// shared lattice (their runs used 64–206 bitvectors depending on the
+    /// step's temperature range). Cross-step EMD uses the lattice-aligned
+    /// variants; conditional entropy needs no alignment.
+    pub per_step_precision: Option<i32>,
+    /// Data-queue capacity for Separate-Cores (steps buffered between the
+    /// simulation and bitmap cores; bounds memory).
+    pub queue_capacity: usize,
+    /// Scalability curve of the simulation workload.
+    pub sim_scaling: ScalingModel,
+}
+
+impl PipelineConfig {
+    fn validate(&self) {
+        assert!(self.cores >= 1 && self.cores <= self.machine.total_cores, "bad core count");
+        assert!(self.steps >= 1, "need at least one step");
+        assert!(
+            self.select_k >= 1 && self.select_k <= self.steps,
+            "cannot select {} of {} steps",
+            self.select_k,
+            self.steps
+        );
+        assert!(
+            !self.binners.is_empty() || self.per_step_precision.is_some(),
+            "need binners or per-step precision"
+        );
+        if let CoreAllocation::Separate { sim_cores, bitmap_cores } = self.allocation {
+            assert!(sim_cores >= 1 && bitmap_cores >= 1, "both core sets must be non-empty");
+            assert!(
+                sim_cores + bitmap_cores <= self.cores,
+                "separate sets exceed the core budget"
+            );
+            assert!(self.queue_capacity >= 1, "data queue needs capacity");
+        }
+    }
+}
+
+/// Builds the summary of one step under the configured reduction; returns
+/// the summary and its resident byte size.
+fn summarize(
+    out: &StepOutput,
+    reduction: &Reduction,
+    binners: &[Binner],
+    per_step_precision: Option<i32>,
+) -> StepSummary {
+    let fit = |f: &ibis_datagen::Field| match per_step_precision {
+        Some(digits) => Binner::fit_precision_anchored(&f.data, digits),
+        None => unreachable!("callers pass binners when precision is unset"),
+    };
+    if per_step_precision.is_none() {
+        assert_eq!(out.fields.len(), binners.len(), "one binner per field required");
+    }
+    let vars = out
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let binner = match per_step_precision {
+                Some(_) => fit(f),
+                None => binners[i].clone(),
+            };
+            (f, binner)
+        })
+        .map(|(f, binner)| match reduction {
+            Reduction::Bitmaps => VarSummary::Bitmap(build_index_parallel(&f.data, binner)),
+            Reduction::FullData => VarSummary::full(f.data.clone(), binner),
+            Reduction::Sampling { percent, method } => {
+                VarSummary::full(sample(&f.data, *percent, *method), binner)
+            }
+        })
+        .collect();
+    StepSummary { step: out.step, vars }
+}
+
+/// Streaming greedy selection over fixed-length intervals (Figure 3): holds
+/// the current interval's summaries, scores them against the previous
+/// selection at interval end, emits the winner.
+struct StreamingSelector {
+    intervals: Vec<std::ops::Range<usize>>,
+    cur: usize,
+    prev: Option<StepSummary>,
+    buffer: Vec<(usize, StepSummary)>,
+    selected: Vec<usize>,
+    metric: Metric,
+    /// Metric-evaluation time (measured).
+    select_time: Duration,
+}
+
+/// A summary the selector decided to keep — must be written out.
+struct Emitted {
+    step: usize,
+    summary_bytes: u64,
+}
+
+impl StreamingSelector {
+    fn new(steps: usize, k: usize, metric: Metric) -> Self {
+        let intervals =
+            if k > 1 { fixed_intervals(steps, k - 1) } else { Vec::new() };
+        StreamingSelector {
+            intervals,
+            cur: 0,
+            prev: None,
+            buffer: Vec::new(),
+            selected: Vec::new(),
+            metric,
+            select_time: Duration::ZERO,
+        }
+    }
+
+    /// Offers the next step's summary; returns a selection event if one was
+    /// emitted, plus the bytes of summaries freed.
+    fn offer(&mut self, idx: usize, summary: StepSummary, mem: &MemoryTracker) -> Option<Emitted> {
+        if idx == 0 {
+            // Step 0 always seeds the selection.
+            let bytes = summary.size_bytes() as u64;
+            self.selected.push(0);
+            self.prev = Some(summary);
+            return Some(Emitted { step: 0, summary_bytes: bytes });
+        }
+        self.buffer.push((idx, summary));
+        let interval_done = self
+            .intervals
+            .get(self.cur)
+            .is_some_and(|iv| idx + 1 == iv.end);
+        if !interval_done {
+            return None;
+        }
+        self.cur += 1;
+        // Score the interval against the previous selection; keep the max.
+        let prev = self.prev.as_ref().expect("seeded by step 0");
+        let t0 = PhaseClock::start();
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, (_, s)) in self.buffer.iter().enumerate() {
+            let score = s.metric(prev, self.metric);
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((pos, score));
+            }
+        }
+        self.select_time += t0.elapsed();
+        let (pos, _) = best.expect("interval is non-empty");
+        let mut winner = None;
+        for (pos_i, (idx_i, s)) in self.buffer.drain(..).enumerate() {
+            if pos_i == pos {
+                winner = Some((idx_i, s));
+            } else {
+                mem.free(s.size_bytes() as u64);
+            }
+        }
+        let (widx, wsum) = winner.expect("winner drained");
+        let bytes = wsum.size_bytes() as u64;
+        self.selected.push(widx);
+        // the previous selection is no longer needed in memory
+        mem.free(prev.size_bytes() as u64);
+        self.prev = Some(wsum);
+        Some(Emitted { step: widx, summary_bytes: bytes })
+    }
+
+    fn finish(self, mem: &MemoryTracker) -> (Vec<usize>, Duration) {
+        for (_, s) in self.buffer {
+            mem.free(s.size_bytes() as u64);
+        }
+        if let Some(p) = self.prev {
+            mem.free(p.size_bytes() as u64);
+        }
+        (self.selected, self.select_time)
+    }
+}
+
+/// Runs the pipeline on a simulation, writing selected summaries to
+/// `storage`. Returns the full report.
+pub fn run_pipeline<S: Simulation>(
+    sim: S,
+    cfg: &PipelineConfig,
+    storage: &dyn Storage,
+) -> InsituReport {
+    cfg.validate();
+    match cfg.allocation {
+        CoreAllocation::Shared => run_shared(sim, cfg, storage),
+        CoreAllocation::Separate { .. } => run_separate(sim, cfg, storage),
+    }
+}
+
+fn reduce_scaling(reduction: &Reduction) -> ScalingModel {
+    match reduction {
+        // sampling is a trivially parallel copy; bitmaps near-linear
+        Reduction::Bitmaps | Reduction::Sampling { .. } => ScalingModel::bitmap_gen(),
+        Reduction::FullData => ScalingModel::new(0.0),
+    }
+}
+
+fn run_shared<S: Simulation>(
+    mut sim: S,
+    cfg: &PipelineConfig,
+    storage: &dyn Storage,
+) -> InsituReport {
+    let wall0 = Instant::now();
+    let pool = cfg.machine.pool(cfg.cores);
+    let threads = pool.current_num_threads();
+    let mem = MemoryTracker::new();
+    let sim_resident = sim.resident_bytes() as u64;
+    mem.alloc(sim_resident);
+    let mut selector = StreamingSelector::new(cfg.steps, cfg.select_k, cfg.metric);
+    let mut sim_t = Duration::ZERO;
+    let mut reduce_t = Duration::ZERO;
+    let mut output_modeled = 0.0f64;
+    let mut bytes_written = 0u64;
+    let mut summary_bytes_total = 0u64;
+    let mut raw_bytes_per_step = 0u64;
+
+    for i in 0..cfg.steps {
+        let t0 = Instant::now();
+        let out = pool.install(|| sim.step());
+        sim_t += t0.elapsed();
+        let raw = out.size_bytes() as u64;
+        raw_bytes_per_step = raw;
+        mem.alloc(raw);
+
+        let t0 = Instant::now();
+        let summary = pool
+            .install(|| summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision));
+        reduce_t += t0.elapsed();
+        let sbytes = summary.size_bytes() as u64;
+        summary_bytes_total += sbytes;
+        mem.alloc(sbytes);
+        drop(out);
+        mem.free(raw); // raw data discarded once the summary exists
+
+        if let Some(e) = selector.offer(i, summary, &mem) {
+            let secs = storage.write(output_modeled, e.summary_bytes);
+            output_modeled += secs;
+            bytes_written += e.summary_bytes;
+            let _ = e.step;
+        }
+    }
+    let (selected, select_t) = selector.finish(&mem);
+    mem.free(sim_resident);
+
+    let speed = cfg.machine.core_speed;
+    let phases = PhaseTimes {
+        simulate: modeled_seconds(sim_t, threads, cfg.cores, &cfg.sim_scaling, speed),
+        reduce: modeled_seconds(
+            reduce_t,
+            threads,
+            cfg.cores,
+            &reduce_scaling(&cfg.reduction),
+            speed,
+        ),
+        select: modeled_seconds(
+            select_t,
+            threads,
+            cfg.cores,
+            &ScalingModel::selection(),
+            speed,
+        ),
+        output: output_modeled,
+    };
+    InsituReport {
+        total_modeled: phases.sum(),
+        phases,
+        wall_seconds: wall0.elapsed().as_secs_f64(),
+        selected,
+        peak_memory_bytes: mem.peak(),
+        bytes_written,
+        raw_bytes_per_step,
+        summary_bytes_total,
+        steps: cfg.steps,
+    }
+}
+
+fn run_separate<S: Simulation>(
+    mut sim: S,
+    cfg: &PipelineConfig,
+    storage: &dyn Storage,
+) -> InsituReport {
+    let CoreAllocation::Separate { sim_cores, bitmap_cores } = cfg.allocation else {
+        unreachable!("dispatched on allocation");
+    };
+    let wall0 = Instant::now();
+    let mem = MemoryTracker::new();
+    let sim_resident = sim.resident_bytes() as u64;
+    mem.alloc(sim_resident);
+    let (tx, rx) = crossbeam::channel::bounded::<StepOutput>(cfg.queue_capacity);
+    let sim_pool = cfg.machine.pool(sim_cores);
+    let bm_pool = cfg.machine.pool(bitmap_cores);
+    let sim_threads = sim_pool.current_num_threads();
+    let bm_threads = bm_pool.current_num_threads();
+    let steps = cfg.steps;
+
+    let mut selector = StreamingSelector::new(cfg.steps, cfg.select_k, cfg.metric);
+    let mut reduce_t = Duration::ZERO;
+    let mut output_modeled = 0.0f64;
+    let mut bytes_written = 0u64;
+    let mut summary_bytes_total = 0u64;
+    let mut raw_bytes_per_step = 0u64;
+
+    let sim_t = std::thread::scope(|scope| {
+        let mem_ref = &mem;
+        // Producer: the simulation core set, feeding the bounded data queue.
+        let producer = scope.spawn(move || {
+            let mut sim_t = Duration::ZERO;
+            for _ in 0..steps {
+                let (out, d) = timed_in_pool(&sim_pool, || sim.step());
+                sim_t += d;
+                mem_ref.alloc(out.size_bytes() as u64);
+                // blocks when the queue is full — the paper's memory bound
+                tx.send(out).expect("consumer hung up");
+            }
+            drop(tx);
+            sim_t
+        });
+
+        // Consumer: the bitmap core set, draining the queue head.
+        for (i, out) in rx.iter().enumerate() {
+            let raw = out.size_bytes() as u64;
+            raw_bytes_per_step = raw;
+            let (summary, d) = timed_in_pool(&bm_pool, || {
+                summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
+            });
+            reduce_t += d;
+            let sbytes = summary.size_bytes() as u64;
+            summary_bytes_total += sbytes;
+            mem.alloc(sbytes);
+            drop(out);
+            mem.free(raw);
+            if let Some(e) = selector.offer(i, summary, &mem) {
+                let secs = storage.write(output_modeled, e.summary_bytes);
+                output_modeled += secs;
+                bytes_written += e.summary_bytes;
+            }
+        }
+        producer.join().expect("simulation thread panicked")
+    });
+    let (selected, select_t) = selector.finish(&mem);
+    mem.free(sim_resident);
+
+    // One-thread pools were measured in thread CPU time (exact under
+    // oversubscription); wider pools used wall clock and need the
+    // host-contention correction.
+    let active = sim_threads + bm_threads;
+    let sim_t = if sim_threads == 1 { sim_t } else { decontend(sim_t, active) };
+    let reduce_t = if bm_threads == 1 { reduce_t } else { decontend(reduce_t, active) };
+    let select_t = if bm_threads == 1 { select_t } else { decontend(select_t, active) };
+    let speed = cfg.machine.core_speed;
+    let phases = PhaseTimes {
+        simulate: modeled_seconds(sim_t, sim_threads, sim_cores, &cfg.sim_scaling, speed),
+        reduce: modeled_seconds(
+            reduce_t,
+            bm_threads,
+            bitmap_cores,
+            &reduce_scaling(&cfg.reduction),
+            speed,
+        ),
+        select: modeled_seconds(
+            select_t,
+            bm_threads,
+            bitmap_cores,
+            &ScalingModel::selection(),
+            speed,
+        ),
+        output: output_modeled,
+    };
+    // Simulation and reduction overlap; selection rides the bitmap cores.
+    let total_modeled = phases.simulate.max(phases.reduce + phases.select) + phases.output;
+    InsituReport {
+        phases,
+        total_modeled,
+        wall_seconds: wall0.elapsed().as_secs_f64(),
+        selected,
+        peak_memory_bytes: mem.peak(),
+        bytes_written,
+        raw_bytes_per_step,
+        summary_bytes_total,
+        steps: cfg.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::LocalDisk;
+    use ibis_datagen::{Heat3D, Heat3DConfig};
+
+    fn heat_cfg() -> Heat3DConfig {
+        Heat3DConfig { nx: 16, ny: 16, nz: 16, ..Heat3DConfig::tiny() }
+    }
+
+    fn base_cfg(reduction: Reduction) -> PipelineConfig {
+        PipelineConfig {
+            machine: MachineModel::xeon32(),
+            cores: 4,
+            allocation: CoreAllocation::Shared,
+            reduction,
+            steps: 13,
+            select_k: 4,
+            metric: Metric::ConditionalEntropy,
+            binners: vec![Binner::precision(-1.0, 101.0, 0)],
+            per_step_precision: None,
+            queue_capacity: 3,
+            sim_scaling: ScalingModel::heat3d(),
+        }
+    }
+
+    #[test]
+    fn shared_bitmaps_run_end_to_end() {
+        let cfg = base_cfg(Reduction::Bitmaps);
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        assert_eq!(r.selected.len(), 4);
+        assert_eq!(r.selected[0], 0);
+        assert!(r.selected.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(r.steps, 13);
+        assert!(r.bytes_written > 0);
+        assert_eq!(disk.bytes_written(), r.bytes_written);
+        assert!(r.phases.simulate > 0.0 && r.phases.reduce > 0.0);
+        assert!(r.total_modeled >= r.phases.output);
+        assert!(r.compression_ratio() > 1.0, "bitmaps should compress heat3d");
+    }
+
+    #[test]
+    fn full_data_writes_raw_sizes() {
+        let cfg = base_cfg(Reduction::FullData);
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        // each selected step is the raw array
+        assert_eq!(r.bytes_written, 4 * r.raw_bytes_per_step);
+        assert!(r.phases.reduce < r.phases.simulate, "full data has ~no reduce phase");
+    }
+
+    #[test]
+    fn bitmaps_write_less_and_peak_lower_than_full() {
+        let disk = LocalDisk::new(1e9);
+        let rb = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::Bitmaps), &disk);
+        let rf = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::FullData), &disk);
+        assert!(rb.bytes_written < rf.bytes_written, "bitmaps must shrink I/O");
+        assert!(
+            rb.peak_memory_bytes < rf.peak_memory_bytes,
+            "bitmaps {} must hold less than full {}",
+            rb.peak_memory_bytes,
+            rf.peak_memory_bytes
+        );
+    }
+
+    #[test]
+    fn both_strategies_select_identical_steps() {
+        let disk = LocalDisk::new(1e9);
+        let shared = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::Bitmaps), &disk);
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.allocation = CoreAllocation::Separate { sim_cores: 2, bitmap_cores: 2 };
+        let separate = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        assert_eq!(shared.selected, separate.selected);
+        assert_eq!(shared.bytes_written, separate.bytes_written);
+    }
+
+    #[test]
+    fn bitmap_selection_equals_full_selection() {
+        // the no-accuracy-loss claim at pipeline level
+        let disk = LocalDisk::new(1e9);
+        let rb = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::Bitmaps), &disk);
+        let rf = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::FullData), &disk);
+        assert_eq!(rb.selected, rf.selected);
+    }
+
+    #[test]
+    fn sampling_reduces_bytes_but_changes_selection_possible() {
+        let mut cfg = base_cfg(Reduction::Sampling {
+            percent: 10.0,
+            method: SamplingMethod::Stride,
+        });
+        cfg.metric = Metric::ConditionalEntropy;
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        assert_eq!(r.selected.len(), 4);
+        assert!(r.bytes_written < 4 * r.raw_bytes_per_step / 5, "10% samples are small");
+    }
+
+    #[test]
+    fn select_one_keeps_only_step_zero() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.select_k = 1;
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        assert_eq!(r.selected, vec![0]);
+    }
+
+    #[test]
+    fn select_all_keeps_everything() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.steps = 5;
+        cfg.select_k = 5;
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        assert_eq!(r.selected, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn memory_tracker_ends_at_zero() {
+        // peak > 0 and everything freed: no leak in the accounting
+        let cfg = base_cfg(Reduction::Bitmaps);
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        assert!(r.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "separate sets exceed")]
+    fn rejects_overcommitted_split() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.allocation = CoreAllocation::Separate { sim_cores: 3, bitmap_cores: 3 };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn rejects_bad_k() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.select_k = 50;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,87 @@
+//! Result records for in-situ runs: the per-phase time breakdown the
+//! paper's Figures 7–10 plot, plus memory and I/O accounting.
+
+/// Modeled wall seconds per pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Simulation time.
+    pub simulate: f64,
+    /// Data-reduction time: bitmap generation (bitmaps method) or
+    /// down-sampling (sampling method); zero for the full-data method.
+    pub reduce: f64,
+    /// Time-steps selection (metric evaluation + bookkeeping).
+    pub select: f64,
+    /// Writing the selected outputs to storage.
+    pub output: f64,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases (the Shared-Cores total; Separate-Cores overlaps
+    /// simulate with reduce — see [`InsituReport::total_modeled`]).
+    pub fn sum(&self) -> f64 {
+        self.simulate + self.reduce + self.select + self.output
+    }
+}
+
+/// The complete result of one in-situ pipeline run.
+#[derive(Debug, Clone)]
+pub struct InsituReport {
+    /// Per-phase modeled times.
+    pub phases: PhaseTimes,
+    /// End-to-end modeled time. Equals `phases.sum()` under Shared-Cores;
+    /// under Separate-Cores simulation overlaps reduction, so it is
+    /// `max(simulate, reduce + select) + output`.
+    pub total_modeled: f64,
+    /// Real wall-clock seconds the run took on the host.
+    pub wall_seconds: f64,
+    /// Selected time-step indices, increasing, starting at 0.
+    pub selected: Vec<usize>,
+    /// High-water mark of tracked analysis memory (bytes).
+    pub peak_memory_bytes: u64,
+    /// Bytes shipped to storage (selected summaries only).
+    pub bytes_written: u64,
+    /// Raw output bytes of one time-step (all fields).
+    pub raw_bytes_per_step: u64,
+    /// Total summary bytes produced across all steps.
+    pub summary_bytes_total: u64,
+    /// Steps simulated.
+    pub steps: usize,
+}
+
+impl InsituReport {
+    /// Mean compression ratio: raw step bytes over mean summary bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.summary_bytes_total == 0 || self.steps == 0 {
+            return 0.0;
+        }
+        self.raw_bytes_per_step as f64
+            / (self.summary_bytes_total as f64 / self.steps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_sum() {
+        let p = PhaseTimes { simulate: 1.0, reduce: 2.0, select: 0.5, output: 1.5 };
+        assert_eq!(p.sum(), 5.0);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let r = InsituReport {
+            phases: PhaseTimes::default(),
+            total_modeled: 0.0,
+            wall_seconds: 0.0,
+            selected: vec![0],
+            peak_memory_bytes: 0,
+            bytes_written: 0,
+            raw_bytes_per_step: 1000,
+            summary_bytes_total: 2000,
+            steps: 10,
+        };
+        assert_eq!(r.compression_ratio(), 5.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! An on-disk store for the in-situ phase's output: one directory holding
+//! the selected time-steps' indices (one `.ibis` file per step per
+//! variable) plus a manifest — the artifact a post-analysis session opens
+//! instead of the raw simulation output.
+//!
+//! Layout:
+//!
+//! ```text
+//! run-dir/
+//!   MANIFEST            # one line per entry: step <TAB> variable <TAB> file
+//!   s0000_temperature.ibis
+//!   s0005_temperature.ibis
+//!   …
+//! ```
+
+use crate::io::codec;
+use ibis_core::BitmapIndex;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A writer that accumulates selected-step indices into a run directory.
+#[derive(Debug)]
+pub struct StoreWriter {
+    dir: PathBuf,
+    entries: Vec<(usize, String, String)>,
+}
+
+impl StoreWriter {
+    /// Creates (if needed) the run directory.
+    pub fn create(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(StoreWriter { dir: dir.as_ref().to_path_buf(), entries: Vec::new() })
+    }
+
+    /// Persists one step's index for one variable.
+    pub fn put(
+        &mut self,
+        step: usize,
+        variable: &str,
+        index: &BitmapIndex,
+    ) -> std::io::Result<()> {
+        assert!(
+            variable.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "variable names must be [A-Za-z0-9_] for safe file names"
+        );
+        let file = format!("s{step:06}_{variable}.ibis");
+        std::fs::write(self.dir.join(&file), codec::encode_index(index))?;
+        self.entries.push((step, variable.to_string(), file));
+        Ok(())
+    }
+
+    /// Writes the manifest and finishes the run. Until this is called the
+    /// directory has no manifest and [`Store::open`] will refuse it.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.entries.sort();
+        let mut f = std::fs::File::create(self.dir.join("MANIFEST"))?;
+        for (step, var, file) in &self.entries {
+            writeln!(f, "{step}\t{var}\t{file}")?;
+        }
+        Ok(self.dir)
+    }
+}
+
+/// A read-only view of a finished run directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    /// `(step, variable) -> file name`, ordered by step then variable.
+    entries: BTreeMap<(usize, String), String>,
+}
+
+impl Store {
+    /// Opens a run directory; fails without a valid manifest.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
+        let mut entries = BTreeMap::new();
+        for (lineno, line) in manifest.lines().enumerate() {
+            let mut parts = line.split('\t');
+            let (Some(step), Some(var), Some(file), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(bad_manifest(lineno, "expected 3 tab-separated fields"));
+            };
+            let step: usize =
+                step.parse().map_err(|_| bad_manifest(lineno, "bad step number"))?;
+            if file.contains('/') || file.contains("..") {
+                return Err(bad_manifest(lineno, "file escapes the run directory"));
+            }
+            entries.insert((step, var.to_string()), file.to_string());
+        }
+        Ok(Store { dir, entries })
+    }
+
+    /// Steps present in the store, ascending.
+    pub fn steps(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.entries.keys().map(|(s, _)| *s).collect();
+        v.dedup();
+        v
+    }
+
+    /// Variables present for `step`.
+    pub fn variables(&self, step: usize) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|((s, _), _)| *s == step)
+            .map(|((_, v), _)| v.as_str())
+            .collect()
+    }
+
+    /// Loads one index.
+    pub fn get(&self, step: usize, variable: &str) -> std::io::Result<BitmapIndex> {
+        let file = self
+            .entries
+            .get(&(step, variable.to_string()))
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no entry for step {step} variable {variable:?}"),
+                )
+            })?;
+        let bytes = std::fs::read(self.dir.join(file))?;
+        codec::decode_index(&bytes).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{file}: corrupt index blob"),
+            )
+        })
+    }
+
+    /// Loads every step of one variable, in step order.
+    pub fn load_series(&self, variable: &str) -> std::io::Result<Vec<(usize, BitmapIndex)>> {
+        self.steps()
+            .into_iter()
+            .filter(|&s| self.entries.contains_key(&(s, variable.to_string())))
+            .map(|s| Ok((s, self.get(s, variable)?)))
+            .collect()
+    }
+}
+
+fn bad_manifest(lineno: usize, why: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("MANIFEST line {}: {why}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibis_core::Binner;
+
+    fn sample_index(seed: usize) -> BitmapIndex {
+        let data: Vec<f64> =
+            (0..500).map(|i| ((i * (seed + 3)) % 40) as f64).collect();
+        BitmapIndex::build(&data, Binner::distinct_ints(0, 39))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ibis-store-{name}"));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn round_trip_store() {
+        let dir = tmp("roundtrip");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for step in [0usize, 5, 9] {
+            w.put(step, "temperature", &sample_index(step)).unwrap();
+            w.put(step, "salinity", &sample_index(step + 100)).unwrap();
+        }
+        w.finish().unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.steps(), vec![0, 5, 9]);
+        assert_eq!(store.variables(5), vec!["salinity", "temperature"]);
+        let idx = store.get(5, "temperature").unwrap();
+        assert_eq!(idx.counts(), sample_index(5).counts());
+        let series = store.load_series("salinity").unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[2].0, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_without_manifest_fails() {
+        let dir = tmp("nomanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Store::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_entry_is_not_found() {
+        let dir = tmp("missing");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        let err = store.get(1, "salinity").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_blob_is_invalid_data() {
+        let dir = tmp("corrupt");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(2, "temperature", &sample_index(2)).unwrap();
+        let finished = w.finish().unwrap();
+        // truncate the blob
+        let f = finished.join("s000002_temperature.ibis");
+        let bytes = std::fs::read(&f).unwrap();
+        std::fs::write(&f, &bytes[..bytes.len() / 2]).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let err = store.get(2, "temperature").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_manifest_rejected() {
+        let dir = tmp("hostile");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("MANIFEST"), "0\ttemp\t../../etc/passwd\n").unwrap();
+        assert!(Store::open(&dir).is_err());
+        std::fs::write(dir.join("MANIFEST"), "zero\ttemp\tx.ibis\n").unwrap();
+        assert!(Store::open(&dir).is_err());
+        std::fs::write(dir.join("MANIFEST"), "0\ttemp\n").unwrap();
+        assert!(Store::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "safe file names")]
+    fn hostile_variable_name_rejected() {
+        let dir = tmp("hostilevar");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let _ = w.put(0, "../evil", &sample_index(0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Parallel (cluster) in-situ analysis — the paper's Figure 13 scenario:
+//! Heat3D distributed over N nodes with halo exchange, per-node bitmap
+//! generation, globally coordinated time-steps selection, and output to
+//! either node-local disks or one shared 100 MB/s remote data server.
+//!
+//! ```text
+//! cargo run --release --example cluster_insitu
+//! ```
+
+use ibis::core::Binner;
+use ibis::datagen::Heat3DConfig;
+use ibis::insitu::{
+    run_cluster, ClusterConfig, ClusterIo, ClusterReduction, MachineModel, ScalingModel,
+};
+
+fn main() {
+    let heat = Heat3DConfig { nx: 32, ny: 32, nz: 32, ..Default::default() };
+    let base = ClusterConfig {
+        nodes: 4,
+        cores_per_node: 8,
+        machine: MachineModel::oakley_node(),
+        heat,
+        sweeps_per_step: 2,
+        steps: 16,
+        select_k: 4,
+        binner: Binner::precision(-1.0, 101.0, 0),
+        reduction: ClusterReduction::Bitmaps,
+        io: ClusterIo::Local,
+        remote_bw: MachineModel::remote_link_bw(),
+        sim_scaling: ScalingModel::heat3d(),
+    };
+
+    println!(
+        "Heat3D {}³ across {} nodes × {} cores, selecting {} of {} steps\n",
+        base.heat.nx, base.nodes, base.cores_per_node, base.select_k, base.steps
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "configuration", "sim(s)", "bitmap(s)", "output(s)", "total(s)", "written"
+    );
+
+    let mut selections = Vec::new();
+    for (label, reduction, io) in [
+        ("bitmaps / local", ClusterReduction::Bitmaps, ClusterIo::Local),
+        ("full data / local", ClusterReduction::FullData, ClusterIo::Local),
+        ("bitmaps / remote", ClusterReduction::Bitmaps, ClusterIo::Remote),
+        ("full data / remote", ClusterReduction::FullData, ClusterIo::Remote),
+    ] {
+        let cfg = ClusterConfig { reduction, io, ..base.clone() };
+        let r = run_cluster(&cfg);
+        println!(
+            "{:<22} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.1} MB",
+            label,
+            r.phases.simulate,
+            r.phases.reduce,
+            r.phases.output,
+            r.total_modeled,
+            r.bytes_written as f64 / 1e6
+        );
+        selections.push(r.selected);
+    }
+    assert!(
+        selections.windows(2).all(|w| w[0] == w[1]),
+        "all configurations must select the same steps"
+    );
+    println!(
+        "\nAll four configurations selected the identical steps: {:?}",
+        selections[0]
+    );
+    println!(
+        "On the shared remote link the full-data method queues behind its own bulk —\n\
+         the bitmaps method ships a fraction of the bytes and wins by the larger factor."
+    );
+}

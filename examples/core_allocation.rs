@@ -1,0 +1,86 @@
+//! Core-allocation strategies (Section 2.3, Figure 12): Shared Cores vs
+//! Separate Cores at several splits, plus the Equations 1–2 automatic
+//! split, on the Heat3D workload.
+//!
+//! ```text
+//! cargo run --release --example core_allocation
+//! ```
+
+use ibis::analysis::Metric;
+use ibis::core::Binner;
+use ibis::datagen::{Heat3D, Heat3DConfig};
+use ibis::insitu::{
+    auto_allocate, run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig,
+    Reduction, ScalingModel,
+};
+
+fn main() {
+    let heat = Heat3DConfig { nx: 40, ny: 40, nz: 40, ..Default::default() };
+    let machine = MachineModel::xeon32();
+    let total_cores = 28; // the paper's Figure 12(a) budget
+    let steps = 24;
+
+    let base = PipelineConfig {
+        machine: machine.clone(),
+        cores: total_cores,
+        allocation: CoreAllocation::Shared,
+        reduction: Reduction::Bitmaps,
+        steps,
+        select_k: 6,
+        metric: Metric::ConditionalEntropy,
+        binners: vec![Binner::precision(-1.0, 101.0, 0)],
+        per_step_precision: None,
+        queue_capacity: 4,
+        sim_scaling: ScalingModel::heat3d(),
+    };
+
+    println!(
+        "Heat3D {}³, {} steps, modeled {} with {} cores\n",
+        heat.nx, steps, machine.name, total_cores
+    );
+    println!("{:<16} {:>10} {:>10} {:>12}", "allocation", "sim(s)", "bitmap(s)", "total(s)");
+
+    // Shared cores: phases alternate on all 28 cores.
+    let disk = LocalDisk::new(machine.disk_bw);
+    let shared = run_pipeline(Heat3D::new(heat.clone()), &base, &disk);
+    println!(
+        "{:<16} {:>10.3} {:>10.3} {:>12.3}",
+        "c_all (shared)", shared.phases.simulate, shared.phases.reduce, shared.total_modeled
+    );
+
+    // Separate cores at several splits (the paper's c_i_c_j bars).
+    for (sim, bm) in [(24, 4), (20, 8), (16, 12), (12, 16), (8, 20)] {
+        let mut cfg = base.clone();
+        cfg.allocation = CoreAllocation::Separate { sim_cores: sim, bitmap_cores: bm };
+        let disk = LocalDisk::new(machine.disk_bw);
+        let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk);
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>12.3}",
+            format!("c{sim}_c{bm}"),
+            r.phases.simulate,
+            r.phases.reduce,
+            r.total_modeled
+        );
+    }
+
+    // Equations 1–2: probe a few steps, then split automatically.
+    let mut probe = Heat3D::new(heat.clone());
+    let alloc = auto_allocate(&mut probe, &base.binners, &machine, total_cores, 3);
+    let CoreAllocation::Separate { sim_cores, bitmap_cores } = alloc else {
+        unreachable!()
+    };
+    let mut cfg = base.clone();
+    cfg.allocation = alloc;
+    let disk = LocalDisk::new(machine.disk_bw);
+    let r = run_pipeline(Heat3D::new(heat), &cfg, &disk);
+    println!(
+        "{:<16} {:>10.3} {:>10.3} {:>12.3}   <- Equations 1-2",
+        format!("auto c{sim_cores}_c{bitmap_cores}"),
+        r.phases.simulate,
+        r.phases.reduce,
+        r.total_modeled
+    );
+    println!(
+        "\nThe auto split balances the two pipelines so neither side starves the data queue."
+    );
+}

@@ -1,0 +1,365 @@
+//! `ibis` — command-line front end for the in-situ bitmap pipeline.
+//!
+//! ```text
+//! ibis insitu --sim heat3d --steps 40 --select 10 --cores 16 [--machine xeon|mic]
+//!             [--method bitmaps|full|sample:<pct>] [--allocation shared|auto|<sim>:<bm>]
+//!             [--out DIR]
+//! ibis mine   [--grid LONxLATxDEPTH] [--bins N] [--t1 X] [--t2 Y] [--unit N] [--top N]
+//! ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
+//!             [--region LO:HI] [--grid LONxLATxDEPTH]
+//! ```
+//!
+//! `insitu --out DIR` persists the selected steps' bitmap indices as
+//! `.ibis` files that `ibis::insitu::codec::decode_index` (and the
+//! `offline_postanalysis` example) can reload.
+
+use ibis::analysis::{
+    correlation_query, mine_index, Metric, MiningConfig, SubsetQuery,
+};
+use ibis::core::{Binner, BitmapIndex, ZOrderLayout};
+use ibis::datagen::{
+    Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, OceanConfig, OceanModel, Simulation,
+};
+use ibis::insitu::{
+    auto_allocate, run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig,
+    Reduction, ScalingModel, StoreWriter,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "insitu" => cmd_insitu(&flags),
+        "mine" => cmd_mine(&flags),
+        "query" => cmd_query(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ibis — in-situ bitmap generation and bitmap-only analysis
+
+USAGE:
+  ibis insitu [--sim heat3d|lulesh] [--steps N] [--select K] [--cores C]
+              [--machine xeon|mic] [--method bitmaps|full|sample:<pct>]
+              [--allocation shared|auto|<simcores>:<bmcores>] [--out DIR]
+  ibis mine   [--grid LONxLATxDEPTH] [--bins N] [--t1 X] [--t2 Y]
+              [--unit N] [--top N]
+  ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
+              [--region LO:HI] [--grid LONxLATxDEPTH]
+  ibis help";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {a:?}"));
+        };
+        let value =
+            it.next().ok_or_else(|| format!("--{name} needs a value"))?.clone();
+        flags.insert(name.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn get_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+    }
+}
+
+fn get_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+    }
+}
+
+fn get_range(flags: &Flags, name: &str) -> Result<Option<(f64, f64)>, String> {
+    let Some(v) = flags.get(name) else { return Ok(None) };
+    let (lo, hi) =
+        v.split_once(':').ok_or_else(|| format!("--{name}: expected LO:HI, got {v:?}"))?;
+    let lo: f64 = lo.parse().map_err(|_| format!("--{name}: bad number {lo:?}"))?;
+    let hi: f64 = hi.parse().map_err(|_| format!("--{name}: bad number {hi:?}"))?;
+    if hi <= lo {
+        return Err(format!("--{name}: empty range {v:?}"));
+    }
+    Ok(Some((lo, hi)))
+}
+
+fn get_grid(flags: &Flags, default: (usize, usize, usize)) -> Result<(usize, usize, usize), String> {
+    let Some(v) = flags.get("grid") else { return Ok(default) };
+    let parts: Vec<&str> = v.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!("--grid: expected LONxLATxDEPTH, got {v:?}"));
+    }
+    let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse()).collect();
+    let dims = dims.map_err(|_| format!("--grid: bad dimensions {v:?}"))?;
+    Ok((dims[0], dims[1], dims[2]))
+}
+
+fn cmd_insitu(flags: &Flags) -> Result<(), String> {
+    let sim_name = flags.get("sim").map(String::as_str).unwrap_or("heat3d");
+    let steps = get_usize(flags, "steps", 40)?;
+    let select_k = get_usize(flags, "select", (steps / 4).max(1))?;
+    let machine = match flags.get("machine").map(String::as_str).unwrap_or("xeon") {
+        "xeon" => MachineModel::xeon32(),
+        "mic" => MachineModel::mic60(),
+        other => return Err(format!("--machine: unknown platform {other:?}")),
+    };
+    let cores = get_usize(flags, "cores", machine.total_cores.min(16))?;
+    if cores == 0 || cores > machine.total_cores {
+        return Err(format!("--cores must be 1..={}", machine.total_cores));
+    }
+
+    let reduction = match flags.get("method").map(String::as_str).unwrap_or("bitmaps") {
+        "bitmaps" => Reduction::Bitmaps,
+        "full" => Reduction::FullData,
+        m if m.starts_with("sample:") => {
+            let pct: f64 = m["sample:".len()..]
+                .parse()
+                .map_err(|_| format!("--method: bad sample level {m:?}"))?;
+            if !(0.0..=100.0).contains(&pct) || pct == 0.0 {
+                return Err("--method sample:<pct> needs 0 < pct <= 100".into());
+            }
+            Reduction::Sampling {
+                percent: pct,
+                method: ibis::analysis::SamplingMethod::Stride,
+            }
+        }
+        other => return Err(format!("--method: unknown method {other:?}")),
+    };
+
+    // Build the simulation + per-field binners + scaling profile.
+    let (mut sim, binners, metric, scaling): (
+        Box<dyn Simulation>,
+        Vec<Binner>,
+        Metric,
+        ScalingModel,
+    ) = match sim_name {
+        "heat3d" => (
+            Box::new(Heat3D::new(Heat3DConfig::default())),
+            vec![Binner::precision(-1.0, 101.0, 0)],
+            Metric::ConditionalEntropy,
+            ScalingModel::heat3d(),
+        ),
+        "lulesh" => {
+            let cfg = LuleshConfig::default();
+            let mut probe = MiniLulesh::new(cfg.clone());
+            let probe_steps = probe.run(3);
+            let binners = (0..probe_steps[0].fields.len())
+                .map(|f| {
+                    let all: Vec<f64> = probe_steps
+                        .iter()
+                        .flat_map(|s| s.fields[f].data.iter().copied())
+                        .collect();
+                    Binner::fit(&all, 48)
+                })
+                .collect();
+            (
+                Box::new(MiniLulesh::new(cfg)),
+                binners,
+                Metric::EmdSpatial,
+                ScalingModel::lulesh(),
+            )
+        }
+        other => return Err(format!("--sim: unknown simulation {other:?}")),
+    };
+
+    let allocation = match flags.get("allocation").map(String::as_str).unwrap_or("shared") {
+        "shared" => CoreAllocation::Shared,
+        "auto" => {
+            if cores < 2 {
+                return Err("--allocation auto needs at least 2 cores".into());
+            }
+            auto_allocate(&mut sim, &binners, &machine, cores, 2)
+        }
+        split => {
+            let (s, b) = split
+                .split_once(':')
+                .ok_or_else(|| format!("--allocation: expected shared|auto|S:B, got {split:?}"))?;
+            let s: usize = s.parse().map_err(|_| "--allocation: bad core count".to_string())?;
+            let b: usize = b.parse().map_err(|_| "--allocation: bad core count".to_string())?;
+            CoreAllocation::Separate { sim_cores: s, bitmap_cores: b }
+        }
+    };
+
+    let cfg = PipelineConfig {
+        machine: machine.clone(),
+        cores,
+        allocation,
+        reduction,
+        steps,
+        select_k,
+        metric,
+        binners: binners.clone(),
+        per_step_precision: None,
+        queue_capacity: 4,
+        sim_scaling: scaling,
+    };
+    let disk = LocalDisk::new(machine.disk_bw);
+    println!(
+        "running {sim_name}: {steps} steps, selecting {select_k}, {cores} cores on {} ({:?})",
+        machine.name, cfg.allocation
+    );
+    let report = run_pipeline(sim, &cfg, &disk);
+
+    println!("\nselected steps: {:?}", report.selected);
+    println!(
+        "phases (modeled s): simulate {:.3}  reduce {:.3}  select {:.3}  output {:.3}",
+        report.phases.simulate, report.phases.reduce, report.phases.select, report.phases.output
+    );
+    println!(
+        "total (modeled) {:.3}s   wall {:.3}s   peak memory {:.2} MB   written {:.2} MB",
+        report.total_modeled,
+        report.wall_seconds,
+        report.peak_memory_bytes as f64 / 1e6,
+        report.bytes_written as f64 / 1e6
+    );
+
+    // Optionally persist the selected steps' bitmaps for post-analysis.
+    if let Some(dir) = flags.get("out") {
+        if !matches!(cfg.reduction, Reduction::Bitmaps) {
+            return Err("--out requires --method bitmaps".into());
+        }
+        let mut store = StoreWriter::create(dir).map_err(|e| format!("--out: {e}"))?;
+        // re-simulate the selected steps to materialize their indices
+        // (the pipeline freed them after writing the modeled bytes)
+        let mut sim2: Box<dyn Simulation> = match sim_name {
+            "heat3d" => Box::new(Heat3D::new(Heat3DConfig::default())),
+            _ => Box::new(MiniLulesh::new(LuleshConfig::default())),
+        };
+        for step in 0..steps {
+            let out = sim2.step();
+            if !report.selected.contains(&step) {
+                continue;
+            }
+            for (f, binner) in out.fields.iter().zip(&binners) {
+                let idx = BitmapIndex::build(&f.data, binner.clone());
+                store.put(step, f.name, &idx).map_err(|e| format!("--out: {e}"))?;
+            }
+        }
+        let dir = store.finish().map_err(|e| format!("--out: {e}"))?;
+        println!("persisted selected indices to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_mine(flags: &Flags) -> Result<(), String> {
+    let (nlon, nlat, ndepth) = get_grid(flags, (128, 96, 2))?;
+    let bins = get_usize(flags, "bins", 32)?;
+    let t1 = get_f64(flags, "t1", 0.002)?;
+    let t2 = get_f64(flags, "t2", 0.08)?;
+    let unit = get_usize(flags, "unit", 512)? as u64;
+    let top = get_usize(flags, "top", 10)?;
+
+    let cfg = OceanConfig { nlon, nlat, ndepth, ..Default::default() };
+    let ocean = OceanModel::new(cfg);
+    let z = ZOrderLayout::new(&[nlon, nlat, ndepth]);
+    let t = z.reorder(&ocean.variable("temperature"));
+    let s = z.reorder(&ocean.variable("salinity"));
+    let bt = Binner::fit(&t, bins);
+    let bs = Binner::fit(&s, bins);
+    let it = BitmapIndex::build(&t, bt.clone());
+    let is = BitmapIndex::build(&s, bs.clone());
+    let result = mine_index(&it, &is, &MiningConfig {
+        value_threshold: t1,
+        spatial_threshold: t2,
+        unit_size: unit,
+    });
+    println!(
+        "mined temperature x salinity on {nlon}x{nlat}x{ndepth}: {} pairs evaluated, {} pruned, {} subsets",
+        result.pairs_evaluated, result.pairs_pruned, result.subsets.len()
+    );
+    println!(
+        "\n{:<26} {:<26} {:>6} {:>9}",
+        "temperature range", "salinity range", "unit", "MI(bits)"
+    );
+    for sub in result.subsets.iter().take(top) {
+        let (tl, th) = bt.bin_range(sub.bin_a);
+        let (sl, sh) = bs.bin_range(sub.bin_b);
+        println!(
+            "[{tl:8.3}, {th:8.3})       [{sl:8.3}, {sh:8.3})       {:>6} {:>9.4}",
+            sub.unit, sub.spatial_mi
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let (nlon, nlat, ndepth) = get_grid(flags, (128, 96, 2))?;
+    let var_a = flags.get("var-a").ok_or("--var-a is required")?;
+    let var_b = flags.get("var-b").ok_or("--var-b is required")?;
+    let cfg = OceanConfig { nlon, nlat, ndepth, ..Default::default() };
+    let ocean = OceanModel::new(cfg);
+    let known = ibis::datagen::OCEAN_FIELDS;
+    for v in [var_a, var_b] {
+        if !known.contains(&v.as_str()) {
+            return Err(format!("unknown variable {v:?}; available: {known:?}"));
+        }
+    }
+    let a = ocean.variable(var_a);
+    let b = ocean.variable(var_b);
+    let ia = BitmapIndex::build(&a, Binner::fit(&a, 48));
+    let ib = BitmapIndex::build(&b, Binner::fit(&b, 48));
+
+    let mut qa = SubsetQuery::all();
+    let mut qb = SubsetQuery::all();
+    if let Some((lo, hi)) = get_range(flags, "value-a")? {
+        qa = qa.with_value(lo, hi);
+    }
+    if let Some((lo, hi)) = get_range(flags, "value-b")? {
+        qb = qb.with_value(lo, hi);
+    }
+    if let Some((lo, hi)) = get_range(flags, "region")? {
+        let n = ia.len();
+        let (lo, hi) = (lo as u64, (hi as u64).min(n));
+        if lo >= hi {
+            return Err("--region: empty after clamping".into());
+        }
+        qa = qa.with_region(lo..hi);
+        qb = qb.with_region(lo..hi);
+    }
+    let ans = correlation_query(&ia, &ib, &qa, &qb);
+    println!("{var_a} x {var_b}: {} elements selected", ans.selected);
+    println!("mutual information:   {:.4} bits", ans.mutual_information);
+    println!("conditional entropy:  {:.4} bits", ans.conditional_entropy);
+    match ans.pearson {
+        Some(r) => println!("approx. Pearson r:    {r:+.4}"),
+        None => println!("approx. Pearson r:    undefined (constant variable)"),
+    }
+    if let (Some(ma), Some(mb)) = (ans.mean_a, ans.mean_b) {
+        println!(
+            "means: {var_a} = {:.3} ± {:.3}   {var_b} = {:.3} ± {:.3}",
+            ma.value, ma.bound, mb.value, mb.bound
+        );
+    }
+    Ok(())
+}

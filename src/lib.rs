@@ -1,0 +1,47 @@
+//! # ibis — In-situ Bitmap Summaries
+//!
+//! A reproduction of *"In-Situ Bitmaps Generation and Efficient Data Analysis
+//! based on Bitmaps"* (Su, Wang, Agrawal — HPDC 2015).
+//!
+//! Instead of writing raw simulation output to disk, `ibis` builds
+//! WAH-compressed bitmap indices *while the simulation runs*, performs online
+//! analysis (time-steps selection) and offline analysis (correlation mining)
+//! **purely on the bitmaps**, and writes only the selected bitmaps — cutting
+//! both memory footprint and I/O volume without losing accuracy relative to
+//! the same binning on full data.
+//!
+//! The workspace is split into four library crates, re-exported here:
+//!
+//! * [`core`](ibis_core) — WAH bitvectors, streaming (Algorithm 1)
+//!   construction, binning, single- and multi-level bitmap indices, Z-order
+//!   layout, parallel generation.
+//! * [`datagen`](ibis_datagen) — the simulation substrates the paper
+//!   evaluates on: Heat3D, a mini-LULESH hydrodynamics proxy, and a synthetic
+//!   POP-style ocean field generator.
+//! * [`analysis`](ibis_analysis) — entropy / mutual information /
+//!   conditional entropy / Earth Mover's Distance in both full-data and
+//!   bitmap-only forms, greedy time-steps selection, correlation mining
+//!   (Algorithm 2) and the in-situ sampling baseline.
+//! * [`insitu`](ibis_insitu) — the in-situ pipeline: Shared/Separate core
+//!   allocation, Eq. 1–2 auto-calibration, I/O and memory cost models, and a
+//!   threads-as-nodes cluster environment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ibis::core::{Binner, BitmapIndex};
+//!
+//! let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin()).collect();
+//! let binner = Binner::fixed_width(-1.0, 1.0, 32);
+//! let index = BitmapIndex::build(&data, binner);
+//!
+//! // the index is an exact histogram…
+//! assert_eq!(index.counts().iter().sum::<u64>(), 1000);
+//! // …and a compact one
+//! assert!(index.size_bytes() < data.len() * 8);
+//! ```
+
+pub use ibis_analysis as analysis;
+pub use ibis_core as core;
+pub use ibis_datagen as datagen;
+pub use ibis_insitu as insitu;

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `ibis` command-line interface.
+
+use std::process::Command;
+
+fn ibis() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ibis"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ibis().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ibis insitu"));
+    assert!(text.contains("ibis mine"));
+    assert!(text.contains("ibis query"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = ibis().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn bad_flag_value_fails_cleanly() {
+    let out = ibis()
+        .args(["insitu", "--steps", "banana"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--steps"));
+}
+
+#[test]
+fn query_subcommand_reports_relationship() {
+    let out = ibis()
+        .args([
+            "query", "--var-a", "temperature", "--var-b", "oxygen", "--grid", "32x24x2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mutual information"));
+    assert!(text.contains("Pearson"));
+    // temperature and oxygen are anticorrelated by construction
+    assert!(text.contains("-0.9") || text.contains("-1.0"), "{text}");
+}
+
+#[test]
+fn query_rejects_unknown_variable() {
+    let out = ibis()
+        .args(["query", "--var-a", "temperature", "--var-b", "phlogiston"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown variable"));
+}
+
+#[test]
+fn mine_subcommand_finds_subsets() {
+    let out = ibis()
+        .args(["mine", "--grid", "64x48x1", "--top", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pairs evaluated"));
+    assert!(text.contains("subsets"));
+}
+
+#[test]
+fn insitu_subcommand_persists_reloadable_indices() {
+    let dir = std::env::temp_dir().join("ibis-cli-test-out");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = ibis()
+        .args([
+            "insitu", "--sim", "heat3d", "--steps", "8", "--select", "2", "--cores", "4",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("selected steps"));
+    // the run directory is a valid store with one index per selected step
+    let store = ibis::insitu::Store::open(&dir).expect("valid run directory");
+    let steps = store.steps();
+    assert_eq!(steps.len(), 2, "two selected steps");
+    for step in steps {
+        let idx = store.get(step, "temperature").expect("valid index");
+        assert!(!idx.is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn insitu_rejects_out_without_bitmaps() {
+    let out = ibis()
+        .args([
+            "insitu", "--steps", "4", "--select", "2", "--method", "full", "--out", "/tmp/x",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out requires"));
+}
