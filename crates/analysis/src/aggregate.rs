@@ -45,8 +45,11 @@ pub fn sum(index: &BitmapIndex) -> Estimate {
 /// Approximate sum restricted to a selection vector (positions with a 1).
 pub fn sum_selected(index: &BitmapIndex, selection: &WahVec) -> Estimate {
     assert_eq!(selection.len(), index.len(), "selection length mismatch");
-    let counts: Vec<u64> =
-        index.bins().iter().map(|bin| bin.and_count(selection)).collect();
+    let counts: Vec<u64> = index
+        .bins()
+        .iter()
+        .map(|bin| bin.and_count(selection))
+        .collect();
     sum_from_counts(index, &counts)
 }
 
@@ -75,7 +78,10 @@ pub fn mean_selected(index: &BitmapIndex, selection: &WahVec) -> Option<Estimate
 }
 
 fn mean_from(sum: Estimate, n: u64) -> Option<Estimate> {
-    (n > 0).then(|| Estimate { value: sum.value / n as f64, bound: sum.bound / n as f64 })
+    (n > 0).then(|| Estimate {
+        value: sum.value / n as f64,
+        bound: sum.bound / n as f64,
+    })
 }
 
 /// Approximate minimum: the low edge of the first non-empty bin (the true
@@ -83,14 +89,20 @@ fn mean_from(sum: Estimate, n: u64) -> Option<Estimate> {
 pub fn min(index: &BitmapIndex) -> Option<Estimate> {
     let b = index.counts().iter().position(|&c| c > 0)?;
     let (lo, hi) = index.binner().bin_range(b);
-    Some(Estimate { value: (lo + hi) / 2.0, bound: (hi - lo) / 2.0 })
+    Some(Estimate {
+        value: (lo + hi) / 2.0,
+        bound: (hi - lo) / 2.0,
+    })
 }
 
 /// Approximate maximum: the high edge of the last non-empty bin.
 pub fn max(index: &BitmapIndex) -> Option<Estimate> {
     let b = index.counts().iter().rposition(|&c| c > 0)?;
     let (lo, hi) = index.binner().bin_range(b);
-    Some(Estimate { value: (lo + hi) / 2.0, bound: (hi - lo) / 2.0 })
+    Some(Estimate {
+        value: (lo + hi) / 2.0,
+        bound: (hi - lo) / 2.0,
+    })
 }
 
 /// Approximate variance (population), from bin midpoints. The bound is
@@ -115,7 +127,10 @@ pub fn variance(index: &BitmapIndex) -> Option<Estimate> {
         var += c as f64 * dev * dev;
         bound += c as f64 * (w * dev.abs() + w * w / 4.0);
     }
-    Some(Estimate { value: var / n as f64, bound: bound / n as f64 })
+    Some(Estimate {
+        value: var / n as f64,
+        bound: bound / n as f64,
+    })
 }
 
 /// Approximate Pearson correlation of two indexed variables, from the
@@ -153,12 +168,7 @@ pub fn pearson_selected(a: &BitmapIndex, b: &BitmapIndex, selection: &WahVec) ->
     pearson_from_joint(a, b, &joint, selection.count_ones())
 }
 
-fn pearson_from_joint(
-    a: &BitmapIndex,
-    b: &BitmapIndex,
-    joint: &[u64],
-    n: u64,
-) -> Option<f64> {
+fn pearson_from_joint(a: &BitmapIndex, b: &BitmapIndex, joint: &[u64], n: u64) -> Option<f64> {
     if n < 2 {
         return None;
     }
@@ -225,8 +235,14 @@ mod tests {
     #[test]
     fn finer_bins_tighter_bounds() {
         let data = linear_data(1000);
-        let coarse = sum(&BitmapIndex::build(&data, Binner::fixed_width(0.0, 100.0, 5)));
-        let fine = sum(&BitmapIndex::build(&data, Binner::fixed_width(0.0, 100.0, 200)));
+        let coarse = sum(&BitmapIndex::build(
+            &data,
+            Binner::fixed_width(0.0, 100.0, 5),
+        ));
+        let fine = sum(&BitmapIndex::build(
+            &data,
+            Binner::fixed_width(0.0, 100.0, 200),
+        ));
         assert!(fine.bound < coarse.bound / 10.0);
     }
 

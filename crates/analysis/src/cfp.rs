@@ -61,8 +61,7 @@ impl Cfp {
         (0..=steps)
             .map(|i| {
                 let x = max * i as f64 / steps as f64;
-                let y = self.sorted.partition_point(|&v| v <= x) as f64
-                    / self.sorted.len() as f64;
+                let y = self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64;
                 (x, y)
             })
             .collect()

@@ -16,10 +16,15 @@
 //! full-data paths agree exactly under the same binning.
 
 use ibis_core::{Binner, BitmapIndex};
+use rayon::prelude::*;
 
 /// Count-based EMD from per-bin counts (shared scoring kernel).
 pub fn emd_from_counts(counts_a: &[u64], counts_b: &[u64]) -> f64 {
-    assert_eq!(counts_a.len(), counts_b.len(), "EMD needs the same binning scale");
+    assert_eq!(
+        counts_a.len(),
+        counts_b.len(),
+        "EMD needs the same binning scale"
+    );
     let mut cfp = 0i64;
     let mut emd = 0u64;
     for (&ca, &cb) in counts_a.iter().zip(counts_b) {
@@ -78,13 +83,87 @@ pub fn emd_spatial_full(a: &[f64], b: &[f64], binner: &Binner) -> f64 {
 }
 
 /// Spatial EMD of two indexed time-steps: `m` compressed XOR popcounts, one
-/// per bin pair — Figure 4's kernel.
+/// per bin pair — Figure 4's kernel. The per-bin XORs are independent and
+/// run on the rayon pool; the diffs are exact `u64` counts collected in bin
+/// order, so the cumulative sum (and the result) is identical to a serial
+/// evaluation.
 pub fn emd_spatial_index(a: &BitmapIndex, b: &BitmapIndex) -> f64 {
     assert_eq!(a.binner(), b.binner(), "EMD needs the same binning scale");
     assert_eq!(a.len(), b.len(), "spatial EMD needs equal element counts");
-    let diffs: Vec<u64> =
-        (0..a.nbins()).map(|j| a.bin(j).xor_count(b.bin(j))).collect();
+    let diffs: Vec<u64> = (0..a.nbins())
+        .into_par_iter()
+        .map(|j| a.bin(j).xor_count(b.bin(j)))
+        .collect();
     emd_spatial_from_diffs(&diffs)
+}
+
+/// Pairwise count-based EMD table over a sequence of indexed steps:
+/// `table[i][j] = emd_counts_index(steps[i], steps[j])`, with rows filled on
+/// the rayon pool. Only the lower triangle is computed (the metric is
+/// exactly symmetric — a sum of absolute integer flows), then mirrored, so
+/// the table equals [`emd_counts_pairwise_serial`] byte-for-byte.
+pub fn emd_counts_pairwise(steps: &[BitmapIndex]) -> Vec<Vec<f64>> {
+    let lower: Vec<Vec<f64>> = (0..steps.len())
+        .into_par_iter()
+        .map(|i| {
+            (0..i)
+                .map(|j| emd_counts_index(&steps[i], &steps[j]))
+                .collect()
+        })
+        .collect();
+    mirror_lower(lower)
+}
+
+/// Serial baseline for [`emd_counts_pairwise`].
+pub fn emd_counts_pairwise_serial(steps: &[BitmapIndex]) -> Vec<Vec<f64>> {
+    let lower: Vec<Vec<f64>> = (0..steps.len())
+        .map(|i| {
+            (0..i)
+                .map(|j| emd_counts_index(&steps[i], &steps[j]))
+                .collect()
+        })
+        .collect();
+    mirror_lower(lower)
+}
+
+/// Pairwise spatial EMD table over a sequence of indexed steps — the
+/// all-pairs form of Figure 4's kernel, one row per step on the rayon pool.
+pub fn emd_spatial_pairwise(steps: &[BitmapIndex]) -> Vec<Vec<f64>> {
+    let lower: Vec<Vec<f64>> = (0..steps.len())
+        .into_par_iter()
+        .map(|i| {
+            (0..i)
+                .map(|j| emd_spatial_index(&steps[i], &steps[j]))
+                .collect()
+        })
+        .collect();
+    mirror_lower(lower)
+}
+
+/// Serial baseline for [`emd_spatial_pairwise`].
+pub fn emd_spatial_pairwise_serial(steps: &[BitmapIndex]) -> Vec<Vec<f64>> {
+    let lower: Vec<Vec<f64>> = (0..steps.len())
+        .map(|i| {
+            (0..i)
+                .map(|j| emd_spatial_index(&steps[i], &steps[j]))
+                .collect()
+        })
+        .collect();
+    mirror_lower(lower)
+}
+
+/// Expands a lower-triangular distance table into a full square matrix with
+/// a zero diagonal.
+fn mirror_lower(lower: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let n = lower.len();
+    let mut full = vec![vec![0.0; n]; n];
+    for (i, row) in lower.into_iter().enumerate() {
+        for (j, d) in row.into_iter().enumerate() {
+            full[i][j] = d;
+            full[j][i] = d;
+        }
+    }
+    full
 }
 
 // ---------------------------------------------------------------------------
@@ -104,7 +183,11 @@ fn union_space(a: &Binner, b: &Binner) -> Option<(usize, usize, usize)> {
     let b_start = off;
     let lo = a_start.min(b_start);
     let hi = (a.nbins() as i64).max(off + b.nbins() as i64);
-    Some(((a_start - lo) as usize, (b_start - lo) as usize, (hi - lo) as usize))
+    Some((
+        (a_start - lo) as usize,
+        (b_start - lo) as usize,
+        (hi - lo) as usize,
+    ))
 }
 
 /// Count-based EMD between indices whose binners share a lattice but may
@@ -126,6 +209,7 @@ pub fn emd_spatial_index_aligned(a: &BitmapIndex, b: &BitmapIndex) -> Option<f64
     assert_eq!(a.len(), b.len(), "spatial EMD needs equal element counts");
     let (oa, ob, len) = union_space(a.binner(), b.binner())?;
     let diffs: Vec<u64> = (0..len)
+        .into_par_iter()
         .map(|g| {
             let ja = g.checked_sub(oa).filter(|&j| j < a.nbins());
             let kb = g.checked_sub(ob).filter(|&k| k < b.nbins());
@@ -201,10 +285,13 @@ mod tests {
         let a = [0.0, 1.0, 2.0];
         let b = [0.0, 1.0, 3.0];
         let binner = Binner::distinct_ints(0, 3);
-        assert_eq!(emd_from_counts(
-            &crate::histogram::histogram(&a, &binner),
-            &crate::histogram::histogram(&b, &binner),
-        ), 1.0);
+        assert_eq!(
+            emd_from_counts(
+                &crate::histogram::histogram(&a, &binner),
+                &crate::histogram::histogram(&b, &binner),
+            ),
+            1.0
+        );
     }
 
     #[test]
@@ -225,8 +312,14 @@ mod tests {
         let a: Vec<f64> = (0..300).map(|i| ((i * 3) % 11) as f64).collect();
         let b: Vec<f64> = (0..300).map(|i| ((i * 5) % 11) as f64).collect();
         let binner = Binner::distinct_ints(0, 10);
-        assert_eq!(emd_counts_full(&a, &b, &binner), emd_counts_full(&b, &a, &binner));
-        assert_eq!(emd_spatial_full(&a, &b, &binner), emd_spatial_full(&b, &a, &binner));
+        assert_eq!(
+            emd_counts_full(&a, &b, &binner),
+            emd_counts_full(&b, &a, &binner)
+        );
+        assert_eq!(
+            emd_spatial_full(&a, &b, &binner),
+            emd_spatial_full(&b, &a, &binner)
+        );
     }
 
     #[test]
@@ -243,12 +336,17 @@ mod tests {
     #[test]
     fn bitmap_paths_are_exact() {
         let a: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.002).sin() * 20.0).collect();
-        let b: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.002 + 0.4).sin() * 20.0).collect();
+        let b: Vec<f64> = (0..5000)
+            .map(|i| (i as f64 * 0.002 + 0.4).sin() * 20.0)
+            .collect();
         let binner = Binner::fixed_width(-21.0, 21.0, 40);
         let ia = BitmapIndex::build(&a, binner.clone());
         let ib = BitmapIndex::build(&b, binner.clone());
         assert_eq!(emd_counts_index(&ia, &ib), emd_counts_full(&a, &b, &binner));
-        assert_eq!(emd_spatial_index(&ia, &ib), emd_spatial_full(&a, &b, &binner));
+        assert_eq!(
+            emd_spatial_index(&ia, &ib),
+            emd_spatial_full(&a, &b, &binner)
+        );
     }
 
     #[test]
@@ -266,7 +364,10 @@ mod tests {
         let binner = Binner::fixed_width(0.0, 10.0, 20);
         let ia = BitmapIndex::build(&a, binner.clone());
         let ib = BitmapIndex::build(&b, binner.clone());
-        assert_eq!(emd_counts_index_aligned(&ia, &ib), Some(emd_counts_index(&ia, &ib)));
+        assert_eq!(
+            emd_counts_index_aligned(&ia, &ib),
+            Some(emd_counts_index(&ia, &ib))
+        );
         assert_eq!(
             emd_spatial_index_aligned(&ia, &ib),
             Some(emd_spatial_index(&ia, &ib))
@@ -277,8 +378,12 @@ mod tests {
     fn aligned_emd_per_step_binners_exact() {
         // two "time-steps" with different value ranges, per-step anchored
         // precision binning — the paper's Heat3D configuration
-        let a: Vec<f64> = (0..600).map(|i| 3.0 + (i as f64 * 0.01).sin() * 2.0).collect();
-        let b: Vec<f64> = (0..600).map(|i| 5.5 + (i as f64 * 0.013).cos() * 3.0).collect();
+        let a: Vec<f64> = (0..600)
+            .map(|i| 3.0 + (i as f64 * 0.01).sin() * 2.0)
+            .collect();
+        let b: Vec<f64> = (0..600)
+            .map(|i| 5.5 + (i as f64 * 0.013).cos() * 3.0)
+            .collect();
         let ba = Binner::fit_precision_anchored(&a, 1);
         let bb = Binner::fit_precision_anchored(&b, 1);
         assert_ne!(ba.nbins(), bb.nbins(), "per-step bin counts should differ");
@@ -327,6 +432,33 @@ mod tests {
         let c = emd_counts_index_aligned(&ia, &ib).unwrap();
         // all 62 elements must travel 80 lattice cells: EMD = 62 * 80
         assert_eq!(c, 62.0 * 80.0);
+    }
+
+    #[test]
+    fn pairwise_tables_match_direct_and_serial() {
+        let binner = Binner::fixed_width(-21.0, 21.0, 30);
+        let steps: Vec<BitmapIndex> = (0..6)
+            .map(|s| {
+                let data: Vec<f64> = (0..2000)
+                    .map(|i| (i as f64 * 0.003 + s as f64 * 0.3).sin() * 20.0)
+                    .collect();
+                BitmapIndex::build(&data, binner.clone())
+            })
+            .collect();
+        let counts = emd_counts_pairwise(&steps);
+        let spatial = emd_spatial_pairwise(&steps);
+        assert_eq!(counts, emd_counts_pairwise_serial(&steps));
+        assert_eq!(spatial, emd_spatial_pairwise_serial(&steps));
+        for i in 0..steps.len() {
+            assert_eq!(counts[i][i], 0.0);
+            assert_eq!(spatial[i][i], 0.0);
+            for j in 0..i {
+                assert_eq!(counts[i][j], emd_counts_index(&steps[i], &steps[j]));
+                assert_eq!(spatial[i][j], emd_spatial_index(&steps[i], &steps[j]));
+                assert_eq!(counts[i][j], counts[j][i]);
+                assert_eq!(spatial[i][j], spatial[j][i]);
+            }
+        }
     }
 
     #[test]

@@ -74,23 +74,13 @@ pub fn shannon_entropy_full(data: &[f64], binner: &Binner) -> f64 {
 }
 
 /// Mutual information of two raw arrays (full-data method: one joint scan).
-pub fn mutual_information_full(
-    a: &[f64],
-    b: &[f64],
-    binner_a: &Binner,
-    binner_b: &Binner,
-) -> f64 {
+pub fn mutual_information_full(a: &[f64], b: &[f64], binner_a: &Binner, binner_b: &Binner) -> f64 {
     let joint = joint_histogram(a, b, binner_a, binner_b);
     mutual_information_from_counts(&joint, binner_a.nbins(), binner_b.nbins())
 }
 
 /// Conditional entropy `H(A|B)` of two raw arrays.
-pub fn conditional_entropy_full(
-    a: &[f64],
-    b: &[f64],
-    binner_a: &Binner,
-    binner_b: &Binner,
-) -> f64 {
+pub fn conditional_entropy_full(a: &[f64], b: &[f64], binner_a: &Binner, binner_b: &Binner) -> f64 {
     let joint = joint_histogram(a, b, binner_a, binner_b);
     conditional_entropy_from_counts(&joint, binner_a.nbins(), binner_b.nbins())
 }
@@ -128,7 +118,10 @@ mod tests {
         assert_eq!(shannon_entropy_from_counts(&[0, 0, 0]), 0.0);
         assert_eq!(shannon_entropy_from_counts(&[100]), 0.0);
         let h = shannon_entropy_from_counts(&[25, 25, 25, 25]);
-        assert!((h - 2.0).abs() < 1e-12, "uniform over 4 bins = 2 bits, got {h}");
+        assert!(
+            (h - 2.0).abs() < 1e-12,
+            "uniform over 4 bins = 2 bits, got {h}"
+        );
         // Constant data has low entropy, random data high (the paper's prose).
         let skewed = shannon_entropy_from_counts(&[97, 1, 1, 1]);
         assert!(skewed < h);
@@ -162,7 +155,10 @@ mod tests {
         }
         let binner = Binner::distinct_ints(0, 3);
         let mi = mutual_information_full(&a, &b, &binner, &binner);
-        assert!(mi.abs() < 1e-12, "independent vars must have zero MI, got {mi}");
+        assert!(
+            mi.abs() < 1e-12,
+            "independent vars must have zero MI, got {mi}"
+        );
     }
 
     #[test]
@@ -184,14 +180,19 @@ mod tests {
         let bb = Binner::distinct_ints(0, 8);
         let h = shannon_entropy_full(&a, &ba);
         let ce = conditional_entropy_full(&a, &b, &ba, &bb);
-        assert!(ce >= -1e-12 && ce <= h + 1e-12, "0 <= H(A|B) <= H(A): {ce} vs {h}");
+        assert!(
+            ce >= -1e-12 && ce <= h + 1e-12,
+            "0 <= H(A|B) <= H(A): {ce} vs {h}"
+        );
     }
 
     #[test]
     fn bitmap_path_is_exact() {
         // The paper's central claim: same binning scale ⇒ identical results.
         let a: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.01).sin() * 40.0).collect();
-        let b: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.013).cos() * 35.0 + 5.0).collect();
+        let b: Vec<f64> = (0..3000)
+            .map(|i| (i as f64 * 0.013).cos() * 35.0 + 5.0)
+            .collect();
         let ba = Binner::fixed_width(-41.0, 41.0, 30);
         let bb = Binner::fixed_width(-36.0, 41.0, 24);
         let ia = BitmapIndex::build(&a, ba.clone());

@@ -38,13 +38,12 @@ pub fn histogram_par(data: &[f64], binner: &Binner) -> Vec<u64> {
 
 /// Joint bin counts of two equal-length arrays, flattened row-major
 /// (`joint[j * nb + k]` = elements with `a` in bin `j` and `b` in bin `k`).
-pub fn joint_histogram(
-    a: &[f64],
-    b: &[f64],
-    binner_a: &Binner,
-    binner_b: &Binner,
-) -> Vec<u64> {
-    assert_eq!(a.len(), b.len(), "joint histogram needs equal-length arrays");
+pub fn joint_histogram(a: &[f64], b: &[f64], binner_a: &Binner, binner_b: &Binner) -> Vec<u64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "joint histogram needs equal-length arrays"
+    );
     let nb = binner_b.nbins();
     let mut h = vec![0u64; binner_a.nbins() * nb];
     for (&x, &y) in a.iter().zip(b) {
@@ -54,13 +53,12 @@ pub fn joint_histogram(
 }
 
 /// Parallel joint histogram.
-pub fn joint_histogram_par(
-    a: &[f64],
-    b: &[f64],
-    binner_a: &Binner,
-    binner_b: &Binner,
-) -> Vec<u64> {
-    assert_eq!(a.len(), b.len(), "joint histogram needs equal-length arrays");
+pub fn joint_histogram_par(a: &[f64], b: &[f64], binner_a: &Binner, binner_b: &Binner) -> Vec<u64> {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "joint histogram needs equal-length arrays"
+    );
     let (na, nb) = (binner_a.nbins(), binner_b.nbins());
     a.par_chunks(64 * 1024)
         .zip(b.par_chunks(64 * 1024))
@@ -94,11 +92,14 @@ pub fn joint_counts_from_indexes(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
         if remaining == 0 {
             continue; // empty bin: the whole row is zero
         }
+        // The row vector participates in up to `nb` ANDs: prepare it once
+        // so a dense row pays its decode cost a single time.
+        let row = a.bin(j).prepare();
         for k in diagonal_order(j.min(nb - 1), nb) {
             if b.counts()[k] == 0 {
                 continue;
             }
-            let c = a.bin(j).and_count(b.bin(k));
+            let c = row.and_count(b.bin(k));
             h[j * nb + k] = c;
             remaining -= c;
             if remaining == 0 {
@@ -153,11 +154,12 @@ pub fn joint_counts_from_indexes_par(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u6
             let mut row = vec![0u64; nb];
             let mut remaining = a.counts()[j];
             if remaining != 0 {
+                let row_op = a.bin(j).prepare();
                 for k in diagonal_order(j.min(nb - 1), nb) {
                     if b.counts()[k] == 0 {
                         continue;
                     }
-                    let c = a.bin(j).and_count(b.bin(k));
+                    let c = row_op.and_count(b.bin(k));
                     row[k] = c;
                     remaining -= c;
                     if remaining == 0 {
@@ -194,8 +196,7 @@ pub fn decode_bin_ids(index: &BitmapIndex) -> Vec<u32> {
 pub fn joint_counts_adaptive(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
     assert_eq!(a.len(), b.len(), "indexes cover different element counts");
     let n = a.len();
-    let words =
-        (a.size_bytes() + b.size_bytes()) as u64 / std::mem::size_of::<u32>() as u64;
+    let words = (a.size_bytes() + b.size_bytes()) as u64 / std::mem::size_of::<u32>() as u64;
     let and_bound = a.nbins().min(b.nbins()) as u64 * words;
     if and_bound <= 4 * n {
         return joint_counts_from_indexes(a, b);
@@ -213,13 +214,17 @@ pub fn joint_counts_adaptive(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
 /// Row sums of a flattened joint table (marginal of the first variable).
 pub fn marginal_a(joint: &[u64], na: usize, nb: usize) -> Vec<u64> {
     assert_eq!(joint.len(), na * nb);
-    (0..na).map(|j| joint[j * nb..(j + 1) * nb].iter().sum()).collect()
+    (0..na)
+        .map(|j| joint[j * nb..(j + 1) * nb].iter().sum())
+        .collect()
 }
 
 /// Column sums of a flattened joint table (marginal of the second variable).
 pub fn marginal_b(joint: &[u64], na: usize, nb: usize) -> Vec<u64> {
     assert_eq!(joint.len(), na * nb);
-    (0..nb).map(|k| (0..na).map(|j| joint[j * nb + k]).sum()).collect()
+    (0..nb)
+        .map(|k| (0..na).map(|j| joint[j * nb + k]).sum())
+        .collect()
 }
 
 #[cfg(test)]

@@ -37,7 +37,10 @@ impl MaskedIndex {
         let mut bins = mb.finish();
         bins.pop(); // drop the sentinel bin
         let index = BitmapIndex::from_bins(binner, bins);
-        MaskedIndex { index, present: WahVec::from_bits(present.iter().copied()) }
+        MaskedIndex {
+            index,
+            present: WahVec::from_bits(present.iter().copied()),
+        }
     }
 
     /// The underlying (partial) index: bin counts cover observed positions
@@ -89,12 +92,12 @@ pub struct Imputed {
 /// `argmax_j P(A-bin j | B-bin of that position)`, with the conditional
 /// estimated over the observed positions. Positions whose `B` bin was never
 /// seen alongside an observed `A` fall back to `A`'s (observed) modal bin.
-pub fn impute_from(
-    a: &MaskedIndex,
-    b: &BitmapIndex,
-    strategy: ImputeStrategy,
-) -> Vec<Imputed> {
-    assert_eq!(a.index.len(), b.len(), "variables must cover the same positions");
+pub fn impute_from(a: &MaskedIndex, b: &BitmapIndex, strategy: ImputeStrategy) -> Vec<Imputed> {
+    assert_eq!(
+        a.index.len(),
+        b.len(),
+        "variables must cover the same positions"
+    );
     let (na, nb) = (a.index.nbins(), b.nbins());
     if a.missing() == 0 {
         return Vec::new();
@@ -158,7 +161,11 @@ pub fn impute_from(
         .map(|pos| {
             let k = b_ids[pos as usize] as usize;
             let (value, confidence) = choice[k];
-            Imputed { position: pos, value, confidence }
+            Imputed {
+                position: pos,
+                value,
+                confidence,
+            }
         })
         .collect()
 }
@@ -172,8 +179,9 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| ((i * 17) % 40) as f64 / 4.0).collect();
         let a: Vec<f64> = b.iter().map(|v| 2.0 * v + 1.0).collect();
         // hashed mask, so missingness does not alias with b's value cycle
-        let present: Vec<bool> =
-            (0..n).map(|i| (i.wrapping_mul(2654435761) >> 13) % 5 != 0).collect();
+        let present: Vec<bool> = (0..n)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) % 5 != 0)
+            .collect();
         (a, b, present)
     }
 
@@ -220,13 +228,16 @@ mod tests {
             }
             s / c as f64
         };
-        let rmse = |errs: &[f64]| {
-            (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt()
-        };
-        let ours: Vec<f64> =
-            imputed.iter().map(|im| im.value - a[im.position as usize]).collect();
-        let mean_fill: Vec<f64> =
-            imputed.iter().map(|im| observed_mean - a[im.position as usize]).collect();
+        let rmse =
+            |errs: &[f64]| (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        let ours: Vec<f64> = imputed
+            .iter()
+            .map(|im| im.value - a[im.position as usize])
+            .collect();
+        let mean_fill: Vec<f64> = imputed
+            .iter()
+            .map(|im| observed_mean - a[im.position as usize])
+            .collect();
         assert!(
             rmse(&ours) * 5.0 < rmse(&mean_fill),
             "bitmap imputation {} should crush mean-fill {}",
@@ -269,14 +280,14 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, v)| {
-                let noise = (((i.wrapping_mul(0x9E3779B9) >> 7) % 1000) as f64 / 1000.0
-                    - 0.5)
-                    * 4.0;
+                let noise =
+                    (((i.wrapping_mul(0x9E3779B9) >> 7) % 1000) as f64 / 1000.0 - 0.5) * 4.0;
                 v + noise + 5.0
             })
             .collect();
-        let present: Vec<bool> =
-            (0..n).map(|i| (i.wrapping_mul(2654435761) >> 13) % 4 != 0).collect();
+        let present: Vec<bool> = (0..n)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) % 4 != 0)
+            .collect();
         let ma = MaskedIndex::build(&a, &present, Binner::fixed_width(0.0, 20.0, 80));
         let ib = BitmapIndex::build(&b, Binner::fixed_width(0.0, 10.0, 50));
         let rmse = |imp: &[Imputed]| {
@@ -288,7 +299,10 @@ mod tests {
         };
         let mode = rmse(&impute_from(&ma, &ib, ImputeStrategy::ConditionalMode));
         let mean = rmse(&impute_from(&ma, &ib, ImputeStrategy::ConditionalMean));
-        assert!(mean < mode, "mean {mean} should beat mode {mode} under noise");
+        assert!(
+            mean < mode,
+            "mean {mean} should beat mode {mode} under noise"
+        );
     }
 
     #[test]

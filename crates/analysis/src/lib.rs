@@ -40,9 +40,14 @@ pub mod summary;
 pub use aggregate::Estimate;
 pub use cfp::Cfp;
 pub use impute::{impute_from, ImputeStrategy, Imputed, MaskedIndex};
+pub use mining::{
+    mine_full, mine_index, mine_index_serial, mine_multilevel, MinedSubset, MiningConfig,
+    MiningResult,
+};
 pub use query::{correlation_query, CorrelationAnswer, SubsetQuery};
-pub use mining::{mine_full, mine_index, mine_multilevel, MinedSubset, MiningConfig, MiningResult};
 pub use sampling::{sample, SamplingMethod};
-pub use selection::{select_dp, select_greedy, Partitioning, Selection};
+pub use selection::{
+    select_dp, select_dp_serial, select_greedy, select_greedy_serial, Partitioning, Selection,
+};
 pub use subgroup::{discover_subgroups, Subgroup, SubgroupConfig};
 pub use summary::{Metric, StepSummary, VarSummary};

@@ -24,6 +24,7 @@
 //! how much work it pruned.
 
 use ibis_core::{Binner, BitmapIndex, MultiLevelIndex};
+use rayon::prelude::*;
 
 /// Thresholds and spatial granularity for a mining run.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +40,11 @@ pub struct MiningConfig {
 
 impl Default for MiningConfig {
     fn default() -> Self {
-        MiningConfig { value_threshold: 0.01, spatial_threshold: 0.05, unit_size: 256 }
+        MiningConfig {
+            value_threshold: 0.01,
+            spatial_threshold: 0.05,
+            unit_size: 256,
+        }
     }
 }
 
@@ -123,7 +128,12 @@ fn unit_len(u: usize, unit_size: u64, n: u64) -> u64 {
     unit_size.min(n - start)
 }
 
-/// Algorithm 2 on bitmap indices.
+/// Algorithm 2 on bitmap indices, with the spatial stage fanned out over
+/// the rayon pool. Rows of the pair table are scored independently; each
+/// row [`prepare`](ibis_core::WahVec::prepare)s its bitvector once so a
+/// dense row pays the decode a single time across all its ANDs. Per-row
+/// outputs are concatenated in row order, so the result — subsets, ordering
+/// and work counters — is byte-identical to [`mine_index_serial`] (tested).
 pub fn mine_index(a: &BitmapIndex, b: &BitmapIndex, cfg: &MiningConfig) -> MiningResult {
     assert_eq!(a.len(), b.len(), "variables must cover the same elements");
     assert!(cfg.unit_size > 0, "unit_size must be positive");
@@ -136,6 +146,99 @@ pub fn mine_index(a: &BitmapIndex, b: &BitmapIndex, cfg: &MiningConfig) -> Minin
     // row-completion early exit (a row stops once its counts reach the
     // bin's total — every further pair has an empty joint bitvector).
     let joint = crate::histogram::joint_counts_adaptive(a, b);
+    let nb_bins = b.nbins();
+    // Step 2: value pruning — pure float scoring of the joint table, cheap
+    // and serial. Survivors are grouped by row for the spatial fan-out.
+    let mut rows: Vec<(usize, Vec<(usize, f64)>)> = Vec::new();
+    for j in 0..a.nbins() {
+        let ca = a.counts()[j];
+        if ca == 0 {
+            continue;
+        }
+        let mut survivors = Vec::new();
+        for k in 0..nb_bins {
+            let cb = b.counts()[k];
+            if cb == 0 {
+                continue;
+            }
+            result.pairs_evaluated += 1;
+            let value_mi = joint_pair_score(n, ca, cb, joint[j * nb_bins + k]);
+            if value_mi < cfg.value_threshold {
+                result.pairs_pruned += 1;
+                continue;
+            }
+            survivors.push((k, value_mi));
+        }
+        if !survivors.is_empty() {
+            rows.push((j, survivors));
+        }
+    }
+    // Per-unit marginals of every B bin that appears in a surviving pair,
+    // computed once up front (in parallel) and shared across rows.
+    let mut needed_b: Vec<usize> = rows
+        .iter()
+        .flat_map(|(_, s)| s.iter().map(|&(k, _)| k))
+        .collect();
+    needed_b.sort_unstable();
+    needed_b.dedup();
+    let computed: Vec<Vec<u64>> = needed_b
+        .par_iter()
+        .map(|&k| b.bin(k).count_ones_per_unit(cfg.unit_size))
+        .collect();
+    let mut units_b: Vec<Option<Vec<u64>>> = vec![None; nb_bins];
+    for (k, v) in needed_b.into_iter().zip(computed) {
+        units_b[k] = Some(v);
+    }
+    // Step 3: spatial stage, one task per surviving row (fused AND +
+    // per-unit popcount; the intersection is never materialized).
+    let row_results: Vec<(usize, Vec<MinedSubset>)> = rows
+        .into_par_iter()
+        .map(|(j, survivors)| {
+            let row = a.bin(j).prepare();
+            let per_unit_a = a.bin(j).count_ones_per_unit(cfg.unit_size);
+            let mut units_evaluated = 0usize;
+            let mut subsets = Vec::new();
+            for (k, value_mi) in survivors {
+                let per_unit_ab = row.and_count_per_unit(b.bin(k), cfg.unit_size);
+                let per_unit_b = units_b[k].as_ref().expect("marginal precomputed");
+                for (u, &c_ab_u) in per_unit_ab.iter().enumerate() {
+                    units_evaluated += 1;
+                    let nu = unit_len(u, cfg.unit_size, n);
+                    let spatial_mi = indicator_mi(nu, per_unit_a[u], per_unit_b[u], c_ab_u);
+                    if spatial_mi >= cfg.spatial_threshold {
+                        subsets.push(MinedSubset {
+                            bin_a: j,
+                            bin_b: k,
+                            unit: u,
+                            value_mi,
+                            spatial_mi,
+                        });
+                    }
+                }
+            }
+            (units_evaluated, subsets)
+        })
+        .collect();
+    for (units_evaluated, subsets) in row_results {
+        result.units_evaluated += units_evaluated;
+        result.subsets.extend(subsets);
+    }
+    sort_subsets(&mut result.subsets);
+    result
+}
+
+/// Algorithm 2 on bitmap indices, strictly serial — the regression baseline
+/// for [`mine_index`]'s fan-out and the shape closest to the paper's
+/// pseudocode.
+pub fn mine_index_serial(a: &BitmapIndex, b: &BitmapIndex, cfg: &MiningConfig) -> MiningResult {
+    assert_eq!(a.len(), b.len(), "variables must cover the same elements");
+    assert!(cfg.unit_size > 0, "unit_size must be positive");
+    let n = a.len();
+    let mut result = MiningResult::default();
+    if n == 0 {
+        return result;
+    }
+    let joint = crate::histogram::joint_counts_adaptive(a, b);
     // Per-unit marginal counts, computed lazily per bin (cached).
     let mut units_a: Vec<Option<Vec<u64>>> = vec![None; a.nbins()];
     let mut units_b: Vec<Option<Vec<u64>>> = vec![None; b.nbins()];
@@ -145,6 +248,8 @@ pub fn mine_index(a: &BitmapIndex, b: &BitmapIndex, cfg: &MiningConfig) -> Minin
         if ca == 0 {
             continue;
         }
+        // Decoded (if dense) once per row, shared by all its ANDs.
+        let mut row = None;
         for k in 0..nb_bins {
             let cb = b.counts()[k];
             if cb == 0 {
@@ -159,16 +264,16 @@ pub fn mine_index(a: &BitmapIndex, b: &BitmapIndex, cfg: &MiningConfig) -> Minin
             }
             // Step 3: spatial units of the joint bitvector (fused AND +
             // per-unit popcount; the intersection is never materialized).
-            let per_unit_ab = a.bin(j).and_count_per_unit(b.bin(k), cfg.unit_size);
-            let per_unit_a = units_a[j]
-                .get_or_insert_with(|| a.bin(j).count_ones_per_unit(cfg.unit_size));
-            let per_unit_b = units_b[k]
-                .get_or_insert_with(|| b.bin(k).count_ones_per_unit(cfg.unit_size));
+            let row = row.get_or_insert_with(|| a.bin(j).prepare());
+            let per_unit_ab = row.and_count_per_unit(b.bin(k), cfg.unit_size);
+            let per_unit_a =
+                units_a[j].get_or_insert_with(|| a.bin(j).count_ones_per_unit(cfg.unit_size));
+            let per_unit_b =
+                units_b[k].get_or_insert_with(|| b.bin(k).count_ones_per_unit(cfg.unit_size));
             for (u, &c_ab_u) in per_unit_ab.iter().enumerate() {
                 result.units_evaluated += 1;
                 let nu = unit_len(u, cfg.unit_size, n);
-                let spatial_mi =
-                    indicator_mi(nu, per_unit_a[u], per_unit_b[u], c_ab_u);
+                let spatial_mi = indicator_mi(nu, per_unit_a[u], per_unit_b[u], c_ab_u);
                 if spatial_mi >= cfg.spatial_threshold {
                     result.subsets.push(MinedSubset {
                         bin_a: j,
@@ -246,8 +351,7 @@ pub fn mine_full(
             for (u, &c_ab_u) in per_unit_ab.iter().enumerate() {
                 result.units_evaluated += 1;
                 let nu = unit_len(u, cfg.unit_size, n);
-                let spatial_mi =
-                    indicator_mi(nu, unit_a[u * na + j], unit_b[u * nb + k], c_ab_u);
+                let spatial_mi = indicator_mi(nu, unit_a[u * na + j], unit_b[u * nb + k], c_ab_u);
                 if spatial_mi >= cfg.spatial_threshold {
                     result.subsets.push(MinedSubset {
                         bin_a: j,
@@ -282,7 +386,11 @@ pub fn mine_multilevel(
     b: &MultiLevelIndex,
     cfg: &MiningConfig,
 ) -> (MiningResult, MultiLevelStats) {
-    assert_eq!(a.low().len(), b.low().len(), "variables must cover the same elements");
+    assert_eq!(
+        a.low().len(),
+        b.low().len(),
+        "variables must cover the same elements"
+    );
     let n = a.low().len();
     let mut result = MiningResult::default();
     let mut stats = MultiLevelStats::default();
@@ -295,14 +403,15 @@ pub fn mine_multilevel(
         if a.high().counts()[hj] == 0 {
             continue;
         }
+        // Coarse row decoded (if dense) once, shared across all hk ANDs.
+        let high_row = a.high().bin(hj).prepare();
         for hk in 0..b.high().nbins() {
             if b.high().counts()[hk] == 0 {
                 continue;
             }
             stats.high_pairs_evaluated += 1;
-            let c_hjk = a.high().bin(hj).and_count(b.high().bin(hk));
-            let high_mi =
-                joint_pair_score(n, a.high().counts()[hj], b.high().counts()[hk], c_hjk);
+            let c_hjk = high_row.and_count(b.high().bin(hk));
+            let high_mi = joint_pair_score(n, a.high().counts()[hj], b.high().counts()[hk], c_hjk);
             if high_mi < cfg.value_threshold {
                 stats.high_pairs_pruned += 1;
                 continue;
@@ -312,6 +421,8 @@ pub fn mine_multilevel(
                 if ca == 0 {
                     continue;
                 }
+                // Decoded (if dense) once per row, shared by all its ANDs.
+                let row = a.low().bin(j).prepare();
                 for k in b.children(hk) {
                     let cb = b.low().counts()[k];
                     if cb == 0 {
@@ -319,25 +430,21 @@ pub fn mine_multilevel(
                     }
                     stats.low_pairs_evaluated += 1;
                     result.pairs_evaluated += 1;
-                    let c_ab = a.low().bin(j).and_count(b.low().bin(k));
+                    let c_ab = row.and_count(b.low().bin(k));
                     let value_mi = joint_pair_score(n, ca, cb, c_ab);
                     if value_mi < cfg.value_threshold {
                         result.pairs_pruned += 1;
                         continue;
                     }
-                    let per_unit_ab =
-                        a.low().bin(j).and_count_per_unit(b.low().bin(k), cfg.unit_size);
-                    let per_unit_a = units_a[j].get_or_insert_with(|| {
-                        a.low().bin(j).count_ones_per_unit(cfg.unit_size)
-                    });
-                    let per_unit_b = units_b[k].get_or_insert_with(|| {
-                        b.low().bin(k).count_ones_per_unit(cfg.unit_size)
-                    });
+                    let per_unit_ab = row.and_count_per_unit(b.low().bin(k), cfg.unit_size);
+                    let per_unit_a = units_a[j]
+                        .get_or_insert_with(|| a.low().bin(j).count_ones_per_unit(cfg.unit_size));
+                    let per_unit_b = units_b[k]
+                        .get_or_insert_with(|| b.low().bin(k).count_ones_per_unit(cfg.unit_size));
                     for (u, &c_ab_u) in per_unit_ab.iter().enumerate() {
                         result.units_evaluated += 1;
                         let nu = unit_len(u, cfg.unit_size, n);
-                        let spatial_mi =
-                            indicator_mi(nu, per_unit_a[u], per_unit_b[u], c_ab_u);
+                        let spatial_mi = indicator_mi(nu, per_unit_a[u], per_unit_b[u], c_ab_u);
                         if spatial_mi >= cfg.spatial_threshold {
                             result.subsets.push(MinedSubset {
                                 bin_a: j,
@@ -392,7 +499,10 @@ mod tests {
                 for cb in 0..=n {
                     for cab in (ca + cb).saturating_sub(n)..=ca.min(cb) {
                         let mi = indicator_mi(n, ca, cb, cab);
-                        assert!(mi >= 0.0 && mi.is_finite(), "n={n} ca={ca} cb={cb} cab={cab}: {mi}");
+                        assert!(
+                            mi >= 0.0 && mi.is_finite(),
+                            "n={n} ca={ca} cb={cb} cab={cab}: {mi}"
+                        );
                     }
                 }
             }
@@ -421,7 +531,24 @@ mod tests {
     }
 
     fn cfg() -> MiningConfig {
-        MiningConfig { value_threshold: 0.005, spatial_threshold: 0.2, unit_size: 128 }
+        MiningConfig {
+            value_threshold: 0.005,
+            spatial_threshold: 0.2,
+            unit_size: 128,
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_miners_identical() {
+        let (a, b) = planted(4096);
+        let ia = BitmapIndex::build(&a, binner());
+        let ib = BitmapIndex::build(&b, binner());
+        let par = mine_index(&ia, &ib, &cfg());
+        let ser = mine_index_serial(&ia, &ib, &cfg());
+        assert_eq!(par.subsets, ser.subsets, "fan-out must not change results");
+        assert_eq!(par.pairs_evaluated, ser.pairs_evaluated);
+        assert_eq!(par.pairs_pruned, ser.pairs_pruned);
+        assert_eq!(par.units_evaluated, ser.units_evaluated);
     }
 
     #[test]
@@ -455,7 +582,10 @@ mod tests {
         }
         // the diagonal (b == a) pairs should dominate
         let diagonal = r.subsets.iter().filter(|s| s.bin_a == s.bin_b).count();
-        assert!(diagonal * 2 > r.subsets.len(), "diagonal pairs should dominate");
+        assert!(
+            diagonal * 2 > r.subsets.len(),
+            "diagonal pairs should dominate"
+        );
     }
 
     #[test]
@@ -463,8 +593,22 @@ mod tests {
         let (a, b) = planted(4096);
         let ia = BitmapIndex::build(&a, binner());
         let ib = BitmapIndex::build(&b, binner());
-        let strict = mine_index(&ia, &ib, &MiningConfig { value_threshold: 0.05, ..cfg() });
-        let loose = mine_index(&ia, &ib, &MiningConfig { value_threshold: 0.0, ..cfg() });
+        let strict = mine_index(
+            &ia,
+            &ib,
+            &MiningConfig {
+                value_threshold: 0.05,
+                ..cfg()
+            },
+        );
+        let loose = mine_index(
+            &ia,
+            &ib,
+            &MiningConfig {
+                value_threshold: 0.0,
+                ..cfg()
+            },
+        );
         assert!(strict.pairs_pruned > 0);
         assert_eq!(loose.pairs_pruned, 0);
         assert!(strict.units_evaluated < loose.units_evaluated);
@@ -527,9 +671,17 @@ mod tests {
         let r = mine_index(
             &ia,
             &ib,
-            &MiningConfig { value_threshold: 0.02, spatial_threshold: 0.3, unit_size: 256 },
+            &MiningConfig {
+                value_threshold: 0.02,
+                spatial_threshold: 0.3,
+                unit_size: 256,
+            },
         );
-        assert!(r.subsets.is_empty(), "found {} spurious subsets", r.subsets.len());
+        assert!(
+            r.subsets.is_empty(),
+            "found {} spurious subsets",
+            r.subsets.len()
+        );
         assert_eq!(r.pairs_pruned, r.pairs_evaluated);
     }
 }

@@ -12,9 +12,7 @@
 //! sub-population — all from bitmaps.
 
 use crate::aggregate::{self, Estimate};
-use crate::entropy::{
-    conditional_entropy_from_counts, mutual_information_from_counts,
-};
+use crate::entropy::{conditional_entropy_from_counts, mutual_information_from_counts};
 use ibis_core::{BitmapIndex, WahVec};
 use std::ops::Range;
 
@@ -38,12 +36,18 @@ impl SubsetQuery {
 
     /// Value-based subset (`WHERE lo <= v AND v < hi`).
     pub fn value(lo: f64, hi: f64) -> Self {
-        SubsetQuery { value_range: Some((lo, hi)), position_range: None }
+        SubsetQuery {
+            value_range: Some((lo, hi)),
+            position_range: None,
+        }
     }
 
     /// Dimension-based subset (a contiguous position / Z-order block).
     pub fn region(range: Range<u64>) -> Self {
-        SubsetQuery { value_range: None, position_range: Some(range) }
+        SubsetQuery {
+            value_range: None,
+            position_range: Some(range),
+        }
     }
 
     /// Restricts this query to a value range as well.
@@ -66,7 +70,10 @@ impl SubsetQuery {
             None => WahVec::ones(n),
         };
         if let Some(range) = &self.position_range {
-            assert!(range.start <= range.end && range.end <= n, "region out of range");
+            assert!(
+                range.start <= range.end && range.end <= n,
+                "region out of range"
+            );
             let mask = region_mask(range.clone(), n);
             sel = sel.and(&mask);
         }
@@ -76,7 +83,10 @@ impl SubsetQuery {
 
 /// A compressed mask with ones exactly in `range`.
 pub fn region_mask(range: Range<u64>, len: u64) -> WahVec {
-    assert!(range.start <= range.end && range.end <= len, "region out of range");
+    assert!(
+        range.start <= range.end && range.end <= len,
+        "region out of range"
+    );
     let mut b = ibis_core::WahBuilder::new();
     b.append_run(false, range.start);
     b.append_run(true, range.end - range.start);
@@ -165,8 +175,7 @@ mod tests {
         let data: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 10.0).collect();
         let idx = index(&data);
         let sel = SubsetQuery::value(2.0, 5.0).evaluate(&idx);
-        let want =
-            data.iter().filter(|&&v| (2.0..5.0).contains(&v)).count() as u64;
+        let want = data.iter().filter(|&&v| (2.0..5.0).contains(&v)).count() as u64;
         assert_eq!(sel.count_ones(), want);
     }
 
@@ -186,7 +195,9 @@ mod tests {
     fn combined_query_intersects() {
         let data: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 10.0).collect();
         let idx = index(&data);
-        let sel = SubsetQuery::region(0..500).with_value(2.0, 5.0).evaluate(&idx);
+        let sel = SubsetQuery::region(0..500)
+            .with_value(2.0, 5.0)
+            .evaluate(&idx);
         let want = data[..500]
             .iter()
             .filter(|&&v| (2.0..5.0).contains(&v))
@@ -265,8 +276,12 @@ mod tests {
     fn query_means_are_bounded_estimates() {
         let data: Vec<f64> = (0..400).map(|i| (i % 40) as f64 / 4.0).collect();
         let idx = index(&data);
-        let ans =
-            correlation_query(&idx, &idx, &SubsetQuery::region(0..200), &SubsetQuery::all());
+        let ans = correlation_query(
+            &idx,
+            &idx,
+            &SubsetQuery::region(0..200),
+            &SubsetQuery::all(),
+        );
         let true_mean = data[..200].iter().sum::<f64>() / 200.0;
         assert!(ans.mean_a.unwrap().contains(true_mean));
     }

@@ -28,8 +28,13 @@ pub enum SamplingMethod {
 /// # Panics
 /// Panics unless `0 < percent <= 100`.
 pub fn sample(data: &[f64], percent: f64, method: SamplingMethod) -> Vec<f64> {
-    assert!(percent > 0.0 && percent <= 100.0, "percent must be in (0, 100]");
-    let keep = ((data.len() as f64 * percent / 100.0).round() as usize).max(1).min(data.len());
+    assert!(
+        percent > 0.0 && percent <= 100.0,
+        "percent must be in (0, 100]"
+    );
+    let keep = ((data.len() as f64 * percent / 100.0).round() as usize)
+        .max(1)
+        .min(data.len());
     if keep == data.len() {
         return data.to_vec();
     }
@@ -65,9 +70,7 @@ pub fn sampled_summary(
         step,
         vars: fields
             .iter()
-            .map(|(data, binner)| {
-                VarSummary::full(sample(data, percent, method), binner.clone())
-            })
+            .map(|(data, binner)| VarSummary::full(sample(data, percent, method), binner.clone()))
             .collect(),
     }
 }
@@ -115,11 +118,7 @@ pub fn pairwise_relative_loss(
 }
 
 /// CFP of the absolute per-pair losses at a given sampling level.
-pub fn loss_cfp(
-    full: &[StepSummary],
-    sampled: &[StepSummary],
-    metric: Metric,
-) -> Cfp {
+pub fn loss_cfp(full: &[StepSummary], sampled: &[StepSummary], metric: Metric) -> Cfp {
     Cfp::from_values(pairwise_metric_loss(full, sampled, metric))
 }
 
@@ -163,7 +162,10 @@ mod tests {
     fn stride_sample_is_deterministic_and_spread() {
         let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let s = sample(&data, 10.0, SamplingMethod::Stride);
-        assert_eq!(s, vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]);
+        assert_eq!(
+            s,
+            vec![0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]
+        );
     }
 
     #[test]
@@ -190,16 +192,18 @@ mod tests {
         let mut means = Vec::new();
         for pct in [50.0, 15.0, 2.0] {
             let sampled: Vec<StepSummary> = (0..fields.len())
-                .map(|s| {
-                    sampled_summary(s, &fields[s..s + 1], pct, SamplingMethod::Stride)
-                })
+                .map(|s| sampled_summary(s, &fields[s..s + 1], pct, SamplingMethod::Stride))
                 .collect();
-            let losses =
-                pairwise_relative_loss(&full, &sampled, Metric::ConditionalEntropy);
+            let losses = pairwise_relative_loss(&full, &sampled, Metric::ConditionalEntropy);
             assert!(!losses.is_empty());
             means.push(losses.iter().sum::<f64>() / losses.len() as f64);
         }
-        assert!(means[0] < means[2], "50% loss {} should be below 2% loss {}", means[0], means[2]);
+        assert!(
+            means[0] < means[2],
+            "50% loss {} should be below 2% loss {}",
+            means[0],
+            means[2]
+        );
         assert!(means[0] > 0.0, "sampling must lose something");
     }
 

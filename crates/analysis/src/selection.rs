@@ -9,6 +9,7 @@
 //! al. as the extension the paper mentions but does not implement.
 
 use crate::summary::{Metric, StepSummary};
+use rayon::prelude::*;
 use std::ops::Range;
 
 /// How to slice the time axis into intervals (Section 3.1).
@@ -33,7 +34,10 @@ pub struct Selection {
 /// step `i` (entry 0 is ignored — step 0 is always selected on its own).
 pub fn weighted_intervals(weights: &[f64], parts: usize) -> Vec<Range<usize>> {
     let n = weights.len();
-    assert!(parts >= 1 && parts <= n.saturating_sub(1), "cannot cut {n} steps into {parts} parts");
+    assert!(
+        parts >= 1 && parts <= n.saturating_sub(1),
+        "cannot cut {n} steps into {parts} parts"
+    );
     let total: f64 = weights[1..].iter().sum();
     let target = total / parts as f64;
     let mut out = Vec::with_capacity(parts);
@@ -64,7 +68,10 @@ pub fn weighted_intervals(weights: &[f64], parts: usize) -> Vec<Range<usize>> {
 
 /// Equal-length split of indices `1..n` into `parts` intervals.
 pub fn fixed_intervals(n: usize, parts: usize) -> Vec<Range<usize>> {
-    assert!(parts >= 1 && parts <= n.saturating_sub(1), "cannot cut {n} steps into {parts} parts");
+    assert!(
+        parts >= 1 && parts <= n.saturating_sub(1),
+        "cannot cut {n} steps into {parts} parts"
+    );
     let m = n - 1; // steps 1..n
     let base = m / parts;
     let extra = m % parts;
@@ -80,6 +87,12 @@ pub fn fixed_intervals(n: usize, parts: usize) -> Vec<Range<usize>> {
 
 /// Greedy selection (Figure 3): step 0 seeds the chain; each interval
 /// contributes the step with the largest `metric(candidate, previous)`.
+///
+/// Candidate metrics within an interval are independent, so they are
+/// evaluated on the rayon pool and collected in interval order; the argmax
+/// then runs serially over that ordered table with the same last-maximum
+/// tie-breaking as [`Iterator::max_by`], so the selected set is
+/// byte-identical to [`select_greedy_serial`] (tested).
 ///
 /// Returns `k` indices in increasing order.
 ///
@@ -97,13 +110,36 @@ pub fn select_greedy(
     if k == 1 || n == 1 {
         return Selection { selected };
     }
-    let intervals = match partitioning {
-        Partitioning::FixedLength => fixed_intervals(n, k - 1),
-        Partitioning::InfoVolume => {
-            let weights: Vec<f64> = steps.iter().map(StepSummary::entropy).collect();
-            weighted_intervals(&weights, k - 1)
-        }
-    };
+    let intervals = partition(steps, k, partitioning);
+    let mut prev = 0usize;
+    for interval in intervals {
+        let scores: Vec<f64> = interval
+            .clone()
+            .into_par_iter()
+            .map(|i| steps[i].metric(&steps[prev], metric))
+            .collect();
+        let best = interval.start + argmax_last(&scores);
+        selected.push(best);
+        prev = best;
+    }
+    Selection { selected }
+}
+
+/// Greedy selection evaluated strictly serially — the regression baseline
+/// for [`select_greedy`]'s parallel candidate scoring.
+pub fn select_greedy_serial(
+    steps: &[StepSummary],
+    k: usize,
+    metric: Metric,
+    partitioning: Partitioning,
+) -> Selection {
+    let n = steps.len();
+    assert!(k >= 1 && k <= n, "cannot select {k} of {n} steps");
+    let mut selected = vec![0usize];
+    if k == 1 || n == 1 {
+        return Selection { selected };
+    }
+    let intervals = partition(steps, k, partitioning);
     let mut prev = 0usize;
     for interval in intervals {
         let best = interval
@@ -120,6 +156,35 @@ pub fn select_greedy(
     Selection { selected }
 }
 
+/// Shared interval computation for the greedy selectors.
+fn partition(steps: &[StepSummary], k: usize, partitioning: Partitioning) -> Vec<Range<usize>> {
+    let n = steps.len();
+    match partitioning {
+        Partitioning::FixedLength => fixed_intervals(n, k - 1),
+        Partitioning::InfoVolume => {
+            let weights: Vec<f64> = steps.iter().map(StepSummary::entropy).collect();
+            weighted_intervals(&weights, k - 1)
+        }
+    }
+}
+
+/// Index of the maximum score, taking the **last** of equal maxima —
+/// exactly [`Iterator::max_by`]'s tie-breaking (incomparable pairs compare
+/// equal, as in the serial selector).
+fn argmax_last(scores: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, s) in scores.iter().enumerate().skip(1) {
+        if scores[best]
+            .partial_cmp(s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            != std::cmp::Ordering::Greater
+        {
+            best = i;
+        }
+    }
+    best
+}
+
 /// Dynamic-programming selection (Tong et al.): maximizes the *total*
 /// dissimilarity along the selected chain instead of greedily maximizing
 /// each link. O(n²·k) metric evaluations — the efficiency cost the paper
@@ -131,10 +196,33 @@ pub fn select_dp(steps: &[StepSummary], k: usize, metric: Metric) -> Selection {
     if k == 1 {
         return Selection { selected: vec![0] };
     }
-    // pairwise dissimilarity cache: pair[i][p] = metric(steps[i], steps[p])
+    // pairwise dissimilarity cache: pair[i][p] = metric(steps[i], steps[p]).
+    // Rows are independent, so the O(n²) metric evaluations — the dominant
+    // cost — run on the rayon pool; the ordered collect keeps the table
+    // (and therefore the DP) identical to a serial fill.
+    let pair: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| (0..i).map(|p| steps[i].metric(&steps[p], metric)).collect())
+        .collect();
+    dp_solve(&pair, n, k)
+}
+
+/// [`select_dp`] with a serially-filled pairwise table — the regression
+/// baseline for the parallel table build.
+pub fn select_dp_serial(steps: &[StepSummary], k: usize, metric: Metric) -> Selection {
+    let n = steps.len();
+    assert!(k >= 1 && k <= n, "cannot select {k} of {n} steps");
+    if k == 1 {
+        return Selection { selected: vec![0] };
+    }
     let pair: Vec<Vec<f64>> = (0..n)
         .map(|i| (0..i).map(|p| steps[i].metric(&steps[p], metric)).collect())
         .collect();
+    dp_solve(&pair, n, k)
+}
+
+/// The chain DP over a lower-triangular pairwise dissimilarity table.
+fn dp_solve(pair: &[Vec<f64>], n: usize, k: usize) -> Selection {
     const NEG: f64 = f64::NEG_INFINITY;
     // dp[j][i]: best chain value selecting j+1 steps, first = 0, last = i
     let mut dp = vec![vec![NEG; n]; k];
@@ -200,7 +288,10 @@ mod tests {
                 } else {
                     VarSummary::full(data, binner())
                 };
-                StepSummary { step: s, vars: vec![var] }
+                StepSummary {
+                    step: s,
+                    vars: vec![var],
+                }
             })
             .collect()
     }
@@ -250,8 +341,7 @@ mod tests {
     fn greedy_selects_k_increasing_starting_at_zero() {
         let steps = make_steps(20, true);
         for k in [1usize, 2, 5, 10, 20] {
-            let sel =
-                select_greedy(&steps, k, Metric::Emd, Partitioning::FixedLength);
+            let sel = select_greedy(&steps, k, Metric::Emd, Partitioning::FixedLength);
             assert_eq!(sel.selected.len(), k);
             assert_eq!(sel.selected[0], 0);
             assert!(sel.selected.windows(2).all(|w| w[0] < w[1]));
@@ -279,7 +369,28 @@ mod tests {
         // into the second regime (max dissimilarity from step 0).
         let steps = make_steps(20, true);
         let sel = select_greedy(&steps, 2, Metric::EmdSpatial, Partitioning::FixedLength);
-        assert!(sel.selected[1] >= 10, "picked {} — should be in the changed regime", sel.selected[1]);
+        assert!(
+            sel.selected[1] >= 10,
+            "picked {} — should be in the changed regime",
+            sel.selected[1]
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_selectors_identical() {
+        let steps = make_steps(18, true);
+        for metric in [Metric::ConditionalEntropy, Metric::Emd, Metric::EmdSpatial] {
+            for part in [Partitioning::FixedLength, Partitioning::InfoVolume] {
+                for k in [2usize, 5, 9] {
+                    let par = select_greedy(&steps, k, metric, part);
+                    let ser = select_greedy_serial(&steps, k, metric, part);
+                    assert_eq!(par, ser, "{metric:?} {part:?} k={k}");
+                }
+            }
+            let par = select_dp(&steps, 5, metric);
+            let ser = select_dp_serial(&steps, 5, metric);
+            assert_eq!(par, ser, "{metric:?} dp");
+        }
     }
 
     #[test]

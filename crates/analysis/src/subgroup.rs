@@ -74,11 +74,21 @@ pub fn discover_subgroups(
     cfg: &SubgroupConfig,
 ) -> Vec<Subgroup> {
     assert!(!descriptors.is_empty(), "need at least one descriptor");
-    assert!(cfg.beam_width >= 1 && cfg.max_depth >= 1 && cfg.top_k >= 1, "degenerate config");
-    assert!(cfg.bins_per_condition >= 1, "bins_per_condition must be positive");
+    assert!(
+        cfg.beam_width >= 1 && cfg.max_depth >= 1 && cfg.top_k >= 1,
+        "degenerate config"
+    );
+    assert!(
+        cfg.bins_per_condition >= 1,
+        "bins_per_condition must be positive"
+    );
     let n = target.len();
     for d in descriptors {
-        assert_eq!(d.len(), n, "descriptor covers different positions than target");
+        assert_eq!(
+            d.len(),
+            n,
+            "descriptor covers different positions than target"
+        );
     }
     if n == 0 {
         return Vec::new();
@@ -96,7 +106,14 @@ pub fn discover_subgroups(
             let hi = (bin + cfg.bins_per_condition - 1).min(d.nbins() - 1);
             let sel = d.query_bins(bin..=hi);
             if sel.count_ones() >= cfg.min_coverage {
-                seeds.push((Condition { var: v, bin_lo: bin, bin_hi: hi }, sel));
+                seeds.push((
+                    Condition {
+                        var: v,
+                        bin_lo: bin,
+                        bin_hi: hi,
+                    },
+                    sel,
+                ));
             }
             bin = hi + 1;
         }
@@ -135,7 +152,13 @@ pub fn discover_subgroups(
         .iter()
         .filter_map(|(c, sel)| {
             let (coverage, mean, quality) = score(sel)?;
-            Some(Cand { conditions: vec![*c], sel: sel.clone(), coverage, mean, quality })
+            Some(Cand {
+                conditions: vec![*c],
+                sel: sel.clone(),
+                coverage,
+                mean,
+                quality,
+            })
         })
         .collect();
     sort_cands(&mut beam);
@@ -152,10 +175,18 @@ pub fn discover_subgroups(
                     continue;
                 }
                 let sel = cand.sel.and(seed_sel);
-                let Some((coverage, mean, quality)) = score(&sel) else { continue };
+                let Some((coverage, mean, quality)) = score(&sel) else {
+                    continue;
+                };
                 let mut conditions = cand.conditions.clone();
                 conditions.push(*c);
-                next.push(Cand { conditions, sel, coverage, mean, quality });
+                next.push(Cand {
+                    conditions,
+                    sel,
+                    coverage,
+                    mean,
+                    quality,
+                });
             }
         }
         if next.is_empty() {
@@ -218,18 +249,38 @@ mod tests {
         let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
         assert!(!found.is_empty());
         let top = &found[0];
-        assert_eq!(top.conditions.len(), 2, "should refine to the conjunction: {top:?}");
-        let c1 = top.conditions.iter().find(|c| c.var == 0).expect("condition on d1");
-        let c2 = top.conditions.iter().find(|c| c.var == 1).expect("condition on d2");
+        assert_eq!(
+            top.conditions.len(),
+            2,
+            "should refine to the conjunction: {top:?}"
+        );
+        let c1 = top
+            .conditions
+            .iter()
+            .find(|c| c.var == 0)
+            .expect("condition on d1");
+        let c2 = top
+            .conditions
+            .iter()
+            .find(|c| c.var == 1)
+            .expect("condition on d2");
         assert!((c1.bin_lo..=c1.bin_hi).contains(&5), "d1 range {c1:?}");
         assert!((c2.bin_lo..=c2.bin_hi).contains(&2), "d2 range {c2:?}");
-        assert!(top.target_mean > 5.0, "elevated target mean: {}", top.target_mean);
+        assert!(
+            top.target_mean > 5.0,
+            "elevated target mean: {}",
+            top.target_mean
+        );
     }
 
     #[test]
     fn results_sorted_and_capped() {
         let (i1, i2, it) = indexes(2000);
-        let cfg = SubgroupConfig { top_k: 4, bins_per_condition: 2, ..Default::default() };
+        let cfg = SubgroupConfig {
+            top_k: 4,
+            bins_per_condition: 2,
+            ..Default::default()
+        };
         let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
         assert!(found.len() <= 4);
         for w in found.windows(2) {
@@ -243,7 +294,11 @@ mod tests {
     #[test]
     fn depth_one_only_single_conditions() {
         let (i1, i2, it) = indexes(2000);
-        let cfg = SubgroupConfig { max_depth: 1, bins_per_condition: 1, ..Default::default() };
+        let cfg = SubgroupConfig {
+            max_depth: 1,
+            bins_per_condition: 1,
+            ..Default::default()
+        };
         let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
         assert!(found.iter().all(|sg| sg.conditions.len() == 1));
     }
@@ -251,7 +306,10 @@ mod tests {
     #[test]
     fn min_coverage_is_respected() {
         let (i1, i2, it) = indexes(2000);
-        let cfg = SubgroupConfig { min_coverage: 1900, ..Default::default() };
+        let cfg = SubgroupConfig {
+            min_coverage: 1900,
+            ..Default::default()
+        };
         let found = discover_subgroups(&[&i1, &i2], &it, &cfg);
         for sg in &found {
             assert!(sg.coverage >= 1900);
@@ -271,10 +329,17 @@ mod tests {
         let found = discover_subgroups(
             &[&id],
             &it,
-            &SubgroupConfig { bins_per_condition: 1, min_coverage: 10, ..Default::default() },
+            &SubgroupConfig {
+                bins_per_condition: 1,
+                min_coverage: 10,
+                ..Default::default()
+            },
         );
         for sg in &found {
-            assert!(sg.quality.abs() < 1e-9, "no subgroup can beat a constant target");
+            assert!(
+                sg.quality.abs() < 1e-9,
+                "no subgroup can beat a constant target"
+            );
         }
     }
 

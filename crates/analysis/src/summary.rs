@@ -89,8 +89,14 @@ impl VarSummary {
     pub fn metric(&self, other: &VarSummary, metric: Metric) -> f64 {
         match (self, other) {
             (
-                VarSummary::Full { data: a, binner: ba },
-                VarSummary::Full { data: b, binner: bb },
+                VarSummary::Full {
+                    data: a,
+                    binner: ba,
+                },
+                VarSummary::Full {
+                    data: b,
+                    binner: bb,
+                },
             ) => match metric {
                 Metric::ConditionalEntropy => conditional_entropy_full(a, b, ba, bb),
                 Metric::Emd if ba == bb => emd_counts_full(a, b, ba),
@@ -103,11 +109,13 @@ impl VarSummary {
             (VarSummary::Bitmap(a), VarSummary::Bitmap(b)) => match metric {
                 Metric::ConditionalEntropy => conditional_entropy_index(a, b),
                 Metric::Emd if a.binner() == b.binner() => emd_counts_index(a, b),
-                Metric::Emd => emd_counts_index_aligned(a, b)
-                    .expect("EMD needs a shared binning lattice"),
+                Metric::Emd => {
+                    emd_counts_index_aligned(a, b).expect("EMD needs a shared binning lattice")
+                }
                 Metric::EmdSpatial if a.binner() == b.binner() => emd_spatial_index(a, b),
-                Metric::EmdSpatial => emd_spatial_index_aligned(a, b)
-                    .expect("EMD needs a shared binning lattice"),
+                Metric::EmdSpatial => {
+                    emd_spatial_index_aligned(a, b).expect("EMD needs a shared binning lattice")
+                }
             },
             _ => panic!("cannot mix full-data and bitmap summaries in one metric"),
         }
@@ -137,7 +145,11 @@ impl StepSummary {
     /// Dissimilarity from another step: per-variable metrics summed (the
     /// paper analyses all 12 LULESH arrays together).
     pub fn metric(&self, other: &StepSummary, metric: Metric) -> f64 {
-        assert_eq!(self.vars.len(), other.vars.len(), "steps have different variables");
+        assert_eq!(
+            self.vars.len(),
+            other.vars.len(),
+            "steps have different variables"
+        );
         self.vars
             .iter()
             .zip(&other.vars)
@@ -156,7 +168,9 @@ mod tests {
     use super::*;
 
     fn wave(n: usize, phase: f64) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.05 + phase).sin() * 10.0).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.05 + phase).sin() * 10.0)
+            .collect()
     }
 
     fn binner() -> Binner {

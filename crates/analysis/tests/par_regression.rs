@@ -1,0 +1,81 @@
+//! Regression: the parallel analytics fan-outs (mining rows, greedy
+//! candidate scoring, DP pairwise tables) must produce **byte-identical**
+//! results — same values, same ordering — as their serial baselines, on the
+//! Ocean ground-truth dataset whose planted temperature–salinity
+//! correlation makes the outputs non-trivial.
+
+use ibis_analysis::{
+    mine_index, mine_index_serial, select_dp, select_dp_serial, select_greedy,
+    select_greedy_serial, Metric, MiningConfig, Partitioning, StepSummary, VarSummary,
+};
+use ibis_core::{Binner, BitmapIndex, ZOrderLayout};
+use ibis_datagen::{OceanConfig, OceanModel, Simulation};
+
+fn ocean_cfg() -> OceanConfig {
+    OceanConfig {
+        nlon: 48,
+        nlat: 32,
+        ndepth: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn parallel_mining_identical_to_serial_on_ocean() {
+    let cfg = ocean_cfg();
+    let ocean = OceanModel::new(cfg.clone());
+    let z = ZOrderLayout::new(&[cfg.nlon, cfg.nlat, cfg.ndepth]);
+    let t = z.reorder(&ocean.variable("temperature"));
+    let s = z.reorder(&ocean.variable("salinity"));
+    let it = BitmapIndex::build(&t, Binner::fit(&t, 24));
+    let is = BitmapIndex::build(&s, Binner::fit(&s, 24));
+    let mining = MiningConfig {
+        value_threshold: 0.002,
+        spatial_threshold: 0.08,
+        unit_size: 256,
+    };
+    let par = mine_index(&it, &is, &mining);
+    let ser = mine_index_serial(&it, &is, &mining);
+    assert!(
+        !ser.subsets.is_empty(),
+        "planted correlation must produce subsets"
+    );
+    assert_eq!(
+        par.subsets, ser.subsets,
+        "fan-out must not change mining results"
+    );
+    assert_eq!(par.pairs_evaluated, ser.pairs_evaluated);
+    assert_eq!(par.pairs_pruned, ser.pairs_pruned);
+    assert_eq!(par.units_evaluated, ser.units_evaluated);
+}
+
+#[test]
+fn parallel_selection_identical_to_serial_on_ocean() {
+    let cfg = ocean_cfg();
+    let mut ocean = OceanModel::new(cfg);
+    // One binning scale across all steps (the paper's shared-scale setting).
+    let binner = Binner::fit(&ocean.variable("temperature"), 24);
+    let steps: Vec<StepSummary> = (0..14)
+        .map(|_| {
+            let out = ocean.step();
+            let temp = &out
+                .field("temperature")
+                .expect("ocean emits temperature")
+                .data;
+            StepSummary {
+                step: out.step,
+                vars: vec![VarSummary::bitmap(temp, binner.clone())],
+            }
+        })
+        .collect();
+    for metric in [Metric::ConditionalEntropy, Metric::Emd, Metric::EmdSpatial] {
+        for part in [Partitioning::FixedLength, Partitioning::InfoVolume] {
+            let par = select_greedy(&steps, 5, metric, part);
+            let ser = select_greedy_serial(&steps, 5, metric, part);
+            assert_eq!(par, ser, "greedy {metric:?} {part:?}");
+        }
+        let par = select_dp(&steps, 5, metric);
+        let ser = select_dp_serial(&steps, 5, metric);
+        assert_eq!(par, ser, "dp {metric:?}");
+    }
+}

@@ -19,7 +19,10 @@ use proptest::prelude::*;
 
 /// Arbitrary data in a fixed range plus a binner over that range.
 fn data_and_binner() -> impl Strategy<Value = (Vec<f64>, Binner)> {
-    (proptest::collection::vec(-50.0f64..50.0, 1..400), 1usize..24)
+    (
+        proptest::collection::vec(-50.0f64..50.0, 1..400),
+        1usize..24,
+    )
         .prop_map(|(data, nbins)| (data, Binner::fixed_width(-50.0, 50.0, nbins)))
 }
 

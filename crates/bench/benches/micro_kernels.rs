@@ -1,23 +1,221 @@
-//! Criterion micro-benchmarks for the compute kernels: WAH construction
-//! and logical operations (vs the uncompressed baseline), the bitmap vs
-//! full-data metric kernels, and the correlation-mining inner loop.
+//! Criterion micro-benchmarks for the compute kernels — WAH construction,
+//! logical operations, metric kernels, the mining inner loop — plus the
+//! **adaptive-kernel sweep**: density × codec × kernel, adaptive vs the
+//! legacy closure-generic path (`legacy-kernels` feature), persisted to
+//! `BENCH_kernels.json` at the repository root.
+//!
+//! Run with `IBIS_SWEEP_ONLY=1` to emit the JSON without the (slower)
+//! criterion groups.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use ibis_analysis::emd::{emd_spatial_full, emd_spatial_index};
 use ibis_analysis::entropy::{conditional_entropy_full, conditional_entropy_index};
 use ibis_analysis::{
     aggregate, correlation_query, mine_full, mine_index, MiningConfig, SubsetQuery,
 };
-use ibis_core::{Binner, BitmapIndex, Bitset, MultiWahBuilder, WahVec};
+use ibis_core::{BbcVec, Binner, BitmapIndex, Bitset, MultiWahBuilder, WahVec};
 use ibis_datagen::{OceanConfig, OceanModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const N: usize = 1 << 20; // 1M elements
 
 fn smooth_field(phase: f64) -> Vec<f64> {
-    (0..N).map(|i| (i as f64 * 1e-4 + phase).sin() * 50.0).collect()
+    (0..N)
+        .map(|i| (i as f64 * 1e-4 + phase).sin() * 50.0)
+        .collect()
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive-kernel sweep: density × codec × kernel, new vs legacy.
+// ---------------------------------------------------------------------------
+
+/// Mean seconds per iteration: calibrates an iteration count to ~60 ms per
+/// sample, then averages a handful of samples (same scheme as the criterion
+/// shim, but returning the number so it can be persisted).
+fn measure<O>(mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    let one = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.06 / one).round() as u64).clamp(1, 1_000_000_000);
+    let samples = 3;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        total += t0.elapsed().as_secs_f64() / iters as f64;
+    }
+    total / samples as f64
+}
+
+/// One timed point of the sweep.
+struct Sample {
+    pattern: &'static str,
+    density: f64,
+    wah_dense: bool,
+    codec: &'static str,
+    kernel: &'static str,
+    mean_s: f64,
+}
+
+/// A pair of bit patterns at a target density. `sparse_runs` is the
+/// fill-heavy regime WAH was designed for; the `*_random` patterns are
+/// incompressible noise at increasing density, crossing the α=1 cutover.
+fn pattern_bits(name: &str, density: f64, seed: u64) -> Vec<bool> {
+    match name {
+        "sparse_runs" => {
+            // 310-bit runs of ones, one run per ~93k bits (density ≈ 0.33%),
+            // offset by seed so the two operands interleave.
+            let offset = seed as usize * 155;
+            (0..N)
+                .map(|i| ((i + offset) / 310).is_multiple_of(300))
+                .collect()
+        }
+        _ => {
+            let mut rng = StdRng::seed_from_u64(0xB17_5EED ^ seed);
+            (0..N).map(|_| rng.gen_range(0.0..1.0) < density).collect()
+        }
+    }
+}
+
+fn kernel_sweep() {
+    let patterns: [(&'static str, f64); 5] = [
+        ("sparse_runs", 0.0033),
+        ("sparse_random", 0.01),
+        ("mid_random", 0.10),
+        ("dense30_random", 0.30),
+        ("dense50_random", 0.50),
+    ];
+    let mut samples: Vec<Sample> = Vec::new();
+    for (pattern, density) in patterns {
+        let bits_a = pattern_bits(pattern, density, 1);
+        let bits_b = pattern_bits(pattern, density, 2);
+        let wa = WahVec::from_bits(bits_a.iter().copied());
+        let wb = WahVec::from_bits(bits_b.iter().copied());
+        let ba = BbcVec::from_bits(bits_a.iter().copied());
+        let bb = BbcVec::from_bits(bits_b.iter().copied());
+        let va = Bitset::from_bits(bits_a.iter().copied());
+        let vb = Bitset::from_bits(bits_b.iter().copied());
+        let wah_dense = wa.is_dense() || wb.is_dense();
+        let mut push = |codec, kernel, mean_s| {
+            println!(
+                "bench: sweep/{pattern}/{codec}/{kernel:<12} mean {:>10.3} us",
+                mean_s * 1e6
+            );
+            samples.push(Sample {
+                pattern,
+                density,
+                wah_dense,
+                codec,
+                kernel,
+                mean_s,
+            });
+        };
+        // WAH, adaptive dense-path kernels (this PR's default path).
+        push("wah_adaptive", "and_count", measure(|| wa.and_count(&wb)));
+        push("wah_adaptive", "xor_count", measure(|| wa.xor_count(&wb)));
+        push("wah_adaptive", "and", measure(|| wa.and(&wb)));
+        push("wah_adaptive", "xor", measure(|| wa.xor(&wb)));
+        push("wah_adaptive", "or", measure(|| wa.or(&wb)));
+        // WAH, pre-adaptive closure-generic kernels (A/B baseline).
+        push(
+            "wah_legacy",
+            "and_count",
+            measure(|| wa.and_count_legacy(&wb)),
+        );
+        push(
+            "wah_legacy",
+            "xor_count",
+            measure(|| wa.xor_count_legacy(&wb)),
+        );
+        push("wah_legacy", "and", measure(|| wa.and_legacy(&wb)));
+        push("wah_legacy", "xor", measure(|| wa.xor_legacy(&wb)));
+        push("wah_legacy", "or", measure(|| wa.or_legacy(&wb)));
+        // BBC codec (byte-aligned runs) — fused AND-popcount only.
+        push("bbc", "and_count", measure(|| ba.and_count(&bb)));
+        // Uncompressed baseline (clone + in-place AND + popcount).
+        push(
+            "verbatim",
+            "and_count",
+            measure(|| {
+                let mut x = va.clone();
+                x.and_assign(&vb);
+                x.count_ones()
+            }),
+        );
+    }
+    write_json(&samples);
+}
+
+/// Speedup of the adaptive path over the legacy path for `kernel` on
+/// `pattern` (values > 1 mean the adaptive path is faster).
+fn speedup(samples: &[Sample], pattern: &str, kernel: &str) -> f64 {
+    let time_of = |codec: &str| {
+        samples
+            .iter()
+            .find(|s| s.pattern == pattern && s.codec == codec && s.kernel == kernel)
+            .expect("sample present")
+            .mean_s
+    };
+    time_of("wah_legacy") / time_of("wah_adaptive")
+}
+
+fn write_json(samples: &[Sample]) {
+    let mut out = String::from("{\n  \"bits\": 1048576,\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pattern\": \"{}\", \"density\": {}, \"wah_dense\": {}, \
+             \"codec\": \"{}\", \"kernel\": \"{}\", \"mean_s\": {:e}}}{}\n",
+            s.pattern,
+            s.density,
+            s.wah_dense,
+            s.codec,
+            s.kernel,
+            s.mean_s,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"adaptive_over_legacy_speedup\": {\n");
+    let patterns: Vec<&str> = {
+        let mut seen = Vec::new();
+        for s in samples {
+            if !seen.contains(&s.pattern) {
+                seen.push(s.pattern);
+            }
+        }
+        seen
+    };
+    for (pi, p) in patterns.iter().enumerate() {
+        out.push_str(&format!("    \"{p}\": {{"));
+        for (ki, k) in ["and_count", "xor_count", "and", "xor", "or"]
+            .iter()
+            .enumerate()
+        {
+            let sp = speedup(samples, p, k);
+            println!("sweep: {p:<16} {k:<10} adaptive/legacy speedup {sp:.2}x");
+            out.push_str(&format!(
+                "\"{k}\": {sp:.3}{}",
+                if ki == 4 { "" } else { ", " }
+            ));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if pi + 1 == patterns.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, out).expect("write BENCH_kernels.json");
+    println!("sweep: wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Criterion groups (construction, ops, metrics, mining, queries).
+// ---------------------------------------------------------------------------
 
 fn bench_build(c: &mut Criterion) {
     let data = smooth_field(0.0);
@@ -56,9 +254,15 @@ fn bench_ops(c: &mut Criterion) {
     g.sample_size(20).measurement_time(Duration::from_secs(2));
     g.bench_function("and_1M", |bch| bch.iter(|| black_box(a.and(&b))));
     g.bench_function("xor_1M", |bch| bch.iter(|| black_box(a.xor(&b))));
-    g.bench_function("and_count_1M", |bch| bch.iter(|| black_box(a.and_count(&b))));
-    g.bench_function("xor_count_1M", |bch| bch.iter(|| black_box(a.xor_count(&b))));
-    g.bench_function("count_ones_1M", |bch| bch.iter(|| black_box(a.count_ones())));
+    g.bench_function("and_count_1M", |bch| {
+        bch.iter(|| black_box(a.and_count(&b)))
+    });
+    g.bench_function("xor_count_1M", |bch| {
+        bch.iter(|| black_box(a.xor_count(&b)))
+    });
+    g.bench_function("count_ones_1M", |bch| {
+        bch.iter(|| black_box(a.count_ones()))
+    });
     g.bench_function("count_per_unit_1M", |bch| {
         bch.iter(|| black_box(a.count_ones_per_unit(4096)))
     });
@@ -89,7 +293,12 @@ fn bench_metrics(c: &mut Criterion) {
 }
 
 fn bench_mining(c: &mut Criterion) {
-    let cfg = OceanConfig { nlon: 128, nlat: 96, ndepth: 2, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon: 128,
+        nlat: 96,
+        ndepth: 2,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg);
     let t = ocean.variable("temperature");
     let s = ocean.variable("salinity");
@@ -97,19 +306,27 @@ fn bench_mining(c: &mut Criterion) {
     let bs = Binner::fit(&s, 24);
     let it = BitmapIndex::build(&t, bt.clone());
     let is = BitmapIndex::build(&s, bs.clone());
-    let mc = MiningConfig { value_threshold: 0.002, spatial_threshold: 0.08, unit_size: 512 };
+    let mc = MiningConfig {
+        value_threshold: 0.002,
+        spatial_threshold: 0.08,
+        unit_size: 512,
+    };
     let mut g = c.benchmark_group("mining");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for (label, bitmaps) in [("bitmaps", true), ("fulldata", false)] {
-        g.bench_with_input(BenchmarkId::new("ocean_24k", label), &bitmaps, |bch, &bm| {
-            bch.iter(|| {
-                if bm {
-                    black_box(mine_index(&it, &is, &mc))
-                } else {
-                    black_box(mine_full(&t, &s, &bt, &bs, &mc))
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ocean_24k", label),
+            &bitmaps,
+            |bch, &bm| {
+                bch.iter(|| {
+                    if bm {
+                        black_box(mine_index(&it, &is, &mc))
+                    } else {
+                        black_box(mine_full(&t, &s, &bt, &bs, &mc))
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -125,7 +342,9 @@ fn bench_queries(c: &mut Criterion) {
     g.bench_function("range_query_1M", |bch| {
         bch.iter(|| black_box(ia.query_range(black_box(-10.0), black_box(10.0))))
     });
-    g.bench_function("approx_mean_1M", |bch| bch.iter(|| black_box(aggregate::mean(&ia))));
+    g.bench_function("approx_mean_1M", |bch| {
+        bch.iter(|| black_box(aggregate::mean(&ia)))
+    });
     g.bench_function("approx_pearson_1M", |bch| {
         bch.iter(|| black_box(aggregate::pearson(&ia, &ib)))
     });
@@ -144,4 +363,10 @@ criterion_group!(
     bench_mining,
     bench_queries
 );
-criterion_main!(benches);
+
+fn main() {
+    kernel_sweep();
+    if std::env::var("IBIS_SWEEP_ONLY").is_err() {
+        benches();
+    }
+}

@@ -5,8 +5,7 @@ use crate::{heat3d_binner, heat3d_config, secs, speedup, Figure};
 use ibis_analysis::selection::{chain_score, select_dp, select_greedy, Partitioning};
 use ibis_analysis::{mine_index, mine_multilevel, Metric, MiningConfig, StepSummary, VarSummary};
 use ibis_core::{
-    bbc::BbcVec, build_index_two_phase, Binner, BitmapIndex, Bitset, MultiLevelIndex,
-    ZOrderLayout,
+    bbc::BbcVec, build_index_two_phase, Binner, BitmapIndex, Bitset, MultiLevelIndex, ZOrderLayout,
 };
 use ibis_datagen::{Heat3D, OceanConfig, OceanModel, Simulation};
 use std::time::Instant;
@@ -64,7 +63,11 @@ pub fn ablation_streaming_build() {
         "the uncompressed transient must exceed the raw data"
     );
     for b in 0..binner.nbins() {
-        assert_eq!(streaming.bin(b), two_phase.bin(b), "outputs must be identical");
+        assert_eq!(
+            streaming.bin(b),
+            two_phase.bin(b),
+            "outputs must be identical"
+        );
     }
 }
 
@@ -104,10 +107,31 @@ pub fn ablation_selection() {
         let gs = chain_score(&steps, &greedy.selected, metric);
         let is = chain_score(&steps, &info.selected, metric);
         let ds = chain_score(&steps, &dp.selected, metric);
-        fig.row(&[&"greedy-fixed", &k, &format!("{gs:.4}"), &secs(greedy_t), &format!("{:?}", greedy.selected)]);
-        fig.row(&[&"greedy-infovol", &k, &format!("{is:.4}"), &secs(info_t), &format!("{:?}", info.selected)]);
-        fig.row(&[&"dp", &k, &format!("{ds:.4}"), &secs(dp_t), &format!("{:?}", dp.selected)]);
-        assert!(ds >= gs - 1e-9, "DP must not lose to greedy on its own objective");
+        fig.row(&[
+            &"greedy-fixed",
+            &k,
+            &format!("{gs:.4}"),
+            &secs(greedy_t),
+            &format!("{:?}", greedy.selected),
+        ]);
+        fig.row(&[
+            &"greedy-infovol",
+            &k,
+            &format!("{is:.4}"),
+            &secs(info_t),
+            &format!("{:?}", info.selected),
+        ]);
+        fig.row(&[
+            &"dp",
+            &k,
+            &format!("{ds:.4}"),
+            &secs(dp_t),
+            &format!("{:?}", dp.selected),
+        ]);
+        assert!(
+            ds >= gs - 1e-9,
+            "DP must not lose to greedy on its own objective"
+        );
     }
     fig.finish();
 }
@@ -118,17 +142,33 @@ pub fn ablation_zorder() {
     let mut fig = Figure::new(
         "ablation_zorder",
         "Z-order vs row-major layout: spatial localization of mined subsets",
-        &["layout", "subsets", "in_band_top20", "mean_lat_extent", "mean_lon_extent"],
+        &[
+            "layout",
+            "subsets",
+            "in_band_top20",
+            "mean_lat_extent",
+            "mean_lon_extent",
+        ],
     );
-    let cfg = OceanConfig { nlon: 128, nlat: 96, ndepth: 1, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon: 128,
+        nlat: 96,
+        ndepth: 1,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg.clone());
     let t_row = ocean.variable("temperature");
     let s_row = ocean.variable("salinity");
     let z = ZOrderLayout::new(&[cfg.nlon, cfg.nlat]);
-    let mining =
-        MiningConfig { value_threshold: 0.002, spatial_threshold: 0.08, unit_size: 256 };
-    let band =
-        ((cfg.current_band.0 * cfg.nlat as f64) as usize, (cfg.current_band.1 * cfg.nlat as f64) as usize);
+    let mining = MiningConfig {
+        value_threshold: 0.002,
+        spatial_threshold: 0.08,
+        unit_size: 256,
+    };
+    let band = (
+        (cfg.current_band.0 * cfg.nlat as f64) as usize,
+        (cfg.current_band.1 * cfg.nlat as f64) as usize,
+    );
 
     for (label, zorder) in [("z-order", true), ("row-major", false)] {
         let (t, s) = if zorder {
@@ -159,11 +199,9 @@ pub fn ablation_zorder() {
             let cells = unit_cells(sub.unit);
             let lats: Vec<usize> = cells.iter().map(|&c| c / cfg.nlon).collect();
             let lons: Vec<usize> = cells.iter().map(|&c| c % cfg.nlon).collect();
-            let (lo, hi) =
-                (*lats.iter().min().unwrap(), *lats.iter().max().unwrap() + 1);
+            let (lo, hi) = (*lats.iter().min().unwrap(), *lats.iter().max().unwrap() + 1);
             lat_extent += (hi - lo) as f64;
-            lon_extent +=
-                (lons.iter().max().unwrap() + 1 - lons.iter().min().unwrap()) as f64;
+            lon_extent += (lons.iter().max().unwrap() + 1 - lons.iter().min().unwrap()) as f64;
             if hi > band.0 && lo < band.1 {
                 in_band += 1;
             }
@@ -187,9 +225,22 @@ pub fn ablation_multilevel() {
     let mut fig = Figure::new(
         "ablation_multilevel",
         "Multi-level mining: pruning effectiveness vs group size",
-        &["group", "high_pruned", "low_pairs", "time(s)", "speedup_vs_flat", "subsets", "strong_recall"],
+        &[
+            "group",
+            "high_pruned",
+            "low_pairs",
+            "time(s)",
+            "speedup_vs_flat",
+            "subsets",
+            "strong_recall",
+        ],
     );
-    let cfg = OceanConfig { nlon: 192, nlat: 144, ndepth: 2, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon: 192,
+        nlat: 144,
+        ndepth: 2,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg.clone());
     let z = ZOrderLayout::new(&[cfg.nlon, cfg.nlat, cfg.ndepth]);
     let t = z.reorder(&ocean.variable("temperature"));
@@ -198,13 +249,24 @@ pub fn ablation_multilevel() {
     let bs = Binner::fit(&s, 48);
     let it = BitmapIndex::build(&t, bt);
     let is = BitmapIndex::build(&s, bs);
-    let mining =
-        MiningConfig { value_threshold: 0.004, spatial_threshold: 0.08, unit_size: 512 };
+    let mining = MiningConfig {
+        value_threshold: 0.004,
+        spatial_threshold: 0.08,
+        unit_size: 512,
+    };
 
     let t0 = Instant::now();
     let flat = mine_index(&it, &is, &mining);
     let flat_t = t0.elapsed().as_secs_f64();
-    fig.row(&[&1usize, &0usize, &flat.pairs_evaluated, &secs(flat_t), &"1.00x", &flat.subsets.len(), &"1.00"]);
+    fig.row(&[
+        &1usize,
+        &0usize,
+        &flat.pairs_evaluated,
+        &secs(flat_t),
+        &"1.00x",
+        &flat.subsets.len(),
+        &"1.00",
+    ]);
 
     for group in [2usize, 4, 8] {
         let mt = MultiLevelIndex::from_low(it.clone(), group);
@@ -215,8 +277,7 @@ pub fn ablation_multilevel() {
         // recall over the flat miner's strong subsets — coarsening can
         // dilute a fine pair below T, so the pruning trades recall for
         // work; the table quantifies that tradeoff.
-        let strong: Vec<_> =
-            flat.subsets.iter().filter(|s| s.spatial_mi > 0.4).collect();
+        let strong: Vec<_> = flat.subsets.iter().filter(|s| s.spatial_mi > 0.4).collect();
         let kept = strong.iter().filter(|s| r.subsets.contains(s)).count();
         let recall = kept as f64 / strong.len().max(1) as f64;
         if group == 2 {
@@ -254,8 +315,9 @@ pub fn ablation_codec() {
     let binner = heat3d_binner();
     let raw_kb = (data.len() * 8) as f64 / 1024.0;
     let index = BitmapIndex::build(&data, binner.clone());
-    let nonempty: Vec<usize> =
-        (0..index.nbins()).filter(|&b| index.counts()[b] > 0).collect();
+    let nonempty: Vec<usize> = (0..index.nbins())
+        .filter(|&b| index.counts()[b] > 0)
+        .collect();
 
     // WAH
     let wah_kb = index.size_bytes() as f64 / 1024.0;
@@ -267,7 +329,12 @@ pub fn ablation_codec() {
         }
     }
     let wah_t = t0.elapsed().as_secs_f64();
-    fig.row(&[&"wah", &format!("{wah_kb:.1}"), &format!("{:.1}%", 100.0 * wah_kb / raw_kb), &secs(wah_t)]);
+    fig.row(&[
+        &"wah",
+        &format!("{wah_kb:.1}"),
+        &format!("{:.1}%", 100.0 * wah_kb / raw_kb),
+        &secs(wah_t),
+    ]);
 
     // BBC-style
     let bbc: Vec<BbcVec> = (0..index.nbins())
@@ -283,11 +350,17 @@ pub fn ablation_codec() {
     }
     let bbc_t = t0.elapsed().as_secs_f64();
     assert_eq!(acc, acc2, "codecs must agree");
-    fig.row(&[&"bbc-style", &format!("{bbc_kb:.1}"), &format!("{:.1}%", 100.0 * bbc_kb / raw_kb), &secs(bbc_t)]);
+    fig.row(&[
+        &"bbc-style",
+        &format!("{bbc_kb:.1}"),
+        &format!("{:.1}%", 100.0 * bbc_kb / raw_kb),
+        &secs(bbc_t),
+    ]);
 
     // uncompressed
-    let sets: Vec<Bitset> =
-        (0..index.nbins()).map(|b| Bitset::from_bits(index.bin(b).iter_bits())).collect();
+    let sets: Vec<Bitset> = (0..index.nbins())
+        .map(|b| Bitset::from_bits(index.bin(b).iter_bits()))
+        .collect();
     let raw_idx_kb = sets.iter().map(Bitset::size_bytes).sum::<usize>() as f64 / 1024.0;
     let t0 = Instant::now();
     let mut acc3 = 0u64;
@@ -300,6 +373,11 @@ pub fn ablation_codec() {
     }
     let bs_t = t0.elapsed().as_secs_f64();
     assert_eq!(acc, acc3, "codecs must agree");
-    fig.row(&[&"uncompressed", &format!("{raw_idx_kb:.1}"), &format!("{:.1}%", 100.0 * raw_idx_kb / raw_kb), &secs(bs_t)]);
+    fig.row(&[
+        &"uncompressed",
+        &format!("{raw_idx_kb:.1}"),
+        &format!("{:.1}%", 100.0 * raw_idx_kb / raw_kb),
+        &secs(bs_t),
+    ]);
     fig.finish();
 }

@@ -3,8 +3,8 @@
 //! `target/figures/*.csv`; EXPERIMENTS.md discusses the comparisons.
 
 use crate::{
-    heat3d_binner, heat3d_config, lulesh_binners, lulesh_config, mb, scaled_count, secs,
-    speedup, steps_and_k, Figure,
+    heat3d_binner, heat3d_config, lulesh_binners, lulesh_config, mb, scaled_count, secs, speedup,
+    steps_and_k, Figure,
 };
 use ibis_analysis::entropy::mutual_information_from_counts;
 use ibis_analysis::histogram::joint_histogram;
@@ -14,13 +14,10 @@ use ibis_analysis::sampling::{
 use ibis_analysis::{mine_full, mine_index, mine_multilevel, Cfp, Metric, MiningConfig};
 use ibis_analysis::{StepSummary, VarSummary};
 use ibis_core::{Binner, BitmapIndex, MultiLevelIndex, ZOrderLayout};
-use ibis_datagen::{
-    Heat3D, MiniLulesh, OceanConfig, OceanModel, Simulation, StepOutput,
-};
+use ibis_datagen::{Heat3D, MiniLulesh, OceanConfig, OceanModel, Simulation, StepOutput};
 use ibis_insitu::{
     auto_allocate, run_cluster, run_pipeline, ClusterConfig, ClusterIo, ClusterReduction,
-    CoreAllocation, InsituReport, LocalDisk, MachineModel, PipelineConfig, Reduction,
-    ScalingModel,
+    CoreAllocation, InsituReport, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
 };
 use std::time::Instant;
 
@@ -70,15 +67,22 @@ fn core_sweep<F>(
         id,
         title,
         &[
-            "cores", "method", "sim(s)", "reduce(s)", "select(s)", "output(s)", "total(s)",
+            "cores",
+            "method",
+            "sim(s)",
+            "reduce(s)",
+            "select(s)",
+            "output(s)",
+            "total(s)",
             "speedup",
         ],
     );
     for &cores in cores_list {
         let mut reports: Vec<(&str, InsituReport)> = Vec::new();
-        for (label, reduction) in
-            [("bitmaps", Reduction::Bitmaps), ("fulldata", Reduction::FullData)]
-        {
+        for (label, reduction) in [
+            ("bitmaps", Reduction::Bitmaps),
+            ("fulldata", Reduction::FullData),
+        ] {
             let cfg = base_pipeline(
                 machine.clone(),
                 cores,
@@ -107,7 +111,10 @@ fn core_sweep<F>(
             ]);
         }
         // sanity: both methods must pick the same steps
-        assert_eq!(reports[0].1.selected, reports[1].1.selected, "selection must agree");
+        assert_eq!(
+            reports[0].1.selected, reports[1].1.selected,
+            "selection must agree"
+        );
     }
     fig.finish();
 }
@@ -285,7 +292,10 @@ pub fn fig12() {
         ]);
         for &(sim_c, bm_c) in splits {
             let mut cfg = base.clone();
-            cfg.allocation = CoreAllocation::Separate { sim_cores: sim_c, bitmap_cores: bm_c };
+            cfg.allocation = CoreAllocation::Separate {
+                sim_cores: sim_c,
+                bitmap_cores: bm_c,
+            };
             let disk = LocalDisk::new(machine.disk_bw);
             let r = run_pipeline(make_sim(), &cfg, &disk);
             fig.row(&[
@@ -299,7 +309,11 @@ pub fn fig12() {
         // Equations 1–2 auto split
         let mut probe = make_sim();
         let alloc = auto_allocate(&mut probe, &binners, &machine, total, 2);
-        let CoreAllocation::Separate { sim_cores, bitmap_cores } = alloc else {
+        let CoreAllocation::Separate {
+            sim_cores,
+            bitmap_cores,
+        } = alloc
+        else {
             unreachable!()
         };
         let mut cfg = base.clone();
@@ -359,7 +373,15 @@ pub fn fig13() {
     let mut fig = Figure::new(
         "fig13",
         "Cluster in-situ: total modeled time vs node count",
-        &["nodes", "method", "io", "sim(s)", "output(s)", "total(s)", "speedup"],
+        &[
+            "nodes",
+            "method",
+            "io",
+            "sim(s)",
+            "output(s)",
+            "total(s)",
+            "speedup",
+        ],
     );
     let heat = heat3d_config();
     let steps = scaled_count(16);
@@ -384,7 +406,11 @@ pub fn fig13() {
         for io in [ClusterIo::Local, ClusterIo::Remote] {
             let mut totals = Vec::new();
             for reduction in [ClusterReduction::Bitmaps, ClusterReduction::FullData] {
-                let cfg = ClusterConfig { reduction, io, ..base.clone() };
+                let cfg = ClusterConfig {
+                    reduction,
+                    io,
+                    ..base.clone()
+                };
                 let r = run_cluster(&cfg);
                 totals.push((reduction, r));
             }
@@ -426,16 +452,34 @@ pub fn fig14() {
         "fig14",
         "Correlation mining: load + mine vs data size (ocean temp x salinity)",
         &[
-            "elements", "full_load(s)", "full_mine(s)", "bm_load(s)", "bm_mine(s)",
-            "ml_mine(s)", "speedup", "subsets",
+            "elements",
+            "full_load(s)",
+            "full_mine(s)",
+            "bm_load(s)",
+            "bm_mine(s)",
+            "ml_mine(s)",
+            "speedup",
+            "subsets",
         ],
     );
     let disk_bw = MachineModel::xeon32().disk_bw;
-    let mining = MiningConfig { value_threshold: 0.002, spatial_threshold: 0.08, unit_size: 512 };
-    for &(nlon, nlat, nd) in
-        &[(128usize, 96usize, 2usize), (160, 120, 3), (192, 144, 4), (256, 192, 4)]
-    {
-        let cfg = OceanConfig { nlon, nlat, ndepth: nd, ..Default::default() };
+    let mining = MiningConfig {
+        value_threshold: 0.002,
+        spatial_threshold: 0.08,
+        unit_size: 512,
+    };
+    for &(nlon, nlat, nd) in &[
+        (128usize, 96usize, 2usize),
+        (160, 120, 3),
+        (192, 144, 4),
+        (256, 192, 4),
+    ] {
+        let cfg = OceanConfig {
+            nlon,
+            nlat,
+            ndepth: nd,
+            ..Default::default()
+        };
         let ocean = OceanModel::new(cfg.clone());
         let z = ZOrderLayout::new(&[nlon, nlat, nd]);
         let t = z.reorder(&ocean.variable("temperature"));
@@ -463,7 +507,10 @@ pub fn fig14() {
         let (rm, _) = mine_multilevel(&mt, &ms, &mining);
         let ml_mine = t0.elapsed().as_secs_f64();
 
-        assert_eq!(rb.subsets, rf.subsets, "bitmap miner must equal full-data miner");
+        assert_eq!(
+            rb.subsets, rf.subsets,
+            "bitmap miner must equal full-data miner"
+        );
         let _ = rm;
         fig.row(&[
             &(nlon * nlat * nd),
@@ -485,7 +532,14 @@ pub fn fig15() {
     let mut fig = Figure::new(
         "fig15",
         "Bitmaps vs sampling: in-situ time breakdown (Heat3D, 32 cores)",
-        &["method", "sim(s)", "reduce(s)", "select(s)", "output(s)", "total(s)"],
+        &[
+            "method",
+            "sim(s)",
+            "reduce(s)",
+            "select(s)",
+            "output(s)",
+            "total(s)",
+        ],
     );
     let heat = heat3d_config();
     let (steps, k) = steps_and_k();
@@ -516,7 +570,10 @@ pub fn fig15() {
     for pct in [30.0, 15.0, 5.0, 1.0] {
         run(
             format!("sample-{pct}%"),
-            Reduction::Sampling { percent: pct, method: SamplingMethod::Stride },
+            Reduction::Sampling {
+                percent: pct,
+                method: SamplingMethod::Stride,
+            },
         );
     }
     fig.finish();
@@ -529,7 +586,10 @@ fn heat3d_step_arrays(steps: usize) -> Vec<Vec<f64>> {
     heat.ny /= 2;
     heat.nz /= 2;
     let mut sim = Heat3D::new(heat);
-    sim.run(steps).into_iter().map(|mut s: StepOutput| s.fields.remove(0).data).collect()
+    sim.run(steps)
+        .into_iter()
+        .map(|mut s: StepOutput| s.fields.remove(0).data)
+        .collect()
 }
 
 /// Figure 16: information loss of sampling for time-steps selection — CFP
@@ -615,7 +675,12 @@ pub fn fig17() {
         "Sampling accuracy loss for mining MI over 60 subsets",
         &["method", "mean_rel_loss%", "p50%", "p90%"],
     );
-    let cfg = OceanConfig { nlon: 256, nlat: 192, ndepth: 4, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon: 256,
+        nlat: 192,
+        ndepth: 4,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg.clone());
     let z = ZOrderLayout::new(&[cfg.nlon, cfg.nlat, cfg.ndepth]);
     let t = z.reorder(&ocean.variable("temperature"));

@@ -44,7 +44,12 @@ pub fn scaled_count(base: usize) -> usize {
 /// The benchmark Heat3D problem (paper: 800×1000×1000; here 64³ × scale).
 pub fn heat3d_config() -> Heat3DConfig {
     let d = scaled_dim(64);
-    Heat3DConfig { nx: d, ny: d, nz: d, ..Default::default() }
+    Heat3DConfig {
+        nx: d,
+        ny: d,
+        nz: d,
+        ..Default::default()
+    }
 }
 
 /// The benchmark Heat3D binning scale. The paper bins to one decimal digit
@@ -56,7 +61,10 @@ pub fn heat3d_binner() -> Binner {
 
 /// The benchmark mini-LULESH problem.
 pub fn lulesh_config() -> LuleshConfig {
-    LuleshConfig { edge: scaled_dim(14), ..Default::default() }
+    LuleshConfig {
+        edge: scaled_dim(14),
+        ..Default::default()
+    }
 }
 
 /// Fits one binner per LULESH output array from a short probe run (the
@@ -93,13 +101,18 @@ impl Figure {
     /// column headers.
     pub fn new(id: &'static str, title: &str, columns: &[&str]) -> Self {
         println!("\n=== {id}: {title} ===");
-        Figure { id, columns: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Figure {
+            id,
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
     }
 
     /// Prints the table and writes `target/figures/<id>.csv`.

@@ -50,7 +50,11 @@ impl BbcVec {
             raw.push(cur);
         }
         // encode whole bytes (a partial tail byte is always literal)
-        let whole = if tail_bits > 0 { raw.len() - 1 } else { raw.len() };
+        let whole = if tail_bits > 0 {
+            raw.len() - 1
+        } else {
+            raw.len()
+        };
         let mut bytes = Vec::new();
         let mut i = 0;
         while i < whole {
@@ -68,11 +72,7 @@ impl BbcVec {
                 i += run;
             } else {
                 let start = i;
-                while i < whole
-                    && raw[i] != 0x00
-                    && raw[i] != 0xFF
-                    && i - start < LIT_MAX
-                {
+                while i < whole && raw[i] != 0x00 && raw[i] != 0xFF && i - start < LIT_MAX {
                     i += 1;
                 }
                 bytes.push((i - start) as u8);
@@ -104,7 +104,11 @@ impl BbcVec {
     /// Iterates the decoded bytes (the final byte may be partial; the
     /// caller masks by `len`).
     fn iter_bytes(&self) -> BbcBytes<'_> {
-        BbcBytes { bytes: &self.bytes, pos: 0, pending: Pending::None }
+        BbcBytes {
+            bytes: &self.bytes,
+            pos: 0,
+            pending: Pending::None,
+        }
     }
 
     /// Number of set bits.
@@ -189,9 +193,14 @@ impl BbcBytes<'_> {
                     self.pos += 1;
                     self.pending = if header & FILL_FLAG != 0 {
                         let byte = if header & FILL_BIT != 0 { 0xFF } else { 0x00 };
-                        Pending::Fill { byte, left: (header & 0x3F) as usize }
+                        Pending::Fill {
+                            byte,
+                            left: (header & 0x3F) as usize,
+                        }
                     } else {
-                        Pending::Literal { left: header as usize }
+                        Pending::Literal {
+                            left: header as usize,
+                        }
                     };
                 }
             }

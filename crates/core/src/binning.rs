@@ -53,7 +53,13 @@ impl Binner {
         assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
         assert!(max > min, "max must exceed min");
         assert!(nbins > 0, "need at least one bin");
-        Binner { kind: Kind::Width { min, width: (max - min) / nbins as f64, nbins } }
+        Binner {
+            kind: Kind::Width {
+                min,
+                width: (max - min) / nbins as f64,
+                nbins,
+            },
+        }
     }
 
     /// Bins of width `10^-digits` covering `[min, max]` — the paper's
@@ -68,8 +74,13 @@ impl Binner {
         assert!(max >= min, "max must not be below min");
         let width = 10f64.powi(-digits);
         let nbins = ((max - min) / width).floor() as usize + 1;
-        assert!(nbins <= 1 << 22, "precision {digits} over [{min}, {max}] needs {nbins} bins");
-        Binner { kind: Kind::Width { min, width, nbins } }
+        assert!(
+            nbins <= 1 << 22,
+            "precision {digits} over [{min}, {max}] needs {nbins} bins"
+        );
+        Binner {
+            kind: Kind::Width { min, width, nbins },
+        }
     }
 
     /// One bin per integer in `[min, max]` — the low-level index of Figure 1,
@@ -77,7 +88,13 @@ impl Binner {
     pub fn distinct_ints(min: i64, max: i64) -> Self {
         assert!(max >= min, "max must not be below min");
         let nbins = (max - min) as usize + 1;
-        Binner { kind: Kind::Width { min: min as f64, width: 1.0, nbins } }
+        Binner {
+            kind: Kind::Width {
+                min: min as f64,
+                width: 1.0,
+                nbins,
+            },
+        }
     }
 
     /// Bins from explicit ascending edges; bin `i` covers
@@ -91,7 +108,9 @@ impl Binner {
             edges.windows(2).all(|w| w[0] < w[1]),
             "edges must be strictly increasing"
         );
-        Binner { kind: Kind::Edges(edges) }
+        Binner {
+            kind: Kind::Edges(edges),
+        }
     }
 
     /// Equal-width bins fitted to the observed data range. Empty data or a
@@ -100,11 +119,23 @@ impl Binner {
         assert!(nbins > 0, "need at least one bin");
         let (min, max) = min_max(data);
         if max <= min {
-            return Binner { kind: Kind::Width { min, width: 1.0, nbins: 1 } };
+            return Binner {
+                kind: Kind::Width {
+                    min,
+                    width: 1.0,
+                    nbins: 1,
+                },
+            };
         }
         // Widen slightly so `max` itself lands inside the last bin.
         let width = (max - min) / nbins as f64;
-        Binner { kind: Kind::Width { min, width: width * (1.0 + 1e-12), nbins } }
+        Binner {
+            kind: Kind::Width {
+                min,
+                width: width * (1.0 + 1e-12),
+                nbins,
+            },
+        }
     }
 
     /// Precision bins fitted to the observed data range (the paper's Heat3D
@@ -138,8 +169,14 @@ impl Binner {
     /// round into either adjacent cell depending on the binner's anchor;
     /// interior values always agree.
     pub fn alignment_offset(&self, other: &Binner) -> Option<i64> {
-        let (Kind::Width { min: m1, width: w1, .. }, Kind::Width { min: m2, width: w2, .. }) =
-            (&self.kind, &other.kind)
+        let (
+            Kind::Width {
+                min: m1, width: w1, ..
+            },
+            Kind::Width {
+                min: m2, width: w2, ..
+            },
+        ) = (&self.kind, &other.kind)
         else {
             return (self == other).then_some(0);
         };
@@ -194,9 +231,11 @@ impl Binner {
     /// The serializable description of this binner.
     pub fn spec(&self) -> BinnerSpec {
         match &self.kind {
-            Kind::Width { min, width, nbins } => {
-                BinnerSpec::Width { min: *min, width: *width, nbins: *nbins }
-            }
+            Kind::Width { min, width, nbins } => BinnerSpec::Width {
+                min: *min,
+                width: *width,
+                nbins: *nbins,
+            },
             Kind::Edges(e) => BinnerSpec::Edges(e.clone()),
         }
     }
@@ -208,8 +247,13 @@ impl Binner {
     pub fn from_spec(spec: BinnerSpec) -> Binner {
         match spec {
             BinnerSpec::Width { min, width, nbins } => {
-                assert!(min.is_finite() && width > 0.0 && nbins > 0, "invalid width spec");
-                Binner { kind: Kind::Width { min, width, nbins } }
+                assert!(
+                    min.is_finite() && width > 0.0 && nbins > 0,
+                    "invalid width spec"
+                );
+                Binner {
+                    kind: Kind::Width { min, width, nbins },
+                }
             }
             BinnerSpec::Edges(edges) => Binner::from_edges(edges),
         }
@@ -234,13 +278,16 @@ impl Binner {
                     .map(|h| min + width * (h * group) as f64)
                     .collect();
                 edges.push(min + width * *nbins as f64);
-                Binner { kind: Kind::Edges(edges) }
+                Binner {
+                    kind: Kind::Edges(edges),
+                }
             }
             Kind::Edges(e) => {
-                let mut edges: Vec<f64> =
-                    (0..n_high).map(|h| e[h * group]).collect();
+                let mut edges: Vec<f64> = (0..n_high).map(|h| e[h * group]).collect();
                 edges.push(*e.last().unwrap());
-                Binner { kind: Kind::Edges(edges) }
+                Binner {
+                    kind: Kind::Edges(edges),
+                }
             }
         }
     }
@@ -411,7 +458,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid width spec")]
     fn from_spec_rejects_garbage() {
-        let _ = Binner::from_spec(BinnerSpec::Width { min: 0.0, width: 0.0, nbins: 3 });
+        let _ = Binner::from_spec(BinnerSpec::Width {
+            min: 0.0,
+            width: 0.0,
+            nbins: 3,
+        });
     }
 
     #[test]

@@ -54,7 +54,12 @@ impl WahBuilder {
         } else {
             (0, 0)
         };
-        WahBuilder { words, committed: len - tail, pending, pending_bits }
+        WahBuilder {
+            words,
+            committed: len - tail,
+            pending,
+            pending_bits,
+        }
     }
 
     /// Total bits appended so far.
@@ -170,7 +175,11 @@ impl WahBuilder {
         if self.pending_bits > 0 {
             self.words.push(self.pending & LITERAL_MASK);
         }
-        WahVec { words: self.words, len_bits: len }
+        WahVec {
+            words: self.words,
+            len_bits: len,
+            stats: std::sync::OnceLock::new(),
+        }
     }
 }
 
@@ -442,8 +451,7 @@ mod tests {
         mb.extend_from(&ids);
         let bins = mb.finish();
         for pos in 0..500u64 {
-            let set: Vec<usize> =
-                (0..7).filter(|&b| bins[b].get(pos)).collect();
+            let set: Vec<usize> = (0..7).filter(|&b| bins[b].get(pos)).collect();
             assert_eq!(set, vec![ids[pos as usize] as usize], "position {pos}");
         }
     }
@@ -456,7 +464,11 @@ mod tests {
         let bins = mb.finish();
         assert_eq!(bins[0].count_ones(), 310);
         assert_eq!(bins[1].count_ones(), 0);
-        assert_eq!(bins[1].words().len(), 1, "untouched bin should be a single fill");
+        assert_eq!(
+            bins[1].words().len(),
+            1,
+            "untouched bin should be a single fill"
+        );
         assert_eq!(bins[2].words().len(), 1);
         for b in &bins {
             b.check_canonical().unwrap();
@@ -491,8 +503,14 @@ mod tests {
         mb.extend_from(&ids);
         let bins = mb.finish();
         assert_eq!(bins[1].count_ones(), 2);
-        assert_eq!(bins[1].iter_ones().collect::<Vec<_>>(), vec![0, last as u64]);
-        assert!(bins[1].words().len() <= 4, "gap should compress to one fill");
+        assert_eq!(
+            bins[1].iter_ones().collect::<Vec<_>>(),
+            vec![0, last as u64]
+        );
+        assert!(
+            bins[1].words().len() <= 4,
+            "gap should compress to one fill"
+        );
         bins[0].check_canonical().unwrap();
         bins[1].check_canonical().unwrap();
     }

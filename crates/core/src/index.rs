@@ -55,9 +55,17 @@ impl BitmapIndex {
     pub fn from_bins(binner: Binner, bins: Vec<WahVec>) -> Self {
         assert_eq!(bins.len(), binner.nbins(), "bin count mismatch");
         let len = bins.first().map_or(0, WahVec::len);
-        assert!(bins.iter().all(|b| b.len() == len), "bins must share a length");
+        assert!(
+            bins.iter().all(|b| b.len() == len),
+            "bins must share a length"
+        );
         let counts = bins.iter().map(WahVec::count_ones).collect();
-        BitmapIndex { binner, bins, counts, len }
+        BitmapIndex {
+            binner,
+            bins,
+            counts,
+            len,
+        }
     }
 
     /// The binning scale the index was built with.
@@ -112,7 +120,11 @@ impl BitmapIndex {
         let b0 = self.binner.bin_of(lo) as usize;
         let b1 = self.binner.bin_of(hi) as usize;
         // hi is exclusive: drop the last bin when hi is exactly its low edge.
-        let b1 = if b1 > b0 && self.binner.bin_range(b1).0 >= hi { b1 - 1 } else { b1 };
+        let b1 = if b1 > b0 && self.binner.bin_range(b1).0 >= hi {
+            b1 - 1
+        } else {
+            b1
+        };
         self.query_bins(b0..=b1)
     }
 
@@ -230,7 +242,9 @@ mod tests {
     fn size_much_smaller_than_data_for_smooth_fields() {
         // Smooth data (long runs of equal bins) compresses well — the paper's
         // "<30% of the original data" observation.
-        let data: Vec<f64> = (0..100_000).map(|i| (i as f64 / 10_000.0).floor()).collect();
+        let data: Vec<f64> = (0..100_000)
+            .map(|i| (i as f64 / 10_000.0).floor())
+            .collect();
         let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 10.0, 10));
         assert!(
             idx.size_bytes() < data.len() * 8 / 10,

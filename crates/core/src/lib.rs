@@ -25,9 +25,10 @@ pub mod bbc;
 mod binning;
 mod builder;
 mod index;
+mod kernels;
 mod multilevel;
-pub mod parallel;
 mod ops;
+pub mod parallel;
 mod runs;
 mod verbatim;
 pub mod wah;
@@ -37,6 +38,7 @@ pub use bbc::BbcVec;
 pub use binning::{Binner, BinnerSpec};
 pub use builder::{MultiWahBuilder, WahBuilder};
 pub use index::BitmapIndex;
+pub use kernels::{DenseBits, PreparedOperand, WahStats};
 pub use multilevel::MultiLevelIndex;
 pub use parallel::{aligned_partition, build_index_parallel};
 pub use verbatim::{build_index_two_phase, Bitset};

@@ -74,8 +74,12 @@ impl MultiLevelIndex {
     /// Verifies that each high bitvector equals the OR of its children and
     /// both levels are internally consistent.
     pub fn check_consistent(&self) -> Result<(), String> {
-        self.low.check_consistent().map_err(|e| format!("low: {e}"))?;
-        self.high.check_consistent().map_err(|e| format!("high: {e}"))?;
+        self.low
+            .check_consistent()
+            .map_err(|e| format!("low: {e}"))?;
+        self.high
+            .check_consistent()
+            .map_err(|e| format!("high: {e}"))?;
         for h in 0..self.high.nbins() {
             let children = self.children(h);
             let or = WahVec::or_many(self.low.bins()[children.clone()].iter());

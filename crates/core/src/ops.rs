@@ -3,56 +3,71 @@
 //! AND for joint value distributions, XOR for the spatial Earth Mover's
 //! Distance, OR for range queries and high-level index construction.
 
-use crate::builder::WahBuilder;
+use crate::kernels::{self, add_literal_per_unit, lit_mask, DenseBits};
+#[cfg(feature = "legacy-kernels")]
 use crate::runs::SegCursor;
-use crate::wah::{WahVec, LITERAL_MASK, SEG_BITS};
+use crate::wah::WahVec;
+#[cfg(feature = "legacy-kernels")]
+use crate::wah::{LITERAL_MASK, SEG_BITS};
+#[cfg(feature = "legacy-kernels")]
+use crate::WahBuilder;
 
 impl WahVec {
     /// Bitwise AND; both vectors must have the same length.
     pub fn and(&self, other: &WahVec) -> WahVec {
-        binary(self, other, |a, b| a & b)
+        kernels::and_kernel(self, other)
     }
 
     /// Bitwise OR.
     pub fn or(&self, other: &WahVec) -> WahVec {
-        binary(self, other, |a, b| a | b)
+        kernels::or_kernel(self, other)
     }
 
     /// Bitwise XOR — the element-difference kernel of the spatial EMD
     /// (Section 3.2 of the paper).
     pub fn xor(&self, other: &WahVec) -> WahVec {
-        binary(self, other, |a, b| a ^ b)
+        kernels::xor_kernel(self, other)
     }
 
     /// Bitwise AND-NOT (`self & !other`).
     pub fn andnot(&self, other: &WahVec) -> WahVec {
-        binary(self, other, |a, b| a & !b)
+        kernels::andnot_kernel(self, other)
     }
 
-    /// Bitwise complement.
+    /// Bitwise complement — a direct one-pass complement over the runs
+    /// (fills flip, literals complement under the width mask).
     pub fn not(&self) -> WahVec {
-        let ones = WahVec::ones(self.len());
-        binary(self, &ones, |a, b| !a & b)
+        kernels::not_kernel(self)
     }
 
     /// Number of positions where the vectors differ: `popcount(a XOR b)`
-    /// without materializing the XOR.
+    /// without materializing the XOR. Adaptive: runs the batched
+    /// compressed kernel below the density cutover, decodes once and runs
+    /// word-parallel above it.
     pub fn xor_count(&self, other: &WahVec) -> u64 {
-        fold_binary(self, other, |a, b| a ^ b)
+        kernels::xor_count_adaptive(self, other)
     }
 
     /// `popcount(a AND b)` without materializing the AND — the joint-bin
     /// counting kernel of conditional entropy and correlation mining.
+    /// Adaptive like [`WahVec::xor_count`].
     pub fn and_count(&self, other: &WahVec) -> u64 {
-        fold_binary(self, other, |a, b| a & b)
+        kernels::and_count_adaptive(self, other)
     }
 
     /// Per-unit 1-bit counts of `self AND other` without materializing the
     /// intersection — the correlation miner's spatial stage in one fused
     /// pass (unit `u` covers bits `[u*unit_bits, (u+1)*unit_bits)`).
     pub fn and_count_per_unit(&self, other: &WahVec, unit_bits: u64) -> Vec<u64> {
-        assert_eq!(self.len(), other.len(), "binary op on different-length vectors");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "binary op on different-length vectors"
+        );
         assert!(unit_bits > 0, "unit_bits must be positive");
+        if self.is_dense() || other.is_dense() {
+            return kernels::and_count_per_unit_adaptive(self, other, unit_bits);
+        }
         let nunits = self.len().div_ceil(unit_bits) as usize;
         let mut out = vec![0u64; nunits];
         let mut pos = 0u64;
@@ -124,14 +139,42 @@ impl WahVec {
     /// construction and value-range queries. Returns an empty vector for an
     /// empty input.
     ///
-    /// Uses pairwise (tree) reduction: with `k` inputs the accumulator is
-    /// combined `log k` times instead of `k` times, so a wide union of
-    /// sparse bins does not repeatedly re-walk an ever-denser accumulator.
+    /// Two execution strategies, chosen by the combined compressed size:
+    ///
+    /// * **Dense accumulator** — when the inputs' compressed words together
+    ///   outnumber one packed-`u64` buffer (`Σ words > len/64`), every input
+    ///   is OR-ed into a [`DenseBits`] accumulator in one pass each and the
+    ///   result is encoded once.
+    /// * **Pairwise (tree) reduction** otherwise: with `k` inputs the
+    ///   accumulator is combined `log k` times instead of `k` times, so a
+    ///   wide union of sparse bins does not repeatedly re-walk an
+    ///   ever-denser accumulator. The first round operates on the borrowed
+    ///   inputs directly instead of cloning them all up front.
     pub fn or_many<'a, I: IntoIterator<Item = &'a WahVec>>(vecs: I) -> WahVec {
-        let mut layer: Vec<WahVec> = vecs.into_iter().cloned().collect();
-        if layer.is_empty() {
+        let inputs: Vec<&WahVec> = vecs.into_iter().collect();
+        let Some(&first) = inputs.first() else {
             return WahVec::new();
+        };
+        if inputs.len() == 1 {
+            return first.clone();
         }
+        let len = first.len();
+        let total_words: usize = inputs.iter().map(|v| v.words().len()).sum();
+        if total_words as u64 > len / 64 {
+            let mut acc = DenseBits::zeros(len);
+            for v in &inputs {
+                acc.or_wah(v);
+            }
+            return acc.to_wah();
+        }
+        let mut layer: Vec<WahVec> = inputs
+            .chunks(2)
+            .map(|pair| match pair {
+                [a, b] => a.or(b),
+                [a] => (*a).clone(),
+                _ => unreachable!("chunks(2) yields 1..=2 items"),
+            })
+            .collect();
         while layer.len() > 1 {
             let mut next = Vec::with_capacity(layer.len().div_ceil(2));
             let mut it = layer.chunks_exact(2);
@@ -147,8 +190,45 @@ impl WahVec {
     }
 }
 
+/// Pre-adaptive closure-generic kernels, kept callable for A/B
+/// benchmarking against the monomorphized adaptive paths.
+#[cfg(feature = "legacy-kernels")]
+impl WahVec {
+    /// The pre-adaptive closure-generic `and` (segment-at-a-time).
+    pub fn and_legacy(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a & b)
+    }
+
+    /// The pre-adaptive closure-generic `or`.
+    pub fn or_legacy(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a | b)
+    }
+
+    /// The pre-adaptive closure-generic `xor`.
+    pub fn xor_legacy(&self, other: &WahVec) -> WahVec {
+        binary(self, other, |a, b| a ^ b)
+    }
+
+    /// The pre-adaptive run-merge `and_count`.
+    pub fn and_count_legacy(&self, other: &WahVec) -> u64 {
+        fold_binary(self, other, |a, b| a & b)
+    }
+
+    /// The pre-adaptive run-merge `xor_count`.
+    pub fn xor_count_legacy(&self, other: &WahVec) -> u64 {
+        fold_binary(self, other, |a, b| a ^ b)
+    }
+
+    /// The pre-adaptive `not` (`binary` against an all-ones vector).
+    pub fn not_legacy(&self) -> WahVec {
+        let ones = WahVec::ones(self.len());
+        binary(self, &ones, |a, b| !a & b)
+    }
+}
+
 /// Generic compressed binary operation. Fill×fill stretches are combined in
 /// O(1) per run pair; mixed stretches fall back to 31-bit segments.
+#[cfg(feature = "legacy-kernels")]
 fn binary(a: &WahVec, b: &WahVec, f: impl Fn(u32, u32) -> u32) -> WahVec {
     assert_eq!(a.len(), b.len(), "binary op on different-length vectors");
     let mut ca = SegCursor::new(&a.words, a.len_bits);
@@ -186,6 +266,7 @@ fn binary(a: &WahVec, b: &WahVec, f: impl Fn(u32, u32) -> u32) -> WahVec {
 /// Like [`binary`] but only counts result 1-bits. A run-merge loop: each
 /// literal word costs one match, fill×fill stretches cost O(1) — the hot
 /// kernel behind `and_count` / `xor_count` in metric evaluation and mining.
+#[cfg(feature = "legacy-kernels")]
 fn fold_binary(a: &WahVec, b: &WahVec, f: impl Fn(u32, u32) -> u32) -> u64 {
     assert_eq!(a.len(), b.len(), "binary op on different-length vectors");
     let mut ra = a.runs();
@@ -251,33 +332,7 @@ fn shrink_fill(
     }
 }
 
-/// Scatters a literal word's set bits into per-unit buckets.
-#[inline]
-fn add_literal_per_unit(payload: u32, width: u8, pos: u64, unit_bits: u64, out: &mut [u64]) {
-    let mut payload = payload;
-    let mut p = pos;
-    let mut rem = width as u64;
-    while rem > 0 {
-        let u = (p / unit_bits) as usize;
-        let in_unit = (u as u64 + 1) * unit_bits - p;
-        let take = in_unit.min(rem) as u32;
-        let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
-        out[u] += (payload & mask).count_ones() as u64;
-        payload = if take == 32 { 0 } else { payload >> take };
-        p += take as u64;
-        rem -= take as u64;
-    }
-}
-
-#[inline]
-fn lit_mask(width: u8) -> u32 {
-    if width as u64 == SEG_BITS {
-        LITERAL_MASK
-    } else {
-        (1u32 << width) - 1
-    }
-}
-
+#[cfg(feature = "legacy-kernels")]
 #[inline]
 fn mask_of(bit: bool) -> u32 {
     if bit {
@@ -311,10 +366,22 @@ mod tests {
         for (a_bits, b_bits) in cases() {
             let a = WahVec::from_bits(a_bits.iter().copied());
             let b = WahVec::from_bits(b_bits.iter().copied());
-            assert_eq!(a.and(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x & y));
-            assert_eq!(a.or(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x | y));
-            assert_eq!(a.xor(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x ^ y));
-            assert_eq!(a.andnot(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x & !y));
+            assert_eq!(
+                a.and(&b).to_bools(),
+                naive_op(&a_bits, &b_bits, |x, y| x & y)
+            );
+            assert_eq!(
+                a.or(&b).to_bools(),
+                naive_op(&a_bits, &b_bits, |x, y| x | y)
+            );
+            assert_eq!(
+                a.xor(&b).to_bools(),
+                naive_op(&a_bits, &b_bits, |x, y| x ^ y)
+            );
+            assert_eq!(
+                a.andnot(&b).to_bools(),
+                naive_op(&a_bits, &b_bits, |x, y| x & !y)
+            );
             a.and(&b).check_canonical().unwrap();
             a.or(&b).check_canonical().unwrap();
             a.xor(&b).check_canonical().unwrap();
@@ -363,7 +430,10 @@ mod tests {
         b_bits.extend(vec![false; 31 * 60]);
         let a = WahVec::from_bits(a_bits.iter().copied());
         let b = WahVec::from_bits(b_bits.iter().copied());
-        assert_eq!(a.xor(&b).to_bools(), naive_op(&a_bits, &b_bits, |x, y| x ^ y));
+        assert_eq!(
+            a.xor(&b).to_bools(),
+            naive_op(&a_bits, &b_bits, |x, y| x ^ y)
+        );
         assert_eq!(a.xor_count(&b), (31 * 20 + 31 * 30) as u64);
     }
 
@@ -375,8 +445,7 @@ mod tests {
 
     #[test]
     fn or_many_unions() {
-        let vs: Vec<WahVec> =
-            (0..5).map(|k| WahVec::from_ones(&[k * 10], 100)).collect();
+        let vs: Vec<WahVec> = (0..5).map(|k| WahVec::from_ones(&[k * 10], 100)).collect();
         let u = WahVec::or_many(vs.iter());
         assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![0, 10, 20, 30, 40]);
         assert_eq!(WahVec::or_many(std::iter::empty()).len(), 0);

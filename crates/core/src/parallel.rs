@@ -103,8 +103,9 @@ mod tests {
 
     #[test]
     fn parallel_build_is_bit_identical() {
-        let data: Vec<f64> =
-            (0..20_000).map(|i| ((i as f64 * 0.013).sin() * 50.0).round() / 10.0).collect();
+        let data: Vec<f64> = (0..20_000)
+            .map(|i| ((i as f64 * 0.013).sin() * 50.0).round() / 10.0)
+            .collect();
         let binner = Binner::fit_precision(&data, 1);
         let seq = BitmapIndex::build(&data, binner.clone());
         let par = build_index_parallel(&data, binner);
@@ -130,7 +131,10 @@ mod tests {
 
     #[test]
     fn parallel_build_inside_sized_pool() {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
         let data: Vec<f64> = (0..5000).map(|i| ((i / 100) % 8) as f64).collect();
         let binner = Binner::distinct_ints(0, 7);
         let par = pool.install(|| build_index_parallel(&data, binner.clone()));

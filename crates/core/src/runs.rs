@@ -34,7 +34,11 @@ pub(crate) struct RunIter<'a> {
 
 impl<'a> RunIter<'a> {
     pub fn new(words: &'a [u32], len_bits: u64) -> Self {
-        RunIter { words, idx: 0, remaining: len_bits }
+        RunIter {
+            words,
+            idx: 0,
+            remaining: len_bits,
+        }
     }
 }
 
@@ -62,12 +66,16 @@ impl Iterator for RunIter<'_> {
 }
 
 /// A cursor over runs that can hand out 31-bit segments on demand and skip
-/// whole fills; the workhorse behind the compressed binary operations.
+/// whole fills; the workhorse behind the legacy closure-generic binary
+/// operations (the adaptive kernels in `kernels.rs` use [`RunIter`] and raw
+/// word loops instead).
+#[cfg_attr(not(any(test, feature = "legacy-kernels")), allow(dead_code))]
 pub(crate) struct SegCursor<'a> {
     runs: RunIter<'a>,
     current: Option<Run>,
 }
 
+#[cfg_attr(not(any(test, feature = "legacy-kernels")), allow(dead_code))]
 impl<'a> SegCursor<'a> {
     pub fn new(words: &'a [u32], len_bits: u64) -> Self {
         let mut runs = RunIter::new(words, len_bits);

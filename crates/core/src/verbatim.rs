@@ -17,7 +17,10 @@ pub struct Bitset {
 impl Bitset {
     /// An all-zeros bitset of `len` bits.
     pub fn new(len: u64) -> Self {
-        Bitset { words: vec![0; len.div_ceil(64) as usize], len }
+        Bitset {
+            words: vec![0; len.div_ceil(64) as usize],
+            len,
+        }
     }
 
     /// Builds from an iterator of bits.
@@ -118,10 +121,7 @@ impl Bitset {
 ///
 /// Returns the compressed index and the peak transient bytes the
 /// uncompressed phase held.
-pub fn build_index_two_phase(
-    data: &[f64],
-    binner: crate::Binner,
-) -> (crate::BitmapIndex, usize) {
+pub fn build_index_two_phase(data: &[f64], binner: crate::Binner) -> (crate::BitmapIndex, usize) {
     let n = data.len() as u64;
     let mut sets: Vec<Bitset> = (0..binner.nbins()).map(|_| Bitset::new(n)).collect();
     for (i, &v) in data.iter().enumerate() {
@@ -186,7 +186,10 @@ mod tests {
         }
         // the uncompressed phase held nbins × n bits — more than the data
         assert!(transient > data.len(), "transient {transient} bytes");
-        assert!(transient > two_phase.size_bytes(), "compression must shrink it");
+        assert!(
+            transient > two_phase.size_bytes(),
+            "compression must shrink it"
+        );
     }
 
     #[test]

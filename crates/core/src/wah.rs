@@ -19,7 +19,10 @@
 //! segment in a trailing literal word holding `len % 31` bits; everything
 //! before the tail covers whole 31-bit segments.
 
+use std::sync::OnceLock;
+
 use crate::builder::WahBuilder;
+use crate::kernels::WahStats;
 use crate::runs::{Run, RunIter};
 
 /// Number of payload bits per literal word / per fill increment.
@@ -85,10 +88,29 @@ pub fn make_fill(bit: bool, nbits: u64) -> u32 {
 /// let both = a.and(&b); // positions divisible by 6
 /// assert_eq!(both.count_ones(), 17);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct WahVec {
     pub(crate) words: Vec<u32>,
     pub(crate) len_bits: u64,
+    /// Lazily-computed stats header (word/run counts, popcount, density);
+    /// filled on first use and carried along by `Clone`. Not part of the
+    /// vector's identity — equality and hashing use only the words.
+    pub(crate) stats: OnceLock<WahStats>,
+}
+
+impl PartialEq for WahVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len_bits == other.len_bits && self.words == other.words
+    }
+}
+
+impl Eq for WahVec {}
+
+impl std::hash::Hash for WahVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+        self.len_bits.hash(state);
+    }
 }
 
 impl std::fmt::Debug for WahVec {
@@ -106,7 +128,11 @@ impl std::fmt::Debug for WahVec {
 impl WahVec {
     /// The empty bitvector.
     pub fn new() -> Self {
-        WahVec { words: Vec::new(), len_bits: 0 }
+        WahVec {
+            words: Vec::new(),
+            len_bits: 0,
+            stats: OnceLock::new(),
+        }
     }
 
     /// An all-zeros bitvector of `len` bits.
@@ -170,14 +196,22 @@ impl WahVec {
                 covered += n;
             } else {
                 let nbits = (len_bits - covered).min(SEG_BITS);
-                let mask = if nbits == SEG_BITS { LITERAL_MASK } else { (1u32 << nbits) - 1 };
+                let mask = if nbits == SEG_BITS {
+                    LITERAL_MASK
+                } else {
+                    (1u32 << nbits) - 1
+                };
                 if w & !mask != 0 {
                     return None;
                 }
                 covered += nbits;
             }
         }
-        (covered == len_bits).then_some(WahVec { words, len_bits })
+        (covered == len_bits).then_some(WahVec {
+            words,
+            len_bits,
+            stats: OnceLock::new(),
+        })
     }
 
     /// Number of bits in the vector.
@@ -211,17 +245,26 @@ impl WahVec {
         RunIter::new(&self.words, self.len_bits)
     }
 
-    /// Number of 1-bits, computed on the compressed form.
+    /// Number of 1-bits; computed on the compressed form once and cached
+    /// in the stats header.
     pub fn count_ones(&self) -> u64 {
-        let mut total = 0u64;
-        for run in self.runs() {
-            match run {
-                Run::Fill(true, n) => total += n,
-                Run::Fill(false, _) => {}
-                Run::Literal(payload, _) => total += payload.count_ones() as u64,
-            }
-        }
-        total
+        self.stats().ones
+    }
+
+    /// The cached statistics header (word count, kernel-run count,
+    /// popcount, density), computed in one pass on first use.
+    pub fn stats(&self) -> &WahStats {
+        self.stats
+            .get_or_init(|| crate::kernels::compute_stats(&self.words, self.len_bits))
+    }
+
+    /// The adaptive kernels' cutover rule (α = 1): `true` when the
+    /// compressed form holds more words than the packed-`u64` verbatim
+    /// form (`words > len/64`), at which point ops decode this vector once
+    /// and run word-parallel instead of walking its runs.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.words.len() as u64 > self.len_bits / 64
     }
 
     /// Number of 1-bits in the half-open bit range `[start, end)`.
@@ -242,7 +285,11 @@ impl WahVec {
                     Run::Literal(payload, _) => {
                         let off = (lo - pos) as u32;
                         let width = (hi - lo) as u32;
-                        let mask = if width == 32 { u32::MAX } else { ((1u32 << width) - 1) << off };
+                        let mask = if width == 32 {
+                            u32::MAX
+                        } else {
+                            ((1u32 << width) - 1) << off
+                        };
                         total += (payload & mask).count_ones() as u64;
                     }
                 }
@@ -281,7 +328,11 @@ impl WahVec {
                         let unit = (pos / unit_bits) as usize;
                         let in_unit = (unit as u64 + 1) * unit_bits - pos;
                         let take = in_unit.min(rem) as u32;
-                        let mask = if take == 32 { u32::MAX } else { (1u32 << take) - 1 };
+                        let mask = if take == 32 {
+                            u32::MAX
+                        } else {
+                            (1u32 << take) - 1
+                        };
                         out[unit] += (payload & mask).count_ones() as u64;
                         payload = if take == 32 { 0 } else { payload >> take };
                         pos += take as u64;
@@ -335,7 +386,11 @@ impl WahVec {
 
     /// Reads the bit at position `i` (O(words) scan).
     pub fn get(&self, i: u64) -> bool {
-        assert!(i < self.len_bits, "index {i} out of range {}", self.len_bits);
+        assert!(
+            i < self.len_bits,
+            "index {i} out of range {}",
+            self.len_bits
+        );
         let mut pos = 0u64;
         for run in self.runs() {
             let n = run.len();
@@ -373,7 +428,9 @@ impl WahVec {
                 Run::Fill(true, n) => Box::new(base..base + n),
                 Run::Fill(false, _) => Box::new(std::iter::empty()),
                 Run::Literal(payload, _) => Box::new(
-                    (0..31u64).filter(move |j| payload & (1 << j) != 0).map(move |j| base + j),
+                    (0..31u64)
+                        .filter(move |j| payload & (1 << j) != 0)
+                        .map(move |j| base + j),
                 ),
             };
             iter
@@ -440,8 +497,11 @@ impl WahVec {
                 } else {
                     SEG_BITS
                 };
-                let mask =
-                    if nbits == SEG_BITS { LITERAL_MASK } else { (1u32 << nbits) - 1 };
+                let mask = if nbits == SEG_BITS {
+                    LITERAL_MASK
+                } else {
+                    (1u32 << nbits) - 1
+                };
                 if w & !mask != 0 {
                     return Err(format!("word {i}: literal has bits outside mask"));
                 }
@@ -501,7 +561,11 @@ mod tests {
     #[test]
     fn long_fill_is_compact() {
         let v = WahVec::zeros(10_000_000);
-        assert!(v.words().len() <= 2, "10M zero bits should be 1-2 words, got {}", v.words().len());
+        assert!(
+            v.words().len() <= 2,
+            "10M zero bits should be 1-2 words, got {}",
+            v.words().len()
+        );
     }
 
     #[test]

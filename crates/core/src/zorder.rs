@@ -97,7 +97,10 @@ impl ZOrderLayout {
             "ZOrderLayout supports 2-D and 3-D grids, got {} dims",
             dims.len()
         );
-        assert!(dims.iter().all(|&d| d > 0 && d <= 1 << 21), "dims out of range");
+        assert!(
+            dims.iter().all(|&d| d > 0 && d <= 1 << 21),
+            "dims out of range"
+        );
         let n: usize = dims.iter().product();
         assert!(n <= u32::MAX as usize, "grid too large for u32 permutation");
         let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n);
@@ -123,7 +126,10 @@ impl ZOrderLayout {
             _ => unreachable!(),
         }
         keyed.sort_unstable_by_key(|&(m, _)| m);
-        ZOrderLayout { dims: dims.to_vec(), perm: keyed.into_iter().map(|(_, l)| l).collect() }
+        ZOrderLayout {
+            dims: dims.to_vec(),
+            perm: keyed.into_iter().map(|(_, l)| l).collect(),
+        }
     }
 
     /// Grid dimensions.
@@ -166,7 +172,10 @@ impl ZOrderLayout {
     /// spatial unit covering z-positions `[start, start+len)` — lets callers
     /// report *where* a mined spatial subset lives.
     pub fn unit_bounds(&self, start: usize, len: usize) -> (Vec<usize>, Vec<usize>) {
-        assert!(start + len <= self.perm.len() && len > 0, "unit out of range");
+        assert!(
+            start + len <= self.perm.len() && len > 0,
+            "unit out of range"
+        );
         let d = self.dims.len();
         let mut lo = vec![usize::MAX; d];
         let mut hi = vec![0usize; d];
@@ -225,8 +234,7 @@ mod tests {
     #[test]
     fn morton_orders_quadrants() {
         // All of the 2x2 block at origin precedes anything at (2,2)+.
-        let block: Vec<u64> =
-            vec![morton2(0, 0), morton2(1, 0), morton2(0, 1), morton2(1, 1)];
+        let block: Vec<u64> = vec![morton2(0, 0), morton2(1, 0), morton2(0, 1), morton2(1, 1)];
         assert!(block.iter().all(|&m| m < morton2(2, 2)));
     }
 

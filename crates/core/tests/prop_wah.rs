@@ -2,7 +2,9 @@
 //! the uncompressed [`Bitset`] oracle.
 
 use ibis_core::bbc::BbcVec;
-use ibis_core::{Binner, BitmapIndex, Bitset, MultiLevelIndex, MultiWahBuilder, WahBuilder, WahVec};
+use ibis_core::{
+    Binner, BitmapIndex, Bitset, MultiLevelIndex, MultiWahBuilder, WahBuilder, WahVec,
+};
 use proptest::prelude::*;
 
 /// Bit patterns biased toward runs (the regime WAH targets) as well as noise.
@@ -12,7 +14,9 @@ fn bit_vec() -> impl Strategy<Value = Vec<bool>> {
         proptest::collection::vec(any::<bool>(), 0..400),
         // run-structured: concatenated (bit, len) runs
         proptest::collection::vec((any::<bool>(), 1usize..120), 0..12).prop_map(|runs| {
-            runs.into_iter().flat_map(|(b, n)| std::iter::repeat_n(b, n)).collect()
+            runs.into_iter()
+                .flat_map(|(b, n)| std::iter::repeat_n(b, n))
+                .collect()
         }),
         // sparse ones
         (1usize..2000, proptest::collection::vec(0usize..2000, 0..10)).prop_map(|(len, ones)| {
@@ -115,7 +119,7 @@ proptest! {
     fn concat_roundtrip(a_bits in bit_vec(), b_bits in bit_vec()) {
         // Pad a to a 31-bit boundary as the parallel generator does.
         let mut a_bits = a_bits;
-        while a_bits.len() % 31 != 0 { a_bits.push(false); }
+        while !a_bits.len().is_multiple_of(31) { a_bits.push(false); }
         let mut a = WahVec::from_bits(a_bits.iter().copied());
         let b = WahVec::from_bits(b_bits.iter().copied());
         a.concat(&b);

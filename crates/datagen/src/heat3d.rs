@@ -50,7 +50,12 @@ impl Default for Heat3DConfig {
 impl Heat3DConfig {
     /// A small configuration for tests.
     pub fn tiny() -> Self {
-        Heat3DConfig { nx: 12, ny: 12, nz: 12, ..Default::default() }
+        Heat3DConfig {
+            nx: 12,
+            ny: 12,
+            nz: 12,
+            ..Default::default()
+        }
     }
 
     /// Elements per time-step.
@@ -72,7 +77,12 @@ impl Heat3D {
     /// Initializes the field at ambient temperature with the source applied.
     pub fn new(cfg: Heat3DConfig) -> Self {
         let n = cfg.num_elements();
-        let mut sim = Heat3D { cfg, t: vec![0.0; n], t_next: vec![0.0; n], step: 0 };
+        let mut sim = Heat3D {
+            cfg,
+            t: vec![0.0; n],
+            t_next: vec![0.0; n],
+            step: 0,
+        };
         sim.apply_source();
         sim
     }
@@ -129,8 +139,7 @@ impl Heat3D {
                         let yp = if j + 1 < ny { t[idx + nx] } else { c };
                         let zm = if k > 0 { t[idx - plane] } else { c };
                         let zp = if k + 1 < nz { t[idx + plane] } else { c };
-                        out_plane[j * nx + i] =
-                            c + alpha * (xm + xp + ym + yp + zm + zp - 6.0 * c);
+                        out_plane[j * nx + i] = c + alpha * (xm + xp + ym + yp + zm + zp - 6.0 * c);
                     }
                 }
             });
@@ -216,7 +225,11 @@ impl Heat3DPartition {
 
     /// Splits a mesh into `nodes` contiguous z-slabs.
     pub fn split(cfg: &Heat3DConfig, nodes: usize) -> Vec<Heat3DPartition> {
-        assert!(nodes >= 1 && nodes <= cfg.nz, "cannot split {} planes {nodes} ways", cfg.nz);
+        assert!(
+            nodes >= 1 && nodes <= cfg.nz,
+            "cannot split {} planes {nodes} ways",
+            cfg.nz
+        );
         let base = cfg.nz / nodes;
         let extra = cfg.nz % nodes;
         let mut out = Vec::with_capacity(nodes);
@@ -319,9 +332,12 @@ impl Heat3DPartition {
                         let ym = if j > 0 { t[idx - nx] } else { c };
                         let yp = if j + 1 < ny { t[idx + nx] } else { c };
                         let zm = if k > 0 { t[idx - plane] } else { c };
-                        let zp = if k + 1 < total_planes { t[idx + plane] } else { c };
-                        out_plane[j * nx + i] =
-                            c + alpha * (xm + xp + ym + yp + zm + zp - 6.0 * c);
+                        let zp = if k + 1 < total_planes {
+                            t[idx + plane]
+                        } else {
+                            c
+                        };
+                        out_plane[j * nx + i] = c + alpha * (xm + xp + ym + yp + zm + zp - 6.0 * c);
                     }
                 }
             });
@@ -412,8 +428,13 @@ mod tests {
 
     #[test]
     fn partitioned_sweep_matches_monolithic() {
-        let cfg =
-            Heat3DConfig { nx: 8, ny: 8, nz: 12, sweeps_per_step: 1, ..Heat3DConfig::tiny() };
+        let cfg = Heat3DConfig {
+            nx: 8,
+            ny: 8,
+            nz: 12,
+            sweeps_per_step: 1,
+            ..Heat3DConfig::tiny()
+        };
         let mut mono = Heat3D::new(cfg.clone());
         let mut parts = Heat3DPartition::split(&cfg, 3);
         for _ in 0..10 {

@@ -49,7 +49,10 @@ impl Default for LuleshConfig {
 impl LuleshConfig {
     /// A small configuration for tests.
     pub fn tiny() -> Self {
-        LuleshConfig { edge: 6, ..Default::default() }
+        LuleshConfig {
+            edge: 6,
+            ..Default::default()
+        }
     }
 
     /// Nodes per edge.
@@ -71,8 +74,18 @@ impl LuleshConfig {
 /// The 12 analysed node arrays, in the paper's order (coordinates, force,
 /// velocity, acceleration — each in X, Y, Z).
 pub const LULESH_FIELDS: [&str; 12] = [
-    "coord_x", "coord_y", "coord_z", "force_x", "force_y", "force_z", "velocity_x",
-    "velocity_y", "velocity_z", "accel_x", "accel_y", "accel_z",
+    "coord_x",
+    "coord_y",
+    "coord_z",
+    "force_x",
+    "force_y",
+    "force_z",
+    "velocity_x",
+    "velocity_y",
+    "velocity_z",
+    "accel_x",
+    "accel_y",
+    "accel_z",
 ];
 
 /// The proxy simulation state.
@@ -182,27 +195,28 @@ impl MiniLulesh {
         let edge = self.cfg.edge;
         let (vx, vy, vz) = (&self.vx, &self.vy, &self.vz);
         let (vol, refv, energy, mass) = (&self.volume, &self.ref_volume, &self.energy, &self.mass);
-        self.pressure
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(e, p)| {
-                let rho = mass[e] / vol[e].max(1e-12);
-                let base = (gamma - 1.0) * rho * (energy[e] / mass[e]).max(0.0);
-                // Artificial viscosity: resist compression, scaled by the
-                // average inward velocity of the element's corners.
-                let mut div = 0.0;
-                let (cx, cy, cz) = element_center_of(e, edge);
-                for n in element_nodes(e, edge) {
-                    // crude divergence estimate from corner velocities
-                    let (nx, ny, nz) = node_coords_of(n, edge + 1);
-                    let dx = nx as f64 - cx;
-                    let dy = ny as f64 - cy;
-                    let dz = nz as f64 - cz;
-                    div += vx[n] * dx + vy[n] * dy + vz[n] * dz;
-                }
-                let q = if div < 0.0 && vol[e] < refv[e] { -q_lin * div * rho } else { 0.0 };
-                *p = base + q;
-            });
+        self.pressure.par_iter_mut().enumerate().for_each(|(e, p)| {
+            let rho = mass[e] / vol[e].max(1e-12);
+            let base = (gamma - 1.0) * rho * (energy[e] / mass[e]).max(0.0);
+            // Artificial viscosity: resist compression, scaled by the
+            // average inward velocity of the element's corners.
+            let mut div = 0.0;
+            let (cx, cy, cz) = element_center_of(e, edge);
+            for n in element_nodes(e, edge) {
+                // crude divergence estimate from corner velocities
+                let (nx, ny, nz) = node_coords_of(n, edge + 1);
+                let dx = nx as f64 - cx;
+                let dy = ny as f64 - cy;
+                let dz = nz as f64 - cz;
+                div += vx[n] * dx + vy[n] * dy + vz[n] * dz;
+            }
+            let q = if div < 0.0 && vol[e] < refv[e] {
+                -q_lin * div * rho
+            } else {
+                0.0
+            };
+            *p = base + q;
+        });
         debug_assert_eq!(self.pressure.len(), ne);
     }
 
@@ -276,12 +290,9 @@ impl MiniLulesh {
         let (x, y, z) = (&self.x, &self.y, &self.z);
         let pressure = &self.pressure;
         let old_vol: Vec<f64> = self.volume.clone();
-        self.volume
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(e, v)| {
-                *v = hex_volume(e, edge, x, y, z).max(1e-9);
-            });
+        self.volume.par_iter_mut().enumerate().for_each(|(e, v)| {
+            *v = hex_volume(e, edge, x, y, z).max(1e-9);
+        });
         for e in 0..self.energy.len() {
             // pdV work: expansion converts internal energy to kinetic.
             let dv = self.volume[e] - old_vol[e];
@@ -368,13 +379,7 @@ fn element_center_of(e: usize, edge: usize) -> (f64, f64, f64) {
     (ei as f64 + 0.5, ej as f64 + 0.5, ek as f64 + 0.5)
 }
 
-fn element_center_pos(
-    e: usize,
-    edge: usize,
-    x: &[f64],
-    y: &[f64],
-    z: &[f64],
-) -> (f64, f64, f64) {
+fn element_center_pos(e: usize, edge: usize, x: &[f64], y: &[f64], z: &[f64]) -> (f64, f64, f64) {
     let nodes = element_nodes(e, edge);
     let (mut cx, mut cy, mut cz) = (0.0, 0.0, 0.0);
     for &n in &nodes {
@@ -447,8 +452,7 @@ mod tests {
         }
         // the blast is at the origin corner: the origin-adjacent nodes
         // should have moved and gained speed
-        let speed0: f64 =
-            (sim.vx[0].powi(2) + sim.vy[0].powi(2) + sim.vz[0].powi(2)).sqrt();
+        let speed0: f64 = (sim.vx[0].powi(2) + sim.vy[0].powi(2) + sim.vz[0].powi(2)).sqrt();
         assert!(speed0 > 0.0, "corner node should be moving");
         // far corner stays (nearly) quiet early on
         let last = sim.node_mass.len() - 1;
@@ -463,7 +467,11 @@ mod tests {
         for _ in 0..25 {
             let out = sim.step();
             for f in &out.fields {
-                assert!(f.data.iter().all(|v| v.is_finite()), "{} not finite", f.name);
+                assert!(
+                    f.data.iter().all(|v| v.is_finite()),
+                    "{} not finite",
+                    f.name
+                );
             }
         }
     }
@@ -498,8 +506,16 @@ mod tests {
         use std::time::Instant;
         // Comparable element counts; LULESH must be the heavier step — the
         // property the paper's Figure 12c relies on.
-        let mut lul = MiniLulesh::new(LuleshConfig { edge: 12, ..LuleshConfig::tiny() });
-        let mut heat = Heat3D::new(Heat3DConfig { nx: 13, ny: 13, nz: 13, ..Heat3DConfig::tiny() });
+        let mut lul = MiniLulesh::new(LuleshConfig {
+            edge: 12,
+            ..LuleshConfig::tiny()
+        });
+        let mut heat = Heat3D::new(Heat3DConfig {
+            nx: 13,
+            ny: 13,
+            nz: 13,
+            ..Heat3DConfig::tiny()
+        });
         let t0 = Instant::now();
         lul.step();
         let t_lul = t0.elapsed();

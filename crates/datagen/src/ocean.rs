@@ -65,7 +65,13 @@ impl Default for OceanConfig {
 impl OceanConfig {
     /// A small configuration for tests.
     pub fn tiny() -> Self {
-        OceanConfig { nlon: 16, nlat: 12, ndepth: 4, eddies: 2, ..Default::default() }
+        OceanConfig {
+            nlon: 16,
+            nlat: 12,
+            ndepth: 4,
+            eddies: 2,
+            ..Default::default()
+        }
     }
 
     /// Cells per variable per time-step.
@@ -123,7 +129,11 @@ impl OceanModel {
                 drift: rng.gen_range(0.2..0.8),
             })
             .collect();
-        OceanModel { cfg, eddies, step: 0 }
+        OceanModel {
+            cfg,
+            eddies,
+            step: 0,
+        }
     }
 
     /// The configuration.
@@ -233,7 +243,8 @@ impl OceanModel {
                             // linearized seawater equation of state:
                             // rho = rho0 - alpha*T + beta*S
                             let base_sal = 34.0 + 0.8 * (k as f64 / cfg.ndepth.max(1) as f64);
-                            1025.0 - 0.2 * (temp - 10.0) + 0.78 * (base_sal - 34.0)
+                            1025.0 - 0.2 * (temp - 10.0)
+                                + 0.78 * (base_sal - 34.0)
                                 + cfg.noise * 0.02 * self.noise(cell, 6)
                         }
                         "pressure" => {
@@ -245,8 +256,7 @@ impl OceanModel {
                             // nutrients deplete at the warm surface,
                             // accumulate at depth
                             let depth_frac = k as f64 / cfg.ndepth.max(1) as f64;
-                            (2.0 + 28.0 * depth_frac - 0.3 * (temp - 10.0))
-                                .max(0.0)
+                            (2.0 + 28.0 * depth_frac - 0.3 * (temp - 10.0)).max(0.0)
                                 + cfg.noise * self.noise(cell, 8)
                         }
                         "chlorophyll" => {
@@ -260,7 +270,8 @@ impl OceanModel {
                         "mixed_layer_depth" => {
                             // deepens toward the "poles" (cold, convective)
                             let lat_frac = (j as f64 / cfg.nlat as f64 - 0.5).abs();
-                            30.0 + 140.0 * lat_frac + 5.0 * (t * 0.2).sin()
+                            30.0 + 140.0 * lat_frac
+                                + 5.0 * (t * 0.2).sin()
                                 + cfg.noise * 2.0 * self.noise(cell, 10)
                         }
                         other => panic!("unknown ocean variable {other:?}"),
@@ -275,9 +286,14 @@ impl OceanModel {
 
 impl Simulation for OceanModel {
     fn step(&mut self) -> StepOutput {
-        let fields =
-            OCEAN_FIELDS.iter().map(|&n| Field::new(n, self.variable(n))).collect();
-        let out = StepOutput { step: self.step, fields };
+        let fields = OCEAN_FIELDS
+            .iter()
+            .map(|&n| Field::new(n, self.variable(n)))
+            .collect();
+        let out = StepOutput {
+            step: self.step,
+            fields,
+        };
         self.step += 1;
         out
     }
@@ -369,7 +385,10 @@ mod tests {
         let band_corr = corr(&band_t, &band_s).abs();
         let out_corr = corr(&out_t, &out_s).abs();
         assert!(band_corr > 0.8, "in-band correlation too weak: {band_corr}");
-        assert!(band_corr > out_corr + 0.2, "band {band_corr} vs outside {out_corr}");
+        assert!(
+            band_corr > out_corr + 0.2,
+            "band {band_corr} vs outside {out_corr}"
+        );
     }
 
     #[test]

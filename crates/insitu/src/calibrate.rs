@@ -32,7 +32,10 @@ impl Calibration {
         assert!(total >= 2, "separate cores need at least two cores");
         let frac = self.time_simulate / (self.time_simulate + self.time_bitmap).max(1e-12);
         let sim = ((total as f64 * frac).round() as usize).clamp(1, total - 1);
-        CoreAllocation::Separate { sim_cores: sim, bitmap_cores: total - sim }
+        CoreAllocation::Separate {
+            sim_cores: sim,
+            bitmap_cores: total - sim,
+        }
     }
 }
 
@@ -92,15 +95,40 @@ mod tests {
     #[test]
     fn allocation_follows_time_ratio() {
         // equal times: even split
-        let c = Calibration { time_simulate: 1.0, time_bitmap: 1.0 };
-        assert_eq!(c.allocate(28), CoreAllocation::Separate { sim_cores: 14, bitmap_cores: 14 });
+        let c = Calibration {
+            time_simulate: 1.0,
+            time_bitmap: 1.0,
+        };
+        assert_eq!(
+            c.allocate(28),
+            CoreAllocation::Separate {
+                sim_cores: 14,
+                bitmap_cores: 14
+            }
+        );
         // simulation 3x heavier: it gets ~3/4 of the cores (the paper's
         // LULESH case, where few bitmap cores suffice)
-        let c = Calibration { time_simulate: 3.0, time_bitmap: 1.0 };
-        assert_eq!(c.allocate(28), CoreAllocation::Separate { sim_cores: 21, bitmap_cores: 7 });
+        let c = Calibration {
+            time_simulate: 3.0,
+            time_bitmap: 1.0,
+        };
+        assert_eq!(
+            c.allocate(28),
+            CoreAllocation::Separate {
+                sim_cores: 21,
+                bitmap_cores: 7
+            }
+        );
         // bitmap heavier (the paper's Heat3D case): more cores to bitmaps
-        let c = Calibration { time_simulate: 1.0, time_bitmap: 1.5 };
-        let CoreAllocation::Separate { sim_cores, bitmap_cores } = c.allocate(28) else {
+        let c = Calibration {
+            time_simulate: 1.0,
+            time_bitmap: 1.5,
+        };
+        let CoreAllocation::Separate {
+            sim_cores,
+            bitmap_cores,
+        } = c.allocate(28)
+        else {
             panic!()
         };
         assert!(bitmap_cores > sim_cores);
@@ -108,13 +136,27 @@ mod tests {
 
     #[test]
     fn allocation_never_empties_a_set() {
-        let c = Calibration { time_simulate: 1000.0, time_bitmap: 0.0001 };
-        let CoreAllocation::Separate { sim_cores, bitmap_cores } = c.allocate(4) else {
+        let c = Calibration {
+            time_simulate: 1000.0,
+            time_bitmap: 0.0001,
+        };
+        let CoreAllocation::Separate {
+            sim_cores,
+            bitmap_cores,
+        } = c.allocate(4)
+        else {
             panic!()
         };
         assert!(sim_cores >= 1 && bitmap_cores >= 1);
-        let c = Calibration { time_simulate: 0.0001, time_bitmap: 1000.0 };
-        let CoreAllocation::Separate { sim_cores, bitmap_cores } = c.allocate(4) else {
+        let c = Calibration {
+            time_simulate: 0.0001,
+            time_bitmap: 1000.0,
+        };
+        let CoreAllocation::Separate {
+            sim_cores,
+            bitmap_cores,
+        } = c.allocate(4)
+        else {
             panic!()
         };
         assert!(sim_cores >= 1 && bitmap_cores >= 1);
@@ -128,14 +170,23 @@ mod tests {
         assert!(cal.time_simulate > 0.0);
         assert!(cal.time_bitmap > 0.0);
         let alloc = cal.allocate(8);
-        let CoreAllocation::Separate { sim_cores, bitmap_cores } = alloc else { panic!() };
+        let CoreAllocation::Separate {
+            sim_cores,
+            bitmap_cores,
+        } = alloc
+        else {
+            panic!()
+        };
         assert_eq!(sim_cores + bitmap_cores, 8);
     }
 
     #[test]
     #[should_panic(expected = "at least two cores")]
     fn rejects_single_core_split() {
-        let c = Calibration { time_simulate: 1.0, time_bitmap: 1.0 };
+        let c = Calibration {
+            time_simulate: 1.0,
+            time_bitmap: 1.0,
+        };
         let _ = c.allocate(1);
     }
 }

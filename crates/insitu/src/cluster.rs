@@ -16,7 +16,9 @@
 //! 1.24×–3.79× remote-case speedups.
 
 use crate::io::{LocalDisk, RemoteLink, Storage};
-use crate::machine::{decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel};
+use crate::machine::{
+    decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel,
+};
 use crate::report::PhaseTimes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ibis_analysis::entropy::conditional_entropy_from_counts;
@@ -107,12 +109,8 @@ impl LocalSummary {
     /// Joint bin counts of (self = candidate, prev) over this node's slab.
     fn joint_counts(&self, prev: &LocalSummary, binner: &Binner) -> Vec<u64> {
         match (self, prev) {
-            (LocalSummary::Bitmap(a), LocalSummary::Bitmap(b)) => {
-                joint_counts_from_indexes(a, b)
-            }
-            (LocalSummary::Full(a), LocalSummary::Full(b)) => {
-                joint_histogram(a, b, binner, binner)
-            }
+            (LocalSummary::Bitmap(a), LocalSummary::Bitmap(b)) => joint_counts_from_indexes(a, b),
+            (LocalSummary::Full(a), LocalSummary::Full(b)) => joint_histogram(a, b, binner, binner),
             _ => unreachable!("a run uses one reduction throughout"),
         }
     }
@@ -127,19 +125,26 @@ struct NodeVote {
 /// Runs the cluster experiment; returns the per-node-max report.
 pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
     assert!(cfg.nodes >= 1, "need at least one node");
-    assert!(cfg.steps >= 1 && cfg.select_k >= 1 && cfg.select_k <= cfg.steps, "bad steps/k");
+    assert!(
+        cfg.steps >= 1 && cfg.select_k >= 1 && cfg.select_k <= cfg.steps,
+        "bad steps/k"
+    );
     let nbins = cfg.binner.nbins();
     // the partitions' source clock must tick with this run's sweep count
     let mut heat = cfg.heat.clone();
     heat.sweeps_per_step = cfg.sweeps_per_step;
     let parts = Heat3DPartition::split(&heat, cfg.nodes);
-    let intervals =
-        if cfg.select_k > 1 { fixed_intervals(cfg.steps, cfg.select_k - 1) } else { vec![] };
+    let intervals = if cfg.select_k > 1 {
+        fixed_intervals(cfg.steps, cfg.select_k - 1)
+    } else {
+        vec![]
+    };
 
     // Storage: one shared remote link, or one disk per node.
     let remote = RemoteLink::new(cfg.remote_bw);
-    let locals: Vec<LocalDisk> =
-        (0..cfg.nodes).map(|_| LocalDisk::new(cfg.machine.disk_bw)).collect();
+    let locals: Vec<LocalDisk> = (0..cfg.nodes)
+        .map(|_| LocalDisk::new(cfg.machine.disk_bw))
+        .collect();
 
     // Halo channels: one pair per adjacent node boundary.
     let mut up_tx: Vec<Option<Sender<Vec<f64>>>> = vec![None; cfg.nodes];
@@ -250,9 +255,8 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
                     if step == 0 {
                         selected.push(0);
                         bytes += summary.size_bytes();
-                        let now = node_time(
-                            sim_t, reduce_t, select_t, output_modeled, threads, cfg,
-                        );
+                        let now =
+                            node_time(sim_t, reduce_t, select_t, output_modeled, threads, cfg);
                         output_modeled += storage.write(now, summary.size_bytes());
                         prev = Some(summary);
                         continue;
@@ -272,7 +276,9 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
                         .map(|(idx, s)| (*idx, s.joint_counts(p, &cfg.binner)))
                         .collect();
                     select_t += clock.elapsed();
-                    vote_tx.send(NodeVote { candidates }).expect("coordinator hung up");
+                    vote_tx
+                        .send(NodeVote { candidates })
+                        .expect("coordinator hung up");
                     let winner = my_decisions.recv().expect("coordinator hung up");
                     selected.push(winner);
                     let mut kept = None;
@@ -283,8 +289,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
                     }
                     let kept = kept.expect("winner must be in the interval");
                     bytes += kept.size_bytes();
-                    let now =
-                        node_time(sim_t, reduce_t, select_t, output_modeled, threads, cfg);
+                    let now = node_time(sim_t, reduce_t, select_t, output_modeled, threads, cfg);
                     output_modeled += storage.write(now, kept.size_bytes());
                     prev = Some(kept);
                 }
@@ -292,13 +297,25 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
                 // CPU-time clocks (one-thread pools, node-thread work) need
                 // no correction; wall-measured wide pools do.
                 let active = cfg.nodes * threads;
-                let sim_t = if threads == 1 { sim_t } else { decontend(sim_t, active) };
-                let reduce_t = if threads == 1 { reduce_t } else { decontend(reduce_t, active) };
+                let sim_t = if threads == 1 {
+                    sim_t
+                } else {
+                    decontend(sim_t, active)
+                };
+                let reduce_t = if threads == 1 {
+                    reduce_t
+                } else {
+                    decontend(reduce_t, active)
+                };
                 let select_t = select_t; // always node-thread CPU time
                 let speed = cfg.machine.core_speed;
                 let phases = PhaseTimes {
                     simulate: modeled_seconds(
-                        sim_t, threads, cfg.cores_per_node, &cfg.sim_scaling, speed,
+                        sim_t,
+                        threads,
+                        cfg.cores_per_node,
+                        &cfg.sim_scaling,
+                        speed,
                     ),
                     reduce: modeled_seconds(
                         reduce_t,
@@ -316,7 +333,12 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
                     ),
                     output: output_modeled,
                 };
-                NodeResult { total: phases.sum(), phases, bytes, selected }
+                NodeResult {
+                    total: phases.sum(),
+                    phases,
+                    bytes,
+                    selected,
+                }
             }));
         }
         drop(vote_tx);
@@ -351,7 +373,10 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
             }
         }
 
-        handles.into_iter().map(|h| h.join().expect("node panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node panicked"))
+            .collect()
     });
 
     // Parallel nodes: the cluster finishes when the slowest node does.
@@ -367,8 +392,17 @@ pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
         bytes += r.bytes;
     }
     let selected = results[0].selected.clone();
-    debug_assert!(results.iter().all(|r| r.selected == selected), "nodes must agree");
-    ClusterReport { phases, total_modeled: total, selected, bytes_written: bytes, nodes: cfg.nodes }
+    debug_assert!(
+        results.iter().all(|r| r.selected == selected),
+        "nodes must agree"
+    );
+    ClusterReport {
+        phases,
+        total_modeled: total,
+        selected,
+        bytes_written: bytes,
+        nodes: cfg.nodes,
+    }
 }
 
 /// A node's modeled elapsed time so far (used as the arrival time for
@@ -382,8 +416,16 @@ fn node_time(
     cfg: &ClusterConfig,
 ) -> f64 {
     let active = cfg.nodes * threads;
-    let sim_t = if threads == 1 { sim_t } else { decontend(sim_t, active) };
-    let reduce_t = if threads == 1 { reduce_t } else { decontend(reduce_t, active) };
+    let sim_t = if threads == 1 {
+        sim_t
+    } else {
+        decontend(sim_t, active)
+    };
+    let reduce_t = if threads == 1 {
+        reduce_t
+    } else {
+        decontend(reduce_t, active)
+    };
     let speed = cfg.machine.core_speed;
     modeled_seconds(sim_t, threads, cfg.cores_per_node, &cfg.sim_scaling, speed)
         + modeled_seconds(
@@ -412,7 +454,12 @@ mod tests {
             nodes,
             cores_per_node: 4,
             machine: MachineModel::oakley_node(),
-            heat: Heat3DConfig { nx: 16, ny: 16, nz: 24, ..Heat3DConfig::tiny() },
+            heat: Heat3DConfig {
+                nx: 16,
+                ny: 16,
+                nz: 24,
+                ..Heat3DConfig::tiny()
+            },
             sweeps_per_step: 1,
             steps: 9,
             select_k: 3,
@@ -447,7 +494,10 @@ mod tests {
         let rb = run_cluster(&base(2, ClusterReduction::Bitmaps, ClusterIo::Local));
         let rf = run_cluster(&base(2, ClusterReduction::FullData, ClusterIo::Local));
         assert_eq!(rb.selected, rf.selected, "no accuracy loss in the cluster");
-        assert!(rb.bytes_written < rf.bytes_written, "bitmaps ship fewer bytes");
+        assert!(
+            rb.bytes_written < rf.bytes_written,
+            "bitmaps ship fewer bytes"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl LocalDisk {
     /// A disk writing at `bandwidth` bytes/second.
     pub fn new(bandwidth: f64) -> Self {
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        LocalDisk { bw: bandwidth, written: Mutex::new(0) }
+        LocalDisk {
+            bw: bandwidth,
+            written: Mutex::new(0),
+        }
     }
 }
 
@@ -69,7 +72,10 @@ impl RemoteLink {
     /// A link transferring at `bandwidth` bytes/second.
     pub fn new(bandwidth: f64) -> Self {
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        RemoteLink { bw: bandwidth, state: Mutex::new(RemoteState::default()) }
+        RemoteLink {
+            bw: bandwidth,
+            state: Mutex::new(RemoteState::default()),
+        }
     }
 }
 
@@ -100,7 +106,10 @@ impl FileSink {
     /// Creates (if needed) `dir` and sinks files into it.
     pub fn new(dir: impl AsRef<Path>) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
-        Ok(FileSink { dir: dir.as_ref().to_path_buf(), written: Mutex::new(0) })
+        Ok(FileSink {
+            dir: dir.as_ref().to_path_buf(),
+            written: Mutex::new(0),
+        })
     }
 
     /// Writes one named blob; returns its path.
@@ -339,7 +348,11 @@ mod tests {
             let idx = BitmapIndex::build(&data, binner);
             let blob = codec::encode_index(&idx);
             let back = codec::decode_index(&blob).expect("valid blob");
-            assert_eq!(back.binner(), idx.binner(), "binner must round-trip exactly");
+            assert_eq!(
+                back.binner(),
+                idx.binner(),
+                "binner must round-trip exactly"
+            );
             assert_eq!(back.len(), idx.len());
             assert_eq!(back.counts(), idx.counts());
             for b in 0..idx.nbins() {
@@ -379,7 +392,9 @@ mod tests {
         let sink = FileSink::new(&dir).unwrap();
         let data: Vec<f64> = (0..500).map(|i| (i % 40) as f64).collect();
         let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 40.0, 40));
-        let path = sink.write_blob("step7.ibis", &codec::encode_index(&idx)).unwrap();
+        let path = sink
+            .write_blob("step7.ibis", &codec::encode_index(&idx))
+            .unwrap();
         let back = codec::decode_index(&std::fs::read(&path).unwrap()).unwrap();
         assert_eq!(back.counts(), idx.counts());
         std::fs::remove_dir_all(&dir).ok();

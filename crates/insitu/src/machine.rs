@@ -108,7 +108,10 @@ pub fn decontend(measured: std::time::Duration, active_threads: usize) -> std::t
 /// at read time, so millisecond-scale phases measure accurately.
 #[cfg(unix)]
 pub fn thread_cpu_ns() -> Option<u64> {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: ts is a valid out-pointer; the clock id is a constant.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     (rc == 0).then(|| ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64)
@@ -133,7 +136,10 @@ pub struct PhaseClock {
 impl PhaseClock {
     /// Starts the clock on the calling thread.
     pub fn start() -> Self {
-        PhaseClock { wall: std::time::Instant::now(), cpu0: thread_cpu_ns() }
+        PhaseClock {
+            wall: std::time::Instant::now(),
+            cpu0: thread_cpu_ns(),
+        }
     }
 
     /// Elapsed compute time (CPU time when available, else wall).
@@ -180,7 +186,10 @@ pub struct ScalingModel {
 impl ScalingModel {
     /// A curve with the given serial fraction.
     pub fn new(serial_frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&serial_frac), "serial fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&serial_frac),
+            "serial fraction out of range"
+        );
         ScalingModel { serial_frac }
     }
 

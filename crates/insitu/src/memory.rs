@@ -32,7 +32,10 @@ impl MemoryTracker {
     /// Panics if more is freed than was allocated (an accounting bug).
     pub fn free(&self, bytes: u64) {
         let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
-        assert!(prev >= bytes, "memory tracker underflow: freeing {bytes} of {prev}");
+        assert!(
+            prev >= bytes,
+            "memory tracker underflow: freeing {bytes} of {prev}"
+        );
     }
 
     /// Bytes currently resident.

@@ -17,7 +17,9 @@
 //! the most dissimilar one, writes it out, and frees the rest.
 
 use crate::io::Storage;
-use crate::machine::{decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel};
+use crate::machine::{
+    decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel,
+};
 use crate::memory::MemoryTracker;
 use crate::report::{InsituReport, PhaseTimes};
 use ibis_analysis::sampling::{sample, SamplingMethod};
@@ -93,7 +95,10 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     fn validate(&self) {
-        assert!(self.cores >= 1 && self.cores <= self.machine.total_cores, "bad core count");
+        assert!(
+            self.cores >= 1 && self.cores <= self.machine.total_cores,
+            "bad core count"
+        );
         assert!(self.steps >= 1, "need at least one step");
         assert!(
             self.select_k >= 1 && self.select_k <= self.steps,
@@ -105,8 +110,15 @@ impl PipelineConfig {
             !self.binners.is_empty() || self.per_step_precision.is_some(),
             "need binners or per-step precision"
         );
-        if let CoreAllocation::Separate { sim_cores, bitmap_cores } = self.allocation {
-            assert!(sim_cores >= 1 && bitmap_cores >= 1, "both core sets must be non-empty");
+        if let CoreAllocation::Separate {
+            sim_cores,
+            bitmap_cores,
+        } = self.allocation
+        {
+            assert!(
+                sim_cores >= 1 && bitmap_cores >= 1,
+                "both core sets must be non-empty"
+            );
             assert!(
                 sim_cores + bitmap_cores <= self.cores,
                 "separate sets exceed the core budget"
@@ -129,7 +141,11 @@ fn summarize(
         None => unreachable!("callers pass binners when precision is unset"),
     };
     if per_step_precision.is_none() {
-        assert_eq!(out.fields.len(), binners.len(), "one binner per field required");
+        assert_eq!(
+            out.fields.len(),
+            binners.len(),
+            "one binner per field required"
+        );
     }
     let vars = out
         .fields
@@ -150,7 +166,10 @@ fn summarize(
             }
         })
         .collect();
-    StepSummary { step: out.step, vars }
+    StepSummary {
+        step: out.step,
+        vars,
+    }
 }
 
 /// Streaming greedy selection over fixed-length intervals (Figure 3): holds
@@ -175,8 +194,11 @@ struct Emitted {
 
 impl StreamingSelector {
     fn new(steps: usize, k: usize, metric: Metric) -> Self {
-        let intervals =
-            if k > 1 { fixed_intervals(steps, k - 1) } else { Vec::new() };
+        let intervals = if k > 1 {
+            fixed_intervals(steps, k - 1)
+        } else {
+            Vec::new()
+        };
         StreamingSelector {
             intervals,
             cur: 0,
@@ -196,7 +218,10 @@ impl StreamingSelector {
             let bytes = summary.size_bytes() as u64;
             self.selected.push(0);
             self.prev = Some(summary);
-            return Some(Emitted { step: 0, summary_bytes: bytes });
+            return Some(Emitted {
+                step: 0,
+                summary_bytes: bytes,
+            });
         }
         self.buffer.push((idx, summary));
         let interval_done = self
@@ -233,7 +258,10 @@ impl StreamingSelector {
         // the previous selection is no longer needed in memory
         mem.free(prev.size_bytes() as u64);
         self.prev = Some(wsum);
-        Some(Emitted { step: widx, summary_bytes: bytes })
+        Some(Emitted {
+            step: widx,
+            summary_bytes: bytes,
+        })
     }
 
     fn finish(self, mem: &MemoryTracker) -> (Vec<usize>, Duration) {
@@ -297,8 +325,8 @@ fn run_shared<S: Simulation>(
         mem.alloc(raw);
 
         let t0 = Instant::now();
-        let summary = pool
-            .install(|| summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision));
+        let summary =
+            pool.install(|| summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision));
         reduce_t += t0.elapsed();
         let sbytes = summary.size_bytes() as u64;
         summary_bytes_total += sbytes;
@@ -353,7 +381,11 @@ fn run_separate<S: Simulation>(
     cfg: &PipelineConfig,
     storage: &dyn Storage,
 ) -> InsituReport {
-    let CoreAllocation::Separate { sim_cores, bitmap_cores } = cfg.allocation else {
+    let CoreAllocation::Separate {
+        sim_cores,
+        bitmap_cores,
+    } = cfg.allocation
+    else {
         unreachable!("dispatched on allocation");
     };
     let wall0 = Instant::now();
@@ -418,9 +450,21 @@ fn run_separate<S: Simulation>(
     // oversubscription); wider pools used wall clock and need the
     // host-contention correction.
     let active = sim_threads + bm_threads;
-    let sim_t = if sim_threads == 1 { sim_t } else { decontend(sim_t, active) };
-    let reduce_t = if bm_threads == 1 { reduce_t } else { decontend(reduce_t, active) };
-    let select_t = if bm_threads == 1 { select_t } else { decontend(select_t, active) };
+    let sim_t = if sim_threads == 1 {
+        sim_t
+    } else {
+        decontend(sim_t, active)
+    };
+    let reduce_t = if bm_threads == 1 {
+        reduce_t
+    } else {
+        decontend(reduce_t, active)
+    };
+    let select_t = if bm_threads == 1 {
+        select_t
+    } else {
+        decontend(select_t, active)
+    };
     let speed = cfg.machine.core_speed;
     let phases = PhaseTimes {
         simulate: modeled_seconds(sim_t, sim_threads, sim_cores, &cfg.sim_scaling, speed),
@@ -462,7 +506,12 @@ mod tests {
     use ibis_datagen::{Heat3D, Heat3DConfig};
 
     fn heat_cfg() -> Heat3DConfig {
-        Heat3DConfig { nx: 16, ny: 16, nz: 16, ..Heat3DConfig::tiny() }
+        Heat3DConfig {
+            nx: 16,
+            ny: 16,
+            nz: 16,
+            ..Heat3DConfig::tiny()
+        }
     }
 
     fn base_cfg(reduction: Reduction) -> PipelineConfig {
@@ -494,7 +543,10 @@ mod tests {
         assert_eq!(disk.bytes_written(), r.bytes_written);
         assert!(r.phases.simulate > 0.0 && r.phases.reduce > 0.0);
         assert!(r.total_modeled >= r.phases.output);
-        assert!(r.compression_ratio() > 1.0, "bitmaps should compress heat3d");
+        assert!(
+            r.compression_ratio() > 1.0,
+            "bitmaps should compress heat3d"
+        );
     }
 
     #[test]
@@ -504,15 +556,29 @@ mod tests {
         let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
         // each selected step is the raw array
         assert_eq!(r.bytes_written, 4 * r.raw_bytes_per_step);
-        assert!(r.phases.reduce < r.phases.simulate, "full data has ~no reduce phase");
+        assert!(
+            r.phases.reduce < r.phases.simulate,
+            "full data has ~no reduce phase"
+        );
     }
 
     #[test]
     fn bitmaps_write_less_and_peak_lower_than_full() {
         let disk = LocalDisk::new(1e9);
-        let rb = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::Bitmaps), &disk);
-        let rf = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::FullData), &disk);
-        assert!(rb.bytes_written < rf.bytes_written, "bitmaps must shrink I/O");
+        let rb = run_pipeline(
+            Heat3D::new(heat_cfg()),
+            &base_cfg(Reduction::Bitmaps),
+            &disk,
+        );
+        let rf = run_pipeline(
+            Heat3D::new(heat_cfg()),
+            &base_cfg(Reduction::FullData),
+            &disk,
+        );
+        assert!(
+            rb.bytes_written < rf.bytes_written,
+            "bitmaps must shrink I/O"
+        );
         assert!(
             rb.peak_memory_bytes < rf.peak_memory_bytes,
             "bitmaps {} must hold less than full {}",
@@ -524,9 +590,16 @@ mod tests {
     #[test]
     fn both_strategies_select_identical_steps() {
         let disk = LocalDisk::new(1e9);
-        let shared = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::Bitmaps), &disk);
+        let shared = run_pipeline(
+            Heat3D::new(heat_cfg()),
+            &base_cfg(Reduction::Bitmaps),
+            &disk,
+        );
         let mut cfg = base_cfg(Reduction::Bitmaps);
-        cfg.allocation = CoreAllocation::Separate { sim_cores: 2, bitmap_cores: 2 };
+        cfg.allocation = CoreAllocation::Separate {
+            sim_cores: 2,
+            bitmap_cores: 2,
+        };
         let separate = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
         assert_eq!(shared.selected, separate.selected);
         assert_eq!(shared.bytes_written, separate.bytes_written);
@@ -536,8 +609,16 @@ mod tests {
     fn bitmap_selection_equals_full_selection() {
         // the no-accuracy-loss claim at pipeline level
         let disk = LocalDisk::new(1e9);
-        let rb = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::Bitmaps), &disk);
-        let rf = run_pipeline(Heat3D::new(heat_cfg()), &base_cfg(Reduction::FullData), &disk);
+        let rb = run_pipeline(
+            Heat3D::new(heat_cfg()),
+            &base_cfg(Reduction::Bitmaps),
+            &disk,
+        );
+        let rf = run_pipeline(
+            Heat3D::new(heat_cfg()),
+            &base_cfg(Reduction::FullData),
+            &disk,
+        );
         assert_eq!(rb.selected, rf.selected);
     }
 
@@ -551,7 +632,10 @@ mod tests {
         let disk = LocalDisk::new(1e9);
         let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
         assert_eq!(r.selected.len(), 4);
-        assert!(r.bytes_written < 4 * r.raw_bytes_per_step / 5, "10% samples are small");
+        assert!(
+            r.bytes_written < 4 * r.raw_bytes_per_step / 5,
+            "10% samples are small"
+        );
     }
 
     #[test]
@@ -586,7 +670,10 @@ mod tests {
     #[should_panic(expected = "separate sets exceed")]
     fn rejects_overcommitted_split() {
         let mut cfg = base_cfg(Reduction::Bitmaps);
-        cfg.allocation = CoreAllocation::Separate { sim_cores: 3, bitmap_cores: 3 };
+        cfg.allocation = CoreAllocation::Separate {
+            sim_cores: 3,
+            bitmap_cores: 3,
+        };
         cfg.validate();
     }
 

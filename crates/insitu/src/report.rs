@@ -54,8 +54,7 @@ impl InsituReport {
         if self.summary_bytes_total == 0 || self.steps == 0 {
             return 0.0;
         }
-        self.raw_bytes_per_step as f64
-            / (self.summary_bytes_total as f64 / self.steps as f64)
+        self.raw_bytes_per_step as f64 / (self.summary_bytes_total as f64 / self.steps as f64)
     }
 }
 
@@ -65,7 +64,12 @@ mod tests {
 
     #[test]
     fn phase_sum() {
-        let p = PhaseTimes { simulate: 1.0, reduce: 2.0, select: 0.5, output: 1.5 };
+        let p = PhaseTimes {
+            simulate: 1.0,
+            reduce: 2.0,
+            select: 0.5,
+            output: 1.5,
+        };
         assert_eq!(p.sum(), 5.0);
     }
 

@@ -30,18 +30,18 @@ impl StoreWriter {
     /// Creates (if needed) the run directory.
     pub fn create(dir: impl AsRef<Path>) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
-        Ok(StoreWriter { dir: dir.as_ref().to_path_buf(), entries: Vec::new() })
+        Ok(StoreWriter {
+            dir: dir.as_ref().to_path_buf(),
+            entries: Vec::new(),
+        })
     }
 
     /// Persists one step's index for one variable.
-    pub fn put(
-        &mut self,
-        step: usize,
-        variable: &str,
-        index: &BitmapIndex,
-    ) -> std::io::Result<()> {
+    pub fn put(&mut self, step: usize, variable: &str, index: &BitmapIndex) -> std::io::Result<()> {
         assert!(
-            variable.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            variable
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'),
             "variable names must be [A-Za-z0-9_] for safe file names"
         );
         let file = format!("s{step:06}_{variable}.ibis");
@@ -83,8 +83,9 @@ impl Store {
             else {
                 return Err(bad_manifest(lineno, "expected 3 tab-separated fields"));
             };
-            let step: usize =
-                step.parse().map_err(|_| bad_manifest(lineno, "bad step number"))?;
+            let step: usize = step
+                .parse()
+                .map_err(|_| bad_manifest(lineno, "bad step number"))?;
             if file.contains('/') || file.contains("..") {
                 return Err(bad_manifest(lineno, "file escapes the run directory"));
             }
@@ -152,8 +153,7 @@ mod tests {
     use ibis_core::Binner;
 
     fn sample_index(seed: usize) -> BitmapIndex {
-        let data: Vec<f64> =
-            (0..500).map(|i| ((i * (seed + 3)) % 40) as f64).collect();
+        let data: Vec<f64> = (0..500).map(|i| ((i * (seed + 3)) % 40) as f64).collect();
         BitmapIndex::build(&data, Binner::distinct_ints(0, 39))
     }
 

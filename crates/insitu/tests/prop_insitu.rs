@@ -2,8 +2,7 @@
 //! scaling/calibration math, codec robustness, memory accounting.
 
 use ibis_insitu::{
-    codec, Calibration, CoreAllocation, LocalDisk, MemoryTracker, RemoteLink, ScalingModel,
-    Storage,
+    codec, Calibration, CoreAllocation, LocalDisk, MemoryTracker, RemoteLink, ScalingModel, Storage,
 };
 use proptest::prelude::*;
 

@@ -14,7 +14,12 @@ use ibis::insitu::{
 };
 
 fn main() {
-    let heat = Heat3DConfig { nx: 32, ny: 32, nz: 32, ..Default::default() };
+    let heat = Heat3DConfig {
+        nx: 32,
+        ny: 32,
+        nz: 32,
+        ..Default::default()
+    };
     let base = ClusterConfig {
         nodes: 4,
         cores_per_node: 8,
@@ -41,12 +46,32 @@ fn main() {
 
     let mut selections = Vec::new();
     for (label, reduction, io) in [
-        ("bitmaps / local", ClusterReduction::Bitmaps, ClusterIo::Local),
-        ("full data / local", ClusterReduction::FullData, ClusterIo::Local),
-        ("bitmaps / remote", ClusterReduction::Bitmaps, ClusterIo::Remote),
-        ("full data / remote", ClusterReduction::FullData, ClusterIo::Remote),
+        (
+            "bitmaps / local",
+            ClusterReduction::Bitmaps,
+            ClusterIo::Local,
+        ),
+        (
+            "full data / local",
+            ClusterReduction::FullData,
+            ClusterIo::Local,
+        ),
+        (
+            "bitmaps / remote",
+            ClusterReduction::Bitmaps,
+            ClusterIo::Remote,
+        ),
+        (
+            "full data / remote",
+            ClusterReduction::FullData,
+            ClusterIo::Remote,
+        ),
     ] {
-        let cfg = ClusterConfig { reduction, io, ..base.clone() };
+        let cfg = ClusterConfig {
+            reduction,
+            io,
+            ..base.clone()
+        };
         let r = run_cluster(&cfg);
         println!(
             "{:<22} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.1} MB",

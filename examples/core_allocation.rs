@@ -15,7 +15,12 @@ use ibis::insitu::{
 };
 
 fn main() {
-    let heat = Heat3DConfig { nx: 40, ny: 40, nz: 40, ..Default::default() };
+    let heat = Heat3DConfig {
+        nx: 40,
+        ny: 40,
+        nz: 40,
+        ..Default::default()
+    };
     let machine = MachineModel::xeon32();
     let total_cores = 28; // the paper's Figure 12(a) budget
     let steps = 24;
@@ -38,7 +43,10 @@ fn main() {
         "Heat3D {}³, {} steps, modeled {} with {} cores\n",
         heat.nx, steps, machine.name, total_cores
     );
-    println!("{:<16} {:>10} {:>10} {:>12}", "allocation", "sim(s)", "bitmap(s)", "total(s)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "allocation", "sim(s)", "bitmap(s)", "total(s)"
+    );
 
     // Shared cores: phases alternate on all 28 cores.
     let disk = LocalDisk::new(machine.disk_bw);
@@ -51,7 +59,10 @@ fn main() {
     // Separate cores at several splits (the paper's c_i_c_j bars).
     for (sim, bm) in [(24, 4), (20, 8), (16, 12), (12, 16), (8, 20)] {
         let mut cfg = base.clone();
-        cfg.allocation = CoreAllocation::Separate { sim_cores: sim, bitmap_cores: bm };
+        cfg.allocation = CoreAllocation::Separate {
+            sim_cores: sim,
+            bitmap_cores: bm,
+        };
         let disk = LocalDisk::new(machine.disk_bw);
         let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk);
         println!(
@@ -66,7 +77,11 @@ fn main() {
     // Equations 1–2: probe a few steps, then split automatically.
     let mut probe = Heat3D::new(heat.clone());
     let alloc = auto_allocate(&mut probe, &base.binners, &machine, total_cores, 3);
-    let CoreAllocation::Separate { sim_cores, bitmap_cores } = alloc else {
+    let CoreAllocation::Separate {
+        sim_cores,
+        bitmap_cores,
+    } = alloc
+    else {
         unreachable!()
     };
     let mut cfg = base.clone();
@@ -80,7 +95,5 @@ fn main() {
         r.phases.reduce,
         r.total_modeled
     );
-    println!(
-        "\nThe auto split balances the two pipelines so neither side starves the data queue."
-    );
+    println!("\nThe auto split balances the two pipelines so neither side starves the data queue.");
 }

@@ -17,7 +17,12 @@ use ibis::datagen::{OceanConfig, OceanModel};
 use std::time::Instant;
 
 fn main() {
-    let cfg = OceanConfig { nlon: 128, nlat: 96, ndepth: 1, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon: 128,
+        nlat: 96,
+        ndepth: 1,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg.clone());
     let temp = ocean.variable("temperature");
     let salt = ocean.variable("salinity");
@@ -33,7 +38,11 @@ fn main() {
 
     let bt = Binner::fit(&temp_z, 24);
     let bs = Binner::fit(&salt_z, 24);
-    let mining = MiningConfig { value_threshold: 0.002, spatial_threshold: 0.08, unit_size: 256 };
+    let mining = MiningConfig {
+        value_threshold: 0.002,
+        spatial_threshold: 0.08,
+        unit_size: 256,
+    };
 
     //
 
@@ -49,14 +58,15 @@ fn main() {
     let full = mine_full(&temp_z, &salt_z, &bt, &bs, &mining);
     let full_time = t0.elapsed();
 
-    println!(
-        "bitmaps: build {build_time:?} + mine {mine_time:?}   full data: {full_time:?}"
-    );
+    println!("bitmaps: build {build_time:?} + mine {mine_time:?}   full data: {full_time:?}");
     println!(
         "value pairs evaluated: {}, pruned by T: {}, spatial units scored: {}",
         result.pairs_evaluated, result.pairs_pruned, result.units_evaluated
     );
-    assert_eq!(result.subsets, full.subsets, "bitmap miner must equal full-data miner");
+    assert_eq!(
+        result.subsets, full.subsets,
+        "bitmap miner must equal full-data miner"
+    );
     println!("bitmap and full-data miners returned identical subsets\n");
 
     println!("top mined subsets (value pair × spatial block):");
@@ -102,5 +112,8 @@ fn main() {
         in_band,
         top.len()
     );
-    assert!(in_band * 2 > top.len(), "mining should recover the planted correlation");
+    assert!(
+        in_band * 2 > top.len(),
+        "mining should recover the planted correlation"
+    );
 }

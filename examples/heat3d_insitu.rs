@@ -11,12 +11,16 @@ use ibis::analysis::Metric;
 use ibis::core::Binner;
 use ibis::datagen::{Heat3D, Heat3DConfig};
 use ibis::insitu::{
-    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
-    ScalingModel,
+    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
 };
 
 fn main() {
-    let heat = Heat3DConfig { nx: 64, ny: 64, nz: 64, ..Default::default() };
+    let heat = Heat3DConfig {
+        nx: 64,
+        ny: 64,
+        nz: 64,
+        ..Default::default()
+    };
     let steps = 40;
     let select_k = 10;
     let machine = MachineModel::xeon32();
@@ -51,8 +55,16 @@ fn main() {
         println!("{name:<22} {b:>11.3}s {f:>11.3}s");
     };
     row("simulate", bitmaps.phases.simulate, full.phases.simulate);
-    row("bitmap generation", bitmaps.phases.reduce, full.phases.reduce);
-    row("time-step selection", bitmaps.phases.select, full.phases.select);
+    row(
+        "bitmap generation",
+        bitmaps.phases.reduce,
+        full.phases.reduce,
+    );
+    row(
+        "time-step selection",
+        bitmaps.phases.select,
+        full.phases.select,
+    );
     row("output", bitmaps.phases.output, full.phases.output);
     row("TOTAL (modeled)", bitmaps.total_modeled, full.total_modeled);
     println!(

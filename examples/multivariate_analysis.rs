@@ -15,7 +15,12 @@ use ibis::core::{Binner, BitmapIndex};
 use ibis::datagen::{OceanConfig, OceanModel};
 
 fn main() {
-    let cfg = OceanConfig { nlon: 128, nlat: 96, ndepth: 4, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon: 128,
+        nlat: 96,
+        ndepth: 4,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg.clone());
     println!(
         "ocean {}x{}x{} — indexing 4 variables, then discarding the data\n",
@@ -65,10 +70,17 @@ fn main() {
     let sg = discover_subgroups(
         &[&indices[0], &indices[3]], // descriptors: temperature, nitrate
         &indices[2],                 // target: oxygen
-        &SubgroupConfig { bins_per_condition: 6, top_k: 3, ..Default::default() },
+        &SubgroupConfig {
+            bins_per_condition: 6,
+            top_k: 3,
+            ..Default::default()
+        },
     );
     let pop_o2 = aggregate::mean(&indices[2]).unwrap();
-    println!("subgroups with anomalous oxygen (population mean {:.2}):", pop_o2.value);
+    println!(
+        "subgroups with anomalous oxygen (population mean {:.2}):",
+        pop_o2.value
+    );
     for s in &sg {
         let desc: Vec<String> = s
             .conditions
@@ -92,8 +104,9 @@ fn main() {
 
     // --- incomplete data: drop 25% of salinity, rebuild it from temperature ---
     let n = raw[1].len();
-    let present: Vec<bool> =
-        (0..n).map(|i| (i.wrapping_mul(2654435761) >> 11) % 4 != 0).collect();
+    let present: Vec<bool> = (0..n)
+        .map(|i| (i.wrapping_mul(2654435761) >> 11) % 4 != 0)
+        .collect();
     let masked = MaskedIndex::build(&raw[1], &present, Binner::fit(&raw[1], 48));
     let imputed = impute_from(&masked, &indices[0], ImputeStrategy::ConditionalMean);
     let mut err = 0.0;

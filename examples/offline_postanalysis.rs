@@ -19,13 +19,18 @@ use ibis::analysis::Metric;
 use ibis::core::{Binner, BitmapIndex};
 use ibis::datagen::{Heat3D, Heat3DConfig, Simulation};
 use ibis::insitu::{
-    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
-    ScalingModel, Store, StoreWriter,
+    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
+    Store, StoreWriter,
 };
 
 fn main() {
     let dir = std::env::temp_dir().join("ibis-offline-demo");
-    let heat = Heat3DConfig { nx: 40, ny: 40, nz: 40, ..Default::default() };
+    let heat = Heat3DConfig {
+        nx: 40,
+        ny: 40,
+        nz: 40,
+        ..Default::default()
+    };
     let binner = Binner::precision(-1.0, 101.0, 0);
     let steps = 24;
 
@@ -57,7 +62,11 @@ fn main() {
         }
     }
     writer.finish().unwrap();
-    println!("persisted {} indices to {}\n", report.selected.len(), dir.display());
+    println!(
+        "persisted {} indices to {}\n",
+        report.selected.len(),
+        dir.display()
+    );
 
     // ---- offline phase: reload and analyse; no raw data exists here ----
     let store = Store::open(&dir).expect("open run directory");
@@ -67,7 +76,10 @@ fn main() {
         .into_iter()
         .map(|(step, idx)| (format!("step{step:04}"), idx))
         .collect();
-    println!("reloaded {} indices; per-step post-analysis:", indices.len());
+    println!(
+        "reloaded {} indices; per-step post-analysis:",
+        indices.len()
+    );
     println!(
         "{:<10} {:>10} {:>14} {:>12} {:>16}",
         "step", "entropy", "mean(±bound)", "hot cells", "Δ vs previous"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors), and the full
+# workspace test suite — in both kernel configurations.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo test (ibis-core with legacy-kernels, for the A/B sweep)"
+cargo test -q -p ibis-core --features legacy-kernels
+
+echo "CI OK"

@@ -13,9 +13,7 @@
 //! `.ibis` files that `ibis::insitu::codec::decode_index` (and the
 //! `offline_postanalysis` example) can reload.
 
-use ibis::analysis::{
-    correlation_query, mine_index, Metric, MiningConfig, SubsetQuery,
-};
+use ibis::analysis::{correlation_query, mine_index, Metric, MiningConfig, SubsetQuery};
 use ibis::core::{Binner, BitmapIndex, ZOrderLayout};
 use ibis::datagen::{
     Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, OceanConfig, OceanModel, Simulation,
@@ -81,8 +79,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got {a:?}"));
         };
-        let value =
-            it.next().ok_or_else(|| format!("--{name} needs a value"))?.clone();
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?
+            .clone();
         flags.insert(name.to_string(), value);
     }
     Ok(flags)
@@ -103,19 +103,31 @@ fn get_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
 }
 
 fn get_range(flags: &Flags, name: &str) -> Result<Option<(f64, f64)>, String> {
-    let Some(v) = flags.get(name) else { return Ok(None) };
-    let (lo, hi) =
-        v.split_once(':').ok_or_else(|| format!("--{name}: expected LO:HI, got {v:?}"))?;
-    let lo: f64 = lo.parse().map_err(|_| format!("--{name}: bad number {lo:?}"))?;
-    let hi: f64 = hi.parse().map_err(|_| format!("--{name}: bad number {hi:?}"))?;
+    let Some(v) = flags.get(name) else {
+        return Ok(None);
+    };
+    let (lo, hi) = v
+        .split_once(':')
+        .ok_or_else(|| format!("--{name}: expected LO:HI, got {v:?}"))?;
+    let lo: f64 = lo
+        .parse()
+        .map_err(|_| format!("--{name}: bad number {lo:?}"))?;
+    let hi: f64 = hi
+        .parse()
+        .map_err(|_| format!("--{name}: bad number {hi:?}"))?;
     if hi <= lo {
         return Err(format!("--{name}: empty range {v:?}"));
     }
     Ok(Some((lo, hi)))
 }
 
-fn get_grid(flags: &Flags, default: (usize, usize, usize)) -> Result<(usize, usize, usize), String> {
-    let Some(v) = flags.get("grid") else { return Ok(default) };
+fn get_grid(
+    flags: &Flags,
+    default: (usize, usize, usize),
+) -> Result<(usize, usize, usize), String> {
+    let Some(v) = flags.get("grid") else {
+        return Ok(default);
+    };
     let parts: Vec<&str> = v.split('x').collect();
     if parts.len() != 3 {
         return Err(format!("--grid: expected LONxLATxDEPTH, got {v:?}"));
@@ -193,7 +205,11 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("--sim: unknown simulation {other:?}")),
     };
 
-    let allocation = match flags.get("allocation").map(String::as_str).unwrap_or("shared") {
+    let allocation = match flags
+        .get("allocation")
+        .map(String::as_str)
+        .unwrap_or("shared")
+    {
         "shared" => CoreAllocation::Shared,
         "auto" => {
             if cores < 2 {
@@ -205,9 +221,16 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
             let (s, b) = split
                 .split_once(':')
                 .ok_or_else(|| format!("--allocation: expected shared|auto|S:B, got {split:?}"))?;
-            let s: usize = s.parse().map_err(|_| "--allocation: bad core count".to_string())?;
-            let b: usize = b.parse().map_err(|_| "--allocation: bad core count".to_string())?;
-            CoreAllocation::Separate { sim_cores: s, bitmap_cores: b }
+            let s: usize = s
+                .parse()
+                .map_err(|_| "--allocation: bad core count".to_string())?;
+            let b: usize = b
+                .parse()
+                .map_err(|_| "--allocation: bad core count".to_string())?;
+            CoreAllocation::Separate {
+                sim_cores: s,
+                bitmap_cores: b,
+            }
         }
     };
 
@@ -263,7 +286,9 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
             }
             for (f, binner) in out.fields.iter().zip(&binners) {
                 let idx = BitmapIndex::build(&f.data, binner.clone());
-                store.put(step, f.name, &idx).map_err(|e| format!("--out: {e}"))?;
+                store
+                    .put(step, f.name, &idx)
+                    .map_err(|e| format!("--out: {e}"))?;
             }
         }
         let dir = store.finish().map_err(|e| format!("--out: {e}"))?;
@@ -280,7 +305,12 @@ fn cmd_mine(flags: &Flags) -> Result<(), String> {
     let unit = get_usize(flags, "unit", 512)? as u64;
     let top = get_usize(flags, "top", 10)?;
 
-    let cfg = OceanConfig { nlon, nlat, ndepth, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon,
+        nlat,
+        ndepth,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg);
     let z = ZOrderLayout::new(&[nlon, nlat, ndepth]);
     let t = z.reorder(&ocean.variable("temperature"));
@@ -289,11 +319,15 @@ fn cmd_mine(flags: &Flags) -> Result<(), String> {
     let bs = Binner::fit(&s, bins);
     let it = BitmapIndex::build(&t, bt.clone());
     let is = BitmapIndex::build(&s, bs.clone());
-    let result = mine_index(&it, &is, &MiningConfig {
-        value_threshold: t1,
-        spatial_threshold: t2,
-        unit_size: unit,
-    });
+    let result = mine_index(
+        &it,
+        &is,
+        &MiningConfig {
+            value_threshold: t1,
+            spatial_threshold: t2,
+            unit_size: unit,
+        },
+    );
     println!(
         "mined temperature x salinity on {nlon}x{nlat}x{ndepth}: {} pairs evaluated, {} pruned, {} subsets",
         result.pairs_evaluated, result.pairs_pruned, result.subsets.len()
@@ -317,7 +351,12 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     let (nlon, nlat, ndepth) = get_grid(flags, (128, 96, 2))?;
     let var_a = flags.get("var-a").ok_or("--var-a is required")?;
     let var_b = flags.get("var-b").ok_or("--var-b is required")?;
-    let cfg = OceanConfig { nlon, nlat, ndepth, ..Default::default() };
+    let cfg = OceanConfig {
+        nlon,
+        nlat,
+        ndepth,
+        ..Default::default()
+    };
     let ocean = OceanModel::new(cfg);
     let known = ibis::datagen::OCEAN_FIELDS;
     for v in [var_a, var_b] {

@@ -39,11 +39,21 @@ fn bad_flag_value_fails_cleanly() {
 fn query_subcommand_reports_relationship() {
     let out = ibis()
         .args([
-            "query", "--var-a", "temperature", "--var-b", "oxygen", "--grid", "32x24x2",
+            "query",
+            "--var-a",
+            "temperature",
+            "--var-b",
+            "oxygen",
+            "--grid",
+            "32x24x2",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("mutual information"));
     assert!(text.contains("Pearson"));
@@ -67,7 +77,11 @@ fn mine_subcommand_finds_subsets() {
         .args(["mine", "--grid", "64x48x1", "--top", "3"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("pairs evaluated"));
     assert!(text.contains("subsets"));
@@ -79,13 +93,16 @@ fn insitu_subcommand_persists_reloadable_indices() {
     std::fs::remove_dir_all(&dir).ok();
     let out = ibis()
         .args([
-            "insitu", "--sim", "heat3d", "--steps", "8", "--select", "2", "--cores", "4",
-            "--out",
+            "insitu", "--sim", "heat3d", "--steps", "8", "--select", "2", "--cores", "4", "--out",
         ])
         .arg(&dir)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("selected steps"));
     // the run directory is a valid store with one index per selected step

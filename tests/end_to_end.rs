@@ -12,7 +12,12 @@ use ibis::insitu::{
 };
 
 fn heat() -> Heat3DConfig {
-    Heat3DConfig { nx: 16, ny: 16, nz: 16, ..Heat3DConfig::tiny() }
+    Heat3DConfig {
+        nx: 16,
+        ny: 16,
+        nz: 16,
+        ..Heat3DConfig::tiny()
+    }
 }
 
 fn heat_pipeline(reduction: Reduction, allocation: CoreAllocation) -> PipelineConfig {
@@ -49,7 +54,10 @@ fn heat3d_selection_identical_across_methods_and_strategies() {
             Heat3D::new(heat()),
             &heat_pipeline(
                 Reduction::Bitmaps,
-                CoreAllocation::Separate { sim_cores: 4, bitmap_cores: 4 },
+                CoreAllocation::Separate {
+                    sim_cores: 4,
+                    bitmap_cores: 4,
+                },
             ),
             &disk,
         ),
@@ -92,7 +100,10 @@ fn lulesh_pipeline_with_twelve_variables() {
     let mut cfg_full = cfg.clone();
     cfg_full.reduction = Reduction::FullData;
     let rf = run_pipeline(MiniLulesh::new(lcfg), &cfg_full, &disk);
-    assert_eq!(rb.selected, rf.selected, "12-array EMD selection must agree");
+    assert_eq!(
+        rb.selected, rf.selected,
+        "12-array EMD selection must agree"
+    );
     assert!(rb.bytes_written < rf.bytes_written);
 }
 
@@ -115,7 +126,10 @@ fn sampling_changes_metrics_bitmaps_do_not() {
     let sampled = run_pipeline(
         Heat3D::new(heat()),
         &heat_pipeline(
-            Reduction::Sampling { percent: 5.0, method: SamplingMethod::Stride },
+            Reduction::Sampling {
+                percent: 5.0,
+                method: SamplingMethod::Stride,
+            },
             CoreAllocation::Shared,
         ),
         &disk,
@@ -129,7 +143,11 @@ fn auto_allocation_runs_and_balances() {
     let binners = vec![Binner::precision(-1.0, 101.0, 0)];
     let mut probe = Heat3D::new(heat());
     let alloc = auto_allocate(&mut probe, &binners, &machine, 8, 2);
-    let CoreAllocation::Separate { sim_cores, bitmap_cores } = alloc else {
+    let CoreAllocation::Separate {
+        sim_cores,
+        bitmap_cores,
+    } = alloc
+    else {
         panic!("auto allocation must split");
     };
     assert_eq!(sim_cores + bitmap_cores, 8);
@@ -141,7 +159,12 @@ fn auto_allocation_runs_and_balances() {
 
 #[test]
 fn cluster_selection_matches_single_node_pipeline() {
-    let hc = Heat3DConfig { nx: 12, ny: 12, nz: 12, ..Heat3DConfig::tiny() };
+    let hc = Heat3DConfig {
+        nx: 12,
+        ny: 12,
+        nz: 12,
+        ..Heat3DConfig::tiny()
+    };
     let base = ClusterConfig {
         nodes: 3,
         cores_per_node: 2,
@@ -158,7 +181,10 @@ fn cluster_selection_matches_single_node_pipeline() {
     };
     let cluster = run_cluster(&base);
     let single = run_cluster(&ClusterConfig { nodes: 1, ..base });
-    assert_eq!(cluster.selected, single.selected, "distribution must not change results");
+    assert_eq!(
+        cluster.selected, single.selected,
+        "distribution must not change results"
+    );
 }
 
 #[test]
@@ -188,7 +214,10 @@ fn queue_capacity_bounds_memory() {
     let mk = |cap: usize| {
         let mut cfg = heat_pipeline(
             Reduction::Bitmaps,
-            CoreAllocation::Separate { sim_cores: 4, bitmap_cores: 4 },
+            CoreAllocation::Separate {
+                sim_cores: 4,
+                bitmap_cores: 4,
+            },
         );
         cfg.queue_capacity = cap;
         cfg

@@ -21,8 +21,10 @@ fn heat3d_metrics_exact() {
     let steps = sim.run(6);
     let binner = Binner::precision(-1.0, 101.0, 1);
     let arrays: Vec<&[f64]> = steps.iter().map(|s| s.fields[0].data.as_slice()).collect();
-    let indexes: Vec<BitmapIndex> =
-        arrays.iter().map(|a| BitmapIndex::build(a, binner.clone())).collect();
+    let indexes: Vec<BitmapIndex> = arrays
+        .iter()
+        .map(|a| BitmapIndex::build(a, binner.clone()))
+        .collect();
     for i in 0..arrays.len() {
         assert_eq!(
             shannon_entropy_index(&indexes[i]),
@@ -92,7 +94,11 @@ fn ocean_mining_exact_in_zorder() {
     let s = z.reorder(&ocean.variable("salinity"));
     let bt = Binner::fit(&t, 16);
     let bs = Binner::fit(&s, 16);
-    let mc = MiningConfig { value_threshold: 0.002, spatial_threshold: 0.05, unit_size: 64 };
+    let mc = MiningConfig {
+        value_threshold: 0.002,
+        spatial_threshold: 0.05,
+        unit_size: 64,
+    };
     let from_bitmaps = mine_index(
         &BitmapIndex::build(&t, bt.clone()),
         &BitmapIndex::build(&s, bs.clone()),
@@ -101,7 +107,10 @@ fn ocean_mining_exact_in_zorder() {
     let from_full = mine_full(&t, &s, &bt, &bs, &mc);
     assert_eq!(from_bitmaps.subsets, from_full.subsets);
     assert_eq!(from_bitmaps.pairs_pruned, from_full.pairs_pruned);
-    assert!(!from_bitmaps.subsets.is_empty(), "planted correlation must surface");
+    assert!(
+        !from_bitmaps.subsets.is_empty(),
+        "planted correlation must surface"
+    );
 }
 
 #[test]
@@ -119,7 +128,10 @@ fn persisted_bitmaps_round_trip_and_stay_exact() {
     let sink = FileSink::new(&dir).unwrap();
     let mut paths = Vec::new();
     for (bin, vec) in ib.bins().iter().enumerate() {
-        paths.push(sink.write_blob(&format!("step1_bin{bin}.wah"), &codec::encode(vec)).unwrap());
+        paths.push(
+            sink.write_blob(&format!("step1_bin{bin}.wah"), &codec::encode(vec))
+                .unwrap(),
+        );
     }
     let reloaded: Vec<_> = paths
         .iter()

@@ -1,0 +1,262 @@
+//! Minimal `criterion` shim: genuine wall-clock measurement without the
+//! statistics machinery. Each benchmark auto-calibrates an iteration count
+//! to fill the group's measurement time, reports the per-iteration mean and
+//! a min/max spread over samples, and prints one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark timing summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Mean seconds per iteration over all samples.
+    pub mean_s: f64,
+    /// Fastest sample's seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample's seconds per iteration.
+    pub max_s: f64,
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored by this shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (ss, mt) = (self.sample_size, self.measurement_time);
+        run_bench("", id, ss, mt, f);
+        self
+    }
+
+    /// No-op hook for summary output parity with upstream.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl BenchId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(
+            &self.name,
+            &id.render(),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl BenchId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(
+            &self.name,
+            &id.render(),
+            self.sample_size,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Things usable as a benchmark identifier.
+pub trait BenchId {
+    /// The display string for reports.
+    fn render(&self) -> String;
+}
+
+impl BenchId for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl BenchId for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// Identifier shown as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl BenchId for BenchmarkId {
+    fn render(&self) -> String {
+        self.rendered.clone()
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the measuring.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count, one sample per call
+    /// into the benchmark closure body.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        self.samples
+            .push(dt.as_secs_f64() / self.iters_per_sample as f64);
+    }
+}
+
+fn run_bench(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    total: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    // Calibration: find an iteration count so one sample takes roughly
+    // total / sample_size.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut calib);
+    let one = calib.samples.first().copied().unwrap_or(1e-9).max(1e-9);
+    let per_sample = (total.as_secs_f64() / sample_size as f64).max(1e-4);
+    let iters = ((per_sample / one).round() as u64).clamp(1, 1_000_000_000);
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let s = summarize(&b.samples);
+    println!(
+        "bench: {label:<48} mean {:>12}  (min {}, max {}, {} iters x {} samples)",
+        fmt_time(s.mean_s),
+        fmt_time(s.min_s),
+        fmt_time(s.max_s),
+        iters,
+        sample_size,
+    );
+}
+
+fn summarize(samples: &[f64]) -> Sampled {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0, f64::max);
+    Sampled {
+        mean_s: mean,
+        min_s: min,
+        max_s: max,
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,207 @@
+//! Minimal `crossbeam` shim: MPMC channels backed by `std::sync::mpsc`
+//! behind a mutex-shared receiver (crossbeam receivers are cloneable;
+//! std's are not, so the receiving end is wrapped in `Arc<Mutex<..>>`).
+//! `bounded(0)` is a rendezvous channel, matching crossbeam semantics.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Creates a channel holding at most `cap` in-flight messages
+    /// (`cap == 0` is a rendezvous channel: every send blocks for a recv).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender(Inner::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(Inner::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    enum Inner<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Inner<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Inner::Bounded(tx) => Inner::Bounded(tx.clone()),
+                Inner::Unbounded(tx) => Inner::Unbounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Cloneable for multiple producers.
+    pub struct Sender<T>(Inner<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full. Errors
+        /// only when every receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Inner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Inner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel. Cloneable for multiple consumers;
+    /// each message is delivered to exactly one receiver.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn with_rx<R>(&self, f: impl FnOnce(&mpsc::Receiver<T>) -> R) -> R {
+            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            f(&guard)
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.with_rx(|rx| rx.recv()).map_err(|_| RecvError)
+        }
+
+        /// Attempts to receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.with_rx(|rx| rx.try_recv()).map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator that ends when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking receive iterator; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Owning receive iterator.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..): receiver disconnected")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("channel disconnected")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("channel disconnected")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_rendezvous_and_fifo() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|s| {
+                s.spawn(|| tx.send(2).unwrap());
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Ok(2));
+            });
+        }
+
+        #[test]
+        fn iter_drains_until_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn receivers_share_the_stream() {
+            let (tx, rx1) = unbounded::<u32>();
+            let rx2 = rx1.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            let a = rx1.try_recv();
+            let b = rx2.try_recv();
+            assert!(
+                a.is_ok() != b.is_ok(),
+                "exactly one receiver gets the message"
+            );
+        }
+    }
+}

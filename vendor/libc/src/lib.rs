@@ -1,0 +1,30 @@
+//! Minimal libc shim: just the thread-CPU clock surface used by
+//! `ibis-insitu::machine`. The declarations match the Linux/glibc ABI for
+//! 64-bit targets, which is the only environment this workspace targets.
+#![no_std]
+#![allow(non_camel_case_types)]
+
+/// POSIX clock identifier.
+pub type clockid_t = i32;
+/// Seconds component of [`timespec`].
+pub type time_t = i64;
+/// Nanoseconds component of [`timespec`].
+pub type c_long = i64;
+
+/// `struct timespec` as defined by the 64-bit Linux ABI.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+/// Per-thread CPU-time clock (Linux value).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    /// Reads `clk_id` into `tp`; returns 0 on success.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> i32;
+}

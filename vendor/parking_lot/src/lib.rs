@@ -1,0 +1,36 @@
+//! Minimal `parking_lot` shim over `std::sync::Mutex`.
+//!
+//! The only API this workspace uses is `Mutex::new` + infallible
+//! `Mutex::lock`. Lock poisoning is deliberately ignored (parking_lot has no
+//! poisoning either): a poisoned std mutex yields its inner guard.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with parking_lot's infallible `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never panics on
+    /// poisoning — matching parking_lot, which has no poison state.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,479 @@
+//! Minimal `rayon` shim with *real* parallelism.
+//!
+//! Parallel iterators materialize their base items (references, chunks, or
+//! indices — always cheap relative to the per-item work), compose the
+//! map/zip/enumerate pipeline as plain closures, and drive terminal
+//! operations (`for_each`, `reduce`, `collect`) on `std::thread::scope`
+//! workers over contiguous chunks. Order-sensitive consumers (`collect`)
+//! preserve input order; `reduce` combines per-chunk partials left-to-right,
+//! so associative operators give the same grouping guarantees as upstream
+//! rayon (deterministic only for associative+commutative-safe ops).
+//!
+//! Pool semantics: `ThreadPool::install` sets a thread-local width that
+//! parallel drives consult, so `num_threads(1)` pools genuinely serialize —
+//! the in-situ timing model depends on that.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// 0 = unset (use host parallelism); otherwise the installed pool width.
+    static WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn host_width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The number of threads parallel drives would use right now.
+pub fn current_num_threads() -> usize {
+    let w = WIDTH.get();
+    if w == 0 {
+        host_width()
+    } else {
+        w
+    }
+}
+
+/// Restores the previous thread-local width on drop (panic-safe).
+struct WidthGuard(usize);
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        WIDTH.set(self.0);
+    }
+}
+
+/// A fixed-width pool handle. Threads are not retained between drives; the
+/// handle carries the width that scoped drives honour inside `install`.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `op` with this pool's width governing nested parallel drives.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = WidthGuard(WIDTH.replace(self.width));
+        op()
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`'s subset used here.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (host) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width; 0 means host parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim; the `Result` mirrors the
+    /// upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            host_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// Upstream-compatible error type (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Splits `items` into at most `parts` contiguous runs, preserving order.
+fn split_vec<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    while items.len() > chunk {
+        let rest = items.split_off(chunk);
+        out.push(std::mem::replace(&mut items, rest));
+    }
+    out.push(items);
+    out
+}
+
+/// Runs `work` over contiguous chunks of `items` on scoped threads and
+/// returns the per-chunk results in order. Panics propagate to the caller.
+fn drive_chunks<B, R>(items: Vec<B>, work: &(impl Fn(Vec<B>) -> R + Sync)) -> Vec<R>
+where
+    B: Send,
+    R: Send,
+{
+    let width = current_num_threads();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if width <= 1 || items.len() <= 1 {
+        return vec![work(items)];
+    }
+    let chunks = split_vec(items, width);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    // Nested drives inside a worker run serially; the outer
+                    // drive already owns the width budget.
+                    let _guard = WidthGuard(WIDTH.replace(1));
+                    work(chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+fn ident<T>(t: T) -> T {
+    t
+}
+
+/// A parallel pipeline: materialized base items plus a composed per-item
+/// transform applied on worker threads at drive time.
+pub struct ParPipe<B, T, F> {
+    base: Vec<B>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> T>,
+}
+
+fn pipe<B, T, F: Fn(B) -> T>(base: Vec<B>, f: F) -> ParPipe<B, T, F> {
+    ParPipe {
+        base,
+        f,
+        _out: std::marker::PhantomData,
+    }
+}
+
+impl<B: Send> ParPipe<B, B, fn(B) -> B> {
+    fn identity(base: Vec<B>) -> Self {
+        pipe(base, ident::<B>)
+    }
+}
+
+impl<B, T, F> ParPipe<B, T, F>
+where
+    B: Send,
+    T: Send,
+    F: Fn(B) -> T + Sync,
+{
+    /// Maps each item through `g` (applied on worker threads).
+    pub fn map<U, G>(self, g: G) -> ParPipe<B, U, impl Fn(B) -> U + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let ParPipe { base, f, .. } = self;
+        pipe(base, move |b| g(f(b)))
+    }
+
+    /// Pairs items with their input position.
+    pub fn enumerate(
+        self,
+    ) -> ParPipe<(usize, B), (usize, T), impl Fn((usize, B)) -> (usize, T) + Sync> {
+        let ParPipe { base, f, .. } = self;
+        let base: Vec<(usize, B)> = base.into_iter().enumerate().collect();
+        pipe(base, move |(i, b)| (i, f(b)))
+    }
+
+    /// Zips with another pipeline, truncating to the shorter side.
+    pub fn zip<B2, T2, F2>(
+        self,
+        other: ParPipe<B2, T2, F2>,
+    ) -> ParPipe<(B, B2), (T, T2), impl Fn((B, B2)) -> (T, T2) + Sync>
+    where
+        B2: Send,
+        T2: Send,
+        F2: Fn(B2) -> T2 + Sync,
+    {
+        let base: Vec<(B, B2)> = self.base.into_iter().zip(other.base).collect();
+        let (f1, f2) = (self.f, other.f);
+        pipe(base, move |(a, b)| (f1(a), f2(b)))
+    }
+
+    /// Applies `g` to every item in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let f = self.f;
+        drive_chunks(self.base, &|chunk: Vec<B>| {
+            for b in chunk {
+                g(f(b));
+            }
+        });
+    }
+
+    /// Parallel fold: each chunk folds from `identity()`, partials combine
+    /// left-to-right. `op` must be associative, as with upstream rayon.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let f = self.f;
+        let partials = drive_chunks(self.base, &|chunk: Vec<B>| {
+            let mut acc = identity();
+            for b in chunk {
+                acc = op(acc, f(b));
+            }
+            acc
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Collects into `C`, preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let f = self.f;
+        let parts = drive_chunks(self.base, &|chunk: Vec<B>| {
+            chunk.into_iter().map(&f).collect::<Vec<T>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums the items in parallel (associative reduction).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let f = self.f;
+        let parts = drive_chunks(self.base, &|chunk: Vec<B>| {
+            chunk.into_iter().map(&f).sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel pipeline (subset of upstream trait).
+pub trait IntoParallelIterator {
+    /// Item type yielded by the pipeline.
+    type Item: Send;
+    /// Concrete pipeline type.
+    type Iter;
+    /// Builds the pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParPipe<T, T, fn(T) -> T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParPipe::identity(self)
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParPipe<usize, usize, fn(usize) -> usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParPipe::identity(self.collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParPipe<&'a T, &'a T, fn(&'a T) -> &'a T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParPipe::identity(self.iter().collect())
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParPipe<&'a mut T, &'a mut T, fn(&'a mut T) -> &'a mut T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParPipe::identity(self.iter_mut().collect())
+    }
+}
+
+/// Multi-zip over three mutable vectors (rayon's tuple `IntoParallelIterator`).
+impl<'a, A: Send, B: Send, C: Send> IntoParallelIterator
+    for (&'a mut Vec<A>, &'a mut Vec<B>, &'a mut Vec<C>)
+{
+    type Item = (&'a mut A, &'a mut B, &'a mut C);
+    type Iter = ParPipe<Self::Item, Self::Item, fn(Self::Item) -> Self::Item>;
+    fn into_par_iter(self) -> Self::Iter {
+        let base: Vec<Self::Item> = self
+            .0
+            .iter_mut()
+            .zip(self.1.iter_mut().zip(self.2.iter_mut()))
+            .map(|(a, (b, c))| (a, b, c))
+            .collect();
+        ParPipe::identity(base)
+    }
+}
+
+/// `par_iter` / `par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter<'a>(&'a self) -> ParPipe<&'a T, &'a T, fn(&'a T) -> &'a T>;
+    /// Parallel iterator over `size`-sized chunks (last may be shorter).
+    fn par_chunks<'a>(&'a self, size: usize) -> ParPipe<&'a [T], &'a [T], fn(&'a [T]) -> &'a [T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter<'a>(&'a self) -> ParPipe<&'a T, &'a T, fn(&'a T) -> &'a T> {
+        ParPipe::identity(self.iter().collect())
+    }
+    fn par_chunks<'a>(&'a self, size: usize) -> ParPipe<&'a [T], &'a [T], fn(&'a [T]) -> &'a [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParPipe::identity(self.chunks(size).collect())
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut<'a>(&'a mut self) -> ParPipe<&'a mut T, &'a mut T, fn(&'a mut T) -> &'a mut T>;
+    /// Parallel iterator over exclusive `size`-sized chunks.
+    fn par_chunks_mut<'a>(
+        &'a mut self,
+        size: usize,
+    ) -> ParPipe<&'a mut [T], &'a mut [T], fn(&'a mut [T]) -> &'a mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut<'a>(&'a mut self) -> ParPipe<&'a mut T, &'a mut T, fn(&'a mut T) -> &'a mut T> {
+        ParPipe::identity(self.iter_mut().collect())
+    }
+    fn par_chunks_mut<'a>(
+        &'a mut self,
+        size: usize,
+    ) -> ParPipe<&'a mut [T], &'a mut [T], fn(&'a mut [T]) -> &'a mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParPipe::identity(self.chunks_mut(size).collect())
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let data: Vec<u64> = (0..100_000).collect();
+        let total = data
+            .par_chunks(1024)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item() {
+        let mut data = vec![0u32; 5000];
+        data.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn zip_pairs_in_lockstep() {
+        let a = vec![1u32, 2, 3, 4];
+        let b = vec![10u32, 20, 30, 40];
+        let s: Vec<u32> = a
+            .par_chunks(2)
+            .zip(b.par_chunks(2))
+            .map(|(x, y)| x[0] + y[0])
+            .collect();
+        assert_eq!(s, vec![11, 33]);
+    }
+
+    #[test]
+    fn one_thread_pool_runs_serially() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let main_id = std::thread::current().id();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            (0..64).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), main_id);
+            });
+        });
+    }
+
+    #[test]
+    fn wide_pool_actually_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let distinct = AtomicUsize::new(0);
+        let main_id = std::thread::current().id();
+        pool.install(|| {
+            (0..1024).into_par_iter().for_each(|_| {
+                if std::thread::current().id() != main_id {
+                    distinct.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        if host_width() > 1 {
+            assert!(
+                distinct.load(Ordering::Relaxed) > 0,
+                "no parallel execution happened"
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_multizip() {
+        let mut a = vec![1.0f64; 8];
+        let mut b = vec![2.0f64; 8];
+        let mut c = vec![3.0f64; 8];
+        (&mut a, &mut b, &mut c)
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, (x, y, z))| {
+                *x = i as f64;
+                *y = *x + 1.0;
+                *z = *y + 1.0;
+            });
+        assert_eq!(a[7], 7.0);
+        assert_eq!(b[7], 8.0);
+        assert_eq!(c[7], 9.0);
+    }
+}
