@@ -17,7 +17,8 @@ use ibis_core::{Binner, BitmapIndex, MultiLevelIndex, ZOrderLayout};
 use ibis_datagen::{Heat3D, MiniLulesh, OceanConfig, OceanModel, Simulation, StepOutput};
 use ibis_insitu::{
     auto_allocate, run_cluster, run_pipeline, ClusterConfig, ClusterIo, ClusterReduction,
-    CoreAllocation, InsituReport, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
+    CoreAllocation, InsituReport, LocalDisk, MachineModel, PipelineConfig, Reduction,
+    RobustnessConfig, ScalingModel,
 };
 use std::time::Instant;
 
@@ -44,6 +45,7 @@ fn base_pipeline(
         per_step_precision: None,
         queue_capacity: 4,
         sim_scaling,
+        robustness: RobustnessConfig::default(),
     }
 }
 
@@ -94,7 +96,7 @@ fn core_sweep<F>(
                 sim_scaling,
             );
             let disk = LocalDisk::new(machine.disk_bw);
-            let r = run_pipeline(make_sim(), &cfg, &disk);
+            let r = run_pipeline(make_sim(), &cfg, &disk).expect("clean run");
             reports.push((label, r));
         }
         let full_total = reports[1].1.total_modeled;
@@ -211,7 +213,7 @@ pub fn fig11() {
             ScalingModel::heat3d(),
         );
         let disk = LocalDisk::new(1e9);
-        run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk)
+        run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk).expect("clean run")
     };
     let hb = run_heat(Reduction::Bitmaps);
     let hf = run_heat(Reduction::FullData);
@@ -237,7 +239,7 @@ pub fn fig11() {
             ScalingModel::lulesh(),
         );
         let disk = LocalDisk::new(1e9);
-        run_pipeline(MiniLulesh::new(lcfg.clone()), &cfg, &disk)
+        run_pipeline(MiniLulesh::new(lcfg.clone()), &cfg, &disk).expect("clean run")
     };
     let lb = run_lul(Reduction::Bitmaps);
     let lf = run_lul(Reduction::FullData);
@@ -282,7 +284,7 @@ pub fn fig12() {
             scaling,
         );
         let disk = LocalDisk::new(machine.disk_bw);
-        let shared = run_pipeline(make_sim(), &base, &disk);
+        let shared = run_pipeline(make_sim(), &base, &disk).expect("clean run");
         fig.row(&[
             &name,
             &"c_all",
@@ -297,7 +299,7 @@ pub fn fig12() {
                 bitmap_cores: bm_c,
             };
             let disk = LocalDisk::new(machine.disk_bw);
-            let r = run_pipeline(make_sim(), &cfg, &disk);
+            let r = run_pipeline(make_sim(), &cfg, &disk).expect("clean run");
             fig.row(&[
                 &name,
                 &format!("c{sim_c}_c{bm_c}"),
@@ -319,7 +321,7 @@ pub fn fig12() {
         let mut cfg = base.clone();
         cfg.allocation = alloc;
         let disk = LocalDisk::new(machine.disk_bw);
-        let r = run_pipeline(make_sim(), &cfg, &disk);
+        let r = run_pipeline(make_sim(), &cfg, &disk).expect("clean run");
         fig.row(&[
             &name,
             &format!("auto c{sim_cores}_c{bitmap_cores}"),
@@ -402,6 +404,8 @@ pub fn fig13() {
             io: ClusterIo::Local,
             remote_bw,
             sim_scaling: ScalingModel::heat3d(),
+            robustness: RobustnessConfig::default(),
+            coordinator_timeout: std::time::Duration::from_secs(60),
         };
         for io in [ClusterIo::Local, ClusterIo::Remote] {
             let mut totals = Vec::new();
@@ -411,7 +415,7 @@ pub fn fig13() {
                     io,
                     ..base.clone()
                 };
-                let r = run_cluster(&cfg);
+                let r = run_cluster(&cfg).expect("clean run");
                 totals.push((reduction, r));
             }
             let full_total = totals[1].1.total_modeled;
@@ -556,7 +560,7 @@ pub fn fig15() {
             ScalingModel::heat3d(),
         );
         let disk = LocalDisk::new(machine.disk_bw);
-        let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk).expect("clean run");
         fig.row(&[
             &label,
             &secs(r.phases.simulate),

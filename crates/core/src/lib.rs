@@ -42,5 +42,5 @@ pub use kernels::{DenseBits, PreparedOperand, WahStats};
 pub use multilevel::MultiLevelIndex;
 pub use parallel::{aligned_partition, build_index_parallel};
 pub use verbatim::{build_index_two_phase, Bitset};
-pub use wah::WahVec;
+pub use wah::{RawWahError, WahVec};
 pub use zorder::ZOrderLayout;

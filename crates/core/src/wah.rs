@@ -73,6 +73,78 @@ pub fn make_fill(bit: bool, nbits: u64) -> u32 {
     (if bit { ONE_FILL } else { ZERO_FILL }) | nbits as u32
 }
 
+/// Why a raw word stream fails [`WahVec::try_from_raw`] validation. A
+/// decoder that executes such a stream anyway would read out of bounds or
+/// mis-count runs, so every variant must be rejected before construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawWahError {
+    /// A fill word with a zero or non-segment-aligned run length.
+    MalformedFill {
+        /// Index of the offending word.
+        word: usize,
+    },
+    /// A fill word whose run extends past the declared bit length.
+    OverlongFill {
+        /// Index of the offending word.
+        word: usize,
+        /// Bits covered before this word.
+        covered: u64,
+        /// Run length the fill claims.
+        run_bits: u64,
+        /// Declared total bit length.
+        len_bits: u64,
+    },
+    /// A literal word with bits set beyond the tail mask.
+    UnmaskedLiteral {
+        /// Index of the offending word.
+        word: usize,
+    },
+    /// Words continue after the declared bit length was already covered.
+    TrailingWords {
+        /// Index of the first excess word.
+        word: usize,
+    },
+    /// The words end before covering the declared bit length.
+    ShortWords {
+        /// Bits the words actually cover.
+        covered: u64,
+        /// Declared total bit length.
+        len_bits: u64,
+    },
+}
+
+impl std::fmt::Display for RawWahError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RawWahError::MalformedFill { word } => {
+                write!(f, "word {word}: fill with zero or misaligned run length")
+            }
+            RawWahError::OverlongFill {
+                word,
+                covered,
+                run_bits,
+                len_bits,
+            } => write!(
+                f,
+                "word {word}: fill of {run_bits} bits at offset {covered} \
+                 overruns the declared length {len_bits}"
+            ),
+            RawWahError::UnmaskedLiteral { word } => {
+                write!(f, "word {word}: literal with bits beyond the tail mask")
+            }
+            RawWahError::TrailingWords { word } => {
+                write!(f, "word {word}: words continue past the declared length")
+            }
+            RawWahError::ShortWords { covered, len_bits } => write!(
+                f,
+                "words cover only {covered} of the declared {len_bits} bits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RawWahError {}
+
 /// A WAH-compressed bitvector.
 ///
 /// `WahVec` is the compressed bitvector produced by the paper's streaming
@@ -183,15 +255,30 @@ impl WahVec {
     /// (deserialization). Returns `None` unless the words cover exactly
     /// `len_bits` bits with well-formed fills and masked literals.
     pub fn from_raw(words: Vec<u32>, len_bits: u64) -> Option<Self> {
+        Self::try_from_raw(words, len_bits).ok()
+    }
+
+    /// [`WahVec::from_raw`] with a typed verdict on *why* the words are
+    /// malformed — the distinction a robust decoder needs to report
+    /// adversarial or torn inputs instead of collapsing them into `None`.
+    pub fn try_from_raw(words: Vec<u32>, len_bits: u64) -> Result<Self, RawWahError> {
         let mut covered = 0u64;
-        for &w in &words {
+        for (i, &w) in words.iter().enumerate() {
             if covered >= len_bits {
-                return None; // words extend past the declared length
+                return Err(RawWahError::TrailingWords { word: i });
             }
             if is_fill(w) {
                 let n = fill_bits(w);
-                if n == 0 || !n.is_multiple_of(SEG_BITS) || covered + n > len_bits {
-                    return None;
+                if n == 0 || !n.is_multiple_of(SEG_BITS) {
+                    return Err(RawWahError::MalformedFill { word: i });
+                }
+                if covered + n > len_bits {
+                    return Err(RawWahError::OverlongFill {
+                        word: i,
+                        covered,
+                        run_bits: n,
+                        len_bits,
+                    });
                 }
                 covered += n;
             } else {
@@ -202,12 +289,15 @@ impl WahVec {
                     (1u32 << nbits) - 1
                 };
                 if w & !mask != 0 {
-                    return None;
+                    return Err(RawWahError::UnmaskedLiteral { word: i });
                 }
                 covered += nbits;
             }
         }
-        (covered == len_bits).then_some(WahVec {
+        if covered != len_bits {
+            return Err(RawWahError::ShortWords { covered, len_bits });
+        }
+        Ok(WahVec {
             words,
             len_bits,
             stats: OnceLock::new(),

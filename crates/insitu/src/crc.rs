@@ -1,0 +1,100 @@
+//! CRC32-C (Castagnoli) — the integrity checksum of store format v2.
+//!
+//! Software table implementation (reflected polynomial `0x82F63B78`), the
+//! same CRC SSE4.2's `crc32` instruction and most storage systems
+//! (iSCSI, ext4, Btrfs) compute, so stored checksums remain meaningful to
+//! external tooling.
+
+/// The reflected Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32-C of `bytes`.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    crc32c_append(0, bytes)
+}
+
+/// Continues a CRC32-C over more bytes (for incremental checksumming).
+pub fn crc32c_append(crc: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Little-endian `u32` from the first 4 bytes of `b`; missing bytes read
+/// as zero, so short input cannot panic (callers length-check first).
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u32::from_le_bytes(a)
+}
+
+/// Little-endian `u64` from the first 8 bytes of `b`; same contract as
+/// [`le_u32`].
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u64::from_le_bytes(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / iSCSI test vectors
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let oneshot = crc32c(&data);
+        let mut inc = 0;
+        for chunk in data.chunks(7) {
+            inc = crc32c_append(inc, chunk);
+        }
+        assert_eq!(inc, oneshot);
+    }
+
+    #[test]
+    fn single_byte_flip_changes_crc() {
+        let data = vec![7u8; 100];
+        let base = crc32c(&data);
+        for i in [0usize, 50, 99] {
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(crc32c(&flipped), base, "flip at {i} must be detected");
+        }
+    }
+}

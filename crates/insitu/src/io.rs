@@ -5,21 +5,53 @@
 //! case, and for the cluster's shared remote data server we serialize
 //! transfers through a single contended link ([`RemoteLink`]), which is
 //! what produces the Figure 13 remote-case speedups. [`FileSink`] writes
-//! real bytes for the examples.
+//! real bytes for the examples — atomically (temp file + rename), so a
+//! crash mid-write never leaves a half-written blob under its final name.
+//!
+//! All writes are fallible: [`Storage::write`] returns a typed
+//! [`StorageError`] instead of panicking, and the pipeline routes every
+//! write through [`crate::retry::write_with_retry`].
 
+use crate::error::DecodeError;
+use crate::fault::{FaultInjector, WriteFault};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a storage target rejected a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    /// The storage target's description.
+    pub site: String,
+    /// What went wrong.
+    pub message: String,
+    /// Whether a retry may succeed.
+    pub transient: bool,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for StorageError {}
 
 /// A storage target with modeled write cost.
 pub trait Storage: Send + Sync {
     /// Records a write of `bytes` starting at pipeline time `now` (seconds);
     /// returns the seconds until the write completes (including any queueing
-    /// behind other writers).
-    fn write(&self, now: f64, bytes: u64) -> f64;
+    /// behind other writers), or a typed error when the target rejects it.
+    fn write(&self, now: f64, bytes: u64) -> Result<f64, StorageError>;
 
     /// Total bytes accepted so far.
     fn bytes_written(&self) -> u64;
+
+    /// Human-readable description of the target, used in error reports.
+    fn describe(&self) -> String {
+        "storage".to_string()
+    }
 }
 
 /// A node-local disk with fixed bandwidth: no contention between nodes.
@@ -41,13 +73,17 @@ impl LocalDisk {
 }
 
 impl Storage for LocalDisk {
-    fn write(&self, _now: f64, bytes: u64) -> f64 {
+    fn write(&self, _now: f64, bytes: u64) -> Result<f64, StorageError> {
         *self.written.lock() += bytes;
-        bytes as f64 / self.bw
+        Ok(bytes as f64 / self.bw)
     }
 
     fn bytes_written(&self) -> u64 {
         *self.written.lock()
+    }
+
+    fn describe(&self) -> String {
+        "local disk".to_string()
     }
 }
 
@@ -80,26 +116,38 @@ impl RemoteLink {
 }
 
 impl Storage for RemoteLink {
-    fn write(&self, now: f64, bytes: u64) -> f64 {
+    fn write(&self, now: f64, bytes: u64) -> Result<f64, StorageError> {
         let mut st = self.state.lock();
         let start = st.busy_until.max(now);
         let end = start + bytes as f64 / self.bw;
         st.busy_until = end;
         st.written += bytes;
-        end - now
+        Ok(end - now)
     }
 
     fn bytes_written(&self) -> u64 {
         self.state.lock().written
     }
+
+    fn describe(&self) -> String {
+        "remote link".to_string()
+    }
 }
 
 /// A real on-disk sink (used by the examples to demonstrate that selected
 /// bitmaps are genuinely persisted and reloadable).
+///
+/// Writes are atomic — bytes land in `<name>.tmp` first and are renamed
+/// over the final name only when complete — and transient failures
+/// (injected or real) are retried up to a small fixed budget. Retries do
+/// not sleep: backoff is a property of the *modeled* pipeline clock, not
+/// of the host.
 #[derive(Debug)]
 pub struct FileSink {
     dir: PathBuf,
     written: Mutex<u64>,
+    injector: Option<Arc<FaultInjector>>,
+    max_attempts: u32,
 }
 
 impl FileSink {
@@ -109,16 +157,50 @@ impl FileSink {
         Ok(FileSink {
             dir: dir.as_ref().to_path_buf(),
             written: Mutex::new(0),
+            injector: None,
+            max_attempts: 4,
         })
     }
 
-    /// Writes one named blob; returns its path.
+    /// Routes this sink's writes through a fault injector (testing).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Writes one named blob atomically; returns its path. Transient
+    /// failures are retried; a torn write leaves at most a `.tmp` file,
+    /// never a truncated blob under the final name.
     pub fn write_blob(&self, name: &str, bytes: &[u8]) -> std::io::Result<PathBuf> {
         let path = self.dir.join(name);
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(bytes)?;
-        *self.written.lock() += bytes.len() as u64;
-        Ok(path)
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let op = self.injector.as_ref().map(|i| i.begin_write());
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..self.max_attempts {
+            if let (Some(inj), Some(op)) = (self.injector.as_deref(), op) {
+                match inj.write_fault_for(op, attempt) {
+                    Some(WriteFault::IoError) => {
+                        last_err = Some(std::io::Error::other("injected I/O error"));
+                        continue;
+                    }
+                    Some(WriteFault::Torn) => {
+                        // a real torn transfer: half the bytes, then death
+                        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+                        last_err = Some(std::io::Error::other("injected torn write"));
+                        continue;
+                    }
+                    Some(WriteFault::DelayedAck(_)) | None => {}
+                }
+            }
+            match write_atomic(&tmp, &path, bytes) {
+                Ok(()) => {
+                    *self.written.lock() += bytes.len() as u64;
+                    return Ok(path);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("write failed")))
     }
 
     /// Total bytes physically written.
@@ -127,9 +209,25 @@ impl FileSink {
     }
 }
 
+/// Writes `bytes` to `tmp`, syncs, and renames onto `path` — the atomic
+/// write primitive the sink and the store share. On any failure the final
+/// name is untouched.
+pub(crate) fn write_atomic(tmp: &Path, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(tmp, path)
+}
+
 /// Serializes a WAH bitvector into a portable byte blob (little-endian
 /// `len` + words) and back — the on-disk format for selected bitmaps.
+///
+/// Decoding is *total*: any byte string either decodes to a valid value or
+/// yields a typed [`DecodeError`]; no input panics the decoder (the
+/// adversarial property tests feed it arbitrary mutations of valid blobs).
 pub mod codec {
+    use super::DecodeError;
     use ibis_core::{Binner, BinnerSpec, BitmapIndex, WahVec};
 
     const INDEX_MAGIC: &[u8; 4] = b"IBIS";
@@ -167,15 +265,17 @@ pub mod codec {
         out
     }
 
-    /// Decodes an index blob; `None` on any malformation (bad magic /
-    /// version / truncation / inconsistent bitvectors).
-    pub fn decode_index(bytes: &[u8]) -> Option<BitmapIndex> {
+    /// Decodes an index blob, reporting exactly how a malformed blob fails
+    /// (bad magic / version / truncation / bad binner / malformed
+    /// bitvectors / trailing bytes).
+    pub fn decode_index(bytes: &[u8]) -> Result<BitmapIndex, DecodeError> {
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != INDEX_MAGIC.as_slice() {
-            return None;
+            return Err(DecodeError::BadMagic);
         }
-        if r.u32()? != INDEX_VERSION {
-            return None;
+        let version = r.u32()?;
+        if version != INDEX_VERSION {
+            return Err(DecodeError::BadVersion(version));
         }
         let spec = match r.u8()? {
             0 => BinnerSpec::Width {
@@ -186,31 +286,34 @@ pub mod codec {
             1 => {
                 let count = r.u64()? as usize;
                 if count < 2 || count > bytes.len() / 8 + 2 {
-                    return None;
+                    return Err(DecodeError::BadBinner);
                 }
                 let mut edges = Vec::with_capacity(count);
                 for _ in 0..count {
                     edges.push(r.f64()?);
                 }
                 if !edges.windows(2).all(|w| w[0] < w[1]) {
-                    return None;
+                    return Err(DecodeError::BadBinner);
                 }
                 BinnerSpec::Edges(edges)
             }
-            _ => return None,
+            _ => return Err(DecodeError::BadBinner),
         };
         // from_spec panics on garbage; validate the width variant first
         if let BinnerSpec::Width { min, width, nbins } = &spec {
             let width_ok = width.is_finite() && *width > 0.0;
             if !min.is_finite() || !width_ok || *nbins == 0 {
-                return None;
+                return Err(DecodeError::BadBinner);
             }
         }
         let binner = Binner::from_spec(spec);
         let len = r.u64()?;
         let nbins = r.u64()? as usize;
         if nbins != binner.nbins() {
-            return None;
+            return Err(DecodeError::BinCountMismatch {
+                expected: binner.nbins(),
+                got: nbins,
+            });
         }
         let mut bins = Vec::with_capacity(nbins);
         for _ in 0..nbins {
@@ -218,14 +321,19 @@ pub mod codec {
             let blob = r.take(blen)?;
             let v = decode(blob)?;
             if v.len() != len {
-                return None;
+                return Err(DecodeError::LengthMismatch {
+                    expected: len,
+                    got: v.len(),
+                });
             }
             bins.push(v);
         }
         if r.pos != bytes.len() {
-            return None; // trailing garbage
+            return Err(DecodeError::TrailingBytes {
+                extra: bytes.len() - r.pos,
+            });
         }
-        Some(BitmapIndex::from_bins(binner, bins))
+        Ok(BitmapIndex::from_bins(binner, bins))
     }
 
     struct Reader<'a> {
@@ -234,27 +342,36 @@ pub mod codec {
     }
 
     impl<'a> Reader<'a> {
-        fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-            let end = self.pos.checked_add(n)?;
-            let s = self.bytes.get(self.pos..end)?;
+        fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+            let truncated = DecodeError::Truncated { at: self.pos };
+            let end = self.pos.checked_add(n).ok_or(truncated.clone())?;
+            let s = self.bytes.get(self.pos..end).ok_or(truncated)?;
             self.pos = end;
-            Some(s)
+            Ok(s)
         }
 
-        fn u8(&mut self) -> Option<u8> {
-            Some(self.take(1)?[0])
+        fn u8(&mut self) -> Result<u8, DecodeError> {
+            Ok(self.take(1)?[0])
         }
 
-        fn u32(&mut self) -> Option<u32> {
-            Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+        fn u32(&mut self) -> Result<u32, DecodeError> {
+            let at = self.pos;
+            let b = self.take(4)?;
+            b.try_into()
+                .map(u32::from_le_bytes)
+                .map_err(|_| DecodeError::Truncated { at })
         }
 
-        fn u64(&mut self) -> Option<u64> {
-            Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+        fn u64(&mut self) -> Result<u64, DecodeError> {
+            let at = self.pos;
+            let b = self.take(8)?;
+            b.try_into()
+                .map(u64::from_le_bytes)
+                .map_err(|_| DecodeError::Truncated { at })
         }
 
-        fn f64(&mut self) -> Option<f64> {
-            Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+        fn f64(&mut self) -> Result<f64, DecodeError> {
+            Ok(f64::from_bits(self.u64()?))
         }
     }
 
@@ -270,20 +387,41 @@ pub mod codec {
         out
     }
 
-    /// Decodes a bitvector; returns `None` on malformed input.
-    pub fn decode(bytes: &[u8]) -> Option<WahVec> {
+    /// Decodes a bitvector, reporting the typed malformation on failure
+    /// (truncation, trailing bytes, or a malformed word stream such as an
+    /// overlong fill).
+    pub fn decode(bytes: &[u8]) -> Result<WahVec, DecodeError> {
         if bytes.len() < 12 {
-            return None;
+            return Err(DecodeError::Truncated { at: bytes.len() });
         }
-        let len = u64::from_le_bytes(bytes[..8].try_into().ok()?);
-        let nwords = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
-        if bytes.len() != 12 + nwords * 4 {
-            return None;
+        let len = u64::from_le_bytes(
+            bytes[..8]
+                .try_into()
+                .map_err(|_| DecodeError::Truncated { at: 0 })?,
+        );
+        let nwords = u32::from_le_bytes(
+            bytes[8..12]
+                .try_into()
+                .map_err(|_| DecodeError::Truncated { at: 8 })?,
+        ) as usize;
+        let body = nwords
+            .checked_mul(4)
+            .and_then(|n| n.checked_add(12))
+            .ok_or(DecodeError::Truncated { at: 12 })?;
+        match bytes.len().cmp(&body) {
+            std::cmp::Ordering::Less => return Err(DecodeError::Truncated { at: bytes.len() }),
+            std::cmp::Ordering::Greater => {
+                return Err(DecodeError::TrailingBytes {
+                    extra: bytes.len() - body,
+                })
+            }
+            std::cmp::Ordering::Equal => {}
         }
-        let words: Vec<u32> = (0..nwords)
-            .map(|i| u32::from_le_bytes(bytes[12 + i * 4..16 + i * 4].try_into().unwrap()))
+        let words: Vec<u32> = bytes[12..body]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        WahVec::from_raw(words, len)
+        WahVec::try_from_raw(words, len).map_err(DecodeError::BadBitvector)
     }
 }
 
@@ -295,8 +433,12 @@ mod tests {
     #[test]
     fn local_disk_time_is_linear() {
         let d = LocalDisk::new(100.0);
-        assert_eq!(d.write(0.0, 500), 5.0);
-        assert_eq!(d.write(100.0, 500), 5.0, "no contention on local disk");
+        assert_eq!(d.write(0.0, 500).unwrap(), 5.0);
+        assert_eq!(
+            d.write(100.0, 500).unwrap(),
+            5.0,
+            "no contention on local disk"
+        );
         assert_eq!(d.bytes_written(), 1000);
     }
 
@@ -304,12 +446,12 @@ mod tests {
     fn remote_link_serializes_concurrent_writers() {
         let l = RemoteLink::new(100.0);
         // two writers arrive at t=0: the second queues behind the first
-        let t1 = l.write(0.0, 500);
-        let t2 = l.write(0.0, 500);
+        let t1 = l.write(0.0, 500).unwrap();
+        let t2 = l.write(0.0, 500).unwrap();
         assert_eq!(t1, 5.0);
         assert_eq!(t2, 10.0, "second writer waits for the first");
         // a writer arriving after the link drained sees no queue
-        let t3 = l.write(20.0, 100);
+        let t3 = l.write(20.0, 100).unwrap();
         assert_eq!(t3, 1.0);
         assert_eq!(l.bytes_written(), 1100);
     }
@@ -329,12 +471,83 @@ mod tests {
     }
 
     #[test]
+    fn file_sink_survives_torn_write_via_retry() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dir = std::env::temp_dir().join("ibis-test-sink-torn");
+        std::fs::remove_dir_all(&dir).ok();
+        let inj = std::sync::Arc::new(FaultInjector::new(FaultPlan::none().with_torn_write_at(0)));
+        let sink = FileSink::new(&dir)
+            .unwrap()
+            .with_fault_injector(inj.clone());
+        let v = WahVec::from_bits((0..4000).map(|i| i % 13 == 0));
+        let blob = codec::encode(&v);
+        let path = sink.write_blob("step0.wah", &blob).unwrap();
+        // the retry rewrote the blob fully; the final name is complete
+        let back = codec::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(back, v);
+        assert!(!inj.events().is_empty(), "the tear fired and was recorded");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_sink_exhausts_on_persistent_faults() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dir = std::env::temp_dir().join("ibis-test-sink-persistent");
+        std::fs::remove_dir_all(&dir).ok();
+        let inj = std::sync::Arc::new(FaultInjector::new(
+            FaultPlan::none()
+                .with_io_error_at(0)
+                .with_persistent_write_faults(),
+        ));
+        let sink = FileSink::new(&dir).unwrap().with_fault_injector(inj);
+        let err = sink.write_blob("doomed.wah", b"payload").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        assert!(
+            !dir.join("doomed.wah").exists(),
+            "no partial blob under the final name"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn codec_rejects_malformed() {
-        assert!(codec::decode(&[1, 2, 3]).is_none());
+        assert!(codec::decode(&[1, 2, 3]).is_err());
         let v = WahVec::ones(62);
         let mut blob = codec::encode(&v);
         blob.pop();
-        assert!(codec::decode(&blob).is_none());
+        assert!(codec::decode(&blob).is_err());
+    }
+
+    #[test]
+    fn codec_errors_are_typed() {
+        use crate::error::DecodeError;
+        let v = WahVec::ones(62);
+        let good = codec::encode(&v);
+        // truncation
+        assert!(matches!(
+            codec::decode(&good[..good.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // trailing garbage
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(matches!(
+            codec::decode(&bad),
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        ));
+        // an overlong fill: a 2-segment 0-fill (62 bits) in a 31-bit vector
+        let fill_2_segs = 0x8000_0000u32 | 62;
+        let blob = {
+            let mut b = Vec::new();
+            b.extend_from_slice(&31u64.to_le_bytes());
+            b.extend_from_slice(&1u32.to_le_bytes());
+            b.extend_from_slice(&fill_2_segs.to_le_bytes());
+            b
+        };
+        assert!(matches!(
+            codec::decode(&blob),
+            Err(DecodeError::BadBitvector(_))
+        ));
     }
 
     #[test]
@@ -363,26 +576,42 @@ mod tests {
 
     #[test]
     fn index_codec_rejects_malformed() {
+        use crate::error::DecodeError;
         use ibis_core::{Binner, BitmapIndex};
         let idx = BitmapIndex::build(&[1.0, 2.0, 3.0], Binner::fixed_width(0.0, 4.0, 4));
         let blob = codec::encode_index(&idx);
-        assert!(codec::decode_index(&blob).is_some());
+        assert!(codec::decode_index(&blob).is_ok());
         // truncation
-        assert!(codec::decode_index(&blob[..blob.len() - 1]).is_none());
+        assert!(matches!(
+            codec::decode_index(&blob[..blob.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
         // bad magic
         let mut bad = blob.clone();
         bad[0] = b'X';
-        assert!(codec::decode_index(&bad).is_none());
+        assert!(matches!(
+            codec::decode_index(&bad),
+            Err(DecodeError::BadMagic)
+        ));
         // bad version
         let mut bad = blob.clone();
         bad[4] = 99;
-        assert!(codec::decode_index(&bad).is_none());
+        assert!(matches!(
+            codec::decode_index(&bad),
+            Err(DecodeError::BadVersion(99))
+        ));
         // trailing garbage
         let mut bad = blob.clone();
         bad.push(0);
-        assert!(codec::decode_index(&bad).is_none());
+        assert!(matches!(
+            codec::decode_index(&bad),
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        ));
         // empty
-        assert!(codec::decode_index(&[]).is_none());
+        assert!(matches!(
+            codec::decode_index(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Non-test pipeline code must not panic on recoverable failures: every
+// fallible path goes through `IbisError`. Tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # ibis-insitu — the in-situ analysis pipeline
 //!
 //! Runs a simulation and its bitmap-based analysis together on a modeled
@@ -20,18 +23,28 @@
 
 pub mod calibrate;
 pub mod cluster;
+pub mod crc;
+pub mod error;
+pub mod fault;
 pub mod io;
 pub mod machine;
 pub mod memory;
 pub mod pipeline;
 pub mod report;
+pub mod retry;
 pub mod store;
 
 pub use calibrate::{auto_allocate, calibrate, Calibration};
 pub use cluster::{run_cluster, ClusterConfig, ClusterIo, ClusterReduction, ClusterReport};
-pub use io::{codec, FileSink, LocalDisk, RemoteLink, Storage};
+pub use error::{DecodeError, IbisError, Result, WorkerRole};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, WriteFault};
+pub use io::{codec, FileSink, LocalDisk, RemoteLink, Storage, StorageError};
 pub use machine::{host_parallelism, modeled_seconds, MachineModel, ScalingModel};
 pub use memory::MemoryTracker;
-pub use pipeline::{run_pipeline, CoreAllocation, PipelineConfig, Reduction};
-pub use report::{InsituReport, PhaseTimes};
-pub use store::{Store, StoreWriter};
+pub use pipeline::{
+    resume_durable, run_durable, run_pipeline, CoreAllocation, FailurePolicy, PipelineConfig,
+    Reduction, RobustnessConfig,
+};
+pub use report::{InsituReport, PhaseTimes, StepOutcome};
+pub use retry::{write_with_retry, RetryPolicy, WriteReceipt};
+pub use store::{FsckReport, QuarantinedBlob, Store, StoreWriter};

@@ -75,10 +75,15 @@ impl MachineModel {
     /// oversubscribing would corrupt the modeled times.
     pub fn pool(&self, cores: usize) -> rayon::ThreadPool {
         let n = cores.clamp(1, self.total_cores).min(host_parallelism());
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build()
-            .expect("failed to build thread pool")
+        // Building a pool fails only when threads cannot be spawned
+        // (resource exhaustion). Degrade the width before giving up: the
+        // timing model normalizes by the width actually granted.
+        for width in (1..=n).rev() {
+            if let Ok(pool) = rayon::ThreadPoolBuilder::new().num_threads(width).build() {
+                return pool;
+            }
+        }
+        panic!("cannot spawn even a single worker thread")
     }
 }
 

@@ -15,18 +15,46 @@
 //! intervals: the pipeline buffers one interval of summaries, scores each
 //! against the previously selected step when the interval completes, keeps
 //! the most dissimilar one, writes it out, and frees the rest.
+//!
+//! ## Fault tolerance
+//!
+//! Because the bitmap store *replaces* the raw output, the pipeline must
+//! not lose data silently. Every worker runs its per-step work under
+//! `catch_unwind`; a contained panic is resolved by the configured
+//! [`FailurePolicy`]: abort with a structured [`IbisError`], skip the step
+//! (recorded as a [`StepOutcome`]), or rebuild the summary from the
+//! Section 6 sampling baseline. Under Separate-Cores a dead consumer drops
+//! the queue receiver so the blocked producer unblocks immediately (its
+//! `send` fails) instead of deadlocking, and a dead producer's steps are
+//! reported step-by-step rather than hanging the consumer. Storage writes
+//! go through [`write_with_retry`] with exponential backoff and a
+//! deadline. All fault handling is deterministic: the same
+//! [`FaultPlan`](crate::fault::FaultPlan) produces the same failure report
+//! (same error value, same step outcomes, same event log) on every run.
+//!
+//! [`run_durable`] / [`resume_durable`] additionally persist each selected
+//! summary to a checksummed [`StoreWriter`] directory and checkpoint the
+//! selector state after every step, so a killed run can resume and produce
+//! a byte-identical store.
 
-use crate::io::Storage;
+use crate::error::{panic_message, IbisError, Result, WorkerRole};
+use crate::fault::{FaultInjector, FaultSite};
+use crate::io::{codec, write_atomic, Storage};
 use crate::machine::{
     decontend, modeled_seconds, timed_in_pool, MachineModel, PhaseClock, ScalingModel,
 };
 use crate::memory::MemoryTracker;
-use crate::report::{InsituReport, PhaseTimes};
+use crate::report::{InsituReport, PhaseTimes, StepOutcome};
+use crate::retry::{write_with_retry, RetryPolicy};
+use crate::store::StoreWriter;
 use ibis_analysis::sampling::{sample, SamplingMethod};
 use ibis_analysis::selection::fixed_intervals;
 use ibis_analysis::{Metric, StepSummary, VarSummary};
 use ibis_core::{build_index_parallel, Binner};
 use ibis_datagen::{Simulation, StepOutput};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What each time-step is reduced to before the raw data is discarded.
@@ -57,6 +85,41 @@ pub enum CoreAllocation {
         /// Cores generating bitmaps.
         bitmap_cores: usize,
     },
+}
+
+/// What to do when a worker's per-step work panics.
+#[derive(Debug, Clone, Default)]
+pub enum FailurePolicy {
+    /// Contain the panic and abort the run with a structured error.
+    #[default]
+    Abort,
+    /// Drop the failed step, record it, and keep going.
+    SkipStep,
+    /// Rebuild the failed step's summary from the Section 6 sampling
+    /// baseline (sample the raw data, then reduce the sample); if the
+    /// fallback fails too the step is recorded as failed and dropped.
+    /// Steps summarized this way are scored against the selection history
+    /// by entropy difference (the paper's importance measure), since a
+    /// sampled summary covers fewer elements than a full one.
+    FallbackSampling {
+        /// Percentage of elements kept by the fallback, in `(0, 100]`.
+        percent: f64,
+        /// Element-choice policy of the fallback.
+        method: SamplingMethod,
+    },
+}
+
+/// Fault-tolerance knobs of a run. `Default` is a clean, strict run:
+/// abort on any contained panic, retry storage with the default schedule,
+/// inject nothing.
+#[derive(Debug, Clone, Default)]
+pub struct RobustnessConfig {
+    /// Panic-containment policy.
+    pub policy: FailurePolicy,
+    /// Retry schedule for storage writes.
+    pub retry: RetryPolicy,
+    /// Deterministic fault plan (empty = no injection).
+    pub faults: crate::fault::FaultPlan,
 }
 
 /// Full configuration of a pipeline run.
@@ -91,40 +154,51 @@ pub struct PipelineConfig {
     pub queue_capacity: usize,
     /// Scalability curve of the simulation workload.
     pub sim_scaling: ScalingModel,
+    /// Fault-tolerance configuration (policy, retry schedule, injection).
+    pub robustness: RobustnessConfig,
 }
 
 impl PipelineConfig {
-    fn validate(&self) {
-        assert!(
-            self.cores >= 1 && self.cores <= self.machine.total_cores,
-            "bad core count"
-        );
-        assert!(self.steps >= 1, "need at least one step");
-        assert!(
-            self.select_k >= 1 && self.select_k <= self.steps,
-            "cannot select {} of {} steps",
-            self.select_k,
-            self.steps
-        );
-        assert!(
-            !self.binners.is_empty() || self.per_step_precision.is_some(),
-            "need binners or per-step precision"
-        );
+    fn validate(&self) -> Result<()> {
+        if self.cores < 1 || self.cores > self.machine.total_cores {
+            return Err(IbisError::Config(format!(
+                "bad core count {} (machine has {})",
+                self.cores, self.machine.total_cores
+            )));
+        }
+        if self.steps < 1 {
+            return Err(IbisError::Config("need at least one step".into()));
+        }
+        if self.select_k < 1 || self.select_k > self.steps {
+            return Err(IbisError::Config(format!(
+                "cannot select {} of {} steps",
+                self.select_k, self.steps
+            )));
+        }
+        if self.binners.is_empty() && self.per_step_precision.is_none() {
+            return Err(IbisError::Config(
+                "need binners or per-step precision".into(),
+            ));
+        }
         if let CoreAllocation::Separate {
             sim_cores,
             bitmap_cores,
         } = self.allocation
         {
-            assert!(
-                sim_cores >= 1 && bitmap_cores >= 1,
-                "both core sets must be non-empty"
-            );
-            assert!(
-                sim_cores + bitmap_cores <= self.cores,
-                "separate sets exceed the core budget"
-            );
-            assert!(self.queue_capacity >= 1, "data queue needs capacity");
+            if sim_cores < 1 || bitmap_cores < 1 {
+                return Err(IbisError::Config("both core sets must be non-empty".into()));
+            }
+            if sim_cores + bitmap_cores > self.cores {
+                return Err(IbisError::Config(format!(
+                    "separate sets exceed the core budget ({sim_cores}+{bitmap_cores} > {})",
+                    self.cores
+                )));
+            }
+            if self.queue_capacity < 1 {
+                return Err(IbisError::Config("data queue needs capacity".into()));
+            }
         }
+        self.robustness.retry.validate()
     }
 }
 
@@ -172,14 +246,52 @@ fn summarize(
     }
 }
 
+/// The sampling-baseline fallback: sample each field, then reduce the
+/// sample with the run's reduction *kind* so summary kinds stay
+/// homogeneous (a bitmaps run gets a bitmap over the sample, a full-data
+/// or sampling run gets the sampled array).
+fn fallback_summarize(
+    out: &StepOutput,
+    reduction: &Reduction,
+    percent: f64,
+    method: SamplingMethod,
+    binners: &[Binner],
+    per_step_precision: Option<i32>,
+) -> StepSummary {
+    let vars = out
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let binner = match per_step_precision {
+                Some(digits) => Binner::fit_precision_anchored(&f.data, digits),
+                None => binners[i].clone(),
+            };
+            let sampled = sample(&f.data, percent, method);
+            match reduction {
+                Reduction::Bitmaps => VarSummary::Bitmap(build_index_parallel(&sampled, binner)),
+                _ => VarSummary::full(sampled, binner),
+            }
+        })
+        .collect();
+    StepSummary {
+        step: out.step,
+        vars,
+    }
+}
+
 /// Streaming greedy selection over fixed-length intervals (Figure 3): holds
 /// the current interval's summaries, scores them against the previous
-/// selection at interval end, emits the winner.
+/// selection at interval end, emits the winner. Fault-aware: seeds on the
+/// first *successful* step, tolerates skipped steps (an interval whose
+/// steps all failed simply emits nothing), and scores degraded (fallback)
+/// summaries by entropy difference instead of the full metric.
 struct StreamingSelector {
     intervals: Vec<std::ops::Range<usize>>,
     cur: usize,
-    prev: Option<StepSummary>,
-    buffer: Vec<(usize, StepSummary)>,
+    /// The previously selected summary and whether it is degraded.
+    prev: Option<(StepSummary, bool)>,
+    buffer: Vec<(usize, StepSummary, bool)>,
     selected: Vec<usize>,
     metric: Metric,
     /// Metric-evaluation time (measured).
@@ -210,65 +322,110 @@ impl StreamingSelector {
         }
     }
 
+    /// The most recently selected summary (the durable path persists it
+    /// right after an emission).
+    fn prev_summary(&self) -> Option<&StepSummary> {
+        self.prev.as_ref().map(|(s, _)| s)
+    }
+
     /// Offers the next step's summary; returns a selection event if one was
     /// emitted, plus the bytes of summaries freed.
-    fn offer(&mut self, idx: usize, summary: StepSummary, mem: &MemoryTracker) -> Option<Emitted> {
-        if idx == 0 {
-            // Step 0 always seeds the selection.
+    fn offer(
+        &mut self,
+        idx: usize,
+        summary: StepSummary,
+        degraded: bool,
+        mem: &MemoryTracker,
+    ) -> Option<Emitted> {
+        if self.prev.is_none() {
+            // The first successful step seeds the selection (step 0 on a
+            // clean run).
             let bytes = summary.size_bytes() as u64;
-            self.selected.push(0);
-            self.prev = Some(summary);
+            self.selected.push(idx);
+            self.prev = Some((summary, degraded));
+            let _ = self.close_due(idx, mem); // buffer is empty: advances only
             return Some(Emitted {
-                step: 0,
+                step: idx,
                 summary_bytes: bytes,
             });
         }
-        self.buffer.push((idx, summary));
-        let interval_done = self
+        self.buffer.push((idx, summary, degraded));
+        self.close_due(idx, mem)
+    }
+
+    /// Records that step `idx` produced no summary (skipped/failed), still
+    /// advancing interval bookkeeping so later intervals do not stall.
+    fn note_skipped(&mut self, idx: usize, mem: &MemoryTracker) -> Option<Emitted> {
+        self.close_due(idx, mem)
+    }
+
+    /// Closes every interval that ends at or before `idx + 1`, emitting
+    /// that interval's winner (at most one interval has a non-empty
+    /// buffer, so at most one emission results).
+    fn close_due(&mut self, idx: usize, mem: &MemoryTracker) -> Option<Emitted> {
+        let mut emitted = None;
+        while self
             .intervals
             .get(self.cur)
-            .is_some_and(|iv| idx + 1 == iv.end);
-        if !interval_done {
-            return None;
-        }
-        self.cur += 1;
-        // Score the interval against the previous selection; keep the max.
-        let prev = self.prev.as_ref().expect("seeded by step 0");
-        let t0 = PhaseClock::start();
-        let mut best: Option<(usize, f64)> = None;
-        for (pos, (_, s)) in self.buffer.iter().enumerate() {
-            let score = s.metric(prev, self.metric);
-            if best.is_none_or(|(_, b)| score > b) {
-                best = Some((pos, score));
+            .is_some_and(|iv| idx + 1 >= iv.end)
+        {
+            self.cur += 1;
+            if self.buffer.is_empty() {
+                continue; // every step of the interval failed: emit nothing
+            }
+            let Some((prev, prev_degraded)) = self.prev.as_ref() else {
+                // unreachable (buffer only fills after seeding) — but if it
+                // ever happened, dropping the buffer beats panicking
+                for (_, s, _) in self.buffer.drain(..) {
+                    mem.free(s.size_bytes() as u64);
+                }
+                continue;
+            };
+            // Score the interval against the previous selection; keep the max.
+            let t0 = PhaseClock::start();
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (pos, (_, s, degraded)) in self.buffer.iter().enumerate() {
+                let score = if *degraded || *prev_degraded {
+                    (s.entropy() - prev.entropy()).abs()
+                } else {
+                    s.metric(prev, self.metric)
+                };
+                if score > best_score {
+                    best_score = score;
+                    best = pos;
+                }
+            }
+            self.select_time += t0.elapsed();
+            let prev_bytes = prev.size_bytes() as u64;
+            let mut winner = None;
+            for (pos_i, entry) in self.buffer.drain(..).enumerate() {
+                if pos_i == best {
+                    winner = Some(entry);
+                } else {
+                    mem.free(entry.1.size_bytes() as u64);
+                }
+            }
+            if let Some((widx, wsum, wdeg)) = winner {
+                let bytes = wsum.size_bytes() as u64;
+                self.selected.push(widx);
+                // the previous selection is no longer needed in memory
+                mem.free(prev_bytes);
+                self.prev = Some((wsum, wdeg));
+                emitted = Some(Emitted {
+                    step: widx,
+                    summary_bytes: bytes,
+                });
             }
         }
-        self.select_time += t0.elapsed();
-        let (pos, _) = best.expect("interval is non-empty");
-        let mut winner = None;
-        for (pos_i, (idx_i, s)) in self.buffer.drain(..).enumerate() {
-            if pos_i == pos {
-                winner = Some((idx_i, s));
-            } else {
-                mem.free(s.size_bytes() as u64);
-            }
-        }
-        let (widx, wsum) = winner.expect("winner drained");
-        let bytes = wsum.size_bytes() as u64;
-        self.selected.push(widx);
-        // the previous selection is no longer needed in memory
-        mem.free(prev.size_bytes() as u64);
-        self.prev = Some(wsum);
-        Some(Emitted {
-            step: widx,
-            summary_bytes: bytes,
-        })
+        emitted
     }
 
     fn finish(self, mem: &MemoryTracker) -> (Vec<usize>, Duration) {
-        for (_, s) in self.buffer {
+        for (_, s, _) in self.buffer {
             mem.free(s.size_bytes() as u64);
         }
-        if let Some(p) = self.prev {
+        if let Some((p, _)) = self.prev {
             mem.free(p.size_bytes() as u64);
         }
         (self.selected, self.select_time)
@@ -276,17 +433,22 @@ impl StreamingSelector {
 }
 
 /// Runs the pipeline on a simulation, writing selected summaries to
-/// `storage`. Returns the full report.
+/// `storage`. Returns the full report, or a structured error — a panic in
+/// any worker, an exhausted storage retry, or an injected kill all surface
+/// here instead of unwinding or deadlocking.
 pub fn run_pipeline<S: Simulation>(
     sim: S,
     cfg: &PipelineConfig,
     storage: &dyn Storage,
-) -> InsituReport {
-    cfg.validate();
-    match cfg.allocation {
-        CoreAllocation::Shared => run_shared(sim, cfg, storage),
-        CoreAllocation::Separate { .. } => run_separate(sim, cfg, storage),
-    }
+) -> Result<InsituReport> {
+    cfg.validate()?;
+    let injector = Arc::new(FaultInjector::new(cfg.robustness.faults.clone()));
+    let mut report = match cfg.allocation {
+        CoreAllocation::Shared => run_shared(sim, cfg, storage, &injector)?,
+        CoreAllocation::Separate { .. } => run_separate(sim, cfg, storage, &injector)?,
+    };
+    report.fault_events = injector.events();
+    Ok(report)
 }
 
 fn reduce_scaling(reduction: &Reduction) -> ScalingModel {
@@ -297,11 +459,138 @@ fn reduce_scaling(reduction: &Reduction) -> ScalingModel {
     }
 }
 
+/// What a contained reduction attempt produced.
+enum StepAttempt {
+    /// A usable summary (possibly degraded via the sampling fallback).
+    Kept(StepSummary, bool, StepOutcome),
+    /// The step is gone; the outcome says why.
+    Dropped(StepOutcome),
+}
+
+/// Runs `summarize` for one step under `catch_unwind`, resolving a panic
+/// per the failure policy. The injected consumer panic (if scheduled for
+/// this step) fires inside the protected region.
+fn contained_summarize(
+    out: &StepOutput,
+    i: usize,
+    cfg: &PipelineConfig,
+    pool: &rayon::ThreadPool,
+    injector: &FaultInjector,
+    reduce_t: &mut Duration,
+) -> Result<StepAttempt> {
+    let t0 = Instant::now();
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            injector.maybe_panic(FaultSite::Consumer, i);
+            summarize(out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
+        })
+    }));
+    *reduce_t += t0.elapsed();
+    let payload = match attempt {
+        Ok(summary) => return Ok(StepAttempt::Kept(summary, false, StepOutcome::Completed)),
+        Err(payload) => payload,
+    };
+    let msg = panic_message(payload.as_ref());
+    match &cfg.robustness.policy {
+        FailurePolicy::Abort => Err(IbisError::WorkerPanic {
+            role: WorkerRole::Consumer,
+            step: Some(i),
+            message: msg,
+        }),
+        FailurePolicy::SkipStep => Ok(StepAttempt::Dropped(StepOutcome::Skipped {
+            reason: format!("summarize panicked: {msg}"),
+        })),
+        FailurePolicy::FallbackSampling { percent, method } => {
+            let (percent, method) = (*percent, *method);
+            let t0 = Instant::now();
+            let fb = catch_unwind(AssertUnwindSafe(|| {
+                pool.install(|| {
+                    fallback_summarize(
+                        out,
+                        &cfg.reduction,
+                        percent,
+                        method,
+                        &cfg.binners,
+                        cfg.per_step_precision,
+                    )
+                })
+            }));
+            *reduce_t += t0.elapsed();
+            match fb {
+                Ok(summary) => Ok(StepAttempt::Kept(
+                    summary,
+                    true,
+                    StepOutcome::FallbackSampled {
+                        reason: format!("summarize panicked: {msg}"),
+                    },
+                )),
+                Err(payload2) => Ok(StepAttempt::Dropped(StepOutcome::Failed {
+                    error: format!(
+                        "summarize panicked ({msg}); sampling fallback also panicked ({})",
+                        panic_message(payload2.as_ref())
+                    ),
+                })),
+            }
+        }
+    }
+}
+
+/// Advances the simulation one step under `catch_unwind`. `Ok(Err(msg))`
+/// means the step panicked but the policy says keep running.
+fn contained_sim_step<S: Simulation>(
+    sim: &mut S,
+    i: usize,
+    pool: &rayon::ThreadPool,
+    injector: &FaultInjector,
+    policy: &FailurePolicy,
+    sim_t: &mut Duration,
+) -> Result<std::result::Result<StepOutput, String>> {
+    let t0 = Instant::now();
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            injector.maybe_panic(FaultSite::Producer, i);
+            sim.step()
+        })
+    }));
+    *sim_t += t0.elapsed();
+    match attempt {
+        Ok(out) => Ok(Ok(out)),
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            match policy {
+                FailurePolicy::Abort => Err(IbisError::WorkerPanic {
+                    role: WorkerRole::Producer,
+                    step: Some(i),
+                    message: msg,
+                }),
+                // no data to fall back on: both lenient policies skip
+                _ => Ok(Err(msg)),
+            }
+        }
+    }
+}
+
+/// Ships one emitted summary through the retrying write path.
+fn persist_emitted(
+    e: &Emitted,
+    storage: &dyn Storage,
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    output_modeled: &mut f64,
+    bytes_written: &mut u64,
+) -> Result<()> {
+    let receipt = write_with_retry(storage, injector, retry, *output_modeled, e.summary_bytes)?;
+    *output_modeled += receipt.seconds;
+    *bytes_written += e.summary_bytes;
+    Ok(())
+}
+
 fn run_shared<S: Simulation>(
     mut sim: S,
     cfg: &PipelineConfig,
     storage: &dyn Storage,
-) -> InsituReport {
+    injector: &FaultInjector,
+) -> Result<InsituReport> {
     let wall0 = Instant::now();
     let pool = cfg.machine.pool(cfg.cores);
     let threads = pool.current_num_threads();
@@ -309,36 +598,83 @@ fn run_shared<S: Simulation>(
     let sim_resident = sim.resident_bytes() as u64;
     mem.alloc(sim_resident);
     let mut selector = StreamingSelector::new(cfg.steps, cfg.select_k, cfg.metric);
+    let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(cfg.steps);
     let mut sim_t = Duration::ZERO;
     let mut reduce_t = Duration::ZERO;
     let mut output_modeled = 0.0f64;
     let mut bytes_written = 0u64;
     let mut summary_bytes_total = 0u64;
     let mut raw_bytes_per_step = 0u64;
+    let retry = &cfg.robustness.retry;
 
     for i in 0..cfg.steps {
-        let t0 = Instant::now();
-        let out = pool.install(|| sim.step());
-        sim_t += t0.elapsed();
+        if injector.should_kill_at(i) {
+            return Err(IbisError::Killed { step: i });
+        }
+        let out = match contained_sim_step(
+            &mut sim,
+            i,
+            &pool,
+            injector,
+            &cfg.robustness.policy,
+            &mut sim_t,
+        )? {
+            Ok(out) => out,
+            Err(msg) => {
+                outcomes.push(StepOutcome::Skipped {
+                    reason: format!("producer panicked: {msg}"),
+                });
+                if let Some(e) = selector.note_skipped(i, &mem) {
+                    persist_emitted(
+                        &e,
+                        storage,
+                        injector,
+                        retry,
+                        &mut output_modeled,
+                        &mut bytes_written,
+                    )?;
+                }
+                continue;
+            }
+        };
         let raw = out.size_bytes() as u64;
         raw_bytes_per_step = raw;
         mem.alloc(raw);
 
-        let t0 = Instant::now();
-        let summary =
-            pool.install(|| summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision));
-        reduce_t += t0.elapsed();
-        let sbytes = summary.size_bytes() as u64;
-        summary_bytes_total += sbytes;
-        mem.alloc(sbytes);
-        drop(out);
-        mem.free(raw); // raw data discarded once the summary exists
-
-        if let Some(e) = selector.offer(i, summary, &mem) {
-            let secs = storage.write(output_modeled, e.summary_bytes);
-            output_modeled += secs;
-            bytes_written += e.summary_bytes;
-            let _ = e.step;
+        match contained_summarize(&out, i, cfg, &pool, injector, &mut reduce_t)? {
+            StepAttempt::Kept(summary, degraded, outcome) => {
+                let sbytes = summary.size_bytes() as u64;
+                summary_bytes_total += sbytes;
+                mem.alloc(sbytes);
+                drop(out);
+                mem.free(raw); // raw data discarded once the summary exists
+                outcomes.push(outcome);
+                if let Some(e) = selector.offer(i, summary, degraded, &mem) {
+                    persist_emitted(
+                        &e,
+                        storage,
+                        injector,
+                        retry,
+                        &mut output_modeled,
+                        &mut bytes_written,
+                    )?;
+                }
+            }
+            StepAttempt::Dropped(outcome) => {
+                drop(out);
+                mem.free(raw);
+                outcomes.push(outcome);
+                if let Some(e) = selector.note_skipped(i, &mem) {
+                    persist_emitted(
+                        &e,
+                        storage,
+                        injector,
+                        retry,
+                        &mut output_modeled,
+                        &mut bytes_written,
+                    )?;
+                }
+            }
         }
     }
     let (selected, select_t) = selector.finish(&mem);
@@ -363,7 +699,7 @@ fn run_shared<S: Simulation>(
         ),
         output: output_modeled,
     };
-    InsituReport {
+    Ok(InsituReport {
         total_modeled: phases.sum(),
         phases,
         wall_seconds: wall0.elapsed().as_secs_f64(),
@@ -373,14 +709,25 @@ fn run_shared<S: Simulation>(
         raw_bytes_per_step,
         summary_bytes_total,
         steps: cfg.steps,
-    }
+        step_outcomes: outcomes,
+        fault_events: Vec::new(), // filled by run_pipeline
+    })
+}
+
+/// One unit of the Separate-Cores data queue: a step's output, or proof
+/// that the producer failed at that step (so the consumer can account for
+/// it instead of waiting forever).
+struct StepMsg {
+    step: usize,
+    payload: std::result::Result<StepOutput, String>,
 }
 
 fn run_separate<S: Simulation>(
     mut sim: S,
     cfg: &PipelineConfig,
     storage: &dyn Storage,
-) -> InsituReport {
+    injector: &Arc<FaultInjector>,
+) -> Result<InsituReport> {
     let CoreAllocation::Separate {
         sim_cores,
         bitmap_cores,
@@ -392,57 +739,237 @@ fn run_separate<S: Simulation>(
     let mem = MemoryTracker::new();
     let sim_resident = sim.resident_bytes() as u64;
     mem.alloc(sim_resident);
-    let (tx, rx) = crossbeam::channel::bounded::<StepOutput>(cfg.queue_capacity);
+    let (tx, rx) = crossbeam::channel::bounded::<StepMsg>(cfg.queue_capacity);
     let sim_pool = cfg.machine.pool(sim_cores);
     let bm_pool = cfg.machine.pool(bitmap_cores);
     let sim_threads = sim_pool.current_num_threads();
     let bm_threads = bm_pool.current_num_threads();
     let steps = cfg.steps;
+    let abort_on_panic = matches!(cfg.robustness.policy, FailurePolicy::Abort);
+    let retry = &cfg.robustness.retry;
 
     let mut selector = StreamingSelector::new(cfg.steps, cfg.select_k, cfg.metric);
+    let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(cfg.steps);
     let mut reduce_t = Duration::ZERO;
     let mut output_modeled = 0.0f64;
     let mut bytes_written = 0u64;
     let mut summary_bytes_total = 0u64;
     let mut raw_bytes_per_step = 0u64;
 
-    let sim_t = std::thread::scope(|scope| {
+    let sim_t = std::thread::scope(|scope| -> Result<Duration> {
         let mem_ref = &mem;
-        // Producer: the simulation core set, feeding the bounded data queue.
+        let producer_inj = Arc::clone(injector);
+        // Producer: the simulation core set, feeding the bounded data
+        // queue. Every per-step panic is contained here; under Abort the
+        // producer reports the step and stops, otherwise it reports and
+        // keeps simulating. A failed send means the consumer is gone —
+        // exit instead of blocking on a dead queue.
         let producer = scope.spawn(move || {
             let mut sim_t = Duration::ZERO;
-            for _ in 0..steps {
-                let (out, d) = timed_in_pool(&sim_pool, || sim.step());
-                sim_t += d;
-                mem_ref.alloc(out.size_bytes() as u64);
-                // blocks when the queue is full — the paper's memory bound
-                tx.send(out).expect("consumer hung up");
+            for i in 0..steps {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    timed_in_pool(&sim_pool, || {
+                        producer_inj.maybe_panic(FaultSite::Producer, i);
+                        sim.step()
+                    })
+                }));
+                match attempt {
+                    Ok((out, d)) => {
+                        sim_t += d;
+                        let raw = out.size_bytes() as u64;
+                        mem_ref.alloc(raw);
+                        // blocks when the queue is full — the paper's
+                        // memory bound; errs when the consumer died
+                        if let Err(e) = tx.send(StepMsg {
+                            step: i,
+                            payload: Ok(out),
+                        }) {
+                            if let Ok(out) = e.0.payload {
+                                mem_ref.free(out.size_bytes() as u64);
+                            }
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        let stop = abort_on_panic;
+                        if tx
+                            .send(StepMsg {
+                                step: i,
+                                payload: Err(msg),
+                            })
+                            .is_err()
+                            || stop
+                        {
+                            break;
+                        }
+                    }
+                }
             }
-            drop(tx);
             sim_t
         });
 
-        // Consumer: the bitmap core set, draining the queue head.
-        for (i, out) in rx.iter().enumerate() {
+        // Consumer: the bitmap core set, draining the queue head. A fatal
+        // condition breaks the loop; dropping `rx` afterwards poisons the
+        // queue so the producer's next send fails and it exits promptly —
+        // the structured error below replaces the old deadlock.
+        let mut fatal: Option<IbisError> = None;
+        for msg in rx.iter() {
+            let i = msg.step;
+            if injector.should_kill_at(i) {
+                fatal = Some(IbisError::Killed { step: i });
+                break;
+            }
+            let out = match msg.payload {
+                Ok(out) => out,
+                Err(msg) => {
+                    if abort_on_panic {
+                        fatal = Some(IbisError::WorkerPanic {
+                            role: WorkerRole::Producer,
+                            step: Some(i),
+                            message: msg,
+                        });
+                        break;
+                    }
+                    outcomes.push(StepOutcome::Skipped {
+                        reason: format!("producer panicked: {msg}"),
+                    });
+                    if let Some(e) = selector.note_skipped(i, &mem) {
+                        if let Err(err) = persist_emitted(
+                            &e,
+                            storage,
+                            injector,
+                            retry,
+                            &mut output_modeled,
+                            &mut bytes_written,
+                        ) {
+                            fatal = Some(err);
+                            break;
+                        }
+                    }
+                    continue;
+                }
+            };
             let raw = out.size_bytes() as u64;
             raw_bytes_per_step = raw;
-            let (summary, d) = timed_in_pool(&bm_pool, || {
-                summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
-            });
-            reduce_t += d;
-            let sbytes = summary.size_bytes() as u64;
-            summary_bytes_total += sbytes;
-            mem.alloc(sbytes);
-            drop(out);
-            mem.free(raw);
-            if let Some(e) = selector.offer(i, summary, &mem) {
-                let secs = storage.write(output_modeled, e.summary_bytes);
-                output_modeled += secs;
-                bytes_written += e.summary_bytes;
+            let t0 = Instant::now();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                timed_in_pool(&bm_pool, || {
+                    injector.maybe_panic(FaultSite::Consumer, i);
+                    summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
+                })
+            }));
+            let _ = t0;
+            let kept = match attempt {
+                Ok((summary, d)) => {
+                    reduce_t += d;
+                    Some((summary, false, StepOutcome::Completed))
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    match &cfg.robustness.policy {
+                        FailurePolicy::Abort => {
+                            mem.free(raw);
+                            fatal = Some(IbisError::WorkerPanic {
+                                role: WorkerRole::Consumer,
+                                step: Some(i),
+                                message: msg,
+                            });
+                            break;
+                        }
+                        FailurePolicy::SkipStep => None.or({
+                            outcomes.push(StepOutcome::Skipped {
+                                reason: format!("summarize panicked: {msg}"),
+                            });
+                            None
+                        }),
+                        FailurePolicy::FallbackSampling { percent, method } => {
+                            let (percent, method) = (*percent, *method);
+                            let fb = catch_unwind(AssertUnwindSafe(|| {
+                                timed_in_pool(&bm_pool, || {
+                                    fallback_summarize(
+                                        &out,
+                                        &cfg.reduction,
+                                        percent,
+                                        method,
+                                        &cfg.binners,
+                                        cfg.per_step_precision,
+                                    )
+                                })
+                            }));
+                            match fb {
+                                Ok((summary, d)) => {
+                                    reduce_t += d;
+                                    Some((
+                                        summary,
+                                        true,
+                                        StepOutcome::FallbackSampled {
+                                            reason: format!("summarize panicked: {msg}"),
+                                        },
+                                    ))
+                                }
+                                Err(payload2) => {
+                                    outcomes.push(StepOutcome::Failed {
+                                        error: format!(
+                                            "summarize panicked ({msg}); sampling fallback also panicked ({})",
+                                            panic_message(payload2.as_ref())
+                                        ),
+                                    });
+                                    None
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            let emitted = match kept {
+                Some((summary, degraded, outcome)) => {
+                    let sbytes = summary.size_bytes() as u64;
+                    summary_bytes_total += sbytes;
+                    mem.alloc(sbytes);
+                    drop(out);
+                    mem.free(raw);
+                    outcomes.push(outcome);
+                    selector.offer(i, summary, degraded, &mem)
+                }
+                None => {
+                    drop(out);
+                    mem.free(raw);
+                    selector.note_skipped(i, &mem)
+                }
+            };
+            if let Some(e) = emitted {
+                if let Err(err) = persist_emitted(
+                    &e,
+                    storage,
+                    injector,
+                    retry,
+                    &mut output_modeled,
+                    &mut bytes_written,
+                ) {
+                    fatal = Some(err);
+                    break;
+                }
             }
         }
-        producer.join().expect("simulation thread panicked")
-    });
+        drop(rx); // unblock a producer stuck on a full queue
+        let sim_t = match producer.join() {
+            Ok(d) => d,
+            Err(payload) => {
+                // a panic that escaped the per-step containment
+                let err = IbisError::WorkerPanic {
+                    role: WorkerRole::Producer,
+                    step: None,
+                    message: panic_message(payload.as_ref()),
+                };
+                return Err(fatal.unwrap_or(err));
+            }
+        };
+        match fatal {
+            Some(err) => Err(err),
+            None => Ok(sim_t),
+        }
+    })?;
     let (selected, select_t) = selector.finish(&mem);
     mem.free(sim_resident);
 
@@ -486,7 +1013,7 @@ fn run_separate<S: Simulation>(
     };
     // Simulation and reduction overlap; selection rides the bitmap cores.
     let total_modeled = phases.simulate.max(phases.reduce + phases.select) + phases.output;
-    InsituReport {
+    Ok(InsituReport {
         phases,
         total_modeled,
         wall_seconds: wall0.elapsed().as_secs_f64(),
@@ -496,12 +1023,535 @@ fn run_separate<S: Simulation>(
         raw_bytes_per_step,
         summary_bytes_total,
         steps: cfg.steps,
+        step_outcomes: outcomes,
+        fault_events: Vec::new(), // filled by run_pipeline
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Durable runs: checkpointed, resumable, persisted to a checksummed store
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a CHECKPOINT file.
+const CHECKPOINT_MAGIC: &[u8; 4] = b"IBCK";
+/// Checkpoint format version.
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Everything needed to pick a durable run back up after a crash.
+#[derive(Default)]
+struct CheckpointState {
+    next_step: usize,
+    selected: Vec<usize>,
+    cur_interval: usize,
+    prev: Option<(StepSummary, bool)>,
+    buffer: Vec<(usize, StepSummary, bool)>,
+    outcomes: Vec<StepOutcome>,
+    output_modeled: f64,
+    bytes_written: u64,
+    summary_bytes_total: u64,
+    raw_bytes_per_step: u64,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_summary(buf: &mut Vec<u8>, summary: &StepSummary, degraded: bool) -> Result<()> {
+    put_u64(buf, summary.step as u64);
+    buf.push(degraded as u8);
+    put_u64(buf, summary.vars.len() as u64);
+    for var in &summary.vars {
+        let VarSummary::Bitmap(idx) = var else {
+            return Err(IbisError::Config(
+                "durable runs persist bitmap summaries only".into(),
+            ));
+        };
+        let blob = codec::encode_index(idx);
+        put_u64(buf, blob.len() as u64);
+        buf.extend_from_slice(&blob);
     }
+    Ok(())
+}
+
+fn encode_checkpoint(state: &CheckpointState) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(CHECKPOINT_MAGIC);
+    buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    put_u64(&mut buf, state.next_step as u64);
+    put_u64(&mut buf, state.selected.len() as u64);
+    for &s in &state.selected {
+        put_u64(&mut buf, s as u64);
+    }
+    put_u64(&mut buf, state.cur_interval as u64);
+    match &state.prev {
+        Some((summary, degraded)) => {
+            buf.push(1);
+            put_summary(&mut buf, summary, *degraded)?;
+        }
+        None => buf.push(0),
+    }
+    put_u64(&mut buf, state.buffer.len() as u64);
+    for (idx, summary, degraded) in &state.buffer {
+        put_u64(&mut buf, *idx as u64);
+        put_summary(&mut buf, summary, *degraded)?;
+    }
+    put_u64(&mut buf, state.outcomes.len() as u64);
+    for outcome in &state.outcomes {
+        let (tag, text): (u8, &str) = match outcome {
+            StepOutcome::Completed => (0, ""),
+            StepOutcome::Skipped { reason } => (1, reason),
+            StepOutcome::FallbackSampled { reason } => (2, reason),
+            StepOutcome::Failed { error } => (3, error),
+        };
+        buf.push(tag);
+        put_str(&mut buf, text);
+    }
+    put_u64(&mut buf, state.output_modeled.to_bits());
+    put_u64(&mut buf, state.bytes_written);
+    put_u64(&mut buf, state.summary_bytes_total);
+    put_u64(&mut buf, state.raw_bytes_per_step);
+    buf.extend_from_slice(&crate::crc::crc32c(&buf).to_le_bytes());
+    Ok(buf)
+}
+
+/// A minimal cursor over checkpoint bytes; every read is bounds-checked.
+struct CkptReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| IbisError::BadCheckpoint(format!("truncated at byte {}", self.pos)))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(crate::crc::le_u64(self.take(8)?))
+    }
+
+    fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| IbisError::BadCheckpoint(format!("value {v} overflows")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.usize()?;
+        if len > self.buf.len() {
+            return Err(IbisError::BadCheckpoint("string length overflows".into()));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| IbisError::BadCheckpoint("non-UTF-8 string".into()))
+    }
+
+    fn summary(&mut self) -> Result<(StepSummary, bool)> {
+        let step = self.usize()?;
+        let degraded = self.u8()? != 0;
+        let nvars = self.usize()?;
+        if nvars > 4096 {
+            return Err(IbisError::BadCheckpoint(format!(
+                "implausible variable count {nvars}"
+            )));
+        }
+        let mut vars = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let len = self.usize()?;
+            if len > self.buf.len() {
+                return Err(IbisError::BadCheckpoint("blob length overflows".into()));
+            }
+            let blob = self.take(len)?;
+            let idx = codec::decode_index(blob)
+                .map_err(|e| IbisError::BadCheckpoint(format!("embedded index: {e}")))?;
+            vars.push(VarSummary::Bitmap(idx));
+        }
+        Ok((StepSummary { step, vars }, degraded))
+    }
+}
+
+fn parse_checkpoint(bytes: &[u8]) -> Result<CheckpointState> {
+    if bytes.len() < 12 {
+        return Err(IbisError::BadCheckpoint("file too short".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = crate::crc::le_u32(crc_bytes);
+    let actual = crate::crc::crc32c(body);
+    if stored != actual {
+        return Err(IbisError::BadCheckpoint(format!(
+            "CRC mismatch: stored {stored:08x}, computed {actual:08x}"
+        )));
+    }
+    let mut r = CkptReader { buf: body, pos: 0 };
+    if r.take(4)? != CHECKPOINT_MAGIC {
+        return Err(IbisError::BadCheckpoint("bad magic".into()));
+    }
+    let version = crate::crc::le_u32(r.take(4)?);
+    if version != CHECKPOINT_VERSION {
+        return Err(IbisError::BadCheckpoint(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let next_step = r.usize()?;
+    let nselected = r.usize()?;
+    if nselected > next_step.max(1) {
+        return Err(IbisError::BadCheckpoint(
+            "more selections than completed steps".into(),
+        ));
+    }
+    let mut selected = Vec::with_capacity(nselected);
+    for _ in 0..nselected {
+        selected.push(r.usize()?);
+    }
+    let cur_interval = r.usize()?;
+    let prev = match r.u8()? {
+        0 => None,
+        1 => Some(r.summary()?),
+        t => {
+            return Err(IbisError::BadCheckpoint(format!(
+                "bad prev-presence tag {t}"
+            )))
+        }
+    };
+    let nbuffer = r.usize()?;
+    if nbuffer > next_step.max(1) {
+        return Err(IbisError::BadCheckpoint("buffer larger than run".into()));
+    }
+    let mut buffer = Vec::with_capacity(nbuffer);
+    for _ in 0..nbuffer {
+        let idx = r.usize()?;
+        let (summary, degraded) = r.summary()?;
+        buffer.push((idx, summary, degraded));
+    }
+    let noutcomes = r.usize()?;
+    if noutcomes != next_step {
+        return Err(IbisError::BadCheckpoint(format!(
+            "{noutcomes} outcomes for {next_step} completed steps"
+        )));
+    }
+    let mut outcomes = Vec::with_capacity(noutcomes);
+    for _ in 0..noutcomes {
+        let tag = r.u8()?;
+        let text = r.string()?;
+        outcomes.push(match tag {
+            0 => StepOutcome::Completed,
+            1 => StepOutcome::Skipped { reason: text },
+            2 => StepOutcome::FallbackSampled { reason: text },
+            3 => StepOutcome::Failed { error: text },
+            t => return Err(IbisError::BadCheckpoint(format!("bad outcome tag {t}"))),
+        });
+    }
+    let output_modeled = f64::from_bits(r.u64()?);
+    let bytes_written = r.u64()?;
+    let summary_bytes_total = r.u64()?;
+    let raw_bytes_per_step = r.u64()?;
+    if r.pos != body.len() {
+        return Err(IbisError::BadCheckpoint(format!(
+            "{} trailing bytes",
+            body.len() - r.pos
+        )));
+    }
+    Ok(CheckpointState {
+        next_step,
+        selected,
+        cur_interval,
+        prev,
+        buffer,
+        outcomes,
+        output_modeled,
+        bytes_written,
+        summary_bytes_total,
+        raw_bytes_per_step,
+    })
+}
+
+/// Runs a durable Shared-Cores bitmaps pipeline: every selected summary is
+/// persisted to a checksummed store at `dir`, and the selector state is
+/// checkpointed atomically after every step. If the run dies (crash, kill
+/// injection), [`resume_durable`] picks it up where it stopped and the
+/// final store is byte-identical to an uninterrupted run's.
+pub fn run_durable<S: Simulation>(
+    sim: S,
+    cfg: &PipelineConfig,
+    dir: impl AsRef<Path>,
+) -> Result<InsituReport> {
+    durable_impl(sim, cfg, dir.as_ref(), false)
+}
+
+/// Resumes a durable run that was interrupted. `sim` must be a *fresh*
+/// instance of the same deterministic simulation — the completed prefix is
+/// replayed to restore its state, then the run continues from the
+/// checkpoint. With no checkpoint present this is a fresh run.
+pub fn resume_durable<S: Simulation>(
+    sim: S,
+    cfg: &PipelineConfig,
+    dir: impl AsRef<Path>,
+) -> Result<InsituReport> {
+    durable_impl(sim, cfg, dir.as_ref(), true)
+}
+
+fn durable_impl<S: Simulation>(
+    mut sim: S,
+    cfg: &PipelineConfig,
+    dir: &Path,
+    resume: bool,
+) -> Result<InsituReport> {
+    cfg.validate()?;
+    if !matches!(cfg.allocation, CoreAllocation::Shared) {
+        return Err(IbisError::Config(
+            "durable runs support Shared-Cores only".into(),
+        ));
+    }
+    if !matches!(cfg.reduction, Reduction::Bitmaps) {
+        return Err(IbisError::Config(
+            "durable runs persist bitmap summaries only".into(),
+        ));
+    }
+    let injector = Arc::new(FaultInjector::new(cfg.robustness.faults.clone()));
+    let wall0 = Instant::now();
+    let pool = cfg.machine.pool(cfg.cores);
+    let threads = pool.current_num_threads();
+    let ckpt_path = dir.join("CHECKPOINT");
+
+    let state = if resume {
+        match std::fs::read(&ckpt_path) {
+            Ok(bytes) => parse_checkpoint(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => CheckpointState::default(),
+            Err(e) => return Err(IbisError::io("read CHECKPOINT", &e)),
+        }
+    } else {
+        CheckpointState::default()
+    };
+    if state.next_step > cfg.steps {
+        return Err(IbisError::BadCheckpoint(format!(
+            "checkpoint is at step {} but the run has only {}",
+            state.next_step, cfg.steps
+        )));
+    }
+    let mut writer = if resume {
+        StoreWriter::resume(dir)?
+    } else {
+        StoreWriter::create(dir)?
+    }
+    .with_fault_injector(Arc::clone(&injector));
+
+    // Replay the completed prefix to restore the deterministic simulation's
+    // state (recovery overhead: charged to wall time, not modeled time).
+    for _ in 0..state.next_step {
+        let _ = pool.install(|| sim.step());
+    }
+
+    let mem = MemoryTracker::new();
+    let sim_resident = sim.resident_bytes() as u64;
+    mem.alloc(sim_resident);
+    let mut selector = StreamingSelector::new(cfg.steps, cfg.select_k, cfg.metric);
+    selector.cur = state.cur_interval;
+    selector.selected = state.selected;
+    selector.prev = state.prev;
+    selector.buffer = state.buffer;
+    if let Some((p, _)) = &selector.prev {
+        mem.alloc(p.size_bytes() as u64);
+    }
+    for (_, s, _) in &selector.buffer {
+        mem.alloc(s.size_bytes() as u64);
+    }
+    let mut outcomes = state.outcomes;
+    let mut sim_t = Duration::ZERO;
+    let mut reduce_t = Duration::ZERO;
+    let mut output_modeled = state.output_modeled;
+    let mut bytes_written = state.bytes_written;
+    let mut summary_bytes_total = state.summary_bytes_total;
+    let mut raw_bytes_per_step = state.raw_bytes_per_step;
+    let mut field_names: Option<Vec<String>> = None;
+    let disk_bw = cfg.machine.disk_bw;
+
+    let persist_winner = |selector: &StreamingSelector,
+                          writer: &mut StoreWriter,
+                          names: &Option<Vec<String>>,
+                          e: &Emitted,
+                          output_modeled: &mut f64,
+                          bytes_written: &mut u64|
+     -> Result<()> {
+        let Some(summary) = selector.prev_summary() else {
+            return Ok(());
+        };
+        let names = names.as_ref().ok_or_else(|| {
+            IbisError::Config("selection emitted before any field names were seen".into())
+        })?;
+        for (j, var) in summary.vars.iter().enumerate() {
+            let VarSummary::Bitmap(idx) = var else {
+                return Err(IbisError::Config(
+                    "durable runs persist bitmap summaries only".into(),
+                ));
+            };
+            let name = names.get(j).map(String::as_str).unwrap_or("field");
+            writer.put(e.step, name, idx)?;
+        }
+        *output_modeled += e.summary_bytes as f64 / disk_bw;
+        *bytes_written += e.summary_bytes;
+        Ok(())
+    };
+
+    for i in state.next_step..cfg.steps {
+        if injector.should_kill_at(i) {
+            // the checkpoint written after step i-1 and the journal make
+            // this recoverable; report the kill as a structured error
+            return Err(IbisError::Killed { step: i });
+        }
+        let produced = contained_sim_step(
+            &mut sim,
+            i,
+            &pool,
+            &injector,
+            &cfg.robustness.policy,
+            &mut sim_t,
+        )?;
+        match produced {
+            Err(msg) => {
+                outcomes.push(StepOutcome::Skipped {
+                    reason: format!("producer panicked: {msg}"),
+                });
+                if let Some(e) = selector.note_skipped(i, &mem) {
+                    persist_winner(
+                        &selector,
+                        &mut writer,
+                        &field_names,
+                        &e,
+                        &mut output_modeled,
+                        &mut bytes_written,
+                    )?;
+                }
+            }
+            Ok(out) => {
+                if field_names.is_none() {
+                    field_names = Some(out.fields.iter().map(|f| f.name.to_string()).collect());
+                }
+                let raw = out.size_bytes() as u64;
+                raw_bytes_per_step = raw;
+                mem.alloc(raw);
+                match contained_summarize(&out, i, cfg, &pool, &injector, &mut reduce_t)? {
+                    StepAttempt::Kept(summary, degraded, outcome) => {
+                        let sbytes = summary.size_bytes() as u64;
+                        summary_bytes_total += sbytes;
+                        mem.alloc(sbytes);
+                        drop(out);
+                        mem.free(raw);
+                        outcomes.push(outcome);
+                        if let Some(e) = selector.offer(i, summary, degraded, &mem) {
+                            persist_winner(
+                                &selector,
+                                &mut writer,
+                                &field_names,
+                                &e,
+                                &mut output_modeled,
+                                &mut bytes_written,
+                            )?;
+                        }
+                    }
+                    StepAttempt::Dropped(outcome) => {
+                        drop(out);
+                        mem.free(raw);
+                        outcomes.push(outcome);
+                        if let Some(e) = selector.note_skipped(i, &mem) {
+                            persist_winner(
+                                &selector,
+                                &mut writer,
+                                &field_names,
+                                &e,
+                                &mut output_modeled,
+                                &mut bytes_written,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        // Checkpoint the post-step state atomically: a crash between here
+        // and the next step resumes exactly at step i+1.
+        let snapshot = CheckpointState {
+            next_step: i + 1,
+            selected: selector.selected.clone(),
+            cur_interval: selector.cur,
+            prev: selector.prev.clone(),
+            buffer: selector.buffer.clone(),
+            outcomes: outcomes.clone(),
+            output_modeled,
+            bytes_written,
+            summary_bytes_total,
+            raw_bytes_per_step,
+        };
+        let bytes = encode_checkpoint(&snapshot)?;
+        write_atomic(&dir.join(".CHECKPOINT.tmp"), &ckpt_path, &bytes)
+            .map_err(|e| IbisError::io("write CHECKPOINT", &e))?;
+    }
+
+    let (selected, select_t) = selector.finish(&mem);
+    mem.free(sim_resident);
+    writer.finish()?;
+    match std::fs::remove_file(&ckpt_path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(IbisError::io("remove CHECKPOINT", &e)),
+    }
+
+    let speed = cfg.machine.core_speed;
+    let phases = PhaseTimes {
+        simulate: modeled_seconds(sim_t, threads, cfg.cores, &cfg.sim_scaling, speed),
+        reduce: modeled_seconds(
+            reduce_t,
+            threads,
+            cfg.cores,
+            &reduce_scaling(&cfg.reduction),
+            speed,
+        ),
+        select: modeled_seconds(
+            select_t,
+            threads,
+            cfg.cores,
+            &ScalingModel::selection(),
+            speed,
+        ),
+        output: output_modeled,
+    };
+    Ok(InsituReport {
+        total_modeled: phases.sum(),
+        phases,
+        wall_seconds: wall0.elapsed().as_secs_f64(),
+        selected,
+        peak_memory_bytes: mem.peak(),
+        bytes_written,
+        raw_bytes_per_step,
+        summary_bytes_total,
+        steps: cfg.steps,
+        step_outcomes: outcomes,
+        fault_events: injector.events(),
+    })
+}
+
+/// The durable run directory's checkpoint file, if one is pending (i.e.
+/// the run at `dir` was interrupted and can be resumed).
+pub fn pending_checkpoint(dir: impl AsRef<Path>) -> Option<PathBuf> {
+    let p = dir.as_ref().join("CHECKPOINT");
+    p.exists().then_some(p)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::io::LocalDisk;
     use ibis_datagen::{Heat3D, Heat3DConfig};
 
@@ -527,6 +1577,7 @@ mod tests {
             per_step_precision: None,
             queue_capacity: 3,
             sim_scaling: ScalingModel::heat3d(),
+            robustness: RobustnessConfig::default(),
         }
     }
 
@@ -534,7 +1585,7 @@ mod tests {
     fn shared_bitmaps_run_end_to_end() {
         let cfg = base_cfg(Reduction::Bitmaps);
         let disk = LocalDisk::new(1e9);
-        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         assert_eq!(r.selected.len(), 4);
         assert_eq!(r.selected[0], 0);
         assert!(r.selected.windows(2).all(|w| w[0] < w[1]));
@@ -547,13 +1598,16 @@ mod tests {
             r.compression_ratio() > 1.0,
             "bitmaps should compress heat3d"
         );
+        assert_eq!(r.step_outcomes.len(), 13);
+        assert!(r.step_outcomes.iter().all(StepOutcome::is_completed));
+        assert!(r.fault_events.is_empty());
     }
 
     #[test]
     fn full_data_writes_raw_sizes() {
         let cfg = base_cfg(Reduction::FullData);
         let disk = LocalDisk::new(1e9);
-        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         // each selected step is the raw array
         assert_eq!(r.bytes_written, 4 * r.raw_bytes_per_step);
         assert!(
@@ -569,12 +1623,14 @@ mod tests {
             Heat3D::new(heat_cfg()),
             &base_cfg(Reduction::Bitmaps),
             &disk,
-        );
+        )
+        .unwrap();
         let rf = run_pipeline(
             Heat3D::new(heat_cfg()),
             &base_cfg(Reduction::FullData),
             &disk,
-        );
+        )
+        .unwrap();
         assert!(
             rb.bytes_written < rf.bytes_written,
             "bitmaps must shrink I/O"
@@ -594,13 +1650,14 @@ mod tests {
             Heat3D::new(heat_cfg()),
             &base_cfg(Reduction::Bitmaps),
             &disk,
-        );
+        )
+        .unwrap();
         let mut cfg = base_cfg(Reduction::Bitmaps);
         cfg.allocation = CoreAllocation::Separate {
             sim_cores: 2,
             bitmap_cores: 2,
         };
-        let separate = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let separate = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         assert_eq!(shared.selected, separate.selected);
         assert_eq!(shared.bytes_written, separate.bytes_written);
     }
@@ -613,12 +1670,14 @@ mod tests {
             Heat3D::new(heat_cfg()),
             &base_cfg(Reduction::Bitmaps),
             &disk,
-        );
+        )
+        .unwrap();
         let rf = run_pipeline(
             Heat3D::new(heat_cfg()),
             &base_cfg(Reduction::FullData),
             &disk,
-        );
+        )
+        .unwrap();
         assert_eq!(rb.selected, rf.selected);
     }
 
@@ -630,7 +1689,7 @@ mod tests {
         });
         cfg.metric = Metric::ConditionalEntropy;
         let disk = LocalDisk::new(1e9);
-        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         assert_eq!(r.selected.len(), 4);
         assert!(
             r.bytes_written < 4 * r.raw_bytes_per_step / 5,
@@ -643,7 +1702,7 @@ mod tests {
         let mut cfg = base_cfg(Reduction::Bitmaps);
         cfg.select_k = 1;
         let disk = LocalDisk::new(1e9);
-        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         assert_eq!(r.selected, vec![0]);
     }
 
@@ -653,7 +1712,7 @@ mod tests {
         cfg.steps = 5;
         cfg.select_k = 5;
         let disk = LocalDisk::new(1e9);
-        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         assert_eq!(r.selected, vec![0, 1, 2, 3, 4]);
     }
 
@@ -662,26 +1721,167 @@ mod tests {
         // peak > 0 and everything freed: no leak in the accounting
         let cfg = base_cfg(Reduction::Bitmaps);
         let disk = LocalDisk::new(1e9);
-        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
         assert!(r.peak_memory_bytes > 0);
     }
 
     #[test]
-    #[should_panic(expected = "separate sets exceed")]
     fn rejects_overcommitted_split() {
         let mut cfg = base_cfg(Reduction::Bitmaps);
         cfg.allocation = CoreAllocation::Separate {
             sim_cores: 3,
             bitmap_cores: 3,
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("separate sets exceed"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "cannot select")]
     fn rejects_bad_k() {
         let mut cfg = base_cfg(Reduction::Bitmaps);
         cfg.select_k = 50;
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("cannot select"), "{err}");
+    }
+
+    #[test]
+    fn consumer_panic_aborts_with_structured_error() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.robustness.faults = FaultPlan::none().with_consumer_panic_at(3);
+        let disk = LocalDisk::new(1e9);
+        let err = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap_err();
+        assert_eq!(
+            err,
+            IbisError::WorkerPanic {
+                role: WorkerRole::Consumer,
+                step: Some(3),
+                message: "injected fault: consumer panic at step 3".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn skip_policy_survives_consumer_panic() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.robustness.policy = FailurePolicy::SkipStep;
+        cfg.robustness.faults = FaultPlan::none().with_consumer_panic_at(3);
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
+        assert!(matches!(r.step_outcomes[3], StepOutcome::Skipped { .. }));
+        assert!(!r.selected.contains(&3));
+        assert_eq!(r.selected[0], 0);
+        assert_eq!(r.fault_events, vec!["consumer step 3: injected panic"]);
+    }
+
+    #[test]
+    fn fallback_policy_substitutes_sampled_summary() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.robustness.policy = FailurePolicy::FallbackSampling {
+            percent: 10.0,
+            method: SamplingMethod::Stride,
+        };
+        cfg.robustness.faults = FaultPlan::none().with_consumer_panic_at(5);
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
+        assert!(matches!(
+            r.step_outcomes[5],
+            StepOutcome::FallbackSampled { .. }
+        ));
+        assert_eq!(r.selected.len(), 4, "selection count is preserved");
+    }
+
+    #[test]
+    fn producer_panic_at_step_zero_still_seeds_later() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.robustness.policy = FailurePolicy::SkipStep;
+        cfg.robustness.faults = FaultPlan::none().with_producer_panic_at(0);
+        let disk = LocalDisk::new(1e9);
+        let r = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap();
+        assert!(matches!(r.step_outcomes[0], StepOutcome::Skipped { .. }));
+        assert_eq!(r.selected[0], 1, "step 1 seeds when step 0 failed");
+    }
+
+    #[test]
+    fn separate_cores_consumer_panic_does_not_deadlock() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.allocation = CoreAllocation::Separate {
+            sim_cores: 2,
+            bitmap_cores: 2,
+        };
+        cfg.queue_capacity = 1; // smallest queue: producer blocks hardest
+        cfg.robustness.faults = FaultPlan::none().with_consumer_panic_at(2);
+        let disk = LocalDisk::new(1e9);
+        let err = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IbisError::WorkerPanic {
+                    role: WorkerRole::Consumer,
+                    step: Some(2),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn injected_kill_reports_step() {
+        let mut cfg = base_cfg(Reduction::Bitmaps);
+        cfg.robustness.faults = FaultPlan::none().with_kill_at_step(7);
+        let disk = LocalDisk::new(1e9);
+        let err = run_pipeline(Heat3D::new(heat_cfg()), &cfg, &disk).unwrap_err();
+        assert_eq!(err, IbisError::Killed { step: 7 });
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 30) as f64).collect();
+        let idx = ibis_core::BitmapIndex::build(&data, Binner::distinct_ints(0, 29));
+        let summary = StepSummary {
+            step: 4,
+            vars: vec![VarSummary::Bitmap(idx)],
+        };
+        let state = CheckpointState {
+            next_step: 5,
+            selected: vec![0, 4],
+            cur_interval: 1,
+            prev: Some((summary.clone(), false)),
+            buffer: vec![(4, summary, true)],
+            outcomes: vec![
+                StepOutcome::Completed,
+                StepOutcome::Skipped { reason: "x".into() },
+                StepOutcome::FallbackSampled { reason: "y".into() },
+                StepOutcome::Failed { error: "z".into() },
+                StepOutcome::Completed,
+            ],
+            output_modeled: 1.25,
+            bytes_written: 777,
+            summary_bytes_total: 999,
+            raw_bytes_per_step: 4096,
+        };
+        let bytes = encode_checkpoint(&state).unwrap();
+        let back = parse_checkpoint(&bytes).unwrap();
+        assert_eq!(back.next_step, 5);
+        assert_eq!(back.selected, vec![0, 4]);
+        assert_eq!(back.cur_interval, 1);
+        assert_eq!(back.outcomes, state.outcomes);
+        assert_eq!(back.output_modeled, 1.25);
+        assert_eq!(back.bytes_written, 777);
+        assert!(back.prev.is_some());
+        assert_eq!(back.buffer.len(), 1);
+        assert!(back.buffer[0].2, "degraded flag survives");
+
+        // any flipped byte must be rejected
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0x40;
+        assert!(matches!(
+            parse_checkpoint(&bad),
+            Err(IbisError::BadCheckpoint(_))
+        ));
+        assert!(matches!(
+            parse_checkpoint(&bytes[..bytes.len() - 3]),
+            Err(IbisError::BadCheckpoint(_))
+        ));
     }
 }

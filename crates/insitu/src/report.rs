@@ -23,6 +23,39 @@ impl PhaseTimes {
     }
 }
 
+/// What happened to one time-step under the fault-tolerant pipeline.
+/// A fault-free run is all [`StepOutcome::Completed`]; contained failures
+/// are recorded explicitly instead of silently dropping the step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step was summarized and offered to the selector normally.
+    Completed,
+    /// The step was dropped under `FailurePolicy::SkipStep`.
+    Skipped {
+        /// What failed.
+        reason: String,
+    },
+    /// The step's summary was rebuilt from the sampling baseline after the
+    /// primary reduction failed (`FailurePolicy::FallbackSampling`).
+    FallbackSampled {
+        /// What failed in the primary reduction.
+        reason: String,
+    },
+    /// The step failed and no recovery was possible (e.g. the fallback
+    /// itself failed, or the producer never delivered the step).
+    Failed {
+        /// The failure.
+        error: String,
+    },
+}
+
+impl StepOutcome {
+    /// True for [`StepOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, StepOutcome::Completed)
+    }
+}
+
 /// The complete result of one in-situ pipeline run.
 #[derive(Debug, Clone)]
 pub struct InsituReport {
@@ -46,6 +79,11 @@ pub struct InsituReport {
     pub summary_bytes_total: u64,
     /// Steps simulated.
     pub steps: usize,
+    /// Per-step outcome, in step order (all `Completed` on a clean run).
+    pub step_outcomes: Vec<StepOutcome>,
+    /// Deterministic log of every injected fault that fired (empty without
+    /// fault injection); two runs of the same plan produce identical logs.
+    pub fault_events: Vec<String>,
 }
 
 impl InsituReport {
@@ -85,7 +123,17 @@ mod tests {
             raw_bytes_per_step: 1000,
             summary_bytes_total: 2000,
             steps: 10,
+            step_outcomes: Vec::new(),
+            fault_events: Vec::new(),
         };
         assert_eq!(r.compression_ratio(), 5.0);
+    }
+
+    #[test]
+    fn outcomes_compare() {
+        assert!(StepOutcome::Completed.is_completed());
+        let a = StepOutcome::Skipped { reason: "x".into() };
+        assert_eq!(a, a.clone());
+        assert!(!a.is_completed());
     }
 }

@@ -1,64 +1,393 @@
-//! An on-disk store for the in-situ phase's output: one directory holding
-//! the selected time-steps' indices (one `.ibis` file per step per
+//! A durable on-disk store for the in-situ phase's output: one directory
+//! holding the selected time-steps' indices (one `.ibis` file per step per
 //! variable) plus a manifest — the artifact a post-analysis session opens
 //! instead of the raw simulation output.
+//!
+//! Because this store *replaces* the raw data, format v2 treats silent
+//! corruption and partial writes as first-class failure modes:
+//!
+//! * every blob is framed `IBB2 | payload len (u64 LE) | payload |
+//!   CRC32-C (u32 LE)` and written via temp-file + rename, so a crashed
+//!   writer never leaves a half-written blob under its final name;
+//! * a `JOURNAL` records each durable blob as it lands (each line carries
+//!   its own CRC, so a torn journal tail is detected and ignored) — an
+//!   interrupted run can [`StoreWriter::resume`] and re-put idempotently;
+//! * the `MANIFEST` carries a format header, per-entry length + CRC, and
+//!   a whole-file CRC footer, all written atomically; [`Store::open`]
+//!   refuses a manifest whose footer does not check out;
+//! * [`Store::fsck`] verifies every blob end-to-end and quarantines the
+//!   corrupt ones (renamed to `*.quarantined`), so [`Store::load_series`]
+//!   afterwards returns exactly the uncorrupted steps.
 //!
 //! Layout:
 //!
 //! ```text
 //! run-dir/
-//!   MANIFEST            # one line per entry: step <TAB> variable <TAB> file
-//!   s0000_temperature.ibis
-//!   s0005_temperature.ibis
+//!   MANIFEST            # "#IBIS-STORE v2", entry lines, "#END n crc"
+//!   JOURNAL             # only while a run is in flight
+//!   s000000_temperature.ibis
+//!   s000005_temperature.ibis
 //!   …
 //! ```
+//!
+//! v1 directories (plain 3-field manifests, unframed blobs) still open
+//! read-only for back-compat; they simply have no integrity metadata.
 
-use crate::io::codec;
+use crate::crc::crc32c;
+use crate::error::{IbisError, Result};
+use crate::fault::{FaultInjector, WriteFault};
+use crate::io::{codec, write_atomic};
 use ibis_core::BitmapIndex;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// A writer that accumulates selected-step indices into a run directory.
+/// Magic prefix of a framed v2 blob.
+const BLOB_MAGIC: &[u8; 4] = b"IBB2";
+/// First line of a v2 manifest.
+const MANIFEST_HEADER: &str = "#IBIS-STORE v2";
+/// Framing overhead: magic + u64 length + u32 CRC.
+const FRAME_OVERHEAD: usize = 4 + 8 + 4;
+
+/// What the store knows about one blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EntryMeta {
+    file: String,
+    /// On-disk (framed) length; `None` for legacy v1 entries.
+    len: Option<u64>,
+    /// CRC32-C of the payload; `None` for legacy v1 entries.
+    crc: Option<u32>,
+}
+
+/// Wraps an encoded index payload in the v2 frame.
+fn frame_blob(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(BLOB_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out
+}
+
+/// Validates a framed blob and returns its payload, or a description of
+/// what is wrong with it.
+fn unframe_blob(bytes: &[u8]) -> std::result::Result<&[u8], String> {
+    if bytes.len() < 4 || &bytes[..4] != BLOB_MAGIC {
+        return Err("missing IBB2 framing magic".into());
+    }
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(format!("framed blob too short ({} bytes)", bytes.len()));
+    }
+    let len = crate::crc::le_u64(&bytes[4..12]) as usize;
+    let expected_total = len
+        .checked_add(FRAME_OVERHEAD)
+        .ok_or_else(|| "declared payload length overflows".to_string())?;
+    if bytes.len() != expected_total {
+        return Err(format!(
+            "framed length {} != declared {}",
+            bytes.len(),
+            expected_total
+        ));
+    }
+    let payload = &bytes[12..12 + len];
+    let stored = crate::crc::le_u32(&bytes[12 + len..]);
+    let actual = crc32c(payload);
+    if stored != actual {
+        return Err(format!(
+            "CRC mismatch: stored {stored:08x}, computed {actual:08x}"
+        ));
+    }
+    Ok(payload)
+}
+
+fn check_variable_name(variable: &str) -> Result<()> {
+    if variable.is_empty()
+        || !variable
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(IbisError::Config(format!(
+            "variable name {variable:?} must be non-empty [A-Za-z0-9_] for safe file names"
+        )));
+    }
+    Ok(())
+}
+
+fn check_file_name(file: &str) -> std::result::Result<(), String> {
+    if file.is_empty() || file.contains('/') || file.contains('\\') || file.contains("..") {
+        return Err("file escapes the run directory".into());
+    }
+    Ok(())
+}
+
+/// One journal/manifest entry line (without the journal's own line CRC).
+fn entry_line(step: usize, var: &str, meta: &EntryMeta) -> String {
+    format!(
+        "{step}\t{var}\t{}\t{}\t{:08x}",
+        meta.file,
+        meta.len.unwrap_or(0),
+        meta.crc.unwrap_or(0)
+    )
+}
+
+/// A writer that accumulates selected-step indices into a run directory,
+/// durably: atomic framed blobs, a journaled in-flight state, and a
+/// checksummed manifest on [`StoreWriter::finish`].
 #[derive(Debug)]
 pub struct StoreWriter {
     dir: PathBuf,
-    entries: Vec<(usize, String, String)>,
+    entries: BTreeMap<(usize, String), EntryMeta>,
+    journal: std::fs::File,
+    injector: Option<Arc<FaultInjector>>,
+    max_attempts: u32,
 }
 
 impl StoreWriter {
-    /// Creates (if needed) the run directory.
-    pub fn create(dir: impl AsRef<Path>) -> std::io::Result<Self> {
-        std::fs::create_dir_all(dir.as_ref())?;
+    /// Creates (if needed) the run directory and starts a fresh journal.
+    pub fn create(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| IbisError::io(format!("create run dir {}", dir.display()), &e))?;
+        let journal = std::fs::File::create(dir.join("JOURNAL"))
+            .map_err(|e| IbisError::io("create JOURNAL", &e))?;
         Ok(StoreWriter {
-            dir: dir.as_ref().to_path_buf(),
-            entries: Vec::new(),
+            dir,
+            entries: BTreeMap::new(),
+            journal,
+            injector: None,
+            max_attempts: 4,
         })
     }
 
-    /// Persists one step's index for one variable.
-    pub fn put(&mut self, step: usize, variable: &str, index: &BitmapIndex) -> std::io::Result<()> {
-        assert!(
-            variable
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_'),
-            "variable names must be [A-Za-z0-9_] for safe file names"
-        );
+    /// Reopens an interrupted run directory, recovering every blob the
+    /// journal proves durable (line CRC valid, blob present, framing and
+    /// payload CRC intact). A torn journal tail and blobs that fail
+    /// verification are dropped; re-`put`ting them is idempotent.
+    pub fn resume(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| IbisError::io(format!("create run dir {}", dir.display()), &e))?;
+        let mut entries = BTreeMap::new();
+        let journal_path = dir.join("JOURNAL");
+        if let Ok(text) = std::fs::read_to_string(&journal_path) {
+            for line in text.lines() {
+                let Some(entry) = parse_journal_line(line) else {
+                    // malformed or torn line: everything after it is suspect
+                    break;
+                };
+                let (step, var, meta) = entry;
+                if check_file_name(&meta.file).is_err() {
+                    break;
+                }
+                let ok = std::fs::read(dir.join(&meta.file))
+                    .ok()
+                    .filter(|bytes| bytes.len() as u64 == meta.len.unwrap_or(0))
+                    .and_then(|bytes| {
+                        unframe_blob(&bytes)
+                            .ok()
+                            .map(|payload| crc32c(payload) == meta.crc.unwrap_or(0))
+                    })
+                    .unwrap_or(false);
+                if ok {
+                    entries.insert((step, var), meta);
+                }
+            }
+        }
+        // Rewrite the journal to exactly the verified entries, so the next
+        // crash-resume cycle starts from a clean (untorn) journal.
+        let mut journal = std::fs::File::create(&journal_path)
+            .map_err(|e| IbisError::io("rewrite JOURNAL", &e))?;
+        for ((step, var), meta) in &entries {
+            let line = entry_line(*step, var, meta);
+            writeln!(journal, "{line}\t{:08x}", crc32c(line.as_bytes()))
+                .map_err(|e| IbisError::io("rewrite JOURNAL", &e))?;
+        }
+        journal
+            .sync_all()
+            .map_err(|e| IbisError::io("sync JOURNAL", &e))?;
+        Ok(StoreWriter {
+            dir,
+            entries,
+            journal,
+            injector: None,
+            max_attempts: 4,
+        })
+    }
+
+    /// Routes this writer's blob writes through a fault injector.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Steps with at least one durable entry, ascending.
+    pub fn durable_steps(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.entries.keys().map(|(s, _)| *s).collect();
+        v.dedup();
+        v
+    }
+
+    /// Whether `(step, variable)` is already durable.
+    pub fn contains(&self, step: usize, variable: &str) -> bool {
+        self.entries.contains_key(&(step, variable.to_string()))
+    }
+
+    /// Persists one step's index for one variable: framed, checksummed,
+    /// written atomically, then journaled. Re-putting an existing entry is
+    /// idempotent (same payload → same bytes, entry overwritten).
+    pub fn put(&mut self, step: usize, variable: &str, index: &BitmapIndex) -> Result<()> {
+        check_variable_name(variable)?;
         let file = format!("s{step:06}_{variable}.ibis");
-        std::fs::write(self.dir.join(&file), codec::encode_index(index))?;
-        self.entries.push((step, variable.to_string(), file));
+        let payload = codec::encode_index(index);
+        let framed = frame_blob(&payload);
+        let meta = EntryMeta {
+            file: file.clone(),
+            len: Some(framed.len() as u64),
+            crc: Some(crc32c(&payload)),
+        };
+        self.write_blob_with_faults(&file, &framed)?;
+        let line = entry_line(step, variable, &meta);
+        writeln!(self.journal, "{line}\t{:08x}", crc32c(line.as_bytes()))
+            .and_then(|()| self.journal.sync_all())
+            .map_err(|e| IbisError::io("append JOURNAL", &e))?;
+        self.entries.insert((step, variable.to_string()), meta);
         Ok(())
     }
 
-    /// Writes the manifest and finishes the run. Until this is called the
-    /// directory has no manifest and [`Store::open`] will refuse it.
-    pub fn finish(mut self) -> std::io::Result<PathBuf> {
-        self.entries.sort();
-        let mut f = std::fs::File::create(self.dir.join("MANIFEST"))?;
-        for (step, var, file) in &self.entries {
-            writeln!(f, "{step}\t{var}\t{file}")?;
+    /// Atomic blob write with injected-fault retry. A torn write leaves
+    /// partial bytes only in the temp file — the final name either holds
+    /// the complete framed blob or nothing.
+    fn write_blob_with_faults(&self, file: &str, framed: &[u8]) -> Result<()> {
+        let path = self.dir.join(file);
+        let tmp = self.dir.join(format!(".{file}.tmp"));
+        let op = self.injector.as_ref().map(|inj| inj.begin_write());
+        let mut last_error = String::new();
+        for attempt in 0..self.max_attempts {
+            let fault = match (&self.injector, op) {
+                (Some(inj), Some(op)) => inj.write_fault_for(op, attempt),
+                _ => None,
+            };
+            match fault {
+                Some(WriteFault::IoError) => {
+                    last_error = format!("injected I/O error writing {file}");
+                }
+                Some(WriteFault::Torn) => {
+                    // simulate a crash mid-write: half the frame lands in
+                    // the temp file and the rename never happens
+                    let _ = std::fs::write(&tmp, &framed[..framed.len() / 2]);
+                    last_error = format!("injected torn write of {file}");
+                }
+                Some(WriteFault::DelayedAck(_)) | None => {
+                    return write_atomic(&tmp, &path, framed)
+                        .map_err(|e| IbisError::io(format!("write blob {file}"), &e));
+                }
+            }
+        }
+        Err(IbisError::StorageExhausted {
+            site: format!("store blob {file}"),
+            attempts: self.max_attempts,
+            last_error,
+        })
+    }
+
+    /// Writes the checksummed manifest atomically, deletes the journal,
+    /// and finishes the run. Until this is called the directory has no
+    /// manifest and [`Store::open`] will refuse it.
+    pub fn finish(self) -> Result<PathBuf> {
+        let mut body = String::new();
+        body.push_str(MANIFEST_HEADER);
+        body.push('\n');
+        for ((step, var), meta) in &self.entries {
+            body.push_str(&entry_line(*step, var, meta));
+            body.push('\n');
+        }
+        let footer = format!(
+            "#END {} {:08x}\n",
+            self.entries.len(),
+            crc32c(body.as_bytes())
+        );
+        body.push_str(&footer);
+        write_atomic(
+            &self.dir.join(".MANIFEST.tmp"),
+            &self.dir.join("MANIFEST"),
+            body.as_bytes(),
+        )
+        .map_err(|e| IbisError::io("write MANIFEST", &e))?;
+        match std::fs::remove_file(self.dir.join("JOURNAL")) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(IbisError::io("remove JOURNAL", &e)),
         }
         Ok(self.dir)
+    }
+}
+
+fn parse_journal_line(line: &str) -> Option<(usize, String, EntryMeta)> {
+    let (body, crc_field) = line.rsplit_once('\t')?;
+    let line_crc = u32::from_str_radix(crc_field, 16).ok()?;
+    if crc32c(body.as_bytes()) != line_crc {
+        return None;
+    }
+    let (step, var, meta) = parse_entry_fields(body)?;
+    Some((step, var, meta))
+}
+
+/// Parses `step \t var \t file \t len \t crc` into an entry.
+fn parse_entry_fields(body: &str) -> Option<(usize, String, EntryMeta)> {
+    let mut parts = body.split('\t');
+    let (Some(step), Some(var), Some(file), Some(len), Some(crc), None) = (
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+    ) else {
+        return None;
+    };
+    Some((
+        step.parse().ok()?,
+        var.to_string(),
+        EntryMeta {
+            file: file.to_string(),
+            len: Some(len.parse().ok()?),
+            crc: Some(u32::from_str_radix(crc, 16).ok()?),
+        },
+    ))
+}
+
+/// One blob [`Store::fsck`] had to quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedBlob {
+    /// The entry's time-step.
+    pub step: usize,
+    /// The entry's variable.
+    pub variable: String,
+    /// The blob's file name (now renamed to `<file>.quarantined`).
+    pub file: String,
+    /// What the integrity check found.
+    pub reason: String,
+}
+
+/// Result of an [`Store::fsck`] pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FsckReport {
+    /// Entries examined.
+    pub checked: usize,
+    /// Entries that failed verification and were quarantined.
+    pub quarantined: Vec<QuarantinedBlob>,
+}
+
+impl FsckReport {
+    /// True when every blob verified.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
     }
 }
 
@@ -66,31 +395,24 @@ impl StoreWriter {
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
-    /// `(step, variable) -> file name`, ordered by step then variable.
-    entries: BTreeMap<(usize, String), String>,
+    /// `(step, variable) -> entry`, ordered by step then variable.
+    entries: BTreeMap<(usize, String), EntryMeta>,
 }
 
 impl Store {
-    /// Opens a run directory; fails without a valid manifest.
-    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+    /// Opens a run directory; fails without a valid manifest. A v2
+    /// manifest must carry an intact `#END` footer (count + CRC over the
+    /// header and entry lines); legacy 3-field v1 manifests still parse,
+    /// with no integrity metadata.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
-        let mut entries = BTreeMap::new();
-        for (lineno, line) in manifest.lines().enumerate() {
-            let mut parts = line.split('\t');
-            let (Some(step), Some(var), Some(file), None) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
-                return Err(bad_manifest(lineno, "expected 3 tab-separated fields"));
-            };
-            let step: usize = step
-                .parse()
-                .map_err(|_| bad_manifest(lineno, "bad step number"))?;
-            if file.contains('/') || file.contains("..") {
-                return Err(bad_manifest(lineno, "file escapes the run directory"));
-            }
-            entries.insert((step, var.to_string()), file.to_string());
-        }
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST"))
+            .map_err(|e| IbisError::io("read MANIFEST", &e))?;
+        let entries = if manifest.starts_with(MANIFEST_HEADER) {
+            parse_manifest_v2(&manifest)?
+        } else {
+            parse_manifest_v1(&manifest)?
+        };
         Ok(Store { dir, entries })
     }
 
@@ -110,28 +432,98 @@ impl Store {
             .collect()
     }
 
-    /// Loads one index.
-    pub fn get(&self, step: usize, variable: &str) -> std::io::Result<BitmapIndex> {
-        let file = self
+    /// Loads one index, verifying framing and checksum on the way.
+    pub fn get(&self, step: usize, variable: &str) -> Result<BitmapIndex> {
+        let meta = self
             .entries
             .get(&(step, variable.to_string()))
-            .ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::NotFound,
-                    format!("no entry for step {step} variable {variable:?}"),
-                )
+            .ok_or_else(|| IbisError::NotFound {
+                step,
+                variable: variable.to_string(),
             })?;
-        let bytes = std::fs::read(self.dir.join(file))?;
-        codec::decode_index(&bytes).ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("{file}: corrupt index blob"),
-            )
+        let payload = self.verified_payload(meta)?;
+        codec::decode_index(&payload).map_err(|source| IbisError::Decode {
+            file: Some(meta.file.clone()),
+            source,
         })
     }
 
+    /// Reads a blob and runs every applicable integrity check, returning
+    /// the (still encoded) payload.
+    fn verified_payload(&self, meta: &EntryMeta) -> Result<Vec<u8>> {
+        let bytes = std::fs::read(self.dir.join(&meta.file))
+            .map_err(|e| IbisError::io(format!("read blob {}", meta.file), &e))?;
+        if let Some(len) = meta.len {
+            if bytes.len() as u64 != len {
+                return Err(IbisError::Corrupt {
+                    file: meta.file.clone(),
+                    detail: format!("on-disk length {} != manifest's {len}", bytes.len()),
+                });
+            }
+        }
+        if bytes.starts_with(BLOB_MAGIC) {
+            let payload = unframe_blob(&bytes).map_err(|detail| IbisError::Corrupt {
+                file: meta.file.clone(),
+                detail,
+            })?;
+            if let Some(crc) = meta.crc {
+                let actual = crc32c(payload);
+                if actual != crc {
+                    return Err(IbisError::Corrupt {
+                        file: meta.file.clone(),
+                        detail: format!("payload CRC {actual:08x} != manifest's {crc:08x}"),
+                    });
+                }
+            }
+            Ok(payload.to_vec())
+        } else if meta.crc.is_some() {
+            // a v2 entry must be framed; raw bytes mean the blob was
+            // replaced or truncated past its magic
+            Err(IbisError::Corrupt {
+                file: meta.file.clone(),
+                detail: "v2 entry lost its IBB2 framing".into(),
+            })
+        } else {
+            Ok(bytes) // legacy v1 blob: payload is the whole file
+        }
+    }
+
+    /// Verifies every blob end-to-end (framing, CRC, decode) and
+    /// quarantines the ones that fail: the file is renamed to
+    /// `<file>.quarantined` and the entry removed, so subsequent reads see
+    /// only intact data.
+    pub fn fsck(&mut self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let keys: Vec<(usize, String)> = self.entries.keys().cloned().collect();
+        for (step, variable) in keys {
+            report.checked += 1;
+            let meta = self.entries[&(step, variable.clone())].clone();
+            let verdict = self
+                .verified_payload(&meta)
+                .and_then(|payload| {
+                    codec::decode_index(&payload).map_err(|source| IbisError::Decode {
+                        file: Some(meta.file.clone()),
+                        source,
+                    })
+                })
+                .map(|_| ());
+            if let Err(err) = verdict {
+                let from = self.dir.join(&meta.file);
+                let _ = std::fs::rename(&from, self.dir.join(format!("{}.quarantined", meta.file)));
+                self.entries.remove(&(step, variable.clone()));
+                report.quarantined.push(QuarantinedBlob {
+                    step,
+                    variable,
+                    file: meta.file,
+                    reason: err.to_string(),
+                });
+            }
+        }
+        report
+    }
+
     /// Loads every step of one variable, in step order.
-    pub fn load_series(&self, variable: &str) -> std::io::Result<Vec<(usize, BitmapIndex)>> {
+    pub fn load_series(&self, variable: &str) -> Result<Vec<(usize, BitmapIndex)>> {
         self.steps()
             .into_iter()
             .filter(|&s| self.entries.contains_key(&(s, variable.to_string())))
@@ -140,16 +532,92 @@ impl Store {
     }
 }
 
-fn bad_manifest(lineno: usize, why: &str) -> std::io::Error {
-    std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!("MANIFEST line {}: {why}", lineno + 1),
-    )
+fn parse_manifest_v2(manifest: &str) -> Result<BTreeMap<(usize, String), EntryMeta>> {
+    let footer_start = manifest.rfind("#END ").ok_or(IbisError::Manifest {
+        line: 0,
+        reason: "v2 manifest has no #END footer (truncated?)".into(),
+    })?;
+    let (body, footer) = manifest.split_at(footer_start);
+    let footer = footer.trim_end();
+    let mut fields = footer.strip_prefix("#END ").unwrap_or("").split(' ');
+    let (Some(count), Some(crc), None) = (fields.next(), fields.next(), fields.next()) else {
+        return Err(IbisError::Manifest {
+            line: 0,
+            reason: "malformed #END footer".into(),
+        });
+    };
+    let count: usize = count.parse().map_err(|_| IbisError::Manifest {
+        line: 0,
+        reason: "bad entry count in #END footer".into(),
+    })?;
+    let crc = u32::from_str_radix(crc, 16).map_err(|_| IbisError::Manifest {
+        line: 0,
+        reason: "bad CRC in #END footer".into(),
+    })?;
+    let actual = crc32c(body.as_bytes());
+    if actual != crc {
+        return Err(IbisError::Manifest {
+            line: 0,
+            reason: format!("manifest CRC {actual:08x} != footer's {crc:08x}"),
+        });
+    }
+    let mut entries = BTreeMap::new();
+    for (lineno, line) in body.lines().enumerate().skip(1) {
+        let (step, var, meta) = parse_entry_fields(line).ok_or_else(|| IbisError::Manifest {
+            line: lineno + 1,
+            reason: "expected 5 tab-separated fields".into(),
+        })?;
+        check_file_name(&meta.file).map_err(|reason| IbisError::Manifest {
+            line: lineno + 1,
+            reason,
+        })?;
+        entries.insert((step, var), meta);
+    }
+    if entries.len() != count {
+        return Err(IbisError::Manifest {
+            line: 0,
+            reason: format!("{} entries != footer's count {count}", entries.len()),
+        });
+    }
+    Ok(entries)
+}
+
+fn parse_manifest_v1(manifest: &str) -> Result<BTreeMap<(usize, String), EntryMeta>> {
+    let mut entries = BTreeMap::new();
+    for (lineno, line) in manifest.lines().enumerate() {
+        let mut parts = line.split('\t');
+        let (Some(step), Some(var), Some(file), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(IbisError::Manifest {
+                line: lineno + 1,
+                reason: "expected 3 tab-separated fields".into(),
+            });
+        };
+        let step: usize = step.parse().map_err(|_| IbisError::Manifest {
+            line: lineno + 1,
+            reason: "bad step number".into(),
+        })?;
+        check_file_name(file).map_err(|reason| IbisError::Manifest {
+            line: lineno + 1,
+            reason,
+        })?;
+        entries.insert(
+            (step, var.to_string()),
+            EntryMeta {
+                file: file.to_string(),
+                len: None,
+                crc: None,
+            },
+        );
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use ibis_core::Binner;
 
     fn sample_index(seed: usize) -> BitmapIndex {
@@ -181,6 +649,10 @@ mod tests {
         let series = store.load_series("salinity").unwrap();
         assert_eq!(series.len(), 3);
         assert_eq!(series[2].0, 9);
+        assert!(
+            !dir.join("JOURNAL").exists(),
+            "finish() must retire the journal"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -200,23 +672,197 @@ mod tests {
         w.finish().unwrap();
         let store = Store::open(&dir).unwrap();
         let err = store.get(1, "salinity").unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(matches!(err, IbisError::NotFound { step: 1, .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn corrupt_blob_is_invalid_data() {
+    fn truncated_blob_is_corrupt() {
         let dir = tmp("corrupt");
         let mut w = StoreWriter::create(&dir).unwrap();
         w.put(2, "temperature", &sample_index(2)).unwrap();
         let finished = w.finish().unwrap();
-        // truncate the blob
         let f = finished.join("s000002_temperature.ibis");
         let bytes = std::fs::read(&f).unwrap();
         std::fs::write(&f, &bytes[..bytes.len() / 2]).unwrap();
         let store = Store::open(&dir).unwrap();
         let err = store.get(2, "temperature").unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, IbisError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_flipped_byte_is_detected() {
+        let dir = tmp("bitflip");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(3, "temperature", &sample_index(3)).unwrap();
+        let finished = w.finish().unwrap();
+        let f = finished.join("s000003_temperature.ibis");
+        let mut bytes = std::fs::read(&f).unwrap();
+        let mid = bytes.len() / 2; // somewhere inside the payload
+        bytes[mid] ^= 0x01;
+        std::fs::write(&f, &bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let err = store.get(3, "temperature").unwrap_err();
+        match err {
+            IbisError::Corrupt { detail, .. } => {
+                assert!(detail.contains("CRC"), "flip must fail the CRC: {detail}")
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_quarantines_corrupt_blob_and_series_skips_it() {
+        let dir = tmp("fsck");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for step in [0usize, 1, 2] {
+            w.put(step, "temperature", &sample_index(step)).unwrap();
+        }
+        let finished = w.finish().unwrap();
+        let f = finished.join("s000001_temperature.ibis");
+        let mut bytes = std::fs::read(&f).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&f, &bytes).unwrap();
+
+        let mut store = Store::open(&dir).unwrap();
+        let report = store.fsck();
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].step, 1);
+        assert!(!report.is_clean());
+        assert!(
+            dir.join("s000001_temperature.ibis.quarantined").exists(),
+            "corrupt blob must be set aside, not deleted"
+        );
+        assert!(!f.exists());
+
+        let series = store.load_series("temperature").unwrap();
+        assert_eq!(
+            series.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 2],
+            "load_series must return every uncorrupted step"
+        );
+        assert_eq!(series[0].1.counts(), sample_index(0).counts());
+
+        // a second pass finds nothing left to quarantine
+        assert!(store.fsck().is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_manifest_fails_footer_crc() {
+        let dir = tmp("tamper");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.finish().unwrap();
+        let path = dir.join("MANIFEST");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // retarget the entry at a different file without fixing the footer
+        std::fs::write(&path, text.replace("s000000", "s000009")).unwrap();
+        let err = Store::open(&dir).unwrap_err();
+        assert!(matches!(err, IbisError::Manifest { .. }), "{err}");
+        // a truncated manifest (lost footer) is refused too
+        let upto = text.rfind("#END").unwrap();
+        std::fs::write(&path, &text[..upto]).unwrap();
+        assert!(Store::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_recovers_journaled_blobs_and_ignores_torn_tail() {
+        let dir = tmp("resume");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        // crash: drop the writer without finish(); then tear the journal
+        drop(w);
+        let journal = dir.join("JOURNAL");
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes.extend_from_slice(b"2\ttemperature\ts0000"); // torn final line
+        std::fs::write(&journal, &bytes).unwrap();
+
+        let mut w = StoreWriter::resume(&dir).unwrap();
+        assert_eq!(w.durable_steps(), vec![0, 1]);
+        assert!(w.contains(1, "temperature"));
+        assert!(!w.contains(2, "temperature"));
+        // idempotent re-put of step 1, then the step the crash lost
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.put(2, "temperature", &sample_index(2)).unwrap();
+        w.finish().unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.steps(), vec![0, 1, 2]);
+        assert_eq!(
+            store.get(1, "temperature").unwrap().counts(),
+            sample_index(1).counts()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_drops_journal_entries_whose_blob_is_bad() {
+        let dir = tmp("resumebad");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        drop(w);
+        // blob 1 is journaled but its file got corrupted before the resume
+        let f = dir.join("s000001_temperature.ibis");
+        let mut bytes = std::fs::read(&f).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&f, &bytes).unwrap();
+        let w = StoreWriter::resume(&dir).unwrap();
+        assert_eq!(
+            w.durable_steps(),
+            vec![0],
+            "bad blob must not count as durable"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_fault_retries_and_leaves_no_partial_blob() {
+        let dir = tmp("tornfault");
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::none().with_torn_write_at(0).with_io_error_at(1),
+        ));
+        let mut w = StoreWriter::create(&dir)
+            .unwrap()
+            .with_fault_injector(Arc::clone(&inj));
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(
+            store.get(0, "temperature").unwrap().counts(),
+            sample_index(0).counts()
+        );
+        assert_eq!(
+            store.get(1, "temperature").unwrap().counts(),
+            sample_index(1).counts()
+        );
+        assert_eq!(inj.events().len(), 2, "both faults must be recorded");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_write_fault_exhausts_attempts() {
+        let dir = tmp("exhaust");
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::none()
+                .with_io_error_at(0)
+                .with_persistent_write_faults(),
+        ));
+        let mut w = StoreWriter::create(&dir).unwrap().with_fault_injector(inj);
+        let err = w.put(0, "temperature", &sample_index(0)).unwrap_err();
+        assert!(
+            matches!(err, IbisError::StorageExhausted { attempts: 4, .. }),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -234,10 +880,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "safe file names")]
+    fn legacy_v1_manifest_still_opens() {
+        let dir = tmp("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let payload = codec::encode_index(&sample_index(4));
+        std::fs::write(dir.join("s000004_temperature.ibis"), &payload).unwrap();
+        std::fs::write(
+            dir.join("MANIFEST"),
+            "4\ttemperature\ts000004_temperature.ibis\n",
+        )
+        .unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.steps(), vec![4]);
+        assert_eq!(
+            store.get(4, "temperature").unwrap().counts(),
+            sample_index(4).counts()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn hostile_variable_name_rejected() {
         let dir = tmp("hostilevar");
         let mut w = StoreWriter::create(&dir).unwrap();
-        let _ = w.put(0, "../evil", &sample_index(0));
+        let err = w.put(0, "../evil", &sample_index(0)).unwrap_err();
+        assert!(matches!(err, IbisError::Config(_)), "{err}");
+        assert!(w.put(0, "", &sample_index(0)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

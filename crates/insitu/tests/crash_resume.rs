@@ -1,0 +1,157 @@
+//! Crash/resume regression for the durable pipeline, on the Ocean model:
+//! a run killed mid-flight and resumed must leave a store byte-identical
+//! to an uninterrupted run's, and corruption on disk must be detected,
+//! quarantined, and excluded from analysis.
+
+use ibis_analysis::Metric;
+use ibis_datagen::{OceanConfig, OceanModel};
+use ibis_insitu::{
+    pipeline::pending_checkpoint, resume_durable, run_durable, CoreAllocation, FaultPlan,
+    IbisError, MachineModel, PipelineConfig, Reduction, RobustnessConfig, ScalingModel, Store,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn ocean() -> OceanConfig {
+    OceanConfig::tiny()
+}
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig {
+        machine: MachineModel::xeon32(),
+        cores: 4,
+        allocation: CoreAllocation::Shared,
+        reduction: Reduction::Bitmaps,
+        steps: 11,
+        select_k: 4,
+        metric: Metric::ConditionalEntropy,
+        binners: Vec::new(),
+        per_step_precision: Some(0),
+        queue_capacity: 2,
+        sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibis-crash-resume-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Every durable artifact in the directory, name → bytes. A finished run
+/// leaves only blobs and the manifest; anything else (checkpoint, journal,
+/// temp files) would be a cleanup bug and makes the comparison fail.
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        out.insert(name, std::fs::read(entry.path()).expect("read file"));
+    }
+    out
+}
+
+#[test]
+fn killed_run_resumes_to_byte_identical_store() {
+    let clean_dir = tmp("clean");
+    let crash_dir = tmp("crash");
+
+    // the uninterrupted reference run
+    let clean = run_durable(OceanModel::new(ocean()), &cfg(), &clean_dir).unwrap();
+    assert_eq!(clean.selected.len(), 4);
+    assert!(pending_checkpoint(&clean_dir).is_none());
+
+    // the same run, killed mid-flight by the fault plan
+    let mut killed_cfg = cfg();
+    killed_cfg.robustness.faults = FaultPlan::none().with_kill_at_step(6);
+    let err = run_durable(OceanModel::new(ocean()), &killed_cfg, &crash_dir).unwrap_err();
+    assert_eq!(err, IbisError::Killed { step: 6 });
+    assert!(
+        pending_checkpoint(&crash_dir).is_some(),
+        "a killed run must leave its checkpoint behind"
+    );
+
+    // resume with the kill removed from the plan
+    let resumed = resume_durable(OceanModel::new(ocean()), &cfg(), &crash_dir).unwrap();
+    assert_eq!(
+        resumed.selected, clean.selected,
+        "selection must survive the crash"
+    );
+    assert_eq!(resumed.bytes_written, clean.bytes_written);
+    assert!(
+        pending_checkpoint(&crash_dir).is_none(),
+        "checkpoint must be retired"
+    );
+
+    // the store itself — every file, every byte
+    assert_eq!(
+        dir_contents(&clean_dir),
+        dir_contents(&crash_dir),
+        "resumed store must be byte-identical to the uninterrupted one"
+    );
+
+    // both stores load and agree
+    let a = Store::open(&clean_dir).unwrap();
+    let b = Store::open(&crash_dir).unwrap();
+    assert_eq!(a.steps(), b.steps());
+    assert_eq!(a.steps(), clean.selected);
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+#[test]
+fn resume_on_fresh_directory_is_a_fresh_run() {
+    let a = tmp("fresh-a");
+    let b = tmp("fresh-b");
+    let r1 = run_durable(OceanModel::new(ocean()), &cfg(), &a).unwrap();
+    // no checkpoint in `b`, so resume falls back to a clean start
+    let r2 = resume_durable(OceanModel::new(ocean()), &cfg(), &b).unwrap();
+    assert_eq!(r1.selected, r2.selected);
+    assert_eq!(dir_contents(&a), dir_contents(&b));
+    std::fs::remove_dir_all(&a).ok();
+    std::fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn flipped_byte_is_quarantined_and_excluded_from_series() {
+    let dir = tmp("fsck");
+    let report = run_durable(OceanModel::new(ocean()), &cfg(), &dir).unwrap();
+    let victim = report.selected[1];
+
+    // corrupt one payload byte of one temperature blob
+    let file = dir.join(format!("s{victim:06}_temperature.ibis"));
+    let mut bytes = std::fs::read(&file).expect("blob exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&file, &bytes).unwrap();
+
+    let mut store = Store::open(&dir).unwrap();
+    let fsck = store.fsck();
+    assert_eq!(fsck.quarantined.len(), 1, "exactly the flipped blob");
+    assert_eq!(fsck.quarantined[0].step, victim);
+    assert_eq!(fsck.quarantined[0].variable, "temperature");
+    assert!(dir
+        .join(format!("s{victim:06}_temperature.ibis.quarantined"))
+        .exists());
+
+    // reads now see only intact data
+    let series = store.load_series("temperature").unwrap();
+    let steps: Vec<usize> = series.iter().map(|(s, _)| *s).collect();
+    let expected: Vec<usize> = report
+        .selected
+        .iter()
+        .copied()
+        .filter(|&s| s != victim)
+        .collect();
+    assert_eq!(steps, expected, "corrupt step must drop out of the series");
+    assert!(matches!(
+        store.get(victim, "temperature"),
+        Err(IbisError::NotFound { .. })
+    ));
+    // untouched variables are unaffected
+    assert_eq!(store.load_series("salinity").unwrap().len(), 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,7 +12,7 @@ proptest! {
         let d = LocalDisk::new(bw);
         let mut total = 0.0;
         for &w in &writes {
-            total += d.write(0.0, w);
+            total += d.write(0.0, w).unwrap();
         }
         let want: f64 = writes.iter().map(|&w| w as f64 / bw).sum();
         prop_assert!((total - want).abs() < 1e-9 * want.max(1.0));
@@ -32,7 +32,7 @@ proptest! {
         let mut first_arrival = f64::INFINITY;
         let mut total_bytes = 0u64;
         for &(now, bytes) in &writes {
-            let wait = link.write(now, bytes);
+            let wait = link.write(now, bytes).unwrap();
             completions.push(now + wait);
             first_arrival = first_arrival.min(now);
             total_bytes += bytes;
@@ -93,12 +93,28 @@ proptest! {
     }
 
     #[test]
+    fn index_codec_never_panics_on_mutated_blobs(
+        data in proptest::collection::vec(-5.0f64..5.0, 1..200),
+        pos in 0usize..10_000,
+        xor in 1u8..255,
+    ) {
+        // adversarial bytes that are *almost* a valid blob: a single-byte
+        // corruption anywhere must decode to Ok or Err, never a panic
+        let binner = ibis_core::Binner::fixed_width(-5.0, 5.0, 8);
+        let idx = ibis_core::BitmapIndex::build(&data, binner);
+        let mut blob = codec::encode_index(&idx);
+        let i = pos % blob.len();
+        blob[i] ^= xor;
+        let _ = codec::decode_index(&blob);
+    }
+
+    #[test]
     fn index_codec_rejects_any_truncation(data in proptest::collection::vec(0.0f64..5.0, 1..100)) {
         let binner = ibis_core::Binner::fixed_width(0.0, 5.0, 5);
         let idx = ibis_core::BitmapIndex::build(&data, binner);
         let blob = codec::encode_index(&idx);
         for cut in [1usize, blob.len() / 2, blob.len() - 1] {
-            prop_assert!(codec::decode_index(&blob[..cut]).is_none(), "cut at {cut}");
+            prop_assert!(codec::decode_index(&blob[..cut]).is_err(), "cut at {cut}");
         }
     }
 

@@ -10,7 +10,8 @@
 use ibis::core::Binner;
 use ibis::datagen::Heat3DConfig;
 use ibis::insitu::{
-    run_cluster, ClusterConfig, ClusterIo, ClusterReduction, MachineModel, ScalingModel,
+    run_cluster, ClusterConfig, ClusterIo, ClusterReduction, MachineModel, RobustnessConfig,
+    ScalingModel,
 };
 
 fn main() {
@@ -33,6 +34,8 @@ fn main() {
         io: ClusterIo::Local,
         remote_bw: MachineModel::remote_link_bw(),
         sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
+        coordinator_timeout: std::time::Duration::from_secs(30),
     };
 
     println!(
@@ -72,7 +75,7 @@ fn main() {
             io,
             ..base.clone()
         };
-        let r = run_cluster(&cfg);
+        let r = run_cluster(&cfg).expect("run");
         println!(
             "{:<22} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7.1} MB",
             label,

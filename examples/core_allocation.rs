@@ -11,7 +11,7 @@ use ibis::core::Binner;
 use ibis::datagen::{Heat3D, Heat3DConfig};
 use ibis::insitu::{
     auto_allocate, run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig,
-    Reduction, ScalingModel,
+    Reduction, RobustnessConfig, ScalingModel,
 };
 
 fn main() {
@@ -37,6 +37,7 @@ fn main() {
         per_step_precision: None,
         queue_capacity: 4,
         sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
     };
 
     println!(
@@ -50,7 +51,7 @@ fn main() {
 
     // Shared cores: phases alternate on all 28 cores.
     let disk = LocalDisk::new(machine.disk_bw);
-    let shared = run_pipeline(Heat3D::new(heat.clone()), &base, &disk);
+    let shared = run_pipeline(Heat3D::new(heat.clone()), &base, &disk).expect("run");
     println!(
         "{:<16} {:>10.3} {:>10.3} {:>12.3}",
         "c_all (shared)", shared.phases.simulate, shared.phases.reduce, shared.total_modeled
@@ -64,7 +65,7 @@ fn main() {
             bitmap_cores: bm,
         };
         let disk = LocalDisk::new(machine.disk_bw);
-        let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk);
+        let r = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk).expect("run");
         println!(
             "{:<16} {:>10.3} {:>10.3} {:>12.3}",
             format!("c{sim}_c{bm}"),
@@ -87,7 +88,7 @@ fn main() {
     let mut cfg = base.clone();
     cfg.allocation = alloc;
     let disk = LocalDisk::new(machine.disk_bw);
-    let r = run_pipeline(Heat3D::new(heat), &cfg, &disk);
+    let r = run_pipeline(Heat3D::new(heat), &cfg, &disk).expect("run");
     println!(
         "{:<16} {:>10.3} {:>10.3} {:>12.3}   <- Equations 1-2",
         format!("auto c{sim_cores}_c{bitmap_cores}"),

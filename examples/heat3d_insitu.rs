@@ -11,7 +11,8 @@ use ibis::analysis::Metric;
 use ibis::core::Binner;
 use ibis::datagen::{Heat3D, Heat3DConfig};
 use ibis::insitu::{
-    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
+    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
+    RobustnessConfig, ScalingModel,
 };
 
 fn main() {
@@ -38,6 +39,7 @@ fn main() {
         per_step_precision: None,
         queue_capacity: 4,
         sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
     };
 
     println!(
@@ -46,9 +48,10 @@ fn main() {
     );
 
     let disk = LocalDisk::new(machine.disk_bw);
-    let bitmaps = run_pipeline(Heat3D::new(heat.clone()), &cfg(Reduction::Bitmaps), &disk);
+    let bitmaps =
+        run_pipeline(Heat3D::new(heat.clone()), &cfg(Reduction::Bitmaps), &disk).expect("run");
     let disk2 = LocalDisk::new(machine.disk_bw);
-    let full = run_pipeline(Heat3D::new(heat), &cfg(Reduction::FullData), &disk2);
+    let full = run_pipeline(Heat3D::new(heat), &cfg(Reduction::FullData), &disk2).expect("run");
 
     println!("\n{:<22} {:>12} {:>12}", "", "bitmaps", "full data");
     let row = |name: &str, b: f64, f: f64| {

@@ -19,8 +19,8 @@ use ibis::analysis::Metric;
 use ibis::core::{Binner, BitmapIndex};
 use ibis::datagen::{Heat3D, Heat3DConfig, Simulation};
 use ibis::insitu::{
-    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
-    Store, StoreWriter,
+    run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
+    RobustnessConfig, ScalingModel, Store, StoreWriter,
 };
 
 fn main() {
@@ -47,9 +47,10 @@ fn main() {
         per_step_precision: None,
         queue_capacity: 4,
         sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
     };
     let disk = LocalDisk::new(MachineModel::xeon32().disk_bw);
-    let report = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk);
+    let report = run_pipeline(Heat3D::new(heat.clone()), &cfg, &disk).expect("run");
     println!("in-situ phase selected steps {:?}", report.selected);
 
     let mut writer = StoreWriter::create(&dir).expect("create output dir");

@@ -12,10 +12,23 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (ibis-insitu non-test code: no unwrap/expect)"
+# Lints only the plain lib target: #[cfg(test)] modules are not compiled,
+# so the crate-level deny(clippy::unwrap_used, clippy::expect_used) in
+# crates/insitu/src/lib.rs gates exactly the non-test code.
+cargo clippy -p ibis-insitu --lib -- -D warnings
+
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
+echo "==> cargo test (fault-injection + crash/resume suites, default kernels)"
+cargo test -q -p ibis-insitu --test fault_injection --test crash_resume
+
 echo "==> cargo test (ibis-core with legacy-kernels, for the A/B sweep)"
 cargo test -q -p ibis-core --features legacy-kernels
+
+echo "==> cargo test (fault suite against legacy kernels)"
+cargo test -q -p ibis-insitu --features ibis-core/legacy-kernels \
+    --test fault_injection --test crash_resume
 
 echo "CI OK"

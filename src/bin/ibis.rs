@@ -20,7 +20,7 @@ use ibis::datagen::{
 };
 use ibis::insitu::{
     auto_allocate, run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig,
-    Reduction, ScalingModel, StoreWriter,
+    Reduction, RobustnessConfig, ScalingModel, StoreWriter,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -246,13 +246,14 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
         per_step_precision: None,
         queue_capacity: 4,
         sim_scaling: scaling,
+        robustness: RobustnessConfig::default(),
     };
     let disk = LocalDisk::new(machine.disk_bw);
     println!(
         "running {sim_name}: {steps} steps, selecting {select_k}, {cores} cores on {} ({:?})",
         machine.name, cfg.allocation
     );
-    let report = run_pipeline(sim, &cfg, &disk);
+    let report = run_pipeline(sim, &cfg, &disk).map_err(|e| e.to_string())?;
 
     println!("\nselected steps: {:?}", report.selected);
     println!(

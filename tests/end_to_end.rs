@@ -8,7 +8,8 @@ use ibis::core::Binner;
 use ibis::datagen::{Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, Simulation};
 use ibis::insitu::{
     auto_allocate, run_cluster, run_pipeline, ClusterConfig, ClusterIo, ClusterReduction,
-    CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction, ScalingModel,
+    CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction, RobustnessConfig,
+    ScalingModel,
 };
 
 fn heat() -> Heat3DConfig {
@@ -33,6 +34,7 @@ fn heat_pipeline(reduction: Reduction, allocation: CoreAllocation) -> PipelineCo
         per_step_precision: None,
         queue_capacity: 2,
         sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
     }
 }
 
@@ -44,12 +46,14 @@ fn heat3d_selection_identical_across_methods_and_strategies() {
             Heat3D::new(heat()),
             &heat_pipeline(Reduction::Bitmaps, CoreAllocation::Shared),
             &disk,
-        ),
+        )
+        .unwrap(),
         run_pipeline(
             Heat3D::new(heat()),
             &heat_pipeline(Reduction::FullData, CoreAllocation::Shared),
             &disk,
-        ),
+        )
+        .unwrap(),
         run_pipeline(
             Heat3D::new(heat()),
             &heat_pipeline(
@@ -60,7 +64,8 @@ fn heat3d_selection_identical_across_methods_and_strategies() {
                 },
             ),
             &disk,
-        ),
+        )
+        .unwrap(),
     ];
     assert_eq!(runs[0].selected, runs[1].selected, "bitmaps vs full data");
     assert_eq!(runs[0].selected, runs[2].selected, "shared vs separate");
@@ -94,12 +99,13 @@ fn lulesh_pipeline_with_twelve_variables() {
         per_step_precision: None,
         queue_capacity: 2,
         sim_scaling: ScalingModel::lulesh(),
+        robustness: RobustnessConfig::default(),
     };
     let disk = LocalDisk::new(1e9);
-    let rb = run_pipeline(MiniLulesh::new(lcfg.clone()), &cfg, &disk);
+    let rb = run_pipeline(MiniLulesh::new(lcfg.clone()), &cfg, &disk).unwrap();
     let mut cfg_full = cfg.clone();
     cfg_full.reduction = Reduction::FullData;
-    let rf = run_pipeline(MiniLulesh::new(lcfg), &cfg_full, &disk);
+    let rf = run_pipeline(MiniLulesh::new(lcfg), &cfg_full, &disk).unwrap();
     assert_eq!(
         rb.selected, rf.selected,
         "12-array EMD selection must agree"
@@ -114,12 +120,14 @@ fn sampling_changes_metrics_bitmaps_do_not() {
         Heat3D::new(heat()),
         &heat_pipeline(Reduction::FullData, CoreAllocation::Shared),
         &disk,
-    );
+    )
+    .unwrap();
     let bitmaps = run_pipeline(
         Heat3D::new(heat()),
         &heat_pipeline(Reduction::Bitmaps, CoreAllocation::Shared),
         &disk,
-    );
+    )
+    .unwrap();
     assert_eq!(bitmaps.selected, full.selected, "bitmaps: zero loss");
     // sampling at 5% writes very little but is *allowed* to disagree — and
     // its summaries are lossy by construction
@@ -133,7 +141,8 @@ fn sampling_changes_metrics_bitmaps_do_not() {
             CoreAllocation::Shared,
         ),
         &disk,
-    );
+    )
+    .unwrap();
     assert!(sampled.summary_bytes_total * 10 < full.summary_bytes_total);
 }
 
@@ -153,7 +162,7 @@ fn auto_allocation_runs_and_balances() {
     assert_eq!(sim_cores + bitmap_cores, 8);
     let cfg = heat_pipeline(Reduction::Bitmaps, alloc);
     let disk = LocalDisk::new(1e9);
-    let r = run_pipeline(Heat3D::new(heat()), &cfg, &disk);
+    let r = run_pipeline(Heat3D::new(heat()), &cfg, &disk).unwrap();
     assert_eq!(r.selected.len(), 5);
 }
 
@@ -178,9 +187,11 @@ fn cluster_selection_matches_single_node_pipeline() {
         io: ClusterIo::Local,
         remote_bw: MachineModel::remote_link_bw(),
         sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
+        coordinator_timeout: std::time::Duration::from_secs(30),
     };
-    let cluster = run_cluster(&base);
-    let single = run_cluster(&ClusterConfig { nodes: 1, ..base });
+    let cluster = run_cluster(&base).unwrap();
+    let single = run_cluster(&ClusterConfig { nodes: 1, ..base }).unwrap();
     assert_eq!(
         cluster.selected, single.selected,
         "distribution must not change results"
@@ -201,8 +212,9 @@ fn per_step_precision_binning_end_to_end() {
     };
     let disk = LocalDisk::new(1e9);
     for metric in [Metric::ConditionalEntropy, Metric::Emd, Metric::EmdSpatial] {
-        let rb = run_pipeline(Heat3D::new(heat()), &mk(Reduction::Bitmaps, metric), &disk);
-        let rf = run_pipeline(Heat3D::new(heat()), &mk(Reduction::FullData, metric), &disk);
+        let rb = run_pipeline(Heat3D::new(heat()), &mk(Reduction::Bitmaps, metric), &disk).unwrap();
+        let rf =
+            run_pipeline(Heat3D::new(heat()), &mk(Reduction::FullData, metric), &disk).unwrap();
         assert_eq!(rb.selected, rf.selected, "{metric:?}");
         assert_eq!(rb.selected.len(), 5);
     }
@@ -223,8 +235,8 @@ fn queue_capacity_bounds_memory() {
         cfg
     };
     let disk = LocalDisk::new(1e9);
-    let small = run_pipeline(Heat3D::new(heat()), &mk(1), &disk);
-    let large = run_pipeline(Heat3D::new(heat()), &mk(16), &disk);
+    let small = run_pipeline(Heat3D::new(heat()), &mk(1), &disk).unwrap();
+    let large = run_pipeline(Heat3D::new(heat()), &mk(16), &disk).unwrap();
     assert!(
         small.peak_memory_bytes <= large.peak_memory_bytes,
         "capacity 1 peak {} must not exceed capacity 16 peak {}",

@@ -91,6 +91,16 @@ pub mod channel {
             })
         }
 
+        /// Blocks until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.with_rx(|rx| rx.recv_timeout(timeout))
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
+        }
+
         /// Blocking iterator that ends when all senders disconnect.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }
@@ -152,6 +162,24 @@ pub mod channel {
     impl fmt::Display for RecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("channel disconnected")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
         }
     }
 
