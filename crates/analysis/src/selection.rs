@@ -9,8 +9,13 @@
 //! al. as the extension the paper mentions but does not implement.
 
 use crate::summary::{Metric, StepSummary};
+use ibis_obs::{LazyCounter, LazyHistogram};
 use rayon::prelude::*;
 use std::ops::Range;
+
+static OBS_SELECT_RUNS: LazyCounter = LazyCounter::new("analysis.select.runs");
+static OBS_SELECT_NS: LazyHistogram =
+    LazyHistogram::new("analysis.select.ns", ibis_obs::TIME_NS_BOUNDS);
 
 /// How to slice the time axis into intervals (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +109,8 @@ pub fn select_greedy(
     metric: Metric,
     partitioning: Partitioning,
 ) -> Selection {
+    OBS_SELECT_RUNS.inc();
+    let _span = OBS_SELECT_NS.span();
     let n = steps.len();
     assert!(k >= 1 && k <= n, "cannot select {k} of {n} steps");
     let mut selected = vec![0usize];
@@ -191,6 +198,8 @@ fn argmax_last(scores: &[f64]) -> usize {
 /// cites for preferring the greedy method; bitmaps make each evaluation
 /// cheap enough to afford it.
 pub fn select_dp(steps: &[StepSummary], k: usize, metric: Metric) -> Selection {
+    OBS_SELECT_RUNS.inc();
+    let _span = OBS_SELECT_NS.span();
     let n = steps.len();
     assert!(k >= 1 && k <= n, "cannot select {k} of {n} steps");
     if k == 1 {

@@ -15,6 +15,9 @@ use crate::entropy::{
     shannon_entropy_full, shannon_entropy_index,
 };
 use ibis_core::{Binner, BitmapIndex};
+use ibis_obs::LazyCounter;
+
+static OBS_STEP_METRIC_EVALS: LazyCounter = LazyCounter::new("analysis.metric.step_evals");
 
 /// The correlation metric used to compare two time-steps (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +148,7 @@ impl StepSummary {
     /// Dissimilarity from another step: per-variable metrics summed (the
     /// paper analyses all 12 LULESH arrays together).
     pub fn metric(&self, other: &StepSummary, metric: Metric) -> f64 {
+        OBS_STEP_METRIC_EVALS.inc();
         assert_eq!(
             self.vars.len(),
             other.vars.len(),

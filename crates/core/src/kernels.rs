@@ -25,6 +25,18 @@
 use crate::builder::WahBuilder;
 use crate::runs::{Run, RunIter};
 use crate::wah::{fill_bits, is_fill, is_one_fill, WahVec, LITERAL_MASK, SEG_BITS};
+use ibis_obs::{LazyCounter, LazyHistogram};
+
+// Kernel-dispatch metrics (family `kernels`, see DESIGN.md §6e). All
+// no-ops when ibis-obs is built without its `obs` feature.
+static OBS_DENSE_PATH: LazyCounter = LazyCounter::new("kernels.materialize.dense_path");
+static OBS_RUN_PATH: LazyCounter = LazyCounter::new("kernels.materialize.run_path");
+static OBS_DECODE_WORDS: LazyCounter = LazyCounter::new("kernels.decode.words");
+static OBS_PREPARE_DENSE: LazyCounter = LazyCounter::new("kernels.prepare.dense");
+static OBS_PREPARE_COMPRESSED: LazyCounter = LazyCounter::new("kernels.prepare.compressed");
+static OBS_COUNT_OPS: LazyCounter = LazyCounter::new("kernels.count.ops");
+static OBS_FILL_RUN_BITS: LazyHistogram =
+    LazyHistogram::new("kernels.fill_run.bits", ibis_obs::RUN_BITS_BOUNDS);
 
 /// Cached per-vector statistics, computed in one pass over the compressed
 /// words. Feeds the adaptive cutover and makes repeated
@@ -48,10 +60,20 @@ pub(crate) fn compute_stats(words: &[u32], len_bits: u64) -> WahStats {
     let mut ones = 0u64;
     let mut runs = 0usize;
     let mut in_literals = false;
+    // Fill-run lengths are bucketed locally and flushed once: this loop is
+    // the hot path of every stats computation, so it cannot afford one
+    // atomic histogram record per word. `ENABLED` is const, so the no-op
+    // build compiles the accumulation away entirely.
+    let mut fill_buckets = [0u64; ibis_obs::RUN_BITS_BOUNDS.len() + 1];
+    let mut fill_sum = 0u64;
     for &w in words {
         if is_fill(w) {
             runs += 1;
             in_literals = false;
+            if ibis_obs::ENABLED {
+                fill_buckets[ibis_obs::bucket_index(ibis_obs::RUN_BITS_BOUNDS, fill_bits(w))] += 1;
+                fill_sum = fill_sum.wrapping_add(fill_bits(w));
+            }
             if is_one_fill(w) {
                 ones += fill_bits(w);
             }
@@ -64,6 +86,9 @@ pub(crate) fn compute_stats(words: &[u32], len_bits: u64) -> WahStats {
             // popcount is exact.
             ones += w.count_ones() as u64;
         }
+    }
+    if ibis_obs::ENABLED {
+        OBS_FILL_RUN_BITS.merge_counts(&fill_buckets, fill_sum);
     }
     let density = if len_bits == 0 {
         0.0
@@ -144,6 +169,7 @@ impl DenseBits {
     pub fn from_wah(v: &WahVec) -> Self {
         let mut d = DenseBits::zeros(v.len());
         d.or_wah(v);
+        OBS_DECODE_WORDS.add(d.words.len() as u64);
         d
     }
 
@@ -646,12 +672,14 @@ pub(crate) fn xor_count_compressed(a: &WahVec, b: &WahVec) -> u64 {
 /// density cutover decides it there (see [`WahVec::prepare`]).
 pub(crate) fn and_count_adaptive(a: &WahVec, b: &WahVec) -> u64 {
     assert_eq!(a.len(), b.len(), "binary op on different-length vectors");
+    OBS_COUNT_OPS.inc();
     and_count_compressed(a, b)
 }
 
 /// One-shot `xor_count`; see [`and_count_adaptive`].
 pub(crate) fn xor_count_adaptive(a: &WahVec, b: &WahVec) -> u64 {
     assert_eq!(a.len(), b.len(), "binary op on different-length vectors");
+    OBS_COUNT_OPS.inc();
     xor_count_compressed(a, b)
 }
 
@@ -767,6 +795,7 @@ macro_rules! binary_kernel {
                 // Verbatim path: unpack both once, combine word-parallel,
                 // re-encode once. The builder canonicalizes, so the result
                 // is identical to the compressed path's.
+                OBS_DENSE_PATH.inc();
                 let mut da = DenseBits::from_wah(a);
                 let db = DenseBits::from_wah(b);
                 for (xw, yw) in da.words.iter_mut().zip(db.words.iter()) {
@@ -776,6 +805,7 @@ macro_rules! binary_kernel {
                 da.mask_tail();
                 return da.to_wah();
             }
+            OBS_RUN_PATH.inc();
             let mut ca = RunCursor::new(a.words(), a.len());
             let mut cb = RunCursor::new(b.words(), b.len());
             let mut out = WahBuilder::new();
@@ -957,11 +987,13 @@ impl WahVec {
     /// it is above the density cutover, otherwise borrows it as-is.
     pub fn prepare(&self) -> PreparedOperand<'_> {
         if self.is_dense() {
+            OBS_PREPARE_DENSE.inc();
             PreparedOperand::Dense {
                 source: self,
                 bits: DenseBits::from_wah(self),
             }
         } else {
+            OBS_PREPARE_COMPRESSED.inc();
             PreparedOperand::Compressed(self)
         }
     }

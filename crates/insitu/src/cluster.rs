@@ -41,9 +41,19 @@ use ibis_analysis::histogram::{joint_counts_from_indexes, joint_histogram};
 use ibis_analysis::selection::fixed_intervals;
 use ibis_core::{Binner, BitmapIndex};
 use ibis_datagen::{Heat3DConfig, Heat3DPartition};
+use ibis_obs::{LazyCounter, LazyHistogram, TIME_NS_BOUNDS};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
+
+static OBS_CLUSTER_RUNS: LazyCounter = LazyCounter::new("cluster.runs");
+static OBS_CLUSTER_NODE_STEPS: LazyCounter = LazyCounter::new("cluster.node.steps");
+/// Wall time one node spends on one time-step (halo exchange + sweeps +
+/// reduction + its share of the coordinated selection).
+static OBS_CLUSTER_STEP_NS: LazyHistogram = LazyHistogram::new("cluster.step.ns", TIME_NS_BOUNDS);
+static OBS_CLUSTER_VOTES: LazyCounter = LazyCounter::new("cluster.votes");
+static OBS_CLUSTER_NODE_FAILURES: LazyCounter = LazyCounter::new("cluster.node.failures");
+static OBS_CLUSTER_CASCADES: LazyCounter = LazyCounter::new("cluster.cascades");
 
 /// Where each node's selected summaries are written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +183,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport> {
         )));
     }
     cfg.robustness.retry.validate()?;
+    OBS_CLUSTER_RUNS.inc();
     let injector = Arc::new(FaultInjector::new(cfg.robustness.faults.clone()));
     let nbins = cfg.binner.nbins();
     // the partitions' source clock must tick with this run's sweep count
@@ -277,6 +288,8 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport> {
                         };
 
                         for step in 0..cfg.steps {
+                            OBS_CLUSTER_NODE_STEPS.inc();
+                            let _step_span = OBS_CLUSTER_STEP_NS.span();
                             injector.maybe_panic(FaultSite::Node(node_id), step);
                             // --- simulate (halo exchange + sweeps) ---
                             // Boundary copies are timed on the node thread;
@@ -359,6 +372,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport> {
                                 .map(|(idx, s)| (*idx, s.joint_counts(p, &cfg.binner)))
                                 .collect();
                             select_t += clock.elapsed();
+                            OBS_CLUSTER_VOTES.inc();
                             vote_tx
                                 .send(NodeVote { candidates })
                                 .map_err(|_| disconnected("coordinator (vote)"))?;
@@ -526,9 +540,13 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport> {
         match r {
             Ok(res) => oks.push(res),
             Err(e @ (IbisError::Disconnected { .. } | IbisError::Coordination(_))) => {
+                OBS_CLUSTER_CASCADES.inc();
                 cascades.push((node_id, e.to_string()))
             }
-            Err(e) => failures.push((node_id, e.to_string())),
+            Err(e) => {
+                OBS_CLUSTER_NODE_FAILURES.inc();
+                failures.push((node_id, e.to_string()))
+            }
         }
     }
     if !failures.is_empty() {

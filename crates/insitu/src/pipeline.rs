@@ -52,10 +52,37 @@ use ibis_analysis::selection::fixed_intervals;
 use ibis_analysis::{Metric, StepSummary, VarSummary};
 use ibis_core::{build_index_parallel, Binner};
 use ibis_datagen::{Simulation, StepOutput};
+use ibis_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// Pipeline metrics (family `pipeline`, see DESIGN.md §6e). The
+// shared/separate step counters calibrate the paper's Equations 1-2 core
+// accounting; the queue gauge and stall counter make the Separate-Cores
+// memory bound and backpressure observable. All no-ops without `obs`.
+static OBS_RUNS: LazyCounter = LazyCounter::new("pipeline.runs");
+static OBS_RUN_WALL_NS: LazyCounter = LazyCounter::new("pipeline.run.wall_ns");
+static OBS_SHARED_STEPS: LazyCounter = LazyCounter::new("pipeline.shared.steps");
+static OBS_SEPARATE_STEPS: LazyCounter = LazyCounter::new("pipeline.separate.steps");
+static OBS_PRODUCE_NS: LazyHistogram =
+    LazyHistogram::new("pipeline.step.produce_ns", ibis_obs::TIME_NS_BOUNDS);
+static OBS_COMPRESS_NS: LazyHistogram =
+    LazyHistogram::new("pipeline.step.compress_ns", ibis_obs::TIME_NS_BOUNDS);
+static OBS_SELECT_NS: LazyCounter = LazyCounter::new("pipeline.select.ns");
+static OBS_STORE_WRITES: LazyCounter = LazyCounter::new("pipeline.store.writes");
+static OBS_STORE_MODELED_US: LazyCounter = LazyCounter::new("pipeline.store.modeled_us");
+/// Steps successfully enqueued and not yet accounted by the consumer:
+/// the queue contents plus at most the one message the consumer has just
+/// popped but not yet decremented, so the watermark is bounded by
+/// `queue_capacity + 1` (published as `pipeline.queue.bound`). Each
+/// consumer receive is preceded, in consumer program order, by the
+/// previous message's decrement, which is what makes the bound hold.
+static OBS_QUEUE_IN_FLIGHT: LazyGauge = LazyGauge::new("pipeline.queue.in_flight");
+static OBS_QUEUE_BOUND: LazyGauge = LazyGauge::new("pipeline.queue.bound");
+static OBS_QUEUE_STALLS: LazyCounter = LazyCounter::new("pipeline.queue.stalls");
+static OBS_QUEUE_STALL_NS: LazyCounter = LazyCounter::new("pipeline.queue.stall_ns");
 
 /// What each time-step is reduced to before the raw data is discarded.
 #[derive(Debug, Clone)]
@@ -442,6 +469,8 @@ pub fn run_pipeline<S: Simulation>(
     storage: &dyn Storage,
 ) -> Result<InsituReport> {
     cfg.validate()?;
+    OBS_RUNS.inc();
+    let _run_span = OBS_RUN_WALL_NS.span();
     let injector = Arc::new(FaultInjector::new(cfg.robustness.faults.clone()));
     let mut report = match cfg.allocation {
         CoreAllocation::Shared => run_shared(sim, cfg, storage, &injector)?,
@@ -485,7 +514,9 @@ fn contained_summarize(
             summarize(out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
         })
     }));
-    *reduce_t += t0.elapsed();
+    let spent = t0.elapsed();
+    *reduce_t += spent;
+    OBS_COMPRESS_NS.record(spent.as_nanos() as u64);
     let payload = match attempt {
         Ok(summary) => return Ok(StepAttempt::Kept(summary, false, StepOutcome::Completed)),
         Err(payload) => payload,
@@ -552,7 +583,9 @@ fn contained_sim_step<S: Simulation>(
             sim.step()
         })
     }));
-    *sim_t += t0.elapsed();
+    let spent = t0.elapsed();
+    *sim_t += spent;
+    OBS_PRODUCE_NS.record(spent.as_nanos() as u64);
     match attempt {
         Ok(out) => Ok(Ok(out)),
         Err(payload) => {
@@ -580,6 +613,8 @@ fn persist_emitted(
     bytes_written: &mut u64,
 ) -> Result<()> {
     let receipt = write_with_retry(storage, injector, retry, *output_modeled, e.summary_bytes)?;
+    OBS_STORE_WRITES.inc();
+    OBS_STORE_MODELED_US.add((receipt.seconds * 1e6) as u64);
     *output_modeled += receipt.seconds;
     *bytes_written += e.summary_bytes;
     Ok(())
@@ -608,6 +643,7 @@ fn run_shared<S: Simulation>(
     let retry = &cfg.robustness.retry;
 
     for i in 0..cfg.steps {
+        OBS_SHARED_STEPS.inc();
         if injector.should_kill_at(i) {
             return Err(IbisError::Killed { step: i });
         }
@@ -678,6 +714,7 @@ fn run_shared<S: Simulation>(
         }
     }
     let (selected, select_t) = selector.finish(&mem);
+    OBS_SELECT_NS.add(select_t.as_nanos() as u64);
     mem.free(sim_resident);
 
     let speed = cfg.machine.core_speed;
@@ -740,6 +777,9 @@ fn run_separate<S: Simulation>(
     let sim_resident = sim.resident_bytes() as u64;
     mem.alloc(sim_resident);
     let (tx, rx) = crossbeam::channel::bounded::<StepMsg>(cfg.queue_capacity);
+    // The in-flight watermark can reach capacity + 1: `queue_capacity`
+    // buffered messages plus the one a blocked producer holds in hand-off.
+    OBS_QUEUE_BOUND.set(cfg.queue_capacity as i64 + 1);
     let sim_pool = cfg.machine.pool(sim_cores);
     let bm_pool = cfg.machine.pool(bitmap_cores);
     let sim_threads = sim_pool.current_num_threads();
@@ -765,6 +805,34 @@ fn run_separate<S: Simulation>(
         // keeps simulating. A failed send means the consumer is gone —
         // exit instead of blocking on a dead queue.
         let producer = scope.spawn(move || {
+            // Hand-off with backpressure accounting: the in-flight gauge
+            // charges the gauge once a message is actually enqueued (the
+            // consumer side decrements), and a full queue routes through a
+            // timed blocking send so stall time lands on the stall
+            // counter. Observational only — try-then-block has the same
+            // delivery semantics as a plain blocking send, so the no-op
+            // build behaves identically.
+            use crossbeam::channel::{SendError, TrySendError};
+            let send_counted = |msg: StepMsg| -> std::result::Result<(), SendError<StepMsg>> {
+                let msg = match tx.try_send(msg) {
+                    Ok(()) => {
+                        OBS_QUEUE_IN_FLIGHT.inc();
+                        return Ok(());
+                    }
+                    Err(TrySendError::Disconnected(m)) => return Err(SendError(m)),
+                    Err(TrySendError::Full(m)) => m,
+                };
+                OBS_QUEUE_STALLS.inc();
+                let t0 = ibis_obs::ENABLED.then(Instant::now);
+                let sent = tx.send(msg);
+                if let Some(t0) = t0 {
+                    OBS_QUEUE_STALL_NS.add(t0.elapsed().as_nanos() as u64);
+                }
+                if sent.is_ok() {
+                    OBS_QUEUE_IN_FLIGHT.inc();
+                }
+                sent
+            };
             let mut sim_t = Duration::ZERO;
             for i in 0..steps {
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
@@ -776,11 +844,12 @@ fn run_separate<S: Simulation>(
                 match attempt {
                     Ok((out, d)) => {
                         sim_t += d;
+                        OBS_PRODUCE_NS.record(d.as_nanos() as u64);
                         let raw = out.size_bytes() as u64;
                         mem_ref.alloc(raw);
                         // blocks when the queue is full — the paper's
                         // memory bound; errs when the consumer died
-                        if let Err(e) = tx.send(StepMsg {
+                        if let Err(e) = send_counted(StepMsg {
                             step: i,
                             payload: Ok(out),
                         }) {
@@ -793,12 +862,11 @@ fn run_separate<S: Simulation>(
                     Err(payload) => {
                         let msg = panic_message(payload.as_ref());
                         let stop = abort_on_panic;
-                        if tx
-                            .send(StepMsg {
-                                step: i,
-                                payload: Err(msg),
-                            })
-                            .is_err()
+                        if send_counted(StepMsg {
+                            step: i,
+                            payload: Err(msg),
+                        })
+                        .is_err()
                             || stop
                         {
                             break;
@@ -815,6 +883,8 @@ fn run_separate<S: Simulation>(
         // the structured error below replaces the old deadlock.
         let mut fatal: Option<IbisError> = None;
         for msg in rx.iter() {
+            OBS_QUEUE_IN_FLIGHT.dec();
+            OBS_SEPARATE_STEPS.inc();
             let i = msg.step;
             if injector.should_kill_at(i) {
                 fatal = Some(IbisError::Killed { step: i });
@@ -852,17 +922,16 @@ fn run_separate<S: Simulation>(
             };
             let raw = out.size_bytes() as u64;
             raw_bytes_per_step = raw;
-            let t0 = Instant::now();
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 timed_in_pool(&bm_pool, || {
                     injector.maybe_panic(FaultSite::Consumer, i);
                     summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
                 })
             }));
-            let _ = t0;
             let kept = match attempt {
                 Ok((summary, d)) => {
                     reduce_t += d;
+                    OBS_COMPRESS_NS.record(d.as_nanos() as u64);
                     Some((summary, false, StepOutcome::Completed))
                 }
                 Err(payload) => {
@@ -900,6 +969,7 @@ fn run_separate<S: Simulation>(
                             match fb {
                                 Ok((summary, d)) => {
                                     reduce_t += d;
+                                    OBS_COMPRESS_NS.record(d.as_nanos() as u64);
                                     Some((
                                         summary,
                                         true,
@@ -971,6 +1041,7 @@ fn run_separate<S: Simulation>(
         }
     })?;
     let (selected, select_t) = selector.finish(&mem);
+    OBS_SELECT_NS.add(select_t.as_nanos() as u64);
     mem.free(sim_resident);
 
     // One-thread pools were measured in thread CPU time (exact under
@@ -1320,6 +1391,8 @@ fn durable_impl<S: Simulation>(
             "durable runs persist bitmap summaries only".into(),
         ));
     }
+    OBS_RUNS.inc();
+    let _run_span = OBS_RUN_WALL_NS.span();
     let injector = Arc::new(FaultInjector::new(cfg.robustness.faults.clone()));
     let wall0 = Instant::now();
     let pool = cfg.machine.pool(cfg.cores);
@@ -1406,6 +1479,7 @@ fn durable_impl<S: Simulation>(
     };
 
     for i in state.next_step..cfg.steps {
+        OBS_SHARED_STEPS.inc();
         if injector.should_kill_at(i) {
             // the checkpoint written after step i-1 and the journal make
             // this recoverable; report the kill as a structured error
@@ -1499,6 +1573,7 @@ fn durable_impl<S: Simulation>(
     }
 
     let (selected, select_t) = selector.finish(&mem);
+    OBS_SELECT_NS.add(select_t.as_nanos() as u64);
     mem.free(sim_resident);
     writer.finish()?;
     match std::fs::remove_file(&ckpt_path) {

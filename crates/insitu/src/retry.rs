@@ -12,6 +12,11 @@
 use crate::error::IbisError;
 use crate::fault::{FaultInjector, WriteFault};
 use crate::io::Storage;
+use ibis_obs::LazyCounter;
+
+static OBS_WRITE_ATTEMPTS: LazyCounter = LazyCounter::new("store.write.attempts");
+static OBS_WRITE_RETRIES: LazyCounter = LazyCounter::new("store.write.retries");
+static OBS_WRITE_FAILURES: LazyCounter = LazyCounter::new("store.write.failures");
 
 /// Retry schedule for storage operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +94,24 @@ pub struct WriteReceipt {
 /// to the completion time. Real storage failures (from the [`Storage`]
 /// impl itself) are retried the same way.
 pub fn write_with_retry(
+    storage: &dyn Storage,
+    injector: &FaultInjector,
+    policy: &RetryPolicy,
+    now: f64,
+    bytes: u64,
+) -> Result<WriteReceipt, IbisError> {
+    let receipt = write_with_retry_impl(storage, injector, policy, now, bytes);
+    match &receipt {
+        Ok(r) => {
+            OBS_WRITE_ATTEMPTS.add(r.attempts as u64);
+            OBS_WRITE_RETRIES.add(r.attempts.saturating_sub(1) as u64);
+        }
+        Err(_) => OBS_WRITE_FAILURES.inc(),
+    }
+    receipt
+}
+
+fn write_with_retry_impl(
     storage: &dyn Storage,
     injector: &FaultInjector,
     policy: &RetryPolicy,

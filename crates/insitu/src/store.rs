@@ -38,6 +38,7 @@ use crate::error::{IbisError, Result};
 use crate::fault::{FaultInjector, WriteFault};
 use crate::io::{codec, write_atomic};
 use ibis_core::BitmapIndex;
+use ibis_obs::LazyCounter;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -59,6 +60,16 @@ struct EntryMeta {
     /// CRC32-C of the payload; `None` for legacy v1 entries.
     crc: Option<u32>,
 }
+
+// Durable-store metrics (family `store`, see DESIGN.md §6e). All no-ops
+// without `obs`.
+static OBS_PUT_BLOBS: LazyCounter = LazyCounter::new("store.put.blobs");
+static OBS_PUT_BYTES: LazyCounter = LazyCounter::new("store.put.bytes");
+static OBS_CRC_VERIFIED: LazyCounter = LazyCounter::new("store.crc.verified");
+static OBS_CRC_FAILED: LazyCounter = LazyCounter::new("store.crc.failed");
+static OBS_FSCK_RUNS: LazyCounter = LazyCounter::new("store.fsck.runs");
+static OBS_FSCK_QUARANTINED: LazyCounter = LazyCounter::new("store.fsck.quarantined");
+static OBS_MANIFEST_WRITES: LazyCounter = LazyCounter::new("store.manifest.writes");
 
 /// Wraps an encoded index payload in the v2 frame.
 fn frame_blob(payload: &[u8]) -> Vec<u8> {
@@ -94,10 +105,12 @@ fn unframe_blob(bytes: &[u8]) -> std::result::Result<&[u8], String> {
     let stored = crate::crc::le_u32(&bytes[12 + len..]);
     let actual = crc32c(payload);
     if stored != actual {
+        OBS_CRC_FAILED.inc();
         return Err(format!(
             "CRC mismatch: stored {stored:08x}, computed {actual:08x}"
         ));
     }
+    OBS_CRC_VERIFIED.inc();
     Ok(payload)
 }
 
@@ -252,6 +265,8 @@ impl StoreWriter {
             crc: Some(crc32c(&payload)),
         };
         self.write_blob_with_faults(&file, &framed)?;
+        OBS_PUT_BLOBS.inc();
+        OBS_PUT_BYTES.add(framed.len() as u64);
         let line = entry_line(step, variable, &meta);
         writeln!(self.journal, "{line}\t{:08x}", crc32c(line.as_bytes()))
             .and_then(|()| self.journal.sync_all())
@@ -319,6 +334,7 @@ impl StoreWriter {
             body.as_bytes(),
         )
         .map_err(|e| IbisError::io("write MANIFEST", &e))?;
+        OBS_MANIFEST_WRITES.inc();
         match std::fs::remove_file(self.dir.join("JOURNAL")) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -493,6 +509,7 @@ impl Store {
     /// `<file>.quarantined` and the entry removed, so subsequent reads see
     /// only intact data.
     pub fn fsck(&mut self) -> FsckReport {
+        OBS_FSCK_RUNS.inc();
         let mut report = FsckReport::default();
         let keys: Vec<(usize, String)> = self.entries.keys().cloned().collect();
         for (step, variable) in keys {
@@ -508,6 +525,7 @@ impl Store {
                 })
                 .map(|_| ());
             if let Err(err) = verdict {
+                OBS_FSCK_QUARANTINED.inc();
                 let from = self.dir.join(&meta.file);
                 let _ = std::fs::rename(&from, self.dir.join(format!("{}.quarantined", meta.file)));
                 self.entries.remove(&(step, variable.clone()));

@@ -1,0 +1,1016 @@
+//! Zero-dependency observability for the ibis workspace.
+//!
+//! The paper's claims are performance claims, and the runtime decisions
+//! behind them (dense-vs-compressed kernel dispatch, bounded-queue
+//! backpressure, retry/backoff, node failures) are exactly the things a
+//! printline can't regress. This crate provides the smallest useful
+//! substrate for recording them:
+//!
+//! - a sharded, lock-light [`MetricsRegistry`] holding monotonic
+//!   [`Counter`]s, [`Gauge`]s (with a max watermark) and fixed-bucket
+//!   [`Histogram`]s — registration takes a shard lock once, every update
+//!   after that is a relaxed atomic;
+//! - static handles ([`LazyCounter`], [`LazyGauge`], [`LazyHistogram`])
+//!   that self-register in the [`global`] registry on first touch, so
+//!   instrumentation sites are plain `static K: LazyCounter = ...` with no
+//!   setup plumbing;
+//! - RAII span timers ([`CounterSpan`], [`HistogramSpan`]) that add
+//!   elapsed wall nanoseconds on drop;
+//! - mergeable [`Snapshot`]s — merge is total, associative and
+//!   commutative (counters add, gauge values add and watermarks take the
+//!   max, histograms add bucket-wise; any kind or bucket-layout mismatch
+//!   collapses to an absorbing [`MetricValue::Conflict`]) — with
+//!   deterministic hand-rolled JSON serialization.
+//!
+//! # Feature gating
+//!
+//! With the `obs` feature (on by default) the handles talk to the global
+//! registry. Built with `--no-default-features` every handle method is an
+//! inline empty function and nothing ever registers: the instrumented
+//! binary and the no-op binary must behave identically, which
+//! `tests/obs_differential.rs` in the workspace root proves by comparing
+//! store bytes and selections across both builds.
+//!
+//! Metric names are dot-separated, `family.component.metric`; the leading
+//! segment is the *family* (`kernels`, `pipeline`, `store`, `cluster`,
+//! `analysis`) used to group report sections. See DESIGN.md §6e.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+/// `true` when this build records metrics (`obs` feature enabled).
+pub const ENABLED: bool = cfg!(feature = "obs");
+
+// ---------------------------------------------------------------------------
+// metric primitives
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter. Updates are relaxed atomics; within one process
+/// the observed value never decreases (only [`MetricsRegistry::reset`],
+/// a test affordance, zeroes it).
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed gauge with a high-water mark. `set`/`add` update the value and
+/// fold it into the watermark, so `max` records the peak ever observed.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the current value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let new = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(new, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set (at least 0: the gauge starts at zero).
+    pub fn max(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram. A recorded value lands in the first bucket
+/// whose upper bound is `>= v`; values above every bound land in the
+/// implicit overflow bucket, so there are `bounds.len() + 1` buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (must be strictly increasing; this is
+    /// the caller's contract, not re-checked on the hot path).
+    pub fn new(bounds: &[u64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = bucket_index(&self.bounds, v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Merges a locally-accumulated bucket array in one atomic pass — the
+    /// batch form of [`record`](Self::record) for hot loops that cannot
+    /// afford per-observation atomics. `buckets[i]` counts observations
+    /// bucketed with [`bucket_index`] over this histogram's bounds; `sum`
+    /// is their value total. A length mismatch is ignored (observability
+    /// must not panic the host).
+    pub fn merge_counts(&self, buckets: &[u64], sum: u64) {
+        if buckets.len() != self.buckets.len() {
+            debug_assert!(false, "merge_counts: bucket layout mismatch");
+            return;
+        }
+        let mut total = 0u64;
+        for (slot, &n) in self.buckets.iter().zip(buckets) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+                total += n;
+            }
+        }
+        if total > 0 {
+            self.count.fetch_add(total, Ordering::Relaxed);
+            self.sum.fetch_add(sum, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts (`bounds.len() + 1` entries, the
+    /// last being the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping at u64).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The bucket a value falls into for the given bounds: the first bucket
+/// whose upper bound is `>= v`, or the overflow bucket (`bounds.len()`).
+/// Exposed so hot paths can bucket into a local array without atomics and
+/// flush once via [`Histogram::merge_counts`].
+#[inline]
+pub fn bucket_index(bounds: &[u64], v: u64) -> usize {
+    bounds.partition_point(|&b| b < v)
+}
+
+/// Exponential nanosecond bounds (1µs … ~1s) for latency histograms.
+pub const TIME_NS_BOUNDS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Power-of-two-ish bounds for WAH fill-run lengths in bits.
+pub const RUN_BITS_BOUNDS: &[u64] = &[62, 248, 992, 7_936, 63_488, 507_904, 4_063_232];
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+const SHARD_COUNT: usize = 8;
+
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A sharded name → metric registry. Looking a metric up (or registering
+/// it) locks one shard; the returned `Arc` is then updated lock-free, so
+/// steady-state instrumentation never contends on the registry itself.
+///
+/// The first registration of a name fixes its kind (and, for histograms,
+/// its bounds). A later request under the same name with a different kind
+/// gets a detached metric that is never snapshotted — observability must
+/// not panic the host program.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    shards: [Mutex<BTreeMap<String, Entry>>; SHARD_COUNT],
+}
+
+fn shard_of(name: &str) -> usize {
+    // FNV-1a, folded into the shard count
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn shard(&self, name: &str) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        self.shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter registered under `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut shard = self.shard(name);
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Arc::new(Counter::new())))
+        {
+            Entry::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()), // kind clash: detached
+        }
+    }
+
+    /// The gauge registered under `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut shard = self.shard(name);
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Arc::new(Gauge::new())))
+        {
+            Entry::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it over `bounds`
+    /// if absent (an existing histogram keeps its original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut shard = self.shard(name);
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Entry::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new(bounds)),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric. Internally this
+    /// merges the per-shard views, which is well-defined because metric
+    /// names are unique across shards.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut entries = BTreeMap::new();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, entry) in guard.iter() {
+                let value = match entry {
+                    Entry::Counter(c) => MetricValue::Counter(c.value()),
+                    Entry::Gauge(g) => MetricValue::Gauge {
+                        value: g.value(),
+                        max: g.max(),
+                    },
+                    Entry::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        buckets: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                };
+                entries.insert(name.clone(), value);
+            }
+        }
+        Snapshot { entries }
+    }
+
+    /// Zeroes every registered metric (registrations survive). Test-only
+    /// affordance: it breaks the monotonicity contract of [`Counter`], so
+    /// production code must never call it mid-run.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in guard.values() {
+                match entry {
+                    Entry::Counter(c) => c.reset(),
+                    Entry::Gauge(g) => g.reset(),
+                    Entry::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+}
+
+/// The process-wide registry all static handles register in.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+// ---------------------------------------------------------------------------
+// snapshots
+// ---------------------------------------------------------------------------
+
+/// The value of one metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter reading.
+    Counter(u64),
+    /// A gauge reading with its high-water mark.
+    Gauge {
+        /// Value at snapshot time.
+        value: i64,
+        /// Highest value observed.
+        max: i64,
+    },
+    /// A histogram reading.
+    Histogram {
+        /// Bucket upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts (`bounds.len() + 1`, last = overflow).
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+    /// Two snapshots disagreed on a metric's kind or bucket layout. This
+    /// value is *absorbing* under merge — merging anything into a
+    /// conflict stays a conflict — which is what keeps merge associative
+    /// and commutative while still being total.
+    Conflict,
+}
+
+fn merge_value(a: &MetricValue, b: &MetricValue) -> MetricValue {
+    use MetricValue::*;
+    match (a, b) {
+        (Counter(x), Counter(y)) => Counter(x + y),
+        (Gauge { value: v1, max: m1 }, Gauge { value: v2, max: m2 }) => Gauge {
+            value: v1 + v2,
+            max: (*m1).max(*m2),
+        },
+        (
+            Histogram {
+                bounds: b1,
+                buckets: k1,
+                count: c1,
+                sum: s1,
+            },
+            Histogram {
+                bounds: b2,
+                buckets: k2,
+                count: c2,
+                sum: s2,
+            },
+        ) if b1 == b2 && k1.len() == k2.len() => Histogram {
+            bounds: b1.clone(),
+            buckets: k1.iter().zip(k2).map(|(x, y)| x + y).collect(),
+            count: c1 + c2,
+            sum: s1.wrapping_add(*s2),
+        },
+        _ => Conflict,
+    }
+}
+
+/// An immutable point-in-time view of a set of metrics, mergeable with
+/// other snapshots (e.g. from other processes or run phases).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot directly from entries (tests, external merges).
+    pub fn from_entries(entries: BTreeMap<String, MetricValue>) -> Self {
+        Snapshot { entries }
+    }
+
+    /// The metric name → value map, ordered by name.
+    pub fn entries(&self) -> &BTreeMap<String, MetricValue> {
+        &self.entries
+    }
+
+    /// The value recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// `true` when no metric was ever registered (the no-op build).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges two snapshots: union of names, values combined per kind
+    /// (counters add, gauges add values / max watermarks, histograms add
+    /// bucket-wise). Associative and commutative; kind mismatches become
+    /// the absorbing [`MetricValue::Conflict`].
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut entries = self.entries.clone();
+        for (name, value) in &other.entries {
+            entries
+                .entry(name.clone())
+                .and_modify(|mine| *mine = merge_value(mine, value))
+                .or_insert_with(|| value.clone());
+        }
+        Snapshot { entries }
+    }
+
+    /// The metric families present: the leading dot-separated segment of
+    /// each name (`"pipeline.queue.stall_ns"` → `"pipeline"`).
+    pub fn families(&self) -> BTreeSet<String> {
+        self.entries
+            .keys()
+            .map(|k| k.split('.').next().unwrap_or(k).to_string())
+            .collect()
+    }
+
+    /// Serializes to the workspace's hand-rolled JSON style: one object
+    /// with `counters`, `gauges`, `histograms` and `conflicts` sections,
+    /// names sorted, `indent` spaces of leading indentation per line.
+    /// Deterministic for a given snapshot.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let item = " ".repeat(indent + 4);
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        let mut conflicts = Vec::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => counters.push(format!("{item}\"{name}\": {v}")),
+                MetricValue::Gauge { value, max } => gauges.push(format!(
+                    "{item}\"{name}\": {{ \"value\": {value}, \"max\": {max} }}"
+                )),
+                MetricValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => histograms.push(format!(
+                    "{item}\"{name}\": {{ \"bounds\": {}, \"buckets\": {}, \"count\": {count}, \"sum\": {sum} }}",
+                    json_u64_array(bounds),
+                    json_u64_array(buckets),
+                )),
+                MetricValue::Conflict => conflicts.push(format!("{item}\"{name}\"")),
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "{inner}\"counters\": {{\n{}\n{inner}}},\n",
+            counters.join(",\n")
+        ));
+        out.push_str(&format!(
+            "{inner}\"gauges\": {{\n{}\n{inner}}},\n",
+            gauges.join(",\n")
+        ));
+        out.push_str(&format!(
+            "{inner}\"histograms\": {{\n{}\n{inner}}},\n",
+            histograms.join(",\n")
+        ));
+        out.push_str(&format!(
+            "{inner}\"conflicts\": [{}]\n",
+            conflicts
+                .iter()
+                .map(|c| c.trim_start().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("{pad}}}"));
+        // empty sections render as `{\n\n}`; collapse to `{}`
+        out.replace(&format!("{{\n\n{inner}}}"), "{}")
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let body = xs
+        .iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{body}]")
+}
+
+// ---------------------------------------------------------------------------
+// static handles — the instrumented variants
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "obs")]
+mod handles {
+    use super::*;
+
+    /// A `static`-friendly counter handle that registers itself in the
+    /// [`global`] registry on first use. With the `obs` feature off this
+    /// type is an inert unit struct and every method is an empty inline
+    /// function.
+    pub struct LazyCounter {
+        name: &'static str,
+        cell: OnceLock<Arc<Counter>>,
+    }
+
+    impl LazyCounter {
+        /// A handle for the metric `name` (not yet registered).
+        pub const fn new(name: &'static str) -> Self {
+            LazyCounter {
+                name,
+                cell: OnceLock::new(),
+            }
+        }
+
+        fn get(&self) -> &Arc<Counter> {
+            self.cell.get_or_init(|| global().counter(self.name))
+        }
+
+        /// Adds `n`.
+        #[inline]
+        pub fn add(&self, n: u64) {
+            self.get().add(n);
+        }
+
+        /// Adds one.
+        #[inline]
+        pub fn inc(&self) {
+            self.add(1);
+        }
+
+        /// Current value (0 in the no-op build).
+        pub fn value(&self) -> u64 {
+            self.get().value()
+        }
+
+        /// Starts an RAII span that adds elapsed wall nanoseconds to this
+        /// counter when dropped.
+        pub fn span(&self) -> CounterSpan {
+            CounterSpan {
+                target: Arc::clone(self.get()),
+                start: Instant::now(),
+            }
+        }
+    }
+
+    /// A `static`-friendly gauge handle; see [`LazyCounter`].
+    pub struct LazyGauge {
+        name: &'static str,
+        cell: OnceLock<Arc<Gauge>>,
+    }
+
+    impl LazyGauge {
+        /// A handle for the metric `name` (not yet registered).
+        pub const fn new(name: &'static str) -> Self {
+            LazyGauge {
+                name,
+                cell: OnceLock::new(),
+            }
+        }
+
+        fn get(&self) -> &Arc<Gauge> {
+            self.cell.get_or_init(|| global().gauge(self.name))
+        }
+
+        /// Sets the value.
+        #[inline]
+        pub fn set(&self, v: i64) {
+            self.get().set(v);
+        }
+
+        /// Adjusts the value by `delta`.
+        #[inline]
+        pub fn add(&self, delta: i64) {
+            self.get().add(delta);
+        }
+
+        /// Adds one.
+        #[inline]
+        pub fn inc(&self) {
+            self.add(1);
+        }
+
+        /// Subtracts one.
+        #[inline]
+        pub fn dec(&self) {
+            self.add(-1);
+        }
+
+        /// Current value (0 in the no-op build).
+        pub fn value(&self) -> i64 {
+            self.get().value()
+        }
+
+        /// Highest value observed (0 in the no-op build).
+        pub fn max(&self) -> i64 {
+            self.get().max()
+        }
+    }
+
+    /// A `static`-friendly histogram handle; see [`LazyCounter`].
+    pub struct LazyHistogram {
+        name: &'static str,
+        bounds: &'static [u64],
+        cell: OnceLock<Arc<Histogram>>,
+    }
+
+    impl LazyHistogram {
+        /// A handle for the metric `name` over `bounds`.
+        pub const fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+            LazyHistogram {
+                name,
+                bounds,
+                cell: OnceLock::new(),
+            }
+        }
+
+        fn get(&self) -> &Arc<Histogram> {
+            self.cell
+                .get_or_init(|| global().histogram(self.name, self.bounds))
+        }
+
+        /// Records one observation.
+        #[inline]
+        pub fn record(&self, v: u64) {
+            self.get().record(v);
+        }
+
+        /// Merges a locally-accumulated bucket array; see
+        /// [`Histogram::merge_counts`].
+        #[inline]
+        pub fn merge_counts(&self, buckets: &[u64], sum: u64) {
+            self.get().merge_counts(buckets, sum);
+        }
+
+        /// Total observations (0 in the no-op build).
+        pub fn count(&self) -> u64 {
+            self.get().count()
+        }
+
+        /// Starts an RAII span that records elapsed wall nanoseconds into
+        /// this histogram when dropped.
+        pub fn span(&self) -> HistogramSpan {
+            HistogramSpan {
+                target: Arc::clone(self.get()),
+                start: Instant::now(),
+            }
+        }
+    }
+
+    /// RAII timer: adds elapsed wall nanoseconds to a counter on drop.
+    #[must_use = "a span records on drop; binding it to _ measures nothing"]
+    pub struct CounterSpan {
+        target: Arc<Counter>,
+        start: Instant,
+    }
+
+    impl Drop for CounterSpan {
+        fn drop(&mut self) {
+            self.target.add(self.start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// RAII timer: records elapsed wall nanoseconds into a histogram on
+    /// drop.
+    #[must_use = "a span records on drop; binding it to _ measures nothing"]
+    pub struct HistogramSpan {
+        target: Arc<Histogram>,
+        start: Instant,
+    }
+
+    impl Drop for HistogramSpan {
+        fn drop(&mut self) {
+            self.target.record(self.start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// static handles — the no-op variants (`--no-default-features`)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "obs"))]
+mod handles {
+    /// No-op counter handle: every method is an inline empty function.
+    pub struct LazyCounter;
+
+    impl LazyCounter {
+        /// A handle that records nothing.
+        pub const fn new(_name: &'static str) -> Self {
+            LazyCounter
+        }
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn inc(&self) {}
+
+        /// Always 0.
+        pub fn value(&self) -> u64 {
+            0
+        }
+
+        /// A span that measures nothing.
+        pub fn span(&self) -> CounterSpan {
+            CounterSpan
+        }
+    }
+
+    /// No-op gauge handle.
+    pub struct LazyGauge;
+
+    impl LazyGauge {
+        /// A handle that records nothing.
+        pub const fn new(_name: &'static str) -> Self {
+            LazyGauge
+        }
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn set(&self, _v: i64) {}
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn add(&self, _delta: i64) {}
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn inc(&self) {}
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn dec(&self) {}
+
+        /// Always 0.
+        pub fn value(&self) -> i64 {
+            0
+        }
+
+        /// Always 0.
+        pub fn max(&self) -> i64 {
+            0
+        }
+    }
+
+    /// No-op histogram handle.
+    pub struct LazyHistogram;
+
+    impl LazyHistogram {
+        /// A handle that records nothing.
+        pub const fn new(_name: &'static str, _bounds: &'static [u64]) -> Self {
+            LazyHistogram
+        }
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn record(&self, _v: u64) {}
+
+        /// Does nothing.
+        #[inline(always)]
+        pub fn merge_counts(&self, _buckets: &[u64], _sum: u64) {}
+
+        /// Always 0.
+        pub fn count(&self) -> u64 {
+            0
+        }
+
+        /// A span that measures nothing.
+        pub fn span(&self) -> HistogramSpan {
+            HistogramSpan
+        }
+    }
+
+    /// No-op span.
+    #[must_use]
+    pub struct CounterSpan;
+
+    /// No-op span.
+    #[must_use]
+    pub struct HistogramSpan;
+}
+
+pub use handles::{CounterSpan, HistogramSpan, LazyCounter, LazyGauge, LazyHistogram};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_watermark() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        assert_eq!(g.max(), 2);
+        g.set(-5);
+        assert_eq!(g.value(), -5);
+        assert_eq!(g.max(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn registry_returns_same_metric_and_snapshots() {
+        let r = MetricsRegistry::new();
+        r.counter("a.x").add(3);
+        r.counter("a.x").add(4);
+        r.gauge("b.y").set(7);
+        r.histogram("c.z", &[1]).record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("a.x"), Some(&MetricValue::Counter(7)));
+        assert_eq!(
+            snap.get("b.y"),
+            Some(&MetricValue::Gauge { value: 7, max: 7 })
+        );
+        assert_eq!(
+            snap.families(),
+            ["a", "b", "c"].iter().map(|s| s.to_string()).collect()
+        );
+        r.reset();
+        assert_eq!(r.snapshot().get("a.x"), Some(&MetricValue::Counter(0)));
+    }
+
+    #[test]
+    fn kind_clash_returns_detached_metric() {
+        let r = MetricsRegistry::new();
+        r.counter("dual").inc();
+        let g = r.gauge("dual"); // clash: stays a counter in the registry
+        g.set(99);
+        assert_eq!(r.snapshot().get("dual"), Some(&MetricValue::Counter(1)));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = BTreeMap::new();
+        a.insert("c".into(), MetricValue::Counter(2));
+        a.insert("g".into(), MetricValue::Gauge { value: 1, max: 5 });
+        let mut b = BTreeMap::new();
+        b.insert("c".into(), MetricValue::Counter(3));
+        b.insert("g".into(), MetricValue::Gauge { value: 2, max: 4 });
+        b.insert("only_b".into(), MetricValue::Counter(9));
+        let m = Snapshot::from_entries(a).merge(&Snapshot::from_entries(b));
+        assert_eq!(m.get("c"), Some(&MetricValue::Counter(5)));
+        assert_eq!(m.get("g"), Some(&MetricValue::Gauge { value: 3, max: 5 }));
+        assert_eq!(m.get("only_b"), Some(&MetricValue::Counter(9)));
+    }
+
+    #[test]
+    fn merge_conflict_is_absorbing() {
+        let c = Snapshot::from_entries(
+            [("m".to_string(), MetricValue::Counter(1))]
+                .into_iter()
+                .collect(),
+        );
+        let g = Snapshot::from_entries(
+            [("m".to_string(), MetricValue::Gauge { value: 0, max: 0 })]
+                .into_iter()
+                .collect(),
+        );
+        let clash = c.merge(&g);
+        assert_eq!(clash.get("m"), Some(&MetricValue::Conflict));
+        assert_eq!(clash.merge(&c).get("m"), Some(&MetricValue::Conflict));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sectioned() {
+        let r = MetricsRegistry::new();
+        r.counter("k.a").add(1);
+        r.gauge("k.b").set(2);
+        r.histogram("k.c", &[5]).record(3);
+        let s1 = r.snapshot().to_json(0);
+        let s2 = r.snapshot().to_json(0);
+        assert_eq!(s1, s2);
+        assert!(s1.contains("\"counters\""), "{s1}");
+        assert!(s1.contains("\"k.a\": 1"), "{s1}");
+        assert!(s1.contains("\"buckets\": [1, 0]"), "{s1}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_sections() {
+        let s = Snapshot::default().to_json(0);
+        assert!(s.contains("\"counters\": {}"), "{s}");
+        assert!(s.contains("\"conflicts\": []"), "{s}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn lazy_handles_register_globally() {
+        static PROBE: LazyCounter = LazyCounter::new("test.probe.lazy");
+        PROBE.add(2);
+        {
+            let _span = PROBE.span();
+        }
+        assert!(PROBE.value() >= 2);
+        assert!(global().snapshot().get("test.probe.lazy").is_some());
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn noop_handles_record_nothing() {
+        static PROBE: LazyCounter = LazyCounter::new("test.probe.noop");
+        PROBE.add(2);
+        assert_eq!(PROBE.value(), 0);
+        assert!(global().snapshot().is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests for the metrics registry: counter monotonicity under
+//! concurrent increment, snapshot-merge algebra (associative, commutative,
+//! equal to a sequential oracle), and histogram bucketing vs a naive fold.
+
+use ibis_obs::{MetricValue, MetricsRegistry, Snapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// -- counter monotonicity ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent `add`s: every reading a watcher takes is non-decreasing,
+    /// and the final value is exactly the sum of all increments.
+    #[test]
+    fn counter_is_monotonic_under_concurrent_increment(
+        per_thread in vec(vec(0u64..1_000, 0..40), 1..5),
+    ) {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("prop.concurrent");
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let mut readings = Vec::new();
+        std::thread::scope(|s| {
+            for increments in &per_thread {
+                let counter = registry.counter("prop.concurrent");
+                s.spawn(move || {
+                    for &inc in increments {
+                        counter.add(inc);
+                    }
+                });
+            }
+            // watcher: sample while writers run
+            let mut last = 0u64;
+            for _ in 0..200 {
+                let now = counter.value();
+                readings.push((last, now));
+                last = now;
+            }
+        });
+        for (before, after) in readings {
+            prop_assert!(after >= before, "counter went backwards: {before} -> {after}");
+        }
+        prop_assert_eq!(counter.value(), expected);
+        let snap = registry.snapshot();
+        prop_assert_eq!(
+            snap.get("prop.concurrent"),
+            Some(&MetricValue::Counter(expected))
+        );
+    }
+}
+
+// -- snapshot merge algebra -------------------------------------------------
+
+/// Two bucket layouts so the strategy can produce both mergeable and
+/// conflicting histogram pairs.
+const BOUNDS_A: &[u64] = &[10, 100, 1_000];
+const BOUNDS_B: &[u64] = &[5, 50];
+
+fn histogram_value(bounds: &'static [u64]) -> impl Strategy<Value = MetricValue> {
+    vec(0u64..50, bounds.len() + 1).prop_map(move |buckets| {
+        let count = buckets.iter().sum();
+        let sum = buckets.iter().enumerate().map(|(i, b)| i as u64 * b).sum();
+        MetricValue::Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count,
+            sum,
+        }
+    })
+}
+
+fn metric_value() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        (0u64..10_000).prop_map(MetricValue::Counter),
+        (-100i64..100, -100i64..100).prop_map(|(value, max)| MetricValue::Gauge { value, max }),
+        histogram_value(BOUNDS_A),
+        histogram_value(BOUNDS_B),
+        Just(MetricValue::Conflict),
+    ]
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    // a small name pool forces overlap between generated snapshots, which
+    // is where the merge algebra actually gets exercised
+    vec(((0usize..6), metric_value()), 0..8).prop_map(|pairs| {
+        let entries: BTreeMap<String, MetricValue> = pairs
+            .into_iter()
+            .map(|(i, v)| (format!("family{}.metric{i}", i % 2), v))
+            .collect();
+        Snapshot::from_entries(entries)
+    })
+}
+
+/// Independent re-statement of the merge semantics: one sequential pass
+/// that combines all snapshots name by name.
+fn oracle_merge(snaps: &[Snapshot]) -> Snapshot {
+    let mut out: BTreeMap<String, MetricValue> = BTreeMap::new();
+    for snap in snaps {
+        for (name, value) in snap.entries() {
+            let combined = match (out.get(name), value) {
+                (None, v) => v.clone(),
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
+                    MetricValue::Counter(a + b)
+                }
+                (
+                    Some(MetricValue::Gauge { value: v1, max: m1 }),
+                    MetricValue::Gauge { value: v2, max: m2 },
+                ) => MetricValue::Gauge {
+                    value: v1 + v2,
+                    max: (*m1).max(*m2),
+                },
+                (
+                    Some(MetricValue::Histogram {
+                        bounds: b1,
+                        buckets: k1,
+                        count: c1,
+                        sum: s1,
+                    }),
+                    MetricValue::Histogram {
+                        bounds: b2,
+                        buckets: k2,
+                        count: c2,
+                        sum: s2,
+                    },
+                ) if b1 == b2 && k1.len() == k2.len() => MetricValue::Histogram {
+                    bounds: b1.clone(),
+                    buckets: k1.iter().zip(k2).map(|(a, b)| a + b).collect(),
+                    count: c1 + c2,
+                    sum: s1.wrapping_add(*s2),
+                },
+                _ => MetricValue::Conflict,
+            };
+            out.insert(name.clone(), combined);
+        }
+    }
+    Snapshot::from_entries(out)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(a in snapshot(), b in snapshot(), c in snapshot()) {
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    #[test]
+    fn merge_is_commutative(a in snapshot(), b in snapshot()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_matches_sequential_oracle(snaps in vec(snapshot(), 0..5)) {
+        let folded = snaps
+            .iter()
+            .fold(Snapshot::default(), |acc, s| acc.merge(s));
+        prop_assert_eq!(folded, oracle_merge(&snaps));
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity(a in snapshot()) {
+        let empty = Snapshot::default();
+        prop_assert_eq!(a.merge(&empty), a.clone());
+        prop_assert_eq!(empty.merge(&a), a);
+    }
+}
+
+// -- histogram bucketing ----------------------------------------------------
+
+fn strict_bounds() -> impl Strategy<Value = Vec<u64>> {
+    // strictly increasing bounds from positive increments
+    vec(1u64..1_000, 1..6).prop_map(|incs| {
+        incs.iter()
+            .scan(0u64, |acc, &i| {
+                *acc += i;
+                Some(*acc)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn histogram_buckets_equal_naive_fold(
+        bounds in strict_bounds(),
+        values in vec(0u64..5_000, 0..200),
+    ) {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("prop.hist", &bounds);
+        for &v in &values {
+            h.record(v);
+        }
+
+        // naive oracle: first bucket whose bound is >= v, by linear scan
+        let mut expected = vec![0u64; bounds.len() + 1];
+        for &v in &values {
+            let idx = bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(bounds.len());
+            expected[idx] += 1;
+        }
+
+        let Some(MetricValue::Histogram { buckets, count, sum, bounds: got_bounds }) =
+            registry.snapshot().get("prop.hist").cloned()
+        else {
+            return Err(TestCaseError::Fail("histogram missing from snapshot".into()));
+        };
+        prop_assert_eq!(got_bounds, bounds);
+        prop_assert_eq!(buckets, expected);
+        prop_assert_eq!(count, values.len() as u64);
+        prop_assert_eq!(sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+    }
+
+    /// The batch path (`bucket_index` locally + one `merge_counts`) must be
+    /// indistinguishable from per-value `record`.
+    #[test]
+    fn merge_counts_equals_repeated_record(
+        bounds in strict_bounds(),
+        values in vec(0u64..5_000, 0..200),
+    ) {
+        let registry = MetricsRegistry::new();
+        let one_by_one = registry.histogram("prop.single", &bounds);
+        for &v in &values {
+            one_by_one.record(v);
+        }
+
+        let mut local = vec![0u64; bounds.len() + 1];
+        let mut sum = 0u64;
+        for &v in &values {
+            local[ibis_obs::bucket_index(&bounds, v)] += 1;
+            sum = sum.wrapping_add(v);
+        }
+        let batched = registry.histogram("prop.batched", &bounds);
+        batched.merge_counts(&local, sum);
+
+        prop_assert_eq!(batched.bucket_counts(), one_by_one.bucket_counts());
+        prop_assert_eq!(batched.count(), one_by_one.count());
+        prop_assert_eq!(batched.sum(), one_by_one.sum());
+    }
+}

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints (warnings are errors), and the full
-# workspace test suite — in both kernel configurations.
+# workspace test suite — in both kernel configurations and both
+# observability configurations (instrumented and no-op).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> test hygiene: no ignored tests"
+# The seed suite has zero #[ignore]d tests; keep it that way. An ignored
+# test silently stops gating and rots — delete it or fix it instead.
+if grep -rn '#\[ignore' --include='*.rs' crates/ src/ tests/ vendor/; then
+    echo "error: found #[ignore]d tests (listed above); un-ignore or delete them" >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -18,8 +27,22 @@ echo "==> cargo clippy (ibis-insitu non-test code: no unwrap/expect)"
 # crates/insitu/src/lib.rs gates exactly the non-test code.
 cargo clippy -p ibis-insitu --lib -- -D warnings
 
-echo "==> cargo test (workspace)"
+# The observability differential harness accumulates per-config digests
+# under target/obs_differential; start from a clean slate so the digests
+# compared below both come from this CI run.
+rm -rf target/obs_differential
+
+echo "==> cargo test (workspace, instrumented: obs on by default)"
 cargo test -q --workspace
+
+echo "==> cargo test (observability layer with obs feature off: no-op build)"
+cargo test -q -p ibis-obs --no-default-features
+
+echo "==> obs differential: no-op build must match the instrumented run byte-for-byte"
+cargo test -q -p ibis --no-default-features --test obs_differential
+test -f target/obs_differential/instrumented.digest
+test -f target/obs_differential/noop.digest
+cmp target/obs_differential/instrumented.digest target/obs_differential/noop.digest
 
 echo "==> cargo test (fault-injection + crash/resume suites, default kernels)"
 cargo test -q -p ibis-insitu --test fault_injection --test crash_resume

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}")),
     };
+    let result = result.and_then(|()| write_obs_snapshot(&flags));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -55,6 +56,19 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `--obs-json PATH`: dump the run's metrics snapshot as JSON. With the
+/// `obs` feature off the snapshot is empty — the flag still works, the
+/// report just contains no metric families.
+fn write_obs_snapshot(flags: &Flags) -> Result<(), String> {
+    let Some(path) = flags.get("obs-json") else {
+        return Ok(());
+    };
+    let json = ibis::obs::global().snapshot().to_json(2);
+    std::fs::write(path, json.as_bytes()).map_err(|e| format!("--obs-json: {e}"))?;
+    eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -68,7 +82,10 @@ USAGE:
               [--unit N] [--top N]
   ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
               [--region LO:HI] [--grid LONxLATxDEPTH]
-  ibis help";
+  ibis help
+
+Any command also accepts --obs-json PATH to dump the run's metrics
+snapshot (empty when built with --no-default-features).";
 
 type Flags = HashMap<String, String>;
 

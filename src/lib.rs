@@ -10,7 +10,7 @@
 //! both memory footprint and I/O volume without losing accuracy relative to
 //! the same binning on full data.
 //!
-//! The workspace is split into four library crates, re-exported here:
+//! The workspace is split into five library crates, re-exported here:
 //!
 //! * [`core`](ibis_core) — WAH bitvectors, streaming (Algorithm 1)
 //!   construction, binning, single- and multi-level bitmap indices, Z-order
@@ -25,6 +25,10 @@
 //! * [`insitu`](ibis_insitu) — the in-situ pipeline: Shared/Separate core
 //!   allocation, Eq. 1–2 auto-calibration, I/O and memory cost models, and a
 //!   threads-as-nodes cluster environment.
+//! * [`obs`](ibis_obs) — zero-dependency observability: a sharded metrics
+//!   registry (counters, gauges, histograms, span timers) threaded through
+//!   the kernels, pipeline, store, and cluster; compiles to no-ops with
+//!   `--no-default-features`.
 //!
 //! ## Quickstart
 //!
@@ -45,3 +49,4 @@ pub use ibis_analysis as analysis;
 pub use ibis_core as core;
 pub use ibis_datagen as datagen;
 pub use ibis_insitu as insitu;
+pub use ibis_obs as obs;

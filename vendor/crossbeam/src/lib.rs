@@ -60,6 +60,19 @@ pub mod channel {
                 Inner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
             }
         }
+
+        /// Sends `value` only if it can be done without blocking. An
+        /// unbounded channel never blocks, so this only fails there when
+        /// every receiver has disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Inner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+                Inner::Unbounded(tx) => tx.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+            }
+        }
     }
 
     /// The receiving half of a channel. Cloneable for multiple consumers;
@@ -155,6 +168,23 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent value.
+    pub enum TrySendError<T> {
+        /// The bounded channel is full right now.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -205,6 +235,17 @@ pub mod channel {
                 assert_eq!(rx.recv(), Ok(1));
                 assert_eq!(rx.recv(), Ok(2));
             });
+        }
+
+        #[test]
+        fn try_send_reports_full_without_blocking() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(tx.try_send(3).is_ok());
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
         }
 
         #[test]
