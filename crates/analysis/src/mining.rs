@@ -307,65 +307,77 @@ pub fn mine_full(
     if n == 0 {
         return result;
     }
-    let ids_a = binner_a.bin_all(a);
-    let ids_b = binner_b.bin_all(b);
-    let (na, nb) = (binner_a.nbins(), binner_b.nbins());
-    let nunits = (n as usize).div_ceil(cfg.unit_size as usize);
-    // whole-domain joint + marginals
-    let mut joint = vec![0u64; na * nb];
-    let mut ca = vec![0u64; na];
-    let mut cb = vec![0u64; nb];
-    // per-unit marginals
-    let mut unit_a = vec![0u64; nunits * na];
-    let mut unit_b = vec![0u64; nunits * nb];
-    for (i, (&ja, &kb)) in ids_a.iter().zip(&ids_b).enumerate() {
-        joint[ja as usize * nb + kb as usize] += 1;
-        ca[ja as usize] += 1;
-        cb[kb as usize] += 1;
-        let u = i / cfg.unit_size as usize;
-        unit_a[u * na + ja as usize] += 1;
-        unit_b[u * nb + kb as usize] += 1;
+    thread_local! {
+        // mine_full runs once per step pair in the comparison benches;
+        // binning scratch persists across calls on each thread.
+        static ID_SCRATCH: std::cell::RefCell<(Vec<u32>, Vec<u32>)> = const {
+            std::cell::RefCell::new((Vec::new(), Vec::new()))
+        };
     }
-    for j in 0..na {
-        if ca[j] == 0 {
-            continue;
+    ID_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (ids_a, ids_b) = &mut *scratch;
+        binner_a.bin_into(a, ids_a);
+        binner_b.bin_into(b, ids_b);
+        let (na, nb) = (binner_a.nbins(), binner_b.nbins());
+        let nunits = (n as usize).div_ceil(cfg.unit_size as usize);
+        // whole-domain joint + marginals
+        let mut joint = vec![0u64; na * nb];
+        let mut ca = vec![0u64; na];
+        let mut cb = vec![0u64; nb];
+        // per-unit marginals
+        let mut unit_a = vec![0u64; nunits * na];
+        let mut unit_b = vec![0u64; nunits * nb];
+        for (i, (&ja, &kb)) in ids_a.iter().zip(ids_b.iter()).enumerate() {
+            joint[ja as usize * nb + kb as usize] += 1;
+            ca[ja as usize] += 1;
+            cb[kb as usize] += 1;
+            let u = i / cfg.unit_size as usize;
+            unit_a[u * na + ja as usize] += 1;
+            unit_b[u * nb + kb as usize] += 1;
         }
-        for k in 0..nb {
-            if cb[k] == 0 {
+        for j in 0..na {
+            if ca[j] == 0 {
                 continue;
             }
-            result.pairs_evaluated += 1;
-            let c_ab = joint[j * nb + k];
-            let value_mi = joint_pair_score(n, ca[j], cb[k], c_ab);
-            if value_mi < cfg.value_threshold {
-                result.pairs_pruned += 1;
-                continue;
-            }
-            // per-unit joint counts for this surviving pair
-            let mut per_unit_ab = vec![0u64; nunits];
-            for (i, (&ja, &kb)) in ids_a.iter().zip(&ids_b).enumerate() {
-                if ja as usize == j && kb as usize == k {
-                    per_unit_ab[i / cfg.unit_size as usize] += 1;
+            for k in 0..nb {
+                if cb[k] == 0 {
+                    continue;
                 }
-            }
-            for (u, &c_ab_u) in per_unit_ab.iter().enumerate() {
-                result.units_evaluated += 1;
-                let nu = unit_len(u, cfg.unit_size, n);
-                let spatial_mi = indicator_mi(nu, unit_a[u * na + j], unit_b[u * nb + k], c_ab_u);
-                if spatial_mi >= cfg.spatial_threshold {
-                    result.subsets.push(MinedSubset {
-                        bin_a: j,
-                        bin_b: k,
-                        unit: u,
-                        value_mi,
-                        spatial_mi,
-                    });
+                result.pairs_evaluated += 1;
+                let c_ab = joint[j * nb + k];
+                let value_mi = joint_pair_score(n, ca[j], cb[k], c_ab);
+                if value_mi < cfg.value_threshold {
+                    result.pairs_pruned += 1;
+                    continue;
+                }
+                // per-unit joint counts for this surviving pair
+                let mut per_unit_ab = vec![0u64; nunits];
+                for (i, (&ja, &kb)) in ids_a.iter().zip(ids_b.iter()).enumerate() {
+                    if ja as usize == j && kb as usize == k {
+                        per_unit_ab[i / cfg.unit_size as usize] += 1;
+                    }
+                }
+                for (u, &c_ab_u) in per_unit_ab.iter().enumerate() {
+                    result.units_evaluated += 1;
+                    let nu = unit_len(u, cfg.unit_size, n);
+                    let spatial_mi =
+                        indicator_mi(nu, unit_a[u * na + j], unit_b[u * nb + k], c_ab_u);
+                    if spatial_mi >= cfg.spatial_threshold {
+                        result.subsets.push(MinedSubset {
+                            bin_a: j,
+                            bin_b: k,
+                            unit: u,
+                            value_mi,
+                            spatial_mi,
+                        });
+                    }
                 }
             }
         }
-    }
-    sort_subsets(&mut result.subsets);
-    result
+        sort_subsets(&mut result.subsets);
+        result
+    })
 }
 
 /// Multi-level statistics.

@@ -1,0 +1,158 @@
+//! Ingest-throughput sweep for the batched generation fast path:
+//! pattern × nbins × {scalar, batched, parallel} build modes, reported as
+//! elements/s with speedups over the scalar push-loop baseline, written to
+//! `BENCH_generation.json` at the repository root.
+//!
+//! The pattern set brackets the fast path's regimes: `constant` and
+//! `smooth` are the spatially coherent simulation fields the paper's
+//! in-situ generation targets (constant-segment path + cross-segment run
+//! detection), `step_runs` alternates medium runs with seams, and
+//! `uniform_random` is the adversarial all-mixed-segments case that must
+//! not regress.
+//!
+//!     cargo bench -p ibis-bench --bench generation
+//!
+//! `IBIS_GEN_SMOKE=1` shrinks the element count and writes to
+//! `target/BENCH_generation.smoke.json` instead, so CI can schema-check the
+//! report without clobbering the committed full-size numbers.
+
+use ibis_core::{build_index_parallel, Binner, BitmapIndex};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean seconds per iteration (same calibration scheme as micro_kernels).
+fn measure<O>(mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    let one = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.06 / one).round() as u64).clamp(1, 1_000_000_000);
+    let samples = 3;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        total += t0.elapsed().as_secs_f64() / iters as f64;
+    }
+    total / samples as f64
+}
+
+fn pattern(name: &str, n: usize) -> Vec<f64> {
+    match name {
+        // One value for the whole step: a single cross-segment run.
+        "constant" => vec![42.0; n],
+        // Spatially smooth field: long same-bin runs with slow drift.
+        "smooth" => (0..n)
+            .map(|i| (i as f64 * 6.0 / n as f64).sin() * 50.0)
+            .collect(),
+        // Plateaus of ~8 segments with occasional mixed seams.
+        "step_runs" => (0..n)
+            .map(|i| ((i / 248) % 37) as f64 * 2.7 - 40.0)
+            .collect(),
+        // LCG noise over the full range: every segment is mixed.
+        "uniform_random" => {
+            let mut state = 0x9e3779b97f4a7c15u64;
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0 - 50.0
+                })
+                .collect()
+        }
+        _ => unreachable!("unknown pattern {name}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("IBIS_GEN_SMOKE").is_ok_and(|v| v == "1");
+    let n: usize = if smoke { 1 << 16 } else { 1 << 20 };
+    let patterns = ["constant", "smooth", "step_runs", "uniform_random"];
+    let bin_counts = [32usize, 256];
+
+    let mut samples = String::new();
+    let mut speedups: Vec<(String, f64, f64)> = Vec::new();
+    let total = patterns.len() * bin_counts.len();
+    let mut k = 0;
+    for pat in patterns {
+        let data = pattern(pat, n);
+        for nbins in bin_counts {
+            let binner = Binner::fixed_width(-55.0, 55.0, nbins);
+
+            // Sanity: the timed fast path must match the scalar oracle.
+            let fast = BitmapIndex::build(&data, binner.clone());
+            let slow = BitmapIndex::build_scalar(&data, binner.clone());
+            for b in 0..nbins {
+                assert_eq!(fast.bin(b), slow.bin(b), "{pat}/{nbins}: bin {b} diverged");
+            }
+
+            let scalar_s = measure(|| BitmapIndex::build_scalar(black_box(&data), binner.clone()));
+            let batched_s = measure(|| BitmapIndex::build(black_box(&data), binner.clone()));
+            let parallel_s = measure(|| build_index_parallel(black_box(&data), binner.clone()));
+
+            let meps = |s: f64| n as f64 / s / 1e6;
+            let b_speed = scalar_s / batched_s;
+            let p_speed = scalar_s / parallel_s;
+            println!(
+                "generation: {pat:<15} nbins={nbins:<4} scalar {:.1} Me/s  batched {:.1} Me/s ({b_speed:.2}x)  parallel {:.1} Me/s ({p_speed:.2}x)",
+                meps(scalar_s),
+                meps(batched_s),
+                meps(parallel_s),
+            );
+            k += 1;
+            samples.push_str(&format!(
+                "    {{\"pattern\": \"{pat}\", \"nbins\": {nbins}, \
+                 \"scalar_s\": {scalar_s:e}, \"batched_s\": {batched_s:e}, \"parallel_s\": {parallel_s:e}, \
+                 \"scalar_melems_per_s\": {:.2}, \"batched_melems_per_s\": {:.2}, \"parallel_melems_per_s\": {:.2}, \
+                 \"batched_over_scalar_speedup\": {b_speed:.3}, \"parallel_over_scalar_speedup\": {p_speed:.3}}}{}\n",
+                meps(scalar_s),
+                meps(batched_s),
+                meps(parallel_s),
+                if k == total { "" } else { "," }
+            ));
+            speedups.push((format!("{pat}/{nbins}"), b_speed, p_speed));
+        }
+    }
+
+    // Acceptance summary: ≥2x batched on the coherent patterns, no
+    // >5% regression on uniform_random. Asserted in the report, not the
+    // process — a loaded CI host can blow any wall-clock ratio.
+    let min_coherent = speedups
+        .iter()
+        .filter(|(k, ..)| k.starts_with("constant") || k.starts_with("smooth"))
+        .map(|&(_, b, _)| b)
+        .fold(f64::INFINITY, f64::min);
+    let min_random = speedups
+        .iter()
+        .filter(|(k, ..)| k.starts_with("uniform_random"))
+        .map(|&(_, b, _)| b)
+        .fold(f64::INFINITY, f64::min);
+    let coherent_ok = min_coherent >= 2.0;
+    let random_ok = min_random >= 0.95;
+    println!(
+        "generation: min coherent speedup {min_coherent:.2}x (>=2x: {coherent_ok}); \
+         min uniform_random {min_random:.2}x (>=0.95x: {random_ok})"
+    );
+
+    let threads = rayon::current_num_threads();
+    let out = format!(
+        "{{\n  \"workload\": \"index build, {n} elements, pattern x nbins x build mode\",\n  \
+         \"n\": {n},\n  \"rayon_threads\": {threads},\n  \"samples\": [\n{samples}  ],\n  \
+         \"min_coherent_batched_speedup\": {min_coherent:.3},\n  \
+         \"coherent_over_2x_target\": {coherent_ok},\n  \
+         \"min_uniform_random_batched_speedup\": {min_random:.3},\n  \
+         \"uniform_random_within_5pct_target\": {random_ok}\n}}\n"
+    );
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_generation.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_generation.json")
+    };
+    std::fs::write(path, out).expect("write BENCH_generation report");
+    println!("generation: wrote {path}");
+}

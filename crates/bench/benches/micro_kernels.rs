@@ -220,7 +220,8 @@ fn write_json(samples: &[Sample]) {
 fn bench_build(c: &mut Criterion) {
     let data = smooth_field(0.0);
     let binner = Binner::fixed_width(-51.0, 51.0, 100);
-    let ids = binner.bin_all(&data);
+    let mut ids = Vec::new();
+    binner.bin_into(&data, &mut ids); // scratch-reuse binning API
     let mut g = c.benchmark_group("build");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     g.bench_function("algorithm1_streaming_1M", |b| {

@@ -261,7 +261,45 @@ impl Binner {
 
     /// Maps every value in `data` to its bin id.
     pub fn bin_all(&self, data: &[f64]) -> Vec<u32> {
-        data.iter().map(|&v| self.bin_of(v)).collect()
+        let mut out = Vec::new();
+        self.bin_into(data, &mut out);
+        out
+    }
+
+    /// Like [`Binner::bin_all`], but reuses `out`'s allocation — the
+    /// per-time-step pipelines call this with a scratch buffer so steady
+    /// state does no binning allocation. `out` is cleared first and holds
+    /// exactly `data.len()` ids afterwards.
+    pub fn bin_into(&self, data: &[f64], out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(data.len(), 0);
+        self.bin_slice_into(data, out);
+    }
+
+    /// Fills `out[i] = self.bin_of(data[i])` for equal-length slices. The
+    /// fixed-width arm is branchless (Rust's saturating `f64 as usize` cast
+    /// sends NaN and negatives to 0, exactly matching [`Binner::bin_of`]'s
+    /// clamp-and-NaN convention), which is what lets the fused generation
+    /// loop in `MultiWahBuilder::extend_binned` stay tight.
+    #[inline]
+    pub(crate) fn bin_slice_into(&self, data: &[f64], out: &mut [u32]) {
+        debug_assert_eq!(data.len(), out.len());
+        match &self.kind {
+            Kind::Width { min, width, nbins } => {
+                let top = *nbins - 1;
+                for (o, &v) in out.iter_mut().zip(data) {
+                    // `as usize` saturates: NaN -> 0, negative -> 0,
+                    // +inf/huge -> usize::MAX (then clamped) — byte-identical
+                    // to the branchy bin_of for every input.
+                    *o = (((v - *min) / *width) as usize).min(top) as u32;
+                }
+            }
+            Kind::Edges(_) => {
+                for (o, &v) in out.iter_mut().zip(data) {
+                    *o = self.bin_of(v);
+                }
+            }
+        }
     }
 
     /// A coarser binner whose bin `h` covers low bins

@@ -8,10 +8,25 @@
 //! once, segment by segment, and each segment is merged into the existing
 //! compressed bitvectors.
 
+use crate::binning::Binner;
 use crate::wah::{
     fill_bits, is_fill, make_fill, WahVec, FLAG_MASK, LITERAL_MASK, MAX_FILL_BITS, ONE_FILL,
     SEG_BITS, ZERO_FILL,
 };
+use ibis_obs::{LazyCounter, LazyHistogram};
+
+// Generation-path metrics (family `generation`, see DESIGN.md §6f). The
+// fast/mixed split shows how much of the ingest ran the batched
+// constant-segment path vs the per-element scatter fallback; run hits count
+// segments absorbed into an already-open cross-segment constant run, and the
+// histogram records the lengths of the 1-fills those runs became. All
+// no-ops when ibis-obs is built without its `obs` feature; the hot loop
+// tallies locally and flushes once per `extend_binned` call.
+static OBS_FAST_SEGS: LazyCounter = LazyCounter::new("generation.segments.fast");
+static OBS_MIXED_SEGS: LazyCounter = LazyCounter::new("generation.segments.mixed");
+static OBS_RUN_HITS: LazyCounter = LazyCounter::new("generation.run.hits");
+static OBS_RUN_BITS: LazyHistogram =
+    LazyHistogram::new("generation.run.bits", ibis_obs::RUN_BITS_BOUNDS);
 
 /// Incremental builder for a single [`WahVec`].
 ///
@@ -110,18 +125,56 @@ impl WahBuilder {
         }
     }
 
+    /// Appends the low `nbits` bits of `payload` (LSB-first, `nbits` ≤ 31)
+    /// in at most two word operations: the low part completes the pending
+    /// partial segment, the high part becomes the new pending remainder.
+    /// Equivalent to `nbits` [`WahBuilder::push_bit`] calls, but O(1).
+    ///
+    /// # Panics (debug)
+    /// `payload` must have no bits set at or above `nbits`.
+    #[inline]
+    pub fn append_bits(&mut self, payload: u32, nbits: u8) {
+        debug_assert!(nbits as u64 <= SEG_BITS, "append_bits of {nbits} > 31");
+        debug_assert!(
+            nbits as u64 == SEG_BITS || payload & !((1u32 << nbits) - 1) == 0,
+            "payload has bits beyond nbits"
+        );
+        if nbits == 0 {
+            return;
+        }
+        let total = self.pending_bits + nbits;
+        if (total as u64) < SEG_BITS {
+            self.pending |= payload << self.pending_bits;
+            self.pending_bits = total;
+        } else {
+            // `pending_bits` < 31 and `nbits` <= 31, so both shifts below
+            // stay under 32 and the high bits lost by `<<` are exactly the
+            // bits recovered by `>>` into the new pending remainder.
+            let seg = (self.pending | (payload << self.pending_bits)) & LITERAL_MASK;
+            let consumed = SEG_BITS as u8 - self.pending_bits;
+            self.pending = 0;
+            self.pending_bits = 0;
+            self.append_seg31(seg);
+            self.pending = payload >> consumed;
+            self.pending_bits = total - SEG_BITS as u8;
+        }
+    }
+
     /// Appends `nbits` copies of `bit`, handling any alignment.
     pub fn append_run(&mut self, bit: bool, mut nbits: u64) {
-        while self.pending_bits != 0 && nbits > 0 {
-            self.push_bit(bit);
-            nbits -= 1;
+        if self.pending_bits != 0 && nbits > 0 {
+            // Head: top the pending segment up word-wise (≤ 30 bits).
+            let head = (SEG_BITS - self.pending_bits as u64).min(nbits) as u8;
+            self.append_bits(if bit { (1u32 << head) - 1 } else { 0 }, head);
+            nbits -= head as u64;
         }
         let whole = nbits - nbits % SEG_BITS;
         if whole > 0 {
             self.append_fill_aligned(bit, whole);
         }
-        for _ in 0..nbits % SEG_BITS {
-            self.push_bit(bit);
+        let tail = (nbits % SEG_BITS) as u8;
+        if tail > 0 {
+            self.append_bits(if bit { (1u32 << tail) - 1 } else { 0 }, tail);
         }
     }
 
@@ -151,7 +204,12 @@ impl WahBuilder {
     }
 
     /// Appends the contents of a compressed vector (used to concatenate the
-    /// per-sub-block results of parallel generation).
+    /// per-sub-block results of parallel generation). O(words of `other`)
+    /// even when the receiver sits off a segment boundary: unaligned
+    /// literals are spliced with [`WahBuilder::append_bits`] shifts instead
+    /// of per-bit pushes, which is what makes the phase-2 concat of
+    /// [`crate::build_index_parallel`] linear in compressed words rather
+    /// than bits.
     pub fn append_wah(&mut self, other: &WahVec) {
         for run in other.runs() {
             match run {
@@ -160,26 +218,42 @@ impl WahBuilder {
                     if nbits as u64 == SEG_BITS && self.pending_bits == 0 {
                         self.append_seg31(payload);
                     } else {
-                        for j in 0..nbits {
-                            self.push_bit(payload & (1 << j) != 0);
-                        }
+                        self.append_bits(payload, nbits);
                     }
                 }
             }
         }
     }
 
-    /// Finalizes the vector; a partial segment becomes the tail literal.
-    pub fn finish(mut self) -> WahVec {
+    /// Clears the builder for a fresh vector, keeping the word allocation.
+    pub fn reset(&mut self) {
+        self.words.clear();
+        self.committed = 0;
+        self.pending = 0;
+        self.pending_bits = 0;
+    }
+
+    /// Finalizes the vector and resets the builder in place, so a caller
+    /// holding a long-lived builder (the in-situ pipelines build one index
+    /// per field per time-step) can reuse it without reallocating. The
+    /// produced vector takes ownership of the accumulated words.
+    pub fn finish_reset(&mut self) -> WahVec {
         let len = self.len();
         if self.pending_bits > 0 {
             self.words.push(self.pending & LITERAL_MASK);
         }
+        let words = std::mem::take(&mut self.words);
+        self.reset();
         WahVec {
-            words: self.words,
+            words,
             len_bits: len,
             stats: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Finalizes the vector; a partial segment becomes the tail literal.
+    pub fn finish(mut self) -> WahVec {
+        self.finish_reset()
     }
 }
 
@@ -274,6 +348,137 @@ impl MultiWahBuilder {
         }
     }
 
+    /// Fused bin+compress fast path: consumes raw values in 31-element
+    /// segments and merges each with one of two paths:
+    ///
+    /// * **constant segment** (all 31 values bin equally — the common case
+    ///   on spatially smooth simulation fields), detected from the chunk's
+    ///   min/max without binning every element: no per-element `segbuf`
+    ///   writes at all; consecutive constant segments of the same bin
+    ///   accumulate into a single run that lands as one O(1) 1-fill
+    ///   extension on that bin's builder (other bins just grow their lazy
+    ///   zero-deficit).
+    /// * **mixed segment**: bin into a stack buffer with the binner's
+    ///   branchless bulk loop, scatter the 31 ids into `segbuf`, and merge
+    ///   via the ordinary segment flush.
+    ///
+    /// Output is byte-identical to `for &v in data { self.push(binner.bin_of(v)) }`
+    /// (property-tested against that oracle); `binner.nbins()` must equal
+    /// [`MultiWahBuilder::nbins`].
+    pub fn extend_binned(&mut self, binner: &Binner, data: &[f64]) {
+        debug_assert_eq!(binner.nbins(), self.nbins(), "binner/builder bin mismatch");
+        let mut data = data;
+        // Head: scalar-push until the builder sits on a segment boundary.
+        if self.pos_in_seg != 0 {
+            let head = ((SEG_BITS - self.pos_in_seg as u64) as usize).min(data.len());
+            for &v in &data[..head] {
+                self.push(binner.bin_of(v));
+            }
+            data = &data[head..];
+        }
+        let seg = SEG_BITS as usize;
+        let mut ids = [0u32; SEG_BITS as usize];
+        // Open cross-segment constant run: (bin, completed segments).
+        let mut run: Option<(u32, u64)> = None;
+        // Local obs tallies, flushed once (hot-loop hygiene, §6e).
+        let mut fast_segs = 0u64;
+        let mut mixed_segs = 0u64;
+        let mut run_hits = 0u64;
+        let mut run_buckets = [0u64; ibis_obs::RUN_BITS_BOUNDS.len() + 1];
+        let mut run_bits_sum = 0u64;
+        let mut note_run = |segs: u64| {
+            if ibis_obs::ENABLED {
+                let bits = segs * SEG_BITS;
+                run_buckets[ibis_obs::bucket_index(ibis_obs::RUN_BITS_BOUNDS, bits)] += 1;
+                run_bits_sum = run_bits_sum.wrapping_add(bits);
+            }
+        };
+        let mut chunks = data.chunks_exact(seg);
+        for chunk in &mut chunks {
+            // Branchless min/max + NaN sweep (auto-vectorizes). bin_of is
+            // monotone in v, so a NaN-free chunk whose extremes share a bin
+            // is entirely that bin — two bin_of calls instead of 31.
+            let mut mn = chunk[0];
+            let mut mx = chunk[0];
+            let mut nan = false;
+            for &v in chunk {
+                mn = if v < mn { v } else { mn };
+                mx = if v > mx { v } else { mx };
+                nan |= v.is_nan();
+            }
+            let const_bin = if nan {
+                None
+            } else {
+                let b = binner.bin_of(mn);
+                (b == binner.bin_of(mx)).then_some(b)
+            };
+            if let Some(first) = const_bin {
+                fast_segs += 1;
+                run = match run {
+                    Some((b, k)) if b == first => {
+                        run_hits += 1;
+                        Some((b, k + 1))
+                    }
+                    Some((b, k)) => {
+                        note_run(k);
+                        self.flush_const_run(b, k);
+                        Some((first, 1))
+                    }
+                    None => Some((first, 1)),
+                };
+            } else {
+                if let Some((b, k)) = run.take() {
+                    note_run(k);
+                    self.flush_const_run(b, k);
+                }
+                mixed_segs += 1;
+                // Scatter the segment; identical to 31 scalar pushes.
+                binner.bin_slice_into(chunk, &mut ids);
+                for (j, &id) in ids.iter().enumerate() {
+                    let b = id as usize;
+                    if self.segbuf[b] == 0 {
+                        self.touched.push(id);
+                    }
+                    self.segbuf[b] |= 1 << j;
+                }
+                self.total_bits += SEG_BITS;
+                self.flush_seg();
+            }
+        }
+        if let Some((b, k)) = run.take() {
+            note_run(k);
+            self.flush_const_run(b, k);
+        }
+        // Tail: fewer than 31 elements left.
+        for &v in chunks.remainder() {
+            self.push(binner.bin_of(v));
+        }
+        if ibis_obs::ENABLED {
+            OBS_FAST_SEGS.add(fast_segs);
+            OBS_MIXED_SEGS.add(mixed_segs);
+            OBS_RUN_HITS.add(run_hits);
+            OBS_RUN_BITS.merge_counts(&run_buckets, run_bits_sum);
+        }
+    }
+
+    /// Merges `segs` consecutive all-`bin` segments in O(1): one deficit
+    /// settle plus one (possibly merging) 1-fill extension on that bin's
+    /// builder; every other bin's zero-deficit grows lazily. Byte-identical
+    /// to `segs` scalar segment flushes with only `bin` touched.
+    fn flush_const_run(&mut self, bin: u32, segs: u64) {
+        debug_assert_eq!(self.pos_in_seg, 0);
+        debug_assert!(segs > 0);
+        let b = bin as usize;
+        let deficit = self.global_segs - self.appended_segs[b];
+        if deficit > 0 {
+            self.builders[b].append_fill_aligned(false, deficit * SEG_BITS);
+        }
+        self.builders[b].append_fill_aligned(true, segs * SEG_BITS);
+        self.global_segs += segs;
+        self.appended_segs[b] = self.global_segs;
+        self.total_bits += segs * SEG_BITS;
+    }
+
     /// Merges the completed segment into every touched builder
     /// (Algorithm 1 lines 10–27).
     fn flush_seg(&mut self) {
@@ -292,9 +497,30 @@ impl MultiWahBuilder {
         self.pos_in_seg = 0;
     }
 
-    /// Finalizes all bins; every bitvector has length equal to the number of
-    /// elements consumed.
-    pub fn finish(mut self) -> Vec<WahVec> {
+    /// Resets the builder for a fresh stream over `nbins` bins, keeping
+    /// every allocation that can be kept (the per-bin bookkeeping vectors
+    /// and the builder list), so pipelines building one index per time-step
+    /// stop allocating working state per step.
+    pub fn reset(&mut self, nbins: usize) {
+        self.builders.truncate(nbins);
+        for b in &mut self.builders {
+            b.reset();
+        }
+        self.builders.resize_with(nbins, WahBuilder::new);
+        self.appended_segs.clear();
+        self.appended_segs.resize(nbins, 0);
+        self.segbuf.clear();
+        self.segbuf.resize(nbins, 0);
+        self.touched.clear();
+        self.pos_in_seg = 0;
+        self.global_segs = 0;
+        self.total_bits = 0;
+    }
+
+    /// Finalizes all bins and resets the builder in place (see
+    /// [`MultiWahBuilder::reset`]); every bitvector has length equal to the
+    /// number of elements consumed.
+    pub fn finish_reset(&mut self) -> Vec<WahVec> {
         // Partial tail segment: append deficits then the partial literals.
         let partial = self.pos_in_seg;
         let touched = std::mem::take(&mut self.touched);
@@ -308,20 +534,52 @@ impl MultiWahBuilder {
             for j in 0..partial {
                 self.builders[b].push_bit(seg & (1 << j) != 0);
             }
+            self.segbuf[b] = 0;
             self.appended_segs[b] = self.global_segs; // deficit now settled
         }
         let total = self.total_bits;
-        self.builders
-            .into_iter()
-            .map(|mut bld| {
+        let nbins = self.builders.len();
+        let out = self
+            .builders
+            .iter_mut()
+            .map(|bld| {
                 let miss = total - bld.len();
                 if miss > 0 {
                     bld.append_run(false, miss);
                 }
-                bld.finish()
+                bld.finish_reset()
             })
-            .collect()
+            .collect();
+        self.reset(nbins);
+        out
     }
+
+    /// Finalizes all bins; every bitvector has length equal to the number of
+    /// elements consumed.
+    pub fn finish(mut self) -> Vec<WahVec> {
+        self.finish_reset()
+    }
+}
+
+thread_local! {
+    /// Per-thread builder scratch shared by [`crate::BitmapIndex::build`]
+    /// and the per-block phase of [`crate::build_index_parallel`], so
+    /// repeated index builds on one thread (the in-situ pipelines build one
+    /// index per field per time-step) reuse the per-bin bookkeeping instead
+    /// of allocating it each call.
+    static BUILD_SCRATCH: std::cell::RefCell<MultiWahBuilder> =
+        std::cell::RefCell::new(MultiWahBuilder::new(0));
+}
+
+/// Runs the fused bin+compress fast path over `data` on the thread's
+/// reusable builder scratch and returns the finished bins.
+pub(crate) fn build_bins_reusing_scratch(binner: &Binner, data: &[f64]) -> Vec<WahVec> {
+    BUILD_SCRATCH.with(|cell| {
+        let mut mb = cell.borrow_mut();
+        mb.reset(binner.nbins());
+        mb.extend_binned(binner, data);
+        mb.finish_reset()
+    })
 }
 
 #[cfg(test)]

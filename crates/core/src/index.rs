@@ -31,8 +31,18 @@ pub struct BitmapIndex {
 
 impl BitmapIndex {
     /// Builds the index with the paper's Algorithm 1: one pass over the
-    /// data, compressing as it goes.
+    /// data, compressing as it goes. Runs the fused bin+compress fast path
+    /// ([`MultiWahBuilder::extend_binned`]) on a per-thread reusable
+    /// builder; output is byte-identical to [`BitmapIndex::build_scalar`].
     pub fn build(data: &[f64], binner: Binner) -> Self {
+        let bins = crate::builder::build_bins_reusing_scratch(&binner, data);
+        Self::from_bins(binner, bins)
+    }
+
+    /// The element-at-a-time reference build (one `bin_of` + one `push` per
+    /// element). Kept as the property-test oracle for the batched fast path
+    /// — mirroring how `legacy-kernels` anchors the query kernels.
+    pub fn build_scalar(data: &[f64], binner: Binner) -> Self {
         let mut mb = MultiWahBuilder::new(binner.nbins());
         for &v in data {
             mb.push(binner.bin_of(v));

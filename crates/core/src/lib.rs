@@ -9,7 +9,10 @@
 //!   words.
 //! * [`WahBuilder`] / [`MultiWahBuilder`] — the paper's Algorithm 1:
 //!   streaming, in-place compression with O(bins) working state, suitable
-//!   for memory-constrained in-situ generation.
+//!   for memory-constrained in-situ generation. Ingestion runs a fused
+//!   bin+compress fast path ([`MultiWahBuilder::extend_binned`]): 31-element
+//!   segments are binned branchlessly, constant segments collapse into O(1)
+//!   fill extensions, and concatenation splices literals word-at-a-time.
 //! * [`Binner`] — value-to-bin mapping (distinct integers, fixed width,
 //!   decimal precision, explicit edges) plus [`Binner::coarsen`] for
 //!   multi-level indices.

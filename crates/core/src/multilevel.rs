@@ -18,7 +18,8 @@ pub struct MultiLevelIndex {
 }
 
 impl MultiLevelIndex {
-    /// Builds both levels: the low level with Algorithm 1, the high level by
+    /// Builds both levels: the low level with Algorithm 1 (via the fused
+    /// bin+compress fast path of [`BitmapIndex::build`]), the high level by
     /// OR-ing each group of `group` low bitvectors (no second data scan).
     pub fn build(data: &[f64], binner: Binner, group: usize) -> Self {
         let low = BitmapIndex::build(data, binner);

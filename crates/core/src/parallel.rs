@@ -7,7 +7,7 @@
 //! concatenation is a pure word append (fills merge at the seams).
 
 use crate::binning::Binner;
-use crate::builder::{MultiWahBuilder, WahBuilder};
+use crate::builder::WahBuilder;
 use crate::index::BitmapIndex;
 use crate::wah::{WahVec, SEG_BITS};
 use rayon::prelude::*;
@@ -53,13 +53,7 @@ pub fn build_index_parallel(data: &[f64], binner: Binner) -> BitmapIndex {
     }
     let partials: Vec<Vec<WahVec>> = blocks
         .par_iter()
-        .map(|block| {
-            let mut mb = MultiWahBuilder::new(nbins);
-            for &v in *block {
-                mb.push(binner.bin_of(v));
-            }
-            mb.finish()
-        })
+        .map(|block| crate::builder::build_bins_reusing_scratch(&binner, block))
         .collect();
     // Phase 2: concatenate per bin.
     let bins: Vec<WahVec> = (0..nbins)

@@ -124,8 +124,10 @@ impl Bitset {
 pub fn build_index_two_phase(data: &[f64], binner: crate::Binner) -> (crate::BitmapIndex, usize) {
     let n = data.len() as u64;
     let mut sets: Vec<Bitset> = (0..binner.nbins()).map(|_| Bitset::new(n)).collect();
-    for (i, &v) in data.iter().enumerate() {
-        sets[binner.bin_of(v) as usize].set(i as u64, true);
+    let mut ids = Vec::new();
+    binner.bin_into(data, &mut ids);
+    for (i, &id) in ids.iter().enumerate() {
+        sets[id as usize].set(i as u64, true);
     }
     let transient: usize = sets.iter().map(Bitset::size_bytes).sum();
     let bins = sets.iter().map(Bitset::to_wah).collect();

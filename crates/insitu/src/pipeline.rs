@@ -231,6 +231,11 @@ impl PipelineConfig {
 
 /// Builds the summary of one step under the configured reduction; returns
 /// the summary and its resident byte size.
+///
+/// Bitmap reductions go through [`build_index_parallel`], which runs the
+/// fused bin+compress fast path per sub-block on per-thread reusable
+/// builder scratch — both Shared and Separate allocations stop paying
+/// per-step binning/builder allocations in steady state.
 fn summarize(
     out: &StepOutput,
     reduction: &Reduction,

@@ -54,4 +54,31 @@ echo "==> cargo test (fault suite against legacy kernels)"
 cargo test -q -p ibis-insitu --features ibis-core/legacy-kernels \
     --test fault_injection --test crash_resume
 
+echo "==> generation bench smoke (both kernel configs) + report schema"
+# IBIS_GEN_SMOKE=1 shrinks the sweep and writes to target/ so CI never
+# clobbers the committed full-size BENCH_generation.json.
+check_generation_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"samples"' '"batched_over_scalar_speedup"' \
+        '"parallel_over_scalar_speedup"' '"min_coherent_batched_speedup"' \
+        '"uniform_random_within_5pct_target"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+}
+rm -f target/BENCH_generation.smoke.json
+IBIS_GEN_SMOKE=1 cargo bench -q -p ibis-bench --bench generation
+check_generation_report target/BENCH_generation.smoke.json
+# Same smoke in the no-op observability twin: the fast path must produce
+# (and schema-check) identically with the generation counters const-folded.
+rm -f target/BENCH_generation.smoke.json
+IBIS_GEN_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench generation
+check_generation_report target/BENCH_generation.smoke.json
+echo "==> committed BENCH_generation.json present with full-size sweep"
+check_generation_report BENCH_generation.json
+
 echo "CI OK"
