@@ -44,7 +44,11 @@ pub use mining::{
     mine_full, mine_index, mine_index_serial, mine_multilevel, MinedSubset, MiningConfig,
     MiningResult,
 };
-pub use query::{correlation_query, CorrelationAnswer, SubsetQuery};
+pub use query::{
+    correlation_query, correlation_query_ml, execute_range_plan, joint_counts_selected,
+    joint_counts_selected_naive, plan_value_range, region_mask, CorrelationAnswer, QueryError,
+    RangePlan, SubsetQuery,
+};
 pub use sampling::{sample, SamplingMethod};
 pub use selection::{
     select_dp, select_dp_serial, select_greedy, select_greedy_serial, Partitioning, Selection,

@@ -10,21 +10,115 @@
 //! compressed selection vector, and [`correlation_query`] computes the
 //! relationship metrics of two variables restricted to the selected
 //! sub-population — all from bitmaps.
+//!
+//! This is the one surface a *user* drives directly, so it is total:
+//! malformed input (an out-of-range region, a NaN bound, mismatched
+//! variables) is a typed [`QueryError`], never a panic, and inverted or
+//! empty value intervals are well-defined empty selections.
+//!
+//! # The range planner
+//!
+//! A `value_range` predicate touches a contiguous span of bins; which bins
+//! it touches dominates query cost, so [`plan_value_range`] chooses among
+//! three strategies that produce byte-identical selections:
+//!
+//! * **`OrBins`** — OR the touched bins directly (the naive fan-in, always
+//!   correct, optimal for narrow ranges).
+//! * **`Complement`** — OR the *untouched* bins and complement the result
+//!   (`not()`): wide ranges touch most bins, so the smaller side is the
+//!   bins outside the span. Valid because an index built from data
+//!   partitions positions across bins.
+//! * **`MultiLevel`** — cover interior bins with their high-level group
+//!   vectors ([`MultiLevelIndex`]) and only the ragged edges with low
+//!   bins: each high vector is the precomputed OR of its children, so wide
+//!   spans collapse to a handful of operands.
+//!
+//! The planner costs each strategy by the compressed words it would read
+//! and picks the cheapest; [`execute_range_plan`] runs any of them.
 
 use crate::aggregate::{self, Estimate};
 use crate::entropy::{conditional_entropy_from_counts, mutual_information_from_counts};
-use ibis_core::{BitmapIndex, WahVec};
+use ibis_core::{BitmapIndex, DenseBits, MultiLevelIndex, PreparedOperand, WahVec};
+use ibis_obs::LazyCounter;
+use std::fmt;
 use std::ops::Range;
+
+// Query-layer metrics (family `query`, see DESIGN.md §6g). All no-ops
+// without `obs`.
+static OBS_PLAN_OR: LazyCounter = LazyCounter::new("query.plan.or_bins");
+static OBS_PLAN_COMPLEMENT: LazyCounter = LazyCounter::new("query.plan.complement");
+static OBS_PLAN_MULTILEVEL: LazyCounter = LazyCounter::new("query.plan.multilevel");
+static OBS_PLAN_EMPTY: LazyCounter = LazyCounter::new("query.plan.empty");
+static OBS_JOINT_PREPARED: LazyCounter = LazyCounter::new("query.joint.prepared");
+static OBS_JOINT_COMPRESSED: LazyCounter = LazyCounter::new("query.joint.compressed");
+
+/// A malformed subset or correlation query. Every variant is `Clone +
+/// PartialEq` so query failures are comparable across runs, mirroring
+/// the pipeline's error discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A value-range bound is NaN — meaningless, not empty.
+    NanBound {
+        /// The lower bound as given.
+        lo: f64,
+        /// The upper bound as given.
+        hi: f64,
+    },
+    /// A position range does not fit the indexed domain (or is inverted).
+    RegionOutOfRange {
+        /// Requested start position.
+        start: u64,
+        /// Requested end position (exclusive).
+        end: u64,
+        /// Number of indexed positions.
+        len: u64,
+    },
+    /// The two variables of a correlation query cover different element
+    /// counts and cannot be joined.
+    LengthMismatch {
+        /// Elements of variable A.
+        len_a: u64,
+        /// Elements of variable B.
+        len_b: u64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NanBound { lo, hi } => {
+                write!(f, "value range [{lo}, {hi}) has a NaN bound")
+            }
+            QueryError::RegionOutOfRange { start, end, len } => {
+                write!(f, "region {start}..{end} out of range for {len} positions")
+            }
+            QueryError::LengthMismatch { len_a, len_b } => {
+                write!(f, "variables cover {len_a} vs {len_b} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ibis_core::RangeQueryError> for QueryError {
+    fn from(e: ibis_core::RangeQueryError) -> Self {
+        match e {
+            ibis_core::RangeQueryError::NanBound { lo, hi } => QueryError::NanBound { lo, hi },
+        }
+    }
+}
 
 /// A subset specification over one variable.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SubsetQuery {
     /// Keep elements whose value lies in `[lo, hi)` (bin-granular: a bin is
     /// included when its range intersects the interval, the usual bitmap
-    /// index semantics).
+    /// index semantics). Inverted (`lo > hi`) and empty (`lo == hi`)
+    /// intervals select nothing; a NaN bound is a [`QueryError::NanBound`].
     pub value_range: Option<(f64, f64)>,
     /// Keep elements at these positions (half-open; a spatial block under a
-    /// Z-order layout).
+    /// Z-order layout). Must satisfy `start <= end <= len`.
     pub position_range: Option<Range<u64>>,
 }
 
@@ -62,46 +156,211 @@ impl SubsetQuery {
         self
     }
 
-    /// Evaluates to a selection vector over the index's positions.
-    pub fn evaluate(&self, index: &BitmapIndex) -> WahVec {
+    /// Evaluates to a selection vector over the index's positions, planning
+    /// the value predicate with the single-level strategies.
+    pub fn evaluate(&self, index: &BitmapIndex) -> Result<WahVec, QueryError> {
+        self.evaluate_planned(index, None)
+    }
+
+    /// Evaluates against a two-level index: wide value ranges additionally
+    /// consider the high-level covering strategy.
+    pub fn evaluate_ml(&self, index: &MultiLevelIndex) -> Result<WahVec, QueryError> {
+        self.evaluate_planned(index.low(), Some(index))
+    }
+
+    fn evaluate_planned(
+        &self,
+        index: &BitmapIndex,
+        ml: Option<&MultiLevelIndex>,
+    ) -> Result<WahVec, QueryError> {
         let n = index.len();
         let mut sel = match self.value_range {
-            Some((lo, hi)) => index.query_range(lo, hi),
+            Some((lo, hi)) => {
+                let plan = plan_value_range(index, ml, lo, hi)?;
+                execute_range_plan(index, ml, &plan)
+            }
             None => WahVec::ones(n),
         };
         if let Some(range) = &self.position_range {
-            assert!(
-                range.start <= range.end && range.end <= n,
-                "region out of range"
-            );
-            let mask = region_mask(range.clone(), n);
+            let mask = region_mask(range.clone(), n)?;
             sel = sel.and(&mask);
         }
-        sel
+        Ok(sel)
     }
 }
 
-/// A compressed mask with ones exactly in `range`.
-pub fn region_mask(range: Range<u64>, len: u64) -> WahVec {
-    assert!(
-        range.start <= range.end && range.end <= len,
-        "region out of range"
-    );
+/// A compressed mask with ones exactly in `range`, or a typed error when
+/// the range is inverted or exceeds `len`.
+pub fn region_mask(range: Range<u64>, len: u64) -> Result<WahVec, QueryError> {
+    if range.start > range.end || range.end > len {
+        return Err(QueryError::RegionOutOfRange {
+            start: range.start,
+            end: range.end,
+            len,
+        });
+    }
     let mut b = ibis_core::WahBuilder::new();
     b.append_run(false, range.start);
     b.append_run(true, range.end - range.start);
     b.append_run(false, len - range.end);
-    b.finish()
+    Ok(b.finish())
+}
+
+// ---------------------------------------------------------------------------
+// The value-range planner
+// ---------------------------------------------------------------------------
+
+/// How a `value_range` predicate will be evaluated. All strategies yield
+/// byte-identical selections; they differ only in which compressed words
+/// they read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangePlan {
+    /// The interval selects nothing (inverted or empty).
+    Empty,
+    /// OR the touched bins `lo..=hi` directly.
+    OrBins {
+        /// First touched bin.
+        lo: usize,
+        /// Last touched bin (inclusive).
+        hi: usize,
+    },
+    /// OR the bins *outside* `lo..=hi`, then complement.
+    Complement {
+        /// First touched bin.
+        lo: usize,
+        /// Last touched bin (inclusive).
+        hi: usize,
+    },
+    /// Cover interior bins with high-level group vectors, edges with low
+    /// bins.
+    MultiLevel {
+        /// High bins whose children all lie inside the span.
+        high: Vec<usize>,
+        /// Low bins inside the span not covered by `high`.
+        low_edges: Vec<usize>,
+    },
+}
+
+/// Sum of compressed words across a set of bins — the planner's cost unit.
+fn words_of<I: IntoIterator<Item = usize>>(index: &BitmapIndex, bins: I) -> usize {
+    bins.into_iter()
+        .map(|b| index.bin(b).words().len())
+        .sum::<usize>()
+}
+
+/// Chooses the cheapest strategy for a `[lo, hi)` value query. NaN bounds
+/// are rejected; inverted and empty intervals plan to [`RangePlan::Empty`].
+///
+/// Strategy costs are measured in compressed words read. The complement
+/// trick is only considered when the index partitions positions across
+/// bins (true for any index built from data), since `OR(outside).not() ==
+/// OR(inside)` needs every position set in exactly one bin.
+pub fn plan_value_range(
+    index: &BitmapIndex,
+    ml: Option<&MultiLevelIndex>,
+    lo: f64,
+    hi: f64,
+) -> Result<RangePlan, QueryError> {
+    if lo.is_nan() || hi.is_nan() {
+        return Err(QueryError::NanBound { lo, hi });
+    }
+    let Some((b0, b1)) = index.bin_span(lo, hi) else {
+        OBS_PLAN_EMPTY.inc();
+        return Ok(RangePlan::Empty);
+    };
+    let inside = words_of(index, b0..=b1);
+    let mut best_cost = inside;
+    let mut best = RangePlan::OrBins { lo: b0, hi: b1 };
+
+    // Complement: valid only when bins partition the positions.
+    let partitions = index.counts().iter().sum::<u64>() == index.len();
+    if partitions {
+        let outside = words_of(index, (0..b0).chain(b1 + 1..index.nbins()));
+        // The complement pass re-reads its OR result once; weight it 3/2.
+        let cost = outside + outside / 2;
+        if cost < best_cost {
+            best_cost = cost;
+            best = RangePlan::Complement { lo: b0, hi: b1 };
+        }
+    }
+
+    if let Some(ml) = ml {
+        let mut high = Vec::new();
+        let mut low_edges = Vec::new();
+        let mut cost = 0usize;
+        for h in 0..ml.high().nbins() {
+            let ch = ml.children(h);
+            if ch.start > b1 || ch.end <= b0 {
+                continue; // group entirely outside the span
+            }
+            if ch.start >= b0 && ch.end <= b1 + 1 {
+                cost += ml.high().bin(h).words().len();
+                high.push(h);
+            } else {
+                for b in ch.clone() {
+                    if (b0..=b1).contains(&b) {
+                        cost += index.bin(b).words().len();
+                        low_edges.push(b);
+                    }
+                }
+            }
+        }
+        if cost < best_cost && !high.is_empty() {
+            best = RangePlan::MultiLevel { high, low_edges };
+        }
+    }
+
+    match &best {
+        RangePlan::OrBins { .. } => OBS_PLAN_OR.inc(),
+        RangePlan::Complement { .. } => OBS_PLAN_COMPLEMENT.inc(),
+        RangePlan::MultiLevel { .. } => OBS_PLAN_MULTILEVEL.inc(),
+        RangePlan::Empty => {}
+    }
+    Ok(best)
+}
+
+/// Runs a plan produced by [`plan_value_range`] against the same index.
+/// Every strategy returns the canonical compressed selection — byte-
+/// identical across strategies (property-tested and asserted in-bench).
+pub fn execute_range_plan(
+    index: &BitmapIndex,
+    ml: Option<&MultiLevelIndex>,
+    plan: &RangePlan,
+) -> WahVec {
+    let n = index.len();
+    let nonempty = |v: WahVec| if v.is_empty() { WahVec::zeros(n) } else { v };
+    match plan {
+        RangePlan::Empty => WahVec::zeros(n),
+        RangePlan::OrBins { lo, hi } => index.query_bins(*lo..=*hi),
+        RangePlan::Complement { lo, hi } => {
+            let outside = index
+                .bins()
+                .iter()
+                .enumerate()
+                .filter(|(b, _)| b < lo || b > hi)
+                .map(|(_, v)| v);
+            nonempty(WahVec::or_many(outside)).not()
+        }
+        RangePlan::MultiLevel { high, low_edges } => {
+            let operands = high
+                .iter()
+                .filter_map(|&h| ml.map(|ml| ml.high().bin(h)))
+                .chain(low_edges.iter().map(|&b| index.bin(b)));
+            nonempty(WahVec::or_many(operands))
+        }
+    }
 }
 
 /// The answer to a correlation query over two variables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorrelationAnswer {
     /// Elements in the combined selection.
     pub selected: u64,
-    /// Mutual information (bits) of the two variables within the selection.
+    /// Mutual information (bits) of the two variables within the selection;
+    /// `0.0` for an empty selection.
     pub mutual_information: f64,
-    /// Conditional entropy `H(A|B)` within the selection.
+    /// Conditional entropy `H(A|B)` within the selection; `0.0` for an
+    /// empty selection.
     pub conditional_entropy: f64,
     /// Approximate Pearson correlation (bin midpoints); `None` when a
     /// variable is constant within the selection.
@@ -112,45 +371,129 @@ pub struct CorrelationAnswer {
     pub mean_b: Option<Estimate>,
 }
 
+/// Joint `(bin_a, bin_b)` counts restricted to a selection, preparing the
+/// selection once: above the density cutover the selection is decoded a
+/// single time and each `a`-row is masked into a reused dense scratch
+/// buffer (`O(row words + n/64)` per row), instead of re-decoding the
+/// selection for every `a.bin(j).and(&sel)` as the naive loop does.
+pub fn joint_counts_selected(a: &BitmapIndex, b: &BitmapIndex, sel: &WahVec) -> Vec<u64> {
+    let nb = b.nbins();
+    let mut joint = vec![0u64; a.nbins() * nb];
+    if sel.count_ones() == 0 {
+        return joint;
+    }
+    match sel.prepare() {
+        PreparedOperand::Dense { bits, .. } => {
+            OBS_JOINT_PREPARED.inc();
+            let mut masked = DenseBits::zeros(sel.len());
+            for j in 0..a.nbins() {
+                if a.counts()[j] == 0 {
+                    continue;
+                }
+                bits.and_wah_into(a.bin(j), &mut masked);
+                if masked.count_ones() == 0 {
+                    continue;
+                }
+                for (k, slot) in joint[j * nb..(j + 1) * nb].iter_mut().enumerate() {
+                    if b.counts()[k] != 0 {
+                        *slot = masked.and_count_wah(b.bin(k));
+                    }
+                }
+            }
+        }
+        PreparedOperand::Compressed(sel) => {
+            // A sparse selection stays cheap on the compressed path: the
+            // per-row AND reads only the selection's few words.
+            OBS_JOINT_COMPRESSED.inc();
+            fill_joint_naive(a, b, sel, &mut joint);
+        }
+    }
+    joint
+}
+
+/// The per-pair re-decode reference loop: `a.bin(j).and(&sel)` for every
+/// row, exactly as the pre-planner implementation computed it. Kept
+/// callable as the oracle and baseline the prepared loop is benchmarked
+/// and property-tested against (mirroring `BitmapIndex::build_scalar`).
+pub fn joint_counts_selected_naive(a: &BitmapIndex, b: &BitmapIndex, sel: &WahVec) -> Vec<u64> {
+    let mut joint = vec![0u64; a.nbins() * b.nbins()];
+    if sel.count_ones() > 0 {
+        fill_joint_naive(a, b, sel, &mut joint);
+    }
+    joint
+}
+
+fn fill_joint_naive(a: &BitmapIndex, b: &BitmapIndex, sel: &WahVec, joint: &mut [u64]) {
+    let nb = b.nbins();
+    for j in 0..a.nbins() {
+        if a.counts()[j] == 0 {
+            continue;
+        }
+        let masked = a.bin(j).and(sel);
+        if masked.count_ones() == 0 {
+            continue;
+        }
+        for (k, slot) in joint[j * nb..(j + 1) * nb].iter_mut().enumerate() {
+            if b.counts()[k] != 0 {
+                *slot = masked.and_count(b.bin(k));
+            }
+        }
+    }
+}
+
 /// Computes the relationship of two variables restricted to the
 /// intersection of their subset queries — the paper's correlation-query
-/// primitive, evaluated purely on bitmaps.
+/// primitive, evaluated purely on bitmaps. Disjoint subsets (an empty
+/// combined selection) report zero mutual information and conditional
+/// entropy, never NaN.
 pub fn correlation_query(
     a: &BitmapIndex,
     b: &BitmapIndex,
     query_a: &SubsetQuery,
     query_b: &SubsetQuery,
-) -> CorrelationAnswer {
-    assert_eq!(a.len(), b.len(), "variables must cover the same elements");
-    let sel = query_a.evaluate(a).and(&query_b.evaluate(b));
-    let selected = sel.count_ones();
-    // joint distribution restricted to the selection
-    let nb = b.nbins();
-    let mut joint = vec![0u64; a.nbins() * nb];
-    if selected > 0 {
-        for j in 0..a.nbins() {
-            if a.counts()[j] == 0 {
-                continue;
-            }
-            let masked = a.bin(j).and(&sel);
-            if masked.count_ones() == 0 {
-                continue;
-            }
-            for (k, slot) in joint[j * nb..(j + 1) * nb].iter_mut().enumerate() {
-                if b.counts()[k] != 0 {
-                    *slot = masked.and_count(b.bin(k));
-                }
-            }
-        }
+) -> Result<CorrelationAnswer, QueryError> {
+    correlation_query_planned(a, None, b, None, query_a, query_b)
+}
+
+/// [`correlation_query`] over two-level indices: value predicates may plan
+/// the high-level covering strategy. Metrics are computed on the low level
+/// and are identical to the single-level result.
+pub fn correlation_query_ml(
+    a: &MultiLevelIndex,
+    b: &MultiLevelIndex,
+    query_a: &SubsetQuery,
+    query_b: &SubsetQuery,
+) -> Result<CorrelationAnswer, QueryError> {
+    correlation_query_planned(a.low(), Some(a), b.low(), Some(b), query_a, query_b)
+}
+
+fn correlation_query_planned(
+    a: &BitmapIndex,
+    ml_a: Option<&MultiLevelIndex>,
+    b: &BitmapIndex,
+    ml_b: Option<&MultiLevelIndex>,
+    query_a: &SubsetQuery,
+    query_b: &SubsetQuery,
+) -> Result<CorrelationAnswer, QueryError> {
+    if a.len() != b.len() {
+        return Err(QueryError::LengthMismatch {
+            len_a: a.len(),
+            len_b: b.len(),
+        });
     }
-    CorrelationAnswer {
+    let sel = query_a
+        .evaluate_planned(a, ml_a)?
+        .and(&query_b.evaluate_planned(b, ml_b)?);
+    let selected = sel.count_ones();
+    let joint = joint_counts_selected(a, b, &sel);
+    Ok(CorrelationAnswer {
         selected,
-        mutual_information: mutual_information_from_counts(&joint, a.nbins(), nb),
-        conditional_entropy: conditional_entropy_from_counts(&joint, a.nbins(), nb),
+        mutual_information: mutual_information_from_counts(&joint, a.nbins(), b.nbins()),
+        conditional_entropy: conditional_entropy_from_counts(&joint, a.nbins(), b.nbins()),
         pearson: aggregate::pearson_selected(a, b, &sel),
         mean_a: aggregate::mean_selected(a, &sel),
         mean_b: aggregate::mean_selected(b, &sel),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +509,7 @@ mod tests {
     fn all_selects_everything() {
         let data: Vec<f64> = (0..500).map(|i| (i % 100) as f64 / 10.0).collect();
         let idx = index(&data);
-        let sel = SubsetQuery::all().evaluate(&idx);
+        let sel = SubsetQuery::all().evaluate(&idx).unwrap();
         assert_eq!(sel.count_ones(), 500);
     }
 
@@ -174,7 +517,7 @@ mod tests {
     fn value_query_matches_scan() {
         let data: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 10.0).collect();
         let idx = index(&data);
-        let sel = SubsetQuery::value(2.0, 5.0).evaluate(&idx);
+        let sel = SubsetQuery::value(2.0, 5.0).evaluate(&idx).unwrap();
         let want = data.iter().filter(|&&v| (2.0..5.0).contains(&v)).count() as u64;
         assert_eq!(sel.count_ones(), want);
     }
@@ -183,7 +526,7 @@ mod tests {
     fn region_query_is_positional() {
         let data: Vec<f64> = (0..300).map(|i| i as f64 / 100.0).collect();
         let idx = index(&data);
-        let sel = SubsetQuery::region(100..200).evaluate(&idx);
+        let sel = SubsetQuery::region(100..200).evaluate(&idx).unwrap();
         assert_eq!(sel.count_ones(), 100);
         assert!(!sel.get(99));
         assert!(sel.get(100));
@@ -197,7 +540,8 @@ mod tests {
         let idx = index(&data);
         let sel = SubsetQuery::region(0..500)
             .with_value(2.0, 5.0)
-            .evaluate(&idx);
+            .evaluate(&idx)
+            .unwrap();
         let want = data[..500]
             .iter()
             .filter(|&&v| (2.0..5.0).contains(&v))
@@ -207,18 +551,148 @@ mod tests {
 
     #[test]
     fn region_mask_edges() {
-        let m = region_mask(0..0, 10);
+        let m = region_mask(0..0, 10).unwrap();
         assert_eq!(m.count_ones(), 0);
-        let m = region_mask(0..10, 10);
+        let m = region_mask(0..10, 10).unwrap();
         assert_eq!(m.count_ones(), 10);
-        let m = region_mask(3..7, 10);
+        let m = region_mask(3..7, 10).unwrap();
         assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
     }
 
     #[test]
-    #[should_panic(expected = "region out of range")]
-    fn region_out_of_range_panics() {
-        let _ = region_mask(5..20, 10);
+    fn region_out_of_range_is_error_not_panic() {
+        let err = region_mask(5..20, 10).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::RegionOutOfRange {
+                start: 5,
+                end: 20,
+                len: 10
+            }
+        );
+        // inverted region is malformed too
+        let inverted = Range { start: 7, end: 3 };
+        assert!(matches!(
+            region_mask(inverted, 10),
+            Err(QueryError::RegionOutOfRange { .. })
+        ));
+        // ...and the same through a SubsetQuery against a live index
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let idx = index(&data);
+        let err = SubsetQuery::region(50..1000).evaluate(&idx).unwrap_err();
+        assert!(matches!(err, QueryError::RegionOutOfRange { len: 100, .. }));
+    }
+
+    #[test]
+    fn value_range_semantics_pinned() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 10.0).collect();
+        let idx = index(&data);
+        // inverted interval: empty selection
+        let sel = SubsetQuery::value(5.0, 2.0).evaluate(&idx).unwrap();
+        assert_eq!(sel.count_ones(), 0);
+        // empty interval: empty selection
+        let sel = SubsetQuery::value(3.0, 3.0).evaluate(&idx).unwrap();
+        assert_eq!(sel.count_ones(), 0);
+        // NaN bound: typed error
+        let err = SubsetQuery::value(f64::NAN, 3.0)
+            .evaluate(&idx)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::NanBound { .. }));
+        let err = SubsetQuery::value(3.0, f64::NAN)
+            .evaluate(&idx)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::NanBound { .. }));
+        // the empty cases also flow through correlation_query cleanly
+        let ans = correlation_query(
+            &idx,
+            &idx,
+            &SubsetQuery::value(5.0, 2.0),
+            &SubsetQuery::all(),
+        )
+        .unwrap();
+        assert_eq!(ans.selected, 0);
+    }
+
+    #[test]
+    fn planner_strategies_agree_byte_identically() {
+        let data: Vec<f64> = (0..4000)
+            .map(|i| ((i * 37) % 100) as f64 / 10.0 + ((i / 800) as f64).min(0.9))
+            .collect();
+        let ml = MultiLevelIndex::build(&data, Binner::fixed_width(0.0, 11.0, 64), 8);
+        let idx = ml.low();
+        for (lo, hi) in [
+            (0.0, 11.0),
+            (0.5, 10.5),
+            (2.0, 3.0),
+            (0.0, 0.2),
+            (9.3, 11.0),
+            (4.2, 4.21),
+        ] {
+            let naive = idx.query_range(lo, hi);
+            let Some((b0, b1)) = idx.bin_span(lo, hi) else {
+                continue;
+            };
+            let by_or = execute_range_plan(idx, None, &RangePlan::OrBins { lo: b0, hi: b1 });
+            let by_not = execute_range_plan(idx, None, &RangePlan::Complement { lo: b0, hi: b1 });
+            let plan = plan_value_range(idx, Some(&ml), lo, hi).unwrap();
+            let planned = execute_range_plan(idx, Some(&ml), &plan);
+            assert_eq!(by_or, naive, "[{lo},{hi}) OrBins");
+            assert_eq!(by_not, naive, "[{lo},{hi}) Complement");
+            assert_eq!(planned, naive, "[{lo},{hi}) planned {plan:?}");
+            // force the multilevel covering too, whatever the planner chose
+            let mut high = Vec::new();
+            let mut low_edges = Vec::new();
+            for h in 0..ml.high().nbins() {
+                let ch = ml.children(h);
+                if ch.start > b1 || ch.end <= b0 {
+                    continue;
+                }
+                if ch.start >= b0 && ch.end <= b1 + 1 {
+                    high.push(h);
+                } else {
+                    low_edges.extend(ch.filter(|b| (b0..=b1).contains(b)));
+                }
+            }
+            let by_ml =
+                execute_range_plan(idx, Some(&ml), &RangePlan::MultiLevel { high, low_edges });
+            assert_eq!(by_ml, naive, "[{lo},{hi}) MultiLevel");
+        }
+    }
+
+    #[test]
+    fn wide_range_plans_away_from_naive_or() {
+        // Nearly the whole domain: complement or multilevel must win.
+        let data: Vec<f64> = (0..20000).map(|i| ((i * 13) % 100) as f64 / 10.0).collect();
+        let ml = MultiLevelIndex::build(&data, Binner::fixed_width(0.0, 10.0, 64), 8);
+        let plan = plan_value_range(ml.low(), Some(&ml), 0.0, 9.9).unwrap();
+        assert!(
+            !matches!(plan, RangePlan::OrBins { .. }),
+            "wide span must not fan in every bin: {plan:?}"
+        );
+        // A one-bin span stays naive.
+        let plan = plan_value_range(ml.low(), Some(&ml), 5.0, 5.05).unwrap();
+        assert!(matches!(plan, RangePlan::OrBins { .. }), "{plan:?}");
+    }
+
+    #[test]
+    fn prepared_joint_counts_match_naive() {
+        let n = 3000usize;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 7) % 90) as f64 / 10.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 90) as f64 / 10.0).collect();
+        let ia = index(&a);
+        let ib = index(&b);
+        for sel in [
+            WahVec::ones(n as u64),
+            WahVec::zeros(n as u64),
+            region_mask(100..2900, n as u64).unwrap(), // dense
+            WahVec::from_ones(&[5, 700, 2999], n as u64), // sparse
+            WahVec::from_bits((0..n).map(|i| i % 2 == 0)), // incompressible
+        ] {
+            assert_eq!(
+                joint_counts_selected(&ia, &ib, &sel),
+                joint_counts_selected_naive(&ia, &ib, &sel)
+            );
+        }
     }
 
     #[test]
@@ -242,18 +716,34 @@ mod tests {
             &ib,
             &SubsetQuery::region(0..500),
             &SubsetQuery::region(0..500),
-        );
+        )
+        .unwrap();
         let outside = correlation_query(
             &ia,
             &ib,
             &SubsetQuery::region(500..1000),
             &SubsetQuery::region(500..1000),
-        );
+        )
+        .unwrap();
         assert_eq!(inside.selected, 500);
         assert!(inside.mutual_information > outside.mutual_information + 1.0);
         assert!(inside.pearson.unwrap() > 0.99);
         assert!(outside.pearson.unwrap().abs() < 0.3);
         assert!(inside.conditional_entropy < outside.conditional_entropy);
+    }
+
+    #[test]
+    fn multilevel_correlation_matches_single_level() {
+        let n = 2000usize;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 3) % 95) as f64 / 10.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 11 + 7) % 95) as f64 / 10.0).collect();
+        let ia = MultiLevelIndex::build(&a, Binner::fixed_width(0.0, 10.0, 64), 8);
+        let ib = MultiLevelIndex::build(&b, Binner::fixed_width(0.0, 10.0, 64), 8);
+        let qa = SubsetQuery::value(1.0, 9.0).with_region(0..1500);
+        let qb = SubsetQuery::value(0.5, 8.0);
+        let ml = correlation_query_ml(&ia, &ib, &qa, &qb).unwrap();
+        let single = correlation_query(ia.low(), ib.low(), &qa, &qb).unwrap();
+        assert_eq!(ml, single);
     }
 
     #[test]
@@ -265,11 +755,65 @@ mod tests {
             &idx,
             &SubsetQuery::value(9.0, 10.0), // nothing up there
             &SubsetQuery::all(),
-        );
+        )
+        .unwrap();
         assert_eq!(ans.selected, 0);
         assert_eq!(ans.mutual_information, 0.0);
         assert!(ans.pearson.is_none());
         assert!(ans.mean_a.is_none());
+    }
+
+    #[test]
+    fn disjoint_subsets_report_zero_not_nan() {
+        let data: Vec<f64> = (0..400).map(|i| (i % 40) as f64 / 4.0).collect();
+        let idx = index(&data);
+        // provably disjoint regions
+        let ans = correlation_query(
+            &idx,
+            &idx,
+            &SubsetQuery::region(0..200),
+            &SubsetQuery::region(200..400),
+        )
+        .unwrap();
+        assert_eq!(ans.selected, 0);
+        assert_eq!(ans.mutual_information, 0.0);
+        assert_eq!(ans.conditional_entropy, 0.0);
+        assert!(!ans.mutual_information.is_nan() && !ans.conditional_entropy.is_nan());
+        // provably disjoint value predicates on the same variable
+        let ans = correlation_query(
+            &idx,
+            &idx,
+            &SubsetQuery::value(0.0, 2.0),
+            &SubsetQuery::value(8.0, 10.0),
+        )
+        .unwrap();
+        assert_eq!(ans.selected, 0);
+        assert_eq!(ans.mutual_information, 0.0);
+        assert_eq!(ans.conditional_entropy, 0.0);
+        // ...and combined value+region disjointness
+        let ans = correlation_query(
+            &idx,
+            &idx,
+            &SubsetQuery::value(0.0, 2.0).with_region(0..100),
+            &SubsetQuery::value(0.0, 2.0).with_region(300..400),
+        )
+        .unwrap();
+        assert_eq!(ans.selected, 0);
+        assert_eq!(ans.conditional_entropy, 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_an_error() {
+        let a = index(&(0..100).map(|i| i as f64 / 10.0).collect::<Vec<_>>());
+        let b = index(&(0..200).map(|i| i as f64 / 20.0).collect::<Vec<_>>());
+        let err = correlation_query(&a, &b, &SubsetQuery::all(), &SubsetQuery::all()).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::LengthMismatch {
+                len_a: 100,
+                len_b: 200
+            }
+        );
     }
 
     #[test]
@@ -281,7 +825,8 @@ mod tests {
             &idx,
             &SubsetQuery::region(0..200),
             &SubsetQuery::all(),
-        );
+        )
+        .unwrap();
         let true_mean = data[..200].iter().sum::<f64>() / 200.0;
         assert!(ans.mean_a.unwrap().contains(true_mean));
     }

@@ -1,0 +1,246 @@
+//! Property tests for the query layer: the planner + prepared-selection
+//! engine against a full-data scan oracle (filter raw values by range and
+//! positions, build the joint histogram directly from data pairs), across
+//! every binner kind — plus the guarantee that multi-level evaluation and
+//! every planner strategy produce byte-identical selections, and that no
+//! generated query (inverted, empty, NaN, out-of-range) ever panics.
+
+use ibis_analysis::{
+    correlation_query, correlation_query_ml, joint_counts_selected, joint_counts_selected_naive,
+    QueryError, SubsetQuery,
+};
+use ibis_core::{Binner, BitmapIndex, MultiLevelIndex, WahVec};
+use proptest::prelude::*;
+
+/// One binner of each kind the crate supports, all covering ±50.
+fn any_binner() -> impl Strategy<Value = Binner> {
+    prop_oneof![
+        (1usize..24).prop_map(|n| Binner::fixed_width(-50.0, 50.0, n)),
+        Just(Binner::precision(-50.0, 50.0, 0)),
+        Just(Binner::precision(-50.0, 50.0, -1)),
+        Just(Binner::distinct_ints(-50, 50)),
+        proptest::collection::vec(-50i32..50, 2..12).prop_map(|mut edges| {
+            edges.sort_unstable();
+            edges.dedup();
+            if edges.len() < 2 {
+                edges = vec![-50, 50];
+            }
+            Binner::from_edges(edges.into_iter().map(f64::from).collect())
+        }),
+    ]
+}
+
+/// Data plus a binner over the same domain.
+fn data_and_binner() -> impl Strategy<Value = (Vec<f64>, Binner)> {
+    (
+        proptest::collection::vec(-50.0f64..50.0, 1..400),
+        any_binner(),
+    )
+}
+
+/// A subset query: optional value range (sometimes inverted or empty),
+/// optional position range (kept in-bounds; out-of-range is tested
+/// separately as an error path).
+fn subset_query(n: usize) -> impl Strategy<Value = SubsetQuery> {
+    (
+        any::<bool>(),
+        (-55.0f64..55.0, -55.0f64..55.0),
+        any::<bool>(),
+        (0..n as u64 + 1, 0..n as u64 + 1),
+    )
+        .prop_map(|(with_value, (lo, hi), with_region, (a, b))| {
+            let mut q = SubsetQuery::all();
+            if with_value {
+                q = q.with_value(lo, hi);
+            }
+            if with_region {
+                q = q.with_region(a.min(b)..a.max(b));
+            }
+            q
+        })
+}
+
+/// The scan oracle: an element is selected iff its bin lies in the span
+/// the value interval touches and its position is inside the region.
+/// (Value predicates are bin-granular by definition — the index can only
+/// answer at bin resolution — so the oracle maps each raw value through
+/// `bin_of` and checks span membership, scanning the data directly.)
+fn scan_selection(data: &[f64], index: &BitmapIndex, q: &SubsetQuery) -> Vec<bool> {
+    let span = q.value_range.map(|(lo, hi)| index.bin_span(lo, hi));
+    data.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let value_ok = match span {
+                None => true,
+                Some(None) => false,
+                Some(Some((b0, b1))) => {
+                    let b = index.binner().bin_of(v) as usize;
+                    (b0..=b1).contains(&b)
+                }
+            };
+            let region_ok = q
+                .position_range
+                .as_ref()
+                .is_none_or(|r| r.contains(&(i as u64)));
+            value_ok && region_ok
+        })
+        .collect()
+}
+
+fn has_nan(q: &SubsetQuery) -> bool {
+    matches!(q.value_range, Some((lo, hi)) if lo.is_nan() || hi.is_nan())
+}
+
+proptest! {
+    #[test]
+    fn evaluate_matches_scan_oracle(
+        (data, binner) in data_and_binner(),
+        lo in -55.0f64..55.0,
+        hi in -55.0f64..55.0,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let index = BitmapIndex::build(&data, binner);
+        // derive the region from the data length so it stays in range
+        let n = data.len() as u64;
+        let start = (start_frac * n as f64) as u64;
+        let end = start + (len_frac * (n - start) as f64) as u64;
+        let query = SubsetQuery::value(lo, hi).with_region(start..end);
+
+        let sel = query.evaluate(&index).unwrap();
+        let want = scan_selection(&data, &index, &query);
+        prop_assert_eq!(sel.count_ones(), want.iter().filter(|&&b| b).count() as u64);
+        for (i, &w) in want.iter().enumerate() {
+            prop_assert_eq!(sel.get(i as u64), w, "position {}", i);
+        }
+    }
+
+    #[test]
+    fn multilevel_evaluation_is_byte_identical(
+        (data, binner) in data_and_binner(),
+        group in 1usize..9,
+        lo in -55.0f64..55.0,
+        hi in -55.0f64..55.0,
+    ) {
+        let ml = MultiLevelIndex::build(&data, binner, group);
+        let q = SubsetQuery::value(lo, hi);
+        let flat = q.evaluate(ml.low()).unwrap();
+        let planned = q.evaluate_ml(&ml).unwrap();
+        // byte-identical, not just equal-cardinality
+        prop_assert_eq!(&flat, &planned);
+        prop_assert_eq!(flat.words(), planned.words());
+        // and identical to the pre-planner naive per-bin OR
+        prop_assert_eq!(&flat, &ml.low().query_range(lo, hi));
+    }
+
+    #[test]
+    fn joint_counts_match_direct_histogram(
+        (data_a, binner_a) in data_and_binner(),
+        (data_b, binner_b) in data_and_binner(),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let n = data_a.len().min(data_b.len());
+        let a: Vec<f64> = data_a[..n].to_vec();
+        let b: Vec<f64> = data_b[..n].to_vec();
+        let ia = BitmapIndex::build(&a, binner_a);
+        let ib = BitmapIndex::build(&b, binner_b);
+        let start = (start_frac * n as f64) as u64;
+        let end = start + (len_frac * (n as u64 - start) as f64) as u64;
+        let sel = SubsetQuery::region(start..end).evaluate(&ia).unwrap();
+
+        // the oracle joint histogram, built straight from the raw pairs
+        let mut want = vec![0u64; ia.nbins() * ib.nbins()];
+        for i in start..end {
+            let ja = ia.binner().bin_of(a[i as usize]) as usize;
+            let jb = ib.binner().bin_of(b[i as usize]) as usize;
+            want[ja * ib.nbins() + jb] += 1;
+        }
+        prop_assert_eq!(&joint_counts_selected(&ia, &ib, &sel), &want);
+        prop_assert_eq!(&joint_counts_selected_naive(&ia, &ib, &sel), &want);
+    }
+
+    #[test]
+    fn correlation_query_agrees_across_engines(
+        (data_a, binner_a) in data_and_binner(),
+        (data_b, binner_b) in data_and_binner(),
+        group in 1usize..9,
+    ) {
+        let n = data_a.len().min(data_b.len());
+        let a: Vec<f64> = data_a[..n].to_vec();
+        let b: Vec<f64> = data_b[..n].to_vec();
+        let ma = MultiLevelIndex::build(&a, binner_a, group);
+        let mb = MultiLevelIndex::build(&b, binner_b, group);
+        let qa = SubsetQuery::value(-20.0, 20.0);
+        let qb = SubsetQuery::region(0..(n as u64 / 2));
+        let flat = correlation_query(ma.low(), mb.low(), &qa, &qb).unwrap();
+        let ml = correlation_query_ml(&ma, &mb, &qa, &qb).unwrap();
+        prop_assert_eq!(&flat, &ml);
+        // MI and H(A|B) are finite on every input, even empty selections
+        prop_assert!(flat.mutual_information.is_finite());
+        prop_assert!(flat.conditional_entropy.is_finite());
+        prop_assert!(flat.mutual_information >= -1e-12);
+        prop_assert!(flat.conditional_entropy >= -1e-12);
+    }
+
+    #[test]
+    fn arbitrary_queries_never_panic(
+        (data, binner) in data_and_binner(),
+        nan_lo in any::<bool>(),
+        nan_hi in any::<bool>(),
+    ) {
+        let n = data.len();
+        let index = BitmapIndex::build(&data, binner);
+        // NaN bounds: always a typed error, never a panic
+        let lo = if nan_lo { f64::NAN } else { 1.0 };
+        let hi = if nan_hi { f64::NAN } else { 2.0 };
+        let q = SubsetQuery::value(lo, hi);
+        match q.evaluate(&index) {
+            Ok(sel) => {
+                prop_assert!(!has_nan(&q));
+                prop_assert_eq!(sel.len(), n as u64);
+            }
+            Err(QueryError::NanBound { .. }) => prop_assert!(has_nan(&q)),
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+        // out-of-range and inverted regions: typed errors
+        let far = SubsetQuery::region(0..n as u64 + 1).evaluate(&index);
+        prop_assert!(matches!(far, Err(QueryError::RegionOutOfRange { .. })));
+        // mismatched index lengths: typed error
+        let other = BitmapIndex::build(&[0.0; 7], Binner::fixed_width(-1.0, 1.0, 2));
+        if n != 7 {
+            let err = correlation_query(&index, &other, &SubsetQuery::all(), &SubsetQuery::all());
+            prop_assert!(matches!(err, Err(QueryError::LengthMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn generated_queries_evaluate_totally(
+        (data, binner) in data_and_binner(),
+        queries in proptest::collection::vec(subset_query(200), 1..5),
+    ) {
+        // Every generated query either evaluates (and matches the scan
+        // oracle) or returns a typed error — total behavior end to end.
+        let index = BitmapIndex::build(&data, binner);
+        for q in &queries {
+            let mut q = q.clone();
+            // regions were drawn against n=200; clamp into this data's range
+            if let Some(r) = &q.position_range {
+                let end = r.end.min(data.len() as u64);
+                q.position_range = Some(r.start.min(end)..end);
+            }
+            match q.evaluate(&index) {
+                Ok(sel) => {
+                    let want = scan_selection(&data, &index, &q);
+                    prop_assert_eq!(
+                        sel.count_ones(),
+                        want.iter().filter(|&&b| b).count() as u64
+                    );
+                    prop_assert_eq!(sel, WahVec::from_bits(want));
+                }
+                Err(QueryError::NanBound { .. }) => prop_assert!(has_nan(&q)),
+                Err(other) => prop_assert!(false, "unexpected error {}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Query-serving sweep for the cached engine and the planner: warm-cache
+//! repeated correlation queries vs the cold `load_series`-per-query
+//! baseline, the prepared-selection joint loop vs the per-pair `and`
+//! re-decode on a 64-bin index, and an in-bench byte-identity sweep of
+//! every planner strategy against the naive per-bin OR. Written to
+//! `BENCH_query.json` at the repository root.
+//!
+//!     cargo bench -p ibis-bench --bench query
+//!
+//! `IBIS_QUERY_SMOKE=1` shrinks the store and writes to
+//! `target/BENCH_query.smoke.json` instead, so CI can schema-check the
+//! report without clobbering the committed full-size numbers.
+
+use ibis_analysis::{
+    correlation_query, joint_counts_selected, joint_counts_selected_naive, plan_value_range,
+    RangePlan, SubsetQuery,
+};
+use ibis_core::{Binner, BitmapIndex, MultiLevelIndex};
+use ibis_insitu::{CachedStore, QueryAnswer, QueryEngine, QueryRequest, Store, StoreWriter};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean seconds per iteration (same calibration scheme as micro_kernels).
+fn measure<O>(mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    let one = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.06 / one).round() as u64).clamp(1, 1_000_000_000);
+    let samples = 3;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        total += t0.elapsed().as_secs_f64() / iters as f64;
+    }
+    total / samples as f64
+}
+
+/// A smooth simulation-like field: long same-bin runs, WAH-friendly.
+fn temperature(step: usize, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            32.0 + 28.0 * (x * 9.0 + step as f64 * 0.7).sin() + 3.0 * (x * 151.0).sin()
+        })
+        .collect()
+}
+
+/// A second variable that tracks the first, so correlations are non-trivial.
+fn salinity(temp: &[f64]) -> Vec<f64> {
+    temp.iter()
+        .enumerate()
+        .map(|(i, &t)| 20.0 + t * 0.5 + 6.0 * ((i as f64 * 0.013).cos()))
+        .collect()
+}
+
+const NBINS: usize = 64;
+
+fn main() {
+    let smoke = std::env::var("IBIS_QUERY_SMOKE").is_ok_and(|v| v == "1");
+    let n: usize = if smoke { 1 << 15 } else { 1 << 19 };
+    let nsteps: usize = if smoke { 3 } else { 12 };
+    let binner = Binner::fixed_width(0.0, 66.0, NBINS);
+
+    // --- build a real run directory to serve from ---
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-query-store");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut w = StoreWriter::create(&dir).expect("create bench store");
+    for step in 0..nsteps {
+        let t = temperature(step, n);
+        let s = salinity(&t);
+        w.put(step, "temperature", &BitmapIndex::build(&t, binner.clone()))
+            .expect("put temperature");
+        w.put(step, "salinity", &BitmapIndex::build(&s, binner.clone()))
+            .expect("put salinity");
+    }
+    w.finish().expect("finish bench store");
+
+    // The repeated-query workload: every step, three hot-region value
+    // ranges (the interactive drill-down pattern the cache targets).
+    let ranges = [(10.0, 16.0), (30.0, 34.0), (50.0, 52.0)];
+    let workload: Vec<QueryRequest> = (0..nsteps)
+        .flat_map(|step| {
+            ranges
+                .iter()
+                .map(move |&(lo, hi)| QueryRequest::Correlation {
+                    step,
+                    var_a: "temperature".into(),
+                    var_b: "salinity".into(),
+                    query_a: SubsetQuery::value(lo, hi),
+                    query_b: SubsetQuery::region(0..(n as u64) * 3 / 4),
+                })
+        })
+        .collect();
+
+    // --- warm cache vs cold load_series-per-query ---
+    // Cold: the pre-engine idiom — every query re-reads, re-verifies, and
+    // re-decodes the whole series of both variables from disk.
+    let cold_store = Store::open(&dir).expect("open store");
+    let run_cold = |req: &QueryRequest| {
+        let QueryRequest::Correlation {
+            step,
+            var_a,
+            var_b,
+            query_a,
+            query_b,
+        } = req
+        else {
+            unreachable!("workload is all correlations")
+        };
+        let series_a = cold_store.load_series(var_a).expect("load series a");
+        let series_b = cold_store.load_series(var_b).expect("load series b");
+        let a = &series_a.iter().find(|(s, _)| s == step).expect("step a").1;
+        let b = &series_b.iter().find(|(s, _)| s == step).expect("step b").1;
+        correlation_query(a, b, query_a, query_b).expect("well-formed query")
+    };
+    let engine = QueryEngine::new(CachedStore::new(
+        Store::open(&dir).expect("open store"),
+        256 << 20,
+    ));
+
+    // Sanity: warm and cold agree on every workload answer before timing.
+    for req in &workload {
+        let QueryAnswer::Correlation(warm) = engine.run(req).expect("warm query") else {
+            unreachable!("correlation request")
+        };
+        assert_eq!(warm, run_cold(req), "warm/cold divergence on {req:?}");
+    }
+
+    let cold_s = measure(|| {
+        for req in &workload {
+            black_box(run_cold(black_box(req)));
+        }
+    });
+    let warm_s = measure(|| {
+        for req in &workload {
+            black_box(engine.run(black_box(req)).expect("warm query"));
+        }
+    });
+    let warm_speedup = cold_s / warm_s;
+    let warm_ok = warm_speedup >= 5.0;
+    let stats = engine.cache_stats();
+    println!(
+        "query: {} queries/batch  cold {:.1} ms  warm {:.2} ms  ({warm_speedup:.1}x, >=5x: {warm_ok})  cache {} hits / {} misses",
+        workload.len(),
+        cold_s * 1e3,
+        warm_s * 1e3,
+        stats.hits,
+        stats.misses,
+    );
+
+    // --- prepared joint loop vs per-pair and() re-decode, 64-bin index ---
+    // The selection comes from a *noisy* diagnostic variable, so its bitmap
+    // is dense and incompressible — the regime where the naive loop's
+    // per-pair merges drag the full selection through every `and`, and the
+    // prepared path's one-time decode pays off.
+    let t0 = temperature(0, n);
+    let s0 = salinity(&t0);
+    let ia = BitmapIndex::build(&t0, binner.clone());
+    let ib = BitmapIndex::build(&s0, binner.clone());
+    let noise: Vec<f64> = {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 66.0
+            })
+            .collect()
+    };
+    let inoise = BitmapIndex::build(&noise, binner.clone());
+    let sel = SubsetQuery::value(4.0, 62.0)
+        .evaluate(&inoise)
+        .expect("selection");
+    assert_eq!(
+        joint_counts_selected(&ia, &ib, &sel),
+        joint_counts_selected_naive(&ia, &ib, &sel),
+        "prepared joint loop diverged from naive"
+    );
+    let prepared_s = measure(|| joint_counts_selected(black_box(&ia), black_box(&ib), &sel));
+    let naive_s = measure(|| joint_counts_selected_naive(black_box(&ia), black_box(&ib), &sel));
+    let joint_speedup = naive_s / prepared_s;
+    let joint_ok = joint_speedup > 1.0;
+    println!(
+        "query: joint loop {NBINS}x{NBINS} bins  naive {:.2} ms  prepared {:.2} ms  ({joint_speedup:.1}x, >1x: {joint_ok})",
+        naive_s * 1e3,
+        prepared_s * 1e3,
+    );
+
+    // --- planner byte-identity sweep: every strategy == naive per-bin OR ---
+    let ml = MultiLevelIndex::from_low(ia.clone(), 8);
+    let mut plan_counts = [0usize; 4]; // empty, or_bins, complement, multilevel
+    let mut identity_checks = 0usize;
+    for lo_bin in (0..NBINS).step_by(3) {
+        for width in [0usize, 1, 2, 7, 19, 40, NBINS] {
+            let lo = lo_bin as f64 * 66.0 / NBINS as f64 + 0.01;
+            let hi = lo + width as f64 * 66.0 / NBINS as f64;
+            let plan = plan_value_range(&ia, Some(&ml), lo, hi).expect("finite bounds");
+            plan_counts[match plan {
+                RangePlan::Empty => 0,
+                RangePlan::OrBins { .. } => 1,
+                RangePlan::Complement { .. } => 2,
+                RangePlan::MultiLevel { .. } => 3,
+            }] += 1;
+            let naive = ia.query_range(lo, hi);
+            let flat = SubsetQuery::value(lo, hi).evaluate(&ia).expect("planned");
+            let multi = SubsetQuery::value(lo, hi)
+                .evaluate_ml(&ml)
+                .expect("planned");
+            assert_eq!(
+                flat.words(),
+                naive.words(),
+                "flat plan diverged at [{lo}, {hi})"
+            );
+            assert_eq!(
+                multi.words(),
+                naive.words(),
+                "ml plan diverged at [{lo}, {hi})"
+            );
+            identity_checks += 1;
+        }
+    }
+    let all_strategies_used = plan_counts.iter().all(|&c| c > 0);
+    println!(
+        "query: planner identity {identity_checks} ranges byte-identical; plans empty={} or_bins={} complement={} multilevel={} (all used: {all_strategies_used})",
+        plan_counts[0], plan_counts[1], plan_counts[2], plan_counts[3],
+    );
+
+    let out = format!(
+        "{{\n  \"workload\": \"correlation query serving, {n} elements/step, {nsteps} steps, {NBINS} bins, {} queries/batch\",\n  \
+         \"n\": {n},\n  \"nsteps\": {nsteps},\n  \"nbins\": {NBINS},\n  \
+         \"cold_load_series_batch_s\": {cold_s:e},\n  \
+         \"warm_cache_batch_s\": {warm_s:e},\n  \
+         \"warm_over_cold_speedup\": {warm_speedup:.3},\n  \
+         \"warm_over_5x_target\": {warm_ok},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"joint_naive_s\": {naive_s:e},\n  \
+         \"joint_prepared_s\": {prepared_s:e},\n  \
+         \"prepared_over_naive_speedup\": {joint_speedup:.3},\n  \
+         \"prepared_beats_naive\": {joint_ok},\n  \
+         \"planner_identity_ranges_checked\": {identity_checks},\n  \
+         \"planner_strategies_all_byte_identical\": true,\n  \
+         \"planner_all_strategies_exercised\": {all_strategies_used}\n}}\n",
+        workload.len(),
+        stats.hits,
+        stats.misses,
+    );
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_query.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json")
+    };
+    std::fs::write(path, out).expect("write BENCH_query report");
+    std::fs::remove_dir_all(&dir).ok();
+    println!("query: wrote {path}");
+}

@@ -10,6 +10,31 @@
 use crate::binning::Binner;
 use crate::builder::MultiWahBuilder;
 use crate::wah::WahVec;
+use std::fmt;
+
+/// A malformed value-range query ([`BitmapIndex::try_query_range`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeQueryError {
+    /// A bound is NaN — the query is meaningless, not empty.
+    NanBound {
+        /// The lower bound as given.
+        lo: f64,
+        /// The upper bound as given.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for RangeQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeQueryError::NanBound { lo, hi } => {
+                write!(f, "value range [{lo}, {hi}) has a NaN bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangeQueryError {}
 
 /// A (single-level) bitmap index over one array of values.
 ///
@@ -119,13 +144,15 @@ impl BitmapIndex {
         self.bins.iter().map(WahVec::size_bytes).sum()
     }
 
-    /// Positions whose value falls in `[lo, hi)`: OR of the overlapping
-    /// bins. Values are matched at bin granularity (the usual bitmap-index
-    /// semantics — a bin is included if its range intersects `[lo, hi)`).
-    pub fn query_range(&self, lo: f64, hi: f64) -> WahVec {
-        let nonempty_interval = hi > lo; // false for NaN bounds too
-        if self.bins.is_empty() || !nonempty_interval {
-            return WahVec::zeros(self.len);
+    /// The inclusive range of bins a `[lo, hi)` value query touches, or
+    /// `None` when the interval selects nothing (inverted, empty, or a NaN
+    /// bound — every comparison with NaN is false, so the span is empty).
+    /// This is the planner's unit of work: which bins a range query touches
+    /// determines the cost of every evaluation strategy.
+    pub fn bin_span(&self, lo: f64, hi: f64) -> Option<(usize, usize)> {
+        // NaN must land in the None arm: only a definite `hi > lo` proceeds.
+        if self.bins.is_empty() || hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return None;
         }
         let b0 = self.binner.bin_of(lo) as usize;
         let b1 = self.binner.bin_of(hi) as usize;
@@ -135,7 +162,32 @@ impl BitmapIndex {
         } else {
             b1
         };
-        self.query_bins(b0..=b1)
+        Some((b0, b1))
+    }
+
+    /// Positions whose value falls in `[lo, hi)`: OR of the overlapping
+    /// bins. Values are matched at bin granularity (the usual bitmap-index
+    /// semantics — a bin is included if its range intersects `[lo, hi)`).
+    ///
+    /// Total on any input: an inverted (`lo > hi`), empty (`lo == hi`), or
+    /// NaN-bounded interval yields the all-zeros selection. Callers that
+    /// must *reject* NaN bounds instead of silently matching nothing use
+    /// [`BitmapIndex::try_query_range`].
+    pub fn query_range(&self, lo: f64, hi: f64) -> WahVec {
+        match self.bin_span(lo, hi) {
+            Some((b0, b1)) => self.query_bins(b0..=b1),
+            None => WahVec::zeros(self.len),
+        }
+    }
+
+    /// [`BitmapIndex::query_range`] with strict bound validation: a NaN
+    /// bound is a malformed query, not an empty one, and is reported as a
+    /// typed error. Inverted and empty intervals remain empty selections.
+    pub fn try_query_range(&self, lo: f64, hi: f64) -> Result<WahVec, RangeQueryError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(RangeQueryError::NanBound { lo, hi });
+        }
+        Ok(self.query_range(lo, hi))
     }
 
     /// OR of an inclusive range of bins.
@@ -246,6 +298,29 @@ mod tests {
         let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 4.0, 4));
         assert_eq!(idx.query_range(2.0, 2.0).count_ones(), 0);
         assert_eq!(idx.query_range(3.0, 1.0).count_ones(), 0);
+        assert_eq!(idx.bin_span(2.0, 2.0), None);
+        assert_eq!(idx.bin_span(3.0, 1.0), None);
+    }
+
+    #[test]
+    fn query_range_nan_bounds() {
+        let data = [1.0, 2.0, 3.0];
+        let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 4.0, 4));
+        // the total form: NaN selects nothing, never panics
+        assert_eq!(idx.query_range(f64::NAN, 2.0).count_ones(), 0);
+        assert_eq!(idx.query_range(1.0, f64::NAN).count_ones(), 0);
+        assert_eq!(idx.bin_span(f64::NAN, f64::NAN), None);
+        // the strict form: NaN is a typed error, valid bounds pass through
+        assert!(matches!(
+            idx.try_query_range(f64::NAN, 2.0),
+            Err(RangeQueryError::NanBound { .. })
+        ));
+        assert!(matches!(
+            idx.try_query_range(1.0, f64::NAN),
+            Err(RangeQueryError::NanBound { .. })
+        ));
+        let ok = idx.try_query_range(1.0, 3.0).unwrap();
+        assert_eq!(ok, idx.query_range(1.0, 3.0));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod zorder;
 pub use bbc::BbcVec;
 pub use binning::{Binner, BinnerSpec};
 pub use builder::{MultiWahBuilder, WahBuilder};
-pub use index::BitmapIndex;
+pub use index::{BitmapIndex, RangeQueryError};
 pub use kernels::{DenseBits, PreparedOperand, WahStats};
 pub use multilevel::MultiLevelIndex;
 pub use parallel::{aligned_partition, build_index_parallel};

@@ -1,0 +1,291 @@
+//! A sharded, byte-budgeted LRU cache of decoded indices over a durable
+//! [`Store`] — the warm read path of the query engine.
+//!
+//! [`Store::get`] re-reads, re-verifies, and re-decodes a blob on every
+//! call; an interactive query session hits the same few `(variable, step)`
+//! pairs over and over, so [`CachedStore`] keeps the decoded form resident:
+//!
+//! * each entry is an `Arc<MultiLevelIndex>` (low level = the stored index,
+//!   high level derived once at `⌈√nbins⌉` grouping), so the planner's
+//!   high-bin covering strategy is available on every cached read and
+//!   concurrent readers share one decoded copy;
+//! * entries are spread over fixed shards (key-hashed), each behind its own
+//!   [`parking_lot::Mutex`] — readers of different shards never contend,
+//!   and the underlying catalog is an `Arc<Store>` that is never mutated;
+//! * decode happens *outside* any lock (a slow blob read stalls only the
+//!   requesting thread), with a double-check on insert so a racing thread's
+//!   copy wins and the loser's work is dropped;
+//! * the byte budget is enforced per shard by last-used eviction; the entry
+//!   just inserted is never evicted, so a single oversized index still
+//!   serves (the budget is a high-water target, not a hard allocator).
+//!
+//! Counters (family `query.cache`, see DESIGN.md §6g):
+//! `query.cache.{hits,misses,evictions}` and the gauge
+//! `query.cache.resident_bytes`. Per-instance [`CacheStats`] mirror them so
+//! tests and the CLI don't depend on global observability state.
+
+use crate::error::Result;
+use crate::store::Store;
+use ibis_core::MultiLevelIndex;
+use ibis_obs::{LazyCounter, LazyGauge};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static OBS_CACHE_HITS: LazyCounter = LazyCounter::new("query.cache.hits");
+static OBS_CACHE_MISSES: LazyCounter = LazyCounter::new("query.cache.misses");
+static OBS_CACHE_EVICTIONS: LazyCounter = LazyCounter::new("query.cache.evictions");
+static OBS_CACHE_RESIDENT: LazyGauge = LazyGauge::new("query.cache.resident_bytes");
+
+/// Point-in-time counters of one [`CachedStore`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Reads served from a resident entry.
+    pub hits: u64,
+    /// Reads that had to decode from the store.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes currently resident across all shards.
+    pub resident_bytes: u64,
+}
+
+struct Entry {
+    index: Arc<MultiLevelIndex>,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<(usize, String), Entry>,
+    resident: u64,
+}
+
+/// A read-through cache of decoded two-level indices over a [`Store`],
+/// safe to share across threads (`&self` everywhere, clone-cheap via the
+/// inner `Arc`s).
+pub struct CachedStore {
+    store: Arc<Store>,
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: u64,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CachedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedStore")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// FNV-1a over the key, for shard selection.
+fn shard_of(step: usize, variable: &str, nshards: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in variable
+        .as_bytes()
+        .iter()
+        .copied()
+        .chain(step.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % nshards as u64) as usize
+}
+
+impl CachedStore {
+    /// Default shard count: enough to keep a handful of reader threads off
+    /// each other's locks without scattering the budget too thin.
+    const DEFAULT_SHARDS: usize = 8;
+
+    /// Wraps a store with a cache holding at most ~`budget_bytes` of
+    /// decoded indices (enforced per shard).
+    pub fn new(store: Store, budget_bytes: u64) -> Self {
+        Self::with_shards(store, budget_bytes, Self::DEFAULT_SHARDS)
+    }
+
+    /// [`CachedStore::new`] with an explicit shard count (min 1).
+    pub fn with_shards(store: Store, budget_bytes: u64, nshards: usize) -> Self {
+        let nshards = nshards.max(1);
+        CachedStore {
+            store: Arc::new(store),
+            shards: (0..nshards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / nshards as u64,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying read-only catalog.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Reads `(variable, step)` through the cache: a resident entry is
+    /// shared via `Arc`, a miss decodes outside the shard lock and then
+    /// inserts (first racer wins), evicting least-recently-used entries
+    /// past the shard's byte budget.
+    pub fn get(&self, variable: &str, step: usize) -> Result<Arc<MultiLevelIndex>> {
+        let key = (step, variable.to_string());
+        let shard = &self.shards[shard_of(step, variable, self.shards.len())];
+        {
+            let mut s = shard.lock();
+            if let Some(e) = s.map.get_mut(&key) {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                OBS_CACHE_HITS.inc();
+                return Ok(Arc::clone(&e.index));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        OBS_CACHE_MISSES.inc();
+        // Decode with no lock held: a cold blob stalls only this reader.
+        let low = self.store.load_bitmap(variable, step)?;
+        let group = (low.nbins() as f64).sqrt().ceil().max(1.0) as usize;
+        let ml = Arc::new(MultiLevelIndex::from_low(low, group));
+        let bytes = ml.size_bytes() as u64;
+
+        let mut s = shard.lock();
+        if let Some(e) = s.map.get_mut(&key) {
+            // Another thread decoded the same blob while we did; its copy
+            // is already shared — drop ours.
+            e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&e.index));
+        }
+        s.map.insert(
+            key.clone(),
+            Entry {
+                index: Arc::clone(&ml),
+                bytes,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        s.resident += bytes;
+        let mut delta = bytes as i64;
+        while s.resident > self.shard_budget && s.map.len() > 1 {
+            let victim = s
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = s.map.remove(&victim) {
+                s.resident -= e.bytes;
+                delta -= e.bytes as i64;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                OBS_CACHE_EVICTIONS.inc();
+            }
+        }
+        OBS_CACHE_RESIDENT.add(delta);
+        Ok(ml)
+    }
+
+    /// This instance's counters (independent of the global obs registry,
+    /// so tests running in parallel see only their own cache).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.shards.iter().map(|s| s.lock().resident).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreWriter;
+    use ibis_core::{Binner, BitmapIndex};
+    use std::path::PathBuf;
+
+    fn sample_index(seed: usize) -> BitmapIndex {
+        let data: Vec<f64> = (0..2000).map(|i| ((i * (seed + 3)) % 40) as f64).collect();
+        BitmapIndex::build(&data, Binner::distinct_ints(0, 39))
+    }
+
+    fn store_with(name: &str, steps: &[usize], vars: &[&str]) -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!("ibis-cache-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for &s in steps {
+            for (i, v) in vars.iter().enumerate() {
+                w.put(s, v, &sample_index(s + i * 7)).unwrap();
+            }
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn hit_returns_shared_decoded_index() {
+        let (dir, store) = store_with("hit", &[0, 1], &["temperature"]);
+        let cache = CachedStore::new(store, 64 << 20);
+        let a = cache.get("temperature", 0).unwrap();
+        let b = cache.get("temperature", 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the decoded copy");
+        assert_eq!(a.low().counts(), sample_index(0).counts());
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert!(st.resident_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let (dir, store) = store_with("evict", &[0, 1, 2, 3], &["temperature"]);
+        let one = {
+            let low = sample_index(0);
+            MultiLevelIndex::from_low(low, 7).size_bytes() as u64
+        };
+        // one shard, room for ~2 entries
+        let cache = CachedStore::with_shards(store, 2 * one + one / 2, 1);
+        for s in [0usize, 1, 2, 3] {
+            cache.get("temperature", s).unwrap();
+        }
+        let st = cache.stats();
+        assert!(st.evictions >= 1, "budget must force evictions: {st:?}");
+        assert!(
+            st.resident_bytes <= 3 * one,
+            "resident {} must stay near budget",
+            st.resident_bytes
+        );
+        // step 3 is the most recent entry: still a hit
+        cache.get("temperature", 3).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        // step 0 was evicted: a second read is a miss, but still correct
+        let again = cache.get("temperature", 0).unwrap();
+        assert_eq!(again.low().counts(), sample_index(0).counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_entry_still_serves() {
+        let (dir, store) = store_with("oversize", &[0], &["temperature"]);
+        let cache = CachedStore::with_shards(store, 1, 1); // 1-byte budget
+        let idx = cache.get("temperature", 0).unwrap();
+        assert_eq!(idx.low().counts(), sample_index(0).counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_entry_surfaces_not_found() {
+        let (dir, store) = store_with("miss", &[0], &["temperature"]);
+        let cache = CachedStore::new(store, 1 << 20);
+        let err = cache.get("salinity", 0).unwrap_err();
+        assert!(matches!(err, crate::error::IbisError::NotFound { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

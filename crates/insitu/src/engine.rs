@@ -1,0 +1,490 @@
+//! The query engine: subset and correlation queries served from a durable
+//! store through the [`CachedStore`], with a JSON batch protocol for the
+//! `ibis query` CLI.
+//!
+//! This is the read path the ROADMAP's "serve heavy traffic" goal needs:
+//! open a finished run directory once, then answer any number of queries
+//! against it, decoding each `(variable, step)` blob at most once per cache
+//! residency. The engine is `&self` throughout and the cache is sharded,
+//! so one engine instance serves concurrent reader threads.
+//!
+//! Every failure — unknown variable, malformed region, NaN bound, corrupt
+//! blob, bad JSON — is a structured [`IbisError`]; no query input can panic
+//! the process (the adversarial corpus in `tests/query_engine.rs` holds
+//! this line). A batch keeps going after a failed query: each request gets
+//! its own `Result`, so one typo doesn't void an expensive batch.
+//!
+//! # Batch protocol
+//!
+//! ```json
+//! {"queries": [
+//!   {"kind": "subset", "step": 0, "variable": "temperature",
+//!    "value_range": [2.0, 5.0], "region": [0, 4096]},
+//!   {"kind": "correlation", "step": 0,
+//!    "var_a": "temperature", "var_b": "salinity",
+//!    "value_a": [18.0, 30.0], "region": [0, 4096]}
+//! ]}
+//! ```
+//!
+//! Answers come back in request order as `{"answers": [...]}`, each either
+//! `{"ok": {...}}` or `{"error": "..."}`.
+
+use crate::cache::{CacheStats, CachedStore};
+use crate::error::{IbisError, Result};
+use crate::json::{self, Json};
+use ibis_analysis::{correlation_query_ml, CorrelationAnswer, SubsetQuery};
+use ibis_obs::LazyCounter;
+use std::ops::Range;
+
+static OBS_QUERIES_OK: LazyCounter = LazyCounter::new("query.engine.ok");
+static OBS_QUERIES_REJECTED: LazyCounter = LazyCounter::new("query.engine.rejected");
+
+/// One query against the store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// Count the elements of one variable matching a subset predicate.
+    Subset {
+        /// Time-step to query.
+        step: usize,
+        /// Variable to query.
+        variable: String,
+        /// The predicate.
+        query: SubsetQuery,
+    },
+    /// Correlate two variables of one step over their subset predicates.
+    Correlation {
+        /// Time-step to query.
+        step: usize,
+        /// First variable.
+        var_a: String,
+        /// Second variable.
+        var_b: String,
+        /// Predicate on the first variable.
+        query_a: SubsetQuery,
+        /// Predicate on the second variable.
+        query_b: SubsetQuery,
+    },
+}
+
+/// A successful query's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Answer to a [`QueryRequest::Subset`].
+    Subset {
+        /// Elements matching the predicate.
+        selected: u64,
+        /// Elements the variable covers at that step.
+        of: u64,
+    },
+    /// Answer to a [`QueryRequest::Correlation`].
+    Correlation(CorrelationAnswer),
+}
+
+/// A query-serving session over one finished run directory.
+#[derive(Debug)]
+pub struct QueryEngine {
+    cache: CachedStore,
+}
+
+impl QueryEngine {
+    /// Serves queries from `cache`.
+    pub fn new(cache: CachedStore) -> Self {
+        QueryEngine { cache }
+    }
+
+    /// The cache behind this engine (stats, catalog).
+    pub fn cache(&self) -> &CachedStore {
+        &self.cache
+    }
+
+    /// This engine's cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Answers one query. Total: every malformed or unanswerable request
+    /// is a structured error.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryAnswer> {
+        let result = match request {
+            QueryRequest::Subset {
+                step,
+                variable,
+                query,
+            } => {
+                let ml = self.cache.get(variable, *step)?;
+                let sel = query.evaluate_ml(&ml).map_err(IbisError::Query)?;
+                Ok(QueryAnswer::Subset {
+                    selected: sel.count_ones(),
+                    of: ml.low().len(),
+                })
+            }
+            QueryRequest::Correlation {
+                step,
+                var_a,
+                var_b,
+                query_a,
+                query_b,
+            } => {
+                let a = self.cache.get(var_a, *step)?;
+                let b = self.cache.get(var_b, *step)?;
+                correlation_query_ml(&a, &b, query_a, query_b)
+                    .map(QueryAnswer::Correlation)
+                    .map_err(IbisError::Query)
+            }
+        };
+        match &result {
+            Ok(_) => OBS_QUERIES_OK.inc(),
+            Err(_) => OBS_QUERIES_REJECTED.inc(),
+        }
+        result
+    }
+
+    /// Answers every query of a batch, in order. Failures are per-request;
+    /// the batch always completes.
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryAnswer>> {
+        requests.iter().map(|r| self.run(r)).collect()
+    }
+
+    /// Parses a JSON batch document, runs it, and renders the answers as
+    /// JSON. Only a document malformed at the top level errors; per-query
+    /// problems are reported inline in the answers array.
+    pub fn run_batch_json(&self, text: &str) -> Result<String> {
+        let requests = parse_batch(text)?;
+        let answers = self.run_batch(&requests);
+        Ok(render_answers(&answers))
+    }
+}
+
+fn bad(index: Option<usize>, reason: impl Into<String>) -> IbisError {
+    IbisError::BadRequest {
+        index,
+        reason: reason.into(),
+    }
+}
+
+/// Parses the `{"queries": [...]}` batch document into typed requests.
+pub fn parse_batch(text: &str) -> Result<Vec<QueryRequest>> {
+    let doc = json::parse(text).map_err(|e| bad(None, e.to_string()))?;
+    let queries = doc
+        .get("queries")
+        .ok_or_else(|| bad(None, "missing \"queries\" field"))?
+        .as_arr()
+        .ok_or_else(|| bad(None, "\"queries\" must be an array"))?;
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| parse_request(q).map_err(|reason| bad(Some(i), reason)))
+        .collect()
+}
+
+fn parse_request(q: &Json) -> std::result::Result<QueryRequest, String> {
+    let kind = q
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing \"kind\"")?;
+    let step = parse_step(q)?;
+    match kind {
+        "subset" => Ok(QueryRequest::Subset {
+            step,
+            variable: required_str(q, "variable")?,
+            query: parse_subset(q, "value_range")?,
+        }),
+        "correlation" => Ok(QueryRequest::Correlation {
+            step,
+            var_a: required_str(q, "var_a")?,
+            var_b: required_str(q, "var_b")?,
+            query_a: parse_subset(q, "value_a")?,
+            query_b: parse_subset(q, "value_b")?,
+        }),
+        other => Err(format!("unknown kind {other:?}")),
+    }
+}
+
+fn parse_step(q: &Json) -> std::result::Result<usize, String> {
+    let n = match q.get("step") {
+        None => return Ok(0),
+        Some(v) => v.as_num().ok_or("\"step\" must be a number")?,
+    };
+    if n < 0.0 || n.fract() != 0.0 || n > usize::MAX as f64 {
+        return Err(format!("\"step\" must be a non-negative integer, got {n}"));
+    }
+    Ok(n as usize)
+}
+
+fn required_str(q: &Json, key: &str) -> std::result::Result<String, String> {
+    q.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Builds the [`SubsetQuery`] from a request's optional `value_key` pair
+/// and shared `region` pair.
+fn parse_subset(q: &Json, value_key: &str) -> std::result::Result<SubsetQuery, String> {
+    let mut out = SubsetQuery::all();
+    if let Some(v) = q.get(value_key) {
+        let (lo, hi) = num_pair(v, value_key)?;
+        out = out.with_value(lo, hi);
+    }
+    if let Some(v) = q.get("region") {
+        let (lo, hi) = num_pair(v, "region")?;
+        if lo < 0.0 || hi < 0.0 || lo.fract() != 0.0 || hi.fract() != 0.0 {
+            return Err(format!(
+                "\"region\" bounds must be non-negative integers, got [{lo}, {hi}]"
+            ));
+        }
+        out = out.with_region(lo as u64..hi as u64);
+    }
+    Ok(out)
+}
+
+fn num_pair(v: &Json, key: &str) -> std::result::Result<(f64, f64), String> {
+    match v.as_arr() {
+        Some([a, b]) => match (a.as_num(), b.as_num()) {
+            (Some(a), Some(b)) => Ok((a, b)),
+            _ => Err(format!("{key:?} entries must be numbers")),
+        },
+        _ => Err(format!("{key:?} must be a two-element array")),
+    }
+}
+
+/// Renders a batch's answers as the `{"answers": [...]}` document.
+pub fn render_answers(answers: &[Result<QueryAnswer>]) -> String {
+    let mut out = String::from("{\"answers\": [");
+    for (i, a) in answers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match a {
+            Ok(QueryAnswer::Subset { selected, of }) => {
+                out.push_str(&format!(
+                    "{{\"ok\": {{\"kind\": \"subset\", \"selected\": {selected}, \"of\": {of}}}}}"
+                ));
+            }
+            Ok(QueryAnswer::Correlation(ans)) => {
+                let pearson = ans
+                    .pearson
+                    .map(json::num)
+                    .unwrap_or_else(|| "null".to_string());
+                let mean = |m: &Option<ibis_analysis::Estimate>| match m {
+                    Some(e) => format!(
+                        "{{\"value\": {}, \"bound\": {}}}",
+                        json::num(e.value),
+                        json::num(e.bound)
+                    ),
+                    None => "null".to_string(),
+                };
+                out.push_str(&format!(
+                    "{{\"ok\": {{\"kind\": \"correlation\", \"selected\": {}, \
+                     \"mutual_information\": {}, \"conditional_entropy\": {}, \
+                     \"pearson\": {}, \"mean_a\": {}, \"mean_b\": {}}}}}",
+                    ans.selected,
+                    json::num(ans.mutual_information),
+                    json::num(ans.conditional_entropy),
+                    pearson,
+                    mean(&ans.mean_a),
+                    mean(&ans.mean_b),
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!(
+                    "{{\"error\": \"{}\"}}",
+                    json::escape(&e.to_string())
+                ));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Convenience for tests and the CLI: a region request as a typed range.
+pub fn region_request(step: usize, variable: &str, range: Range<u64>) -> QueryRequest {
+    QueryRequest::Subset {
+        step,
+        variable: variable.to_string(),
+        query: SubsetQuery::region(range),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, StoreWriter};
+    use ibis_core::{Binner, BitmapIndex};
+    use std::path::PathBuf;
+
+    fn test_store(name: &str) -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!("ibis-engine-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for step in [0usize, 2] {
+            let temp: Vec<f64> = (0..3000)
+                .map(|i| ((i * 7 + step * 11) % 300) as f64 / 10.0)
+                .collect();
+            let salt: Vec<f64> = temp.iter().map(|t| 30.0 + t / 10.0).collect();
+            w.put(
+                step,
+                "temperature",
+                &BitmapIndex::build(&temp, Binner::fixed_width(0.0, 30.0, 64)),
+            )
+            .unwrap();
+            w.put(
+                step,
+                "salinity",
+                &BitmapIndex::build(&salt, Binner::fixed_width(29.0, 34.0, 64)),
+            )
+            .unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn engine(store: Store) -> QueryEngine {
+        QueryEngine::new(CachedStore::new(store, 64 << 20))
+    }
+
+    #[test]
+    fn subset_and_correlation_round_trip() {
+        let (dir, store) = test_store("roundtrip");
+        let e = engine(store);
+        let ans = e
+            .run(&QueryRequest::Subset {
+                step: 0,
+                variable: "temperature".into(),
+                query: SubsetQuery::value(0.0, 15.0),
+            })
+            .unwrap();
+        let QueryAnswer::Subset { selected, of } = ans else {
+            panic!("wrong answer kind");
+        };
+        assert_eq!(of, 3000);
+        assert!(selected > 0 && selected < of);
+
+        let ans = e
+            .run(&QueryRequest::Correlation {
+                step: 0,
+                var_a: "temperature".into(),
+                var_b: "salinity".into(),
+                query_a: SubsetQuery::all(),
+                query_b: SubsetQuery::all(),
+            })
+            .unwrap();
+        let QueryAnswer::Correlation(c) = ans else {
+            panic!("wrong answer kind");
+        };
+        assert_eq!(c.selected, 3000);
+        assert!(c.pearson.unwrap() > 0.9, "salinity tracks temperature");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (dir, store) = test_store("warm");
+        let e = engine(store);
+        let req = QueryRequest::Correlation {
+            step: 0,
+            var_a: "temperature".into(),
+            var_b: "salinity".into(),
+            query_a: SubsetQuery::value(0.0, 20.0),
+            query_b: SubsetQuery::all(),
+        };
+        let first = e.run(&req).unwrap();
+        for _ in 0..5 {
+            assert_eq!(e.run(&req).unwrap(), first);
+        }
+        let st = e.cache_stats();
+        assert_eq!(st.misses, 2, "one decode per variable");
+        assert_eq!(st.hits, 10, "every repeat served warm");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_batch_end_to_end() {
+        let (dir, store) = test_store("batch");
+        let e = engine(store);
+        let out = e
+            .run_batch_json(
+                r#"{"queries": [
+                    {"kind": "subset", "step": 0, "variable": "temperature",
+                     "value_range": [0.0, 15.0], "region": [0, 1500]},
+                    {"kind": "correlation", "step": 2,
+                     "var_a": "temperature", "var_b": "salinity"},
+                    {"kind": "subset", "step": 0, "variable": "no_such_var"}
+                ]}"#,
+            )
+            .unwrap();
+        // answers parse back, in request order, errors inline
+        let doc = json::parse(&out).unwrap();
+        let answers = doc.get("answers").unwrap().as_arr().unwrap();
+        assert_eq!(answers.len(), 3);
+        assert!(answers[0].get("ok").is_some());
+        let corr = answers[1].get("ok").unwrap();
+        assert_eq!(corr.get("kind").unwrap().as_str(), Some("correlation"));
+        assert_eq!(corr.get("selected").unwrap().as_num(), Some(3000.0));
+        let err = answers[2].get("error").unwrap().as_str().unwrap();
+        assert!(err.contains("no_such_var"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_batches_are_typed_errors() {
+        let (dir, store) = test_store("badbatch");
+        let e = engine(store);
+        for bad in [
+            "not json at all",
+            "{}",
+            r#"{"queries": 3}"#,
+            r#"{"queries": [{"kind": "nope"}]}"#,
+            r#"{"queries": [{"kind": "subset"}]}"#,
+            r#"{"queries": [{"kind": "subset", "variable": "temperature", "step": -1}]}"#,
+            r#"{"queries": [{"kind": "subset", "variable": "temperature", "step": 1.5}]}"#,
+            r#"{"queries": [{"kind": "subset", "variable": "temperature", "region": [5]}]}"#,
+            r#"{"queries": [{"kind": "subset", "variable": "temperature", "region": [-1, 5]}]}"#,
+            r#"{"queries": [{"kind": "subset", "variable": "temperature", "value_range": ["a", 5]}]}"#,
+            r#"{"queries": [{"kind": "correlation", "var_a": "temperature"}]}"#,
+        ] {
+            let err = e.run_batch_json(bad).unwrap_err();
+            assert!(
+                matches!(err, IbisError::BadRequest { .. }),
+                "{bad:?} → {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_errors_flow_through_ibis_error() {
+        let (dir, store) = test_store("flow");
+        let e = engine(store);
+        // out-of-range region against a live store: Err, not panic (the
+        // regression the panic-free rewrite exists for)
+        let err = e
+            .run(&region_request(0, "temperature", 0..1_000_000))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IbisError::Query(ibis_analysis::QueryError::RegionOutOfRange { len: 3000, .. })
+            ),
+            "{err}"
+        );
+        // NaN bound through the typed API
+        let err = e
+            .run(&QueryRequest::Subset {
+                step: 0,
+                variable: "temperature".into(),
+                query: SubsetQuery::value(f64::NAN, 1.0),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IbisError::Query(ibis_analysis::QueryError::NanBound { .. })
+        ));
+        // unknown step/variable
+        let err = e.run(&region_request(99, "temperature", 0..1)).unwrap_err();
+        assert!(matches!(err, IbisError::NotFound { step: 99, .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -190,6 +190,18 @@ pub enum IbisError {
     },
     /// A checkpoint file exists but cannot be trusted.
     BadCheckpoint(String),
+    /// A subset/correlation query is malformed (NaN bound, out-of-range
+    /// region, mismatched variables) — the analysis layer's typed error,
+    /// surfaced so a bad query can never kill a long-running pipeline.
+    Query(ibis_analysis::QueryError),
+    /// A query batch request could not be understood (bad JSON, missing or
+    /// mistyped field).
+    BadRequest {
+        /// Zero-based position in the batch, when the batch itself parsed.
+        index: Option<usize>,
+        /// What is wrong with the request.
+        reason: String,
+    },
 }
 
 impl fmt::Display for IbisError {
@@ -244,6 +256,11 @@ impl fmt::Display for IbisError {
             IbisError::Coordination(msg) => write!(f, "selection coordination failed: {msg}"),
             IbisError::Killed { step } => write!(f, "run killed at step {step} (injected)"),
             IbisError::BadCheckpoint(msg) => write!(f, "unusable checkpoint: {msg}"),
+            IbisError::Query(e) => write!(f, "invalid query: {e}"),
+            IbisError::BadRequest { index, reason } => match index {
+                Some(i) => write!(f, "query {i}: bad request: {reason}"),
+                None => write!(f, "bad request: {reason}"),
+            },
         }
     }
 }
@@ -265,6 +282,12 @@ impl IbisError {
 impl From<DecodeError> for IbisError {
     fn from(source: DecodeError) -> Self {
         IbisError::Decode { file: None, source }
+    }
+}
+
+impl From<ibis_analysis::QueryError> for IbisError {
+    fn from(source: ibis_analysis::QueryError) -> Self {
+        IbisError::Query(source)
     }
 }
 

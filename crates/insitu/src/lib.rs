@@ -20,19 +20,29 @@
 //! * [`io`] / [`memory`] / [`report`] — storage cost models (plus a real
 //!   file sink and WAH codec), the Figure 11 memory accounting, and result
 //!   records.
+//! * [`store`] / [`cache`] / [`engine`] — the durable run-directory store,
+//!   its sharded byte-budgeted LRU read cache, and the panic-free
+//!   query-serving layer (subset/correlation queries, JSON batch protocol
+//!   for `ibis query`).
 
+pub mod cache;
 pub mod calibrate;
 pub mod cluster;
 pub mod crc;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod io;
+pub mod json;
 pub mod machine;
 pub mod memory;
 pub mod pipeline;
 pub mod report;
 pub mod retry;
 pub mod store;
+
+pub use cache::{CacheStats, CachedStore};
+pub use engine::{QueryAnswer, QueryEngine, QueryRequest};
 
 pub use calibrate::{auto_allocate, calibrate, Calibration};
 pub use cluster::{run_cluster, ClusterConfig, ClusterIo, ClusterReduction, ClusterReport};

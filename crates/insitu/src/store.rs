@@ -540,6 +540,15 @@ impl Store {
         report
     }
 
+    /// Lazily loads one variable's index at one step — the per-blob read
+    /// the query cache ([`crate::cache::CachedStore`]) builds on, so a
+    /// query touching one `(variable, step)` pays for one blob instead of a
+    /// whole [`Store::load_series`] scan. Verifies framing and checksum
+    /// exactly like [`Store::get`].
+    pub fn load_bitmap(&self, variable: &str, step: usize) -> Result<BitmapIndex> {
+        self.get(step, variable)
+    }
+
     /// Loads every step of one variable, in step order.
     pub fn load_series(&self, variable: &str) -> Result<Vec<(usize, BitmapIndex)>> {
         self.steps()

@@ -1,0 +1,248 @@
+//! Integration tests for the query-serving layer against real run
+//! directories: the adversarial query corpus (no input may panic the
+//! engine — everything surfaces as a structured [`IbisError`], in both obs
+//! configurations since this file runs under each), the out-of-range
+//! region regression the panic-free rewrite exists for, and a
+//! multi-threaded stress test of the sharded cache.
+
+use ibis_analysis::{QueryError, SubsetQuery};
+use ibis_core::{Binner, BitmapIndex};
+use ibis_insitu::engine::parse_batch;
+use ibis_insitu::{
+    CachedStore, IbisError, QueryAnswer, QueryEngine, QueryRequest, Store, StoreWriter,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const N: usize = 4096;
+
+fn field(step: usize, phase: usize) -> Vec<f64> {
+    (0..N)
+        .map(|i| ((i * 7 + step * 13 + phase * 101) % 640) as f64 / 16.0)
+        .collect()
+}
+
+/// Builds a real durable store: 3 steps × 2 variables.
+fn build_store(name: &str) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("ibis-qe-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut w = StoreWriter::create(&dir).unwrap();
+    for step in [0usize, 4, 9] {
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            let idx = BitmapIndex::build(&field(step, phase), Binner::fixed_width(0.0, 40.0, 64));
+            w.put(step, var, &idx).unwrap();
+        }
+    }
+    w.finish().unwrap();
+    let store = Store::open(&dir).unwrap();
+    (dir, store)
+}
+
+#[test]
+fn out_of_range_region_on_live_store_is_err_not_panic() {
+    let (dir, store) = build_store("oob-region");
+    let engine = QueryEngine::new(CachedStore::new(store, 64 << 20));
+    let err = engine
+        .run(&QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery::region(0..(N as u64) * 10),
+        })
+        .unwrap_err();
+    match err {
+        IbisError::Query(QueryError::RegionOutOfRange { start, end, len }) => {
+            assert_eq!((start, end, len), (0, N as u64 * 10, N as u64));
+        }
+        other => panic!("expected RegionOutOfRange, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn adversarial_corpus_returns_structured_errors() {
+    let (dir, store) = build_store("adversarial");
+    let engine = QueryEngine::new(CachedStore::new(store, 64 << 20));
+
+    // --- typed API corpus: NaN bounds (inexpressible in strict JSON) ---
+    for (lo, hi) in [(f64::NAN, 5.0), (5.0, f64::NAN), (f64::NAN, f64::NAN)] {
+        let err = engine
+            .run(&QueryRequest::Subset {
+                step: 0,
+                variable: "temperature".into(),
+                query: SubsetQuery::value(lo, hi),
+            })
+            .unwrap_err();
+        assert!(matches!(err, IbisError::Query(QueryError::NanBound { .. })));
+    }
+    // inverted / empty value intervals are NOT errors: empty selections
+    for (lo, hi) in [(9.0, 3.0), (7.0, 7.0)] {
+        let ans = engine
+            .run(&QueryRequest::Subset {
+                step: 0,
+                variable: "temperature".into(),
+                query: SubsetQuery::value(lo, hi),
+            })
+            .unwrap();
+        assert_eq!(
+            ans,
+            QueryAnswer::Subset {
+                selected: 0,
+                of: N as u64
+            }
+        );
+    }
+    // unknown variable / step
+    for (step, var) in [(0usize, "vorticity"), (3, "temperature")] {
+        let err = engine
+            .run(&QueryRequest::Subset {
+                step,
+                variable: var.into(),
+                query: SubsetQuery::all(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, IbisError::NotFound { .. }), "{err}");
+    }
+
+    // --- JSON batch corpus: every document either parses or errors ---
+    let corpus: &[&str] = &[
+        "",
+        "\u{0}\u{1}\u{2}",
+        "{\"queries\": [",
+        "{\"queries\": {}}",
+        "[1,2,3]",
+        r#"{"queries": [{"kind": "subset", "variable": 7}]}"#,
+        r#"{"queries": [{"kind": "subset", "variable": "temperature", "value_range": [1e400, 2]}]}"#,
+        r#"{"queries": [{"kind": "subset", "variable": "temperature", "region": [2, 1e300]}]}"#,
+        r#"{"queries": [{"kind": "correlation", "var_a": "temperature", "var_b": "salinity", "step": 99999999}]}"#,
+        r#"{"queries": [{"kind": "subset", "variable": "temperature", "region": [4096, 0]}]}"#,
+    ];
+    for doc in corpus {
+        // must never panic; a top-level Err must be BadRequest
+        match engine.run_batch_json(doc) {
+            Ok(answers) => assert!(answers.starts_with("{\"answers\""), "{doc:?}"),
+            Err(IbisError::BadRequest { .. }) => {}
+            Err(other) => panic!("{doc:?} → unexpected error class {other}"),
+        }
+    }
+    // deep nesting is bounded, not a stack overflow
+    let deep = format!("{{\"queries\": {}1{}}}", "[".repeat(500), "]".repeat(500));
+    assert!(matches!(
+        parse_batch(&deep),
+        Err(IbisError::BadRequest { .. })
+    ));
+
+    // an inverted region *through the JSON protocol* is a per-query error,
+    // inline, and the rest of the batch still answers
+    let out = engine
+        .run_batch_json(
+            r#"{"queries": [
+                {"kind": "subset", "variable": "temperature", "region": [4000, 100]},
+                {"kind": "subset", "variable": "temperature"}
+            ]}"#,
+        )
+        .unwrap();
+    assert!(out.contains("\"error\""), "{out}");
+    assert!(out.contains(&format!("\"selected\": {N}")), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_store_rejects_queries_cleanly() {
+    let dir = std::env::temp_dir().join("ibis-qe-empty");
+    std::fs::remove_dir_all(&dir).ok();
+    let w = StoreWriter::create(&dir).unwrap();
+    w.finish().unwrap();
+    let store = Store::open(&dir).unwrap();
+    assert!(store.steps().is_empty());
+    let engine = QueryEngine::new(CachedStore::new(store, 1 << 20));
+    let err = engine
+        .run(&QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery::all(),
+        })
+        .unwrap_err();
+    assert!(matches!(err, IbisError::NotFound { .. }));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_readers_share_one_cache_safely() {
+    let (dir, store) = build_store("stress");
+    // tiny budget on few shards so eviction churns *while* readers race
+    let one = CachedStore::new(Store::open(&dir).unwrap(), u64::MAX)
+        .get("temperature", 0)
+        .unwrap()
+        .size_bytes() as u64;
+    let engine = Arc::new(QueryEngine::new(CachedStore::with_shards(
+        store,
+        3 * one,
+        2,
+    )));
+
+    let nthreads = 8;
+    let rounds = 40;
+    let handles: Vec<_> = (0..nthreads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for r in 0..rounds {
+                    let step = [0usize, 4, 9][(t + r) % 3];
+                    let (lo, hi) = (1.0 + (r % 7) as f64, 30.0 + (t % 5) as f64);
+                    let ans = engine
+                        .run(&QueryRequest::Correlation {
+                            step,
+                            var_a: "temperature".into(),
+                            var_b: "salinity".into(),
+                            query_a: SubsetQuery::value(lo, hi),
+                            query_b: SubsetQuery::region(0..(N as u64 / 2)),
+                        })
+                        .unwrap();
+                    let QueryAnswer::Correlation(c) = ans else {
+                        panic!("wrong answer kind")
+                    };
+                    assert!(c.mutual_information.is_finite());
+                    // malformed queries from racing threads stay contained
+                    let inverted = std::ops::Range {
+                        start: 1u64,
+                        end: 0u64,
+                    };
+                    let err = engine
+                        .run(&QueryRequest::Subset {
+                            step,
+                            variable: "temperature".into(),
+                            query: SubsetQuery::region(inverted),
+                        })
+                        .unwrap_err();
+                    assert!(matches!(err, IbisError::Query(_)));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no reader thread may panic");
+    }
+
+    // every thread's answers agree with a cold, uncached engine
+    let cold = QueryEngine::new(CachedStore::new(Store::open(&dir).unwrap(), u64::MAX));
+    let probe = QueryRequest::Correlation {
+        step: 4,
+        var_a: "temperature".into(),
+        var_b: "salinity".into(),
+        query_a: SubsetQuery::value(1.0, 30.0),
+        query_b: SubsetQuery::region(0..(N as u64 / 2)),
+    };
+    assert_eq!(engine.run(&probe).unwrap(), cold.run(&probe).unwrap());
+
+    let st = engine.cache_stats();
+    let total = st.hits + st.misses;
+    // 3 cache reads per round (2 for the correlation, 1 for the subset,
+    // whose region check runs after the fetch) plus 2 for the final probe
+    assert_eq!(
+        total,
+        (nthreads * rounds * 3 + 2) as u64,
+        "every cache access accounted for: {st:?}"
+    );
+    assert!(st.evictions > 0, "tiny budget must churn: {st:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

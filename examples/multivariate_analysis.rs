@@ -45,7 +45,8 @@ fn main() {
             &indices[b],
             &SubsetQuery::all(),
             &SubsetQuery::all(),
-        );
+        )
+        .expect("well-formed query");
         println!(
             "  {:<12} x {:<10} MI {:>6.3} bits   r ≈ {:+.3}",
             vars[a],
@@ -60,7 +61,8 @@ fn main() {
         &indices[1],
         &SubsetQuery::value(18.0, 30.0),
         &SubsetQuery::all(),
-    );
+    )
+    .expect("well-formed query");
     println!(
         "  temp∈[18,30) x salinity   MI {:>6.3} bits over {} cells\n",
         warm.mutual_information, warm.selected

@@ -81,4 +81,36 @@ check_generation_report target/BENCH_generation.smoke.json
 echo "==> committed BENCH_generation.json present with full-size sweep"
 check_generation_report BENCH_generation.json
 
+echo "==> query suites in the no-op observability build"
+# The workspace run above covers the instrumented config; re-run the query
+# proptests, adversarial corpus, and multi-threaded cache stress with the
+# obs counters const-folded away — neither config may panic or diverge.
+cargo test -q -p ibis-analysis --no-default-features --test prop_query
+cargo test -q -p ibis-insitu --no-default-features --test query_engine
+
+echo "==> query bench smoke (both obs configs) + report schema"
+check_query_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"warm_over_cold_speedup"' '"warm_over_5x_target"' \
+        '"prepared_over_naive_speedup"' '"prepared_beats_naive"' \
+        '"planner_identity_ranges_checked"' \
+        '"planner_strategies_all_byte_identical"' \
+        '"planner_all_strategies_exercised"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+}
+rm -f target/BENCH_query.smoke.json
+IBIS_QUERY_SMOKE=1 cargo bench -q -p ibis-bench --bench query
+check_query_report target/BENCH_query.smoke.json
+rm -f target/BENCH_query.smoke.json
+IBIS_QUERY_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench query
+check_query_report target/BENCH_query.smoke.json
+echo "==> committed BENCH_query.json present with full-size sweep"
+check_query_report BENCH_query.json
+
 echo "CI OK"

@@ -7,6 +7,7 @@
 //! ibis mine   [--grid LONxLATxDEPTH] [--bins N] [--t1 X] [--t2 Y] [--unit N] [--top N]
 //! ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
 //!             [--region LO:HI] [--grid LONxLATxDEPTH]
+//! ibis query  --store DIR --batch FILE [--cache-mb N] [--json-out PATH]
 //! ```
 //!
 //! `insitu --out DIR` persists the selected steps' bitmap indices as
@@ -19,8 +20,8 @@ use ibis::datagen::{
     Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, OceanConfig, OceanModel, Simulation,
 };
 use ibis::insitu::{
-    auto_allocate, run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig,
-    Reduction, RobustnessConfig, ScalingModel, StoreWriter,
+    auto_allocate, run_pipeline, CachedStore, CoreAllocation, LocalDisk, MachineModel,
+    PipelineConfig, QueryEngine, Reduction, RobustnessConfig, ScalingModel, Store, StoreWriter,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -82,6 +83,7 @@ USAGE:
               [--unit N] [--top N]
   ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
               [--region LO:HI] [--grid LONxLATxDEPTH]
+  ibis query  --store DIR --batch FILE [--cache-mb N] [--json-out PATH]
   ibis help
 
 Any command also accepts --obs-json PATH to dump the run's metrics
@@ -366,6 +368,9 @@ fn cmd_mine(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {
+    if flags.contains_key("store") || flags.contains_key("batch") {
+        return cmd_query_store(flags);
+    }
     let (nlon, nlat, ndepth) = get_grid(flags, (128, 96, 2))?;
     let var_a = flags.get("var-a").ok_or("--var-a is required")?;
     let var_b = flags.get("var-b").ok_or("--var-b is required")?;
@@ -404,7 +409,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         qa = qa.with_region(lo..hi);
         qb = qb.with_region(lo..hi);
     }
-    let ans = correlation_query(&ia, &ib, &qa, &qb);
+    let ans = correlation_query(&ia, &ib, &qa, &qb).map_err(|e| e.to_string())?;
     println!("{var_a} x {var_b}: {} elements selected", ans.selected);
     println!("mutual information:   {:.4} bits", ans.mutual_information);
     println!("conditional entropy:  {:.4} bits", ans.conditional_entropy);
@@ -418,5 +423,38 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             ma.value, ma.bound, mb.value, mb.bound
         );
     }
+    Ok(())
+}
+
+/// `ibis query --store DIR --batch FILE`: run a JSON batch of
+/// subset/correlation queries against a finished run directory through the
+/// cached engine, emitting the JSON answers (stdout, or `--json-out PATH`).
+/// A malformed batch or an unopenable store fails the command; individual
+/// bad queries come back inline as `{"error": ...}` without voiding the
+/// rest of the batch.
+fn cmd_query_store(flags: &Flags) -> Result<(), String> {
+    let dir = flags.get("store").ok_or("--store DIR is required")?;
+    let batch = flags.get("batch").ok_or("--batch FILE is required")?;
+    let cache_mb = get_usize(flags, "cache-mb", 256)?;
+    let text = std::fs::read_to_string(batch).map_err(|e| format!("--batch {batch}: {e}"))?;
+    let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+    let engine = QueryEngine::new(CachedStore::new(store, (cache_mb as u64) << 20));
+    let answers = engine.run_batch_json(&text).map_err(|e| e.to_string())?;
+    match flags.get("json-out") {
+        Some(path) => {
+            std::fs::write(path, answers.as_bytes())
+                .map_err(|e| format!("--json-out {path}: {e}"))?;
+            eprintln!("wrote answers to {path}");
+        }
+        None => println!("{answers}"),
+    }
+    let st = engine.cache_stats();
+    eprintln!(
+        "cache: {} hits, {} misses, {} evictions, {:.2} MB resident",
+        st.hits,
+        st.misses,
+        st.evictions,
+        st.resident_bytes as f64 / 1e6
+    );
     Ok(())
 }
