@@ -33,8 +33,10 @@
 //!   bins: each high vector is the precomputed OR of its children, so wide
 //!   spans collapse to a handful of operands.
 //!
-//! The planner costs each strategy by the compressed words it would read
-//! and picks the cheapest; [`execute_range_plan`] runs any of them.
+//! The planner costs each strategy by the bytes it would read under each
+//! bin's at-rest codec plan ([`BitmapIndex::bin_cost_bytes`]) — a WAH bin
+//! costs its compressed words, a Roaring bin its container bytes — and
+//! picks the cheapest; [`execute_range_plan`] runs any of them.
 
 use crate::aggregate::{self, Estimate};
 use crate::entropy::{conditional_entropy_from_counts, mutual_information_from_counts};
@@ -241,20 +243,22 @@ pub enum RangePlan {
     },
 }
 
-/// Sum of compressed words across a set of bins — the planner's cost unit.
-fn words_of<I: IntoIterator<Item = usize>>(index: &BitmapIndex, bins: I) -> usize {
-    bins.into_iter()
-        .map(|b| index.bin(b).words().len())
-        .sum::<usize>()
+/// Estimated read cost of a set of bins, in bytes under each bin's
+/// at-rest codec ([`BitmapIndex::bin_cost_bytes`]) — the planner's cost
+/// unit. For an all-WAH index this is exactly `4 ×` the old
+/// compressed-word count, so relative strategy orderings are preserved.
+fn cost_of<I: IntoIterator<Item = usize>>(index: &BitmapIndex, bins: I) -> u64 {
+    bins.into_iter().map(|b| index.bin_cost_bytes(b)).sum()
 }
 
 /// Chooses the cheapest strategy for a `[lo, hi)` value query. NaN bounds
 /// are rejected; inverted and empty intervals plan to [`RangePlan::Empty`].
 ///
-/// Strategy costs are measured in compressed words read. The complement
-/// trick is only considered when the index partitions positions across
-/// bins (true for any index built from data), since `OR(outside).not() ==
-/// OR(inside)` needs every position set in exactly one bin.
+/// Strategy costs are measured in bytes read under each bin's at-rest
+/// codec. The complement trick is only considered when the index
+/// partitions positions across bins (true for any index built from
+/// data), since `OR(outside).not() == OR(inside)` needs every position
+/// set in exactly one bin.
 pub fn plan_value_range(
     index: &BitmapIndex,
     ml: Option<&MultiLevelIndex>,
@@ -268,14 +272,14 @@ pub fn plan_value_range(
         OBS_PLAN_EMPTY.inc();
         return Ok(RangePlan::Empty);
     };
-    let inside = words_of(index, b0..=b1);
+    let inside = cost_of(index, b0..=b1);
     let mut best_cost = inside;
     let mut best = RangePlan::OrBins { lo: b0, hi: b1 };
 
     // Complement: valid only when bins partition the positions.
     let partitions = index.counts().iter().sum::<u64>() == index.len();
     if partitions {
-        let outside = words_of(index, (0..b0).chain(b1 + 1..index.nbins()));
+        let outside = cost_of(index, (0..b0).chain(b1 + 1..index.nbins()));
         // The complement pass re-reads its OR result once; weight it 3/2.
         let cost = outside + outside / 2;
         if cost < best_cost {
@@ -287,19 +291,19 @@ pub fn plan_value_range(
     if let Some(ml) = ml {
         let mut high = Vec::new();
         let mut low_edges = Vec::new();
-        let mut cost = 0usize;
+        let mut cost = 0u64;
         for h in 0..ml.high().nbins() {
             let ch = ml.children(h);
             if ch.start > b1 || ch.end <= b0 {
                 continue; // group entirely outside the span
             }
             if ch.start >= b0 && ch.end <= b1 + 1 {
-                cost += ml.high().bin(h).words().len();
+                cost += ml.high().bin_cost_bytes(h);
                 high.push(h);
             } else {
                 for b in ch.clone() {
                     if (b0..=b1).contains(&b) {
-                        cost += index.bin(b).words().len();
+                        cost += index.bin_cost_bytes(b);
                         low_edges.push(b);
                     }
                 }

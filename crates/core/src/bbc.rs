@@ -139,8 +139,64 @@ impl BbcVec {
         out
     }
 
-    /// `popcount(self AND other)` via a byte-wise decode merge.
+    /// `popcount(self AND other)` via a header-level run merge: fill×fill
+    /// overlaps cost O(1) (a 0-fill on either side contributes nothing, a
+    /// 1-fill×1-fill overlap contributes `8·bytes`), 1-fill×literal
+    /// popcounts the literal slice, and only literal×literal overlaps pay
+    /// the byte-wise AND. On run-structured data this is the difference
+    /// between O(headers) and O(decoded bytes) — see `BENCH_codecs.json`
+    /// (`bbc_header_merge_over_bytewise_speedup`).
     pub fn and_count(&self, other: &BbcVec) -> u64 {
+        assert_eq!(self.len_bits, other.len_bits, "length mismatch");
+        let nbytes = self.len_bits.div_ceil(8);
+        let tail_mask: u8 = if self.len_bits.is_multiple_of(8) {
+            0xFF
+        } else {
+            (1u8 << (self.len_bits % 8)) - 1
+        };
+        let mut a = SegCursor::new(&self.bytes);
+        let mut b = SegCursor::new(&other.bytes);
+        let mut total = 0u64;
+        let mut byte_pos = 0u64;
+        while a.refill() && b.refill() {
+            let k = a.avail().min(b.avail());
+            // only the stream's final byte can be partial
+            let has_tail = byte_pos + k as u64 == nbytes && tail_mask != 0xFF;
+            total += match (a.fill, b.fill) {
+                (Some(false), _) | (_, Some(false)) => 0,
+                (Some(true), Some(true)) => {
+                    if has_tail {
+                        8 * (k as u64 - 1) + tail_mask.count_ones() as u64
+                    } else {
+                        8 * k as u64
+                    }
+                }
+                (Some(true), None) => popcount_masked(&b.lit[..k], has_tail, tail_mask),
+                (None, Some(true)) => popcount_masked(&a.lit[..k], has_tail, tail_mask),
+                (None, None) => {
+                    let mut ones = 0u64;
+                    for (i, (&x, &y)) in a.lit[..k].iter().zip(&b.lit[..k]).enumerate() {
+                        let m = if has_tail && i == k - 1 {
+                            tail_mask
+                        } else {
+                            0xFF
+                        };
+                        ones += (x & y & m).count_ones() as u64;
+                    }
+                    ones
+                }
+            };
+            a.advance(k);
+            b.advance(k);
+            byte_pos += k as u64;
+        }
+        total
+    }
+
+    /// The pre-merge byte-at-a-time `and_count`, kept callable as the A/B
+    /// baseline the codec shootout reports against (mirroring how
+    /// `legacy-kernels` anchors the WAH kernels).
+    pub fn and_count_bytewise(&self, other: &BbcVec) -> u64 {
         assert_eq!(self.len_bits, other.len_bits, "length mismatch");
         let mut total = 0u64;
         let mut bit = 0u64;
@@ -153,6 +209,132 @@ impl BbcVec {
             bit += width;
         }
         total
+    }
+
+    /// The encoded header+literal stream (the store's blob payload for
+    /// BBC-tagged bins).
+    pub fn encoded_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reassembles a vector from an encoded stream (inverse of
+    /// [`BbcVec::encoded_bytes`] plus the stored length), validating the
+    /// structure so a corrupt blob is an error, never a panic: every header
+    /// must be in bounds with a non-zero count, literal payloads must be
+    /// present, and the decoded byte total must match `len_bits`.
+    pub fn from_encoded(bytes: Vec<u8>, len_bits: u64) -> Result<BbcVec, String> {
+        let mut pos = 0usize;
+        let mut decoded = 0u64;
+        while pos < bytes.len() {
+            let h = bytes[pos];
+            pos += 1;
+            if h & FILL_FLAG != 0 {
+                let n = (h & FILL_MAX as u8) as u64;
+                if n == 0 {
+                    return Err(format!("bbc: zero-length fill header at {}", pos - 1));
+                }
+                decoded += 8 * n;
+            } else {
+                let n = h as usize;
+                if n == 0 {
+                    return Err(format!("bbc: zero-length literal header at {}", pos - 1));
+                }
+                if pos + n > bytes.len() {
+                    return Err(format!(
+                        "bbc: literal of {n} bytes at {} overruns stream of {}",
+                        pos - 1,
+                        bytes.len()
+                    ));
+                }
+                pos += n;
+                decoded += 8 * n as u64;
+            }
+        }
+        if decoded != len_bits.div_ceil(8) * 8 {
+            return Err(format!(
+                "bbc: stream decodes {decoded} bits, length {len_bits} needs {}",
+                len_bits.div_ceil(8) * 8
+            ));
+        }
+        Ok(BbcVec { bytes, len_bits })
+    }
+}
+
+/// Popcount of a byte slice, with the final byte masked when it is the
+/// stream's partial tail.
+fn popcount_masked(bytes: &[u8], has_tail: bool, tail_mask: u8) -> u64 {
+    let mut ones: u64 = bytes.iter().map(|&b| b.count_ones() as u64).sum();
+    if has_tail {
+        if let Some(&last) = bytes.last() {
+            ones -= (last & !tail_mask).count_ones() as u64;
+        }
+    }
+    ones
+}
+
+/// A cursor over the encoded stream at header granularity: the current
+/// segment is either a fill (`fill = Some(bit)`, `fill_left` bytes) or a
+/// literal (`lit` holds the remaining bytes), consumable in partial steps —
+/// what lets `and_count` merge run overlaps in O(1).
+struct SegCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    fill: Option<bool>,
+    fill_left: usize,
+    lit: &'a [u8],
+}
+
+impl<'a> SegCursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        SegCursor {
+            bytes,
+            pos: 0,
+            fill: None,
+            fill_left: 0,
+            lit: &[],
+        }
+    }
+
+    /// Bytes remaining in the current segment.
+    fn avail(&self) -> usize {
+        if self.fill.is_some() {
+            self.fill_left
+        } else {
+            self.lit.len()
+        }
+    }
+
+    /// Consumes `k` bytes of the current segment.
+    fn advance(&mut self, k: usize) {
+        if self.fill.is_some() {
+            self.fill_left -= k;
+            if self.fill_left == 0 {
+                self.fill = None;
+            }
+        } else {
+            self.lit = &self.lit[k..];
+        }
+    }
+
+    /// Ensures a current segment, decoding the next header if needed;
+    /// `false` at end of stream.
+    fn refill(&mut self) -> bool {
+        if self.fill.is_some() || !self.lit.is_empty() {
+            return true;
+        }
+        let Some(&h) = self.bytes.get(self.pos) else {
+            return false;
+        };
+        self.pos += 1;
+        if h & FILL_FLAG != 0 {
+            self.fill = Some(h & FILL_BIT != 0);
+            self.fill_left = (h & FILL_MAX as u8) as usize;
+        } else {
+            let n = h as usize;
+            self.lit = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+        }
+        true
     }
 }
 
@@ -253,6 +435,61 @@ mod tests {
         let wa = WahVec::from_bits(a_bits.iter().copied());
         let wb = WahVec::from_bits(b_bits.iter().copied());
         assert_eq!(ba.and_count(&bb), wa.and_count(&wb));
+    }
+
+    #[test]
+    fn header_merge_and_count_matches_bytewise() {
+        let ps = patterns();
+        for a_bits in &ps {
+            for b_bits in &ps {
+                if a_bits.len() != b_bits.len() {
+                    continue;
+                }
+                let a = BbcVec::from_bits(a_bits.iter().copied());
+                let b = BbcVec::from_bits(b_bits.iter().copied());
+                assert_eq!(
+                    a.and_count(&b),
+                    a.and_count_bytewise(&b),
+                    "len {}",
+                    a_bits.len()
+                );
+            }
+        }
+        // adversarial: misaligned fills, partial tails, long literals
+        for n in [1usize, 7, 8, 9, 63 * 8, 63 * 8 + 3, 4096, 100_003] {
+            let a_bits: Vec<bool> = (0..n).map(|i| (i / 200) % 5 == 0).collect();
+            let b_bits: Vec<bool> = (0..n).map(|i| (i * 13) % 17 < 6).collect();
+            let a = BbcVec::from_bits(a_bits.iter().copied());
+            let b = BbcVec::from_bits(b_bits.iter().copied());
+            let want = a_bits
+                .iter()
+                .zip(&b_bits)
+                .filter(|&(&x, &y)| x && y)
+                .count() as u64;
+            assert_eq!(a.and_count(&b), want, "len {n}");
+            assert_eq!(a.and_count_bytewise(&b), want, "len {n}");
+        }
+    }
+
+    #[test]
+    fn encoded_roundtrip_and_corruption_rejected() {
+        for bits in patterns() {
+            let v = BbcVec::from_bits(bits.iter().copied());
+            let back = BbcVec::from_encoded(v.encoded_bytes().to_vec(), v.len()).unwrap();
+            assert_eq!(back, v);
+        }
+        // truncated literal payload
+        let v = BbcVec::from_bits((0..100).map(|i| i % 3 == 0));
+        let mut bytes = v.encoded_bytes().to_vec();
+        bytes.pop();
+        assert!(BbcVec::from_encoded(bytes, v.len()).is_err());
+        // wrong length
+        assert!(BbcVec::from_encoded(v.encoded_bytes().to_vec(), v.len() + 8).is_err());
+        // zero-count headers
+        assert!(BbcVec::from_encoded(vec![FILL_FLAG], 0).is_err());
+        assert!(BbcVec::from_encoded(vec![0u8], 0).is_err());
+        // empty stream is the empty vector
+        assert!(BbcVec::from_encoded(Vec::new(), 0).is_ok());
     }
 
     #[test]

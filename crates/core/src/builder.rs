@@ -559,6 +559,18 @@ impl MultiWahBuilder {
     pub fn finish(mut self) -> Vec<WahVec> {
         self.finish_reset()
     }
+
+    /// [`MultiWahBuilder::finish_reset`], with each bin handed to its
+    /// auto-selected codec ([`crate::select_codec`]) on the way out. The
+    /// selection reads the stats the finalization already computes, so
+    /// batched ingestion pays nothing extra to decide; bins that stay WAH
+    /// are moved, not cloned.
+    pub fn finish_codecs_reset(&mut self) -> Vec<crate::codec::CodecVec> {
+        self.finish_reset()
+            .into_iter()
+            .map(crate::codec::CodecVec::from_wah_auto_owned)
+            .collect()
+    }
 }
 
 thread_local! {

@@ -1,0 +1,384 @@
+//! One roof over the three bitmap codecs — WAH ([`WahVec`]), BBC
+//! ([`BbcVec`]), and Roaring ([`RoaringVec`]) — plus the per-bin selection
+//! policy the index uses to pick between them.
+//!
+//! The [`Codec`] trait is **sealed**: the codec set is part of the on-disk
+//! blob format (each codec owns a stable wire tag via [`CodecId`]), so new
+//! codecs are an explicit format revision, not an extension point.
+//! [`CodecVec`] is the dynamic side of the same roof — a tagged union the
+//! index, store, and query layers pass around when the codec is a runtime
+//! (per-bin) decision, with cross-codec set operations that dispatch to
+//! native kernels when both operands share a codec and convert through WAH
+//! otherwise (see `ops.rs`).
+//!
+//! [`select_codec`] is the policy: a pure function of the [`WahStats`] the
+//! adaptive kernels already cache per bitvector, so batched ingestion pays
+//! nothing extra to decide. Coherent bins (long mean fill runs that WAH
+//! actually compresses) stay WAH; scattered sparse bins and dense noise —
+//! where WAH degenerates to one literal word per 31 bits — go to Roaring,
+//! whose array/bitset containers are exactly the forms those populations
+//! want. BBC is never auto-selected (strictly slower than WAH on every
+//! swept pattern, see `BENCH_codecs.json`); it stays available as an
+//! explicit choice and an A/B baseline.
+
+use crate::bbc::BbcVec;
+use crate::kernels::WahStats;
+use crate::roaring::RoaringVec;
+use crate::wah::WahVec;
+use ibis_obs::LazyCounter;
+
+// Selection tallies: how many bins the policy routed to each codec.
+// Const-folded to no-ops when ibis-obs is built without its `obs` feature.
+static OBS_SELECT_WAH: LazyCounter = LazyCounter::new("codec.select.wah");
+static OBS_SELECT_ROARING: LazyCounter = LazyCounter::new("codec.select.roaring");
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for crate::wah::WahVec {}
+    impl Sealed for crate::bbc::BbcVec {}
+    impl Sealed for crate::roaring::RoaringVec {}
+}
+
+/// Identity of a bitmap codec — the unit of per-bin selection and the
+/// stable wire tag written into store blob frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecId {
+    /// 31-bit word-aligned hybrid run-length code (the paper's codec).
+    Wah,
+    /// Byte-aligned bitmap code.
+    Bbc,
+    /// Roaring-style 64Ki containers (array / bitset / runs).
+    Roaring,
+}
+
+impl CodecId {
+    /// The stable on-disk tag (`IBB3` frame header, v2 index payload).
+    pub fn tag(self) -> u8 {
+        match self {
+            CodecId::Wah => 0,
+            CodecId::Bbc => 1,
+            CodecId::Roaring => 2,
+        }
+    }
+
+    /// Inverse of [`CodecId::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<CodecId> {
+        match tag {
+            0 => Some(CodecId::Wah),
+            1 => Some(CodecId::Bbc),
+            2 => Some(CodecId::Roaring),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (bench reports, fsck messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Wah => "wah",
+            CodecId::Bbc => "bbc",
+            CodecId::Roaring => "roaring",
+        }
+    }
+}
+
+/// The sealed common surface of the three codecs. WAH is the interchange
+/// form: every codec converts to and from it exactly (round-trip identity
+/// is property-tested in `prop_codecs.rs`), which is what makes cross-codec
+/// operations and the v2-compatible store format possible.
+pub trait Codec: sealed::Sealed {
+    /// This codec's identity.
+    const ID: CodecId;
+    /// Exact conversion from canonical WAH.
+    fn from_wah(v: &WahVec) -> Self;
+    /// Exact conversion to canonical WAH.
+    fn to_wah(&self) -> WahVec;
+    /// Number of bits.
+    fn len_bits(&self) -> u64;
+    /// Number of set bits.
+    fn ones(&self) -> u64;
+    /// At-rest size in bytes.
+    fn bytes(&self) -> usize;
+}
+
+impl Codec for WahVec {
+    const ID: CodecId = CodecId::Wah;
+    fn from_wah(v: &WahVec) -> Self {
+        v.clone()
+    }
+    fn to_wah(&self) -> WahVec {
+        self.clone()
+    }
+    fn len_bits(&self) -> u64 {
+        self.len()
+    }
+    fn ones(&self) -> u64 {
+        self.count_ones()
+    }
+    fn bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl Codec for BbcVec {
+    const ID: CodecId = CodecId::Bbc;
+    fn from_wah(v: &WahVec) -> Self {
+        BbcVec::from_bits(v.iter_bits())
+    }
+    fn to_wah(&self) -> WahVec {
+        WahVec::from_bits(self.to_bools())
+    }
+    fn len_bits(&self) -> u64 {
+        self.len()
+    }
+    fn ones(&self) -> u64 {
+        self.count_ones()
+    }
+    fn bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+impl Codec for RoaringVec {
+    const ID: CodecId = CodecId::Roaring;
+    fn from_wah(v: &WahVec) -> Self {
+        RoaringVec::from_wah(v)
+    }
+    fn to_wah(&self) -> WahVec {
+        self.to_wah()
+    }
+    fn len_bits(&self) -> u64 {
+        self.len()
+    }
+    fn ones(&self) -> u64 {
+        self.count_ones()
+    }
+    fn bytes(&self) -> usize {
+        self.size_bytes()
+    }
+}
+
+/// Mean fill-run length below which WAH stops compressing well enough to
+/// beat containers: a 64-bit mean run still gives WAH ~2× compression, but
+/// the adaptive kernels' literal path starts dominating op time.
+const WAH_MIN_MEAN_RUN: u64 = 64;
+/// Compression ratio (WAH payload bits / logical bits) above which the
+/// vector is literal-heavy and container forms win.
+const WAH_MAX_COMPRESSION: f64 = 0.5;
+
+/// Picks the codec for one bin from its cached [`WahStats`] — the per-bin
+/// auto-selection policy:
+///
+/// * empty / all-zero bins stay **WAH** (two words, nothing to win);
+/// * bins whose mean 1-run length is at least [`WAH_MIN_MEAN_RUN`] *and*
+///   whose WAH encoding compresses to at most [`WAH_MAX_COMPRESSION`] of
+///   the logical bits stay **WAH** — coherent data is WAH's home turf;
+/// * everything else — scattered sparse bins (low-occupancy outer bins →
+///   array containers) and dense noise (middle bins → bitset containers) —
+///   goes to **Roaring**.
+///
+/// BBC is never auto-selected; see the module docs.
+pub fn select_codec(stats: &WahStats, len_bits: u64) -> CodecId {
+    if len_bits == 0 || stats.ones == 0 {
+        OBS_SELECT_WAH.inc();
+        return CodecId::Wah;
+    }
+    let compression = stats.words as f64 * 31.0 / len_bits as f64;
+    if stats.mean_run_bits() >= WAH_MIN_MEAN_RUN && compression <= WAH_MAX_COMPRESSION {
+        OBS_SELECT_WAH.inc();
+        CodecId::Wah
+    } else {
+        OBS_SELECT_ROARING.inc();
+        CodecId::Roaring
+    }
+}
+
+/// A bitvector in whichever codec its bin selected — the runtime side of
+/// the sealed [`Codec`] roof. Set operations live in `ops.rs`.
+#[derive(Debug, Clone)]
+pub enum CodecVec {
+    /// WAH-coded.
+    Wah(WahVec),
+    /// BBC-coded.
+    Bbc(BbcVec),
+    /// Roaring-coded.
+    Roaring(RoaringVec),
+}
+
+impl CodecVec {
+    /// Converts a WAH vector into the codec [`select_codec`] picks from its
+    /// cached stats. The conversion is exact; all-WAH selections are free.
+    pub fn from_wah_auto(v: &WahVec) -> CodecVec {
+        match select_codec(v.stats(), v.len()) {
+            CodecId::Wah => CodecVec::Wah(v.clone()),
+            CodecId::Roaring => CodecVec::Roaring(RoaringVec::from_wah(v)),
+            // select_codec never picks BBC; explicit choices go through
+            // `with_codec`.
+            CodecId::Bbc => unreachable!("BBC is never auto-selected"),
+        }
+    }
+
+    /// Owned variant of [`CodecVec::from_wah_auto`]: all-WAH selections
+    /// move the vector instead of cloning (the batched-ingestion path,
+    /// [`crate::MultiWahBuilder::finish_codecs_reset`]).
+    pub fn from_wah_auto_owned(v: WahVec) -> CodecVec {
+        match select_codec(v.stats(), v.len()) {
+            CodecId::Wah => CodecVec::Wah(v),
+            _ => CodecVec::Roaring(RoaringVec::from_wah(&v)),
+        }
+    }
+
+    /// Converts a WAH vector into an explicitly chosen codec.
+    pub fn with_codec(v: &WahVec, id: CodecId) -> CodecVec {
+        match id {
+            CodecId::Wah => CodecVec::Wah(v.clone()),
+            CodecId::Bbc => CodecVec::Bbc(BbcVec::from_bits(v.iter_bits())),
+            CodecId::Roaring => CodecVec::Roaring(RoaringVec::from_wah(v)),
+        }
+    }
+
+    /// Which codec this vector is in.
+    pub fn id(&self) -> CodecId {
+        match self {
+            CodecVec::Wah(_) => CodecId::Wah,
+            CodecVec::Bbc(_) => CodecId::Bbc,
+            CodecVec::Roaring(_) => CodecId::Roaring,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        match self {
+            CodecVec::Wah(v) => v.len(),
+            CodecVec::Bbc(v) => v.len(),
+            CodecVec::Roaring(v) => v.len(),
+        }
+    }
+
+    /// `true` when the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        match self {
+            CodecVec::Wah(v) => v.count_ones(),
+            CodecVec::Bbc(v) => v.count_ones(),
+            CodecVec::Roaring(v) => v.count_ones(),
+        }
+    }
+
+    /// At-rest size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            CodecVec::Wah(v) => v.size_bytes(),
+            CodecVec::Bbc(v) => v.size_bytes(),
+            CodecVec::Roaring(v) => v.size_bytes(),
+        }
+    }
+
+    /// Exact conversion to canonical WAH (the interchange form).
+    pub fn to_wah(&self) -> WahVec {
+        match self {
+            CodecVec::Wah(v) => v.clone(),
+            CodecVec::Bbc(v) => WahVec::from_bits(v.to_bools()),
+            CodecVec::Roaring(v) => v.to_wah(),
+        }
+    }
+
+    /// Borrows the WAH payload when this vector is WAH-coded.
+    pub fn as_wah(&self) -> Option<&WahVec> {
+        match self {
+            CodecVec::Wah(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the Roaring payload when this vector is Roaring-coded.
+    pub fn as_roaring(&self) -> Option<&RoaringVec> {
+        match self {
+            CodecVec::Roaring(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wah_of(bits: impl IntoIterator<Item = bool>) -> WahVec {
+        WahVec::from_bits(bits)
+    }
+
+    #[test]
+    fn tags_roundtrip_and_unknown_rejected() {
+        for id in [CodecId::Wah, CodecId::Bbc, CodecId::Roaring] {
+            assert_eq!(CodecId::from_tag(id.tag()), Some(id));
+        }
+        assert_eq!(CodecId::from_tag(3), None);
+        assert_eq!(CodecId::from_tag(0xFF), None);
+    }
+
+    #[test]
+    fn selection_policy_on_canonical_patterns() {
+        let pick = |v: &WahVec| select_codec(v.stats(), v.len());
+        // empty / all-zero / all-one: WAH
+        assert_eq!(pick(&wah_of(std::iter::empty())), CodecId::Wah);
+        assert_eq!(pick(&wah_of((0..100_000).map(|_| false))), CodecId::Wah);
+        assert_eq!(pick(&wah_of((0..100_000).map(|_| true))), CodecId::Wah);
+        // coherent runs (the sparse_runs bench pattern): WAH
+        let runs = wah_of((0..1_000_000usize).map(|i| (i / 310) % 300 == 0));
+        assert_eq!(pick(&runs), CodecId::Wah);
+        // scattered sparse (sparse_random): Roaring arrays
+        let scattered = wah_of((0..1_000_000u32).map(|i| i.wrapping_mul(2_654_435_761) % 100 == 0));
+        assert_eq!(pick(&scattered), CodecId::Roaring);
+        // dense noise (dense30_random): Roaring bitsets
+        let dense = wah_of((0..1_000_000u32).map(|i| i.wrapping_mul(2_654_435_761) % 10 < 3));
+        assert_eq!(pick(&dense), CodecId::Roaring);
+    }
+
+    #[test]
+    fn from_wah_auto_is_exact() {
+        for bits in [
+            (0..200_000usize)
+                .map(|i| (i / 310) % 300 == 0)
+                .collect::<Vec<_>>(),
+            (0..200_000usize).map(|i| i % 101 == 0).collect(),
+            (0..200_000usize).map(|i| i % 3 == 0).collect(),
+            Vec::new(),
+        ] {
+            let w = wah_of(bits.iter().copied());
+            let cv = CodecVec::from_wah_auto(&w);
+            assert_eq!(cv.len(), w.len());
+            assert_eq!(cv.count_ones(), w.count_ones());
+            assert_eq!(cv.to_wah(), w);
+        }
+    }
+
+    #[test]
+    fn with_codec_roundtrips_every_codec() {
+        let bits: Vec<bool> = (0..70_000).map(|i| i % 7 < 2).collect();
+        let w = wah_of(bits.iter().copied());
+        for id in [CodecId::Wah, CodecId::Bbc, CodecId::Roaring] {
+            let cv = CodecVec::with_codec(&w, id);
+            assert_eq!(cv.id(), id);
+            assert_eq!(cv.to_wah(), w, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn sealed_trait_surface_agrees() {
+        fn probe<C: Codec>(v: &C, w: &WahVec) {
+            assert!(CodecId::from_tag(C::ID.tag()) == Some(C::ID));
+            assert_eq!(v.len_bits(), w.len());
+            assert_eq!(v.ones(), w.count_ones());
+            assert!(v.bytes() > 0);
+            assert_eq!(v.to_wah(), *w);
+        }
+        let w = wah_of((0..100_000).map(|i| i % 97 == 0));
+        probe(&WahVec::from_wah(&w), &w);
+        probe(&BbcVec::from_wah(&w), &w);
+        probe(&RoaringVec::from_wah(&w), &w);
+    }
+}

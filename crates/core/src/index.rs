@@ -9,6 +9,7 @@
 
 use crate::binning::Binner;
 use crate::builder::MultiWahBuilder;
+use crate::codec::{select_codec, CodecId, CodecVec};
 use crate::wah::WahVec;
 use std::fmt;
 
@@ -142,6 +143,49 @@ impl BitmapIndex {
     /// charges to memory and writes to storage instead of the raw data.
     pub fn size_bytes(&self) -> usize {
         self.bins.iter().map(WahVec::size_bytes).sum()
+    }
+
+    /// The codec [`select_codec`] picks for bin `b` from its cached
+    /// [`WahStats`](crate::WahStats) — low-occupancy outer bins become
+    /// Roaring arrays, dense middle bins Roaring bitsets, coherent bins
+    /// stay WAH. Free after the first call per bin (stats are cached).
+    pub fn bin_codec(&self, b: usize) -> CodecId {
+        select_codec(self.bins[b].stats(), self.len)
+    }
+
+    /// The full per-bin codec plan, in bin order — what the store writes
+    /// (per-blob codec tags) and the planner costs.
+    pub fn codec_plan(&self) -> Vec<CodecId> {
+        (0..self.bins.len()).map(|b| self.bin_codec(b)).collect()
+    }
+
+    /// Estimated at-rest cost in bytes of bin `b` under its selected codec
+    /// — the query planner's per-bin cost unit. WAH bins cost their word
+    /// payload; Roaring bins are estimated from the cached stats (container
+    /// overhead plus the cheapest of array / bitset / run forms) without
+    /// materializing the conversion.
+    pub fn bin_cost_bytes(&self, b: usize) -> u64 {
+        let v = &self.bins[b];
+        match self.bin_codec(b) {
+            CodecId::Wah => 4 * v.words().len() as u64,
+            CodecId::Roaring => {
+                let nchunks = self.len.div_ceil(crate::roaring::CONTAINER_BITS).max(1);
+                let s = v.stats();
+                // roughly half of a WAH run count are 1-runs, at 4 bytes
+                // per run container interval
+                let one_runs = (s.runs as u64).div_ceil(2);
+                8 * nchunks + (2 * s.ones).min(8192 * nchunks).min(4 * one_runs)
+            }
+            // never auto-selected; charge the byte-aligned analogue of WAH
+            CodecId::Bbc => 4 * v.words().len() as u64,
+        }
+    }
+
+    /// Converts every bin into its auto-selected codec (exact; all-WAH
+    /// plans just clone). This is what `CachedStore` serves and the store
+    /// persists under per-blob codec tags.
+    pub fn to_codec_bins(&self) -> Vec<CodecVec> {
+        self.bins.iter().map(CodecVec::from_wah_auto).collect()
     }
 
     /// The inclusive range of bins a `[lo, hi)` value query touches, or
@@ -337,6 +381,30 @@ mod tests {
             idx.size_bytes(),
             data.len() * 8
         );
+    }
+
+    #[test]
+    fn codec_plan_tracks_bin_population() {
+        // Smooth data: every bin is one long coherent run → all WAH.
+        let smooth: Vec<f64> = (0..200_000)
+            .map(|i| (i as f64 / 20_000.0).floor())
+            .collect();
+        let idx = BitmapIndex::build(&smooth, Binner::fixed_width(0.0, 10.0, 10));
+        assert!(idx.codec_plan().iter().all(|&c| c == CodecId::Wah));
+
+        // Scattered data: every bin is a sparse scatter → all Roaring.
+        let scattered: Vec<f64> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 10) as f64)
+            .collect();
+        let idx = BitmapIndex::build(&scattered, Binner::fixed_width(0.0, 10.0, 10));
+        assert!(idx.codec_plan().iter().all(|&c| c == CodecId::Roaring));
+
+        // The conversion is exact and the costs are per selected codec.
+        for (b, cv) in idx.to_codec_bins().into_iter().enumerate() {
+            assert_eq!(cv.id(), idx.bin_codec(b));
+            assert_eq!(cv.to_wah(), *idx.bin(b));
+            assert!(idx.bin_cost_bytes(b) > 0);
+        }
     }
 
     #[test]

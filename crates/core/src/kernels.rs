@@ -55,6 +55,17 @@ pub struct WahStats {
     pub density: f64,
 }
 
+impl WahStats {
+    /// Estimated mean 1-run length in bits: assuming 1-runs and 0-runs
+    /// alternate, half of [`WahStats::runs`] carry all the ones. This is
+    /// the coherence signal the per-bin codec selection
+    /// ([`crate::select_codec`]) keys on — long mean runs are WAH's home
+    /// turf, short ones mean scattered bits that containers handle better.
+    pub fn mean_run_bits(&self) -> u64 {
+        2 * self.ones / (self.runs.max(1) as u64)
+    }
+}
+
 /// Single-pass stats computation over raw compressed words.
 pub(crate) fn compute_stats(words: &[u32], len_bits: u64) -> WahStats {
     let mut ones = 0u64;

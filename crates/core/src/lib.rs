@@ -23,15 +23,20 @@
 //! * [`ZOrderLayout`] — Morton-order traversal so contiguous bit ranges are
 //!   compact spatial blocks (the miner's spatial units).
 //! * [`Bitset`] — uncompressed oracle/baseline.
+//! * [`RoaringVec`] and the sealed [`Codec`] roof — Roaring-style container
+//!   bitmaps plus per-bin codec auto-selection ([`select_codec`]), for the
+//!   scattered-bit patterns where WAH degenerates to literal words.
 
 pub mod bbc;
 mod binning;
 mod builder;
+pub mod codec;
 mod index;
 mod kernels;
 mod multilevel;
 mod ops;
 pub mod parallel;
+pub mod roaring;
 mod runs;
 mod verbatim;
 pub mod wah;
@@ -40,10 +45,12 @@ pub mod zorder;
 pub use bbc::BbcVec;
 pub use binning::{Binner, BinnerSpec};
 pub use builder::{MultiWahBuilder, WahBuilder};
+pub use codec::{select_codec, Codec, CodecId, CodecVec};
 pub use index::{BitmapIndex, RangeQueryError};
 pub use kernels::{DenseBits, PreparedOperand, WahStats};
 pub use multilevel::MultiLevelIndex;
 pub use parallel::{aligned_partition, build_index_parallel};
+pub use roaring::{ContainerForm, RoaringVec, ARRAY_MAX, CONTAINER_BITS};
 pub use verbatim::{build_index_two_phase, Bitset};
 pub use wah::{RawWahError, WahVec};
 pub use zorder::ZOrderLayout;

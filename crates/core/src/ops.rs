@@ -190,6 +190,80 @@ impl WahVec {
     }
 }
 
+/// Cross-codec set operations over the sealed codec roof: same-codec pairs
+/// run their native kernels (WAH's adaptive paths, Roaring's container-pair
+/// dispatch, BBC's byte merge for `and_count`); mixed pairs convert through
+/// the cheapest bridge — a WAH operand joins a Roaring operand by exact
+/// `from_wah` conversion (runs → ranges, literals → scattered bits, no bit
+/// expansion), while BBC bridges through WAH. The result codec is Roaring
+/// when either operand is Roaring, WAH otherwise, so op chains stay in the
+/// faster codec of their inputs.
+impl crate::codec::CodecVec {
+    /// Bitwise AND; both vectors must have the same length.
+    pub fn and(&self, other: &Self) -> Self {
+        self.binary_dispatch(other, WahVec::and, crate::RoaringVec::and)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &Self) -> Self {
+        self.binary_dispatch(other, WahVec::or, crate::RoaringVec::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.binary_dispatch(other, WahVec::xor, crate::RoaringVec::xor)
+    }
+
+    /// Bitwise AND-NOT (`self & !other`).
+    pub fn andnot(&self, other: &Self) -> Self {
+        self.binary_dispatch(other, WahVec::andnot, crate::RoaringVec::andnot)
+    }
+
+    /// `popcount(self AND other)` without materializing, on the native
+    /// counting kernel of whichever codec pair this is.
+    pub fn and_count(&self, other: &Self) -> u64 {
+        use crate::codec::CodecVec::*;
+        match (self, other) {
+            (Wah(a), Wah(b)) => a.and_count(b),
+            (Roaring(a), Roaring(b)) => a.and_count(b),
+            (Bbc(a), Bbc(b)) => a.and_count(b),
+            (Roaring(a), b) => a.and_count(&crate::RoaringVec::from_wah(&b.to_wah())),
+            (a, Roaring(b)) => crate::RoaringVec::from_wah(&a.to_wah()).and_count(b),
+            (a, b) => a.to_wah().and_count(&b.to_wah()),
+        }
+    }
+
+    /// `popcount(self XOR other)` without materializing. Same-codec WAH and
+    /// Roaring pairs run native; everything else uses the cardinality
+    /// identity `|a| + |b| - 2·|a∩b|` over [`CodecVec::and_count`].
+    ///
+    /// [`CodecVec::and_count`]: crate::codec::CodecVec::and_count
+    pub fn xor_count(&self, other: &Self) -> u64 {
+        use crate::codec::CodecVec::*;
+        match (self, other) {
+            (Wah(a), Wah(b)) => a.xor_count(b),
+            (Roaring(a), Roaring(b)) => a.xor_count(b),
+            (a, b) => a.count_ones() + b.count_ones() - 2 * a.and_count(b),
+        }
+    }
+
+    fn binary_dispatch(
+        &self,
+        other: &Self,
+        wah_op: impl Fn(&WahVec, &WahVec) -> WahVec,
+        roaring_op: impl Fn(&crate::RoaringVec, &crate::RoaringVec) -> crate::RoaringVec,
+    ) -> Self {
+        use crate::codec::CodecVec::*;
+        match (self, other) {
+            (Wah(a), Wah(b)) => Wah(wah_op(a, b)),
+            (Roaring(a), Roaring(b)) => Roaring(roaring_op(a, b)),
+            (Roaring(a), b) => Roaring(roaring_op(a, &crate::RoaringVec::from_wah(&b.to_wah()))),
+            (a, Roaring(b)) => Roaring(roaring_op(&crate::RoaringVec::from_wah(&a.to_wah()), b)),
+            (a, b) => Wah(wah_op(&a.to_wah(), &b.to_wah())),
+        }
+    }
+}
+
 /// Pre-adaptive closure-generic kernels, kept callable for A/B
 /// benchmarking against the monomorphized adaptive paths.
 #[cfg(feature = "legacy-kernels")]
@@ -395,6 +469,36 @@ mod tests {
             let b = WahVec::from_bits(b_bits.iter().copied());
             assert_eq!(a.and_count(&b), a.and(&b).count_ones());
             assert_eq!(a.xor_count(&b), a.xor(&b).count_ones());
+        }
+    }
+
+    #[test]
+    fn cross_codec_ops_agree_with_wah() {
+        use crate::codec::{CodecId, CodecVec};
+        let a_bits: Vec<bool> = (0..80_000).map(|i| (i * 7) % 13 < 4).collect();
+        let b_bits: Vec<bool> = (0..80_000).map(|i| i % 101 == 0 || i > 60_000).collect();
+        let wa = WahVec::from_bits(a_bits.iter().copied());
+        let wb = WahVec::from_bits(b_bits.iter().copied());
+        let ids = [CodecId::Wah, CodecId::Bbc, CodecId::Roaring];
+        for ia in ids {
+            for ib in ids {
+                let ca = CodecVec::with_codec(&wa, ia);
+                let cb = CodecVec::with_codec(&wb, ib);
+                let label = format!("{}×{}", ia.name(), ib.name());
+                assert_eq!(ca.and(&cb).to_wah(), wa.and(&wb), "and {label}");
+                assert_eq!(ca.or(&cb).to_wah(), wa.or(&wb), "or {label}");
+                assert_eq!(ca.xor(&cb).to_wah(), wa.xor(&wb), "xor {label}");
+                assert_eq!(ca.andnot(&cb).to_wah(), wa.andnot(&wb), "andnot {label}");
+                assert_eq!(ca.and_count(&cb), wa.and_count(&wb), "and_count {label}");
+                assert_eq!(ca.xor_count(&cb), wa.xor_count(&wb), "xor_count {label}");
+                // result codec rule: Roaring wins, else WAH
+                let want = if ia == CodecId::Roaring || ib == CodecId::Roaring {
+                    CodecId::Roaring
+                } else {
+                    CodecId::Wah
+                };
+                assert_eq!(ca.and(&cb).id(), want, "result codec {label}");
+            }
         }
     }
 

@@ -1,0 +1,1080 @@
+//! A Roaring-style container bitmap (Chambi et al., *Better bitmap
+//! performance with Roaring bitmaps*): the position space is cut into
+//! 64Ki-bit chunks and each chunk picks the container form that fits its
+//! population —
+//!
+//! * **Array** — a sorted `u16` list, for chunks with at most
+//!   [`ARRAY_MAX`] set bits (2 bytes per set bit);
+//! * **Bits** — a packed 1024×`u64` bitset, for dense chunks (8 KiB flat);
+//! * **Runs** — sorted `(start, end)` inclusive intervals, for coherent
+//!   chunks where a few runs cover everything (4 bytes per run).
+//!
+//! Containers upgrade and downgrade **in place on mutation**: inserting the
+//! 4097th element of an array converts it to a bitset, deleting down to
+//! [`ARRAY_MAX`] converts back, and mutating a run container re-forms it by
+//! cardinality first. Set operations dispatch per container pair on the
+//! natural kernels — array×array galloping intersection, array×bitset
+//! probes, bitset×bitset `u64` loops — which is what makes this codec win
+//! on the scattered-bit patterns where WAH degenerates to literal words
+//! (see `BENCH_codecs.json`).
+
+use crate::runs::{Run, RunIter};
+use crate::wah::WahVec;
+use crate::WahBuilder;
+use std::cell::RefCell;
+
+/// Bits covered by one container.
+pub const CONTAINER_BITS: u64 = 1 << 16;
+/// Words in a bitset container.
+const BITS_WORDS: usize = (CONTAINER_BITS / 64) as usize;
+/// Maximum cardinality of an array container; one past this upgrades to a
+/// bitset (the classic Roaring 4096 threshold: above it the 8 KiB bitset is
+/// smaller than the `u16` list).
+pub const ARRAY_MAX: usize = 4096;
+
+/// The storage form a container currently uses (introspection for tests,
+/// size accounting, and the shootout bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerForm {
+    /// Sorted `u16` list.
+    Array,
+    /// Packed 1024×`u64` bitset.
+    Bits,
+    /// Sorted inclusive `(start, end)` intervals.
+    Runs,
+}
+
+#[derive(Debug, Clone)]
+enum Container {
+    Array(Vec<u16>),
+    Bits {
+        words: Box<[u64; BITS_WORDS]>,
+        ones: u32,
+    },
+    Runs(Vec<(u16, u16)>),
+}
+
+impl Container {
+    fn empty() -> Container {
+        Container::Array(Vec::new())
+    }
+
+    fn ones(&self) -> u64 {
+        match self {
+            Container::Array(a) => a.len() as u64,
+            Container::Bits { ones, .. } => *ones as u64,
+            Container::Runs(rs) => rs.iter().map(|&(s, e)| (e - s) as u64 + 1).sum(),
+        }
+    }
+
+    fn form(&self) -> ContainerForm {
+        match self {
+            Container::Array(_) => ContainerForm::Array,
+            Container::Bits { .. } => ContainerForm::Bits,
+            Container::Runs(_) => ContainerForm::Runs,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(a) => a.len() * 2,
+            Container::Bits { .. } => BITS_WORDS * 8,
+            Container::Runs(rs) => rs.len() * 4,
+        }
+    }
+
+    fn get(&self, lo: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&lo).is_ok(),
+            Container::Bits { words, .. } => words[lo as usize >> 6] >> (lo & 63) & 1 != 0,
+            Container::Runs(rs) => match rs.binary_search_by(|&(s, _)| s.cmp(&lo)) {
+                Ok(_) => true,
+                Err(i) => i > 0 && rs[i - 1].1 >= lo,
+            },
+        }
+    }
+
+    /// Visits the container's set bits as maximal inclusive runs, in order.
+    fn for_each_run(&self, mut f: impl FnMut(u16, u16)) {
+        match self {
+            Container::Array(a) => {
+                let mut i = 0;
+                while i < a.len() {
+                    let start = a[i];
+                    let mut end = start;
+                    while i + 1 < a.len() && a[i + 1] == end + 1 {
+                        i += 1;
+                        end = a[i];
+                    }
+                    f(start, end);
+                    i += 1;
+                }
+            }
+            Container::Bits { words, .. } => for_each_bits_run(words.as_ref(), &mut f),
+            Container::Runs(rs) => {
+                for &(s, e) in rs {
+                    f(s, e);
+                }
+            }
+        }
+    }
+
+    /// Expands into a packed scratch bitset (scratch is fully overwritten).
+    fn write_bits(&self, out: &mut [u64; BITS_WORDS]) {
+        match self {
+            Container::Bits { words, .. } => out.copy_from_slice(words.as_ref()),
+            _ => {
+                out.fill(0);
+                self.for_each_run(|s, e| set_bits_range(out, s, e));
+            }
+        }
+    }
+}
+
+/// Sets inclusive bit range `[s, e]` in a packed word buffer.
+fn set_bits_range(words: &mut [u64; BITS_WORDS], s: u16, e: u16) {
+    let (s, e) = (s as usize, e as usize);
+    let (ws, we) = (s >> 6, e >> 6);
+    let head = !0u64 << (s & 63);
+    let tail = !0u64 >> (63 - (e & 63));
+    if ws == we {
+        words[ws] |= head & tail;
+    } else {
+        words[ws] |= head;
+        for w in &mut words[ws + 1..we] {
+            *w = !0;
+        }
+        words[we] |= tail;
+    }
+}
+
+/// Visits the maximal 1-runs of a packed word buffer.
+fn for_each_bits_run(words: &[u64], f: &mut impl FnMut(u16, u16)) {
+    let mut open: Option<u32> = None;
+    for (wi, &w) in words.iter().enumerate() {
+        let base = (wi * 64) as u32;
+        let mut bit = 0u32;
+        while bit < 64 {
+            match open {
+                None => {
+                    let ones = w >> bit;
+                    if ones == 0 {
+                        break;
+                    }
+                    bit += ones.trailing_zeros();
+                    open = Some(base + bit);
+                }
+                Some(start) => {
+                    let zeros = (!w) >> bit;
+                    if zeros == 0 {
+                        break; // run continues into the next word
+                    }
+                    bit += zeros.trailing_zeros();
+                    f(start as u16, (base + bit - 1) as u16);
+                    open = None;
+                }
+            }
+        }
+    }
+    if let Some(start) = open {
+        f(start as u16, (words.len() * 64 - 1) as u16);
+    }
+}
+
+/// Counts maximal 1-runs in a packed word buffer (with cross-word carry).
+fn count_bits_runs(words: &[u64]) -> usize {
+    let mut runs = 0usize;
+    let mut carry = 0u64; // MSB of the previous word
+    for &w in words {
+        // a run starts at every 1 whose predecessor bit is 0
+        runs += (w & !((w << 1) | carry)).count_ones() as usize;
+        carry = w >> 63;
+    }
+    runs
+}
+
+/// Chooses the canonical container form for a populated scratch bitset and
+/// extracts it. `ones` must be the scratch's popcount.
+fn normalize(words: &[u64; BITS_WORDS], ones: u64) -> Container {
+    if ones == 0 {
+        return Container::empty();
+    }
+    let nruns = count_bits_runs(words.as_ref());
+    let run_bytes = nruns * 4;
+    let array_bytes = ones as usize * 2;
+    let bits_bytes = BITS_WORDS * 8;
+    if run_bytes < array_bytes && run_bytes < bits_bytes {
+        let mut rs = Vec::with_capacity(nruns);
+        for_each_bits_run(words.as_ref(), &mut |s, e| rs.push((s, e)));
+        Container::Runs(rs)
+    } else if ones as usize <= ARRAY_MAX {
+        let mut a = Vec::with_capacity(ones as usize);
+        for (wi, &w) in words.iter().enumerate() {
+            let mut word = w;
+            while word != 0 {
+                let b = word.trailing_zeros();
+                a.push((wi * 64) as u16 + b as u16);
+                word &= word - 1;
+            }
+        }
+        Container::Array(a)
+    } else {
+        Container::Bits {
+            words: Box::new(*words),
+            ones: ones as u32,
+        }
+    }
+}
+
+/// One heap-allocated bitset-sized word buffer (the scratch unit).
+type ScratchWords = Box<[u64; BITS_WORDS]>;
+
+thread_local! {
+    /// Reusable scratch for the generic container-op fallback, so op
+    /// fan-outs do not allocate 8 KiB buffers per container pair. Each use
+    /// fully overwrites the buffer ([`Container::write_bits`] zero-fills
+    /// first), so a dirty scratch left by a previous op never leaks into a
+    /// result — property-tested in `prop_codecs.rs`.
+    static OP_SCRATCH: RefCell<(ScratchWords, ScratchWords)> =
+        RefCell::new((Box::new([0; BITS_WORDS]), Box::new([0; BITS_WORDS])));
+}
+
+/// A Roaring-style compressed bitvector over a dense position domain
+/// (positions `0..len`, one container per 64Ki chunk).
+///
+/// ```
+/// use ibis_core::RoaringVec;
+///
+/// let mut v = RoaringVec::from_bits((0..100_000u64).map(|i| i % 97 == 0));
+/// assert_eq!(v.count_ones(), 1031);
+/// v.set(1, true);
+/// assert!(v.get(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoaringVec {
+    containers: Vec<Container>,
+    len_bits: u64,
+}
+
+impl RoaringVec {
+    /// The empty vector of a given length (all zeros).
+    pub fn zeros(len_bits: u64) -> Self {
+        let nchunks = len_bits.div_ceil(CONTAINER_BITS) as usize;
+        RoaringVec {
+            containers: (0..nchunks).map(|_| Container::empty()).collect(),
+            len_bits,
+        }
+    }
+
+    /// Builds from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut b = RoaringAppender::new();
+        for bit in bits {
+            b.append_run(bit, 1);
+        }
+        b.finish()
+    }
+
+    /// Converts from WAH in O(compressed runs): fills become range
+    /// insertions, literals scatter their (at most 31) bits.
+    pub fn from_wah(v: &WahVec) -> Self {
+        let mut b = RoaringAppender::new();
+        for run in RunIter::new(v.words(), v.len()) {
+            match run {
+                Run::Fill(bit, n) => b.append_run(bit, n),
+                Run::Literal(payload, w) => b.append_literal(payload, w),
+            }
+        }
+        b.finish()
+    }
+
+    /// Converts to canonical WAH in O(set-bit runs).
+    pub fn to_wah(&self) -> WahVec {
+        let mut out = WahBuilder::new();
+        let mut pos = 0u64;
+        for (ci, c) in self.containers.iter().enumerate() {
+            let base = ci as u64 * CONTAINER_BITS;
+            c.for_each_run(|s, e| {
+                let start = base + s as u64;
+                out.append_run(false, start - pos);
+                out.append_run(true, (e - s) as u64 + 1);
+                pos = base + e as u64 + 1;
+            });
+        }
+        out.append_run(false, self.len_bits - pos);
+        out.finish()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// `true` when the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.containers.iter().map(Container::ones).sum()
+    }
+
+    /// Heap + inline size in bytes (the at-rest cost the per-bin codec
+    /// selection compares against WAH words).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<RoaringVec>()
+            + self
+                .containers
+                .iter()
+                .map(|c| c.heap_bytes() + std::mem::size_of::<Container>())
+                .sum::<usize>()
+    }
+
+    /// The form of each container, in chunk order (tests/bench
+    /// introspection).
+    pub fn container_forms(&self) -> Vec<ContainerForm> {
+        self.containers.iter().map(Container::form).collect()
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// If `i >= len`.
+    pub fn get(&self, i: u64) -> bool {
+        assert!(i < self.len_bits, "bit {i} out of range {}", self.len_bits);
+        self.containers[(i / CONTAINER_BITS) as usize].get((i % CONTAINER_BITS) as u16)
+    }
+
+    /// Writes bit `i`, upgrading or downgrading the touched container in
+    /// place: an array past [`ARRAY_MAX`] becomes a bitset, a bitset at
+    /// [`ARRAY_MAX`] becomes an array, and a run container re-forms by
+    /// cardinality before the edit.
+    ///
+    /// # Panics
+    /// If `i >= len`.
+    pub fn set(&mut self, i: u64, value: bool) {
+        assert!(i < self.len_bits, "bit {i} out of range {}", self.len_bits);
+        let c = &mut self.containers[(i / CONTAINER_BITS) as usize];
+        let lo = (i % CONTAINER_BITS) as u16;
+        if let Container::Runs(_) = c {
+            if c.get(lo) == value {
+                return;
+            }
+            // Mutating a run container: re-form by cardinality, then edit.
+            let ones = c.ones();
+            let mut words = Box::new([0u64; BITS_WORDS]);
+            c.write_bits(&mut words);
+            *c = if ones as usize <= ARRAY_MAX {
+                normalize_as_array(&words, ones)
+            } else {
+                Container::Bits {
+                    words,
+                    ones: ones as u32,
+                }
+            };
+        }
+        match c {
+            Container::Array(a) => match (a.binary_search(&lo), value) {
+                (Ok(_), true) | (Err(_), false) => {}
+                (Err(at), true) => {
+                    a.insert(at, lo);
+                    if a.len() > ARRAY_MAX {
+                        // upgrade: the 4097th element tips to a bitset
+                        let mut words = Box::new([0u64; BITS_WORDS]);
+                        let ones = a.len() as u32;
+                        for &v in a.iter() {
+                            words[v as usize >> 6] |= 1u64 << (v & 63);
+                        }
+                        *c = Container::Bits { words, ones };
+                    }
+                }
+                (Ok(at), false) => {
+                    a.remove(at);
+                }
+            },
+            Container::Bits { words, ones } => {
+                let (w, m) = (lo as usize >> 6, 1u64 << (lo & 63));
+                match (words[w] & m != 0, value) {
+                    (false, true) => {
+                        words[w] |= m;
+                        *ones += 1;
+                    }
+                    (true, false) => {
+                        words[w] &= !m;
+                        *ones -= 1;
+                        if *ones as usize <= ARRAY_MAX {
+                            // downgrade: back under the array threshold
+                            *c = normalize_as_array(words, *ones as u64);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Container::Runs(_) => unreachable!("run containers re-form before mutation"),
+        }
+    }
+
+    /// `popcount(self AND other)` without materializing — container-pair
+    /// dispatch on the fast kernels (gallop / probe / word loop).
+    pub fn and_count(&self, other: &RoaringVec) -> u64 {
+        assert_eq!(self.len_bits, other.len_bits, "length mismatch");
+        self.containers
+            .iter()
+            .zip(&other.containers)
+            .map(|(a, b)| and_count_pair(a, b))
+            .sum()
+    }
+
+    /// `popcount(self XOR other)` via the cardinality identity
+    /// `|a| + |b| - 2·|a∩b|` (one intersection pass, no materialization).
+    pub fn xor_count(&self, other: &RoaringVec) -> u64 {
+        self.count_ones() + other.count_ones() - 2 * self.and_count(other)
+    }
+
+    /// Serializes to the store blob payload format: `len_bits u64 LE`,
+    /// then one record per container — form tag `u8`, element count
+    /// `u32 LE`, payload (`u16` values, raw `u64` words, or `(u16, u16)`
+    /// inclusive intervals, all LE).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.size_bytes());
+        out.extend_from_slice(&self.len_bits.to_le_bytes());
+        for c in &self.containers {
+            match c {
+                Container::Array(a) => {
+                    out.push(0);
+                    out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                    for &v in a {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Container::Bits { words, ones } => {
+                    out.push(1);
+                    out.extend_from_slice(&ones.to_le_bytes());
+                    for &w in words.iter() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Container::Runs(rs) => {
+                    out.push(2);
+                    out.extend_from_slice(&(rs.len() as u32).to_le_bytes());
+                    for &(s, e) in rs {
+                        out.extend_from_slice(&s.to_le_bytes());
+                        out.extend_from_slice(&e.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`RoaringVec::serialize`], total on arbitrary bytes: a
+    /// corrupt blob is an error, never a panic. Validates form tags,
+    /// container count against the stored length, array sortedness, run
+    /// ordering/overlap, and the cached bitset popcount.
+    pub fn deserialize(bytes: &[u8]) -> Result<RoaringVec, String> {
+        let mut r = bytes;
+        let take = |r: &mut &[u8], n: usize, what: &str| -> Result<Vec<u8>, String> {
+            if r.len() < n {
+                return Err(format!(
+                    "roaring: truncated {what}: need {n}, have {}",
+                    r.len()
+                ));
+            }
+            let (head, rest) = r.split_at(n);
+            *r = rest;
+            Ok(head.to_vec())
+        };
+        let len_bits = u64::from_le_bytes(
+            take(&mut r, 8, "length")?
+                .try_into()
+                .map_err(|_| "roaring: bad length".to_string())?,
+        );
+        let nchunks = len_bits.div_ceil(CONTAINER_BITS) as usize;
+        let mut containers = Vec::with_capacity(nchunks);
+        for ci in 0..nchunks {
+            let tag = take(&mut r, 1, "container tag")?[0];
+            let count_bytes: [u8; 4] = take(&mut r, 4, "container count")?
+                .try_into()
+                .map_err(|_| "roaring: bad count".to_string())?;
+            let count = u32::from_le_bytes(count_bytes) as usize;
+            let limit = if ci + 1 == nchunks && !len_bits.is_multiple_of(CONTAINER_BITS) {
+                len_bits % CONTAINER_BITS
+            } else {
+                CONTAINER_BITS
+            };
+            containers.push(match tag {
+                0 => {
+                    let raw = take(&mut r, count * 2, "array payload")?;
+                    let a: Vec<u16> = raw
+                        .chunks_exact(2)
+                        .map(|p| u16::from_le_bytes([p[0], p[1]]))
+                        .collect();
+                    if !a.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(format!("roaring: container {ci} array not sorted"));
+                    }
+                    if let Some(&last) = a.last() {
+                        if last as u64 >= limit {
+                            return Err(format!("roaring: container {ci} value past length"));
+                        }
+                    }
+                    Container::Array(a)
+                }
+                1 => {
+                    let raw = take(&mut r, BITS_WORDS * 8, "bitset payload")?;
+                    let mut words = Box::new([0u64; BITS_WORDS]);
+                    for (w, p) in words.iter_mut().zip(raw.chunks_exact(8)) {
+                        *w = u64::from_le_bytes(p.try_into().expect("chunks_exact(8)"));
+                    }
+                    let ones: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+                    if ones != count as u64 {
+                        return Err(format!(
+                            "roaring: container {ci} popcount {ones} != stored {count}"
+                        ));
+                    }
+                    let high = words
+                        .iter()
+                        .rposition(|&w| w != 0)
+                        .map(|wi| wi as u64 * 64 + 63 - words[wi].leading_zeros() as u64);
+                    if high.is_some_and(|h| h >= limit) {
+                        return Err(format!("roaring: container {ci} bit past length"));
+                    }
+                    Container::Bits {
+                        words,
+                        ones: count as u32,
+                    }
+                }
+                2 => {
+                    let raw = take(&mut r, count * 4, "runs payload")?;
+                    let rs: Vec<(u16, u16)> = raw
+                        .chunks_exact(4)
+                        .map(|p| {
+                            (
+                                u16::from_le_bytes([p[0], p[1]]),
+                                u16::from_le_bytes([p[2], p[3]]),
+                            )
+                        })
+                        .collect();
+                    for (i, &(s, e)) in rs.iter().enumerate() {
+                        if s > e {
+                            return Err(format!("roaring: container {ci} inverted run"));
+                        }
+                        if i > 0 && rs[i - 1].1 >= s {
+                            return Err(format!("roaring: container {ci} unordered runs"));
+                        }
+                    }
+                    if let Some(&(_, e)) = rs.last() {
+                        if e as u64 >= limit {
+                            return Err(format!("roaring: container {ci} run past length"));
+                        }
+                    }
+                    Container::Runs(rs)
+                }
+                t => return Err(format!("roaring: container {ci} unknown form tag {t}")),
+            });
+        }
+        if !r.is_empty() {
+            return Err(format!("roaring: {} trailing bytes", r.len()));
+        }
+        Ok(RoaringVec {
+            containers,
+            len_bits,
+        })
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, other: &RoaringVec) -> RoaringVec {
+        self.binary(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &RoaringVec) -> RoaringVec {
+        self.binary(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &RoaringVec) -> RoaringVec {
+        self.binary(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise AND-NOT (`self & !other`).
+    pub fn andnot(&self, other: &RoaringVec) -> RoaringVec {
+        self.binary(other, |a, b| a & !b)
+    }
+
+    /// Generic container-wise binary op. Array×array AND and intersections
+    /// short-circuit on the sorted lists; everything else runs the packed
+    /// scratch kernel (two expands + one `u64` loop per container), with
+    /// the result re-normalized to its canonical form. The final partial
+    /// container is masked so bits past `len` never materialize.
+    fn binary(&self, other: &RoaringVec, f: impl Fn(u64, u64) -> u64) -> RoaringVec {
+        assert_eq!(self.len_bits, other.len_bits, "length mismatch");
+        let containers = OP_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (sa, sb) = &mut *scratch;
+            self.containers
+                .iter()
+                .zip(&other.containers)
+                .enumerate()
+                .map(|(ci, (a, b))| {
+                    a.write_bits(sa);
+                    b.write_bits(sb);
+                    let mut ones = 0u64;
+                    for (x, y) in sa.iter_mut().zip(sb.iter()) {
+                        *x = f(*x, *y);
+                        ones += x.count_ones() as u64;
+                    }
+                    let tail = self.len_bits - ci as u64 * CONTAINER_BITS;
+                    if tail < CONTAINER_BITS {
+                        // mask the partial final chunk
+                        let last = (tail / 64) as usize;
+                        if !tail.is_multiple_of(64) {
+                            let keep = !0u64 >> (64 - tail % 64);
+                            ones -= (sa[last] & !keep).count_ones() as u64;
+                            sa[last] &= keep;
+                        }
+                        for w in &mut sa[last + usize::from(!tail.is_multiple_of(64))..] {
+                            ones -= w.count_ones() as u64;
+                            *w = 0;
+                        }
+                    }
+                    normalize(sa, ones)
+                })
+                .collect()
+        });
+        RoaringVec {
+            containers,
+            len_bits: self.len_bits,
+        }
+    }
+}
+
+/// Array extraction without the form heuristics (used by downgrades, which
+/// must land on Array by contract).
+fn normalize_as_array(words: &[u64; BITS_WORDS], ones: u64) -> Container {
+    debug_assert!(ones as usize <= ARRAY_MAX);
+    let mut a = Vec::with_capacity(ones as usize);
+    for (wi, &w) in words.iter().enumerate() {
+        let mut word = w;
+        while word != 0 {
+            let b = word.trailing_zeros();
+            a.push((wi * 64) as u16 + b as u16);
+            word &= word - 1;
+        }
+    }
+    Container::Array(a)
+}
+
+/// Intersection cardinality of one container pair — the per-pair kernel
+/// dispatch named in the paper: gallop, probe, or word loop.
+fn and_count_pair(a: &Container, b: &Container) -> u64 {
+    use Container::*;
+    match (a, b) {
+        (Array(x), Array(y)) => gallop_intersect_count(x, y),
+        (Array(x), Bits { words, .. }) | (Bits { words, .. }, Array(x)) => {
+            x.iter()
+                .filter(|&&v| words[v as usize >> 6] >> (v & 63) & 1 != 0)
+                .count() as u64
+        }
+        (Bits { words: wa, .. }, Bits { words: wb, .. }) => wa
+            .iter()
+            .zip(wb.iter())
+            .map(|(x, y)| (x & y).count_ones() as u64)
+            .sum(),
+        (Runs(rs), Runs(qs)) => {
+            // two-pointer overlap walk
+            let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+            while i < rs.len() && j < qs.len() {
+                let (s1, e1) = rs[i];
+                let (s2, e2) = qs[j];
+                let lo = s1.max(s2);
+                let hi = e1.min(e2);
+                if lo <= hi {
+                    total += (hi - lo) as u64 + 1;
+                }
+                if e1 <= e2 {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            total
+        }
+        (Runs(rs), Array(x)) | (Array(x), Runs(rs)) => {
+            // per run, count array members inside it via partition points
+            rs.iter()
+                .map(|&(s, e)| {
+                    (x.partition_point(|&v| v <= e) - x.partition_point(|&v| v < s)) as u64
+                })
+                .sum()
+        }
+        (Runs(rs), Bits { words, .. }) | (Bits { words, .. }, Runs(rs)) => rs
+            .iter()
+            .map(|&(s, e)| count_range(words.as_ref(), s, e))
+            .sum(),
+    }
+}
+
+/// Popcount of inclusive bit range `[s, e]` in a packed word buffer.
+fn count_range(words: &[u64], s: u16, e: u16) -> u64 {
+    let (s, e) = (s as usize, e as usize);
+    let (ws, we) = (s >> 6, e >> 6);
+    let head = !0u64 << (s & 63);
+    let tail = !0u64 >> (63 - (e & 63));
+    if ws == we {
+        return (words[ws] & head & tail).count_ones() as u64;
+    }
+    let mut total = (words[ws] & head).count_ones() as u64 + (words[we] & tail).count_ones() as u64;
+    for &w in &words[ws + 1..we] {
+        total += w.count_ones() as u64;
+    }
+    total
+}
+
+/// Sorted-list intersection count. When the lists are badly mismatched the
+/// short side gallops (exponential probe + binary search) through the long
+/// side; near-equal sizes run the linear merge.
+fn gallop_intersect_count(a: &[u16], b: &[u16]) -> u64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    if long.len() / short.len() >= 16 {
+        // gallop: for each short element, exponential probe from a
+        // monotone frontier, then binary search the probed window
+        let mut total = 0u64;
+        let mut base = 0usize;
+        for &v in short {
+            let mut step = 1usize;
+            while base + step < long.len() && long[base + step] < v {
+                step *= 2;
+            }
+            let hi = (base + step + 1).min(long.len());
+            match long[base..hi].binary_search(&v) {
+                Ok(i) => {
+                    total += 1;
+                    base += i + 1;
+                }
+                Err(i) => base += i,
+            }
+            if base >= long.len() {
+                break;
+            }
+        }
+        total
+    } else {
+        let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+        while i < short.len() && j < long.len() {
+            match short[i].cmp(&long[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    total += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Streaming builder used by the conversions: consumes monotone runs and
+/// finalizes each 64Ki chunk into its canonical container form as the
+/// stream crosses it.
+struct RoaringAppender {
+    containers: Vec<Container>,
+    scratch: Box<[u64; BITS_WORDS]>,
+    scratch_ones: u64,
+    /// Chunk the scratch currently covers.
+    chunk: usize,
+    /// Absolute bit position of the next append.
+    pos: u64,
+}
+
+impl RoaringAppender {
+    fn new() -> Self {
+        RoaringAppender {
+            containers: Vec::new(),
+            scratch: Box::new([0; BITS_WORDS]),
+            scratch_ones: 0,
+            chunk: 0,
+            pos: 0,
+        }
+    }
+
+    /// Finalizes the scratch chunk and fast-forwards (via empty containers)
+    /// to `chunk`.
+    fn advance_to(&mut self, chunk: usize) {
+        debug_assert!(chunk > self.chunk);
+        self.containers
+            .push(normalize(&self.scratch, self.scratch_ones));
+        self.scratch.fill(0);
+        self.scratch_ones = 0;
+        while self.containers.len() < chunk {
+            self.containers.push(Container::empty());
+        }
+        self.chunk = chunk;
+    }
+
+    fn append_run(&mut self, bit: bool, mut n: u64) {
+        if !bit {
+            self.pos += n;
+            return;
+        }
+        while n > 0 {
+            let chunk = (self.pos / CONTAINER_BITS) as usize;
+            if chunk != self.chunk {
+                self.advance_to(chunk);
+            }
+            let lo = self.pos % CONTAINER_BITS;
+            let take = n.min(CONTAINER_BITS - lo);
+            set_bits_range(&mut self.scratch, lo as u16, (lo + take - 1) as u16);
+            self.scratch_ones += take;
+            self.pos += take;
+            n -= take;
+        }
+    }
+
+    fn append_literal(&mut self, payload: u32, width: u8) {
+        if payload == 0 {
+            self.pos += width as u64;
+            return;
+        }
+        let chunk = (self.pos / CONTAINER_BITS) as usize;
+        if chunk != self.chunk {
+            self.advance_to(chunk);
+        }
+        let lo = self.pos % CONTAINER_BITS;
+        if lo + width as u64 <= CONTAINER_BITS {
+            // common case: the segment fits the current chunk
+            let w = (lo / 64) as usize;
+            let sh = lo % 64;
+            let bits = payload as u64;
+            self.scratch[w] |= bits << sh;
+            if sh + width as u64 > 64 && w + 1 < BITS_WORDS {
+                self.scratch[w + 1] |= bits >> (64 - sh);
+            }
+            self.scratch_ones += payload.count_ones() as u64;
+            self.pos += width as u64;
+        } else {
+            // segment straddles a chunk boundary: split bit-wise
+            for j in 0..width {
+                let bit = payload & (1 << j) != 0;
+                self.append_run(bit, 1);
+            }
+        }
+    }
+
+    fn finish(mut self) -> RoaringVec {
+        let len_bits = self.pos;
+        let nchunks = len_bits.div_ceil(CONTAINER_BITS) as usize;
+        self.containers
+            .push(normalize(&self.scratch, self.scratch_ones));
+        while self.containers.len() < nchunks {
+            self.containers.push(Container::empty());
+        }
+        self.containers.truncate(nchunks);
+        RoaringVec {
+            containers: self.containers,
+            len_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<Vec<bool>> {
+        vec![
+            vec![],
+            vec![true],
+            vec![false; 70_000],
+            vec![true; 70_000],
+            (0..200_000).map(|i| i % 97 == 0).collect(),
+            (0..100_000).map(|i| (i / 40) % 2 == 0).collect(),
+            (0..65_536).map(|i| (i * 31) % 7 < 3).collect(),
+            (0..65_537).map(|i| i >= 65_535).collect(),
+        ]
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        for bits in patterns() {
+            let v = RoaringVec::from_bits(bits.iter().copied());
+            assert_eq!(v.len(), bits.len() as u64);
+            assert_eq!(
+                v.count_ones(),
+                bits.iter().filter(|&&b| b).count() as u64,
+                "len {}",
+                bits.len()
+            );
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!(v.get(i as u64), b, "bit {i} of len {}", bits.len());
+            }
+        }
+    }
+
+    #[test]
+    fn wah_conversion_roundtrip_is_exact() {
+        for bits in patterns() {
+            let w = WahVec::from_bits(bits.iter().copied());
+            let r = RoaringVec::from_wah(&w);
+            let back = r.to_wah();
+            assert_eq!(back, w, "len {}", bits.len());
+            back.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn forms_match_population() {
+        // sparse scatter → array; dense noise → bits; coherent → runs
+        let sparse = RoaringVec::from_bits((0..65_536u32).map(|i| i % 1000 == 0));
+        assert_eq!(sparse.container_forms(), vec![ContainerForm::Array]);
+        let dense =
+            RoaringVec::from_bits((0..65_536u32).map(|i| i.wrapping_mul(2_654_435_761) % 7 < 3));
+        assert_eq!(dense.container_forms(), vec![ContainerForm::Bits]);
+        let runs = RoaringVec::from_bits((0..65_536u32).map(|i| i < 30_000));
+        assert_eq!(runs.container_forms(), vec![ContainerForm::Runs]);
+    }
+
+    #[test]
+    fn array_bitset_threshold_updown() {
+        let mut v = RoaringVec::zeros(CONTAINER_BITS);
+        for i in 0..ARRAY_MAX as u64 {
+            v.set(i * 2, true);
+        }
+        assert_eq!(v.container_forms(), vec![ContainerForm::Array]);
+        v.set(60_001, true); // 4097th: upgrade
+        assert_eq!(v.container_forms(), vec![ContainerForm::Bits]);
+        v.set(60_001, false); // back to 4096: downgrade
+        assert_eq!(v.container_forms(), vec![ContainerForm::Array]);
+        assert_eq!(v.count_ones(), ARRAY_MAX as u64);
+    }
+
+    #[test]
+    fn run_container_mutation_reforms() {
+        let mut v = RoaringVec::from_bits((0..65_536u32).map(|i| i < 30_000));
+        assert_eq!(v.container_forms(), vec![ContainerForm::Runs]);
+        v.set(40_000, true);
+        assert!(v.get(40_000));
+        assert!(v.get(29_999));
+        assert_eq!(v.count_ones(), 30_001);
+        assert_eq!(v.container_forms(), vec![ContainerForm::Bits]);
+        // setting an already-set bit in a Runs container is a no-op
+        let mut w = RoaringVec::from_bits((0..65_536u32).map(|i| i < 30_000));
+        w.set(5, true);
+        assert_eq!(w.container_forms(), vec![ContainerForm::Runs]);
+    }
+
+    #[test]
+    fn ops_match_naive() {
+        let a_bits: Vec<bool> = (0..150_000).map(|i| (i * 7) % 11 < 4).collect();
+        let b_bits: Vec<bool> = (0..150_000).map(|i| i % 2 == 0 || i > 100_000).collect();
+        let a = RoaringVec::from_bits(a_bits.iter().copied());
+        let b = RoaringVec::from_bits(b_bits.iter().copied());
+        let naive = |f: fn(bool, bool) -> bool| -> Vec<bool> {
+            a_bits.iter().zip(&b_bits).map(|(&x, &y)| f(x, y)).collect()
+        };
+        let check = |got: &RoaringVec, want: Vec<bool>, label: &str| {
+            assert_eq!(got.len(), want.len() as u64);
+            for (i, &w) in want.iter().enumerate() {
+                assert_eq!(got.get(i as u64), w, "{label} bit {i}");
+            }
+        };
+        check(&a.and(&b), naive(|x, y| x & y), "and");
+        check(&a.or(&b), naive(|x, y| x | y), "or");
+        check(&a.xor(&b), naive(|x, y| x ^ y), "xor");
+        check(&a.andnot(&b), naive(|x, y| x & !y), "andnot");
+        let and_ones = naive(|x, y| x & y).iter().filter(|&&v| v).count() as u64;
+        let xor_ones = naive(|x, y| x ^ y).iter().filter(|&&v| v).count() as u64;
+        assert_eq!(a.and_count(&b), and_ones);
+        assert_eq!(a.xor_count(&b), xor_ones);
+    }
+
+    #[test]
+    fn and_count_covers_all_container_pairs() {
+        // one vector per form, all same length, every pairing checked
+        let n = 65_536u32;
+        let sparse: Vec<bool> = (0..n).map(|i| i % 911 == 0).collect();
+        let dense: Vec<bool> = (0..n)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 5 < 2)
+            .collect();
+        let runs: Vec<bool> = (0..n).map(|i| (i / 310) % 3 == 0).collect();
+        let all = [sparse, dense, runs];
+        for x in &all {
+            for y in &all {
+                let rx = RoaringVec::from_bits(x.iter().copied());
+                let ry = RoaringVec::from_bits(y.iter().copied());
+                let want = x.iter().zip(y).filter(|&(&a, &b)| a && b).count() as u64;
+                assert_eq!(rx.and_count(&ry), want);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_tail_chunk_is_masked() {
+        let len = CONTAINER_BITS + 100;
+        let a = RoaringVec::from_bits((0..len).map(|_| true));
+        let b = RoaringVec::from_bits((0..len).map(|i| i % 2 == 0));
+        let o = a.or(&b);
+        assert_eq!(o.count_ones(), len);
+        let x = a.andnot(&b);
+        assert_eq!(x.count_ones(), len - len.div_ceil(2));
+        assert_eq!(a.to_wah().len(), len);
+    }
+
+    #[test]
+    fn serialize_roundtrip_all_forms() {
+        for bits in patterns() {
+            let v = RoaringVec::from_bits(bits.iter().copied());
+            let blob = v.serialize();
+            let back = RoaringVec::deserialize(&blob).unwrap();
+            assert_eq!(back.len(), v.len());
+            assert_eq!(back.count_ones(), v.count_ones());
+            assert_eq!(back.container_forms(), v.container_forms());
+            assert_eq!(back.to_wah(), v.to_wah(), "len {}", bits.len());
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let v = RoaringVec::from_bits((0..200_000).map(|i| i % 97 == 0));
+        let blob = v.serialize();
+        // truncation anywhere must error, not panic
+        for cut in [0, 4, 8, 9, 12, blob.len() - 1] {
+            assert!(RoaringVec::deserialize(&blob[..cut]).is_err(), "cut {cut}");
+        }
+        // trailing garbage
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(RoaringVec::deserialize(&long).is_err());
+        // unknown form tag
+        let mut bad = blob.clone();
+        bad[8] = 7;
+        assert!(RoaringVec::deserialize(&bad).is_err());
+        // unsorted array
+        let s = RoaringVec::from_bits((0..100u32).map(|i| i % 9 == 0));
+        let mut blob = s.serialize();
+        // array payload starts at 8 (len) + 1 (tag) + 4 (count); swap two values
+        let (a, b) = (13, 15);
+        blob.swap(a, b);
+        blob.swap(a + 1, b + 1);
+        assert!(RoaringVec::deserialize(&blob).is_err());
+        // bit set past the stored length
+        let t = RoaringVec::from_bits((0..100).map(|_| true));
+        let mut blob = t.serialize();
+        let n = blob.len();
+        // Runs form: last interval end pushed past limit
+        blob[n - 1] = 0xFF;
+        blob[n - 2] = 0xFF;
+        assert!(RoaringVec::deserialize(&blob).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = RoaringVec::zeros(10).and_count(&RoaringVec::zeros(11));
+    }
+}

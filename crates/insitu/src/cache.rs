@@ -281,6 +281,43 @@ mod tests {
     }
 
     #[test]
+    fn serves_tagged_and_untagged_blobs_alike() {
+        // Scattered data stores under the tagged IBB3 frame (per-bin
+        // Roaring/mixed plans), smooth data under the legacy IBB2 frame —
+        // the cache's decode path must serve both transparently.
+        let dir = std::env::temp_dir().join("ibis-cache-codecs");
+        std::fs::remove_dir_all(&dir).ok();
+        let scattered = sample_index(0);
+        let smooth = {
+            let data: Vec<f64> = (0..20_000).map(|i| (i / 500) as f64).collect();
+            BitmapIndex::build(&data, Binner::distinct_ints(0, 39))
+        };
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &scattered).unwrap();
+        w.put(1, "temperature", &smooth).unwrap();
+        w.finish().unwrap();
+        let blob0 = std::fs::read(dir.join("s000000_temperature.ibis")).unwrap();
+        let blob1 = std::fs::read(dir.join("s000001_temperature.ibis")).unwrap();
+        assert_eq!(&blob0[..4], b"IBB3", "scattered bins must store tagged");
+        assert_eq!(&blob1[..4], b"IBB2", "smooth bins must stay untagged");
+
+        let cache = CachedStore::new(Store::open(&dir).unwrap(), 64 << 20);
+        assert_eq!(
+            cache.get("temperature", 0).unwrap().low().counts(),
+            scattered.counts()
+        );
+        assert_eq!(
+            cache.get("temperature", 1).unwrap().low().counts(),
+            smooth.counts()
+        );
+        assert!(Arc::ptr_eq(
+            &cache.get("temperature", 0).unwrap(),
+            &cache.get("temperature", 0).unwrap()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn missing_entry_surfaces_not_found() {
         let (dir, store) = store_with("miss", &[0], &["temperature"]);
         let cache = CachedStore::new(store, 1 << 20);

@@ -76,6 +76,14 @@ pub enum DecodeError {
         /// Bins the blob carries.
         got: usize,
     },
+    /// A non-WAH codec payload (BBC stream, Roaring containers) is
+    /// malformed, or a bin carries an unknown codec tag.
+    BadCodec {
+        /// Bin the payload belongs to.
+        bin: usize,
+        /// What the codec's validator found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -94,6 +102,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BinCountMismatch { expected, got } => {
                 write!(f, "bin count {got} != binner's {expected}")
+            }
+            DecodeError::BadCodec { bin, detail } => {
+                write!(f, "bin {bin}: malformed codec payload: {detail}")
             }
         }
     }

@@ -228,10 +228,20 @@ pub(crate) fn write_atomic(tmp: &Path, path: &Path, bytes: &[u8]) -> std::io::Re
 /// adversarial property tests feed it arbitrary mutations of valid blobs).
 pub mod codec {
     use super::DecodeError;
-    use ibis_core::{Binner, BinnerSpec, BitmapIndex, WahVec};
+    use ibis_core::{BbcVec, Binner, BinnerSpec, BitmapIndex, Codec, CodecId, RoaringVec, WahVec};
+    use ibis_obs::LazyCounter;
 
     const INDEX_MAGIC: &[u8; 4] = b"IBIS";
     const INDEX_VERSION: u32 = 1;
+    /// Version 2 carries one codec tag per bin ahead of each blob; version
+    /// 1 (untagged) remains fully readable and means all-WAH.
+    const INDEX_VERSION_TAGGED: u32 = 2;
+
+    // Per-bin payload traffic through the index codec, by bitmap codec —
+    // no-ops when ibis-obs is built without its `obs` feature.
+    static OBS_ENCODE_BINS: LazyCounter = LazyCounter::new("codec.encode.bins");
+    static OBS_DECODE_BINS: LazyCounter = LazyCounter::new("codec.decode.bins");
+    static OBS_DECODE_NONWAH: LazyCounter = LazyCounter::new("codec.decode.nonwah_bins");
 
     /// Encodes a complete index — binner, element count, every bitvector —
     /// into one blob. The binner round-trips exactly, so analyses on a
@@ -258,6 +268,7 @@ pub mod codec {
         out.extend_from_slice(&index.len().to_le_bytes());
         out.extend_from_slice(&(index.nbins() as u64).to_le_bytes());
         for bin in index.bins() {
+            OBS_ENCODE_BINS.inc();
             let blob = encode(bin);
             out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
             out.extend_from_slice(&blob);
@@ -265,18 +276,85 @@ pub mod codec {
         out
     }
 
+    /// Encodes an index under its per-bin codec plan
+    /// ([`BitmapIndex::codec_plan`]), returning the blob and the plan. An
+    /// all-WAH plan emits the untagged version-1 layout **byte-identically**
+    /// — coherent data costs nothing and stays readable by version-1
+    /// readers. Any non-WAH bin switches the payload to version 2, where
+    /// each bin carries a codec tag (`u8`, [`CodecId::tag`]) ahead of its
+    /// length-prefixed blob: WAH bins keep the [`encode`] layout, BBC bins
+    /// store `len u64 LE` + header stream, Roaring bins store
+    /// [`RoaringVec::serialize`].
+    pub fn encode_index_auto(index: &BitmapIndex) -> (Vec<u8>, Vec<CodecId>) {
+        let plan = index.codec_plan();
+        if plan.iter().all(|&c| c == CodecId::Wah) {
+            return (encode_index(index), plan);
+        }
+        let mut out = Vec::with_capacity(index.size_bytes() + 64);
+        out.extend_from_slice(INDEX_MAGIC);
+        out.extend_from_slice(&INDEX_VERSION_TAGGED.to_le_bytes());
+        match index.binner().spec() {
+            BinnerSpec::Width { min, width, nbins } => {
+                out.push(0u8);
+                out.extend_from_slice(&min.to_le_bytes());
+                out.extend_from_slice(&width.to_le_bytes());
+                out.extend_from_slice(&(nbins as u64).to_le_bytes());
+            }
+            BinnerSpec::Edges(edges) => {
+                out.push(1u8);
+                out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+                for e in edges {
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&index.len().to_le_bytes());
+        out.extend_from_slice(&(index.nbins() as u64).to_le_bytes());
+        for (bin, &codec) in index.bins().iter().zip(&plan) {
+            OBS_ENCODE_BINS.inc();
+            let blob = match codec {
+                CodecId::Wah => encode(bin),
+                CodecId::Bbc => {
+                    let b = BbcVec::from_wah(bin);
+                    let mut blob = Vec::with_capacity(8 + b.encoded_bytes().len());
+                    blob.extend_from_slice(&b.len().to_le_bytes());
+                    blob.extend_from_slice(b.encoded_bytes());
+                    blob
+                }
+                CodecId::Roaring => RoaringVec::from_wah(bin).serialize(),
+            };
+            out.push(codec.tag());
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        (out, plan)
+    }
+
     /// Decodes an index blob, reporting exactly how a malformed blob fails
     /// (bad magic / version / truncation / bad binner / malformed
-    /// bitvectors / trailing bytes).
+    /// bitvectors / trailing bytes). Accepts both the untagged version-1
+    /// layout (all bins WAH) and the tagged version-2 layout.
     pub fn decode_index(bytes: &[u8]) -> Result<BitmapIndex, DecodeError> {
+        decode_index_with_tags(bytes).map(|(index, _)| index)
+    }
+
+    /// [`decode_index`], also returning the codec tag each bin was stored
+    /// under (version-1 blobs report all-WAH). Non-WAH bins are converted
+    /// back to canonical WAH in memory — the conversions are exact
+    /// inverses, so a reloaded index is bit-identical regardless of the
+    /// at-rest codec. `fsck` uses the tags to cross-check the frame header.
+    pub fn decode_index_with_tags(
+        bytes: &[u8],
+    ) -> Result<(BitmapIndex, Vec<CodecId>), DecodeError> {
         let mut r = Reader { bytes, pos: 0 };
         if r.take(4)? != INDEX_MAGIC.as_slice() {
             return Err(DecodeError::BadMagic);
         }
         let version = r.u32()?;
-        if version != INDEX_VERSION {
+        if version != INDEX_VERSION && version != INDEX_VERSION_TAGGED {
             return Err(DecodeError::BadVersion(version));
         }
+        let tagged = version == INDEX_VERSION_TAGGED;
         let spec = match r.u8()? {
             0 => BinnerSpec::Width {
                 min: r.f64()?,
@@ -316,10 +394,43 @@ pub mod codec {
             });
         }
         let mut bins = Vec::with_capacity(nbins);
-        for _ in 0..nbins {
+        let mut tags = Vec::with_capacity(nbins);
+        for b in 0..nbins {
+            let codec = if tagged {
+                let tag = r.u8()?;
+                CodecId::from_tag(tag).ok_or_else(|| DecodeError::BadCodec {
+                    bin: b,
+                    detail: format!("unknown codec tag {tag}"),
+                })?
+            } else {
+                CodecId::Wah
+            };
             let blen = r.u64()? as usize;
             let blob = r.take(blen)?;
-            let v = decode(blob)?;
+            OBS_DECODE_BINS.inc();
+            let v = match codec {
+                CodecId::Wah => decode(blob)?,
+                CodecId::Bbc => {
+                    OBS_DECODE_NONWAH.inc();
+                    if blob.len() < 8 {
+                        return Err(DecodeError::Truncated { at: r.pos });
+                    }
+                    let blen_bits = u64::from_le_bytes(
+                        blob[..8]
+                            .try_into()
+                            .map_err(|_| DecodeError::Truncated { at: r.pos })?,
+                    );
+                    BbcVec::from_encoded(blob[8..].to_vec(), blen_bits)
+                        .map_err(|detail| DecodeError::BadCodec { bin: b, detail })?
+                        .to_wah()
+                }
+                CodecId::Roaring => {
+                    OBS_DECODE_NONWAH.inc();
+                    RoaringVec::deserialize(blob)
+                        .map_err(|detail| DecodeError::BadCodec { bin: b, detail })?
+                        .to_wah()
+                }
+            };
             if v.len() != len {
                 return Err(DecodeError::LengthMismatch {
                     expected: len,
@@ -327,13 +438,14 @@ pub mod codec {
                 });
             }
             bins.push(v);
+            tags.push(codec);
         }
         if r.pos != bytes.len() {
             return Err(DecodeError::TrailingBytes {
                 extra: bytes.len() - r.pos,
             });
         }
-        Ok(BitmapIndex::from_bins(binner, bins))
+        Ok((BitmapIndex::from_bins(binner, bins), tags))
     }
 
     struct Reader<'a> {

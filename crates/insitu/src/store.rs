@@ -6,18 +6,27 @@
 //! Because this store *replaces* the raw data, format v2 treats silent
 //! corruption and partial writes as first-class failure modes:
 //!
-//! * every blob is framed `IBB2 | payload len (u64 LE) | payload |
-//!   CRC32-C (u32 LE)` and written via temp-file + rename, so a crashed
-//!   writer never leaves a half-written blob under its final name;
+//! * every blob is framed and written via temp-file + rename, so a
+//!   crashed writer never leaves a half-written blob under its final
+//!   name. All-WAH indices keep the v2 frame `IBB2 | payload len (u64
+//!   LE) | payload | CRC32-C (u32 LE)` byte-identically; indices whose
+//!   codec plan includes a non-WAH bin use the tagged v3 frame `IBB3 |
+//!   codec tag (u8) | payload len (u64 LE) | payload | CRC32-C (u32
+//!   LE)`, where the tag is the uniform per-bin [`CodecId::tag`] or
+//!   `0xFF` for a mixed plan;
 //! * a `JOURNAL` records each durable blob as it lands (each line carries
 //!   its own CRC, so a torn journal tail is detected and ignored) — an
 //!   interrupted run can [`StoreWriter::resume`] and re-put idempotently;
 //! * the `MANIFEST` carries a format header, per-entry length + CRC, and
 //!   a whole-file CRC footer, all written atomically; [`Store::open`]
 //!   refuses a manifest whose footer does not check out;
-//! * [`Store::fsck`] verifies every blob end-to-end and quarantines the
-//!   corrupt ones (renamed to `*.quarantined`), so [`Store::load_series`]
-//!   afterwards returns exactly the uncorrupted steps.
+//! * [`Store::fsck`] verifies every blob end-to-end — framing, CRC,
+//!   decode, and that an `IBB3` frame's codec tag matches the codecs
+//!   actually present in the payload (the tag sits outside the payload
+//!   CRC, so only this cross-check catches a tampered tag byte) — and
+//!   quarantines the corrupt ones (renamed to `*.quarantined`), so
+//!   [`Store::load_series`] afterwards returns exactly the uncorrupted
+//!   steps.
 //!
 //! Layout:
 //!
@@ -37,19 +46,25 @@ use crate::crc::crc32c;
 use crate::error::{IbisError, Result};
 use crate::fault::{FaultInjector, WriteFault};
 use crate::io::{codec, write_atomic};
-use ibis_core::BitmapIndex;
+use ibis_core::{BitmapIndex, CodecId};
 use ibis_obs::LazyCounter;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Magic prefix of a framed v2 blob.
+/// Magic prefix of an untagged (all-WAH) framed blob.
 const BLOB_MAGIC: &[u8; 4] = b"IBB2";
+/// Magic prefix of a codec-tagged framed blob.
+const BLOB_MAGIC_TAGGED: &[u8; 4] = b"IBB3";
+/// Frame codec tag meaning "bins use more than one codec".
+const MIXED_TAG: u8 = 0xFF;
 /// First line of a v2 manifest.
 const MANIFEST_HEADER: &str = "#IBIS-STORE v2";
-/// Framing overhead: magic + u64 length + u32 CRC.
+/// Untagged framing overhead: magic + u64 length + u32 CRC.
 const FRAME_OVERHEAD: usize = 4 + 8 + 4;
+/// Tagged framing overhead: magic + codec tag + u64 length + u32 CRC.
+const FRAME_OVERHEAD_TAGGED: usize = 4 + 1 + 8 + 4;
 
 /// What the store knows about one blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +85,21 @@ static OBS_CRC_FAILED: LazyCounter = LazyCounter::new("store.crc.failed");
 static OBS_FSCK_RUNS: LazyCounter = LazyCounter::new("store.fsck.runs");
 static OBS_FSCK_QUARANTINED: LazyCounter = LazyCounter::new("store.fsck.quarantined");
 static OBS_MANIFEST_WRITES: LazyCounter = LazyCounter::new("store.manifest.writes");
+static OBS_PUT_TAGGED: LazyCounter = LazyCounter::new("store.put.tagged_blobs");
+static OBS_FSCK_TAG_MISMATCH: LazyCounter = LazyCounter::new("store.fsck.tag_mismatch");
 
-/// Wraps an encoded index payload in the v2 frame.
+/// What a blob's frame declares about its payload's codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameTag {
+    /// Legacy raw v1 blob — no frame (and no integrity metadata) at all.
+    Raw,
+    /// `IBB2` frame: implicitly an untagged, all-WAH payload.
+    Untagged,
+    /// `IBB3` frame: uniform per-bin codec tag, or [`MIXED_TAG`].
+    Tagged(u8),
+}
+
+/// Wraps an encoded index payload in the untagged (all-WAH) frame.
 fn frame_blob(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
     out.extend_from_slice(BLOB_MAGIC);
@@ -81,18 +109,44 @@ fn frame_blob(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Validates a framed blob and returns its payload, or a description of
-/// what is wrong with it.
-fn unframe_blob(bytes: &[u8]) -> std::result::Result<&[u8], String> {
-    if bytes.len() < 4 || &bytes[..4] != BLOB_MAGIC {
-        return Err("missing IBB2 framing magic".into());
+/// Wraps an encoded index payload in the codec-tagged frame.
+fn frame_blob_tagged(payload: &[u8], tag: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD_TAGGED);
+    out.extend_from_slice(BLOB_MAGIC_TAGGED);
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out
+}
+
+/// The frame tag summarizing a per-bin codec plan.
+fn plan_frame_tag(plan: &[CodecId]) -> u8 {
+    match plan.first() {
+        Some(&first) if plan.iter().all(|&c| c == first) => first.tag(),
+        _ => MIXED_TAG,
     }
-    if bytes.len() < FRAME_OVERHEAD {
+}
+
+/// Validates a framed blob and returns its payload plus what the frame
+/// header claims about its codecs, or a description of what is wrong.
+fn unframe_blob(bytes: &[u8]) -> std::result::Result<(&[u8], FrameTag), String> {
+    let (tag, header_len) = if bytes.starts_with(BLOB_MAGIC) {
+        (FrameTag::Untagged, 12usize)
+    } else if bytes.starts_with(BLOB_MAGIC_TAGGED) {
+        if bytes.len() < FRAME_OVERHEAD_TAGGED {
+            return Err(format!("framed blob too short ({} bytes)", bytes.len()));
+        }
+        (FrameTag::Tagged(bytes[4]), 13usize)
+    } else {
+        return Err("missing IBB2/IBB3 framing magic".into());
+    };
+    if bytes.len() < header_len + 4 {
         return Err(format!("framed blob too short ({} bytes)", bytes.len()));
     }
-    let len = crate::crc::le_u64(&bytes[4..12]) as usize;
+    let len = crate::crc::le_u64(&bytes[header_len - 8..header_len]) as usize;
     let expected_total = len
-        .checked_add(FRAME_OVERHEAD)
+        .checked_add(header_len + 4)
         .ok_or_else(|| "declared payload length overflows".to_string())?;
     if bytes.len() != expected_total {
         return Err(format!(
@@ -101,8 +155,8 @@ fn unframe_blob(bytes: &[u8]) -> std::result::Result<&[u8], String> {
             expected_total
         ));
     }
-    let payload = &bytes[12..12 + len];
-    let stored = crate::crc::le_u32(&bytes[12 + len..]);
+    let payload = &bytes[header_len..header_len + len];
+    let stored = crate::crc::le_u32(&bytes[header_len + len..]);
     let actual = crc32c(payload);
     if stored != actual {
         OBS_CRC_FAILED.inc();
@@ -111,7 +165,40 @@ fn unframe_blob(bytes: &[u8]) -> std::result::Result<&[u8], String> {
         ));
     }
     OBS_CRC_VERIFIED.inc();
-    Ok(payload)
+    Ok((payload, tag))
+}
+
+/// `fsck`'s frame-tag cross-check: the frame header's codec claim must
+/// match the codecs actually present in the decoded payload. The tag
+/// byte sits outside the payload CRC, so this is the only check that
+/// catches a tampered or stale tag.
+fn check_frame_tag(tag: FrameTag, bins: &[CodecId]) -> std::result::Result<(), String> {
+    let uniform = match bins.first() {
+        Some(&first) if bins.iter().all(|&c| c == first) => Some(first),
+        _ => None,
+    };
+    match tag {
+        FrameTag::Raw => Ok(()), // legacy v1 blob: the frame claims nothing
+        FrameTag::Untagged => match uniform {
+            Some(CodecId::Wah) => Ok(()),
+            _ => Err("untagged IBB2 frame over a non-WAH payload".into()),
+        },
+        FrameTag::Tagged(MIXED_TAG) => {
+            if uniform.is_none() {
+                Ok(())
+            } else {
+                Err("frame tag claims mixed codecs but the payload is uniform".into())
+            }
+        }
+        FrameTag::Tagged(t) => match CodecId::from_tag(t) {
+            Some(c) if uniform == Some(c) => Ok(()),
+            Some(c) => Err(format!(
+                "frame tag {} does not match the payload's codecs",
+                c.name()
+            )),
+            None => Err(format!("unknown frame codec tag {t:#04x}")),
+        },
+    }
 }
 
 fn check_variable_name(variable: &str) -> Result<()> {
@@ -199,7 +286,7 @@ impl StoreWriter {
                     .and_then(|bytes| {
                         unframe_blob(&bytes)
                             .ok()
-                            .map(|payload| crc32c(payload) == meta.crc.unwrap_or(0))
+                            .map(|(payload, _)| crc32c(payload) == meta.crc.unwrap_or(0))
                     })
                     .unwrap_or(false);
                 if ok {
@@ -251,14 +338,23 @@ impl StoreWriter {
         self.entries.contains_key(&(step, variable.to_string()))
     }
 
-    /// Persists one step's index for one variable: framed, checksummed,
-    /// written atomically, then journaled. Re-putting an existing entry is
-    /// idempotent (same payload → same bytes, entry overwritten).
+    /// Persists one step's index for one variable: encoded under its
+    /// per-bin codec plan, framed, checksummed, written atomically, then
+    /// journaled. An all-WAH plan keeps the legacy untagged `IBB2` frame
+    /// byte-identically; any non-WAH bin switches to the tagged `IBB3`
+    /// frame carrying the plan's uniform codec tag (or [`MIXED_TAG`]).
+    /// Re-putting an existing entry is idempotent (same payload → same
+    /// bytes, entry overwritten).
     pub fn put(&mut self, step: usize, variable: &str, index: &BitmapIndex) -> Result<()> {
         check_variable_name(variable)?;
         let file = format!("s{step:06}_{variable}.ibis");
-        let payload = codec::encode_index(index);
-        let framed = frame_blob(&payload);
+        let (payload, plan) = codec::encode_index_auto(index);
+        let framed = if plan.iter().all(|&c| c == CodecId::Wah) {
+            frame_blob(&payload)
+        } else {
+            OBS_PUT_TAGGED.inc();
+            frame_blob_tagged(&payload, plan_frame_tag(&plan))
+        };
         let meta = EntryMeta {
             file: file.clone(),
             len: Some(framed.len() as u64),
@@ -457,7 +553,7 @@ impl Store {
                 step,
                 variable: variable.to_string(),
             })?;
-        let payload = self.verified_payload(meta)?;
+        let (payload, _) = self.verified_payload(meta)?;
         codec::decode_index(&payload).map_err(|source| IbisError::Decode {
             file: Some(meta.file.clone()),
             source,
@@ -465,8 +561,8 @@ impl Store {
     }
 
     /// Reads a blob and runs every applicable integrity check, returning
-    /// the (still encoded) payload.
-    fn verified_payload(&self, meta: &EntryMeta) -> Result<Vec<u8>> {
+    /// the (still encoded) payload and the frame's codec claim.
+    fn verified_payload(&self, meta: &EntryMeta) -> Result<(Vec<u8>, FrameTag)> {
         let bytes = std::fs::read(self.dir.join(&meta.file))
             .map_err(|e| IbisError::io(format!("read blob {}", meta.file), &e))?;
         if let Some(len) = meta.len {
@@ -477,8 +573,8 @@ impl Store {
                 });
             }
         }
-        if bytes.starts_with(BLOB_MAGIC) {
-            let payload = unframe_blob(&bytes).map_err(|detail| IbisError::Corrupt {
+        if bytes.starts_with(BLOB_MAGIC) || bytes.starts_with(BLOB_MAGIC_TAGGED) {
+            let (payload, tag) = unframe_blob(&bytes).map_err(|detail| IbisError::Corrupt {
                 file: meta.file.clone(),
                 detail,
             })?;
@@ -491,23 +587,23 @@ impl Store {
                     });
                 }
             }
-            Ok(payload.to_vec())
+            Ok((payload.to_vec(), tag))
         } else if meta.crc.is_some() {
             // a v2 entry must be framed; raw bytes mean the blob was
             // replaced or truncated past its magic
             Err(IbisError::Corrupt {
                 file: meta.file.clone(),
-                detail: "v2 entry lost its IBB2 framing".into(),
+                detail: "v2 entry lost its IBB2/IBB3 framing".into(),
             })
         } else {
-            Ok(bytes) // legacy v1 blob: payload is the whole file
+            Ok((bytes, FrameTag::Raw)) // legacy v1 blob: payload is the whole file
         }
     }
 
-    /// Verifies every blob end-to-end (framing, CRC, decode) and
-    /// quarantines the ones that fail: the file is renamed to
-    /// `<file>.quarantined` and the entry removed, so subsequent reads see
-    /// only intact data.
+    /// Verifies every blob end-to-end (framing, CRC, decode, frame codec
+    /// tag vs the codecs actually present in the payload) and quarantines
+    /// the ones that fail: the file is renamed to `<file>.quarantined`
+    /// and the entry removed, so subsequent reads see only intact data.
     pub fn fsck(&mut self) -> FsckReport {
         OBS_FSCK_RUNS.inc();
         let mut report = FsckReport::default();
@@ -517,10 +613,20 @@ impl Store {
             let meta = self.entries[&(step, variable.clone())].clone();
             let verdict = self
                 .verified_payload(&meta)
-                .and_then(|payload| {
-                    codec::decode_index(&payload).map_err(|source| IbisError::Decode {
-                        file: Some(meta.file.clone()),
-                        source,
+                .and_then(|(payload, tag)| {
+                    let (_, bin_tags) =
+                        codec::decode_index_with_tags(&payload).map_err(|source| {
+                            IbisError::Decode {
+                                file: Some(meta.file.clone()),
+                                source,
+                            }
+                        })?;
+                    check_frame_tag(tag, &bin_tags).map_err(|detail| {
+                        OBS_FSCK_TAG_MISMATCH.inc();
+                        IbisError::Corrupt {
+                            file: meta.file.clone(),
+                            detail,
+                        }
                     })
                 })
                 .map(|_| ());
@@ -923,6 +1029,107 @@ mod tests {
             store.get(4, "temperature").unwrap().counts(),
             sample_index(4).counts()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Long smooth runs: every bin's codec plan stays WAH.
+    fn smooth_index() -> BitmapIndex {
+        let data: Vec<f64> = (0..20_000).map(|i| (i / 500) as f64).collect();
+        BitmapIndex::build(&data, Binner::distinct_ints(0, 39))
+    }
+
+    #[test]
+    fn all_wah_blob_keeps_legacy_ibb2_frame() {
+        let dir = tmp("wahframe");
+        let idx = smooth_index();
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &idx).unwrap();
+        w.finish().unwrap();
+        let bytes = std::fs::read(dir.join("s000000_temperature.ibis")).unwrap();
+        assert_eq!(&bytes[..4], BLOB_MAGIC, "all-WAH plan must stay on IBB2");
+        assert_eq!(
+            bytes,
+            frame_blob(&codec::encode_index(&idx)),
+            "all-WAH blob bytes must match the legacy framing exactly"
+        );
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get(0, "temperature").unwrap().counts(), idx.counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_wah_blobs_use_tagged_frame_and_round_trip() {
+        let dir = tmp("tagframe");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        // seed 0: every residue mod 40 hit, all bins scattered → uniform
+        // Roaring plan; seed 1: only residues 0,4,…,36 hit, so 30 empty
+        // (WAH) bins alongside 10 Roaring bins → mixed plan
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.finish().unwrap();
+
+        let uniform = std::fs::read(dir.join("s000000_temperature.ibis")).unwrap();
+        assert_eq!(&uniform[..4], BLOB_MAGIC_TAGGED);
+        assert_eq!(
+            uniform[4],
+            ibis_core::CodecId::Roaring.tag(),
+            "uniform plan must carry its codec's tag"
+        );
+        let mixed = std::fs::read(dir.join("s000001_temperature.ibis")).unwrap();
+        assert_eq!(&mixed[..4], BLOB_MAGIC_TAGGED);
+        assert_eq!(mixed[4], MIXED_TAG, "mixed plan must carry the mixed tag");
+
+        let mut store = Store::open(&dir).unwrap();
+        for step in [0usize, 1] {
+            assert_eq!(
+                store.get(step, "temperature").unwrap().counts(),
+                sample_index(step).counts(),
+                "tagged blob must decode back to the same index"
+            );
+        }
+        assert!(store.fsck().is_clean(), "honest tags must pass fsck");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_quarantines_frame_tag_payload_mismatch() {
+        let dir = tmp("tagmismatch");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &sample_index(0)).unwrap(); // uniform Roaring
+        w.put(1, "temperature", &sample_index(1)).unwrap(); // mixed
+        w.finish().unwrap();
+
+        // The tag byte sits outside the payload CRC, so neither the frame
+        // CRC nor the manifest notices a flipped tag — only fsck's
+        // cross-check against the decoded payload does.
+        let f0 = dir.join("s000000_temperature.ibis");
+        let mut bytes = std::fs::read(&f0).unwrap();
+        bytes[4] = MIXED_TAG; // claim mixed over a uniform payload
+        std::fs::write(&f0, &bytes).unwrap();
+        let f1 = dir.join("s000001_temperature.ibis");
+        let mut bytes = std::fs::read(&f1).unwrap();
+        bytes[4] = ibis_core::CodecId::Wah.tag(); // claim WAH over mixed
+        std::fs::write(&f1, &bytes).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        // plain reads ignore the tag and still verify + decode
+        assert_eq!(
+            store.get(0, "temperature").unwrap().counts(),
+            sample_index(0).counts()
+        );
+        drop(store);
+
+        let mut store = Store::open(&dir).unwrap();
+        let report = store.fsck();
+        assert_eq!(report.checked, 2);
+        assert_eq!(report.quarantined.len(), 2, "{report:?}");
+        for q in &report.quarantined {
+            assert!(
+                q.reason.contains("tag") || q.reason.contains("mixed"),
+                "reason must name the tag mismatch: {}",
+                q.reason
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

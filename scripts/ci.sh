@@ -113,4 +113,33 @@ check_query_report target/BENCH_query.smoke.json
 echo "==> committed BENCH_query.json present with full-size sweep"
 check_query_report BENCH_query.json
 
+echo "==> codec shootout smoke (both obs configs) + report schema"
+# IBIS_CODEC_SMOKE=1 shrinks the sweep and writes to target/ so CI never
+# clobbers the committed full-size BENCH_codecs.json. The sweep itself
+# asserts every codec × kernel result identical to the verbatim oracle
+# before timing it, so a pass is also a cross-codec correctness gate.
+check_codec_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"samples"' '"bytes_per_bitmap"' '"auto_selected"' \
+        '"roaring_over_wah_speedup"' \
+        '"bbc_header_merge_over_bytewise_speedup"' \
+        '"auto_over_best_ratio"' '"auto_within_10pct_of_best"' \
+        '"identity_checked"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+}
+rm -f target/BENCH_codecs.smoke.json
+IBIS_CODEC_SMOKE=1 cargo bench -q -p ibis-bench --bench codecs
+check_codec_report target/BENCH_codecs.smoke.json
+rm -f target/BENCH_codecs.smoke.json
+IBIS_CODEC_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench codecs
+check_codec_report target/BENCH_codecs.smoke.json
+echo "==> committed BENCH_codecs.json present with full-size sweep"
+check_codec_report BENCH_codecs.json
+
 echo "CI OK"

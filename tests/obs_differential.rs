@@ -145,11 +145,12 @@ fn instrumentation_has_no_observer_effect() {
 
     // In the instrumented build the run above must have populated every
     // metric family the issue names — proof the layer actually observed
-    // kernels, pipeline, store, and cluster.
+    // kernels, pipeline, store, cluster, and the per-bin codec selection
+    // (`codec.select.*` / `codec.encode.bins` tick on every store put).
     if ibis::obs::ENABLED {
         let snap = ibis::obs::global().snapshot();
         let families = snap.families();
-        for family in ["kernels", "pipeline", "store", "cluster"] {
+        for family in ["kernels", "pipeline", "store", "cluster", "codec"] {
             assert!(
                 families.contains(family),
                 "family {family:?} missing from snapshot; have {families:?}"
