@@ -201,6 +201,28 @@ impl CachedStore {
             resident_bytes: self.shards.iter().map(|s| s.lock().resident).sum(),
         }
     }
+
+    /// Publishes this instance's [`CacheStats`] into the obs registry as
+    /// `query.cache.stat.*` gauges plus `query.cache.hit_ratio_pct`, so a
+    /// server's hit ratio lands in `--obs-json` snapshots (the global
+    /// `query.cache.{hits,misses}` counters aggregate *every* cache in
+    /// the process; these gauges are this instance's view). Call it right
+    /// before snapshotting; a no-op in the no-op obs build.
+    pub fn publish_obs(&self) {
+        static OBS_STAT_HITS: LazyGauge = LazyGauge::new("query.cache.stat.hits");
+        static OBS_STAT_MISSES: LazyGauge = LazyGauge::new("query.cache.stat.misses");
+        static OBS_STAT_EVICTIONS: LazyGauge = LazyGauge::new("query.cache.stat.evictions");
+        static OBS_STAT_RESIDENT: LazyGauge = LazyGauge::new("query.cache.stat.resident_bytes");
+        static OBS_HIT_RATIO: LazyGauge = LazyGauge::new("query.cache.hit_ratio_pct");
+        let s = self.stats();
+        OBS_STAT_HITS.set(s.hits as i64);
+        OBS_STAT_MISSES.set(s.misses as i64);
+        OBS_STAT_EVICTIONS.set(s.evictions as i64);
+        OBS_STAT_RESIDENT.set(s.resident_bytes as i64);
+        if let Some(pct) = (s.hits * 100).checked_div(s.hits + s.misses) {
+            OBS_HIT_RATIO.set(pct as i64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +290,32 @@ mod tests {
         // step 0 was evicted: a second read is a miss, but still correct
         let again = cache.get("temperature", 0).unwrap();
         assert_eq!(again.low().counts(), sample_index(0).counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_obs_exports_stats_as_gauges() {
+        let (dir, store) = store_with("publish", &[0, 1], &["temperature"]);
+        let cache = CachedStore::new(store, 64 << 20);
+        cache.get("temperature", 0).unwrap();
+        cache.get("temperature", 0).unwrap();
+        cache.get("temperature", 1).unwrap();
+        cache.publish_obs();
+        if ibis_obs::ENABLED {
+            let snap = ibis_obs::global().snapshot();
+            let gauge = |name: &str| match snap.get(name) {
+                Some(ibis_obs::MetricValue::Gauge { value, .. }) => *value,
+                other => panic!("{name}: expected gauge, got {other:?}"),
+            };
+            // Other parallel tests share the global registry, but these
+            // gauges are only set by publish_obs on *this* instance (the
+            // only caller in the lib test binary), so values are exact.
+            assert_eq!(gauge("query.cache.stat.hits"), 1);
+            assert_eq!(gauge("query.cache.stat.misses"), 2);
+            assert_eq!(gauge("query.cache.stat.evictions"), 0);
+            assert!(gauge("query.cache.stat.resident_bytes") > 0);
+            assert_eq!(gauge("query.cache.hit_ratio_pct"), 33);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -35,7 +35,7 @@ use crate::machine::{
 use crate::pipeline::RobustnessConfig;
 use crate::report::PhaseTimes;
 use crate::retry::write_with_retry;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use ibis_analysis::entropy::conditional_entropy_from_counts;
 use ibis_analysis::histogram::{joint_counts_from_indexes, joint_histogram};
 use ibis_analysis::selection::fixed_intervals;
@@ -216,12 +216,16 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport> {
         down_rx[i] = Some(rx);
     }
 
-    // Selection coordination channels.
-    let (vote_tx, vote_rx) = unbounded::<NodeVote>();
+    // Selection coordination channels, bounded to the cluster size so a
+    // node-failure storm can never grow an unbounded backlog: each node
+    // sends exactly one vote per selection interval and then blocks on
+    // its decision receive, so at most `nodes` votes are ever in flight,
+    // and each decision channel holds at most the single broadcast winner.
+    let (vote_tx, vote_rx) = bounded::<NodeVote>(cfg.nodes.max(1));
     let mut decision_tx: Vec<Sender<usize>> = Vec::new();
     let mut decision_rx: Vec<Option<Receiver<usize>>> = Vec::new();
     for _ in 0..cfg.nodes {
-        let (tx, rx) = unbounded::<usize>();
+        let (tx, rx) = bounded::<usize>(1);
         decision_tx.push(tx);
         decision_rx.push(Some(rx));
     }

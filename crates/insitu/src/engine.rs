@@ -35,6 +35,7 @@ use crate::json::{self, Json};
 use ibis_analysis::{correlation_query_ml, CorrelationAnswer, SubsetQuery};
 use ibis_obs::LazyCounter;
 use std::ops::Range;
+use std::time::Instant;
 
 static OBS_QUERIES_OK: LazyCounter = LazyCounter::new("query.engine.ok");
 static OBS_QUERIES_REJECTED: LazyCounter = LazyCounter::new("query.engine.rejected");
@@ -105,12 +106,36 @@ impl QueryEngine {
     /// Answers one query. Total: every malformed or unanswerable request
     /// is a structured error.
     pub fn run(&self, request: &QueryRequest) -> Result<QueryAnswer> {
-        let result = match request {
+        self.run_with_deadline(request, None)
+    }
+
+    /// [`QueryEngine::run`] under a wall-clock budget: the deadline is
+    /// re-checked before *every* bitmap load, so a request that can no
+    /// longer answer in time stops before paying for the next decode
+    /// instead of wasting it. An expired budget surfaces as
+    /// [`IbisError::DeadlineExceeded`] (`deadline` carries the overrun in
+    /// seconds). `None` means no budget — identical to `run`.
+    pub fn run_with_deadline(
+        &self,
+        request: &QueryRequest,
+        deadline: Option<Instant>,
+    ) -> Result<QueryAnswer> {
+        let result = self.run_inner(request, deadline);
+        match &result {
+            Ok(_) => OBS_QUERIES_OK.inc(),
+            Err(_) => OBS_QUERIES_REJECTED.inc(),
+        }
+        result
+    }
+
+    fn run_inner(&self, request: &QueryRequest, deadline: Option<Instant>) -> Result<QueryAnswer> {
+        match request {
             QueryRequest::Subset {
                 step,
                 variable,
                 query,
             } => {
+                deadline_check(deadline, "subset load")?;
                 let ml = self.cache.get(variable, *step)?;
                 let sel = query.evaluate_ml(&ml).map_err(IbisError::Query)?;
                 Ok(QueryAnswer::Subset {
@@ -125,18 +150,15 @@ impl QueryEngine {
                 query_a,
                 query_b,
             } => {
+                deadline_check(deadline, "correlation load a")?;
                 let a = self.cache.get(var_a, *step)?;
+                deadline_check(deadline, "correlation load b")?;
                 let b = self.cache.get(var_b, *step)?;
                 correlation_query_ml(&a, &b, query_a, query_b)
                     .map(QueryAnswer::Correlation)
                     .map_err(IbisError::Query)
             }
-        };
-        match &result {
-            Ok(_) => OBS_QUERIES_OK.inc(),
-            Err(_) => OBS_QUERIES_REJECTED.inc(),
         }
-        result
     }
 
     /// Answers every query of a batch, in order. Failures are per-request;
@@ -155,6 +177,20 @@ impl QueryEngine {
     }
 }
 
+/// Fails fast when a request's wall-clock budget has expired; `site`
+/// names the load about to be skipped.
+fn deadline_check(deadline: Option<Instant>, site: &str) -> Result<()> {
+    let Some(d) = deadline else { return Ok(()) };
+    let now = Instant::now();
+    if now >= d {
+        return Err(IbisError::DeadlineExceeded {
+            site: site.to_string(),
+            deadline: (now - d).as_secs_f64(),
+        });
+    }
+    Ok(())
+}
+
 fn bad(index: Option<usize>, reason: impl Into<String>) -> IbisError {
     IbisError::BadRequest {
         index,
@@ -165,6 +201,13 @@ fn bad(index: Option<usize>, reason: impl Into<String>) -> IbisError {
 /// Parses the `{"queries": [...]}` batch document into typed requests.
 pub fn parse_batch(text: &str) -> Result<Vec<QueryRequest>> {
     let doc = json::parse(text).map_err(|e| bad(None, e.to_string()))?;
+    parse_batch_doc(&doc)
+}
+
+/// Parses the `queries` array of an already-parsed batch document — the
+/// serving front end parses each socket frame once (to pick up
+/// frame-level fields like `deadline_ms`) and hands the document here.
+pub(crate) fn parse_batch_doc(doc: &Json) -> Result<Vec<QueryRequest>> {
     let queries = doc
         .get("queries")
         .ok_or_else(|| bad(None, "missing \"queries\" field"))?
@@ -248,6 +291,41 @@ fn num_pair(v: &Json, key: &str) -> std::result::Result<(f64, f64), String> {
     }
 }
 
+/// Renders one successful answer as its `{"ok": {...}}` JSON object —
+/// shared between the batch renderer and the serving front end.
+pub(crate) fn render_ok(answer: &QueryAnswer) -> String {
+    match answer {
+        QueryAnswer::Subset { selected, of } => {
+            format!("{{\"ok\": {{\"kind\": \"subset\", \"selected\": {selected}, \"of\": {of}}}}}")
+        }
+        QueryAnswer::Correlation(ans) => {
+            let pearson = ans
+                .pearson
+                .map(json::num)
+                .unwrap_or_else(|| "null".to_string());
+            let mean = |m: &Option<ibis_analysis::Estimate>| match m {
+                Some(e) => format!(
+                    "{{\"value\": {}, \"bound\": {}}}",
+                    json::num(e.value),
+                    json::num(e.bound)
+                ),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"ok\": {{\"kind\": \"correlation\", \"selected\": {}, \
+                 \"mutual_information\": {}, \"conditional_entropy\": {}, \
+                 \"pearson\": {}, \"mean_a\": {}, \"mean_b\": {}}}}}",
+                ans.selected,
+                json::num(ans.mutual_information),
+                json::num(ans.conditional_entropy),
+                pearson,
+                mean(&ans.mean_a),
+                mean(&ans.mean_b),
+            )
+        }
+    }
+}
+
 /// Renders a batch's answers as the `{"answers": [...]}` document.
 pub fn render_answers(answers: &[Result<QueryAnswer>]) -> String {
     let mut out = String::from("{\"answers\": [");
@@ -256,36 +334,7 @@ pub fn render_answers(answers: &[Result<QueryAnswer>]) -> String {
             out.push_str(", ");
         }
         match a {
-            Ok(QueryAnswer::Subset { selected, of }) => {
-                out.push_str(&format!(
-                    "{{\"ok\": {{\"kind\": \"subset\", \"selected\": {selected}, \"of\": {of}}}}}"
-                ));
-            }
-            Ok(QueryAnswer::Correlation(ans)) => {
-                let pearson = ans
-                    .pearson
-                    .map(json::num)
-                    .unwrap_or_else(|| "null".to_string());
-                let mean = |m: &Option<ibis_analysis::Estimate>| match m {
-                    Some(e) => format!(
-                        "{{\"value\": {}, \"bound\": {}}}",
-                        json::num(e.value),
-                        json::num(e.bound)
-                    ),
-                    None => "null".to_string(),
-                };
-                out.push_str(&format!(
-                    "{{\"ok\": {{\"kind\": \"correlation\", \"selected\": {}, \
-                     \"mutual_information\": {}, \"conditional_entropy\": {}, \
-                     \"pearson\": {}, \"mean_a\": {}, \"mean_b\": {}}}}}",
-                    ans.selected,
-                    json::num(ans.mutual_information),
-                    json::num(ans.conditional_entropy),
-                    pearson,
-                    mean(&ans.mean_a),
-                    mean(&ans.mean_b),
-                ));
-            }
+            Ok(answer) => out.push_str(&render_ok(answer)),
             Err(e) => {
                 out.push_str(&format!(
                     "{{\"error\": \"{}\"}}",
@@ -451,6 +500,24 @@ mod tests {
                 "{bad:?} → {err}"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_the_next_load() {
+        let (dir, store) = test_store("deadline");
+        let e = engine(store);
+        let past = Instant::now() - std::time::Duration::from_millis(5);
+        let err = e
+            .run_with_deadline(&region_request(0, "temperature", 0..10), Some(past))
+            .unwrap_err();
+        assert!(matches!(err, IbisError::DeadlineExceeded { .. }), "{err}");
+        // nothing was decoded: the check fires before the load
+        assert_eq!(e.cache_stats().misses, 0);
+        // a generous deadline answers normally
+        let far = Instant::now() + std::time::Duration::from_secs(60);
+        e.run_with_deadline(&region_request(0, "temperature", 0..10), Some(far))
+            .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

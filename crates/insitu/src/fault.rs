@@ -15,7 +15,12 @@
 //! * **workers** — the producer (simulation), consumer (reduction), or a
 //!   cluster node panics at a chosen time-step;
 //! * **kill** — the whole process "dies" at a chosen step (crash/resume
-//!   testing for the durable pipeline).
+//!   testing for the durable pipeline);
+//! * **serving** — a query worker serves a request slowly, a worker thread
+//!   dies mid-request (the pool respawns it), or a client connection
+//!   stalls mid-frame. Serving faults are keyed by *request op index*
+//!   (the n-th request the server admits) and *connection index* (accept
+//!   order), so the same plan replays identically under the SLO tests.
 
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
@@ -74,6 +79,17 @@ pub struct FaultPlan {
     /// Kill the durable pipeline before processing this step (crash
     /// simulation for checkpoint/resume tests).
     pub kill_at_step: Option<usize>,
+    /// Serving: extra worker latency in milliseconds, keyed by request op
+    /// index (the n-th request the query server admits).
+    pub slow_request_ops: BTreeMap<u64, u64>,
+    /// Serving: request ops whose worker panics mid-execution and dies.
+    /// The panic is contained per-request and the pool respawns the
+    /// worker, so only the in-flight request is poisoned.
+    pub worker_death_ops: BTreeSet<u64>,
+    /// Serving: client connections (0-based accept order) that stall
+    /// mid-frame. Drives load-generator clients; the server reaps them
+    /// via its read timeout.
+    pub stalled_client_conns: BTreeSet<u64>,
 }
 
 /// Delayed acks are stored in milliseconds so the plan stays `Eq`-friendly
@@ -164,6 +180,47 @@ impl FaultPlan {
     pub fn with_kill_at_step(mut self, step: usize) -> Self {
         self.kill_at_step = Some(step);
         self
+    }
+
+    /// Builder: serve request op `op` slowly (`ms` extra worker latency).
+    pub fn with_slow_request(mut self, op: u64, ms: u64) -> Self {
+        self.slow_request_ops.insert(op, ms);
+        self
+    }
+
+    /// Builder: kill the worker executing request op `op` (contained
+    /// panic + pool respawn).
+    pub fn with_worker_death_at(mut self, op: u64) -> Self {
+        self.worker_death_ops.insert(op);
+        self
+    }
+
+    /// Builder: stall client connection `conn` (accept order) mid-frame.
+    pub fn with_stalled_client(mut self, conn: u64) -> Self {
+        self.stalled_client_conns.insert(conn);
+        self
+    }
+
+    /// Derives a serving-path plan from `seed`, scaled to a run of
+    /// `requests`: a few slow-worker events, possibly a worker death, and
+    /// possibly a stalled client. Identical seeds yield identical plans —
+    /// the determinism regression the serving tests assert.
+    pub fn seeded_serving(seed: u64, requests: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x5E57_1A6B_17A5_0FF5);
+        let n = requests.max(1) as u64;
+        let mut plan = FaultPlan::default();
+        // 1–3 slow-worker events of 20–100 ms somewhere in the run.
+        for _ in 0..(1 + rng.below(3)) {
+            plan.slow_request_ops
+                .insert(rng.below(n), 20 + rng.below(80));
+        }
+        if rng.below(2) == 0 {
+            plan.worker_death_ops.insert(rng.below(n));
+        }
+        if rng.below(2) == 0 {
+            plan.stalled_client_conns.insert(rng.below(4));
+        }
+        plan
     }
 }
 
@@ -266,6 +323,40 @@ impl FaultInjector {
         }
     }
 
+    /// The injected extra service latency for serving request `op`, if
+    /// any; records the event.
+    pub fn serve_delay_for(&self, op: u64) -> Option<std::time::Duration> {
+        let ms = *self.plan.slow_request_ops.get(&op)?;
+        self.record(format!("request op {op}: injected slow worker {ms}ms"));
+        Some(std::time::Duration::from_millis(ms))
+    }
+
+    /// `true` if the worker executing serving request `op` is scheduled
+    /// to die. The worker calls [`FaultInjector::worker_death_panic`]
+    /// inside its per-request `catch_unwind` (poisoning only that
+    /// request), then exits its thread so the pool's respawn path runs.
+    pub fn worker_death_at(&self, op: u64) -> bool {
+        self.plan.worker_death_ops.contains(&op)
+    }
+
+    /// Records and fires the worker-death panic for request `op`.
+    pub fn worker_death_panic(&self, op: u64) -> ! {
+        self.record(format!("request op {op}: injected worker death"));
+        panic!("{INJECTED_PANIC_PREFIX} worker death at request op {op}");
+    }
+
+    /// `true` if client connection `conn` (accept order) should stall
+    /// mid-frame; records the event. Consulted by load generators — the
+    /// server itself only ever sees the resulting silence.
+    pub fn client_stall_at(&self, conn: u64) -> bool {
+        if self.plan.stalled_client_conns.contains(&conn) {
+            self.record(format!("connection {conn}: injected stalled client"));
+            true
+        } else {
+            false
+        }
+    }
+
     /// Appends an event line to the failure report (also used by the
     /// pipeline to log contained panics and retry outcomes).
     pub fn record(&self, event: String) {
@@ -362,6 +453,47 @@ mod tests {
         let events = inj.events();
         assert_eq!(events.len(), 1);
         assert!(events[0].contains("injected panic"));
+    }
+
+    #[test]
+    fn seeded_serving_plans_are_reproducible() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            assert_eq!(
+                FaultPlan::seeded_serving(seed, 100),
+                FaultPlan::seeded_serving(seed, 100)
+            );
+        }
+        assert_ne!(
+            FaultPlan::seeded_serving(1, 100),
+            FaultPlan::seeded_serving(2, 100)
+        );
+    }
+
+    #[test]
+    fn serving_faults_fire_at_their_ops_and_record() {
+        let inj = FaultInjector::new(
+            FaultPlan::none()
+                .with_slow_request(3, 25)
+                .with_worker_death_at(5)
+                .with_stalled_client(1),
+        );
+        assert_eq!(inj.serve_delay_for(0), None);
+        assert_eq!(
+            inj.serve_delay_for(3),
+            Some(std::time::Duration::from_millis(25))
+        );
+        assert!(!inj.worker_death_at(4));
+        assert!(inj.worker_death_at(5));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.worker_death_panic(5)));
+        assert!(r.is_err());
+        assert!(!inj.client_stall_at(0));
+        assert!(inj.client_stall_at(1));
+        let events = inj.events();
+        assert_eq!(events.len(), 3, "{events:?}");
+        assert!(events.iter().any(|e| e.contains("slow worker")));
+        assert!(events.iter().any(|e| e.contains("worker death")));
+        assert!(events.iter().any(|e| e.contains("stalled client")));
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   its sharded byte-budgeted LRU read cache, and the panic-free
 //!   query-serving layer (subset/correlation queries, JSON batch protocol
 //!   for `ibis query`).
+//! * [`serving`] — the overload-control shell around the engine: bounded
+//!   admission with typed sheds, per-request deadlines, duplicate
+//!   coalescing, a respawning worker pool, and a split-frame-safe TCP
+//!   front end (`ibis serve`).
 
 pub mod cache;
 pub mod calibrate;
@@ -39,6 +43,7 @@ pub mod memory;
 pub mod pipeline;
 pub mod report;
 pub mod retry;
+pub mod serving;
 pub mod store;
 
 pub use cache::{CacheStats, CachedStore};
@@ -57,4 +62,8 @@ pub use pipeline::{
 };
 pub use report::{InsituReport, PhaseTimes, StepOutcome};
 pub use retry::{write_with_retry, RetryPolicy, WriteReceipt};
+pub use serving::{
+    DeadlineStage, QueryServer, ServeConfig, ServeError, ServeResult, ServeStats, SocketServer,
+    Ticket,
+};
 pub use store::{FsckReport, QuarantinedBlob, Store, StoreWriter};

@@ -88,6 +88,12 @@ echo "==> query suites in the no-op observability build"
 cargo test -q -p ibis-analysis --no-default-features --test prop_query
 cargo test -q -p ibis-insitu --no-default-features --test query_engine
 
+echo "==> serving suite in the no-op observability build"
+# Socket protocol adversaries, fault determinism, coalescing accounting,
+# and queue-bound stress — the instrumented run is covered by the
+# workspace tests above.
+cargo test -q -p ibis-insitu --no-default-features --test serving
+
 echo "==> query bench smoke (both obs configs) + report schema"
 check_query_report() {
     local report="$1"
@@ -141,5 +147,67 @@ IBIS_CODEC_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
 check_codec_report target/BENCH_codecs.smoke.json
 echo "==> committed BENCH_codecs.json present with full-size sweep"
 check_codec_report BENCH_codecs.json
+
+echo "==> serving bench smoke (both obs configs) + report schema"
+# IBIS_SERVE_SMOKE=1 shrinks the load phases and writes to target/ so CI
+# never clobbers the committed full-size BENCH_serving.json. The bench
+# itself asserts the SLO (faulted p99 within 5x fault-free, typed sheds,
+# queue bound respected, exact coalesce accounting), so a pass is also
+# an overload-control correctness gate.
+check_serving_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"samples"' '"fault_free_p99_ms"' '"saturation_qps"' \
+        '"faulted_p99_ms"' '"faulted_p99_within_5x"' '"shed"' \
+        '"coalesce_hits"' '"coalesce_decodes"' '"queue_peak"' \
+        '"queue_bound_respected"' '"socket_rtt_p50_ms"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+}
+rm -f target/BENCH_serving.smoke.json
+IBIS_SERVE_SMOKE=1 cargo bench -q -p ibis-bench --bench serving
+check_serving_report target/BENCH_serving.smoke.json
+rm -f target/BENCH_serving.smoke.json
+IBIS_SERVE_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench serving
+check_serving_report target/BENCH_serving.smoke.json
+echo "==> committed BENCH_serving.json present with full-size sweep"
+check_serving_report BENCH_serving.json
+
+echo "==> ibis serve + loadgen end-to-end smoke (both obs configs)"
+# Build a tiny store once, then drive a live server with the zipf load
+# generator for a few hundred requests in each obs config. --conns 1
+# makes the server exit cleanly after the load generator disconnects.
+serve_smoke() {
+    local features=("$@")
+    local store=target/ci_serve_store
+    rm -rf "$store"
+    cargo run -q --release "${features[@]}" --bin ibis -- insitu \
+        --sim heat3d --steps 2 --select 2 --cores 2 --out "$store" >/dev/null
+    local port=$((20000 + RANDOM % 20000))
+    # --conns 2: the readiness probe below counts as one completed
+    # connection, the load generator's single client is the second; the
+    # server exits cleanly once both have disconnected.
+    cargo run -q --release "${features[@]}" --bin ibis -- serve \
+        --store "$store" --addr "127.0.0.1:$port" --workers 2 --queue 16 \
+        --conns 2 &
+    local serve_pid=$!
+    # Wait for the listener to come up before pointing the clients at it.
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    cargo run -q --release "${features[@]}" --bin ibis -- loadgen \
+        --addr "127.0.0.1:$port" --store "$store" --requests 300 \
+        --clients 1 --deadline-ms 2000 --seed 7
+    wait "$serve_pid"
+}
+serve_smoke
+serve_smoke --no-default-features
 
 echo "CI OK"

@@ -21,10 +21,14 @@ use ibis::datagen::{
 };
 use ibis::insitu::{
     auto_allocate, run_pipeline, CachedStore, CoreAllocation, LocalDisk, MachineModel,
-    PipelineConfig, QueryEngine, Reduction, RobustnessConfig, ScalingModel, Store, StoreWriter,
+    PipelineConfig, QueryEngine, QueryServer, Reduction, RobustnessConfig, ScalingModel,
+    ServeConfig, SocketServer, Store, StoreWriter,
 };
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +47,8 @@ fn main() -> ExitCode {
         "insitu" => cmd_insitu(&flags),
         "mine" => cmd_mine(&flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -84,6 +90,10 @@ USAGE:
   ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
               [--region LO:HI] [--grid LONxLATxDEPTH]
   ibis query  --store DIR --batch FILE [--cache-mb N] [--json-out PATH]
+  ibis serve  --store DIR [--addr HOST:PORT] [--workers N] [--queue N]
+              [--cache-mb N] [--deadline-ms N] [--max-conns N] [--conns N]
+  ibis loadgen --addr HOST:PORT --store DIR [--requests N] [--clients N]
+              [--deadline-ms N] [--seed N]
   ibis help
 
 Any command also accepts --obs-json PATH to dump the run's metrics
@@ -456,5 +466,242 @@ fn cmd_query_store(flags: &Flags) -> Result<(), String> {
         st.evictions,
         st.resident_bytes as f64 / 1e6
     );
+    Ok(())
+}
+
+/// `ibis serve --store DIR`: serve the store's queries over TCP with the
+/// full overload-control layer (bounded admission, deadlines, coalescing).
+/// With `--conns N` the server exits once N connections have completed —
+/// a deterministic stop for smoke tests; otherwise it runs until killed.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let dir = flags.get("store").ok_or("--store DIR is required")?;
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7171");
+    let cache_mb = get_usize(flags, "cache-mb", 256)?;
+    let mut cfg = ServeConfig {
+        workers: get_usize(flags, "workers", 4)?,
+        queue_capacity: get_usize(flags, "queue", 64)?,
+        max_connections: get_usize(flags, "max-conns", 256)?,
+        ..ServeConfig::default()
+    };
+    let deadline_ms = get_usize(flags, "deadline-ms", 0)?;
+    if deadline_ms > 0 {
+        cfg.default_deadline = Some(Duration::from_millis(deadline_ms as u64));
+    }
+    let stop_after = get_usize(flags, "conns", 0)? as u64;
+
+    let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+    let engine = QueryEngine::new(CachedStore::new(store, (cache_mb as u64) << 20));
+    let server = Arc::new(QueryServer::start(engine, cfg).map_err(|e| e.to_string())?);
+    let socket = SocketServer::bind(Arc::clone(&server), addr).map_err(|e| e.to_string())?;
+    println!("serving {dir} on {}", socket.local_addr());
+
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if stop_after > 0 && socket.connections_completed() >= stop_after {
+            break;
+        }
+    }
+    let st = server.stats();
+    eprintln!(
+        "served: {} ok, {} failed, {} shed, {} deadline (adm {} / deq {} / exec {}), \
+         {} coalesce hits, queue peak {}/{}",
+        st.ok,
+        st.failed,
+        st.shed,
+        st.deadline_admission + st.deadline_dequeue + st.deadline_execution,
+        st.deadline_admission,
+        st.deadline_dequeue,
+        st.deadline_execution,
+        st.coalesce_hits,
+        st.queue_peak,
+        server.config().queue_capacity
+    );
+    // Surface the hit ratio in --obs-json before main snapshots.
+    server.engine().cache().publish_obs();
+    socket.stop();
+    Ok(())
+}
+
+/// Deterministic 64-bit generator for the load mix (splitmix64).
+struct Mix64(u64);
+
+impl Mix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds the zipf-skewed frame catalog for a store: subset queries with
+/// varying value windows per (step, variable), plus correlations where a
+/// step has two variables. Rank-0 frames are the hot head of the skew.
+fn loadgen_catalog(store: &Store) -> Result<Vec<String>, String> {
+    let mut frames = Vec::new();
+    let steps = store.steps();
+    if steps.is_empty() {
+        return Err("store has no steps to query".into());
+    }
+    for &step in &steps {
+        let vars: Vec<String> = store
+            .variables(step)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        for v in &vars {
+            for w in 0..4u32 {
+                let lo = f64::from(w) * 8.0;
+                frames.push(format!(
+                    "{{\"queries\": [{{\"kind\": \"subset\", \"step\": {step}, \
+                     \"variable\": \"{v}\", \"value_range\": [{lo}, {}]}}]}}",
+                    lo + 12.0
+                ));
+            }
+        }
+        if vars.len() >= 2 {
+            frames.push(format!(
+                "{{\"queries\": [{{\"kind\": \"correlation\", \"step\": {step}, \
+                 \"var_a\": \"{}\", \"var_b\": \"{}\"}}]}}",
+                vars[0], vars[1]
+            ));
+        }
+    }
+    Ok(frames)
+}
+
+/// `ibis loadgen --addr HOST:PORT --store DIR`: closed-loop TCP load
+/// generator with a zipf-skewed query mix over the store's catalog (the
+/// store is only read to enumerate steps/variables — all queries go over
+/// the wire). Prints latency percentiles and typed outcome counts.
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("--addr HOST:PORT is required")?;
+    let dir = flags.get("store").ok_or("--store DIR is required")?;
+    let requests = get_usize(flags, "requests", 400)?;
+    let clients = get_usize(flags, "clients", 4)?.max(1);
+    let deadline_ms = get_usize(flags, "deadline-ms", 0)?;
+    let seed = get_usize(flags, "seed", 42)? as u64;
+
+    let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+    let mut frames = loadgen_catalog(&store)?;
+    if deadline_ms > 0 {
+        for f in &mut frames {
+            let body = f
+                .strip_suffix('}')
+                .ok_or("internal: bad frame template")?
+                .to_string();
+            *f = format!("{body}, \"deadline_ms\": {deadline_ms}}}");
+        }
+    }
+    // Zipf-ish skew: weight 1/(rank+1); the head frame dominates, which
+    // is what exercises coalescing and the warm cache path.
+    let cum: Vec<f64> = frames
+        .iter()
+        .enumerate()
+        .scan(0.0f64, |acc, (i, _)| {
+            *acc += 1.0 / (i + 1) as f64;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cum.last().ok_or("empty query catalog")?;
+
+    let counts = std::sync::Mutex::new(HashMap::<String, u64>::new());
+    let latencies = std::sync::Mutex::new(Vec::<u64>::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let share = requests / clients + usize::from(c < requests % clients);
+            let frames = &frames;
+            let cum = &cum;
+            let counts = &counts;
+            let latencies = &latencies;
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                let stream = std::net::TcpStream::connect(addr)
+                    .map_err(|e| format!("connect {addr}: {e}"))?;
+                stream.set_nodelay(true).ok();
+                let mut reader =
+                    BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                let mut writer = stream;
+                let mut rng = Mix64(seed ^ (c as u64).wrapping_mul(0x9E37));
+                let mut line = String::new();
+                for _ in 0..share {
+                    let pick = rng.unit() * total;
+                    let idx = cum.partition_point(|&x| x < pick).min(frames.len() - 1);
+                    let sent = Instant::now();
+                    writeln!(writer, "{}", frames[idx]).map_err(|e| format!("send: {e}"))?;
+                    line.clear();
+                    reader
+                        .read_line(&mut line)
+                        .map_err(|e| format!("recv: {e}"))?;
+                    let ns = sent.elapsed().as_nanos() as u64;
+                    latencies
+                        .lock()
+                        .map_err(|_| "latency lock poisoned".to_string())?
+                        .push(ns);
+                    let kind = if line.contains("\"ok\"") {
+                        "ok"
+                    } else if line.contains("\"kind\": \"shed\"") {
+                        "shed"
+                    } else if line.contains("\"kind\": \"deadline\"") {
+                        "deadline"
+                    } else {
+                        "error"
+                    };
+                    *counts
+                        .lock()
+                        .map_err(|_| "count lock poisoned".to_string())?
+                        .entry(kind.to_string())
+                        .or_insert(0) += 1;
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| "client thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut lat = latencies
+        .into_inner()
+        .map_err(|_| "latency lock poisoned".to_string())?;
+    lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let i = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[i] as f64 / 1e6
+    };
+    let counts = counts
+        .into_inner()
+        .map_err(|_| "count lock poisoned".to_string())?;
+    println!(
+        "{} requests over {clients} clients in {wall:.2}s ({:.0} req/s)",
+        lat.len(),
+        lat.len() as f64 / wall.max(1e-9)
+    );
+    println!(
+        "latency ms: p50 {:.3}  p99 {:.3}  p999 {:.3}",
+        pct(0.50),
+        pct(0.99),
+        pct(0.999)
+    );
+    let mut kinds: Vec<_> = counts.iter().collect();
+    kinds.sort();
+    for (kind, n) in kinds {
+        println!("  {kind}: {n}");
+    }
     Ok(())
 }
