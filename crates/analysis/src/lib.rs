@@ -45,9 +45,9 @@ pub use mining::{
     MiningResult,
 };
 pub use query::{
-    correlation_query, correlation_query_ml, execute_range_plan, joint_counts_selected,
-    joint_counts_selected_naive, plan_value_range, region_mask, CorrelationAnswer, QueryError,
-    RangePlan, SubsetQuery,
+    correlation_query, correlation_query_mapped, correlation_query_ml, correlation_query_ml_mapped,
+    execute_range_plan, joint_counts_selected, joint_counts_selected_naive, plan_value_range,
+    region_mask, region_mask_mapped, CorrelationAnswer, QueryError, RangePlan, SubsetQuery,
 };
 pub use sampling::{sample, SamplingMethod};
 pub use selection::{

@@ -40,7 +40,7 @@
 
 use crate::aggregate::{self, Estimate};
 use crate::entropy::{conditional_entropy_from_counts, mutual_information_from_counts};
-use ibis_core::{BitmapIndex, DenseBits, MultiLevelIndex, PreparedOperand, WahVec};
+use ibis_core::{BitmapIndex, DenseBits, MultiLevelIndex, PreparedOperand, RowPermutation, WahVec};
 use ibis_obs::LazyCounter;
 use std::fmt;
 use std::ops::Range;
@@ -53,6 +53,9 @@ static OBS_PLAN_MULTILEVEL: LazyCounter = LazyCounter::new("query.plan.multileve
 static OBS_PLAN_EMPTY: LazyCounter = LazyCounter::new("query.plan.empty");
 static OBS_JOINT_PREPARED: LazyCounter = LazyCounter::new("query.joint.prepared");
 static OBS_JOINT_COMPRESSED: LazyCounter = LazyCounter::new("query.joint.compressed");
+// Region predicates evaluated through an inverse permutation (family
+// `reorder`, see DESIGN.md §6j).
+static OBS_REGION_MAPPED: LazyCounter = LazyCounter::new("reorder.query.region_mapped");
 
 /// A malformed subset or correlation query. Every variant is `Clone +
 /// PartialEq` so query failures are comparable across runs, mirroring
@@ -75,8 +78,9 @@ pub enum QueryError {
         /// Number of indexed positions.
         len: u64,
     },
-    /// The two variables of a correlation query cover different element
-    /// counts and cannot be joined.
+    /// The two variables of a correlation query — or an index and the
+    /// row permutation applied to it — cover different element counts
+    /// and cannot be joined.
     LengthMismatch {
         /// Elements of variable A.
         len_a: u64,
@@ -170,12 +174,54 @@ impl SubsetQuery {
         self.evaluate_planned(index.low(), Some(index))
     }
 
+    /// [`SubsetQuery::evaluate`] against an index built under a row
+    /// reordering: value predicates are order-invariant, and the position
+    /// predicate — still expressed in *original* row ids — is mapped
+    /// through the inverse permutation before intersecting, so the
+    /// selection covers exactly the rows the identity-order index would
+    /// select (at their stored positions). Map it back with
+    /// [`RowPermutation::map_selection_to_original`].
+    pub fn evaluate_mapped(
+        &self,
+        index: &BitmapIndex,
+        perm: &RowPermutation,
+    ) -> Result<WahVec, QueryError> {
+        self.evaluate_with(index, None, Some(perm))
+    }
+
+    /// [`SubsetQuery::evaluate_ml`] under a row reordering (see
+    /// [`SubsetQuery::evaluate_mapped`]).
+    pub fn evaluate_ml_mapped(
+        &self,
+        index: &MultiLevelIndex,
+        perm: &RowPermutation,
+    ) -> Result<WahVec, QueryError> {
+        self.evaluate_with(index.low(), Some(index), Some(perm))
+    }
+
     fn evaluate_planned(
         &self,
         index: &BitmapIndex,
         ml: Option<&MultiLevelIndex>,
     ) -> Result<WahVec, QueryError> {
+        self.evaluate_with(index, ml, None)
+    }
+
+    fn evaluate_with(
+        &self,
+        index: &BitmapIndex,
+        ml: Option<&MultiLevelIndex>,
+        perm: Option<&RowPermutation>,
+    ) -> Result<WahVec, QueryError> {
         let n = index.len();
+        if let Some(p) = perm {
+            if p.len() as u64 != n {
+                return Err(QueryError::LengthMismatch {
+                    len_a: n,
+                    len_b: p.len() as u64,
+                });
+            }
+        }
         let mut sel = match self.value_range {
             Some((lo, hi)) => {
                 let plan = plan_value_range(index, ml, lo, hi)?;
@@ -184,7 +230,13 @@ impl SubsetQuery {
             None => WahVec::ones(n),
         };
         if let Some(range) = &self.position_range {
-            let mask = region_mask(range.clone(), n)?;
+            let mask = match perm {
+                None => region_mask(range.clone(), n)?,
+                Some(p) => {
+                    OBS_REGION_MAPPED.inc();
+                    region_mask_mapped(range.clone(), p)?
+                }
+            };
             sel = sel.and(&mask);
         }
         Ok(sel)
@@ -206,6 +258,29 @@ pub fn region_mask(range: Range<u64>, len: u64) -> Result<WahVec, QueryError> {
     b.append_run(true, range.end - range.start);
     b.append_run(false, len - range.end);
     Ok(b.finish())
+}
+
+/// [`region_mask`] under a row reordering: `range` names *original* row
+/// ids, the returned mask has ones at their *stored* positions
+/// (`perm.inv()[i]` for each `i` in the range). The scattered positions
+/// are sorted before building, so the mask is canonical; cost is
+/// O(range length · log) instead of `region_mask`'s O(1) fills — the
+/// price of querying a reordered index, measured by the `reorder` bench.
+pub fn region_mask_mapped(range: Range<u64>, perm: &RowPermutation) -> Result<WahVec, QueryError> {
+    let len = perm.len() as u64;
+    if range.start > range.end || range.end > len {
+        return Err(QueryError::RegionOutOfRange {
+            start: range.start,
+            end: range.end,
+            len,
+        });
+    }
+    let mut ones: Vec<u64> = perm.inv()[range.start as usize..range.end as usize]
+        .iter()
+        .map(|&s| s as u64)
+        .collect();
+    ones.sort_unstable();
+    Ok(WahVec::from_ones(&ones, len))
 }
 
 // ---------------------------------------------------------------------------
@@ -456,7 +531,20 @@ pub fn correlation_query(
     query_a: &SubsetQuery,
     query_b: &SubsetQuery,
 ) -> Result<CorrelationAnswer, QueryError> {
-    correlation_query_planned(a, None, b, None, query_a, query_b)
+    correlation_query_with(a, None, b, None, query_a, query_b, None)
+}
+
+/// [`correlation_query`] over two single-level indices built under the
+/// *same* row reordering (see [`correlation_query_ml_mapped`] for the
+/// invariance argument).
+pub fn correlation_query_mapped(
+    a: &BitmapIndex,
+    b: &BitmapIndex,
+    query_a: &SubsetQuery,
+    query_b: &SubsetQuery,
+    perm: &RowPermutation,
+) -> Result<CorrelationAnswer, QueryError> {
+    correlation_query_with(a, None, b, None, query_a, query_b, Some(perm))
 }
 
 /// [`correlation_query`] over two-level indices: value predicates may plan
@@ -468,16 +556,42 @@ pub fn correlation_query_ml(
     query_a: &SubsetQuery,
     query_b: &SubsetQuery,
 ) -> Result<CorrelationAnswer, QueryError> {
-    correlation_query_planned(a.low(), Some(a), b.low(), Some(b), query_a, query_b)
+    correlation_query_with(a.low(), Some(a), b.low(), Some(b), query_a, query_b, None)
 }
 
-fn correlation_query_planned(
+/// [`correlation_query_ml`] over two indices built under the *same* row
+/// reordering (both variables of a step share one permutation, so their
+/// stored rows stay aligned): region predicates map through the inverse
+/// permutation, and every metric — selection count, MI, conditional
+/// entropy, Pearson, means — is identical to the identity-order answer,
+/// because all of them are row-order invariant.
+pub fn correlation_query_ml_mapped(
+    a: &MultiLevelIndex,
+    b: &MultiLevelIndex,
+    query_a: &SubsetQuery,
+    query_b: &SubsetQuery,
+    perm: &RowPermutation,
+) -> Result<CorrelationAnswer, QueryError> {
+    correlation_query_with(
+        a.low(),
+        Some(a),
+        b.low(),
+        Some(b),
+        query_a,
+        query_b,
+        Some(perm),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn correlation_query_with(
     a: &BitmapIndex,
     ml_a: Option<&MultiLevelIndex>,
     b: &BitmapIndex,
     ml_b: Option<&MultiLevelIndex>,
     query_a: &SubsetQuery,
     query_b: &SubsetQuery,
+    perm: Option<&RowPermutation>,
 ) -> Result<CorrelationAnswer, QueryError> {
     if a.len() != b.len() {
         return Err(QueryError::LengthMismatch {
@@ -486,8 +600,8 @@ fn correlation_query_planned(
         });
     }
     let sel = query_a
-        .evaluate_planned(a, ml_a)?
-        .and(&query_b.evaluate_planned(b, ml_b)?);
+        .evaluate_with(a, ml_a, perm)?
+        .and(&query_b.evaluate_with(b, ml_b, perm)?);
     let selected = sel.count_ones();
     let joint = joint_counts_selected(a, b, &sel);
     Ok(CorrelationAnswer {

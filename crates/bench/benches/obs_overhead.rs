@@ -19,7 +19,7 @@
 //!     cargo bench -p ibis-bench --no-default-features --bench obs_overhead
 
 use ibis_analysis::Metric;
-use ibis_core::{Binner, BitmapIndex, WahVec};
+use ibis_core::{Binner, BitmapIndex, RowOrder, WahVec};
 use ibis_datagen::{Heat3DConfig, OceanConfig, OceanModel};
 use ibis_insitu::{
     run_cluster, run_durable, ClusterConfig, ClusterIo, ClusterReduction, CoreAllocation,
@@ -95,6 +95,7 @@ fn populate_families() {
         metric: Metric::ConditionalEntropy,
         binners: Vec::new(),
         per_step_precision: Some(0),
+        row_order: RowOrder::Identity,
         queue_capacity: 2,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

@@ -13,7 +13,7 @@ use ibis_analysis::sampling::{
 };
 use ibis_analysis::{mine_full, mine_index, mine_multilevel, Cfp, Metric, MiningConfig};
 use ibis_analysis::{StepSummary, VarSummary};
-use ibis_core::{Binner, BitmapIndex, MultiLevelIndex, ZOrderLayout};
+use ibis_core::{Binner, BitmapIndex, MultiLevelIndex, RowOrder, ZOrderLayout};
 use ibis_datagen::{Heat3D, MiniLulesh, OceanConfig, OceanModel, Simulation, StepOutput};
 use ibis_insitu::{
     auto_allocate, run_cluster, run_pipeline, ClusterConfig, ClusterIo, ClusterReduction,
@@ -43,6 +43,7 @@ fn base_pipeline(
         metric,
         binners,
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 4,
         sim_scaling,
         robustness: RobustnessConfig::default(),

@@ -27,6 +27,9 @@ static OBS_MIXED_SEGS: LazyCounter = LazyCounter::new("generation.segments.mixed
 static OBS_RUN_HITS: LazyCounter = LazyCounter::new("generation.run.hits");
 static OBS_RUN_BITS: LazyHistogram =
     LazyHistogram::new("generation.run.bits", ibis_obs::RUN_BITS_BOUNDS);
+// Reorder-path metric (family `reorder`, see DESIGN.md §6j): gather chunks
+// fed through the fused reorder+bin+compress ingest.
+static OBS_GATHER_CHUNKS: LazyCounter = LazyCounter::new("reorder.gather.chunks");
 
 /// Incremental builder for a single [`WahVec`].
 ///
@@ -461,6 +464,32 @@ impl MultiWahBuilder {
         }
     }
 
+    /// The fused reorder+bin+compress ingest: consumes the permuted stream
+    /// `perm.iter().map(|&o| data[o])` without materializing a permuted
+    /// copy of `data`, gathering 31-segment-aligned chunks into a small
+    /// scratch buffer and handing each to
+    /// [`MultiWahBuilder::extend_binned`]. Byte-identical to
+    /// `extend_binned` over the fully permuted array because the batched
+    /// path is call-split invariant (property-proven in
+    /// `prop_generation.rs`), so the constant-segment and cross-segment
+    /// run detection see exactly the same element stream.
+    pub fn extend_binned_gather(&mut self, binner: &Binner, data: &[f64], perm: &[u32]) {
+        // 64 segments per gather: big enough to amortize the chunk loop,
+        // small enough to stay in L1 (16 KiB of f64).
+        const GATHER_CHUNK: usize = SEG_BITS as usize * 64;
+        let mut scratch: Vec<f64> = Vec::with_capacity(GATHER_CHUNK.min(perm.len()));
+        let mut chunks = 0u64;
+        for block in perm.chunks(GATHER_CHUNK) {
+            scratch.clear();
+            scratch.extend(block.iter().map(|&o| data[o as usize]));
+            self.extend_binned(binner, &scratch);
+            chunks += 1;
+        }
+        if ibis_obs::ENABLED {
+            OBS_GATHER_CHUNKS.add(chunks);
+        }
+    }
+
     /// Merges `segs` consecutive all-`bin` segments in O(1): one deficit
     /// settle plus one (possibly merging) 1-fill extension on that bin's
     /// builder; every other bin's zero-deficit grows lazily. Byte-identical
@@ -590,6 +619,22 @@ pub(crate) fn build_bins_reusing_scratch(binner: &Binner, data: &[f64]) -> Vec<W
         let mut mb = cell.borrow_mut();
         mb.reset(binner.nbins());
         mb.extend_binned(binner, data);
+        mb.finish_reset()
+    })
+}
+
+/// [`build_bins_reusing_scratch`] over the permuted stream `data[perm[i]]`
+/// (gathered chunk-wise, never materialized whole) — the reorder pass of
+/// [`crate::BitmapIndex::build_permuted`].
+pub(crate) fn build_bins_reusing_scratch_permuted(
+    binner: &Binner,
+    data: &[f64],
+    perm: &[u32],
+) -> Vec<WahVec> {
+    BUILD_SCRATCH.with(|cell| {
+        let mut mb = cell.borrow_mut();
+        mb.reset(binner.nbins());
+        mb.extend_binned_gather(binner, data, perm);
         mb.finish_reset()
     })
 }

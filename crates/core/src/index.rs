@@ -65,6 +65,46 @@ impl BitmapIndex {
         Self::from_bins(binner, bins)
     }
 
+    /// [`BitmapIndex::build`] over the reordered stream `data[perm[i]]` —
+    /// the compression-aware reorder pass fused into ingestion
+    /// ([`MultiWahBuilder::extend_binned_gather`]): the permuted array is
+    /// never materialized, and the result is byte-identical to
+    /// `build(&perm.reorder(data), binner)`.
+    ///
+    /// # Panics
+    /// When `perm.len() != data.len()`.
+    pub fn build_permuted(
+        data: &[f64],
+        binner: Binner,
+        perm: &crate::roworder::RowPermutation,
+    ) -> Self {
+        assert_eq!(perm.len(), data.len(), "permutation length mismatch");
+        let bins = crate::builder::build_bins_reusing_scratch_permuted(&binner, data, perm.perm());
+        Self::from_bins(binner, bins)
+    }
+
+    /// The index re-expressed in original row order: the exact inverse of
+    /// [`BitmapIndex::build_permuted`], byte-identical to building the
+    /// identity-order index from the same data. O(n) — the stored bins are
+    /// decoded into a per-row bin-id array (scattered through `perm`, so it
+    /// lands already in original order) and re-compressed in one pass.
+    /// Cross-step metrics use this: two steps reordered by *different*
+    /// permutations have no common row space until both are restored.
+    ///
+    /// # Panics
+    /// When `perm.len() != self.len()`.
+    pub fn unpermute(&self, perm: &crate::roworder::RowPermutation) -> Self {
+        assert_eq!(perm.len() as u64, self.len, "permutation length mismatch");
+        let mut ids = vec![0u32; perm.len()];
+        let gather = perm.perm();
+        for (b, bits) in self.bins.iter().enumerate() {
+            for s in bits.iter_ones() {
+                ids[gather[s as usize] as usize] = b as u32;
+            }
+        }
+        Self::build_from_ids(&ids, self.binner.clone())
+    }
+
     /// The element-at-a-time reference build (one `bin_of` + one `push` per
     /// element). Kept as the property-test oracle for the batched fast path
     /// — mirroring how `legacy-kernels` anchors the query kernels.

@@ -37,6 +37,7 @@ mod multilevel;
 mod ops;
 pub mod parallel;
 pub mod roaring;
+pub mod roworder;
 mod runs;
 mod verbatim;
 pub mod wah;
@@ -49,8 +50,9 @@ pub use codec::{select_codec, Codec, CodecId, CodecVec};
 pub use index::{BitmapIndex, RangeQueryError};
 pub use kernels::{DenseBits, PreparedOperand, WahStats};
 pub use multilevel::MultiLevelIndex;
-pub use parallel::{aligned_partition, build_index_parallel};
+pub use parallel::{aligned_partition, build_index_parallel, build_index_parallel_permuted};
 pub use roaring::{ContainerForm, RoaringVec, ARRAY_MAX, CONTAINER_BITS};
+pub use roworder::{RowOrder, RowPermutation};
 pub use verbatim::{build_index_two_phase, Bitset};
 pub use wah::{RawWahError, WahVec};
 pub use zorder::ZOrderLayout;

@@ -69,6 +69,50 @@ pub fn build_index_parallel(data: &[f64], binner: Binner) -> BitmapIndex {
     BitmapIndex::from_bins(binner, bins)
 }
 
+/// [`build_index_parallel`] over the reordered stream `data[perm[i]]`:
+/// the *stored* order is partitioned into 31-aligned sub-blocks, each
+/// worker gathers and compresses its slice of the permutation, and per-bin
+/// results concatenate exactly as in the identity-order build.
+///
+/// Produces bit-identical output to [`BitmapIndex::build_permuted`].
+///
+/// # Panics
+/// When `perm.len() != data.len()`.
+pub fn build_index_parallel_permuted(
+    data: &[f64],
+    binner: Binner,
+    perm: &crate::roworder::RowPermutation,
+) -> BitmapIndex {
+    assert_eq!(perm.len(), data.len(), "permutation length mismatch");
+    let threads = rayon::current_num_threads();
+    let sizes = aligned_partition(data.len(), threads);
+    if sizes.len() <= 1 {
+        return BitmapIndex::build_permuted(data, binner, perm);
+    }
+    let nbins = binner.nbins();
+    let mut blocks: Vec<&[u32]> = Vec::with_capacity(sizes.len());
+    let mut off = 0;
+    for &s in &sizes {
+        blocks.push(&perm.perm()[off..off + s]);
+        off += s;
+    }
+    let partials: Vec<Vec<WahVec>> = blocks
+        .par_iter()
+        .map(|block| crate::builder::build_bins_reusing_scratch_permuted(&binner, data, block))
+        .collect();
+    let bins: Vec<WahVec> = (0..nbins)
+        .into_par_iter()
+        .map(|b| {
+            let mut bld = WahBuilder::new();
+            for part in &partials {
+                bld.append_wah(&part[b]);
+            }
+            bld.finish()
+        })
+        .collect();
+    BitmapIndex::from_bins(binner, bins)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

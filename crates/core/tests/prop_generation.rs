@@ -3,7 +3,9 @@
 //! `append_wah` splice, builder reuse, and the scratch binning API — each
 //! checked byte-identical against its element-at-a-time oracle.
 
-use ibis_core::{Binner, BitmapIndex, MultiWahBuilder, WahBuilder, WahVec};
+use ibis_core::{
+    Binner, BitmapIndex, MultiWahBuilder, RowOrder, RowPermutation, WahBuilder, WahVec,
+};
 use proptest::prelude::*;
 
 /// Values laced with NaN and out-of-range extremes (the clamp paths).
@@ -54,6 +56,14 @@ fn binner() -> impl Strategy<Value = Binner> {
             )
         }),
     ]
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 /// The element-at-a-time reference: one `bin_of` + one `push` per value.
@@ -122,6 +132,48 @@ proptest! {
             prop_assert_eq!(fast.bin(b), slow.bin(b), "bin {} differs", b);
         }
         fast.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn permuted_build_matches_scalar_on_reordered_stream(data in field(), binner in binner()) {
+        // The reorder pass feeds `extend_binned` a *gathered* stream whose
+        // run structure differs from the input's; the fused constant-segment
+        // detection must stay byte-identical to the scalar oracle over the
+        // explicitly reordered data.
+        for order in [RowOrder::GrayBin, RowOrder::HistogramSorted] {
+            let Some(p) = order.permutation(&[], &binner, &data) else {
+                continue;
+            };
+            let fused = BitmapIndex::build_permuted(&data, binner.clone(), &p);
+            let reordered = p.reorder(&data);
+            let slow = BitmapIndex::build_scalar(&reordered, binner.clone());
+            for b in 0..fused.nbins() {
+                prop_assert_eq!(fused.bin(b), slow.bin(b), "bin {} differs", b);
+                fused.bin(b).check_canonical().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_build_matches_scalar_under_coherence_breaking_gather(
+        data in field(), stride in 1usize..64
+    ) {
+        // Adversarial direction: a coprime-stride gather *scatters* the
+        // run-heavy inputs, so constant input segments land fragmented and
+        // the fast path's segment detection must re-derive runs from the
+        // gathered stream, not the source layout.
+        let n = data.len();
+        if n > 1 {
+            let stride = (stride..).find(|s| gcd(*s, n) == 1).unwrap();
+            let perm: Vec<u32> = (0..n).map(|i| ((i * stride) % n) as u32).collect();
+            let p = RowPermutation::from_gather(perm);
+            let binner = Binner::precision(-100.0, 100.0, 0);
+            let fused = BitmapIndex::build_permuted(&data, binner.clone(), &p);
+            let slow = BitmapIndex::build_scalar(&p.reorder(&data), binner);
+            for b in 0..fused.nbins() {
+                prop_assert_eq!(fused.bin(b), slow.bin(b), "bin {} differs", b);
+            }
+        }
     }
 
     #[test]

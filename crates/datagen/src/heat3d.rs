@@ -174,6 +174,11 @@ impl Simulation for Heat3D {
         // time-step" plus the current one)
         (self.t.len() + self.t_next.len()) * 8
     }
+
+    fn grid_dims(&self) -> Option<[usize; 3]> {
+        // index = (k * ny + j) * nx + i — x fastest
+        Some([self.cfg.nz, self.cfg.ny, self.cfg.nx])
+    }
 }
 
 /// One z-slab of a Heat3D mesh distributed across cluster nodes.

@@ -49,6 +49,15 @@ pub trait Simulation: Send {
         0
     }
 
+    /// The structured-grid shape of each output array as `[d0, d1, d2]`
+    /// with the last axis fastest (row-major), or `None` for unstructured
+    /// or mesh-based outputs. Spatial row orders (Z-order, Hilbert) need
+    /// this to interleave coordinates; data-ordered and identity layouts
+    /// don't.
+    fn grid_dims(&self) -> Option<[usize; 3]> {
+        None
+    }
+
     /// Runs `n` steps, collecting all outputs (convenience for tests and
     /// offline analysis; in-situ pipelines consume steps one at a time).
     fn run(&mut self, n: usize) -> Vec<StepOutput> {
@@ -71,5 +80,9 @@ impl Simulation for Box<dyn Simulation> {
 
     fn resident_bytes(&self) -> usize {
         (**self).resident_bytes()
+    }
+
+    fn grid_dims(&self) -> Option<[usize; 3]> {
+        (**self).grid_dims()
     }
 }

@@ -342,6 +342,12 @@ impl Simulation for MiniLulesh {
         "mini-lulesh"
     }
 
+    fn grid_dims(&self) -> Option<[usize; 3]> {
+        // node arrays over the (edge+1)^3 lattice: idx = (k*npe + j)*npe + i
+        let npe = self.cfg.nodes_per_edge();
+        Some([npe, npe, npe])
+    }
+
     fn resident_bytes(&self) -> usize {
         // 13 node arrays plus 5 element arrays — the mesh state the paper
         // notes makes LULESH memory-heavy

@@ -305,6 +305,11 @@ impl Simulation for OceanModel {
     fn name(&self) -> &'static str {
         "ocean"
     }
+
+    fn grid_dims(&self) -> Option<[usize; 3]> {
+        // index = (k * nlat + j) * nlon + i — longitude fastest
+        Some([self.cfg.ndepth, self.cfg.nlat, self.cfg.nlon])
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@
 
 use crate::error::Result;
 use crate::store::Store;
-use ibis_core::MultiLevelIndex;
+use ibis_core::{MultiLevelIndex, RowOrder, RowPermutation};
 use ibis_obs::{LazyCounter, LazyGauge};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -57,6 +57,10 @@ struct Entry {
     last_used: u64,
 }
 
+/// A step's stored row order: which [`RowOrder`] produced it plus the
+/// permutation to map stored rows back to original rows.
+pub type StoredOrder = Arc<(RowOrder, RowPermutation)>;
+
 #[derive(Default)]
 struct Shard {
     map: HashMap<(usize, String), Entry>,
@@ -74,6 +78,12 @@ pub struct CachedStore {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    // Row permutations, memoized per step (`None` = step stored in its
+    // original order, also memoized so absence costs one store probe
+    // total). Deliberately outside the byte budget: a permutation is 4
+    // bytes/row — dwarfed by any decoded index over the same rows — and
+    // evicting it would break in-flight queries' row mapping.
+    orders: Mutex<HashMap<usize, Option<StoredOrder>>>,
 }
 
 impl std::fmt::Debug for CachedStore {
@@ -123,6 +133,7 @@ impl CachedStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            orders: Mutex::new(HashMap::new()),
         }
     }
 
@@ -189,6 +200,21 @@ impl CachedStore {
         }
         OBS_CACHE_RESIDENT.add(delta);
         Ok(ml)
+    }
+
+    /// The row order and permutation `step` was ingested under, or `None`
+    /// for identity-order steps, memoized across calls (see the `orders`
+    /// field note on why permutations sit outside the byte budget). A
+    /// corrupt permutation blob surfaces as [`crate::error::IbisError::Corrupt`]
+    /// on every call rather than being cached — the caller decides whether
+    /// to fsck.
+    pub fn get_order(&self, step: usize) -> Result<Option<StoredOrder>> {
+        if let Some(cached) = self.orders.lock().get(&step) {
+            return Ok(cached.clone());
+        }
+        // Load outside the lock; a racing thread's copy wins below.
+        let loaded = self.store.load_order(step)?.map(Arc::new);
+        Ok(self.orders.lock().entry(step).or_insert(loaded).clone())
     }
 
     /// This instance's counters (independent of the global obs registry,
@@ -362,6 +388,36 @@ mod tests {
             &cache.get("temperature", 0).unwrap(),
             &cache.get("temperature", 0).unwrap()
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_order_memoizes_presence_and_absence() {
+        let dir = std::env::temp_dir().join("ibis-cache-order");
+        std::fs::remove_dir_all(&dir).ok();
+        let data: Vec<f64> = (0..2000).map(|i| ((i * 3) % 40) as f64).collect();
+        let binner = Binner::distinct_ints(0, 39);
+        let order = RowOrder::HistogramSorted;
+        let perm = order.permutation(&[], &binner, &data).unwrap();
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(
+            0,
+            "temperature",
+            &BitmapIndex::build_permuted(&data, binner, &perm),
+        )
+        .unwrap();
+        w.put_order(0, order, &perm).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.finish().unwrap();
+
+        let cache = CachedStore::new(Store::open(&dir).unwrap(), 64 << 20);
+        let a = cache.get_order(0).unwrap().unwrap();
+        let b = cache.get_order(0).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat lookups must share the Arc");
+        assert_eq!(a.0, order);
+        assert_eq!(a.1, perm);
+        assert_eq!(cache.get_order(1).unwrap(), None);
+        assert_eq!(cache.get_order(1).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,8 +12,8 @@
 
 use crate::machine::MachineModel;
 use crate::pipeline::{CoreAllocation, Reduction};
-use ibis_core::Binner;
-use ibis_datagen::Simulation;
+use ibis_core::{Binner, BitmapIndex, RowOrder};
+use ibis_datagen::{Simulation, StepOutput};
 use std::time::{Duration, Instant};
 
 /// Measured probe times.
@@ -85,6 +85,34 @@ pub fn auto_allocate<S: Simulation>(
 /// Sanity helper used by benches: the reduction an allocation is meant for.
 pub fn default_reduction() -> Reduction {
     Reduction::Bitmaps
+}
+
+/// Suggests the [`RowOrder`] whose reordered index of the probe step's
+/// first field is smallest — the same bin histogram the probed index
+/// caches drives the data-dependent orders, so the probe costs one index
+/// build per candidate. Spatial orders are only candidates when `dims`
+/// is known; [`RowOrder::Identity`] wins ties (nothing extra to persist
+/// or map at query time).
+pub fn suggest_row_order(out: &StepOutput, binner: &Binner, dims: Option<[usize; 3]>) -> RowOrder {
+    let Some(f0) = out.fields.first() else {
+        return RowOrder::Identity;
+    };
+    let identity_bytes = BitmapIndex::build(&f0.data, binner.clone()).size_bytes();
+    let mut best = (RowOrder::Identity, identity_bytes);
+    for order in RowOrder::ALL {
+        if order == RowOrder::Identity || (order.is_spatial() && dims.is_none()) {
+            continue;
+        }
+        let d: Vec<usize> = dims.map(|a| a.to_vec()).unwrap_or_default();
+        let Some(perm) = order.permutation(&d, binner, &f0.data) else {
+            continue;
+        };
+        let size = BitmapIndex::build_permuted(&f0.data, binner.clone(), &perm).size_bytes();
+        if size < best.1 {
+            best = (order, size);
+        }
+    }
+    best.0
 }
 
 #[cfg(test)]
@@ -178,6 +206,35 @@ mod tests {
             panic!()
         };
         assert_eq!(sim_cores + bitmap_cores, 8);
+    }
+
+    #[test]
+    fn suggests_a_size_winning_order() {
+        // Scattered-by-position but heavily skewed values: sorting rows by
+        // bin frequency turns the bitmaps into near-pure runs, so a
+        // data-dependent order must beat identity.
+        let data: Vec<f64> = (0..20_000).map(|i| ((i * 37) % 50) as f64).collect();
+        let out = StepOutput {
+            step: 0,
+            fields: vec![ibis_datagen::Field::new("temperature", data)],
+        };
+        let binner = Binner::distinct_ints(0, 49);
+        let suggested = suggest_row_order(&out, &binner, None);
+        assert!(
+            suggested.is_data_dependent(),
+            "expected a data-dependent order, got {}",
+            suggested.name()
+        );
+
+        // Constant data: every order ties with identity, identity wins.
+        let flat = StepOutput {
+            step: 0,
+            fields: vec![ibis_datagen::Field::new("temperature", vec![1.0; 4096])],
+        };
+        assert_eq!(
+            suggest_row_order(&flat, &binner, Some([16, 16, 16])),
+            RowOrder::Identity
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@
 use crate::cache::{CacheStats, CachedStore};
 use crate::error::{IbisError, Result};
 use crate::json::{self, Json};
-use ibis_analysis::{correlation_query_ml, CorrelationAnswer, SubsetQuery};
+use ibis_analysis::{
+    correlation_query_ml, correlation_query_ml_mapped, CorrelationAnswer, SubsetQuery,
+};
 use ibis_obs::LazyCounter;
 use std::ops::Range;
 use std::time::Instant;
@@ -137,7 +139,16 @@ impl QueryEngine {
             } => {
                 deadline_check(deadline, "subset load")?;
                 let ml = self.cache.get(variable, *step)?;
-                let sel = query.evaluate_ml(&ml).map_err(IbisError::Query)?;
+                // A step ingested under a non-identity row order stores
+                // rows permuted; region predicates arrive in *original*
+                // row ids, so route them through the step's inverse
+                // permutation (value ranges are order-invariant).
+                let order = self.cache.get_order(*step)?;
+                let sel = match order.as_deref() {
+                    Some((_, perm)) => query.evaluate_ml_mapped(&ml, perm),
+                    None => query.evaluate_ml(&ml),
+                }
+                .map_err(IbisError::Query)?;
                 Ok(QueryAnswer::Subset {
                     selected: sel.count_ones(),
                     of: ml.low().len(),
@@ -154,9 +165,16 @@ impl QueryEngine {
                 let a = self.cache.get(var_a, *step)?;
                 deadline_check(deadline, "correlation load b")?;
                 let b = self.cache.get(var_b, *step)?;
-                correlation_query_ml(&a, &b, query_a, query_b)
-                    .map(QueryAnswer::Correlation)
-                    .map_err(IbisError::Query)
+                // Both operands of one step share the step's permutation
+                // (orders are per step, not per variable), so their
+                // selections stay row-aligned under the AND.
+                let order = self.cache.get_order(*step)?;
+                match order.as_deref() {
+                    Some((_, perm)) => correlation_query_ml_mapped(&a, &b, query_a, query_b, perm),
+                    None => correlation_query_ml(&a, &b, query_a, query_b),
+                }
+                .map(QueryAnswer::Correlation)
+                .map_err(IbisError::Query)
             }
         }
     }

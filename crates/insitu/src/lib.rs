@@ -49,7 +49,7 @@ pub mod store;
 pub use cache::{CacheStats, CachedStore};
 pub use engine::{QueryAnswer, QueryEngine, QueryRequest};
 
-pub use calibrate::{auto_allocate, calibrate, Calibration};
+pub use calibrate::{auto_allocate, calibrate, suggest_row_order, Calibration};
 pub use cluster::{run_cluster, ClusterConfig, ClusterIo, ClusterReduction, ClusterReport};
 pub use error::{DecodeError, IbisError, Result, WorkerRole};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, WriteFault};
@@ -66,4 +66,4 @@ pub use serving::{
     DeadlineStage, QueryServer, ServeConfig, ServeError, ServeResult, ServeStats, SocketServer,
     Ticket,
 };
-pub use store::{FsckReport, QuarantinedBlob, Store, StoreWriter};
+pub use store::{FsckReport, QuarantinedBlob, Store, StoreWriter, ORDER_VARIABLE};

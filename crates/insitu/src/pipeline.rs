@@ -50,7 +50,9 @@ use crate::store::StoreWriter;
 use ibis_analysis::sampling::{sample, SamplingMethod};
 use ibis_analysis::selection::fixed_intervals;
 use ibis_analysis::{Metric, StepSummary, VarSummary};
-use ibis_core::{build_index_parallel, Binner};
+use ibis_core::{
+    build_index_parallel, build_index_parallel_permuted, Binner, RowOrder, RowPermutation,
+};
 use ibis_datagen::{Simulation, StepOutput};
 use ibis_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -83,6 +85,12 @@ static OBS_QUEUE_IN_FLIGHT: LazyGauge = LazyGauge::new("pipeline.queue.in_flight
 static OBS_QUEUE_BOUND: LazyGauge = LazyGauge::new("pipeline.queue.bound");
 static OBS_QUEUE_STALLS: LazyCounter = LazyCounter::new("pipeline.queue.stalls");
 static OBS_QUEUE_STALL_NS: LazyCounter = LazyCounter::new("pipeline.queue.stall_ns");
+/// Steps whose summaries were built under a non-identity row permutation
+/// (family `reorder`, see DESIGN.md §6j).
+static OBS_REORDER_STEPS: LazyCounter = LazyCounter::new("reorder.pipeline.steps");
+/// Summaries transiently restored to original row order so that cross-step
+/// metrics compare aligned rows (see [`restored_summary`]).
+static OBS_REORDER_RESTORES: LazyCounter = LazyCounter::new("reorder.metric.restores");
 
 /// What each time-step is reduced to before the raw data is discarded.
 #[derive(Debug, Clone)]
@@ -176,6 +184,15 @@ pub struct PipelineConfig {
     /// step's temperature range). Cross-step EMD uses the lattice-aligned
     /// variants; conditional entropy needs no alignment.
     pub per_step_precision: Option<i32>,
+    /// Row layout bitmap summaries are built under: each step's rows are
+    /// permuted by this order before the fused bin+compress pass, trading
+    /// an O(n) gather for longer constant runs (smaller bitmaps). Queries
+    /// stay in original row ids — the durable path persists each step's
+    /// inverse permutation next to its indices and the query engine maps
+    /// selections back transparently. [`RowOrder::Identity`] (the
+    /// default) is the pre-reorder pipeline, byte-identical stores
+    /// included.
+    pub row_order: RowOrder,
     /// Data-queue capacity for Separate-Cores (steps buffered between the
     /// simulation and bitmap cores; bounds memory).
     pub queue_capacity: usize,
@@ -230,18 +247,25 @@ impl PipelineConfig {
 }
 
 /// Builds the summary of one step under the configured reduction; returns
-/// the summary and its resident byte size.
+/// the summary plus the row permutation it was built under (`None` for
+/// identity layouts and non-bitmap reductions).
 ///
 /// Bitmap reductions go through [`build_index_parallel`], which runs the
 /// fused bin+compress fast path per sub-block on per-thread reusable
 /// builder scratch — both Shared and Separate allocations stop paying
-/// per-step binning/builder allocations in steady state.
+/// per-step binning/builder allocations in steady state. Under a
+/// non-identity [`RowOrder`] the same pass runs permuted
+/// ([`build_index_parallel_permuted`]): *one* permutation per step,
+/// computed from the first field, applied to every field, so
+/// cross-variable correlation bitmaps stay row-aligned.
 fn summarize(
     out: &StepOutput,
     reduction: &Reduction,
     binners: &[Binner],
     per_step_precision: Option<i32>,
-) -> StepSummary {
+    row_order: RowOrder,
+    dims: &[usize],
+) -> (StepSummary, Option<Arc<RowPermutation>>) {
     let fit = |f: &ibis_datagen::Field| match per_step_precision {
         Some(digits) => Binner::fit_precision_anchored(&f.data, digits),
         None => unreachable!("callers pass binners when precision is unset"),
@@ -252,6 +276,25 @@ fn summarize(
             binners.len(),
             "one binner per field required"
         );
+    }
+    let perm = match (reduction, out.fields.first()) {
+        (Reduction::Bitmaps, Some(f0))
+            // a shared per-step permutation needs every field on the
+            // same grid
+            if out.fields.iter().all(|f| f.data.len() == f0.data.len()) =>
+        {
+            let binner0 = match per_step_precision {
+                Some(_) => fit(f0),
+                None => binners[0].clone(),
+            };
+            row_order
+                .permutation(dims, &binner0, &f0.data)
+                .map(Arc::new)
+        }
+        _ => None,
+    };
+    if perm.is_some() {
+        OBS_REORDER_STEPS.inc();
     }
     let vars = out
         .fields
@@ -265,17 +308,23 @@ fn summarize(
             (f, binner)
         })
         .map(|(f, binner)| match reduction {
-            Reduction::Bitmaps => VarSummary::Bitmap(build_index_parallel(&f.data, binner)),
+            Reduction::Bitmaps => VarSummary::Bitmap(match &perm {
+                Some(p) => build_index_parallel_permuted(&f.data, binner, p),
+                None => build_index_parallel(&f.data, binner),
+            }),
             Reduction::FullData => VarSummary::full(f.data.clone(), binner),
             Reduction::Sampling { percent, method } => {
                 VarSummary::full(sample(&f.data, *percent, *method), binner)
             }
         })
         .collect();
-    StepSummary {
-        step: out.step,
-        vars,
-    }
+    (
+        StepSummary {
+            step: out.step,
+            vars,
+        },
+        perm,
+    )
 }
 
 /// The sampling-baseline fallback: sample each field, then reduce the
@@ -321,9 +370,11 @@ fn fallback_summarize(
 struct StreamingSelector {
     intervals: Vec<std::ops::Range<usize>>,
     cur: usize,
-    /// The previously selected summary and whether it is degraded.
-    prev: Option<(StepSummary, bool)>,
-    buffer: Vec<(usize, StepSummary, bool)>,
+    /// The previously selected summary, whether it is degraded, and the
+    /// row permutation it was built under (the durable path persists it
+    /// next to the winner's indices).
+    prev: Option<(StepSummary, bool, Option<Arc<RowPermutation>>)>,
+    buffer: Vec<(usize, StepSummary, bool, Option<Arc<RowPermutation>>)>,
     selected: Vec<usize>,
     metric: Metric,
     /// Metric-evaluation time (measured).
@@ -334,6 +385,44 @@ struct StreamingSelector {
 struct Emitted {
     step: usize,
     summary_bytes: u64,
+}
+
+/// The summary re-expressed in original row order, for metric scoring.
+///
+/// Data-dependent orders give every step its *own* permutation, so two
+/// reordered summaries share no common row space: the row-alignment-
+/// sensitive metrics (conditional entropy's joint counts, spatial EMD's
+/// per-bin XOR) would compare unrelated rows and steer the selection away
+/// from the identity-order run's. Restoring both sides before scoring
+/// keeps the selection byte-identical to an identity-order run. The
+/// restore is transient — O(n) per variable, alive only while one
+/// interval is scored — and the persisted form stays reordered.
+fn restored_summary(s: &StepSummary, perm: &RowPermutation) -> StepSummary {
+    OBS_REORDER_RESTORES.inc();
+    StepSummary {
+        step: s.step,
+        vars: s
+            .vars
+            .iter()
+            .map(|v| match v {
+                VarSummary::Bitmap(idx) => VarSummary::Bitmap(idx.unpermute(perm)),
+                // Full summaries are never built under a permutation (the
+                // reorder pass is fused into the bitmap build).
+                full @ VarSummary::Full { .. } => full.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// [`restored_summary`] as a borrow-when-identity view.
+fn restored_view<'a>(
+    s: &'a StepSummary,
+    perm: Option<&RowPermutation>,
+) -> std::borrow::Cow<'a, StepSummary> {
+    match perm {
+        Some(p) => std::borrow::Cow::Owned(restored_summary(s, p)),
+        None => std::borrow::Cow::Borrowed(s),
+    }
 }
 
 impl StreamingSelector {
@@ -357,7 +446,13 @@ impl StreamingSelector {
     /// The most recently selected summary (the durable path persists it
     /// right after an emission).
     fn prev_summary(&self) -> Option<&StepSummary> {
-        self.prev.as_ref().map(|(s, _)| s)
+        self.prev.as_ref().map(|(s, _, _)| s)
+    }
+
+    /// The row permutation of the most recently selected summary, if it
+    /// was built under one.
+    fn prev_order(&self) -> Option<&Arc<RowPermutation>> {
+        self.prev.as_ref().and_then(|(_, _, p)| p.as_ref())
     }
 
     /// Offers the next step's summary; returns a selection event if one was
@@ -367,6 +462,7 @@ impl StreamingSelector {
         idx: usize,
         summary: StepSummary,
         degraded: bool,
+        perm: Option<Arc<RowPermutation>>,
         mem: &MemoryTracker,
     ) -> Option<Emitted> {
         if self.prev.is_none() {
@@ -374,14 +470,14 @@ impl StreamingSelector {
             // clean run).
             let bytes = summary.size_bytes() as u64;
             self.selected.push(idx);
-            self.prev = Some((summary, degraded));
+            self.prev = Some((summary, degraded, perm));
             let _ = self.close_due(idx, mem); // buffer is empty: advances only
             return Some(Emitted {
                 step: idx,
                 summary_bytes: bytes,
             });
         }
-        self.buffer.push((idx, summary, degraded));
+        self.buffer.push((idx, summary, degraded, perm));
         self.close_due(idx, mem)
     }
 
@@ -405,23 +501,27 @@ impl StreamingSelector {
             if self.buffer.is_empty() {
                 continue; // every step of the interval failed: emit nothing
             }
-            let Some((prev, prev_degraded)) = self.prev.as_ref() else {
+            let Some((prev, prev_degraded, prev_perm)) = self.prev.as_ref() else {
                 // unreachable (buffer only fills after seeding) — but if it
                 // ever happened, dropping the buffer beats panicking
-                for (_, s, _) in self.buffer.drain(..) {
+                for (_, s, _, _) in self.buffer.drain(..) {
                     mem.free(s.size_bytes() as u64);
                 }
                 continue;
             };
-            // Score the interval against the previous selection; keep the max.
+            // Score the interval against the previous selection; keep the
+            // max. Reordered summaries are restored to original row order
+            // first, so cross-step metrics always compare aligned rows
+            // (entropy is count-based and needs no restore).
             let t0 = PhaseClock::start();
+            let prev_view = restored_view(prev, prev_perm.as_deref());
             let mut best = 0usize;
             let mut best_score = f64::NEG_INFINITY;
-            for (pos, (_, s, degraded)) in self.buffer.iter().enumerate() {
+            for (pos, (_, s, degraded, perm)) in self.buffer.iter().enumerate() {
                 let score = if *degraded || *prev_degraded {
                     (s.entropy() - prev.entropy()).abs()
                 } else {
-                    s.metric(prev, self.metric)
+                    restored_view(s, perm.as_deref()).metric(&prev_view, self.metric)
                 };
                 if score > best_score {
                     best_score = score;
@@ -438,12 +538,12 @@ impl StreamingSelector {
                     mem.free(entry.1.size_bytes() as u64);
                 }
             }
-            if let Some((widx, wsum, wdeg)) = winner {
+            if let Some((widx, wsum, wdeg, wperm)) = winner {
                 let bytes = wsum.size_bytes() as u64;
                 self.selected.push(widx);
                 // the previous selection is no longer needed in memory
                 mem.free(prev_bytes);
-                self.prev = Some((wsum, wdeg));
+                self.prev = Some((wsum, wdeg, wperm));
                 emitted = Some(Emitted {
                     step: widx,
                     summary_bytes: bytes,
@@ -454,10 +554,10 @@ impl StreamingSelector {
     }
 
     fn finish(self, mem: &MemoryTracker) -> (Vec<usize>, Duration) {
-        for (_, s, _) in self.buffer {
+        for (_, s, _, _) in self.buffer {
             mem.free(s.size_bytes() as u64);
         }
-        if let Some((p, _)) = self.prev {
+        if let Some((p, _, _)) = self.prev {
             mem.free(p.size_bytes() as u64);
         }
         (self.selected, self.select_time)
@@ -495,10 +595,28 @@ fn reduce_scaling(reduction: &Reduction) -> ScalingModel {
 
 /// What a contained reduction attempt produced.
 enum StepAttempt {
-    /// A usable summary (possibly degraded via the sampling fallback).
-    Kept(StepSummary, bool, StepOutcome),
+    /// A usable summary (possibly degraded via the sampling fallback),
+    /// with the row permutation it was built under.
+    Kept(StepSummary, Option<Arc<RowPermutation>>, bool, StepOutcome),
     /// The step is gone; the outcome says why.
     Dropped(StepOutcome),
+}
+
+/// Resolves the grid dims a spatial [`RowOrder`] needs, as a typed error
+/// when the simulation has none (a mesh workload under `zorder`/`hilbert`
+/// should fail loudly, not silently keep the identity layout).
+fn resolve_dims<S: Simulation>(sim: &S, cfg: &PipelineConfig) -> Result<Vec<usize>> {
+    if !cfg.row_order.is_spatial() {
+        return Ok(Vec::new());
+    }
+    match sim.grid_dims() {
+        Some(d) => Ok(d.to_vec()),
+        None => Err(IbisError::Config(format!(
+            "row order '{}' needs a structured grid, but {} reports no grid dims",
+            cfg.row_order.name(),
+            sim.name()
+        ))),
+    }
 }
 
 /// Runs `summarize` for one step under `catch_unwind`, resolving a panic
@@ -508,6 +626,7 @@ fn contained_summarize(
     out: &StepOutput,
     i: usize,
     cfg: &PipelineConfig,
+    dims: &[usize],
     pool: &rayon::ThreadPool,
     injector: &FaultInjector,
     reduce_t: &mut Duration,
@@ -516,14 +635,28 @@ fn contained_summarize(
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         pool.install(|| {
             injector.maybe_panic(FaultSite::Consumer, i);
-            summarize(out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
+            summarize(
+                out,
+                &cfg.reduction,
+                &cfg.binners,
+                cfg.per_step_precision,
+                cfg.row_order,
+                dims,
+            )
         })
     }));
     let spent = t0.elapsed();
     *reduce_t += spent;
     OBS_COMPRESS_NS.record(spent.as_nanos() as u64);
     let payload = match attempt {
-        Ok(summary) => return Ok(StepAttempt::Kept(summary, false, StepOutcome::Completed)),
+        Ok((summary, perm)) => {
+            return Ok(StepAttempt::Kept(
+                summary,
+                perm,
+                false,
+                StepOutcome::Completed,
+            ))
+        }
         Err(payload) => payload,
     };
     let msg = panic_message(payload.as_ref());
@@ -553,8 +686,11 @@ fn contained_summarize(
             }));
             *reduce_t += t0.elapsed();
             match fb {
+                // Fallback summaries cover a sampled subset, so the
+                // step's permutation doesn't apply: stored identity.
                 Ok(summary) => Ok(StepAttempt::Kept(
                     summary,
+                    None,
                     true,
                     StepOutcome::FallbackSampled {
                         reason: format!("summarize panicked: {msg}"),
@@ -632,6 +768,7 @@ fn run_shared<S: Simulation>(
     injector: &FaultInjector,
 ) -> Result<InsituReport> {
     let wall0 = Instant::now();
+    let dims = resolve_dims(&sim, cfg)?;
     let pool = cfg.machine.pool(cfg.cores);
     let threads = pool.current_num_threads();
     let mem = MemoryTracker::new();
@@ -682,15 +819,15 @@ fn run_shared<S: Simulation>(
         raw_bytes_per_step = raw;
         mem.alloc(raw);
 
-        match contained_summarize(&out, i, cfg, &pool, injector, &mut reduce_t)? {
-            StepAttempt::Kept(summary, degraded, outcome) => {
+        match contained_summarize(&out, i, cfg, &dims, &pool, injector, &mut reduce_t)? {
+            StepAttempt::Kept(summary, perm, degraded, outcome) => {
                 let sbytes = summary.size_bytes() as u64;
                 summary_bytes_total += sbytes;
                 mem.alloc(sbytes);
                 drop(out);
                 mem.free(raw); // raw data discarded once the summary exists
                 outcomes.push(outcome);
-                if let Some(e) = selector.offer(i, summary, degraded, &mem) {
+                if let Some(e) = selector.offer(i, summary, degraded, perm, &mem) {
                     persist_emitted(
                         &e,
                         storage,
@@ -778,6 +915,7 @@ fn run_separate<S: Simulation>(
         unreachable!("dispatched on allocation");
     };
     let wall0 = Instant::now();
+    let dims = resolve_dims(&sim, cfg)?;
     let mem = MemoryTracker::new();
     let sim_resident = sim.resident_bytes() as u64;
     mem.alloc(sim_resident);
@@ -930,14 +1068,21 @@ fn run_separate<S: Simulation>(
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 timed_in_pool(&bm_pool, || {
                     injector.maybe_panic(FaultSite::Consumer, i);
-                    summarize(&out, &cfg.reduction, &cfg.binners, cfg.per_step_precision)
+                    summarize(
+                        &out,
+                        &cfg.reduction,
+                        &cfg.binners,
+                        cfg.per_step_precision,
+                        cfg.row_order,
+                        &dims,
+                    )
                 })
             }));
             let kept = match attempt {
-                Ok((summary, d)) => {
+                Ok(((summary, perm), d)) => {
                     reduce_t += d;
                     OBS_COMPRESS_NS.record(d.as_nanos() as u64);
-                    Some((summary, false, StepOutcome::Completed))
+                    Some((summary, perm, false, StepOutcome::Completed))
                 }
                 Err(payload) => {
                     let msg = panic_message(payload.as_ref());
@@ -977,6 +1122,7 @@ fn run_separate<S: Simulation>(
                                     OBS_COMPRESS_NS.record(d.as_nanos() as u64);
                                     Some((
                                         summary,
+                                        None,
                                         true,
                                         StepOutcome::FallbackSampled {
                                             reason: format!("summarize panicked: {msg}"),
@@ -998,14 +1144,14 @@ fn run_separate<S: Simulation>(
                 }
             };
             let emitted = match kept {
-                Some((summary, degraded, outcome)) => {
+                Some((summary, perm, degraded, outcome)) => {
                     let sbytes = summary.size_bytes() as u64;
                     summary_bytes_total += sbytes;
                     mem.alloc(sbytes);
                     drop(out);
                     mem.free(raw);
                     outcomes.push(outcome);
-                    selector.offer(i, summary, degraded, &mem)
+                    selector.offer(i, summary, degraded, perm, &mem)
                 }
                 None => {
                     drop(out);
@@ -1110,8 +1256,11 @@ fn run_separate<S: Simulation>(
 
 /// Magic prefix of a CHECKPOINT file.
 const CHECKPOINT_MAGIC: &[u8; 4] = b"IBCK";
-/// Checkpoint format version.
-const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint format version. v2 appends each embedded summary's row
+/// permutation (data-dependent orders cannot recompute it after resume —
+/// the raw step data is gone — and a buffered step may still win its
+/// interval and need its permutation persisted).
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Everything needed to pick a durable run back up after a crash.
 #[derive(Default)]
@@ -1119,8 +1268,8 @@ struct CheckpointState {
     next_step: usize,
     selected: Vec<usize>,
     cur_interval: usize,
-    prev: Option<(StepSummary, bool)>,
-    buffer: Vec<(usize, StepSummary, bool)>,
+    prev: Option<(StepSummary, bool, Option<Arc<RowPermutation>>)>,
+    buffer: Vec<(usize, StepSummary, bool, Option<Arc<RowPermutation>>)>,
     outcomes: Vec<StepOutcome>,
     output_modeled: f64,
     bytes_written: u64,
@@ -1137,7 +1286,12 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_summary(buf: &mut Vec<u8>, summary: &StepSummary, degraded: bool) -> Result<()> {
+fn put_summary(
+    buf: &mut Vec<u8>,
+    summary: &StepSummary,
+    degraded: bool,
+    perm: Option<&RowPermutation>,
+) -> Result<()> {
     put_u64(buf, summary.step as u64);
     buf.push(degraded as u8);
     put_u64(buf, summary.vars.len() as u64);
@@ -1150,6 +1304,15 @@ fn put_summary(buf: &mut Vec<u8>, summary: &StepSummary, degraded: bool) -> Resu
         let blob = codec::encode_index(idx);
         put_u64(buf, blob.len() as u64);
         buf.extend_from_slice(&blob);
+    }
+    match perm {
+        Some(p) => {
+            buf.push(1);
+            let payload = crate::store::encode_perm_payload(p.inv());
+            put_u64(buf, payload.len() as u64);
+            buf.extend_from_slice(&payload);
+        }
+        None => buf.push(0),
     }
     Ok(())
 }
@@ -1165,16 +1328,16 @@ fn encode_checkpoint(state: &CheckpointState) -> Result<Vec<u8>> {
     }
     put_u64(&mut buf, state.cur_interval as u64);
     match &state.prev {
-        Some((summary, degraded)) => {
+        Some((summary, degraded, perm)) => {
             buf.push(1);
-            put_summary(&mut buf, summary, *degraded)?;
+            put_summary(&mut buf, summary, *degraded, perm.as_deref())?;
         }
         None => buf.push(0),
     }
     put_u64(&mut buf, state.buffer.len() as u64);
-    for (idx, summary, degraded) in &state.buffer {
+    for (idx, summary, degraded, perm) in &state.buffer {
         put_u64(&mut buf, *idx as u64);
-        put_summary(&mut buf, summary, *degraded)?;
+        put_summary(&mut buf, summary, *degraded, perm.as_deref())?;
     }
     put_u64(&mut buf, state.outcomes.len() as u64);
     for outcome in &state.outcomes {
@@ -1235,7 +1398,7 @@ impl<'a> CkptReader<'a> {
             .map_err(|_| IbisError::BadCheckpoint("non-UTF-8 string".into()))
     }
 
-    fn summary(&mut self) -> Result<(StepSummary, bool)> {
+    fn summary(&mut self) -> Result<(StepSummary, bool, Option<Arc<RowPermutation>>)> {
         let step = self.usize()?;
         let degraded = self.u8()? != 0;
         let nvars = self.usize()?;
@@ -1255,7 +1418,28 @@ impl<'a> CkptReader<'a> {
                 .map_err(|e| IbisError::BadCheckpoint(format!("embedded index: {e}")))?;
             vars.push(VarSummary::Bitmap(idx));
         }
-        Ok((StepSummary { step, vars }, degraded))
+        let perm = match self.u8()? {
+            0 => None,
+            1 => {
+                let len = self.usize()?;
+                if len > self.buf.len() {
+                    return Err(IbisError::BadCheckpoint(
+                        "permutation length overflows".into(),
+                    ));
+                }
+                let inv = crate::store::decode_perm_payload(self.take(len)?)
+                    .map_err(|e| IbisError::BadCheckpoint(format!("embedded permutation: {e}")))?;
+                let perm = RowPermutation::from_inverse(inv)
+                    .map_err(|e| IbisError::BadCheckpoint(format!("embedded permutation: {e}")))?;
+                Some(Arc::new(perm))
+            }
+            t => {
+                return Err(IbisError::BadCheckpoint(format!(
+                    "bad permutation-presence tag {t}"
+                )))
+            }
+        };
+        Ok((StepSummary { step, vars }, degraded, perm))
     }
 }
 
@@ -1309,8 +1493,8 @@ fn parse_checkpoint(bytes: &[u8]) -> Result<CheckpointState> {
     let mut buffer = Vec::with_capacity(nbuffer);
     for _ in 0..nbuffer {
         let idx = r.usize()?;
-        let (summary, degraded) = r.summary()?;
-        buffer.push((idx, summary, degraded));
+        let (summary, degraded, perm) = r.summary()?;
+        buffer.push((idx, summary, degraded, perm));
     }
     let noutcomes = r.usize()?;
     if noutcomes != next_step {
@@ -1426,6 +1610,8 @@ fn durable_impl<S: Simulation>(
     }
     .with_fault_injector(Arc::clone(&injector));
 
+    let dims = resolve_dims(&sim, cfg)?;
+
     // Replay the completed prefix to restore the deterministic simulation's
     // state (recovery overhead: charged to wall time, not modeled time).
     for _ in 0..state.next_step {
@@ -1440,10 +1626,10 @@ fn durable_impl<S: Simulation>(
     selector.selected = state.selected;
     selector.prev = state.prev;
     selector.buffer = state.buffer;
-    if let Some((p, _)) = &selector.prev {
+    if let Some((p, _, _)) = &selector.prev {
         mem.alloc(p.size_bytes() as u64);
     }
-    for (_, s, _) in &selector.buffer {
+    for (_, s, _, _) in &selector.buffer {
         mem.alloc(s.size_bytes() as u64);
     }
     let mut outcomes = state.outcomes;
@@ -1477,6 +1663,12 @@ fn durable_impl<S: Simulation>(
             };
             let name = names.get(j).map(String::as_str).unwrap_or("field");
             writer.put(e.step, name, idx)?;
+        }
+        if let Some(perm) = selector.prev_order() {
+            // The winner's indices are stored permuted: persist the
+            // inverse permutation next to them so the query engine can
+            // map selections back to original row ids.
+            writer.put_order(e.step, cfg.row_order, perm)?;
         }
         *output_modeled += e.summary_bytes as f64 / disk_bw;
         *bytes_written += e.summary_bytes;
@@ -1521,15 +1713,15 @@ fn durable_impl<S: Simulation>(
                 let raw = out.size_bytes() as u64;
                 raw_bytes_per_step = raw;
                 mem.alloc(raw);
-                match contained_summarize(&out, i, cfg, &pool, &injector, &mut reduce_t)? {
-                    StepAttempt::Kept(summary, degraded, outcome) => {
+                match contained_summarize(&out, i, cfg, &dims, &pool, &injector, &mut reduce_t)? {
+                    StepAttempt::Kept(summary, perm, degraded, outcome) => {
                         let sbytes = summary.size_bytes() as u64;
                         summary_bytes_total += sbytes;
                         mem.alloc(sbytes);
                         drop(out);
                         mem.free(raw);
                         outcomes.push(outcome);
-                        if let Some(e) = selector.offer(i, summary, degraded, &mem) {
+                        if let Some(e) = selector.offer(i, summary, degraded, perm, &mem) {
                             persist_winner(
                                 &selector,
                                 &mut writer,
@@ -1655,6 +1847,7 @@ mod tests {
             metric: Metric::ConditionalEntropy,
             binners: vec![Binner::precision(-1.0, 101.0, 0)],
             per_step_precision: None,
+            row_order: RowOrder::Identity,
             queue_capacity: 3,
             sim_scaling: ScalingModel::heat3d(),
             robustness: RobustnessConfig::default(),
@@ -1917,7 +2110,13 @@ mod tests {
     #[test]
     fn checkpoint_round_trips() {
         let data: Vec<f64> = (0..200).map(|i| (i % 30) as f64).collect();
-        let idx = ibis_core::BitmapIndex::build(&data, Binner::distinct_ints(0, 29));
+        let binner = Binner::distinct_ints(0, 29);
+        let perm = Arc::new(
+            RowOrder::HistogramSorted
+                .permutation(&[], &binner, &data)
+                .unwrap(),
+        );
+        let idx = ibis_core::BitmapIndex::build_permuted(&data, binner, &perm);
         let summary = StepSummary {
             step: 4,
             vars: vec![VarSummary::Bitmap(idx)],
@@ -1926,8 +2125,8 @@ mod tests {
             next_step: 5,
             selected: vec![0, 4],
             cur_interval: 1,
-            prev: Some((summary.clone(), false)),
-            buffer: vec![(4, summary, true)],
+            prev: Some((summary.clone(), false, None)),
+            buffer: vec![(4, summary, true, Some(Arc::clone(&perm)))],
             outcomes: vec![
                 StepOutcome::Completed,
                 StepOutcome::Skipped { reason: "x".into() },
@@ -1949,8 +2148,18 @@ mod tests {
         assert_eq!(back.output_modeled, 1.25);
         assert_eq!(back.bytes_written, 777);
         assert!(back.prev.is_some());
+        assert_eq!(
+            back.prev.as_ref().unwrap().2,
+            None,
+            "identity-layout summaries carry no permutation"
+        );
         assert_eq!(back.buffer.len(), 1);
         assert!(back.buffer[0].2, "degraded flag survives");
+        assert_eq!(
+            back.buffer[0].3.as_deref(),
+            Some(perm.as_ref()),
+            "v2 checkpoints round-trip the buffered step's permutation"
+        );
 
         // any flipped byte must be rejected
         let mut bad = bytes.clone();

@@ -13,7 +13,10 @@
 //!   codec plan includes a non-WAH bin use the tagged v3 frame `IBB3 |
 //!   codec tag (u8) | payload len (u64 LE) | payload | CRC32-C (u32
 //!   LE)`, where the tag is the uniform per-bin [`CodecId::tag`] or
-//!   `0xFF` for a mixed plan;
+//!   `0xFF` for a mixed plan; a step ingested under a non-identity
+//!   [`RowOrder`] additionally persists its inverse permutation under the
+//!   reserved [`ORDER_VARIABLE`] entry in the analogous `IBP1` frame
+//!   (order tag in the `IBB3` tag position, outside the payload CRC);
 //! * a `JOURNAL` records each durable blob as it lands (each line carries
 //!   its own CRC, so a torn journal tail is detected and ignored) — an
 //!   interrupted run can [`StoreWriter::resume`] and re-put idempotently;
@@ -46,7 +49,7 @@ use crate::crc::crc32c;
 use crate::error::{IbisError, Result};
 use crate::fault::{FaultInjector, WriteFault};
 use crate::io::{codec, write_atomic};
-use ibis_core::{BitmapIndex, CodecId};
+use ibis_core::{BitmapIndex, CodecId, RowOrder, RowPermutation};
 use ibis_obs::LazyCounter;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -57,8 +60,17 @@ use std::sync::Arc;
 const BLOB_MAGIC: &[u8; 4] = b"IBB2";
 /// Magic prefix of a codec-tagged framed blob.
 const BLOB_MAGIC_TAGGED: &[u8; 4] = b"IBB3";
+/// Magic prefix of a row-permutation framed blob (`IBP1 | order tag (u8) |
+/// payload len (u64 LE) | payload | CRC32-C (u32 LE)`, the tag outside the
+/// payload CRC exactly like `IBB3`'s codec tag).
+const BLOB_MAGIC_PERM: &[u8; 4] = b"IBP1";
 /// Frame codec tag meaning "bins use more than one codec".
 const MIXED_TAG: u8 = 0xFF;
+/// Reserved variable name a step's row permutation stores under. Passes
+/// [`check_variable_name`] so the blob rides the ordinary entry / journal /
+/// manifest machinery, but is hidden from [`Store::variables`] and refused
+/// by [`StoreWriter::put`], so no data variable can collide with it.
+pub const ORDER_VARIABLE: &str = "__order";
 /// First line of a v2 manifest.
 const MANIFEST_HEADER: &str = "#IBIS-STORE v2";
 /// Untagged framing overhead: magic + u64 length + u32 CRC.
@@ -87,6 +99,10 @@ static OBS_FSCK_QUARANTINED: LazyCounter = LazyCounter::new("store.fsck.quaranti
 static OBS_MANIFEST_WRITES: LazyCounter = LazyCounter::new("store.manifest.writes");
 static OBS_PUT_TAGGED: LazyCounter = LazyCounter::new("store.put.tagged_blobs");
 static OBS_FSCK_TAG_MISMATCH: LazyCounter = LazyCounter::new("store.fsck.tag_mismatch");
+// Row-permutation blobs written and read back (family `reorder`, see
+// DESIGN.md §6j).
+static OBS_ORDER_PUT: LazyCounter = LazyCounter::new("reorder.store.put");
+static OBS_ORDER_LOADED: LazyCounter = LazyCounter::new("reorder.store.loaded");
 
 /// What a blob's frame declares about its payload's codecs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +113,9 @@ enum FrameTag {
     Untagged,
     /// `IBB3` frame: uniform per-bin codec tag, or [`MIXED_TAG`].
     Tagged(u8),
+    /// `IBP1` frame: a row permutation, tagged with its
+    /// [`RowOrder::tag`].
+    Perm(u8),
 }
 
 /// Wraps an encoded index payload in the untagged (all-WAH) frame.
@@ -120,6 +139,55 @@ fn frame_blob_tagged(payload: &[u8], tag: u8) -> Vec<u8> {
     out
 }
 
+/// Wraps an encoded inverse permutation in the `IBP1` frame, tagged with
+/// the [`RowOrder`] that produced it.
+fn frame_blob_perm(payload: &[u8], order_tag: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD_TAGGED);
+    out.extend_from_slice(BLOB_MAGIC_PERM);
+    out.push(order_tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out
+}
+
+/// Serializes an inverse permutation (`inv[original] = stored`) as
+/// `u64 LE row count` followed by one `u32 LE` per row.
+pub(crate) fn encode_perm_payload(inv: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + inv.len() * 4);
+    out.extend_from_slice(&(inv.len() as u64).to_le_bytes());
+    for &s in inv {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Parses an `IBP1` payload back into the inverse permutation, or a
+/// description of what is wrong.
+pub(crate) fn decode_perm_payload(payload: &[u8]) -> std::result::Result<Vec<u32>, String> {
+    if payload.len() < 8 {
+        return Err(format!(
+            "permutation payload too short ({} bytes)",
+            payload.len()
+        ));
+    }
+    let n = crate::crc::le_u64(&payload[..8]) as usize;
+    let want = n
+        .checked_mul(4)
+        .and_then(|b| b.checked_add(8))
+        .ok_or_else(|| "declared row count overflows".to_string())?;
+    if payload.len() != want {
+        return Err(format!(
+            "permutation payload {} bytes != declared {want}",
+            payload.len()
+        ));
+    }
+    Ok(payload[8..]
+        .chunks_exact(4)
+        .map(crate::crc::le_u32)
+        .collect())
+}
+
 /// The frame tag summarizing a per-bin codec plan.
 fn plan_frame_tag(plan: &[CodecId]) -> u8 {
     match plan.first() {
@@ -133,13 +201,17 @@ fn plan_frame_tag(plan: &[CodecId]) -> u8 {
 fn unframe_blob(bytes: &[u8]) -> std::result::Result<(&[u8], FrameTag), String> {
     let (tag, header_len) = if bytes.starts_with(BLOB_MAGIC) {
         (FrameTag::Untagged, 12usize)
-    } else if bytes.starts_with(BLOB_MAGIC_TAGGED) {
+    } else if bytes.starts_with(BLOB_MAGIC_TAGGED) || bytes.starts_with(BLOB_MAGIC_PERM) {
         if bytes.len() < FRAME_OVERHEAD_TAGGED {
             return Err(format!("framed blob too short ({} bytes)", bytes.len()));
         }
-        (FrameTag::Tagged(bytes[4]), 13usize)
+        if bytes.starts_with(BLOB_MAGIC_PERM) {
+            (FrameTag::Perm(bytes[4]), 13usize)
+        } else {
+            (FrameTag::Tagged(bytes[4]), 13usize)
+        }
     } else {
-        return Err("missing IBB2/IBB3 framing magic".into());
+        return Err("missing IBB2/IBB3/IBP1 framing magic".into());
     };
     if bytes.len() < header_len + 4 {
         return Err(format!("framed blob too short ({} bytes)", bytes.len()));
@@ -198,6 +270,7 @@ fn check_frame_tag(tag: FrameTag, bins: &[CodecId]) -> std::result::Result<(), S
             )),
             None => Err(format!("unknown frame codec tag {t:#04x}")),
         },
+        FrameTag::Perm(_) => Err("IBP1 permutation frame over an index entry".into()),
     }
 }
 
@@ -347,6 +420,11 @@ impl StoreWriter {
     /// bytes, entry overwritten).
     pub fn put(&mut self, step: usize, variable: &str, index: &BitmapIndex) -> Result<()> {
         check_variable_name(variable)?;
+        if variable == ORDER_VARIABLE {
+            return Err(IbisError::Config(format!(
+                "variable name {ORDER_VARIABLE:?} is reserved for row permutations"
+            )));
+        }
         let file = format!("s{step:06}_{variable}.ibis");
         let (payload, plan) = codec::encode_index_auto(index);
         let framed = if plan.iter().all(|&c| c == CodecId::Wah) {
@@ -368,6 +446,44 @@ impl StoreWriter {
             .and_then(|()| self.journal.sync_all())
             .map_err(|e| IbisError::io("append JOURNAL", &e))?;
         self.entries.insert((step, variable.to_string()), meta);
+        Ok(())
+    }
+
+    /// Persists the step's row permutation under the reserved
+    /// [`ORDER_VARIABLE`] entry: the inverse permutation
+    /// (`inv[original] = stored`) framed as `IBP1` with `order`'s tag,
+    /// CRC-checked, written atomically and journaled exactly like an
+    /// index blob — so crash/resume and fsck cover it. One permutation
+    /// per step: every variable of the step shares it, keeping
+    /// cross-variable (correlation) bitmaps row-aligned.
+    ///
+    /// Identity orders (or identity permutations) have nothing to map;
+    /// callers skip this call for them, and passing one is a config
+    /// error.
+    pub fn put_order(&mut self, step: usize, order: RowOrder, perm: &RowPermutation) -> Result<()> {
+        if order == RowOrder::Identity || perm.is_identity() {
+            return Err(IbisError::Config(
+                "identity row orders are never persisted".into(),
+            ));
+        }
+        let file = format!("s{step:06}_{ORDER_VARIABLE}.ibis");
+        let payload = encode_perm_payload(perm.inv());
+        let framed = frame_blob_perm(&payload, order.tag());
+        let meta = EntryMeta {
+            file: file.clone(),
+            len: Some(framed.len() as u64),
+            crc: Some(crc32c(&payload)),
+        };
+        self.write_blob_with_faults(&file, &framed)?;
+        OBS_ORDER_PUT.inc();
+        OBS_PUT_BLOBS.inc();
+        OBS_PUT_BYTES.add(framed.len() as u64);
+        let line = entry_line(step, ORDER_VARIABLE, &meta);
+        writeln!(self.journal, "{line}\t{:08x}", crc32c(line.as_bytes()))
+            .and_then(|()| self.journal.sync_all())
+            .map_err(|e| IbisError::io("append JOURNAL", &e))?;
+        self.entries
+            .insert((step, ORDER_VARIABLE.to_string()), meta);
         Ok(())
     }
 
@@ -535,11 +651,12 @@ impl Store {
         v
     }
 
-    /// Variables present for `step`.
+    /// Variables present for `step` — data variables only; the reserved
+    /// [`ORDER_VARIABLE`] permutation entry is hidden.
     pub fn variables(&self, step: usize) -> Vec<&str> {
         self.entries
             .iter()
-            .filter(|((s, _), _)| *s == step)
+            .filter(|((s, v), _)| *s == step && v != ORDER_VARIABLE)
             .map(|((_, v), _)| v.as_str())
             .collect()
     }
@@ -549,6 +666,7 @@ impl Store {
         let meta = self
             .entries
             .get(&(step, variable.to_string()))
+            .filter(|_| variable != ORDER_VARIABLE)
             .ok_or_else(|| IbisError::NotFound {
                 step,
                 variable: variable.to_string(),
@@ -573,7 +691,10 @@ impl Store {
                 });
             }
         }
-        if bytes.starts_with(BLOB_MAGIC) || bytes.starts_with(BLOB_MAGIC_TAGGED) {
+        if bytes.starts_with(BLOB_MAGIC)
+            || bytes.starts_with(BLOB_MAGIC_TAGGED)
+            || bytes.starts_with(BLOB_MAGIC_PERM)
+        {
             let (payload, tag) = unframe_blob(&bytes).map_err(|detail| IbisError::Corrupt {
                 file: meta.file.clone(),
                 detail,
@@ -593,11 +714,40 @@ impl Store {
             // replaced or truncated past its magic
             Err(IbisError::Corrupt {
                 file: meta.file.clone(),
-                detail: "v2 entry lost its IBB2/IBB3 framing".into(),
+                detail: "v2 entry lost its IBB2/IBB3/IBP1 framing".into(),
             })
         } else {
             Ok((bytes, FrameTag::Raw)) // legacy v1 blob: payload is the whole file
         }
+    }
+
+    /// Loads `step`'s row permutation, or `None` when the step was stored
+    /// in its original order. Verifies the `IBP1` framing and payload CRC
+    /// like any blob, that the frame's order tag names a known
+    /// non-identity [`RowOrder`], and that the payload is a bijection
+    /// ([`RowPermutation::from_inverse`]) — a corrupt permutation would
+    /// silently misroute region queries, so every failure is a typed
+    /// [`IbisError::Corrupt`].
+    pub fn load_order(&self, step: usize) -> Result<Option<(RowOrder, RowPermutation)>> {
+        let Some(meta) = self.entries.get(&(step, ORDER_VARIABLE.to_string())) else {
+            return Ok(None);
+        };
+        let (payload, tag) = self.verified_payload(meta)?;
+        let corrupt = |detail: String| IbisError::Corrupt {
+            file: meta.file.clone(),
+            detail,
+        };
+        let FrameTag::Perm(order_tag) = tag else {
+            return Err(corrupt("permutation blob lost its IBP1 framing".into()));
+        };
+        let order = RowOrder::from_tag(order_tag)
+            .filter(|&o| o != RowOrder::Identity)
+            .ok_or_else(|| corrupt(format!("unknown row-order tag {order_tag:#04x}")))?;
+        let inv = decode_perm_payload(&payload).map_err(corrupt)?;
+        let perm = RowPermutation::from_inverse(inv)
+            .map_err(|detail| corrupt(format!("permutation is not a bijection: {detail}")))?;
+        OBS_ORDER_LOADED.inc();
+        Ok(Some((order, perm)))
     }
 
     /// Verifies every blob end-to-end (framing, CRC, decode, frame codec
@@ -611,25 +761,30 @@ impl Store {
         for (step, variable) in keys {
             report.checked += 1;
             let meta = self.entries[&(step, variable.clone())].clone();
-            let verdict = self
-                .verified_payload(&meta)
-                .and_then(|(payload, tag)| {
-                    let (_, bin_tags) =
-                        codec::decode_index_with_tags(&payload).map_err(|source| {
-                            IbisError::Decode {
-                                file: Some(meta.file.clone()),
-                                source,
+            let verdict = if variable == ORDER_VARIABLE {
+                // Permutation entry: the full IBP1 check load_order runs
+                // (framing, CRC, known order tag, bijection).
+                self.load_order(step).map(|_| ())
+            } else {
+                self.verified_payload(&meta)
+                    .and_then(|(payload, tag)| {
+                        let (_, bin_tags) =
+                            codec::decode_index_with_tags(&payload).map_err(|source| {
+                                IbisError::Decode {
+                                    file: Some(meta.file.clone()),
+                                    source,
+                                }
+                            })?;
+                        check_frame_tag(tag, &bin_tags).map_err(|detail| {
+                            OBS_FSCK_TAG_MISMATCH.inc();
+                            IbisError::Corrupt {
+                                file: meta.file.clone(),
+                                detail,
                             }
-                        })?;
-                    check_frame_tag(tag, &bin_tags).map_err(|detail| {
-                        OBS_FSCK_TAG_MISMATCH.inc();
-                        IbisError::Corrupt {
-                            file: meta.file.clone(),
-                            detail,
-                        }
+                        })
                     })
-                })
-                .map(|_| ());
+                    .map(|_| ())
+            };
             if let Err(err) = verdict {
                 OBS_FSCK_QUARANTINED.inc();
                 let from = self.dir.join(&meta.file);
@@ -1130,6 +1285,106 @@ mod tests {
                 q.reason
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn order_blob_round_trips_and_stays_hidden() {
+        let dir = tmp("orderblob");
+        let data: Vec<f64> = (0..500).map(|i| ((i * 7) % 40) as f64).collect();
+        let binner = Binner::distinct_ints(0, 39);
+        let order = ibis_core::RowOrder::HistogramSorted;
+        let perm = order.permutation(&[], &binner, &data).unwrap();
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(
+            3,
+            "temperature",
+            &BitmapIndex::build_permuted(&data, binner, &perm),
+        )
+        .unwrap();
+        w.put_order(3, order, &perm).unwrap();
+        w.finish().unwrap();
+
+        let bytes = std::fs::read(dir.join("s000003___order.ibis")).unwrap();
+        assert_eq!(&bytes[..4], BLOB_MAGIC_PERM);
+        assert_eq!(bytes[4], order.tag());
+
+        let mut store = Store::open(&dir).unwrap();
+        // hidden from the data catalog, unreadable as an index
+        assert_eq!(store.variables(3), vec!["temperature"]);
+        assert!(matches!(
+            store.get(3, ORDER_VARIABLE).unwrap_err(),
+            IbisError::NotFound { .. }
+        ));
+        // but loads back exactly, and fsck accepts it
+        let (got_order, got_perm) = store.load_order(3).unwrap().unwrap();
+        assert_eq!(got_order, order);
+        assert_eq!(got_perm, perm);
+        assert_eq!(store.load_order(4).unwrap(), None);
+        assert!(store.fsck().is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_quarantines_corrupt_order_blob() {
+        let dir = tmp("orderfsck");
+        let data: Vec<f64> = (0..400).map(|i| ((i * 3) % 40) as f64).collect();
+        let binner = Binner::distinct_ints(0, 39);
+        let order = ibis_core::RowOrder::GrayBin;
+        let perm = order.permutation(&[], &binner, &data).unwrap();
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.put_order(0, order, &perm).unwrap();
+        w.finish().unwrap();
+
+        // An unknown order tag sits outside the payload CRC — only the
+        // load/fsck tag check catches it.
+        let f = dir.join("s000000___order.ibis");
+        let clean = std::fs::read(&f).unwrap();
+        let mut bytes = clean.clone();
+        bytes[4] = 0x7E;
+        std::fs::write(&f, &bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let err = store.load_order(0).unwrap_err();
+        assert!(matches!(err, IbisError::Corrupt { .. }), "{err}");
+
+        // A payload edit with a fixed-up frame CRC still trips the
+        // manifest's independent payload CRC, and fsck quarantines it.
+        let payload_at = 13usize; // IBP1 + tag + u64 len
+        let mut bytes = clean.clone();
+        for b in &mut bytes[payload_at + 8..payload_at + 16] {
+            *b = 0;
+        }
+        let payload_len = bytes.len() - payload_at - 4;
+        let crc = crc32c(&bytes[payload_at..payload_at + payload_len]);
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&f, &bytes).unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        let report = store.fsck();
+        assert_eq!(report.quarantined.len(), 1, "{report:?}");
+        assert_eq!(report.quarantined[0].variable, ORDER_VARIABLE);
+        assert!(dir.join("s000000___order.ibis.quarantined").exists());
+        // the data entry survives and still reads
+        assert_eq!(
+            store.get(0, "temperature").unwrap().counts(),
+            sample_index(0).counts()
+        );
+        assert_eq!(store.load_order(0).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reserved_order_variable_and_identity_rejected() {
+        let dir = tmp("orderreserved");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let err = w.put(0, ORDER_VARIABLE, &sample_index(0)).unwrap_err();
+        assert!(matches!(err, IbisError::Config(_)), "{err}");
+        let identity = ibis_core::RowPermutation::from_inverse(vec![0, 1, 2]).unwrap();
+        let err = w
+            .put_order(0, ibis_core::RowOrder::GrayBin, &identity)
+            .unwrap_err();
+        assert!(matches!(err, IbisError::Config(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,6 +4,7 @@
 //! quarantined, and excluded from analysis.
 
 use ibis_analysis::Metric;
+use ibis_core::RowOrder;
 use ibis_datagen::{OceanConfig, OceanModel};
 use ibis_insitu::{
     pipeline::pending_checkpoint, resume_durable, run_durable, CoreAllocation, FaultPlan,
@@ -27,6 +28,7 @@ fn cfg() -> PipelineConfig {
         metric: Metric::ConditionalEntropy,
         binners: Vec::new(),
         per_step_precision: Some(0),
+        row_order: RowOrder::Identity,
         queue_capacity: 2,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

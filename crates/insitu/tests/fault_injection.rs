@@ -5,7 +5,7 @@
 
 use ibis_analysis::sampling::SamplingMethod;
 use ibis_analysis::Metric;
-use ibis_core::Binner;
+use ibis_core::{Binner, RowOrder};
 use ibis_datagen::{Heat3D, Heat3DConfig};
 use ibis_insitu::{
     run_pipeline, CoreAllocation, FailurePolicy, FaultPlan, IbisError, LocalDisk, MachineModel,
@@ -33,6 +33,7 @@ fn cfg(allocation: CoreAllocation) -> PipelineConfig {
         metric: Metric::ConditionalEntropy,
         binners: vec![Binner::precision(-1.0, 101.0, 0)],
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 2,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

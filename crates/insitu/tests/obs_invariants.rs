@@ -12,7 +12,7 @@
 //! high-water mark is cumulative).
 
 use ibis_analysis::Metric;
-use ibis_core::Binner;
+use ibis_core::{Binner, RowOrder};
 use ibis_datagen::{Heat3D, Heat3DConfig};
 use ibis_insitu::{
     run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
@@ -34,6 +34,7 @@ fn cfg(queue_capacity: usize) -> PipelineConfig {
         metric: Metric::ConditionalEntropy,
         binners: vec![Binner::precision(-1.0, 101.0, 0)],
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

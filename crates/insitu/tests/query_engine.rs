@@ -5,11 +5,14 @@
 //! region regression the panic-free rewrite exists for, and a
 //! multi-threaded stress test of the sharded cache.
 
-use ibis_analysis::{QueryError, SubsetQuery};
-use ibis_core::{Binner, BitmapIndex};
+use ibis_analysis::{Metric, QueryError, SubsetQuery};
+use ibis_core::{Binner, BitmapIndex, RowOrder};
+use ibis_datagen::{OceanConfig, OceanModel};
 use ibis_insitu::engine::parse_batch;
 use ibis_insitu::{
-    CachedStore, IbisError, QueryAnswer, QueryEngine, QueryRequest, Store, StoreWriter,
+    pipeline::pending_checkpoint, resume_durable, run_durable, CachedStore, CoreAllocation,
+    FaultPlan, IbisError, MachineModel, PipelineConfig, QueryAnswer, QueryEngine, QueryRequest,
+    Reduction, RobustnessConfig, ScalingModel, Store, StoreWriter, ORDER_VARIABLE,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -144,6 +147,205 @@ fn adversarial_corpus_returns_structured_errors() {
     assert!(out.contains("\"error\""), "{out}");
     assert!(out.contains(&format!("\"selected\": {N}")), "{out}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Same data as [`build_store`], stored under a non-identity row order
+/// with the inverse permutation persisted per step.
+fn build_reordered_store(name: &str, order: RowOrder) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("ibis-qe-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut w = StoreWriter::create(&dir).unwrap();
+    let binner = Binner::fixed_width(0.0, 40.0, 64);
+    for step in [0usize, 4, 9] {
+        // one permutation per step, derived from the first variable
+        let p = order
+            .permutation(&[], &binner, &field(step, 0))
+            .expect("non-trivial data must yield a real permutation");
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            let idx = BitmapIndex::build_permuted(&field(step, phase), binner.clone(), &p);
+            w.put(step, var, &idx).unwrap();
+        }
+        w.put_order(step, order, &p).unwrap();
+    }
+    w.finish().unwrap();
+    let store = Store::open(&dir).unwrap();
+    (dir, store)
+}
+
+#[test]
+fn reordered_store_matches_identity_store_through_engine() {
+    let (dir_i, store_i) = build_store("order-identity");
+    let (dir_r, store_r) = build_reordered_store("order-histsorted", RowOrder::HistogramSorted);
+    let identity = QueryEngine::new(CachedStore::new(store_i, 64 << 20));
+    let reordered = QueryEngine::new(CachedStore::new(store_r, 64 << 20));
+
+    for step in [0usize, 4, 9] {
+        // engine answers — value, region, and combined predicates, plus a
+        // correlation — must be indistinguishable from the identity store
+        let queries = [
+            SubsetQuery::value(3.0, 17.0),
+            SubsetQuery::region(100..2000),
+            SubsetQuery::value(5.0, 30.0).with_region(7..3001),
+        ];
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            let _ = phase;
+            for q in &queries {
+                let req = QueryRequest::Subset {
+                    step,
+                    variable: (*var).into(),
+                    query: q.clone(),
+                };
+                assert_eq!(
+                    reordered.run(&req).unwrap(),
+                    identity.run(&req).unwrap(),
+                    "step {step} {var} diverged"
+                );
+            }
+        }
+        let corr = QueryRequest::Correlation {
+            step,
+            var_a: "temperature".into(),
+            var_b: "salinity".into(),
+            query_a: SubsetQuery::value(2.0, 25.0),
+            query_b: SubsetQuery::region(0..(N as u64 / 2)),
+        };
+        assert_eq!(reordered.run(&corr).unwrap(), identity.run(&corr).unwrap());
+
+        // raw selections: the reordered store's selection, mapped through
+        // the persisted inverse permutation, is *byte-identical* to the
+        // identity store's (same WAH words, not just the same count)
+        let loaded = reordered
+            .cache()
+            .get_order(step)
+            .unwrap()
+            .expect("order blob");
+        let (stored_order, perm) = loaded.as_ref();
+        assert_eq!(*stored_order, RowOrder::HistogramSorted);
+        for var in ["temperature", "salinity"] {
+            let ml_r = reordered.cache().get(var, step).unwrap();
+            let ml_i = identity.cache().get(var, step).unwrap();
+            let q = SubsetQuery::value(5.0, 30.0).with_region(7..3001);
+            let sel_r = q.evaluate_ml_mapped(&ml_r, perm).unwrap();
+            let sel_i = q.evaluate_ml(&ml_i).unwrap();
+            assert_eq!(perm.map_selection_to_original(&sel_r), sel_i);
+        }
+    }
+    std::fs::remove_dir_all(&dir_i).ok();
+    std::fs::remove_dir_all(&dir_r).ok();
+}
+
+#[test]
+fn reordered_durable_run_resumes_byte_identical_and_answers_like_identity() {
+    let cfg = |row_order: RowOrder| PipelineConfig {
+        machine: MachineModel::xeon32(),
+        cores: 4,
+        allocation: CoreAllocation::Shared,
+        reduction: Reduction::Bitmaps,
+        steps: 11,
+        select_k: 4,
+        metric: Metric::ConditionalEntropy,
+        binners: Vec::new(),
+        per_step_precision: Some(0),
+        row_order,
+        queue_capacity: 2,
+        sim_scaling: ScalingModel::heat3d(),
+        robustness: RobustnessConfig::default(),
+    };
+    let tmp = |name: &str| {
+        let dir = std::env::temp_dir().join(format!("ibis-qe-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    };
+    let contents = |dir: &PathBuf| {
+        let mut out = std::collections::BTreeMap::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            out.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+        out
+    };
+
+    let clean_dir = tmp("ord-clean");
+    let crash_dir = tmp("ord-crash");
+    let ident_dir = tmp("ord-ident");
+    let order = RowOrder::HistogramSorted;
+
+    let clean = run_durable(
+        OceanModel::new(OceanConfig::tiny()),
+        &cfg(order),
+        &clean_dir,
+    )
+    .unwrap();
+    assert_eq!(clean.selected.len(), 4);
+    // the reorder pass actually persisted inverse permutations
+    assert!(
+        contents(&clean_dir)
+            .keys()
+            .any(|f| f.contains(ORDER_VARIABLE)),
+        "a data-dependent order must leave permutation blobs behind"
+    );
+
+    // killed mid-run, then resumed: byte-identical, order blobs included —
+    // this crosses the checkpoint, which must carry buffered permutations
+    let mut killed = cfg(order);
+    killed.robustness.faults = FaultPlan::none().with_kill_at_step(6);
+    let err = run_durable(OceanModel::new(OceanConfig::tiny()), &killed, &crash_dir).unwrap_err();
+    assert_eq!(err, IbisError::Killed { step: 6 });
+    assert!(pending_checkpoint(&crash_dir).is_some());
+    let resumed = resume_durable(
+        OceanModel::new(OceanConfig::tiny()),
+        &cfg(order),
+        &crash_dir,
+    )
+    .unwrap();
+    assert_eq!(resumed.selected, clean.selected);
+    assert_eq!(contents(&clean_dir), contents(&crash_dir));
+
+    // and the reordered store answers exactly like an identity-order run
+    let ident = run_durable(
+        OceanModel::new(OceanConfig::tiny()),
+        &cfg(RowOrder::Identity),
+        &ident_dir,
+    )
+    .unwrap();
+    assert_eq!(ident.selected, clean.selected);
+    let reordered = QueryEngine::new(CachedStore::new(Store::open(&crash_dir).unwrap(), 64 << 20));
+    let identity = QueryEngine::new(CachedStore::new(Store::open(&ident_dir).unwrap(), 64 << 20));
+    for &step in &clean.selected {
+        let vars: Vec<String> = identity
+            .cache()
+            .store()
+            .variables(step)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        for var in &vars {
+            let n = identity.cache().get(var, step).unwrap().low().len();
+            for q in [
+                SubsetQuery::value(1.0, 20.0),
+                SubsetQuery::region(0..n / 2),
+                SubsetQuery::value(3.0, 40.0).with_region(n / 4..n - 1),
+            ] {
+                let req = QueryRequest::Subset {
+                    step,
+                    variable: var.clone(),
+                    query: q,
+                };
+                assert_eq!(
+                    reordered.run(&req).unwrap(),
+                    identity.run(&req).unwrap(),
+                    "step {step} {var}"
+                );
+            }
+        }
+    }
+
+    for d in [&clean_dir, &crash_dir, &ident_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
 }
 
 #[test]

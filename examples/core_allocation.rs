@@ -7,7 +7,7 @@
 //! ```
 
 use ibis::analysis::Metric;
-use ibis::core::Binner;
+use ibis::core::{Binner, RowOrder};
 use ibis::datagen::{Heat3D, Heat3DConfig};
 use ibis::insitu::{
     auto_allocate, run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig,
@@ -35,6 +35,7 @@ fn main() {
         metric: Metric::ConditionalEntropy,
         binners: vec![Binner::precision(-1.0, 101.0, 0)],
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 4,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

@@ -8,7 +8,7 @@
 //! ```
 
 use ibis::analysis::Metric;
-use ibis::core::Binner;
+use ibis::core::{Binner, RowOrder};
 use ibis::datagen::{Heat3D, Heat3DConfig};
 use ibis::insitu::{
     run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
@@ -37,6 +37,7 @@ fn main() {
         metric: Metric::ConditionalEntropy,
         binners: vec![Binner::precision(-1.0, 101.0, 0)],
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 4,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

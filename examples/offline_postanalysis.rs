@@ -16,7 +16,7 @@ use ibis::analysis::aggregate;
 use ibis::analysis::emd::emd_spatial_index;
 use ibis::analysis::entropy::{conditional_entropy_index, shannon_entropy_index};
 use ibis::analysis::Metric;
-use ibis::core::{Binner, BitmapIndex};
+use ibis::core::{Binner, BitmapIndex, RowOrder};
 use ibis::datagen::{Heat3D, Heat3DConfig, Simulation};
 use ibis::insitu::{
     run_pipeline, CoreAllocation, LocalDisk, MachineModel, PipelineConfig, Reduction,
@@ -45,6 +45,7 @@ fn main() {
         metric: Metric::ConditionalEntropy,
         binners: vec![binner.clone()],
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 4,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),

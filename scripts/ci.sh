@@ -148,6 +148,34 @@ check_codec_report target/BENCH_codecs.smoke.json
 echo "==> committed BENCH_codecs.json present with full-size sweep"
 check_codec_report BENCH_codecs.json
 
+echo "==> row-order sweep smoke (both obs configs) + report schema"
+# IBIS_ORDER_SMOKE=1 shrinks the grids and writes to target/ so CI never
+# clobbers the committed full-size BENCH_reorder.json. The sweep asserts
+# every reordered bin byte-identical to the identity-order oracle (mapped
+# through the inverse permutation) before timing, so a pass is also a
+# reorder correctness gate.
+check_reorder_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"samples"' '"elements"' '"vs_identity"' '"criterion"' \
+        '"identity_checked"' '"size_ratio"' '"latency_ratio"' \
+        '"size_win_15pct_within_latency_10pct"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+}
+rm -f target/BENCH_reorder.smoke.json
+IBIS_ORDER_SMOKE=1 cargo bench -q -p ibis-bench --bench reorder
+check_reorder_report target/BENCH_reorder.smoke.json
+rm -f target/BENCH_reorder.smoke.json
+IBIS_ORDER_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench reorder
+check_reorder_report target/BENCH_reorder.smoke.json
+echo "==> committed BENCH_reorder.json present with full-size sweep"
+check_reorder_report BENCH_reorder.json
+
 echo "==> serving bench smoke (both obs configs) + report schema"
 # IBIS_SERVE_SMOKE=1 shrinks the load phases and writes to target/ so CI
 # never clobbers the committed full-size BENCH_serving.json. The bench
@@ -185,8 +213,11 @@ serve_smoke() {
     local features=("$@")
     local store=target/ci_serve_store
     rm -rf "$store"
+    # --row-order exercises the reordered-store read path end to end:
+    # the served store carries inverse permutations the engine must apply.
     cargo run -q --release "${features[@]}" --bin ibis -- insitu \
-        --sim heat3d --steps 2 --select 2 --cores 2 --out "$store" >/dev/null
+        --sim heat3d --steps 2 --select 2 --cores 2 \
+        --row-order graybin --out "$store" >/dev/null
     local port=$((20000 + RANDOM % 20000))
     # --conns 2: the readiness probe below counts as one completed
     # connection, the load generator's single client is the second; the

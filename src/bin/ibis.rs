@@ -14,15 +14,17 @@
 //! `.ibis` files that `ibis::insitu::codec::decode_index` (and the
 //! `offline_postanalysis` example) can reload.
 
-use ibis::analysis::{correlation_query, mine_index, Metric, MiningConfig, SubsetQuery};
-use ibis::core::{Binner, BitmapIndex, ZOrderLayout};
+use ibis::analysis::{
+    correlation_query, correlation_query_mapped, mine_index, Metric, MiningConfig, SubsetQuery,
+};
+use ibis::core::{Binner, BitmapIndex, RowOrder, ZOrderLayout};
 use ibis::datagen::{
     Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, OceanConfig, OceanModel, Simulation,
 };
 use ibis::insitu::{
-    auto_allocate, run_pipeline, CachedStore, CoreAllocation, LocalDisk, MachineModel,
-    PipelineConfig, QueryEngine, QueryServer, Reduction, RobustnessConfig, ScalingModel,
-    ServeConfig, SocketServer, Store, StoreWriter,
+    auto_allocate, run_pipeline, suggest_row_order, CachedStore, CoreAllocation, LocalDisk,
+    MachineModel, PipelineConfig, QueryEngine, QueryServer, Reduction, RobustnessConfig,
+    ScalingModel, ServeConfig, SocketServer, Store, StoreWriter,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -85,10 +87,12 @@ USAGE:
   ibis insitu [--sim heat3d|lulesh] [--steps N] [--select K] [--cores C]
               [--machine xeon|mic] [--method bitmaps|full|sample:<pct>]
               [--allocation shared|auto|<simcores>:<bmcores>] [--out DIR]
+              [--row-order identity|zorder|hilbert|graybin|histsorted|auto]
   ibis mine   [--grid LONxLATxDEPTH] [--bins N] [--t1 X] [--t2 Y]
               [--unit N] [--top N]
   ibis query  --var-a NAME --var-b NAME [--value-a LO:HI] [--value-b LO:HI]
               [--region LO:HI] [--grid LONxLATxDEPTH]
+              [--row-order identity|zorder|hilbert|graybin|histsorted]
   ibis query  --store DIR --batch FILE [--cache-mb N] [--json-out PATH]
   ibis serve  --store DIR [--addr HOST:PORT] [--workers N] [--queue N]
               [--cache-mb N] [--deadline-ms N] [--max-conns N] [--conns N]
@@ -148,6 +152,22 @@ fn get_range(flags: &Flags, name: &str) -> Result<Option<(f64, f64)>, String> {
         return Err(format!("--{name}: empty range {v:?}"));
     }
     Ok(Some((lo, hi)))
+}
+
+/// `--row-order NAME`: the compression-aware row ordering applied before
+/// bitmap generation. `auto` is only meaningful where a probe simulation
+/// exists (`ibis insitu`); callers that can't probe pass `allow_auto =
+/// false` and `auto` becomes a usage error.
+fn get_row_order(flags: &Flags, allow_auto: bool) -> Result<Option<RowOrder>, String> {
+    match flags.get("row-order").map(String::as_str) {
+        None => Ok(Some(RowOrder::Identity)),
+        Some("auto") if allow_auto => Ok(None),
+        Some(name) => RowOrder::parse(name).map(Some).ok_or_else(|| {
+            format!(
+                "--row-order: unknown order {name:?} (identity|zorder|hilbert|graybin|histsorted)"
+            )
+        }),
+    }
 }
 
 fn get_grid(
@@ -263,6 +283,23 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
         }
     };
 
+    let row_order = match get_row_order(flags, true)? {
+        Some(order) => order,
+        None => {
+            // `auto`: probe one step of a fresh simulation and keep the
+            // order whose reordered index comes out smallest.
+            let mut probe: Box<dyn Simulation> = match sim_name {
+                "heat3d" => Box::new(Heat3D::new(Heat3DConfig::default())),
+                _ => Box::new(MiniLulesh::new(LuleshConfig::default())),
+            };
+            let dims = probe.grid_dims();
+            let out = probe.step();
+            let order = suggest_row_order(&out, &binners[0], dims);
+            println!("row order (auto): {}", order.name());
+            order
+        }
+    };
+
     let cfg = PipelineConfig {
         machine: machine.clone(),
         cores,
@@ -273,6 +310,7 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
         metric,
         binners: binners.clone(),
         per_step_precision: None,
+        row_order,
         queue_capacity: 4,
         sim_scaling: scaling,
         robustness: RobustnessConfig::default(),
@@ -309,15 +347,32 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
             "heat3d" => Box::new(Heat3D::new(Heat3DConfig::default())),
             _ => Box::new(MiniLulesh::new(LuleshConfig::default())),
         };
+        let dims: Vec<usize> = sim2.grid_dims().map(|d| d.to_vec()).unwrap_or_default();
         for step in 0..steps {
             let out = sim2.step();
             if !report.selected.contains(&step) {
                 continue;
             }
+            // Same per-step permutation the pipeline would apply: derived
+            // from the first field, shared by every variable of the step.
+            let perm = match out.fields.first() {
+                Some(f0) if out.fields.iter().all(|f| f.data.len() == f0.data.len()) => {
+                    row_order.permutation(&dims, &binners[0], &f0.data)
+                }
+                _ => None,
+            };
             for (f, binner) in out.fields.iter().zip(&binners) {
-                let idx = BitmapIndex::build(&f.data, binner.clone());
+                let idx = match &perm {
+                    Some(p) => BitmapIndex::build_permuted(&f.data, binner.clone(), p),
+                    None => BitmapIndex::build(&f.data, binner.clone()),
+                };
                 store
                     .put(step, f.name, &idx)
+                    .map_err(|e| format!("--out: {e}"))?;
+            }
+            if let Some(p) = &perm {
+                store
+                    .put_order(step, row_order, p)
                     .map_err(|e| format!("--out: {e}"))?;
             }
         }
@@ -399,8 +454,20 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     }
     let a = ocean.variable(var_a);
     let b = ocean.variable(var_b);
-    let ia = BitmapIndex::build(&a, Binner::fit(&a, 48));
-    let ib = BitmapIndex::build(&b, Binner::fit(&b, 48));
+    let ba = Binner::fit(&a, 48);
+    let bb = Binner::fit(&b, 48);
+    // One shared permutation keeps both variables row-aligned; answers are
+    // identical to identity order (region predicates map through the
+    // inverse), only the index sizes change.
+    let order = get_row_order(flags, false)?.unwrap_or(RowOrder::Identity);
+    let perm = order.permutation(&[ndepth, nlat, nlon], &ba, &a);
+    let (ia, ib) = match &perm {
+        Some(p) => (
+            BitmapIndex::build_permuted(&a, ba, p),
+            BitmapIndex::build_permuted(&b, bb, p),
+        ),
+        None => (BitmapIndex::build(&a, ba), BitmapIndex::build(&b, bb)),
+    };
 
     let mut qa = SubsetQuery::all();
     let mut qb = SubsetQuery::all();
@@ -419,7 +486,11 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         qa = qa.with_region(lo..hi);
         qb = qb.with_region(lo..hi);
     }
-    let ans = correlation_query(&ia, &ib, &qa, &qb).map_err(|e| e.to_string())?;
+    let ans = match &perm {
+        Some(p) => correlation_query_mapped(&ia, &ib, &qa, &qb, p),
+        None => correlation_query(&ia, &ib, &qa, &qb),
+    }
+    .map_err(|e| e.to_string())?;
     println!("{var_a} x {var_b}: {} elements selected", ans.selected);
     println!("mutual information:   {:.4} bits", ans.mutual_information);
     println!("conditional entropy:  {:.4} bits", ans.conditional_entropy);

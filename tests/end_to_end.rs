@@ -4,7 +4,7 @@
 
 use ibis::analysis::sampling::SamplingMethod;
 use ibis::analysis::Metric;
-use ibis::core::Binner;
+use ibis::core::{Binner, RowOrder};
 use ibis::datagen::{Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, Simulation};
 use ibis::insitu::{
     auto_allocate, run_cluster, run_pipeline, ClusterConfig, ClusterIo, ClusterReduction,
@@ -32,6 +32,7 @@ fn heat_pipeline(reduction: Reduction, allocation: CoreAllocation) -> PipelineCo
         metric: Metric::ConditionalEntropy,
         binners: vec![Binner::precision(-1.0, 101.0, 0)],
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 2,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),
@@ -97,6 +98,7 @@ fn lulesh_pipeline_with_twelve_variables() {
         metric: Metric::EmdSpatial, // the paper's LULESH metric
         binners: binners.clone(),
         per_step_precision: None,
+        row_order: RowOrder::Identity,
         queue_capacity: 2,
         sim_scaling: ScalingModel::lulesh(),
         robustness: RobustnessConfig::default(),

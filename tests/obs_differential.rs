@@ -14,6 +14,7 @@
 //! `--no-default-features` — so CI always executes the comparison.
 
 use ibis::analysis::Metric;
+use ibis::core::RowOrder;
 use ibis::datagen::{Heat3DConfig, OceanConfig, OceanModel};
 use ibis::insitu::{
     run_cluster, run_durable, ClusterConfig, ClusterIo, ClusterReduction, CoreAllocation,
@@ -34,6 +35,10 @@ fn pipeline_cfg() -> PipelineConfig {
         metric: Metric::ConditionalEntropy,
         binners: Vec::new(),
         per_step_precision: Some(0),
+        // A data-dependent order keeps the run on the reorder path, so the
+        // differential also proves reordering itself has no observer effect
+        // (and populates the `reorder.*` family below).
+        row_order: RowOrder::HistogramSorted,
         queue_capacity: 2,
         sim_scaling: ScalingModel::heat3d(),
         robustness: RobustnessConfig::default(),
@@ -145,12 +150,16 @@ fn instrumentation_has_no_observer_effect() {
 
     // In the instrumented build the run above must have populated every
     // metric family the issue names — proof the layer actually observed
-    // kernels, pipeline, store, cluster, and the per-bin codec selection
-    // (`codec.select.*` / `codec.encode.bins` tick on every store put).
+    // kernels, pipeline, store, cluster, the per-bin codec selection
+    // (`codec.select.*` / `codec.encode.bins` tick on every store put), and
+    // the row-reorder pass (`reorder.perm.built` / `reorder.pipeline.steps`
+    // tick because the run above uses a data-dependent order).
     if ibis::obs::ENABLED {
         let snap = ibis::obs::global().snapshot();
         let families = snap.families();
-        for family in ["kernels", "pipeline", "store", "cluster", "codec"] {
+        for family in [
+            "kernels", "pipeline", "store", "cluster", "codec", "reorder",
+        ] {
             assert!(
                 families.contains(family),
                 "family {family:?} missing from snapshot; have {families:?}"
