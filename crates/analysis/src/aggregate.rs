@@ -9,7 +9,7 @@
 //! its bin midpoint by at most half the bin width, so sums/means carry a
 //! guaranteed interval.
 
-use ibis_core::{BitmapIndex, WahVec};
+use ibis_core::{Binner, BitmapIndex, WahVec};
 
 /// An aggregate estimate with its guaranteed absolute error bound.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +39,7 @@ pub fn count_selected(selection: &WahVec) -> u64 {
 
 /// Approximate sum of the indexed variable.
 pub fn sum(index: &BitmapIndex) -> Estimate {
-    sum_from_counts(index, index.counts())
+    sum_from_bin_counts(index.binner(), index.counts())
 }
 
 /// Approximate sum restricted to a selection vector (positions with a 1).
@@ -50,17 +50,21 @@ pub fn sum_selected(index: &BitmapIndex, selection: &WahVec) -> Estimate {
         .iter()
         .map(|bin| bin.and_count(selection))
         .collect();
-    sum_from_counts(index, &counts)
+    sum_from_bin_counts(index.binner(), &counts)
 }
 
-fn sum_from_counts(index: &BitmapIndex, counts: &[u64]) -> Estimate {
+/// The sum finisher: per-bin selection counts to a bounded estimate. Pure
+/// in the integer counts and the binning scale, so per-shard counts summed
+/// at a coordinator and fed through this produce the exact float sequence
+/// the unsharded [`sum_selected`] computes.
+pub fn sum_from_bin_counts(binner: &Binner, counts: &[u64]) -> Estimate {
     let mut value = 0.0;
     let mut bound = 0.0;
     for (b, &c) in counts.iter().enumerate() {
         if c == 0 {
             continue;
         }
-        let (lo, hi) = index.binner().bin_range(b);
+        let (lo, hi) = binner.bin_range(b);
         value += c as f64 * (lo + hi) / 2.0;
         bound += c as f64 * (hi - lo) / 2.0;
     }
@@ -69,15 +73,17 @@ fn sum_from_counts(index: &BitmapIndex, counts: &[u64]) -> Estimate {
 
 /// Approximate mean of the indexed variable; `None` for an empty index.
 pub fn mean(index: &BitmapIndex) -> Option<Estimate> {
-    mean_from(sum(index), index.len())
+    mean_from_sum(sum(index), index.len())
 }
 
 /// Approximate mean over a selection.
 pub fn mean_selected(index: &BitmapIndex, selection: &WahVec) -> Option<Estimate> {
-    mean_from(sum_selected(index, selection), selection.count_ones())
+    mean_from_sum(sum_selected(index, selection), selection.count_ones())
 }
 
-fn mean_from(sum: Estimate, n: u64) -> Option<Estimate> {
+/// The mean finisher: a sum estimate over `n` selected elements. `None`
+/// when nothing is selected.
+pub fn mean_from_sum(sum: Estimate, n: u64) -> Option<Estimate> {
     (n > 0).then(|| Estimate {
         value: sum.value / n as f64,
         bound: sum.bound / n as f64,
@@ -137,9 +143,9 @@ pub fn variance(index: &BitmapIndex) -> Option<Estimate> {
 /// joint bin counts with midpoint values. Returns `None` when either
 /// variable is (approximately) constant.
 pub fn pearson(a: &BitmapIndex, b: &BitmapIndex) -> Option<f64> {
-    pearson_from_joint(
-        a,
-        b,
+    pearson_from_joint_counts(
+        a.binner(),
+        b.binner(),
         &crate::histogram::joint_counts_adaptive(a, b),
         a.len(),
     )
@@ -165,27 +171,37 @@ pub fn pearson_selected(a: &BitmapIndex, b: &BitmapIndex, selection: &WahVec) ->
             }
         }
     }
-    pearson_from_joint(a, b, &joint, selection.count_ones())
+    pearson_from_joint_counts(a.binner(), b.binner(), &joint, selection.count_ones())
 }
 
-fn pearson_from_joint(a: &BitmapIndex, b: &BitmapIndex, joint: &[u64], n: u64) -> Option<f64> {
+/// The Pearson finisher: joint `(bin_a, bin_b)` counts to an approximate
+/// correlation with bin-midpoint values. Pure in the integer counts, the
+/// two binning scales, and `n`, with a fixed accumulation order — so a
+/// coordinator summing per-shard joint tables reproduces the unsharded
+/// [`pearson_selected`] float for float.
+pub fn pearson_from_joint_counts(
+    binner_a: &Binner,
+    binner_b: &Binner,
+    joint: &[u64],
+    n: u64,
+) -> Option<f64> {
     if n < 2 {
         return None;
     }
     let nf = n as f64;
-    let mid = |idx: &BitmapIndex, bin: usize| {
-        let (lo, hi) = idx.binner().bin_range(bin);
+    let mid = |binner: &Binner, bin: usize| {
+        let (lo, hi) = binner.bin_range(bin);
         (lo + hi) / 2.0
     };
-    let nb = b.nbins();
+    let nb = binner_b.nbins();
     let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
-    for j in 0..a.nbins() {
+    for j in 0..binner_a.nbins() {
         for k in 0..nb {
             let c = joint[j * nb + k] as f64;
             if c == 0.0 {
                 continue;
             }
-            let (x, y) = (mid(a, j), mid(b, k));
+            let (x, y) = (mid(binner_a, j), mid(binner_b, k));
             sx += c * x;
             sy += c * y;
             sxx += c * x * x;

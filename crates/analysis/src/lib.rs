@@ -45,9 +45,11 @@ pub use mining::{
     MiningResult,
 };
 pub use query::{
-    correlation_query, correlation_query_mapped, correlation_query_ml, correlation_query_ml_mapped,
-    execute_range_plan, joint_counts_selected, joint_counts_selected_naive, plan_value_range,
-    region_mask, region_mask_mapped, CorrelationAnswer, QueryError, RangePlan, SubsetQuery,
+    correlation_partial_ml_shard, correlation_query, correlation_query_mapped,
+    correlation_query_ml, correlation_query_ml_mapped, evaluate_ml_shard, execute_range_plan,
+    finish_correlation, joint_counts_selected, joint_counts_selected_naive, plan_value_range,
+    region_mask, region_mask_mapped, CorrelationAnswer, CorrelationPartial, QueryError, RangePlan,
+    SubsetQuery,
 };
 pub use sampling::{sample, SamplingMethod};
 pub use selection::{

@@ -614,6 +614,221 @@ fn correlation_query_with(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Sharded scatter-gather partials
+// ---------------------------------------------------------------------------
+//
+// A spatial shard holds `slice_rows(lo..hi)` of every step's index — the
+// contiguous stored-row range `[lo, hi)` of the global row space. Three
+// facts make scatter-gather answers byte-identical to the unsharded engine:
+//
+// 1. *Selections slice.* A value predicate is an OR over a bin span, set
+//    operations distribute over row slices, and the canonical WAH encoding
+//    of a bit string is unique — so evaluating a query on a shard yields
+//    exactly the `[lo, hi)` slice of the global canonical selection, and
+//    concatenating per-shard selections in shard order reproduces the
+//    global vector word for word.
+// 2. *Counts are additive.* Selected counts, joint `(bin_a, bin_b)` tables,
+//    and per-bin selection counts are integers summed over disjoint row
+//    ranges; u64 addition is associative, so coordinator sums equal the
+//    global counts exactly.
+// 3. *Finishers are pure.* Every float metric (MI, conditional entropy,
+//    Pearson, means) is a fixed-order function of those integer counts
+//    ([`crate::entropy::mutual_information_from_counts`],
+//    [`crate::aggregate::pearson_from_joint_counts`],
+//    [`crate::aggregate::sum_from_bin_counts`]) — summed counts through the
+//    same finisher give bit-identical floats.
+
+/// Evaluates a query against one spatial shard covering stored rows
+/// `[rows.start, rows.end)` of a `global_len`-row domain. The returned
+/// selection is exactly `global_selection.slice(rows)` — the shard-local
+/// canonical piece a coordinator concatenates (or counts) per shard.
+///
+/// `perm` is the *global* row permutation for stores laid out under a row
+/// reordering (region predicates name original row ids; their stored
+/// positions are mapped through `perm.inv()` and kept only when they land
+/// in this shard). Validation matches the unsharded path: region bounds
+/// are checked against `global_len`, so a malformed query fails
+/// identically on every shard.
+pub fn evaluate_ml_shard(
+    query: &SubsetQuery,
+    ml: &MultiLevelIndex,
+    rows: Range<u64>,
+    global_len: u64,
+    perm: Option<&RowPermutation>,
+) -> Result<WahVec, QueryError> {
+    let index = ml.low();
+    let n = index.len();
+    if rows.end.saturating_sub(rows.start) != n || rows.end > global_len {
+        return Err(QueryError::LengthMismatch {
+            len_a: n,
+            len_b: rows.end.saturating_sub(rows.start),
+        });
+    }
+    if let Some(p) = perm {
+        if p.len() as u64 != global_len {
+            return Err(QueryError::LengthMismatch {
+                len_a: global_len,
+                len_b: p.len() as u64,
+            });
+        }
+    }
+    let mut sel = match query.value_range {
+        Some((lo, hi)) => {
+            let plan = plan_value_range(index, Some(ml), lo, hi)?;
+            execute_range_plan(index, Some(ml), &plan)
+        }
+        None => WahVec::ones(n),
+    };
+    if let Some(range) = &query.position_range {
+        if range.start > range.end || range.end > global_len {
+            return Err(QueryError::RegionOutOfRange {
+                start: range.start,
+                end: range.end,
+                len: global_len,
+            });
+        }
+        let mask = match perm {
+            None => {
+                // Identity layout: the global `[start, end)` block clipped
+                // to this shard and rebased to shard-local positions.
+                let lo = range.start.max(rows.start);
+                let hi = range.end.min(rows.end);
+                let local = if lo < hi {
+                    lo - rows.start..hi - rows.start
+                } else {
+                    0..0
+                };
+                region_mask(local, n)?
+            }
+            Some(p) => {
+                OBS_REGION_MAPPED.inc();
+                // Reordered layout: stored positions of the original-id
+                // block that land inside this shard, rebased and sorted.
+                let mut ones: Vec<u64> = p.inv()[range.start as usize..range.end as usize]
+                    .iter()
+                    .map(|&s| s as u64)
+                    .filter(|s| rows.contains(s))
+                    .map(|s| s - rows.start)
+                    .collect();
+                ones.sort_unstable();
+                WahVec::from_ones(&ones, n)
+            }
+        };
+        sel = sel.and(&mask);
+    }
+    Ok(sel)
+}
+
+/// One shard's additive contribution to a correlation query: every term
+/// the coordinator needs, as exact integers. Merge partials with
+/// [`CorrelationPartial::merge`] and finish with [`finish_correlation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrelationPartial {
+    /// Elements of the combined selection inside this shard.
+    pub selected: u64,
+    /// Joint `(bin_a, bin_b)` counts restricted to the selection,
+    /// row-major over `nbins_a × nbins_b`.
+    pub joint: Vec<u64>,
+    /// Per-bin selection counts of variable A (`bin ∧ selection`), the sum
+    /// finisher's input — *not* derivable from `joint`'s marginals in
+    /// general, so carried explicitly.
+    pub counts_a: Vec<u64>,
+    /// Per-bin selection counts of variable B.
+    pub counts_b: Vec<u64>,
+}
+
+impl CorrelationPartial {
+    /// The additive identity for the given bin counts.
+    pub fn zero(nbins_a: usize, nbins_b: usize) -> Self {
+        CorrelationPartial {
+            selected: 0,
+            joint: vec![0; nbins_a * nbins_b],
+            counts_a: vec![0; nbins_a],
+            counts_b: vec![0; nbins_b],
+        }
+    }
+
+    /// Accumulates another shard's partial (elementwise integer sums —
+    /// associative and commutative, so any reduction order at the
+    /// coordinator yields the same totals).
+    ///
+    /// # Panics
+    /// Panics when the partials' shapes differ.
+    pub fn merge(&mut self, other: &CorrelationPartial) {
+        assert_eq!(self.joint.len(), other.joint.len(), "joint shape mismatch");
+        assert_eq!(self.counts_a.len(), other.counts_a.len());
+        assert_eq!(self.counts_b.len(), other.counts_b.len());
+        self.selected += other.selected;
+        for (s, o) in self.joint.iter_mut().zip(&other.joint) {
+            *s += o;
+        }
+        for (s, o) in self.counts_a.iter_mut().zip(&other.counts_a) {
+            *s += o;
+        }
+        for (s, o) in self.counts_b.iter_mut().zip(&other.counts_b) {
+            *s += o;
+        }
+    }
+}
+
+/// Computes one shard's [`CorrelationPartial`] for a correlation query
+/// (see [`evaluate_ml_shard`] for the shard-addressing contract).
+#[allow(clippy::too_many_arguments)]
+pub fn correlation_partial_ml_shard(
+    a: &MultiLevelIndex,
+    b: &MultiLevelIndex,
+    query_a: &SubsetQuery,
+    query_b: &SubsetQuery,
+    rows: Range<u64>,
+    global_len: u64,
+    perm: Option<&RowPermutation>,
+) -> Result<CorrelationPartial, QueryError> {
+    if a.low().len() != b.low().len() {
+        return Err(QueryError::LengthMismatch {
+            len_a: a.low().len(),
+            len_b: b.low().len(),
+        });
+    }
+    let sel = evaluate_ml_shard(query_a, a, rows.clone(), global_len, perm)?
+        .and(&evaluate_ml_shard(query_b, b, rows, global_len, perm)?);
+    let count_bins = |idx: &BitmapIndex| -> Vec<u64> {
+        idx.bins().iter().map(|bin| bin.and_count(&sel)).collect()
+    };
+    Ok(CorrelationPartial {
+        selected: sel.count_ones(),
+        joint: joint_counts_selected(a.low(), b.low(), &sel),
+        counts_a: count_bins(a.low()),
+        counts_b: count_bins(b.low()),
+    })
+}
+
+/// Runs the metric finishers over merged shard partials. Feeding the sum
+/// of every shard's partial through this yields a [`CorrelationAnswer`]
+/// bit-identical to the unsharded [`correlation_query_ml`] — same integer
+/// counts, same finishers, same accumulation order.
+pub fn finish_correlation(
+    binner_a: &ibis_core::Binner,
+    binner_b: &ibis_core::Binner,
+    p: &CorrelationPartial,
+) -> CorrelationAnswer {
+    let (na, nb) = (binner_a.nbins(), binner_b.nbins());
+    CorrelationAnswer {
+        selected: p.selected,
+        mutual_information: mutual_information_from_counts(&p.joint, na, nb),
+        conditional_entropy: conditional_entropy_from_counts(&p.joint, na, nb),
+        pearson: aggregate::pearson_from_joint_counts(binner_a, binner_b, &p.joint, p.selected),
+        mean_a: aggregate::mean_from_sum(
+            aggregate::sum_from_bin_counts(binner_a, &p.counts_a),
+            p.selected,
+        ),
+        mean_b: aggregate::mean_from_sum(
+            aggregate::sum_from_bin_counts(binner_b, &p.counts_b),
+            p.selected,
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -932,6 +1147,116 @@ mod tests {
                 len_b: 200
             }
         );
+    }
+
+    #[test]
+    fn sharded_partials_match_unsharded_oracle() {
+        use ibis_core::MultiLevelIndex;
+        let n = 3100usize;
+        let da: Vec<f64> = (0..n).map(|i| ((i * 7) % 95) as f64 / 10.0).collect();
+        let db: Vec<f64> = (0..n).map(|i| ((i * 13 + 11) % 95) as f64 / 10.0).collect();
+        let binner = Binner::fixed_width(0.0, 10.0, 48);
+        let ia = MultiLevelIndex::build(&da, binner.clone(), 8);
+        let ib = MultiLevelIndex::build(&db, binner.clone(), 8);
+        let queries = [
+            (SubsetQuery::all(), SubsetQuery::all()),
+            (SubsetQuery::value(1.0, 8.5), SubsetQuery::all()),
+            (
+                SubsetQuery::value(0.0, 9.9).with_region(100..2500),
+                SubsetQuery::value(2.0, 7.0),
+            ),
+            (SubsetQuery::region(0..700), SubsetQuery::region(500..3100)),
+        ];
+        for cuts in [vec![0u64, n as u64], vec![0, 777, 1600, 2201, n as u64]] {
+            let shards: Vec<(std::ops::Range<u64>, MultiLevelIndex, MultiLevelIndex)> = cuts
+                .windows(2)
+                .map(|w| {
+                    let r = w[0]..w[1];
+                    (
+                        r.clone(),
+                        MultiLevelIndex::from_low(ia.low().slice_rows(r.clone()), 8),
+                        MultiLevelIndex::from_low(ib.low().slice_rows(r), 8),
+                    )
+                })
+                .collect();
+            for (qa, qb) in &queries {
+                // selections concatenate to the global canonical vector
+                let global_sel = qa
+                    .evaluate_ml(&ia)
+                    .unwrap()
+                    .and(&qb.evaluate_ml(&ib).unwrap());
+                let mut bld = ibis_core::WahBuilder::new();
+                for (r, sa, sb) in &shards {
+                    let s = evaluate_ml_shard(qa, sa, r.clone(), n as u64, None)
+                        .unwrap()
+                        .and(&evaluate_ml_shard(qb, sb, r.clone(), n as u64, None).unwrap());
+                    bld.append_wah(&s);
+                }
+                assert_eq!(bld.finish(), global_sel, "selection concat {qa:?}/{qb:?}");
+                // merged partials finish to the exact unsharded answer
+                let oracle = correlation_query_ml(&ia, &ib, qa, qb).unwrap();
+                let mut acc = CorrelationPartial::zero(48, 48);
+                for (r, sa, sb) in &shards {
+                    let p = correlation_partial_ml_shard(sa, sb, qa, qb, r.clone(), n as u64, None)
+                        .unwrap();
+                    acc.merge(&p);
+                }
+                let merged = finish_correlation(&binner, &binner, &acc);
+                assert_eq!(merged, oracle, "finished partials {qa:?}/{qb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_partials_match_under_row_reordering() {
+        use ibis_core::{MultiLevelIndex, RowOrder};
+        let n = 2048usize;
+        let da: Vec<f64> = (0..n).map(|i| ((i * 17) % 90) as f64 / 9.0).collect();
+        let db: Vec<f64> = (0..n).map(|i| ((i * 29 + 3) % 90) as f64 / 9.0).collect();
+        let binner = Binner::fixed_width(0.0, 10.0, 30);
+        let dims = vec![64usize, 32];
+        let perm = RowOrder::GrayBin
+            .permutation(&dims, &binner, &da)
+            .expect("graybin permutation");
+        let ia = MultiLevelIndex::from_low(
+            ibis_core::BitmapIndex::build_permuted(&da, binner.clone(), &perm),
+            6,
+        );
+        let ib = MultiLevelIndex::from_low(
+            ibis_core::BitmapIndex::build_permuted(&db, binner.clone(), &perm),
+            6,
+        );
+        let qa = SubsetQuery::value(1.0, 7.5).with_region(128..1900);
+        let qb = SubsetQuery::region(0..1500);
+        let oracle = correlation_query_ml_mapped(&ia, &ib, &qa, &qb, &perm).unwrap();
+        let cuts = [0u64, 500, 1024, n as u64];
+        let mut acc = CorrelationPartial::zero(30, 30);
+        for w in cuts.windows(2) {
+            let r = w[0]..w[1];
+            let sa = MultiLevelIndex::from_low(ia.low().slice_rows(r.clone()), 6);
+            let sb = MultiLevelIndex::from_low(ib.low().slice_rows(r.clone()), 6);
+            let p =
+                correlation_partial_ml_shard(&sa, &sb, &qa, &qb, r, n as u64, Some(&perm)).unwrap();
+            acc.merge(&p);
+        }
+        assert_eq!(finish_correlation(&binner, &binner, &acc), oracle);
+    }
+
+    #[test]
+    fn shard_evaluation_rejects_malformed_input() {
+        use ibis_core::MultiLevelIndex;
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ml = MultiLevelIndex::build(&data, Binner::fixed_width(0.0, 10.0, 10), 2);
+        // shard range length must match the shard index
+        assert!(matches!(
+            evaluate_ml_shard(&SubsetQuery::all(), &ml, 0..50, 200, None),
+            Err(QueryError::LengthMismatch { .. })
+        ));
+        // region bounds validate against the global length, as unsharded
+        assert!(matches!(
+            evaluate_ml_shard(&SubsetQuery::region(150..250), &ml, 0..100, 200, None),
+            Err(QueryError::RegionOutOfRange { len: 200, .. })
+        ));
     }
 
     #[test]

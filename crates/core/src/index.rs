@@ -284,6 +284,25 @@ impl BitmapIndex {
         result
     }
 
+    /// The index restricted to the half-open row range `[start, end)`: every
+    /// bin sliced with [`WahVec::slice`], counts recomputed for the range.
+    /// This is the spatial-shard splitter — because value predicates are
+    /// per-bin ORs and set operations distribute over row slices,
+    /// evaluating any query on `slice_rows(lo..hi)` yields exactly the
+    /// `lo..hi` slice of the same query's global selection, which is what
+    /// lets sharded scatter-gather answers concatenate byte-identically.
+    ///
+    /// # Panics
+    /// Panics when the range is inverted or exceeds the row count.
+    pub fn slice_rows(&self, range: std::ops::Range<u64>) -> Self {
+        let bins = self
+            .bins
+            .iter()
+            .map(|b| b.slice(range.clone()))
+            .collect::<Vec<_>>();
+        Self::from_bins(self.binner.clone(), bins)
+    }
+
     /// Verifies structural invariants (tests / debugging): per-bin lengths,
     /// cached counts, each position set in exactly one bin.
     pub fn check_consistent(&self) -> Result<(), String> {
@@ -444,6 +463,31 @@ mod tests {
             assert_eq!(cv.id(), idx.bin_codec(b));
             assert_eq!(cv.to_wah(), *idx.bin(b));
             assert!(idx.bin_cost_bytes(b) > 0);
+        }
+    }
+
+    #[test]
+    fn slice_rows_splits_exactly() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 100) as f64).collect();
+        let idx = BitmapIndex::build(&data, Binner::fixed_width(0.0, 100.0, 10));
+        for cuts in [
+            vec![0u64, 1000],
+            vec![0, 250, 600, 1000],
+            vec![0, 1, 999, 1000],
+        ] {
+            for w in cuts.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let part = idx.slice_rows(lo..hi);
+                part.check_consistent().unwrap();
+                assert_eq!(part.len(), hi - lo);
+                let sub = BitmapIndex::build(
+                    &data[lo as usize..hi as usize],
+                    Binner::fixed_width(0.0, 100.0, 10),
+                );
+                for b in 0..10 {
+                    assert_eq!(part.bin(b), sub.bin(b), "rows {lo}..{hi} bin {b}");
+                }
+            }
         }
     }
 

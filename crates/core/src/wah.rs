@@ -552,6 +552,51 @@ impl WahVec {
         *self = b.finish();
     }
 
+    /// The sub-vector covering the half-open bit range `[start, end)`,
+    /// rebuilt in canonical form: slicing and then concatenating
+    /// segment-aligned pieces reproduces the original words exactly. This
+    /// is the row-range splitter behind spatial sharding — a shard's bin is
+    /// `bin.slice(shard_lo..shard_hi)` of the global bin. One pass over the
+    /// compressed runs; O(words) when the cut lands inside fills.
+    ///
+    /// # Panics
+    /// Panics when the range is inverted or exceeds the vector length.
+    pub fn slice(&self, range: std::ops::Range<u64>) -> WahVec {
+        assert!(
+            range.start <= range.end && range.end <= self.len_bits,
+            "slice {}..{} out of bounds for {} bits",
+            range.start,
+            range.end,
+            self.len_bits
+        );
+        let mut b = WahBuilder::new();
+        let mut pos = 0u64;
+        for run in self.runs() {
+            if pos >= range.end {
+                break;
+            }
+            let n = run.len();
+            let (lo, hi) = (range.start.max(pos), range.end.min(pos + n));
+            if lo < hi {
+                match run {
+                    Run::Fill(bit, _) => b.append_run(bit, hi - lo),
+                    Run::Literal(payload, _) => {
+                        let off = (lo - pos) as u32;
+                        let width = (hi - lo) as u8;
+                        let mask = if width as u64 == SEG_BITS {
+                            LITERAL_MASK
+                        } else {
+                            (1u32 << width) - 1
+                        };
+                        b.append_bits((payload >> off) & mask, width);
+                    }
+                }
+            }
+            pos += n;
+        }
+        b.finish()
+    }
+
     /// Verifies representation invariants; used by tests.
     ///
     /// Checks: fill counts are positive multiples of 31; literal words have
@@ -813,6 +858,62 @@ mod tests {
         let mut a = WahVec::zeros(30);
         a.concat(&WahVec::new());
         assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn slice_matches_bit_reference() {
+        let bits: Vec<bool> = (0..700)
+            .map(|i| (i * 7) % 13 < 4 || (200..420).contains(&i))
+            .collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        for (lo, hi) in [
+            (0u64, 700u64),
+            (0, 0),
+            (700, 700),
+            (0, 1),
+            (1, 32),
+            (30, 33),
+            (31, 62),
+            (100, 500),
+            (199, 421),
+            (250, 400),
+            (699, 700),
+        ] {
+            let s = v.slice(lo..hi);
+            assert_eq!(s.len(), hi - lo, "slice {lo}..{hi} length");
+            assert_eq!(
+                s.to_bools(),
+                bits[lo as usize..hi as usize].to_vec(),
+                "slice {lo}..{hi} bits"
+            );
+            s.check_canonical().unwrap();
+        }
+    }
+
+    #[test]
+    fn slice_inside_long_fill_is_compact() {
+        let v = WahVec::zeros(10_000_000);
+        let s = v.slice(1_000_000..9_000_000);
+        assert_eq!(s.len(), 8_000_000);
+        assert_eq!(s.count_ones(), 0);
+        assert!(s.words().len() <= 2, "fill slice stays compressed");
+        s.check_canonical().unwrap();
+    }
+
+    #[test]
+    fn aligned_slices_concat_back_to_original() {
+        let bits: Vec<bool> = (0..31 * 20).map(|i| (i * 11) % 17 < 6).collect();
+        let v = WahVec::from_bits(bits.iter().copied());
+        let cut = 31 * 7;
+        let mut joined = v.slice(0..cut);
+        joined.concat(&v.slice(cut..v.len()));
+        assert_eq!(joined, v, "segment-aligned slices must reassemble exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_overlong_range() {
+        let _ = WahVec::zeros(100).slice(50..101);
     }
 
     #[test]

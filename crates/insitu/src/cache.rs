@@ -74,6 +74,9 @@ pub struct CachedStore {
     store: Arc<Store>,
     shards: Vec<Mutex<Shard>>,
     shard_budget: u64,
+    // Instance label for per-instance obs gauges (`query.cache.<label>.*`).
+    // `None` publishes only the static `query.cache.stat.*` family.
+    label: Option<String>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -129,6 +132,7 @@ impl CachedStore {
             store: Arc::new(store),
             shards: (0..nshards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: budget_bytes / nshards as u64,
+            label: None,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -137,9 +141,85 @@ impl CachedStore {
         }
     }
 
+    /// Names this instance for per-instance obs gauges: [`publish_obs`]
+    /// additionally sets `query.cache.<label>.{hits,misses,evictions,`
+    /// `resident_bytes}`, so a process fronting several caches (one per
+    /// spatial shard, say) exposes each one's residency separately.
+    ///
+    /// [`publish_obs`]: CachedStore::publish_obs
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The instance label set by [`CachedStore::with_label`], if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
     /// The underlying read-only catalog.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// The total byte budget this cache enforces (sum over lock shards).
+    pub fn budget_bytes(&self) -> u64 {
+        self.shard_budget * self.shards.len() as u64
+    }
+
+    /// Evicts entries whose step fails `keep`, regardless of recency, and
+    /// returns the bytes freed. Maintenance hook: after a selection pass
+    /// decides which steps stay hot, the rest stop occupying budget.
+    pub fn evict_retain(&self, keep: impl Fn(usize) -> bool) -> u64 {
+        let mut freed = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let victims: Vec<_> = s
+                .map
+                .keys()
+                .filter(|(step, _)| !keep(*step))
+                .cloned()
+                .collect();
+            for key in victims {
+                if let Some(e) = s.map.remove(&key) {
+                    s.resident -= e.bytes;
+                    freed += e.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    OBS_CACHE_EVICTIONS.inc();
+                }
+            }
+        }
+        OBS_CACHE_RESIDENT.add(-(freed as i64));
+        freed
+    }
+
+    /// Evicts least-recently-used entries until total residency is at or
+    /// under `target_bytes` (applied per lock shard as an even split), and
+    /// returns the bytes freed. Unlike the insert-path eviction this may
+    /// empty a shard completely — a maintenance tier squeezing an idle
+    /// cache below its serving budget.
+    pub fn evict_to(&self, target_bytes: u64) -> u64 {
+        let per_shard = target_bytes / self.shards.len() as u64;
+        let mut freed = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            while s.resident > per_shard {
+                let victim = s
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                let Some(victim) = victim else { break };
+                if let Some(e) = s.map.remove(&victim) {
+                    s.resident -= e.bytes;
+                    freed += e.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    OBS_CACHE_EVICTIONS.inc();
+                }
+            }
+        }
+        OBS_CACHE_RESIDENT.add(-(freed as i64));
+        freed
     }
 
     /// Reads `(variable, step)` through the cache: a resident entry is
@@ -247,6 +327,21 @@ impl CachedStore {
         OBS_STAT_RESIDENT.set(s.resident_bytes as i64);
         if let Some(pct) = (s.hits * 100).checked_div(s.hits + s.misses) {
             OBS_HIT_RATIO.set(pct as i64);
+        }
+        // Per-instance gauges under the label, registered lazily by name.
+        // Gated on ENABLED so the no-op obs build registers nothing.
+        if ibis_obs::ENABLED {
+            if let Some(label) = &self.label {
+                let reg = ibis_obs::global();
+                reg.gauge(&format!("query.cache.{label}.hits"))
+                    .set(s.hits as i64);
+                reg.gauge(&format!("query.cache.{label}.misses"))
+                    .set(s.misses as i64);
+                reg.gauge(&format!("query.cache.{label}.evictions"))
+                    .set(s.evictions as i64);
+                reg.gauge(&format!("query.cache.{label}.resident_bytes"))
+                    .set(s.resident_bytes as i64);
+            }
         }
     }
 }
@@ -418,6 +513,68 @@ mod tests {
         assert_eq!(a.1, perm);
         assert_eq!(cache.get_order(1).unwrap(), None);
         assert_eq!(cache.get_order(1).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_retain_drops_only_unkept_steps() {
+        let (dir, store) = store_with("retain", &[0, 1, 2], &["temperature"]);
+        let cache = CachedStore::new(store, 64 << 20);
+        for s in [0usize, 1, 2] {
+            cache.get("temperature", s).unwrap();
+        }
+        let before = cache.stats().resident_bytes;
+        let freed = cache.evict_retain(|step| step == 1);
+        assert!(freed > 0);
+        let st = cache.stats();
+        assert_eq!(st.resident_bytes, before - freed);
+        assert_eq!(st.evictions, 2);
+        // step 1 kept: still a hit; steps 0 and 2 re-decode
+        cache.get("temperature", 1).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_to_squeezes_below_target() {
+        let (dir, store) = store_with("squeeze", &[0, 1, 2, 3], &["temperature"]);
+        let cache = CachedStore::with_shards(store, 64 << 20, 1);
+        for s in [0usize, 1, 2, 3] {
+            cache.get("temperature", s).unwrap();
+        }
+        let freed = cache.evict_to(0);
+        assert!(freed > 0);
+        assert_eq!(
+            cache.stats().resident_bytes,
+            0,
+            "target 0 empties the cache"
+        );
+        // still serves after a full squeeze
+        assert_eq!(
+            cache.get("temperature", 2).unwrap().low().counts(),
+            sample_index(2).counts()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn labeled_instance_publishes_per_instance_gauges() {
+        let (dir, store) = store_with("label", &[0], &["temperature"]);
+        let cache = CachedStore::new(store, 64 << 20).with_label("shard007");
+        assert_eq!(cache.label(), Some("shard007"));
+        cache.get("temperature", 0).unwrap();
+        cache.get("temperature", 0).unwrap();
+        cache.publish_obs();
+        if ibis_obs::ENABLED {
+            let snap = ibis_obs::global().snapshot();
+            let gauge = |name: &str| match snap.get(name) {
+                Some(ibis_obs::MetricValue::Gauge { value, .. }) => *value,
+                other => panic!("{name}: expected gauge, got {other:?}"),
+            };
+            assert_eq!(gauge("query.cache.shard007.hits"), 1);
+            assert_eq!(gauge("query.cache.shard007.misses"), 1);
+            assert!(gauge("query.cache.shard007.resident_bytes") > 0);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

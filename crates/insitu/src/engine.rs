@@ -197,7 +197,7 @@ impl QueryEngine {
 
 /// Fails fast when a request's wall-clock budget has expired; `site`
 /// names the load about to be skipped.
-fn deadline_check(deadline: Option<Instant>, site: &str) -> Result<()> {
+pub(crate) fn deadline_check(deadline: Option<Instant>, site: &str) -> Result<()> {
     let Some(d) = deadline else { return Ok(()) };
     let now = Instant::now();
     if now >= d {

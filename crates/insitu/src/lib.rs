@@ -28,6 +28,10 @@
 //!   admission with typed sheds, per-request deadlines, duplicate
 //!   coalescing, a respawning worker pool, and a split-frame-safe TCP
 //!   front end (`ibis serve`).
+//! * [`shard`] — the sharded distributed store: per-shard durable stores
+//!   with independent crash-resume, scatter-gather query execution with
+//!   byte-identical merged answers, region-based shard pruning, and
+//!   background compaction/eviction maintenance.
 
 pub mod cache;
 pub mod calibrate;
@@ -44,6 +48,7 @@ pub mod pipeline;
 pub mod report;
 pub mod retry;
 pub mod serving;
+pub mod shard;
 pub mod store;
 
 pub use cache::{CacheStats, CachedStore};
@@ -65,5 +70,9 @@ pub use retry::{write_with_retry, RetryPolicy, WriteReceipt};
 pub use serving::{
     DeadlineStage, QueryServer, ServeConfig, ServeError, ServeResult, ServeStats, SocketServer,
     Ticket,
+};
+pub use shard::{
+    is_sharded, shard_cuts, CompactReport, EngineBackend, MaintenanceConfig, MaintenanceReport,
+    ShardedEngine, ShardedStore, ShardedWriter, SHARDS_FILE,
 };
 pub use store::{FsckReport, QuarantinedBlob, Store, StoreWriter, ORDER_VARIABLE};

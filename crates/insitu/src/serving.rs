@@ -1,5 +1,5 @@
 //! Overload-safe query serving: the robustness shell around
-//! [`QueryEngine`] that lets one finished run directory answer thousands
+//! [`QueryEngine`](crate::engine::QueryEngine) that lets one finished run directory answer thousands
 //! of concurrent queries without queueing collapse.
 //!
 //! The engine itself is correct under concurrency (sharded cache, `&self`
@@ -14,7 +14,7 @@
 //!   with a typed [`ServeError::Shed`] carrying a `retry_after_ms` hint,
 //!   so excess load turns into fast typed refusals instead of collapse;
 //! * **per-request deadlines** — checked at admission, again at dequeue,
-//!   and between bitmap loads (via [`QueryEngine::run_with_deadline`]);
+//!   and between bitmap loads (via [`QueryEngine::run_with_deadline`](crate::engine::QueryEngine::run_with_deadline));
 //!   a request that can no longer meet its budget is dropped early with
 //!   [`ServeError::Deadline`] rather than wasting decode work;
 //! * **duplicate coalescing** — identical in-flight requests share one
@@ -38,10 +38,11 @@
 //! witness the serving bench asserts on. Per-instance [`ServeStats`]
 //! mirror the counters so tests stay independent of global obs state.
 
-use crate::engine::{self, QueryAnswer, QueryEngine, QueryRequest};
+use crate::engine::{self, QueryAnswer, QueryRequest};
 use crate::error::{panic_message, IbisError};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::json;
+use crate::shard::EngineBackend;
 use ibis_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -474,7 +475,7 @@ fn coalesce_key(request: &QueryRequest) -> String {
 }
 
 struct Core {
-    engine: QueryEngine,
+    engine: EngineBackend,
     cfg: ServeConfig,
     queue: BoundedQueue,
     inflight: Mutex<HashMap<String, Arc<Slot>>>,
@@ -632,7 +633,7 @@ impl Ticket {
     }
 }
 
-/// A long-running query server over one [`QueryEngine`]: bounded
+/// A long-running query server over one [`QueryEngine`](crate::engine::QueryEngine): bounded
 /// admission, deadlines, coalescing, and a respawning worker pool.
 /// Dropping the server shuts it down gracefully (admitted requests are
 /// still answered).
@@ -651,13 +652,17 @@ impl fmt::Debug for QueryServer {
 }
 
 impl QueryServer {
-    /// Starts the worker pool over `engine`.
-    pub fn start(engine: QueryEngine, cfg: ServeConfig) -> crate::error::Result<QueryServer> {
+    /// Starts the worker pool over `engine` — a plain [`QueryEngine`](crate::engine::QueryEngine), a
+    /// [`crate::shard::ShardedEngine`], or an [`EngineBackend`] directly.
+    pub fn start(
+        engine: impl Into<EngineBackend>,
+        cfg: ServeConfig,
+    ) -> crate::error::Result<QueryServer> {
         cfg.validate()?;
         OBS_QUEUE_BOUND.set(cfg.queue_capacity as i64);
         let latencies = cfg.record_latencies.then(|| Mutex::new(Vec::new()));
         let core = Arc::new(Core {
-            engine,
+            engine: engine.into(),
             queue: BoundedQueue::new(cfg.queue_capacity),
             inflight: Mutex::new(HashMap::new()),
             injector: FaultInjector::new(cfg.faults.clone()),
@@ -675,8 +680,9 @@ impl QueryServer {
         Ok(QueryServer { core })
     }
 
-    /// The engine this server answers from (cache stats, catalog).
-    pub fn engine(&self) -> &QueryEngine {
+    /// The engine backend this server answers from (cache stats,
+    /// catalog, maintenance).
+    pub fn engine(&self) -> &EngineBackend {
         &self.core.engine
     }
 
@@ -1152,6 +1158,7 @@ fn handle_connection(server: &QueryServer, stream: TcpStream) {
 mod tests {
     use super::*;
     use crate::cache::CachedStore;
+    use crate::engine::QueryEngine;
     use crate::store::{Store, StoreWriter};
     use ibis_analysis::SubsetQuery;
     use ibis_core::{Binner, BitmapIndex};

@@ -1,0 +1,1333 @@
+//! Sharded distributed store with scatter-gather query execution and
+//! background maintenance (DESIGN.md §6k).
+//!
+//! One step's index is split into `K` spatial shards over contiguous
+//! stored-row ranges. Each shard is a first-class durable [`Store`]: its
+//! own journal, CRC'd blobs, fsck/repair, and crash-resume — a killed
+//! node resumes from *its* shard directory alone. On top, a scatter-
+//! gather [`ShardedEngine`] fans value-range and region queries out per
+//! shard, evaluates them against per-shard [`CachedStore`]s, and merges
+//! with a deterministic reduction order, so answers are **byte-identical**
+//! to the unsharded [`QueryEngine`]:
+//!
+//! * a shard's canonical WAH selection is exactly
+//!   `global_selection.slice(rows)` (canonical-form uniqueness), so
+//!   selection *counts* sum and selections *concatenate* to the global
+//!   vector word-for-word ([`ShardedEngine::selection`]);
+//! * correlation metrics reduce over additive integer partials
+//!   ([`ibis_analysis::CorrelationPartial`], merged in ascending shard
+//!   order) and finish through the same pure float finishers — the merged
+//!   counts equal the global counts exactly, so the floats match bit for
+//!   bit;
+//! * region predicates prune: with an identity row layout, a query whose
+//!   region misses a shard's row range contributes an empty partial by
+//!   construction, so that shard is neither loaded nor evaluated — on a
+//!   spatially-local workload a `K`-shard store does ~`1/K` of the decode
+//!   and popcount work per query.
+//!
+//! Row split: shard `i` of `K` covers stored rows
+//! `[(i*n)/K, ((i+1)*n)/K)` — a pure function of `(n, K)`, so no per-step
+//! cut manifest is needed; at query time the per-shard index lengths
+//! prefix-sum back into the row ranges. The top-level `SHARDS` file
+//! records `K` (with a CRC footer) so a silently-missing shard directory
+//! is a hard open error rather than a plausible-but-wrong answer.
+//!
+//! Background maintenance ([`ShardedEngine::maintenance_once`]) compacts
+//! durable debris (quarantined blobs, orphaned temp files, stale
+//! journals) and applies tiered cache eviction — drop steps that fell out
+//! of the hot set, then squeeze to an idle byte target — per shard.
+//!
+//! Counters (family `shard`): `shard.query.{ok,rejected,fanout,pruned}`,
+//! `shard.compact.{files,bytes}`,
+//! `shard.maintenance.{runs,evicted_bytes}`; each shard's cache also
+//! publishes per-instance `query.cache.shard<i>.{…}` gauges.
+
+use crate::cache::{CacheStats, CachedStore};
+use crate::crc::crc32c;
+use crate::engine::{
+    deadline_check, parse_batch, render_answers, QueryAnswer, QueryEngine, QueryRequest,
+};
+use crate::error::{panic_message, IbisError, Result, WorkerRole};
+use crate::io::write_atomic;
+use crate::store::{FsckReport, Store, StoreWriter};
+use ibis_analysis::{
+    correlation_partial_ml_shard, evaluate_ml_shard, finish_correlation, CorrelationPartial,
+    QueryError, SubsetQuery,
+};
+use ibis_core::{BitmapIndex, MultiLevelIndex, RowOrder, RowPermutation, WahBuilder, WahVec};
+use ibis_obs::LazyCounter;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Memoized prefix row cuts, keyed by `(step, variable)`: `cuts[i]` is
+/// shard `i`'s first global row, `cuts[K]` the global length.
+type CutsMemo = Mutex<HashMap<(usize, String), Arc<Vec<u64>>>>;
+
+/// A full fan-out load: every shard's decoded index plus the prefix row
+/// cuts derived from their lengths.
+type LoadedShards = (Vec<Arc<MultiLevelIndex>>, Arc<Vec<u64>>);
+
+static OBS_SHARD_OK: LazyCounter = LazyCounter::new("shard.query.ok");
+static OBS_SHARD_REJECTED: LazyCounter = LazyCounter::new("shard.query.rejected");
+static OBS_SHARD_FANOUT: LazyCounter = LazyCounter::new("shard.query.fanout");
+static OBS_SHARD_PRUNED: LazyCounter = LazyCounter::new("shard.query.pruned");
+static OBS_COMPACT_FILES: LazyCounter = LazyCounter::new("shard.compact.files");
+static OBS_COMPACT_BYTES: LazyCounter = LazyCounter::new("shard.compact.bytes");
+static OBS_MAINT_RUNS: LazyCounter = LazyCounter::new("shard.maintenance.runs");
+static OBS_MAINT_EVICTED: LazyCounter = LazyCounter::new("shard.maintenance.evicted_bytes");
+
+/// The top-level file naming the shard count.
+pub const SHARDS_FILE: &str = "SHARDS";
+const SHARDS_HEADER: &str = "#IBIS-SHARDS v1";
+/// Hard ceiling on the shard count (file-name and sanity bound).
+pub const MAX_SHARDS: usize = 256;
+
+/// `shard-000`, `shard-001`, …
+fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i:03}")
+}
+
+/// Whether `dir` holds a sharded store (has a `SHARDS` file).
+pub fn is_sharded(dir: impl AsRef<Path>) -> bool {
+    dir.as_ref().join(SHARDS_FILE).is_file()
+}
+
+/// The `nshards + 1` even-split cut points over `global_len` stored rows:
+/// shard `i` covers `[cuts[i], cuts[i+1])`. A pure function of its
+/// arguments — writer and readers derive identical ranges with no
+/// per-step manifest.
+pub fn shard_cuts(global_len: u64, nshards: usize) -> Vec<u64> {
+    let k = nshards.max(1) as u128;
+    (0..=nshards.max(1))
+        .map(|i| ((global_len as u128 * i as u128) / k) as u64)
+        .collect()
+}
+
+fn write_shards_file(dir: &Path, nshards: usize) -> Result<()> {
+    let body = format!("{SHARDS_HEADER}\n{nshards}\n");
+    let full = format!("{body}#END {:08x}\n", crc32c(body.as_bytes()));
+    write_atomic(
+        &dir.join(".SHARDS.tmp"),
+        &dir.join(SHARDS_FILE),
+        full.as_bytes(),
+    )
+    .map_err(|e| IbisError::io("write SHARDS", &e))
+}
+
+fn read_shards_file(dir: &Path) -> Result<usize> {
+    let corrupt = |detail: String| IbisError::Corrupt {
+        file: SHARDS_FILE.to_string(),
+        detail,
+    };
+    let text = std::fs::read_to_string(dir.join(SHARDS_FILE))
+        .map_err(|e| IbisError::io("read SHARDS", &e))?;
+    let Some(footer_at) = text.rfind("#END ") else {
+        return Err(corrupt("missing #END footer (truncated?)".into()));
+    };
+    let (body, footer) = text.split_at(footer_at);
+    if !body.starts_with(SHARDS_HEADER) {
+        return Err(corrupt("missing #IBIS-SHARDS header".into()));
+    }
+    let stored = footer
+        .trim_end()
+        .strip_prefix("#END ")
+        .and_then(|f| u32::from_str_radix(f, 16).ok())
+        .ok_or_else(|| corrupt("malformed #END footer".into()))?;
+    let actual = crc32c(body.as_bytes());
+    if stored != actual {
+        return Err(corrupt(format!(
+            "CRC mismatch: stored {stored:08x}, computed {actual:08x}"
+        )));
+    }
+    let nshards: usize = body
+        .lines()
+        .nth(1)
+        .and_then(|l| l.trim().parse().ok())
+        .ok_or_else(|| corrupt("missing shard count".into()))?;
+    if nshards == 0 || nshards > MAX_SHARDS {
+        return Err(corrupt(format!(
+            "shard count {nshards} outside 1..={MAX_SHARDS}"
+        )));
+    }
+    Ok(nshards)
+}
+
+/// Debris removed by a compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactReport {
+    /// Files deleted.
+    pub files_removed: usize,
+    /// Their summed on-disk bytes.
+    pub bytes_reclaimed: u64,
+}
+
+/// Removes one directory's durable debris: quarantined blobs
+/// (`*.quarantined`), orphaned atomic-write temp files (`.*.tmp`), and a
+/// stale `JOURNAL` shadowed by a finished `MANIFEST`. Only call on a
+/// quiesced directory — a writer mid-append owns its journal.
+fn compact_dir(dir: &Path, report: &mut CompactReport) -> Result<()> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| IbisError::io(format!("read dir {}", dir.display()), &e))?;
+    let manifest_done = dir.join("MANIFEST").is_file();
+    for entry in entries {
+        let entry = entry.map_err(|e| IbisError::io("read dir entry", &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let debris = name.ends_with(".quarantined")
+            || (name.starts_with('.') && name.ends_with(".tmp"))
+            || (name == "JOURNAL" && manifest_done);
+        if !debris {
+            continue;
+        }
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(entry.path())
+            .map_err(|e| IbisError::io(format!("remove debris {name}"), &e))?;
+        report.files_removed += 1;
+        report.bytes_reclaimed += bytes;
+        OBS_COMPACT_FILES.inc();
+        OBS_COMPACT_BYTES.add(bytes);
+    }
+    Ok(())
+}
+
+/// Writes one logical run as `K` spatial shards, each a fully durable
+/// [`StoreWriter`] under `dir/shard-000..`: journaled blobs, atomic
+/// writes, per-shard crash-resume. [`ShardedWriter::put`] slices the
+/// step's index on the deterministic even-split row cuts; the global row
+/// permutation (if any) is stored whole in every shard so each one can
+/// answer region queries independently.
+#[derive(Debug)]
+pub struct ShardedWriter {
+    dir: PathBuf,
+    writers: Vec<StoreWriter>,
+}
+
+impl ShardedWriter {
+    /// Creates the run directory, its `SHARDS` file, and `nshards` fresh
+    /// shard writers.
+    pub fn create(dir: impl AsRef<Path>, nshards: usize) -> Result<Self> {
+        if nshards == 0 || nshards > MAX_SHARDS {
+            return Err(IbisError::Config(format!(
+                "shard count {nshards} outside 1..={MAX_SHARDS}"
+            )));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| IbisError::io(format!("create run dir {}", dir.display()), &e))?;
+        write_shards_file(&dir, nshards)?;
+        let writers = (0..nshards)
+            .map(|i| StoreWriter::create(dir.join(shard_dir_name(i))))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedWriter { dir, writers })
+    }
+
+    /// Reopens an interrupted (or finished) sharded run: reads the shard
+    /// count back from `SHARDS` and crash-resumes every shard from its
+    /// own journal/manifest — the whole point of per-shard durability is
+    /// that a killed node recovers from its shard directory alone.
+    pub fn resume(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let nshards = read_shards_file(&dir)?;
+        let writers = (0..nshards)
+            .map(|i| StoreWriter::resume(dir.join(shard_dir_name(i))))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedWriter { dir, writers })
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shard count.
+    pub fn nshards(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// One shard's writer — tests use this to kill or inspect a single
+    /// node's durable state.
+    pub fn shard_writer(&mut self, i: usize) -> &mut StoreWriter {
+        &mut self.writers[i]
+    }
+
+    /// Whether `(step, variable)` is durable in **every** shard.
+    pub fn contains(&self, step: usize, variable: &str) -> bool {
+        self.writers.iter().all(|w| w.contains(step, variable))
+    }
+
+    /// Steps durable in every shard, ascending — a step some shard lost
+    /// (torn journal, killed node) is not globally durable until re-put.
+    pub fn durable_steps(&self) -> Vec<usize> {
+        let Some((first, rest)) = self.writers.split_first() else {
+            return Vec::new();
+        };
+        first
+            .durable_steps()
+            .into_iter()
+            .filter(|&s| rest.iter().all(|w| w.durable_steps().contains(&s)))
+            .collect()
+    }
+
+    /// Splits `index` on the even-split row cuts and puts each slice into
+    /// its shard. Idempotent like [`StoreWriter::put`] — after a resume,
+    /// re-putting a step repairs whichever shards lost it.
+    pub fn put(&mut self, step: usize, variable: &str, index: &BitmapIndex) -> Result<()> {
+        let cuts = shard_cuts(index.len(), self.writers.len());
+        for (i, w) in self.writers.iter_mut().enumerate() {
+            let slice = index.slice_rows(cuts[i]..cuts[i + 1]);
+            w.put(step, variable, &slice)?;
+        }
+        Ok(())
+    }
+
+    /// Stores the step's **global** row permutation in every shard (each
+    /// shard maps region predicates through the global inverse
+    /// permutation, filtered to its own row range — see
+    /// [`ibis_analysis::evaluate_ml_shard`]).
+    pub fn put_order(&mut self, step: usize, order: RowOrder, perm: &RowPermutation) -> Result<()> {
+        for w in &mut self.writers {
+            w.put_order(step, order, perm)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes every shard (checksummed manifest, journal retired) and
+    /// returns the run directory.
+    pub fn finish(self) -> Result<PathBuf> {
+        for w in self.writers {
+            w.finish()?;
+        }
+        Ok(self.dir)
+    }
+}
+
+/// A read-only view of a finished sharded run: the `SHARDS` file names
+/// `K`, and every `shard-…` directory must open as a valid [`Store`] — a
+/// missing shard is a hard error, never a silently partial answer.
+#[derive(Debug)]
+pub struct ShardedStore {
+    dir: PathBuf,
+    shards: Vec<Store>,
+}
+
+impl ShardedStore {
+    /// Opens a sharded run directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let nshards = read_shards_file(&dir)?;
+        let shards = (0..nshards)
+            .map(|i| Store::open(dir.join(shard_dir_name(i))))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedStore { dir, shards })
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shard count.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard stores, in shard order.
+    pub fn shards(&self) -> &[Store] {
+        &self.shards
+    }
+
+    /// Steps present in **every** shard, ascending.
+    pub fn steps(&self) -> Vec<usize> {
+        let Some((first, rest)) = self.shards.split_first() else {
+            return Vec::new();
+        };
+        first
+            .steps()
+            .into_iter()
+            .filter(|&s| rest.iter().all(|sh| sh.steps().contains(&s)))
+            .collect()
+    }
+
+    /// Variables present for `step` (from shard 0; [`ShardedWriter::put`]
+    /// writes every shard symmetrically).
+    pub fn variables(&self, step: usize) -> Vec<&str> {
+        self.shards
+            .first()
+            .map(|s| s.variables(step))
+            .unwrap_or_default()
+    }
+
+    /// Runs [`Store::fsck`] on every shard, in shard order. Corruption in
+    /// one shard quarantines only that shard's blob; the other shards'
+    /// entries (and their query results) are untouched.
+    pub fn fsck(&mut self) -> Vec<FsckReport> {
+        self.shards.iter_mut().map(|s| s.fsck()).collect()
+    }
+
+    /// Compacts durable debris (quarantined blobs, orphaned temp files,
+    /// stale journals) in the run directory and every shard.
+    pub fn compact(&self) -> Result<CompactReport> {
+        let mut report = CompactReport::default();
+        compact_dir(&self.dir, &mut report)?;
+        for i in 0..self.shards.len() {
+            compact_dir(&self.dir.join(shard_dir_name(i)), &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// Consumes the view into its per-shard stores (shard order) — the
+    /// engine wraps each in its own cache.
+    pub fn into_shards(self) -> Vec<Store> {
+        self.shards
+    }
+}
+
+/// What [`ShardedEngine::maintenance_once`] should do.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceConfig {
+    /// Remove durable debris (quarantined/temp/stale-journal files).
+    /// Off by default: the serving loop opts in once it owns the
+    /// directory exclusively.
+    pub compact: bool,
+    /// Evict cached entries of steps *not* in this set (tier 1: the hot
+    /// set moved on). `None` keeps every step.
+    pub hot_steps: Option<Vec<usize>>,
+    /// Squeeze each shard's cache to `total/K` bytes (tier 2: idle
+    /// target below the serving budget). `None` leaves residency alone.
+    pub cache_target_bytes: Option<u64>,
+}
+
+/// What one maintenance pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceReport {
+    /// Debris files removed.
+    pub debris_files: usize,
+    /// Debris bytes reclaimed on disk.
+    pub debris_bytes: u64,
+    /// Decoded cache bytes evicted.
+    pub evicted_bytes: u64,
+}
+
+/// Scatter-gather query execution over a [`ShardedStore`]: each shard
+/// serves from its own byte-budgeted [`CachedStore`], partials merge in
+/// ascending shard order, answers are byte-identical to the unsharded
+/// [`QueryEngine`] (see the module docs for the argument).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    dir: PathBuf,
+    caches: Vec<CachedStore>,
+    /// Whether fan-out uses threads (more than one core available) or
+    /// runs shards sequentially (identical results either way; the merge
+    /// order is always ascending shard index).
+    parallel: bool,
+    /// Per-`(step, variable)` prefix row cuts, learned on the first full
+    /// load — later region queries prune shards without touching them.
+    cuts: CutsMemo,
+}
+
+impl ShardedEngine {
+    /// Opens `dir` and splits `budget_bytes` of decoded-index cache
+    /// evenly across its shards.
+    pub fn open(dir: impl AsRef<Path>, budget_bytes: u64) -> Result<Self> {
+        Self::from_store(ShardedStore::open(dir)?, budget_bytes)
+    }
+
+    /// Wraps an already-open [`ShardedStore`], splitting `budget_bytes`
+    /// evenly across per-shard caches labeled `shard000`, `shard001`, …
+    /// (their residency gauges publish per shard, not pooled).
+    pub fn from_store(store: ShardedStore, budget_bytes: u64) -> Result<Self> {
+        let dir = store.dir().to_path_buf();
+        let shards = store.into_shards();
+        if shards.is_empty() {
+            return Err(IbisError::Config("sharded store has no shards".into()));
+        }
+        let per_shard = budget_bytes / shards.len() as u64;
+        let caches = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| CachedStore::new(s, per_shard).with_label(format!("shard{i:03}")))
+            .collect();
+        let parallel = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1;
+        Ok(ShardedEngine {
+            dir,
+            caches,
+            parallel,
+            cuts: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shard count.
+    pub fn nshards(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The per-shard caches, in shard order.
+    pub fn shard_caches(&self) -> &[CachedStore] {
+        &self.caches
+    }
+
+    /// Cache counters summed over every shard.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.resident_bytes += s.resident_bytes;
+        }
+        total
+    }
+
+    /// Publishes every shard cache's per-instance gauges (plus the
+    /// static `query.cache.stat.*` family, which ends up reflecting the
+    /// last shard — use the labeled gauges for per-shard views).
+    pub fn publish_obs(&self) {
+        for c in &self.caches {
+            c.publish_obs();
+        }
+    }
+
+    /// Runs `f(shard_index)` for the given shards and returns results in
+    /// the same order — threaded when more than one core is available,
+    /// sequential otherwise. A panicking task is contained as
+    /// [`IbisError::WorkerPanic`].
+    fn fanout<T, F>(&self, ids: &[usize], f: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        if !self.parallel || ids.len() <= 1 {
+            return ids.iter().map(|&i| f(i)).collect();
+        }
+        OBS_SHARD_FANOUT.add(ids.len() as u64);
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = ids.iter().map(|&i| s.spawn(move || f(i))).collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(IbisError::WorkerPanic {
+                            role: WorkerRole::Node,
+                            step: None,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// The step's stored row permutation, shared by every shard (each
+    /// holds the same global copy; shard 0's is authoritative).
+    fn order_of(&self, step: usize) -> Result<Option<Arc<(RowOrder, RowPermutation)>>> {
+        self.caches[0].get_order(step)
+    }
+
+    /// Memoized prefix cuts for `(step, variable)`, if a full load has
+    /// happened already.
+    fn known_cuts(&self, step: usize, variable: &str) -> Option<Arc<Vec<u64>>> {
+        self.cuts.lock().get(&(step, variable.to_string())).cloned()
+    }
+
+    /// Loads every shard's index for `(variable, step)` and returns them
+    /// with the prefix row cuts (`cuts[i]..cuts[i+1]` is shard `i`'s row
+    /// range; `cuts[K]` the global length), memoizing the cuts for later
+    /// pruning.
+    fn load_all(
+        &self,
+        variable: &str,
+        step: usize,
+        deadline: Option<Instant>,
+    ) -> Result<LoadedShards> {
+        let ids: Vec<usize> = (0..self.caches.len()).collect();
+        let mls = self
+            .fanout(&ids, |i| {
+                deadline_check(deadline, "shard load")?;
+                self.caches[i].get(variable, step)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+        let mut cuts = Vec::with_capacity(mls.len() + 1);
+        cuts.push(0u64);
+        for ml in &mls {
+            cuts.push(cuts[cuts.len() - 1] + ml.low().len());
+        }
+        let cuts = Arc::new(cuts);
+        self.cuts
+            .lock()
+            .insert((step, variable.to_string()), Arc::clone(&cuts));
+        Ok((mls, cuts))
+    }
+
+    /// Shards whose row range intersects `region`, per `cuts`; an empty
+    /// intersection keeps shard 0 so validation errors (and the empty
+    /// answer) still surface exactly like the unsharded path.
+    fn overlapping(cuts: &[u64], region: &Range<u64>) -> Vec<usize> {
+        let hit: Vec<usize> = (0..cuts.len().saturating_sub(1))
+            .filter(|&i| cuts[i] < region.end && cuts[i + 1] > region.start)
+            .collect();
+        if hit.is_empty() {
+            vec![0]
+        } else {
+            hit
+        }
+    }
+
+    /// Answers one query (scatter, evaluate, gather — see
+    /// [`ShardedEngine::run_with_deadline`] for the budgeted form).
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryAnswer> {
+        self.run_with_deadline(request, None)
+    }
+
+    /// [`ShardedEngine::run`] under a wall-clock budget, re-checked
+    /// before every per-shard load exactly like the unsharded engine.
+    pub fn run_with_deadline(
+        &self,
+        request: &QueryRequest,
+        deadline: Option<Instant>,
+    ) -> Result<QueryAnswer> {
+        let result = self.run_inner(request, deadline);
+        match &result {
+            Ok(_) => OBS_SHARD_OK.inc(),
+            Err(_) => OBS_SHARD_REJECTED.inc(),
+        }
+        result
+    }
+
+    fn run_inner(&self, request: &QueryRequest, deadline: Option<Instant>) -> Result<QueryAnswer> {
+        match request {
+            QueryRequest::Subset {
+                step,
+                variable,
+                query,
+            } => self.run_subset(*step, variable, query, deadline),
+            QueryRequest::Correlation {
+                step,
+                var_a,
+                var_b,
+                query_a,
+                query_b,
+            } => self.run_correlation(*step, var_a, var_b, query_a, query_b, deadline),
+        }
+    }
+
+    fn run_subset(
+        &self,
+        step: usize,
+        variable: &str,
+        query: &SubsetQuery,
+        deadline: Option<Instant>,
+    ) -> Result<QueryAnswer> {
+        let order = self.order_of(step)?;
+        let perm = order.as_deref().map(|(_, p)| p);
+        // Pruned path: identity layout, a region predicate, and known
+        // cuts — only shards the region touches are loaded or evaluated
+        // (a missed shard's partial is empty by construction).
+        let pruned = if perm.is_none() {
+            query
+                .position_range
+                .clone()
+                .zip(self.known_cuts(step, variable))
+        } else {
+            None
+        };
+        if let Some((region, cuts)) = pruned {
+            let wanted = Self::overlapping(&cuts, &region);
+            if wanted.len() < self.caches.len() {
+                OBS_SHARD_PRUNED.add((self.caches.len() - wanted.len()) as u64);
+            }
+            let global_len = cuts[cuts.len() - 1];
+            let counts = self.fanout(&wanted, |i| {
+                deadline_check(deadline, "shard subset load")?;
+                let ml = self.caches[i].get(variable, step)?;
+                evaluate_ml_shard(query, &ml, cuts[i]..cuts[i + 1], global_len, None)
+                    .map(|sel| sel.count_ones())
+                    .map_err(IbisError::Query)
+            });
+            let mut selected = 0u64;
+            for c in counts {
+                selected += c?;
+            }
+            return Ok(QueryAnswer::Subset {
+                selected,
+                of: global_len,
+            });
+        }
+        let (mls, cuts) = self.load_all(variable, step, deadline)?;
+        let global_len = cuts[cuts.len() - 1];
+        let ids: Vec<usize> = (0..mls.len()).collect();
+        let counts = self.fanout(&ids, |i| {
+            evaluate_ml_shard(query, &mls[i], cuts[i]..cuts[i + 1], global_len, perm)
+                .map(|sel| sel.count_ones())
+                .map_err(IbisError::Query)
+        });
+        let mut selected = 0u64;
+        for c in counts {
+            selected += c?;
+        }
+        Ok(QueryAnswer::Subset {
+            selected,
+            of: global_len,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_correlation(
+        &self,
+        step: usize,
+        var_a: &str,
+        var_b: &str,
+        query_a: &SubsetQuery,
+        query_b: &SubsetQuery,
+        deadline: Option<Instant>,
+    ) -> Result<QueryAnswer> {
+        let order = self.order_of(step)?;
+        let perm = order.as_deref().map(|(_, p)| p);
+        // The joint selection is AND of both predicates, so a shard
+        // contributes a non-empty partial only where *both* regions (when
+        // present) intersect its rows.
+        let prune_region = match (&query_a.position_range, &query_b.position_range) {
+            (Some(a), Some(b)) => Some(a.start.max(b.start)..a.end.min(b.end)),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        };
+        let pruned_cuts = if perm.is_none() {
+            match (
+                prune_region,
+                self.known_cuts(step, var_a),
+                self.known_cuts(step, var_b),
+            ) {
+                (Some(region), Some(ca), Some(cb)) if ca == cb => Some((region, ca)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let (wanted, cuts, mls): (Vec<usize>, Arc<Vec<u64>>, Option<Vec<_>>) =
+            if let Some((region, cuts)) = pruned_cuts {
+                let wanted = Self::overlapping(&cuts, &region);
+                if wanted.len() < self.caches.len() {
+                    OBS_SHARD_PRUNED.add((self.caches.len() - wanted.len()) as u64);
+                }
+                (wanted, cuts, None)
+            } else {
+                let (mls_a, cuts_a) = self.load_all(var_a, step, deadline)?;
+                let (mls_b, cuts_b) = self.load_all(var_b, step, deadline)?;
+                let (gl_a, gl_b) = (cuts_a[cuts_a.len() - 1], cuts_b[cuts_b.len() - 1]);
+                if gl_a != gl_b {
+                    return Err(IbisError::Query(QueryError::LengthMismatch {
+                        len_a: gl_a,
+                        len_b: gl_b,
+                    }));
+                }
+                let ids: Vec<usize> = (0..mls_a.len()).collect();
+                let pairs: Vec<_> = mls_a.into_iter().zip(mls_b).collect();
+                (ids, cuts_a, Some(pairs))
+            };
+        let global_len = cuts[cuts.len() - 1];
+        let partials = match &mls {
+            Some(pairs) => self.fanout(&wanted, |i| {
+                let (a, b) = &pairs[i];
+                correlation_partial_ml_shard(
+                    a,
+                    b,
+                    query_a,
+                    query_b,
+                    cuts[i]..cuts[i + 1],
+                    global_len,
+                    perm,
+                )
+                .map(|p| (p, Arc::clone(a), Arc::clone(b)))
+                .map_err(IbisError::Query)
+            }),
+            None => self.fanout(&wanted, |i| {
+                deadline_check(deadline, "shard correlation load a")?;
+                let a = self.caches[i].get(var_a, step)?;
+                deadline_check(deadline, "shard correlation load b")?;
+                let b = self.caches[i].get(var_b, step)?;
+                correlation_partial_ml_shard(
+                    &a,
+                    &b,
+                    query_a,
+                    query_b,
+                    cuts[i]..cuts[i + 1],
+                    global_len,
+                    None,
+                )
+                .map(|p| (p, a, b))
+                .map_err(IbisError::Query)
+            }),
+        };
+        // Gather: merge integer partials in ascending shard order, then
+        // run the pure finishers once — bit-identical to the unsharded
+        // answer (module docs).
+        let mut merged: Option<(
+            CorrelationPartial,
+            Arc<MultiLevelIndex>,
+            Arc<MultiLevelIndex>,
+        )> = None;
+        for part in partials {
+            let (p, a, b) = part?;
+            match &mut merged {
+                Some((total, _, _)) => total.merge(&p),
+                None => merged = Some((p, a, b)),
+            }
+        }
+        let Some((total, a, b)) = merged else {
+            return Err(IbisError::Config("sharded store has no shards".into()));
+        };
+        Ok(QueryAnswer::Correlation(finish_correlation(
+            a.low().binner(),
+            b.low().binner(),
+            &total,
+        )))
+    }
+
+    /// The full canonical selection for a subset query, concatenated from
+    /// the per-shard canonical pieces in shard order — word-identical to
+    /// the unsharded engine's selection (the byte-identity witness tests
+    /// and benches assert against).
+    pub fn selection(&self, step: usize, variable: &str, query: &SubsetQuery) -> Result<WahVec> {
+        let order = self.order_of(step)?;
+        let perm = order.as_deref().map(|(_, p)| p);
+        let (mls, cuts) = self.load_all(variable, step, None)?;
+        let global_len = cuts[cuts.len() - 1];
+        let mut b = WahBuilder::new();
+        for (i, ml) in mls.iter().enumerate() {
+            let sel = evaluate_ml_shard(query, ml, cuts[i]..cuts[i + 1], global_len, perm)
+                .map_err(IbisError::Query)?;
+            b.append_wah(&sel);
+        }
+        Ok(b.finish())
+    }
+
+    /// Answers every query of a batch, in order; failures are
+    /// per-request.
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryAnswer>> {
+        requests.iter().map(|r| self.run(r)).collect()
+    }
+
+    /// Parses a JSON batch document, runs it, renders the answers —
+    /// the same wire format as [`QueryEngine::run_batch_json`].
+    pub fn run_batch_json(&self, text: &str) -> Result<String> {
+        let requests = parse_batch(text)?;
+        let answers = self.run_batch(&requests);
+        Ok(render_answers(&answers))
+    }
+
+    /// One background-maintenance pass: compact durable debris in every
+    /// shard (and the run directory), evict cached steps that left the
+    /// hot set, squeeze residency to an idle target — each tier opt-in
+    /// via [`MaintenanceConfig`].
+    pub fn maintenance_once(&self, cfg: &MaintenanceConfig) -> Result<MaintenanceReport> {
+        OBS_MAINT_RUNS.inc();
+        let mut report = MaintenanceReport::default();
+        if cfg.compact {
+            let mut debris = CompactReport::default();
+            compact_dir(&self.dir, &mut debris)?;
+            for c in &self.caches {
+                compact_dir(c.store().dir(), &mut debris)?;
+            }
+            report.debris_files = debris.files_removed;
+            report.debris_bytes = debris.bytes_reclaimed;
+        }
+        if let Some(hot) = &cfg.hot_steps {
+            for c in &self.caches {
+                report.evicted_bytes += c.evict_retain(|step| hot.contains(&step));
+            }
+        }
+        if let Some(total) = cfg.cache_target_bytes {
+            let per_shard = total / self.caches.len() as u64;
+            for c in &self.caches {
+                report.evicted_bytes += c.evict_to(per_shard);
+            }
+        }
+        OBS_MAINT_EVICTED.add(report.evicted_bytes);
+        Ok(report)
+    }
+}
+
+/// The engine behind a query server: one flat store or a sharded
+/// scatter-gather tier, same request/answer surface either way (the
+/// serving layer and CLI stay backend-agnostic).
+#[derive(Debug)]
+pub enum EngineBackend {
+    /// The unsharded [`QueryEngine`].
+    Single(QueryEngine),
+    /// The scatter-gather [`ShardedEngine`].
+    Sharded(ShardedEngine),
+}
+
+impl From<QueryEngine> for EngineBackend {
+    fn from(engine: QueryEngine) -> Self {
+        EngineBackend::Single(engine)
+    }
+}
+
+impl From<ShardedEngine> for EngineBackend {
+    fn from(engine: ShardedEngine) -> Self {
+        EngineBackend::Sharded(engine)
+    }
+}
+
+impl EngineBackend {
+    /// Answers one query.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryAnswer> {
+        self.run_with_deadline(request, None)
+    }
+
+    /// Answers one query under a wall-clock budget.
+    pub fn run_with_deadline(
+        &self,
+        request: &QueryRequest,
+        deadline: Option<Instant>,
+    ) -> Result<QueryAnswer> {
+        match self {
+            EngineBackend::Single(e) => e.run_with_deadline(request, deadline),
+            EngineBackend::Sharded(e) => e.run_with_deadline(request, deadline),
+        }
+    }
+
+    /// Parses, runs, and renders a JSON batch document.
+    pub fn run_batch_json(&self, text: &str) -> Result<String> {
+        match self {
+            EngineBackend::Single(e) => e.run_batch_json(text),
+            EngineBackend::Sharded(e) => e.run_batch_json(text),
+        }
+    }
+
+    /// Cache counters (summed over shards for the sharded backend).
+    pub fn cache_stats(&self) -> CacheStats {
+        match self {
+            EngineBackend::Single(e) => e.cache_stats(),
+            EngineBackend::Sharded(e) => e.cache_stats(),
+        }
+    }
+
+    /// How many stores serve behind this backend.
+    pub fn nshards(&self) -> usize {
+        match self {
+            EngineBackend::Single(_) => 1,
+            EngineBackend::Sharded(e) => e.nshards(),
+        }
+    }
+
+    /// Publishes per-instance cache gauges.
+    pub fn publish_obs(&self) {
+        match self {
+            EngineBackend::Single(e) => e.cache().publish_obs(),
+            EngineBackend::Sharded(e) => e.publish_obs(),
+        }
+    }
+
+    /// One maintenance pass; `None` for the single backend (nothing to
+    /// compact or tier — its cache already self-evicts).
+    pub fn maintenance_once(&self, cfg: &MaintenanceConfig) -> Result<Option<MaintenanceReport>> {
+        match self {
+            EngineBackend::Single(_) => Ok(None),
+            EngineBackend::Sharded(e) => e.maintenance_once(cfg).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedStore;
+    use ibis_core::Binner;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ibis-shard-{name}"));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    /// Two correlated variables with spatial structure: values drift with
+    /// the row index so region queries have non-trivial answers.
+    fn sample_data(rows: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f64 / 1000.0
+        };
+        let a: Vec<f64> = (0..rows)
+            .map(|i| (i as f64 / rows as f64) * 8.0 + next())
+            .collect();
+        let b: Vec<f64> = a.iter().map(|v| 9.0 - v * 0.7 + next()).collect();
+        (a, b)
+    }
+
+    fn binner() -> Binner {
+        Binner::fixed_width(0.0, 10.0, 48)
+    }
+
+    /// Builds the same data as one flat store and one K-sharded store,
+    /// returning `(flat_dir, sharded_dir)`.
+    fn twin_stores(name: &str, rows: usize, k: usize) -> (PathBuf, PathBuf) {
+        let flat = tmp(&format!("{name}-flat"));
+        let sharded = tmp(&format!("{name}-sharded"));
+        let mut wf = StoreWriter::create(&flat).expect("flat writer");
+        let mut ws = ShardedWriter::create(&sharded, k).expect("sharded writer");
+        for step in [0usize, 1] {
+            let (a, b) = sample_data(rows, step as u64 + 1);
+            let ia = BitmapIndex::build(&a, binner());
+            let ib = BitmapIndex::build(&b, binner());
+            wf.put(step, "temperature", &ia).expect("flat put");
+            wf.put(step, "salinity", &ib).expect("flat put");
+            ws.put(step, "temperature", &ia).expect("sharded put");
+            ws.put(step, "salinity", &ib).expect("sharded put");
+        }
+        wf.finish().expect("flat finish");
+        ws.finish().expect("sharded finish");
+        (flat, sharded)
+    }
+
+    fn queries(rows: u64) -> Vec<QueryRequest> {
+        let value = SubsetQuery {
+            value_range: Some((2.0, 7.5)),
+            position_range: None,
+        };
+        let region = SubsetQuery {
+            value_range: None,
+            position_range: Some(rows / 8..rows / 3),
+        };
+        let both = SubsetQuery {
+            value_range: Some((1.0, 6.0)),
+            position_range: Some(rows / 2..rows),
+        };
+        vec![
+            QueryRequest::Subset {
+                step: 0,
+                variable: "temperature".into(),
+                query: value.clone(),
+            },
+            QueryRequest::Subset {
+                step: 1,
+                variable: "temperature".into(),
+                query: region.clone(),
+            },
+            QueryRequest::Subset {
+                step: 0,
+                variable: "salinity".into(),
+                query: both.clone(),
+            },
+            QueryRequest::Correlation {
+                step: 0,
+                var_a: "temperature".into(),
+                var_b: "salinity".into(),
+                query_a: value,
+                query_b: region,
+            },
+            QueryRequest::Correlation {
+                step: 1,
+                var_a: "temperature".into(),
+                var_b: "salinity".into(),
+                query_a: both.clone(),
+                query_b: both,
+            },
+        ]
+    }
+
+    #[test]
+    fn cuts_partition_and_are_monotone() {
+        for (n, k) in [(0u64, 1usize), (1, 4), (100, 3), (3001, 4), (31, 31)] {
+            let cuts = shard_cuts(n, k);
+            assert_eq!(cuts.len(), k + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(cuts[k], n);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn shards_file_round_trips_and_detects_corruption() {
+        let dir = tmp("shards-file");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        write_shards_file(&dir, 7).expect("write");
+        assert!(is_sharded(&dir));
+        assert_eq!(read_shards_file(&dir).expect("read"), 7);
+        // flip the count without updating the CRC
+        let text = std::fs::read_to_string(dir.join(SHARDS_FILE)).expect("read text");
+        std::fs::write(dir.join(SHARDS_FILE), text.replace('7', "4")).expect("tamper");
+        assert!(matches!(
+            read_shards_file(&dir),
+            Err(IbisError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_directory_is_a_hard_error() {
+        let dir = tmp("missing-shard");
+        let mut w = ShardedWriter::create(&dir, 3).expect("writer");
+        let (a, _) = sample_data(600, 1);
+        w.put(0, "temperature", &BitmapIndex::build(&a, binner()))
+            .expect("put");
+        w.finish().expect("finish");
+        std::fs::remove_dir_all(dir.join("shard-001")).expect("drop a shard");
+        assert!(ShardedStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_answers_equal_unsharded_oracle() {
+        for k in [1usize, 2, 4] {
+            let rows = 3000;
+            let (flat, sharded) = twin_stores(&format!("oracle-{k}"), rows, k);
+            let oracle = QueryEngine::new(CachedStore::new(
+                Store::open(&flat).expect("open"),
+                64 << 20,
+            ));
+            let engine = ShardedEngine::open(&sharded, 64 << 20).expect("open sharded");
+            for req in queries(rows as u64) {
+                let want = oracle.run(&req).expect("oracle answers");
+                // twice: the second run exercises the pruned warm path
+                for _ in 0..2 {
+                    let got = engine.run(&req).expect("sharded answers");
+                    assert_eq!(got, want, "k={k} req={req:?}");
+                }
+            }
+            std::fs::remove_dir_all(&flat).ok();
+            std::fs::remove_dir_all(&sharded).ok();
+        }
+    }
+
+    #[test]
+    fn selection_concatenates_byte_identically() {
+        let rows = 2500;
+        let (flat, sharded) = twin_stores("ident", rows, 4);
+        let store = Store::open(&flat).expect("open flat");
+        let engine = ShardedEngine::open(&sharded, 64 << 20).expect("open sharded");
+        let query = SubsetQuery {
+            value_range: Some((1.5, 7.0)),
+            position_range: Some(100..2100),
+        };
+        let ml = {
+            let low = store.get(0, "temperature").expect("flat index");
+            let group = (low.nbins() as f64).sqrt().ceil().max(1.0) as usize;
+            MultiLevelIndex::from_low(low, group)
+        };
+        let want = query.evaluate_ml(&ml).expect("oracle selection");
+        let got = engine.selection(0, "temperature", &query).expect("sharded");
+        assert_eq!(got, want, "concatenated selection must be word-identical");
+        std::fs::remove_dir_all(&flat).ok();
+        std::fs::remove_dir_all(&sharded).ok();
+    }
+
+    #[test]
+    fn invalid_queries_fail_like_the_oracle() {
+        let rows = 1200;
+        let (flat, sharded) = twin_stores("invalid", rows, 3);
+        let oracle = QueryEngine::new(CachedStore::new(Store::open(&flat).expect("open"), 1 << 20));
+        let engine = ShardedEngine::open(&sharded, 1 << 20).expect("open sharded");
+        let bad = [
+            SubsetQuery {
+                value_range: Some((f64::NAN, 2.0)),
+                position_range: None,
+            },
+            SubsetQuery {
+                value_range: None,
+                position_range: Some(0..rows as u64 + 5),
+            },
+            SubsetQuery {
+                value_range: None,
+                // inverted on purpose: start > end must be a typed error
+                position_range: Some(std::ops::Range {
+                    start: 900,
+                    end: 100,
+                }),
+            },
+        ];
+        for q in bad {
+            let req = QueryRequest::Subset {
+                step: 0,
+                variable: "temperature".into(),
+                query: q,
+            };
+            let want = oracle.run(&req).expect_err("oracle rejects");
+            // warm the cuts memo, then check the pruned path too
+            for _ in 0..2 {
+                let got = engine.run(&req).expect_err("sharded rejects");
+                assert_eq!(
+                    std::mem::discriminant(&got),
+                    std::mem::discriminant(&want),
+                    "same error class: got {got}, want {want}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&flat).ok();
+        std::fs::remove_dir_all(&sharded).ok();
+    }
+
+    #[test]
+    fn region_pruning_skips_untouched_shards() {
+        let rows = 4000u64;
+        let (_flat, sharded) = twin_stores("prune", rows as usize, 4);
+        let engine = ShardedEngine::open(&sharded, 64 << 20).expect("open");
+        let region_q = QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery {
+                value_range: None,
+                position_range: Some(0..rows / 4),
+            },
+        };
+        // Cold: full fan-out learns the cuts (4 misses).
+        engine.run(&region_q).expect("cold");
+        let cold = engine.cache_stats();
+        assert_eq!(cold.misses, 4);
+        // Warm, region in shard 0 only: no other shard is touched, so a
+        // fresh (evicted) cache would still see just one miss. Here the
+        // entries are resident: one hit, zero new misses.
+        engine.run(&region_q).expect("warm");
+        let warm = engine.cache_stats();
+        assert_eq!(warm.misses, 4, "pruned shards must not be loaded");
+        assert_eq!(warm.hits, cold.hits + 1, "only shard 0 evaluates");
+        std::fs::remove_dir_all(&sharded).ok();
+    }
+
+    #[test]
+    fn resume_survives_a_killed_shard_writer() {
+        let dir = tmp("kill-resume");
+        let rows = 900;
+        let (a0, _) = sample_data(rows, 1);
+        let index = BitmapIndex::build(&a0, binner());
+        let mut w = ShardedWriter::create(&dir, 3).expect("writer");
+        w.put(0, "temperature", &index).expect("put");
+        // Simulate a node kill mid-run: drop the writer (journals remain,
+        // no manifests), then tear shard 1's journal mid-line.
+        drop(w);
+        let j = dir.join("shard-001").join("JOURNAL");
+        let bytes = std::fs::read(&j).expect("journal");
+        std::fs::write(&j, &bytes[..bytes.len() - 3]).expect("tear");
+        let mut w = ShardedWriter::resume(&dir).expect("resume");
+        assert!(
+            !w.contains(0, "temperature"),
+            "shard 1's torn entry makes the step non-durable globally"
+        );
+        assert_eq!(w.durable_steps(), Vec::<usize>::new());
+        w.put(0, "temperature", &index).expect("re-put repairs");
+        assert!(w.contains(0, "temperature"));
+        w.finish().expect("finish");
+        let store = ShardedStore::open(&dir).expect("open");
+        assert_eq!(store.steps(), vec![0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_removes_quarantine_and_stale_journal_debris() {
+        let dir = tmp("compact");
+        let rows = 600;
+        let (a0, _) = sample_data(rows, 5);
+        let mut w = ShardedWriter::create(&dir, 2).expect("writer");
+        w.put(0, "temperature", &BitmapIndex::build(&a0, binner()))
+            .expect("put");
+        w.finish().expect("finish");
+        // plant debris: a quarantined blob, a temp file, a stale journal
+        let s0 = dir.join("shard-000");
+        std::fs::write(s0.join("old.ibis.quarantined"), b"junk").expect("debris");
+        std::fs::write(s0.join(".x.tmp"), b"torn").expect("debris");
+        std::fs::write(dir.join("shard-001").join("JOURNAL"), b"stale").expect("debris");
+        let store = ShardedStore::open(&dir).expect("open");
+        let report = store.compact().expect("compact");
+        assert_eq!(report.files_removed, 3);
+        assert!(report.bytes_reclaimed >= 13);
+        assert!(!s0.join("old.ibis.quarantined").exists());
+        assert!(!s0.join(".x.tmp").exists());
+        assert!(!dir.join("shard-001").join("JOURNAL").exists());
+        // second pass: nothing left
+        assert_eq!(store.compact().expect("compact"), CompactReport::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintenance_tiers_evict_and_compact() {
+        let rows = 2000;
+        let (_flat, sharded) = twin_stores("maint", rows, 2);
+        let engine = ShardedEngine::open(&sharded, 64 << 20).expect("open");
+        for step in [0usize, 1] {
+            for var in ["temperature", "salinity"] {
+                for i in 0..engine.nshards() {
+                    engine.shard_caches()[i].get(var, step).expect("warm");
+                }
+            }
+        }
+        let before = engine.cache_stats().resident_bytes;
+        assert!(before > 0);
+        // tier 1: step 1 leaves the hot set
+        let rep = engine
+            .maintenance_once(&MaintenanceConfig {
+                compact: true,
+                hot_steps: Some(vec![0]),
+                cache_target_bytes: None,
+            })
+            .expect("maintenance");
+        assert!(rep.evicted_bytes > 0);
+        let mid = engine.cache_stats().resident_bytes;
+        assert!(mid < before);
+        // tier 2: squeeze to zero
+        let rep = engine
+            .maintenance_once(&MaintenanceConfig {
+                compact: false,
+                hot_steps: None,
+                cache_target_bytes: Some(0),
+            })
+            .expect("maintenance");
+        assert_eq!(rep.debris_files, 0);
+        assert!(rep.evicted_bytes >= mid);
+        assert_eq!(engine.cache_stats().resident_bytes, 0);
+        std::fs::remove_dir_all(&sharded).ok();
+    }
+
+    #[test]
+    fn backend_dispatches_both_engines() {
+        let rows = 800;
+        let (flat, sharded) = twin_stores("backend", rows, 2);
+        let single: EngineBackend =
+            QueryEngine::new(CachedStore::new(Store::open(&flat).expect("open"), 1 << 20)).into();
+        let shard: EngineBackend = ShardedEngine::open(&sharded, 1 << 20).expect("open").into();
+        assert_eq!(single.nshards(), 1);
+        assert_eq!(shard.nshards(), 2);
+        let req = QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery {
+                value_range: Some((0.0, 5.0)),
+                position_range: None,
+            },
+        };
+        assert_eq!(
+            single.run(&req).expect("single"),
+            shard.run(&req).expect("sharded")
+        );
+        assert!(single
+            .maintenance_once(&MaintenanceConfig::default())
+            .expect("noop")
+            .is_none());
+        assert!(shard
+            .maintenance_once(&MaintenanceConfig::default())
+            .expect("runs")
+            .is_some());
+        assert!(single.cache_stats().misses >= 1);
+        assert!(shard.cache_stats().misses >= 2);
+        std::fs::remove_dir_all(&flat).ok();
+        std::fs::remove_dir_all(&sharded).ok();
+    }
+}

@@ -333,14 +333,32 @@ impl StoreWriter {
         })
     }
 
-    /// Reopens an interrupted run directory, recovering every blob the
-    /// journal proves durable (line CRC valid, blob present, framing and
-    /// payload CRC intact). A torn journal tail and blobs that fail
-    /// verification are dropped; re-`put`ting them is idempotent.
+    /// Reopens an interrupted *or finished* run directory, recovering
+    /// every blob proven durable. Journal lines are trusted first (line
+    /// CRC valid, blob present, framing and payload CRC intact; a torn
+    /// tail drops everything after it). A valid v2 `MANIFEST` then seeds
+    /// any entries the journal didn't cover, each re-verified against its
+    /// blob the same way — so resuming a finished store keeps its
+    /// contents instead of silently starting empty (a later
+    /// [`StoreWriter::finish`] would otherwise clobber the manifest down
+    /// to just the re-put entries). Blobs that fail verification are
+    /// dropped; re-`put`ting them is idempotent — which is exactly the
+    /// repair path after [`Store::fsck`] quarantines a corrupt blob.
     pub fn resume(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
             .map_err(|e| IbisError::io(format!("create run dir {}", dir.display()), &e))?;
+        let verify = |meta: &EntryMeta| -> bool {
+            std::fs::read(dir.join(&meta.file))
+                .ok()
+                .filter(|bytes| bytes.len() as u64 == meta.len.unwrap_or(0))
+                .and_then(|bytes| {
+                    unframe_blob(&bytes)
+                        .ok()
+                        .map(|(payload, _)| crc32c(payload) == meta.crc.unwrap_or(0))
+                })
+                .unwrap_or(false)
+        };
         let mut entries = BTreeMap::new();
         let journal_path = dir.join("JOURNAL");
         if let Ok(text) = std::fs::read_to_string(&journal_path) {
@@ -353,17 +371,26 @@ impl StoreWriter {
                 if check_file_name(&meta.file).is_err() {
                     break;
                 }
-                let ok = std::fs::read(dir.join(&meta.file))
-                    .ok()
-                    .filter(|bytes| bytes.len() as u64 == meta.len.unwrap_or(0))
-                    .and_then(|bytes| {
-                        unframe_blob(&bytes)
-                            .ok()
-                            .map(|(payload, _)| crc32c(payload) == meta.crc.unwrap_or(0))
-                    })
-                    .unwrap_or(false);
-                if ok {
+                if verify(&meta) {
                     entries.insert((step, var), meta);
+                }
+            }
+        }
+        if let Ok(manifest) = std::fs::read_to_string(dir.join("MANIFEST")) {
+            if manifest.starts_with(MANIFEST_HEADER) {
+                if let Ok(seed) = parse_manifest_v2(&manifest) {
+                    for ((step, var), meta) in seed {
+                        // v2 entries only: v1 metas have no len/CRC to
+                        // journal faithfully, and re-verification needs both
+                        if meta.len.is_some()
+                            && meta.crc.is_some()
+                            && check_file_name(&meta.file).is_ok()
+                            && !entries.contains_key(&(step, var.clone()))
+                            && verify(&meta)
+                        {
+                            entries.insert((step, var), meta);
+                        }
+                    }
                 }
             }
         }
@@ -642,6 +669,11 @@ impl Store {
             parse_manifest_v1(&manifest)?
         };
         Ok(Store { dir, entries })
+    }
+
+    /// The run directory this store reads from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// Steps present in the store, ascending.
@@ -1037,6 +1069,65 @@ mod tests {
 
         // a second pass finds nothing left to quarantine
         assert!(store.fsck().is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_finished_store_keeps_manifest_entries() {
+        let dir = tmp("resume-finished");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &sample_index(0)).unwrap();
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.finish().unwrap();
+
+        // A finished store (MANIFEST, no JOURNAL) must resume with its
+        // entries intact, so appending and re-finishing loses nothing.
+        let mut w = StoreWriter::resume(&dir).unwrap();
+        assert!(w.contains(0, "temperature"));
+        assert!(w.contains(1, "temperature"));
+        w.put(2, "temperature", &sample_index(2)).unwrap();
+        w.finish().unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.steps(), vec![0, 1, 2]);
+        assert_eq!(
+            store.get(1, "temperature").unwrap().counts(),
+            sample_index(1).counts()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_after_quarantine_drops_bad_entry_and_reput_repairs() {
+        let dir = tmp("resume-repair");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        for step in [0usize, 1] {
+            w.put(step, "temperature", &sample_index(step)).unwrap();
+        }
+        w.finish().unwrap();
+        // corrupt step 1's blob, quarantine it
+        let f = dir.join("s000001_temperature.ibis");
+        let mut bytes = std::fs::read(&f).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&f, &bytes).unwrap();
+        let mut store = Store::open(&dir).unwrap();
+        assert_eq!(store.fsck().quarantined.len(), 1);
+
+        // resume verifies each manifest entry against its blob: the
+        // quarantined (renamed-away) one is dropped, the intact one kept
+        let mut w = StoreWriter::resume(&dir).unwrap();
+        assert!(w.contains(0, "temperature"));
+        assert!(!w.contains(1, "temperature"));
+        w.put(1, "temperature", &sample_index(1)).unwrap();
+        w.finish().unwrap();
+
+        let mut store = Store::open(&dir).unwrap();
+        assert!(store.fsck().is_clean());
+        assert_eq!(
+            store.get(1, "temperature").unwrap().counts(),
+            sample_index(1).counts()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

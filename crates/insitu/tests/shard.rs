@@ -1,0 +1,350 @@
+//! Integration tests for the sharded distributed store: scatter-gather
+//! answers must be indistinguishable from the single-store engine (the
+//! oracle) across shard counts, bin widths, and persisted row orders;
+//! a corrupted shard must quarantine locally — the *other* shards'
+//! selections stay byte-identical — and repair through the normal
+//! resume + re-put path; a writer killed mid-ingest must resume from
+//! whatever each shard made durable.
+
+use ibis_analysis::SubsetQuery;
+use ibis_core::{Binner, BitmapIndex, RowOrder};
+use ibis_insitu::{
+    CachedStore, IbisError, MaintenanceConfig, QueryEngine, QueryRequest, ShardedEngine,
+    ShardedStore, ShardedWriter, Store, StoreWriter,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const ROWS: usize = 2500;
+const BUDGET: u64 = 256 << 20;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibis-shard-it-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Spatially structured field: a slow drift along the row axis (so region
+/// predicates correlate with values) plus a deterministic wiggle.
+fn field(rows: usize, step: usize, phase: usize) -> Vec<f64> {
+    (0..rows)
+        .map(|i| {
+            let drift = 8.0 * (i as f64 / rows as f64);
+            let wiggle = ((i * 13 + step * 29 + phase * 101) % 160) as f64 / 80.0;
+            drift + wiggle
+        })
+        .collect()
+}
+
+/// Builds the same 2-steps × 2-variables dataset twice: once flat, once
+/// split over `k` shards, optionally stored under a row order whose
+/// permutation is persisted.
+fn twin_stores(
+    name: &str,
+    k: usize,
+    binner: &Binner,
+    order: RowOrder,
+) -> (PathBuf, PathBuf, Store, ShardedStore) {
+    let flat_dir = tmp(&format!("{name}-flat"));
+    let shard_dir = tmp(&format!("{name}-k{k}"));
+    let mut fw = StoreWriter::create(&flat_dir).unwrap();
+    let mut sw = ShardedWriter::create(&shard_dir, k).unwrap();
+    for step in [0usize, 1] {
+        let perm = order.permutation(&[], binner, &field(ROWS, step, 0));
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            let data = field(ROWS, step, phase);
+            let idx = match &perm {
+                Some(p) => BitmapIndex::build_permuted(&data, binner.clone(), p),
+                None => BitmapIndex::build(&data, binner.clone()),
+            };
+            fw.put(step, var, &idx).unwrap();
+            sw.put(step, var, &idx).unwrap();
+        }
+        if let Some(p) = &perm {
+            fw.put_order(step, order, p).unwrap();
+            sw.put_order(step, order, p).unwrap();
+        }
+    }
+    fw.finish().unwrap();
+    sw.finish().unwrap();
+    let flat = Store::open(&flat_dir).unwrap();
+    let sharded = ShardedStore::open(&shard_dir).unwrap();
+    (flat_dir, shard_dir, flat, sharded)
+}
+
+/// The query battery: every request shape the engine serves.
+fn battery(rows: u64) -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery::value(2.0, 7.5),
+        },
+        QueryRequest::Subset {
+            step: 1,
+            variable: "salinity".into(),
+            query: SubsetQuery::region(rows / 5..rows / 2),
+        },
+        QueryRequest::Subset {
+            step: 0,
+            variable: "salinity".into(),
+            query: SubsetQuery::value(1.0, 6.0).with_region(7..rows - 3),
+        },
+        QueryRequest::Correlation {
+            step: 1,
+            var_a: "temperature".into(),
+            var_b: "salinity".into(),
+            query_a: SubsetQuery::value(0.5, 8.0),
+            query_b: SubsetQuery::region(0..rows / 2),
+        },
+        QueryRequest::Correlation {
+            step: 0,
+            var_a: "temperature".into(),
+            var_b: "salinity".into(),
+            query_a: SubsetQuery::value(3.0, 9.0).with_region(11..rows / 3),
+            query_b: SubsetQuery::value(0.0, 5.0).with_region(5..rows / 4),
+        },
+    ]
+}
+
+#[test]
+fn sharded_equals_oracle_across_shards_bins_and_row_orders() {
+    // Bin counts pick different container codecs downstream; row orders
+    // exercise the permutation-aware (prune-disabled) path.
+    for nbins in [16usize, 64] {
+        let binner = Binner::fixed_width(0.0, 10.0, nbins);
+        for order in [
+            RowOrder::Identity,
+            RowOrder::GrayBin,
+            RowOrder::HistogramSorted,
+        ] {
+            for k in [1usize, 2, 3, 4] {
+                let name = format!("oracle-b{nbins}-{order:?}-{k}");
+                let (fd, sd, flat, sharded) = twin_stores(&name, k, &binner, order);
+                let oracle = QueryEngine::new(CachedStore::new(flat, BUDGET));
+                let engine = ShardedEngine::from_store(sharded, BUDGET).unwrap();
+                // two passes: the second hits the warm (possibly pruned) path
+                for pass in 0..2 {
+                    for req in battery(ROWS as u64) {
+                        assert_eq!(
+                            engine.run(&req).unwrap(),
+                            oracle.run(&req).unwrap(),
+                            "nbins={nbins} order={order:?} k={k} pass={pass} {req:?}"
+                        );
+                    }
+                }
+                // raw selections are byte-identical, not just equinumerous
+                if order == RowOrder::Identity {
+                    let q = SubsetQuery::value(2.0, 7.5).with_region(100..ROWS as u64 - 50);
+                    let sel_s = engine.selection(0, "temperature", &q).unwrap();
+                    let ml = oracle.cache().get("temperature", 0).unwrap();
+                    let sel_f = q.evaluate_ml(&ml).unwrap();
+                    assert_eq!(sel_s, sel_f, "nbins={nbins} k={k}");
+                }
+                std::fs::remove_dir_all(&fd).ok();
+                std::fs::remove_dir_all(&sd).ok();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Randomised oracle check: arbitrary data, shard count, value bounds
+    /// and region — the scatter-gather answer always matches the flat
+    /// engine, including when both return errors.
+    #[test]
+    fn random_queries_match_oracle(
+        data in proptest::collection::vec(0.0f64..10.0, 64..400),
+        k in 1usize..6,
+        lo in -1.0f64..11.0,
+        span in 0.0f64..12.0,
+        r0 in 0u64..400,
+        rlen in 0u64..400,
+    ) {
+        let dir = tmp(&format!("prop-{k}-{}", data.len()));
+        let flat_dir = tmp(&format!("prop-flat-{k}-{}", data.len()));
+        let binner = Binner::fixed_width(0.0, 10.0, 24);
+        let idx = BitmapIndex::build(&data, binner);
+        let mut sw = ShardedWriter::create(&dir, k).unwrap();
+        sw.put(0, "v", &idx).unwrap();
+        sw.finish().unwrap();
+        let mut fw = StoreWriter::create(&flat_dir).unwrap();
+        fw.put(0, "v", &idx).unwrap();
+        fw.finish().unwrap();
+
+        let engine = ShardedEngine::open(&dir, BUDGET).unwrap();
+        let oracle = QueryEngine::new(CachedStore::new(Store::open(&flat_dir).unwrap(), BUDGET));
+        let req = QueryRequest::Subset {
+            step: 0,
+            variable: "v".into(),
+            query: SubsetQuery::value(lo, lo + span).with_region(r0..r0 + rlen),
+        };
+        for _pass in 0..2 {
+            match (engine.run(&req), oracle.run(&req)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    std::mem::discriminant(&a),
+                    std::mem::discriminant(&b)
+                ),
+                (a, b) => prop_assert!(false, "diverged: {a:?} vs {b:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&flat_dir).ok();
+    }
+}
+
+#[test]
+fn corrupt_shard_quarantines_locally_and_repairs() {
+    let binner = Binner::fixed_width(0.0, 10.0, 48);
+    let (fd, sd, flat, _) = twin_stores("fsck", 3, &binner, RowOrder::Identity);
+    let oracle = QueryEngine::new(CachedStore::new(flat, BUDGET));
+
+    // flip bytes in the middle of shard-001's step-1 temperature blob
+    let blob = sd.join("shard-001").join("s000001_temperature.ibis");
+    let mut bytes = std::fs::read(&blob).unwrap();
+    let mid = bytes.len() / 2;
+    for b in &mut bytes[mid..mid + 4] {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&blob, &bytes).unwrap();
+
+    // fsck quarantines the damaged blob in its shard — and only there
+    let mut store = ShardedStore::open(&sd).unwrap();
+    let reports = store.fsck();
+    assert_eq!(reports.len(), 3);
+    assert!(reports[0].is_clean() && reports[2].is_clean());
+    assert_eq!(reports[1].quarantined.len(), 1);
+    assert!(blob.with_extension("ibis.quarantined").exists());
+
+    // the damaged pair is now a structured miss; every other pair's
+    // selection is byte-identical to the oracle
+    let engine = ShardedEngine::from_store(store, BUDGET).unwrap();
+    let dead = QueryRequest::Subset {
+        step: 1,
+        variable: "temperature".into(),
+        query: SubsetQuery::all(),
+    };
+    assert!(matches!(
+        engine.run(&dead).unwrap_err(),
+        IbisError::NotFound { .. }
+    ));
+    for (step, var) in [(0usize, "temperature"), (0, "salinity"), (1, "salinity")] {
+        let q = SubsetQuery::value(1.5, 8.0).with_region(40..(ROWS as u64) - 9);
+        let sel = engine.selection(step, var, &q).unwrap();
+        let ml = oracle.cache().get(var, step).unwrap();
+        assert_eq!(sel, q.evaluate_ml(&ml).unwrap(), "step {step} {var}");
+    }
+    drop(engine);
+
+    // repair = the ordinary durable path: resume the writer, re-put the
+    // lost step, finish; the sharded tier then matches the oracle again
+    let mut w = ShardedWriter::resume(&sd).unwrap();
+    assert!(!w.contains(1, "temperature"));
+    let idx = BitmapIndex::build(&field(ROWS, 1, 0), binner.clone());
+    w.put(1, "temperature", &idx).unwrap();
+    w.finish().unwrap();
+    // compaction sweeps the quarantined debris off disk
+    let store = ShardedStore::open(&sd).unwrap();
+    let compacted = store.compact().unwrap();
+    assert!(compacted.files_removed >= 1);
+    assert!(!blob.with_extension("ibis.quarantined").exists());
+    let engine = ShardedEngine::from_store(store, BUDGET).unwrap();
+    for req in battery(ROWS as u64) {
+        assert_eq!(engine.run(&req).unwrap(), oracle.run(&req).unwrap());
+    }
+    std::fs::remove_dir_all(&fd).ok();
+    std::fs::remove_dir_all(&sd).ok();
+}
+
+#[test]
+fn killed_writer_resumes_from_each_shards_durable_state() {
+    let dir = tmp("nodekill");
+    let binner = Binner::fixed_width(0.0, 10.0, 48);
+    let step_idx =
+        |step: usize, phase: usize| BitmapIndex::build(&field(ROWS, step, phase), binner.clone());
+
+    // the "node" dies after step 0 is fully durable and step 1 partially so
+    {
+        let mut w = ShardedWriter::create(&dir, 3).unwrap();
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            w.put(0, var, &step_idx(0, phase)).unwrap();
+        }
+        w.put(1, "temperature", &step_idx(1, 0)).unwrap();
+        // no finish(): the process is gone
+    }
+    // …and shard-002 additionally tore its journal tail on the way down
+    let journal = dir.join("shard-002").join("JOURNAL");
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 3]).unwrap();
+
+    // resume sees exactly what every shard can prove durable
+    let mut w = ShardedWriter::resume(&dir).unwrap();
+    assert_eq!(w.durable_steps(), vec![0]);
+    assert!(!w.contains(1, "temperature"), "torn shard-002 lost step 1");
+
+    // idempotent re-put repairs the stragglers, then the run completes
+    for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+        w.put(1, var, &step_idx(1, phase)).unwrap();
+    }
+    w.finish().unwrap();
+
+    // the recovered store answers exactly like a never-killed flat run
+    let flat_dir = tmp("nodekill-flat");
+    let mut fw = StoreWriter::create(&flat_dir).unwrap();
+    for step in [0usize, 1] {
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            fw.put(step, var, &step_idx(step, phase)).unwrap();
+        }
+    }
+    fw.finish().unwrap();
+    let engine = ShardedEngine::open(&dir, BUDGET).unwrap();
+    let oracle = QueryEngine::new(CachedStore::new(Store::open(&flat_dir).unwrap(), BUDGET));
+    for req in battery(ROWS as u64) {
+        assert_eq!(engine.run(&req).unwrap(), oracle.run(&req).unwrap());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&flat_dir).ok();
+}
+
+#[test]
+fn per_shard_cache_gauges_reach_the_registry() {
+    if !ibis_obs::ENABLED {
+        return; // metrics compiled out in this configuration
+    }
+    let binner = Binner::fixed_width(0.0, 10.0, 48);
+    let (fd, sd, _flat, sharded) = twin_stores("obs", 2, &binner, RowOrder::Identity);
+    let engine = ShardedEngine::from_store(sharded, BUDGET).unwrap();
+    for req in battery(ROWS as u64) {
+        engine.run(&req).unwrap();
+    }
+    engine.publish_obs();
+    let snap = ibis_obs::global().snapshot();
+    for shard in ["shard000", "shard001"] {
+        match snap.get(&format!("query.cache.{shard}.resident_bytes")) {
+            Some(ibis_obs::MetricValue::Gauge { value, .. }) => {
+                assert!(*value > 0, "{shard} must hold decoded bytes");
+            }
+            other => panic!("missing per-shard gauge for {shard}: {other:?}"),
+        }
+        match snap.get(&format!("query.cache.{shard}.misses")) {
+            Some(ibis_obs::MetricValue::Gauge { value, .. }) => assert!(*value > 0),
+            other => panic!("missing per-shard miss gauge for {shard}: {other:?}"),
+        }
+    }
+    // maintenance on a quiesced engine publishes its counters too
+    let rep = engine
+        .maintenance_once(&MaintenanceConfig {
+            compact: true,
+            hot_steps: None,
+            cache_target_bytes: Some(0),
+        })
+        .unwrap();
+    assert!(
+        rep.evicted_bytes > 0,
+        "cache_target 0 must evict everything"
+    );
+    std::fs::remove_dir_all(&fd).ok();
+    std::fs::remove_dir_all(&sd).ok();
+}

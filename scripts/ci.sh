@@ -205,6 +205,46 @@ check_serving_report target/BENCH_serving.smoke.json
 echo "==> committed BENCH_serving.json present with full-size sweep"
 check_serving_report BENCH_serving.json
 
+echo "==> sharded store suite in the no-op observability build"
+# Oracle identity across shard counts/bins/row orders, shard-local
+# fsck/repair, and killed-writer resume — the instrumented run is
+# covered by the workspace tests above.
+cargo test -q -p ibis-insitu --no-default-features --test shard
+
+echo "==> shard bench smoke (both obs configs) + report schema"
+# IBIS_SHARD_SMOKE=1 shrinks the sweep and writes to target/ so CI never
+# clobbers the committed full-size BENCH_shard.json. The bench asserts
+# every sharded answer identical to the flat oracle before timing, plus
+# the over-budget eviction/latency and node-kill resume properties, so a
+# pass is also a scatter-gather correctness gate.
+check_shard_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"samples"' '"shards"' '"throughput_qps"' \
+        '"speedup_4x_over_1"' '"scaling_target_met"' \
+        '"identity_checked"' '"ocean_over_budget"' '"ocean_p99_ms"' \
+        '"ocean_p99_interactive"' '"cache_evictions"' \
+        '"nodekill_resumed"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+}
+rm -f target/BENCH_shard.smoke.json
+IBIS_SHARD_SMOKE=1 cargo bench -q -p ibis-bench --bench shard
+check_shard_report target/BENCH_shard.smoke.json
+rm -f target/BENCH_shard.smoke.json
+IBIS_SHARD_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench shard
+check_shard_report target/BENCH_shard.smoke.json
+echo "==> committed BENCH_shard.json present with full-size sweep"
+check_shard_report BENCH_shard.json
+grep -q '"scaling_target_met": true' BENCH_shard.json || {
+    echo "error: committed BENCH_shard.json does not meet the scaling target" >&2
+    exit 1
+}
+
 echo "==> ibis serve + loadgen end-to-end smoke (both obs configs)"
 # Build a tiny store once, then drive a live server with the zipf load
 # generator for a few hundred requests in each obs config. --conns 1
@@ -240,5 +280,36 @@ serve_smoke() {
 }
 serve_smoke
 serve_smoke --no-default-features
+
+echo "==> sharded ibis serve + loadgen end-to-end smoke (both obs configs)"
+# Same live drill against a 4-shard store: sharded ingest via --shards,
+# scatter-gather serving with background maintenance, and the load
+# generator reading its catalog from a shard. --conns 2 as above.
+shard_serve_smoke() {
+    local features=("$@")
+    local store=target/ci_shard_store
+    rm -rf "$store"
+    cargo run -q --release "${features[@]}" --bin ibis -- insitu \
+        --sim heat3d --steps 2 --select 2 --cores 2 \
+        --out "$store" --shards 4 >/dev/null
+    test -f "$store/SHARDS"
+    local port=$((20000 + RANDOM % 20000))
+    cargo run -q --release "${features[@]}" --bin ibis -- serve \
+        --store "$store" --shards 4 --addr "127.0.0.1:$port" --workers 2 \
+        --queue 16 --maintain-ms 200 --conns 2 &
+    local serve_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    cargo run -q --release "${features[@]}" --bin ibis -- loadgen \
+        --addr "127.0.0.1:$port" --store "$store" --requests 300 \
+        --clients 1 --deadline-ms 2000 --seed 7
+    wait "$serve_pid"
+}
+shard_serve_smoke
+shard_serve_smoke --no-default-features
 
 echo "CI OK"

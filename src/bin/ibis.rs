@@ -22,9 +22,10 @@ use ibis::datagen::{
     Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, OceanConfig, OceanModel, Simulation,
 };
 use ibis::insitu::{
-    auto_allocate, run_pipeline, suggest_row_order, CachedStore, CoreAllocation, LocalDisk,
-    MachineModel, PipelineConfig, QueryEngine, QueryServer, Reduction, RobustnessConfig,
-    ScalingModel, ServeConfig, SocketServer, Store, StoreWriter,
+    auto_allocate, is_sharded, run_pipeline, suggest_row_order, CachedStore, CoreAllocation,
+    EngineBackend, LocalDisk, MachineModel, MaintenanceConfig, PipelineConfig, QueryEngine,
+    QueryServer, Reduction, RobustnessConfig, ScalingModel, ServeConfig, ShardedEngine,
+    ShardedWriter, SocketServer, Store, StoreWriter,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -87,6 +88,7 @@ USAGE:
   ibis insitu [--sim heat3d|lulesh] [--steps N] [--select K] [--cores C]
               [--machine xeon|mic] [--method bitmaps|full|sample:<pct>]
               [--allocation shared|auto|<simcores>:<bmcores>] [--out DIR]
+              [--shards K]
               [--row-order identity|zorder|hilbert|graybin|histsorted|auto]
   ibis mine   [--grid LONxLATxDEPTH] [--bins N] [--t1 X] [--t2 Y]
               [--unit N] [--top N]
@@ -96,9 +98,16 @@ USAGE:
   ibis query  --store DIR --batch FILE [--cache-mb N] [--json-out PATH]
   ibis serve  --store DIR [--addr HOST:PORT] [--workers N] [--queue N]
               [--cache-mb N] [--deadline-ms N] [--max-conns N] [--conns N]
+              [--shards K] [--maintain-ms N]
   ibis loadgen --addr HOST:PORT --store DIR [--requests N] [--clients N]
               [--deadline-ms N] [--seed N]
   ibis help
+
+`--out DIR --shards K` persists each selected step as K spatial shards
+(each its own durable store); `query --store` and `serve --store` detect
+a sharded directory automatically and run scatter-gather execution.
+`serve --shards K` asserts the expected shard count; `--maintain-ms N`
+runs background compaction/eviction maintenance every N ms.
 
 Any command also accepts --obs-json PATH to dump the run's metrics
 snapshot (empty when built with --no-default-features).";
@@ -184,6 +193,45 @@ fn get_grid(
     let dims: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse()).collect();
     let dims = dims.map_err(|_| format!("--grid: bad dimensions {v:?}"))?;
     Ok((dims[0], dims[1], dims[2]))
+}
+
+/// `--out` destination: one flat durable store, or K spatial shards.
+enum OutWriter {
+    Flat(StoreWriter),
+    Sharded(ShardedWriter),
+}
+
+impl OutWriter {
+    fn put(
+        &mut self,
+        step: usize,
+        variable: &str,
+        index: &BitmapIndex,
+    ) -> ibis::insitu::Result<()> {
+        match self {
+            OutWriter::Flat(w) => w.put(step, variable, index),
+            OutWriter::Sharded(w) => w.put(step, variable, index),
+        }
+    }
+
+    fn put_order(
+        &mut self,
+        step: usize,
+        order: RowOrder,
+        perm: &ibis::core::RowPermutation,
+    ) -> ibis::insitu::Result<()> {
+        match self {
+            OutWriter::Flat(w) => w.put_order(step, order, perm),
+            OutWriter::Sharded(w) => w.put_order(step, order, perm),
+        }
+    }
+
+    fn finish(self) -> ibis::insitu::Result<std::path::PathBuf> {
+        match self {
+            OutWriter::Flat(w) => w.finish(),
+            OutWriter::Sharded(w) => w.finish(),
+        }
+    }
 }
 
 fn cmd_insitu(flags: &Flags) -> Result<(), String> {
@@ -335,12 +383,20 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
         report.bytes_written as f64 / 1e6
     );
 
-    // Optionally persist the selected steps' bitmaps for post-analysis.
+    // Optionally persist the selected steps' bitmaps for post-analysis,
+    // flat or split into K spatial shards (each its own durable store).
     if let Some(dir) = flags.get("out") {
         if !matches!(cfg.reduction, Reduction::Bitmaps) {
             return Err("--out requires --method bitmaps".into());
         }
-        let mut store = StoreWriter::create(dir).map_err(|e| format!("--out: {e}"))?;
+        let shards = get_usize(flags, "shards", 1)?;
+        let mut store = if shards > 1 {
+            OutWriter::Sharded(
+                ShardedWriter::create(dir, shards).map_err(|e| format!("--out: {e}"))?,
+            )
+        } else {
+            OutWriter::Flat(StoreWriter::create(dir).map_err(|e| format!("--out: {e}"))?)
+        };
         // re-simulate the selected steps to materialize their indices
         // (the pipeline freed them after writing the modeled bytes)
         let mut sim2: Box<dyn Simulation> = match sim_name {
@@ -507,6 +563,19 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Opens `dir` as the right engine backend: scatter-gather over shards
+/// when the directory holds a `SHARDS` file, the flat engine otherwise.
+fn open_backend(dir: &str, cache_bytes: u64) -> Result<EngineBackend, String> {
+    if is_sharded(dir) {
+        let engine =
+            ShardedEngine::open(dir, cache_bytes).map_err(|e| format!("--store {dir}: {e}"))?;
+        Ok(engine.into())
+    } else {
+        let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+        Ok(QueryEngine::new(CachedStore::new(store, cache_bytes)).into())
+    }
+}
+
 /// `ibis query --store DIR --batch FILE`: run a JSON batch of
 /// subset/correlation queries against a finished run directory through the
 /// cached engine, emitting the JSON answers (stdout, or `--json-out PATH`).
@@ -518,8 +587,7 @@ fn cmd_query_store(flags: &Flags) -> Result<(), String> {
     let batch = flags.get("batch").ok_or("--batch FILE is required")?;
     let cache_mb = get_usize(flags, "cache-mb", 256)?;
     let text = std::fs::read_to_string(batch).map_err(|e| format!("--batch {batch}: {e}"))?;
-    let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
-    let engine = QueryEngine::new(CachedStore::new(store, (cache_mb as u64) << 20));
+    let engine = open_backend(dir, (cache_mb as u64) << 20)?;
     let answers = engine.run_batch_json(&text).map_err(|e| e.to_string())?;
     match flags.get("json-out") {
         Some(path) => {
@@ -562,15 +630,46 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cfg.default_deadline = Some(Duration::from_millis(deadline_ms as u64));
     }
     let stop_after = get_usize(flags, "conns", 0)? as u64;
+    let maintain_ms = get_usize(flags, "maintain-ms", 0)? as u64;
 
-    let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
-    let engine = QueryEngine::new(CachedStore::new(store, (cache_mb as u64) << 20));
+    let engine = open_backend(dir, (cache_mb as u64) << 20)?;
+    let want_shards = get_usize(flags, "shards", 0)?;
+    if want_shards > 0 && engine.nshards() != want_shards {
+        return Err(format!(
+            "--shards {want_shards}: store {dir} has {} shard(s)",
+            engine.nshards()
+        ));
+    }
+    let tier = if engine.nshards() > 1 {
+        format!(" ({}-shard scatter-gather)", engine.nshards())
+    } else {
+        String::new()
+    };
     let server = Arc::new(QueryServer::start(engine, cfg).map_err(|e| e.to_string())?);
     let socket = SocketServer::bind(Arc::clone(&server), addr).map_err(|e| e.to_string())?;
-    println!("serving {dir} on {}", socket.local_addr());
+    println!("serving {dir}{tier} on {}", socket.local_addr());
 
+    // Background maintenance for the sharded tier: compact durable
+    // debris and keep each shard's cache under its serving budget.
+    let maintenance = MaintenanceConfig {
+        compact: true,
+        hot_steps: None,
+        cache_target_bytes: None,
+    };
+    let mut last_maintain = Instant::now();
     loop {
         std::thread::sleep(Duration::from_millis(50));
+        if maintain_ms > 0 && last_maintain.elapsed() >= Duration::from_millis(maintain_ms) {
+            last_maintain = Instant::now();
+            if let Ok(Some(rep)) = server.engine().maintenance_once(&maintenance) {
+                if rep.debris_files > 0 || rep.evicted_bytes > 0 {
+                    eprintln!(
+                        "maintenance: {} debris files ({} B), {} B evicted",
+                        rep.debris_files, rep.debris_bytes, rep.evicted_bytes
+                    );
+                }
+            }
+        }
         if stop_after > 0 && socket.connections_completed() >= stop_after {
             break;
         }
@@ -590,8 +689,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         st.queue_peak,
         server.config().queue_capacity
     );
-    // Surface the hit ratio in --obs-json before main snapshots.
-    server.engine().cache().publish_obs();
+    // Surface the (per-shard) cache stats in --obs-json before main
+    // snapshots.
+    server.engine().publish_obs();
     socket.stop();
     Ok(())
 }
@@ -661,7 +761,14 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
     let deadline_ms = get_usize(flags, "deadline-ms", 0)?;
     let seed = get_usize(flags, "seed", 42)? as u64;
 
-    let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+    // A sharded store has the same steps/variables in every shard; the
+    // first shard's manifest is enough to build the request catalog.
+    let catalog_dir = if is_sharded(dir) {
+        std::path::Path::new(dir).join("shard-000")
+    } else {
+        std::path::PathBuf::from(dir)
+    };
+    let store = Store::open(&catalog_dir).map_err(|e| format!("--store {dir}: {e}"))?;
     let mut frames = loadgen_catalog(&store)?;
     if deadline_ms > 0 {
         for f in &mut frames {
