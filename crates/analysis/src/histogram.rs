@@ -87,6 +87,11 @@ pub fn joint_counts_from_indexes(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
     assert_eq!(a.len(), b.len(), "indexes cover different element counts");
     let (na, nb) = (a.nbins(), b.nbins());
     let mut h = vec![0u64; na * nb];
+    // The row early-exit assumes B's bins partition the domain (each
+    // element in exactly one bin, so a row's AND counts sum to the row
+    // total). A lossy superset index overlaps its bins; its rows get the
+    // plain exhaustive probe instead.
+    let b_partitions = b.counts().iter().sum::<u64>() == b.len();
     for j in 0..na {
         let mut remaining = a.counts()[j];
         if remaining == 0 {
@@ -95,6 +100,14 @@ pub fn joint_counts_from_indexes(a: &BitmapIndex, b: &BitmapIndex) -> Vec<u64> {
         // The row vector participates in up to `nb` ANDs: prepare it once
         // so a dense row pays its decode cost a single time.
         let row = a.bin(j).prepare();
+        if !b_partitions {
+            for (k, cell) in h[j * nb..(j + 1) * nb].iter_mut().enumerate() {
+                if b.counts()[k] != 0 {
+                    *cell = row.and_count(b.bin(k));
+                }
+            }
+            continue;
+        }
         for k in diagonal_order(j.min(nb - 1), nb) {
             if b.counts()[k] == 0 {
                 continue;

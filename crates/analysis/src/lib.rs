@@ -51,9 +51,10 @@ pub use query::{
     region_mask, region_mask_mapped, CorrelationAnswer, CorrelationPartial, QueryError, RangePlan,
     SubsetQuery,
 };
-pub use sampling::{sample, SamplingMethod};
+pub use sampling::{lossy_summaries, sample, SamplingMethod};
 pub use selection::{
-    select_dp, select_dp_serial, select_greedy, select_greedy_serial, Partitioning, Selection,
+    select_dp, select_dp_serial, select_greedy, select_greedy_lossy, select_greedy_serial,
+    Partitioning, Selection,
 };
 pub use subgroup::{discover_subgroups, Subgroup, SubgroupConfig};
 pub use summary::{Metric, StepSummary, VarSummary};

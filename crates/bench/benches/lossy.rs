@@ -1,0 +1,246 @@
+//! Lossy superset sweep: FPR × simulation pattern, persisted to
+//! `BENCH_lossy.json` at the repository root. For each pattern the sweep
+//! reports the at-rest size of the exact index against its lossy superset
+//! companion, the *measured* false-positive rate against the requested
+//! bound, and the filter/refine query times — with the superset identity
+//! (`exact & lossy == exact`) and the refine byte-identity asserted before
+//! any point is timed.
+//!
+//! `IBIS_LOSSY_SMOKE=1` shrinks the grids and writes to
+//! `target/BENCH_lossy.smoke.json` instead, so CI can schema-check the
+//! report without paying for the full sweep.
+
+use ibis_core::{Binner, BitmapIndex, WahVec, ZOrderLayout};
+use ibis_datagen::{
+    Heat3D, Heat3DConfig, LuleshConfig, MiniLulesh, OceanConfig, OceanModel, Simulation,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean seconds per iteration (same calibration scheme as the codec
+/// shootout in `codecs.rs`).
+fn measure<O>(mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    let one = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.06 / one).round() as u64).clamp(1, 1_000_000_000);
+    let samples = 3;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        total += t0.elapsed().as_secs_f64() / iters as f64;
+    }
+    total / samples as f64
+}
+
+const FPRS: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+
+/// One timed point of the sweep.
+struct Sample {
+    pattern: &'static str,
+    fpr: f64,
+    exact_bytes: usize,
+    lossy_bytes: usize,
+    size_reduction: f64,
+    measured_fpr: f64,
+    bits_dropped: u64,
+    fpr_bound_met: bool,
+    exact_query_s: f64,
+    lossy_filter_s: f64,
+    filter_refine_s: f64,
+}
+
+/// The three simulation patterns of the paper's experiments, each as one
+/// representative late-run field: Heat3D's diffusing temperature, a
+/// mini-LULESH array, and the ocean model's temperature in Z-order (the
+/// layout its mining pipeline uses).
+fn patterns(smoke: bool) -> Vec<(&'static str, Vec<f64>, Binner)> {
+    let mut out = Vec::new();
+
+    // Surface dither (the absorbable short gaps) scales with shell *area*
+    // while the FPR budget scales with *volume*, so the larger production
+    // grid is where the lossy pass earns its keep.
+    let (hn, heat_steps) = if smoke { (48, 2) } else { (112, 3) };
+    let mut heat = Heat3D::new(Heat3DConfig {
+        nx: hn,
+        ny: hn,
+        nz: hn,
+        ..Default::default()
+    });
+    let mut last = heat.step();
+    for _ in 1..heat_steps {
+        last = heat.step();
+    }
+    let data = last.fields.swap_remove(0).data;
+    let binner = Binner::fit(&data, 32);
+    out.push(("heat3d_temperature_early", data, binner));
+
+    let mut lulesh = MiniLulesh::new(LuleshConfig::default());
+    let lulesh_steps = if smoke { 3 } else { 12 };
+    let mut last = lulesh.step();
+    for _ in 1..lulesh_steps {
+        last = lulesh.step();
+    }
+    let fx = last
+        .fields
+        .iter()
+        .position(|f| f.name == "force_x")
+        .expect("force_x present");
+    let data = last.fields.swap_remove(fx).data;
+    let binner = Binner::fit(&data, 32);
+    out.push(("lulesh_force_x", data, binner));
+
+    let (nlon, nlat, ndepth) = if smoke { (48, 36, 2) } else { (128, 96, 2) };
+    let ocean = OceanModel::new(OceanConfig {
+        nlon,
+        nlat,
+        ndepth,
+        ..Default::default()
+    });
+    let data = ocean.variable("temperature");
+    let binner = Binner::fit(&data, 32);
+    out.push(("ocean_temperature", data, binner));
+
+    let ocean = OceanModel::new(OceanConfig {
+        nlon,
+        nlat,
+        ndepth,
+        ..Default::default()
+    });
+    let z = ZOrderLayout::new(&[nlon, nlat, ndepth]);
+    let data = z.reorder(&ocean.variable("temperature"));
+    let binner = Binner::fit(&data, 32);
+    out.push(("ocean_temperature_zorder", data, binner));
+
+    out
+}
+
+/// OR-fold of a contiguous bin range — the core of a value-range query.
+fn range_or(idx: &BitmapIndex, lo: usize, hi: usize) -> WahVec {
+    let mut acc = idx.bin(lo).clone();
+    for b in lo + 1..hi {
+        acc = acc.or(idx.bin(b));
+    }
+    acc
+}
+
+fn main() {
+    let smoke = std::env::var("IBIS_LOSSY_SMOKE").is_ok_and(|v| v == "1");
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for (pattern, data, binner) in patterns(smoke) {
+        let exact = BitmapIndex::build(&data, binner);
+        let nbins = exact.nbins();
+        let (qlo, qhi) = (nbins / 4, nbins / 2);
+        let exact_sel = range_or(&exact, qlo, qhi);
+
+        for fpr in FPRS {
+            let (lossy, stats) = exact.lossy(fpr);
+
+            // -- identity gate: per-bin superset, budget, and refine
+            // byte-identity, all before anything is timed --
+            for b in 0..nbins {
+                let (e, l) = (exact.bin(b), lossy.bin(b));
+                l.check_canonical().expect("lossy bin canonical");
+                assert_eq!(&e.and(l), e, "{pattern}/fpr={fpr}: bin {b} lost a bit");
+            }
+            let measured = stats.measured_fpr();
+            assert!(
+                measured <= fpr,
+                "{pattern}: measured FPR {measured} above requested {fpr}"
+            );
+            let lossy_sel = range_or(&lossy, qlo, qhi);
+            let refined = exact_sel.and(&lossy_sel);
+            assert_eq!(
+                refined.words(),
+                exact_sel.words(),
+                "{pattern}/fpr={fpr}: refine is not byte-identical"
+            );
+
+            let exact_bytes = exact.size_bytes();
+            let lossy_bytes = lossy.size_bytes();
+            let size_reduction = exact_bytes as f64 / lossy_bytes as f64;
+
+            let exact_query_s = measure(|| range_or(&exact, qlo, qhi).count_ones());
+            let lossy_filter_s = measure(|| range_or(&lossy, qlo, qhi).count_ones());
+            let filter_refine_s = measure(|| {
+                let filter = range_or(&lossy, qlo, qhi);
+                if filter.count_ones() == 0 {
+                    return 0;
+                }
+                range_or(&exact, qlo, qhi).and(&filter).count_ones()
+            });
+
+            println!(
+                "lossy: {pattern:<26} fpr {fpr:>6.0e}  size {:>8} -> {:>8} ({size_reduction:>5.2}x)  \
+                 measured {measured:.2e}  dropped {:>7}",
+                exact_bytes, lossy_bytes, stats.bits_dropped
+            );
+            samples.push(Sample {
+                pattern,
+                fpr,
+                exact_bytes,
+                lossy_bytes,
+                size_reduction,
+                measured_fpr: measured,
+                bits_dropped: stats.bits_dropped,
+                fpr_bound_met: measured <= fpr,
+                exact_query_s,
+                lossy_filter_s,
+                filter_refine_s,
+            });
+        }
+    }
+
+    // Headline target: at a *usable* bound (FPR ≤ 1e-2), at least one
+    // pattern's companion is ≥1.5× smaller than its exact index.
+    let target_met = samples
+        .iter()
+        .any(|s| s.fpr <= 1e-2 + 1e-15 && s.size_reduction >= 1.5);
+    let all_bounds_met = samples.iter().all(|s| s.fpr_bound_met);
+    println!(
+        "lossy: size target (>=1.5x at fpr<=1e-2) met: {target_met}; all FPR bounds met: {all_bounds_met}"
+    );
+
+    let mut out = String::from("{\n  \"identity_checked\": true,\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pattern\": \"{}\", \"fpr\": {:e}, \"exact_bytes\": {}, \
+             \"lossy_bytes\": {}, \"size_reduction\": {:.3}, \"measured_fpr\": {:e}, \
+             \"bits_dropped\": {}, \"fpr_bound_met\": {}, \"exact_query_s\": {:e}, \
+             \"lossy_filter_s\": {:e}, \"filter_refine_s\": {:e}}}{}\n",
+            s.pattern,
+            s.fpr,
+            s.exact_bytes,
+            s.lossy_bytes,
+            s.size_reduction,
+            s.measured_fpr,
+            s.bits_dropped,
+            s.fpr_bound_met,
+            s.exact_query_s,
+            s.lossy_filter_s,
+            s.filter_refine_s,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"targets\": {\n");
+    out.push_str(&format!(
+        "    \"size_reduction_ge_1p5x_at_fpr_le_1e-2\": {target_met},\n"
+    ));
+    out.push_str(&format!("    \"all_fpr_bounds_met\": {all_bounds_met}\n"));
+    out.push_str("  }\n}\n");
+
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_lossy.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lossy.json")
+    };
+    std::fs::write(path, out).expect("write BENCH_lossy report");
+    println!("lossy: wrote {path}");
+}

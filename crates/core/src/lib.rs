@@ -33,6 +33,7 @@ mod builder;
 pub mod codec;
 mod index;
 mod kernels;
+pub mod lossy;
 mod multilevel;
 mod ops;
 pub mod parallel;
@@ -49,6 +50,7 @@ pub use builder::{MultiWahBuilder, WahBuilder};
 pub use codec::{select_codec, Codec, CodecId, CodecVec};
 pub use index::{BitmapIndex, RangeQueryError};
 pub use kernels::{DenseBits, PreparedOperand, WahStats};
+pub use lossy::{build_lossy_index, valid_fpr, LossyStats, FPR_MAX, FPR_MIN};
 pub use multilevel::MultiLevelIndex;
 pub use parallel::{aligned_partition, build_index_parallel, build_index_parallel_permuted};
 pub use roaring::{ContainerForm, RoaringVec, ARRAY_MAX, CONTAINER_BITS};

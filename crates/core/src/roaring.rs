@@ -969,6 +969,72 @@ mod tests {
     }
 
     #[test]
+    fn container_boundary_bit_65535() {
+        // The run-emission paths cast bit offsets to u16 (`for_each` tail
+        // and in-word run ends); the 65535th bit is the largest value that
+        // must survive the cast. Exercise it in every container form.
+
+        // Full container: one run spanning the whole container, tail-emitted.
+        let full = RoaringVec::from_bits((0..CONTAINER_BITS).map(|_| true));
+        assert_eq!(full.count_ones(), CONTAINER_BITS);
+        assert!(full.get(CONTAINER_BITS - 1));
+        assert_eq!(full.container_forms(), vec![ContainerForm::Runs]);
+        let w = full.to_wah();
+        assert_eq!(w.count_ones(), CONTAINER_BITS);
+        assert_eq!(RoaringVec::from_wah(&w).to_wah(), w);
+
+        // Run ending exactly at the boundary, on a Bits container (dense
+        // noise keeps it from normalizing to Runs), so the conversion goes
+        // through for_each_bits_run's open-run tail.
+        let bits: Vec<bool> = (0..CONTAINER_BITS)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 7 < 3 || i >= CONTAINER_BITS - 100)
+            .collect();
+        let v = RoaringVec::from_bits(bits.iter().copied());
+        assert_eq!(v.container_forms(), vec![ContainerForm::Bits]);
+        assert!(v.get(CONTAINER_BITS - 1));
+        let w = v.to_wah();
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(w.get(i as u64), b, "bit {i}");
+        }
+
+        // Run ending exactly at the boundary on a Runs container, followed
+        // by a second container: the run must not leak across.
+        let bits: Vec<bool> = (0..CONTAINER_BITS + 64)
+            .map(|i| (60_000..CONTAINER_BITS).contains(&i))
+            .collect();
+        let v = RoaringVec::from_bits(bits.iter().copied());
+        assert_eq!(
+            v.container_forms(),
+            vec![ContainerForm::Runs, ContainerForm::Array]
+        );
+        assert!(v.get(CONTAINER_BITS - 1));
+        assert!(!v.get(CONTAINER_BITS));
+        assert_eq!(v.count_ones(), CONTAINER_BITS - 60_000);
+        assert_eq!(RoaringVec::from_wah(&v.to_wah()).to_wah(), v.to_wah());
+
+        // Single set bit at offset 65535 (Array container), and the same
+        // through a Bits container forced by mutation.
+        let mut bits = vec![false; CONTAINER_BITS as usize];
+        bits[CONTAINER_BITS as usize - 1] = true;
+        let v = RoaringVec::from_bits(bits.iter().copied());
+        assert_eq!(v.container_forms(), vec![ContainerForm::Array]);
+        assert_eq!(v.count_ones(), 1);
+        assert!(v.get(CONTAINER_BITS - 1));
+        let w = v.to_wah();
+        assert_eq!(w.count_ones(), 1);
+        assert!(w.get(CONTAINER_BITS - 1));
+
+        let mut dense = RoaringVec::from_bits(
+            (0..CONTAINER_BITS).map(|i| i < CONTAINER_BITS - 1 && i.wrapping_mul(97) % 5 < 3),
+        );
+        dense.set(CONTAINER_BITS - 1, true);
+        assert_eq!(dense.container_forms(), vec![ContainerForm::Bits]);
+        assert!(dense.get(CONTAINER_BITS - 1));
+        let w = dense.to_wah();
+        assert_eq!(RoaringVec::from_wah(&w).to_wah(), w);
+    }
+
+    #[test]
     fn ops_match_naive() {
         let a_bits: Vec<bool> = (0..150_000).map(|i| (i * 7) % 11 < 4).collect();
         let b_bits: Vec<bool> = (0..150_000).map(|i| i % 2 == 0 || i > 100_000).collect();

@@ -66,10 +66,24 @@ pub fn fill_bits(word: u32) -> u64 {
 }
 
 /// Builds a fill word for `bit` covering `nbits` bits.
+///
+/// # Panics
+/// Panics when `nbits` exceeds the 30-bit fill counter or is not a
+/// positive multiple of 31. These are real asserts, not debug asserts: a
+/// count above [`COUNT_MASK`] would otherwise silently truncate into the
+/// flag bits in release builds and corrupt the vector — runs longer than
+/// one fill word can hold must be *split* by the caller (as
+/// `WahBuilder::append_fill_aligned` does), never clamped here.
 #[inline]
 pub fn make_fill(bit: bool, nbits: u64) -> u32 {
-    debug_assert!(nbits <= COUNT_MASK as u64);
-    debug_assert!(nbits.is_multiple_of(SEG_BITS) && nbits > 0);
+    assert!(
+        nbits <= COUNT_MASK as u64,
+        "fill of {nbits} bits overflows the 30-bit counter; split the run"
+    );
+    assert!(
+        nbits.is_multiple_of(SEG_BITS) && nbits > 0,
+        "fill of {nbits} bits is not a positive multiple of 31"
+    );
     (if bit { ONE_FILL } else { ZERO_FILL }) | nbits as u32
 }
 

@@ -25,7 +25,7 @@
 //! tests and the CLI don't depend on global observability state.
 
 use crate::error::Result;
-use crate::store::Store;
+use crate::store::{LossyCompanion, Store};
 use ibis_core::{MultiLevelIndex, RowOrder, RowPermutation};
 use ibis_obs::{LazyCounter, LazyGauge};
 use parking_lot::Mutex;
@@ -61,6 +61,10 @@ struct Entry {
 /// permutation to map stored rows back to original rows.
 pub type StoredOrder = Arc<(RowOrder, RowPermutation)>;
 
+/// Memoized lossy companions, keyed by `(variable, step)` (`None` = no
+/// companion stored for that entry).
+type LossyMemo = HashMap<(String, usize), Option<Arc<LossyCompanion>>>;
+
 #[derive(Default)]
 struct Shard {
     map: HashMap<(usize, String), Entry>,
@@ -87,6 +91,12 @@ pub struct CachedStore {
     // bytes/row — dwarfed by any decoded index over the same rows — and
     // evicting it would break in-flight queries' row mapping.
     orders: Mutex<HashMap<usize, Option<StoredOrder>>>,
+    // Lossy superset companions, memoized per (variable, step) exactly
+    // like `orders` (`None` = no companion stored, also memoized). Outside
+    // the byte budget: a companion is a filter the engine consults before
+    // the (much larger) exact index, so evicting it would defeat its
+    // purpose precisely when the cache is under pressure.
+    lossy: Mutex<LossyMemo>,
 }
 
 impl std::fmt::Debug for CachedStore {
@@ -138,6 +148,7 @@ impl CachedStore {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             orders: Mutex::new(HashMap::new()),
+            lossy: Mutex::new(HashMap::new()),
         }
     }
 
@@ -295,6 +306,22 @@ impl CachedStore {
         // Load outside the lock; a racing thread's copy wins below.
         let loaded = self.store.load_order(step)?.map(Arc::new);
         Ok(self.orders.lock().entry(step).or_insert(loaded).clone())
+    }
+
+    /// The lossy superset companion stored for `(variable, step)`, or
+    /// `None` when the run wrote none, memoized across calls (see the
+    /// `lossy` field note on why companions sit outside the byte budget).
+    /// A corrupt companion blob surfaces as
+    /// [`crate::error::IbisError::Corrupt`] on every call rather than
+    /// being cached.
+    pub fn get_lossy(&self, variable: &str, step: usize) -> Result<Option<Arc<LossyCompanion>>> {
+        let key = (variable.to_string(), step);
+        if let Some(cached) = self.lossy.lock().get(&key) {
+            return Ok(cached.clone());
+        }
+        // Load outside the lock; a racing thread's copy wins below.
+        let loaded = self.store.load_lossy(step, variable)?.map(Arc::new);
+        Ok(self.lossy.lock().entry(key).or_insert(loaded).clone())
     }
 
     /// This instance's counters (independent of the global obs registry,

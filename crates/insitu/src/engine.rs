@@ -41,6 +41,10 @@ use std::time::Instant;
 
 static OBS_QUERIES_OK: LazyCounter = LazyCounter::new("query.engine.ok");
 static OBS_QUERIES_REJECTED: LazyCounter = LazyCounter::new("query.engine.rejected");
+// Lossy filter + exact refine path (family `lossy`, see DESIGN.md §6l).
+static OBS_LOSSY_FILTER_USED: LazyCounter = LazyCounter::new("lossy.filter.used");
+static OBS_LOSSY_FILTER_EMPTY: LazyCounter = LazyCounter::new("lossy.filter.empty");
+static OBS_LOSSY_REFINE_ROWS: LazyCounter = LazyCounter::new("lossy.refine.rows");
 
 /// One query against the store.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,12 +91,42 @@ pub enum QueryAnswer {
 #[derive(Debug)]
 pub struct QueryEngine {
     cache: CachedStore,
+    /// Largest companion FPR subset queries may consult as a pre-filter;
+    /// `None` answers everything from the exact indices alone.
+    lossy_fpr: Option<f64>,
 }
 
 impl QueryEngine {
     /// Serves queries from `cache`.
     pub fn new(cache: CachedStore) -> Self {
-        QueryEngine { cache }
+        QueryEngine {
+            cache,
+            lossy_fpr: None,
+        }
+    }
+
+    /// Lets subset queries consult a step's stored lossy superset
+    /// companion (of FPR at most `fpr`) as a cheap pre-filter before the
+    /// exact index. Answers stay byte-identical to the exact engine: the
+    /// companion only ever *admits* extra rows, the exact refine removes
+    /// them, and an empty filter result proves the exact answer empty
+    /// without loading the exact index at all.
+    ///
+    /// # Panics
+    /// When `fpr` is outside the supported range (see
+    /// [`ibis_core::valid_fpr`]); `0.0` disables the filter.
+    pub fn with_lossy_fpr(mut self, fpr: f64) -> Self {
+        assert!(
+            ibis_core::valid_fpr(fpr),
+            "lossy FPR {fpr} outside the supported range"
+        );
+        self.lossy_fpr = (fpr > 0.0).then_some(fpr);
+        self
+    }
+
+    /// The FPR ceiling set by [`QueryEngine::with_lossy_fpr`], if any.
+    pub fn lossy_fpr(&self) -> Option<f64> {
+        self.lossy_fpr
     }
 
     /// The cache behind this engine (stats, catalog).
@@ -138,12 +172,54 @@ impl QueryEngine {
                 query,
             } => {
                 deadline_check(deadline, "subset load")?;
-                let ml = self.cache.get(variable, *step)?;
                 // A step ingested under a non-identity row order stores
                 // rows permuted; region predicates arrive in *original*
                 // row ids, so route them through the step's inverse
                 // permutation (value ranges are order-invariant).
                 let order = self.cache.get_order(*step)?;
+                // Lossy fast path: evaluate the (much smaller) superset
+                // companion first. Empty means provably-empty — the exact
+                // index is never touched; otherwise the exact selection is
+                // refined to the admitted rows, a no-op by the superset
+                // invariant, so the answer is byte-identical either way.
+                let filter = match self.lossy_fpr {
+                    Some(ceiling) => self
+                        .cache
+                        .get_lossy(variable, *step)?
+                        .filter(|c| c.fpr <= ceiling),
+                    None => None,
+                };
+                if let Some(companion) = &filter {
+                    let lsel = match order.as_deref() {
+                        Some((_, perm)) => query.evaluate_mapped(&companion.index, perm),
+                        None => query.evaluate(&companion.index),
+                    }
+                    .map_err(IbisError::Query)?;
+                    OBS_LOSSY_FILTER_USED.inc();
+                    let admitted = lsel.count_ones();
+                    if admitted == 0 {
+                        OBS_LOSSY_FILTER_EMPTY.inc();
+                        return Ok(QueryAnswer::Subset {
+                            selected: 0,
+                            of: companion.index.len(),
+                        });
+                    }
+                    OBS_LOSSY_REFINE_ROWS.add(admitted);
+                    deadline_check(deadline, "subset refine load")?;
+                    let ml = self.cache.get(variable, *step)?;
+                    let sel = match order.as_deref() {
+                        Some((_, perm)) => query.evaluate_ml_mapped(&ml, perm),
+                        None => query.evaluate_ml(&ml),
+                    }
+                    .map_err(IbisError::Query)?;
+                    let refined = sel.and(&lsel);
+                    debug_assert_eq!(refined, sel, "companion admitted fewer rows than exact");
+                    return Ok(QueryAnswer::Subset {
+                        selected: refined.count_ones(),
+                        of: ml.low().len(),
+                    });
+                }
+                let ml = self.cache.get(variable, *step)?;
                 let sel = match order.as_deref() {
                     Some((_, perm)) => query.evaluate_ml_mapped(&ml, perm),
                     None => query.evaluate_ml(&ml),

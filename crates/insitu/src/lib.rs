@@ -75,4 +75,6 @@ pub use shard::{
     is_sharded, shard_cuts, CompactReport, EngineBackend, MaintenanceConfig, MaintenanceReport,
     ShardedEngine, ShardedStore, ShardedWriter, SHARDS_FILE,
 };
-pub use store::{FsckReport, QuarantinedBlob, Store, StoreWriter, ORDER_VARIABLE};
+pub use store::{
+    FsckReport, LossyCompanion, QuarantinedBlob, Store, StoreWriter, LOSSY_PREFIX, ORDER_VARIABLE,
+};

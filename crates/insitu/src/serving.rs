@@ -498,16 +498,32 @@ impl Core {
         slot.resolve(outcome);
     }
 
+    /// Folds one successful service time into the EWMA. The word packs a
+    /// wrapping sample count (high 32 bits) next to the EWMA in ns (low
+    /// 32 bits, saturated at ~4.3s — far past the 10s retry clamp): a
+    /// plain load→compute→store here loses concurrent workers' samples,
+    /// letting the shed hint drift under exactly the load it describes.
     fn note_service(&self, ns: u64) {
-        let old = self.service_ns.load(Ordering::Relaxed);
-        let new = if old == 0 { ns } else { (3 * old + ns) / 4 };
-        self.service_ns.store(new, Ordering::Relaxed);
+        let ns = ns.min(u32::MAX as u64);
+        let _ = self
+            .service_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |packed| {
+                let (count, old) = (packed >> 32, packed & u32::MAX as u64);
+                let new = if count == 0 { ns } else { (3 * old + ns) / 4 };
+                Some((count.wrapping_add(1) & u32::MAX as u64) << 32 | new)
+            });
+    }
+
+    /// Samples folded into the service-time EWMA so far (wraps at 2^32).
+    #[cfg(test)]
+    fn service_samples(&self) -> u64 {
+        self.service_ns.load(Ordering::Relaxed) >> 32
     }
 
     /// Backoff hint for a shed response: roughly how long the current
     /// backlog needs to drain at the recent mean service time.
     fn retry_after_ms(&self) -> u64 {
-        let svc_ns = self.service_ns.load(Ordering::Relaxed).max(1_000_000);
+        let svc_ns = (self.service_ns.load(Ordering::Relaxed) & u32::MAX as u64).max(1_000_000);
         let depth = self.queue.len() as u64 + 1;
         let per_worker = depth.div_ceil(self.cfg.workers.max(1) as u64);
         (per_worker * svc_ns / 1_000_000).clamp(1, 10_000)
@@ -1261,6 +1277,35 @@ mod tests {
         let s = server(store, ServeConfig::default());
         let hint = s.core.retry_after_ms();
         assert!((1..=10_000).contains(&hint));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn note_service_loses_no_update_under_contention() {
+        // Regression: the EWMA was a load→compute→store, so concurrent
+        // workers silently dropped each other's samples. The packed
+        // sample counter is carried through the same atomic word, so a
+        // lost EWMA update is a lost count: exact count == no loss.
+        let (dir, store) = test_store("ewma_race");
+        let s = server(store, ServeConfig::default());
+        let core = Arc::clone(&s.core);
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let core = Arc::clone(&core);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        core.note_service(1_000_000 + (t * PER_THREAD + i) % 997);
+                    }
+                });
+            }
+        });
+        assert_eq!(core.service_samples(), THREADS * PER_THREAD);
+        // the EWMA itself stays in the band of the fed samples
+        let ewma = core.service_ns.load(Ordering::Relaxed) & u32::MAX as u64;
+        assert!((1_000_000..1_001_000).contains(&ewma), "ewma {ewma}");
+        drop(s);
         std::fs::remove_dir_all(&dir).ok();
     }
 

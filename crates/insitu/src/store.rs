@@ -49,7 +49,7 @@ use crate::crc::crc32c;
 use crate::error::{IbisError, Result};
 use crate::fault::{FaultInjector, WriteFault};
 use crate::io::{codec, write_atomic};
-use ibis_core::{BitmapIndex, CodecId, RowOrder, RowPermutation};
+use ibis_core::{valid_fpr, BitmapIndex, CodecId, LossyStats, RowOrder, RowPermutation};
 use ibis_obs::LazyCounter;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -64,6 +64,11 @@ const BLOB_MAGIC_TAGGED: &[u8; 4] = b"IBB3";
 /// payload len (u64 LE) | payload | CRC32-C (u32 LE)`, the tag outside the
 /// payload CRC exactly like `IBB3`'s codec tag).
 const BLOB_MAGIC_PERM: &[u8; 4] = b"IBP1";
+/// Magic prefix of a lossy-companion framed blob (`IBL1 | FPR class (u8) |
+/// payload len (u64 LE) | payload | CRC32-C (u32 LE)`; the class byte sits
+/// outside the payload CRC exactly like `IBB3`'s codec tag, so fsck
+/// cross-checks it against the FPR recorded inside the payload).
+const BLOB_MAGIC_LOSSY: &[u8; 4] = b"IBL1";
 /// Frame codec tag meaning "bins use more than one codec".
 const MIXED_TAG: u8 = 0xFF;
 /// Reserved variable name a step's row permutation stores under. Passes
@@ -71,6 +76,12 @@ const MIXED_TAG: u8 = 0xFF;
 /// manifest machinery, but is hidden from [`Store::variables`] and refused
 /// by [`StoreWriter::put`], so no data variable can collide with it.
 pub const ORDER_VARIABLE: &str = "__order";
+/// Reserved name prefix a variable's lossy companion index stores under
+/// (`__lossy_<variable>`). Like [`ORDER_VARIABLE`] it passes
+/// [`check_variable_name`] so the blob rides the ordinary entry / journal /
+/// manifest machinery, but is hidden from [`Store::variables`] and refused
+/// by [`StoreWriter::put`].
+pub const LOSSY_PREFIX: &str = "__lossy_";
 /// First line of a v2 manifest.
 const MANIFEST_HEADER: &str = "#IBIS-STORE v2";
 /// Untagged framing overhead: magic + u64 length + u32 CRC.
@@ -103,6 +114,10 @@ static OBS_FSCK_TAG_MISMATCH: LazyCounter = LazyCounter::new("store.fsck.tag_mis
 // DESIGN.md §6j).
 static OBS_ORDER_PUT: LazyCounter = LazyCounter::new("reorder.store.put");
 static OBS_ORDER_LOADED: LazyCounter = LazyCounter::new("reorder.store.loaded");
+// Lossy companion blobs written and read back (family `lossy`, see
+// DESIGN.md §6l).
+static OBS_LOSSY_PUT: LazyCounter = LazyCounter::new("lossy.store.put");
+static OBS_LOSSY_LOADED: LazyCounter = LazyCounter::new("lossy.store.loaded");
 
 /// What a blob's frame declares about its payload's codecs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +131,9 @@ enum FrameTag {
     /// `IBP1` frame: a row permutation, tagged with its
     /// [`RowOrder::tag`].
     Perm(u8),
+    /// `IBL1` frame: a lossy companion index, tagged with its
+    /// [FPR class](fpr_class).
+    Lossy(u8),
 }
 
 /// Wraps an encoded index payload in the untagged (all-WAH) frame.
@@ -149,6 +167,59 @@ fn frame_blob_perm(payload: &[u8], order_tag: u8) -> Vec<u8> {
     out.extend_from_slice(payload);
     out.extend_from_slice(&crc32c(payload).to_le_bytes());
     out
+}
+
+/// Wraps an encoded lossy companion in the `IBL1` frame, tagged with the
+/// FPR class.
+fn frame_blob_lossy(payload: &[u8], class: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD_TAGGED);
+    out.extend_from_slice(BLOB_MAGIC_LOSSY);
+    out.push(class);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out
+}
+
+/// The decade class of a lossy FPR: 1 for (1e-2, 1e-1], 2 for
+/// (1e-3, 1e-2], … 4 for [1e-4, 1e-3]. This is the `IBL1` frame tag, a
+/// coarse claim cross-checkable against the exact FPR stored inside the
+/// payload CRC.
+fn fpr_class(fpr: f64) -> u8 {
+    (-fpr.log10()).ceil().clamp(1.0, 4.0) as u8
+}
+
+/// Serializes a lossy companion: `fpr (f64 LE) | bits dropped (u64 LE) |
+/// zeros of the exact index (u64 LE) | encoded index`. All of it — the
+/// lossy meta included — sits inside the payload CRC; only the class byte
+/// in the frame is outside it.
+fn encode_lossy_payload(fpr: f64, stats: &LossyStats, index_payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + index_payload.len());
+    out.extend_from_slice(&fpr.to_le_bytes());
+    out.extend_from_slice(&stats.bits_dropped.to_le_bytes());
+    out.extend_from_slice(&stats.zeros.to_le_bytes());
+    out.extend_from_slice(index_payload);
+    out
+}
+
+/// Parses an `IBL1` payload into `(fpr, bits dropped, zeros, encoded
+/// index)`, or a description of what is wrong.
+fn decode_lossy_payload(payload: &[u8]) -> std::result::Result<(f64, u64, u64, &[u8]), String> {
+    if payload.len() < 24 {
+        return Err(format!("lossy payload too short ({} bytes)", payload.len()));
+    }
+    let fpr = f64::from_bits(crate::crc::le_u64(&payload[..8]));
+    if !valid_fpr(fpr) || fpr == 0.0 {
+        return Err(format!("lossy FPR {fpr} outside the supported range"));
+    }
+    let dropped = crate::crc::le_u64(&payload[8..16]);
+    let zeros = crate::crc::le_u64(&payload[16..24]);
+    if zeros > 0 && dropped as f64 > fpr * zeros as f64 {
+        return Err(format!(
+            "recorded {dropped} dropped bits exceed the FPR {fpr} budget over {zeros} zeros"
+        ));
+    }
+    Ok((fpr, dropped, zeros, &payload[24..]))
 }
 
 /// Serializes an inverse permutation (`inv[original] = stored`) as
@@ -201,17 +272,22 @@ fn plan_frame_tag(plan: &[CodecId]) -> u8 {
 fn unframe_blob(bytes: &[u8]) -> std::result::Result<(&[u8], FrameTag), String> {
     let (tag, header_len) = if bytes.starts_with(BLOB_MAGIC) {
         (FrameTag::Untagged, 12usize)
-    } else if bytes.starts_with(BLOB_MAGIC_TAGGED) || bytes.starts_with(BLOB_MAGIC_PERM) {
+    } else if bytes.starts_with(BLOB_MAGIC_TAGGED)
+        || bytes.starts_with(BLOB_MAGIC_PERM)
+        || bytes.starts_with(BLOB_MAGIC_LOSSY)
+    {
         if bytes.len() < FRAME_OVERHEAD_TAGGED {
             return Err(format!("framed blob too short ({} bytes)", bytes.len()));
         }
         if bytes.starts_with(BLOB_MAGIC_PERM) {
             (FrameTag::Perm(bytes[4]), 13usize)
+        } else if bytes.starts_with(BLOB_MAGIC_LOSSY) {
+            (FrameTag::Lossy(bytes[4]), 13usize)
         } else {
             (FrameTag::Tagged(bytes[4]), 13usize)
         }
     } else {
-        return Err("missing IBB2/IBB3/IBP1 framing magic".into());
+        return Err("missing IBB2/IBB3/IBP1/IBL1 framing magic".into());
     };
     if bytes.len() < header_len + 4 {
         return Err(format!("framed blob too short ({} bytes)", bytes.len()));
@@ -271,6 +347,7 @@ fn check_frame_tag(tag: FrameTag, bins: &[CodecId]) -> std::result::Result<(), S
             None => Err(format!("unknown frame codec tag {t:#04x}")),
         },
         FrameTag::Perm(_) => Err("IBP1 permutation frame over an index entry".into()),
+        FrameTag::Lossy(_) => Err("IBL1 lossy frame over an exact index entry".into()),
     }
 }
 
@@ -452,6 +529,11 @@ impl StoreWriter {
                 "variable name {ORDER_VARIABLE:?} is reserved for row permutations"
             )));
         }
+        if variable.starts_with(LOSSY_PREFIX) {
+            return Err(IbisError::Config(format!(
+                "variable names starting with {LOSSY_PREFIX:?} are reserved for lossy companions"
+            )));
+        }
         let file = format!("s{step:06}_{variable}.ibis");
         let (payload, plan) = codec::encode_index_auto(index);
         let framed = if plan.iter().all(|&c| c == CodecId::Wah) {
@@ -511,6 +593,50 @@ impl StoreWriter {
             .map_err(|e| IbisError::io("append JOURNAL", &e))?;
         self.entries
             .insert((step, ORDER_VARIABLE.to_string()), meta);
+        Ok(())
+    }
+
+    /// Persists `variable`'s lossy superset companion for `step` under
+    /// the reserved `__lossy_<variable>` entry: the lossy index (encoded
+    /// under its codec plan) prefixed by its FPR and drop accounting,
+    /// framed as `IBL1` with the FPR class in the tag byte, CRC-checked,
+    /// written atomically and journaled exactly like an index blob — so
+    /// crash/resume and fsck cover it. The companion is self-describing;
+    /// it does not require the exact entry to exist first, but readers
+    /// only ever use it as a filter in front of the exact index.
+    pub fn put_lossy(
+        &mut self,
+        step: usize,
+        variable: &str,
+        lossy: &BitmapIndex,
+        fpr: f64,
+        stats: &LossyStats,
+    ) -> Result<()> {
+        check_variable_name(variable)?;
+        if !valid_fpr(fpr) || fpr == 0.0 {
+            return Err(IbisError::Config(format!(
+                "lossy FPR {fpr} outside the supported range"
+            )));
+        }
+        let entry = format!("{LOSSY_PREFIX}{variable}");
+        let file = format!("s{step:06}_{entry}.ibis");
+        let (index_payload, _) = codec::encode_index_auto(lossy);
+        let payload = encode_lossy_payload(fpr, stats, &index_payload);
+        let framed = frame_blob_lossy(&payload, fpr_class(fpr));
+        let meta = EntryMeta {
+            file: file.clone(),
+            len: Some(framed.len() as u64),
+            crc: Some(crc32c(&payload)),
+        };
+        self.write_blob_with_faults(&file, &framed)?;
+        OBS_LOSSY_PUT.inc();
+        OBS_PUT_BLOBS.inc();
+        OBS_PUT_BYTES.add(framed.len() as u64);
+        let line = entry_line(step, &entry, &meta);
+        writeln!(self.journal, "{line}\t{:08x}", crc32c(line.as_bytes()))
+            .and_then(|()| self.journal.sync_all())
+            .map_err(|e| IbisError::io("append JOURNAL", &e))?;
+        self.entries.insert((step, entry), meta);
         Ok(())
     }
 
@@ -617,6 +743,34 @@ fn parse_entry_fields(body: &str) -> Option<(usize, String, EntryMeta)> {
     ))
 }
 
+/// A variable's lossy superset companion, as loaded from its `IBL1` blob.
+///
+/// The index admits every row the exact index admits (plus at most
+/// `fpr × zeros` false positives), so readers use it as a cheap filter in
+/// front of the exact index and refine on the admitted rows.
+#[derive(Debug, Clone)]
+pub struct LossyCompanion {
+    /// The lossy superset index.
+    pub index: BitmapIndex,
+    /// The FPR the companion was built for.
+    pub fpr: f64,
+    /// 0-bits flipped to 1 when the companion was built.
+    pub bits_dropped: u64,
+    /// 0-bits of the exact index (the FPR denominator).
+    pub zeros: u64,
+}
+
+impl LossyCompanion {
+    /// The companion's measured false-positive rate.
+    pub fn measured_fpr(&self) -> f64 {
+        if self.zeros == 0 {
+            0.0
+        } else {
+            self.bits_dropped as f64 / self.zeros as f64
+        }
+    }
+}
+
 /// One blob [`Store::fsck`] had to quarantine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuarantinedBlob {
@@ -684,11 +838,12 @@ impl Store {
     }
 
     /// Variables present for `step` — data variables only; the reserved
-    /// [`ORDER_VARIABLE`] permutation entry is hidden.
+    /// [`ORDER_VARIABLE`] permutation and [`LOSSY_PREFIX`] companion
+    /// entries are hidden.
     pub fn variables(&self, step: usize) -> Vec<&str> {
         self.entries
             .iter()
-            .filter(|((s, v), _)| *s == step && v != ORDER_VARIABLE)
+            .filter(|((s, v), _)| *s == step && v != ORDER_VARIABLE && !v.starts_with(LOSSY_PREFIX))
             .map(|((_, v), _)| v.as_str())
             .collect()
     }
@@ -698,7 +853,7 @@ impl Store {
         let meta = self
             .entries
             .get(&(step, variable.to_string()))
-            .filter(|_| variable != ORDER_VARIABLE)
+            .filter(|_| variable != ORDER_VARIABLE && !variable.starts_with(LOSSY_PREFIX))
             .ok_or_else(|| IbisError::NotFound {
                 step,
                 variable: variable.to_string(),
@@ -726,6 +881,7 @@ impl Store {
         if bytes.starts_with(BLOB_MAGIC)
             || bytes.starts_with(BLOB_MAGIC_TAGGED)
             || bytes.starts_with(BLOB_MAGIC_PERM)
+            || bytes.starts_with(BLOB_MAGIC_LOSSY)
         {
             let (payload, tag) = unframe_blob(&bytes).map_err(|detail| IbisError::Corrupt {
                 file: meta.file.clone(),
@@ -746,7 +902,7 @@ impl Store {
             // replaced or truncated past its magic
             Err(IbisError::Corrupt {
                 file: meta.file.clone(),
-                detail: "v2 entry lost its IBB2/IBB3/IBP1 framing".into(),
+                detail: "v2 entry lost its IBB2/IBB3/IBP1/IBL1 framing".into(),
             })
         } else {
             Ok((bytes, FrameTag::Raw)) // legacy v1 blob: payload is the whole file
@@ -782,6 +938,48 @@ impl Store {
         Ok(Some((order, perm)))
     }
 
+    /// Loads `step`/`variable`'s lossy superset companion, or `None` when
+    /// the run stored no companion for it. Verifies the `IBL1` framing and
+    /// payload CRC like any blob, that the frame's FPR-class byte (outside
+    /// the payload CRC) matches the exact FPR recorded inside the payload,
+    /// that the FPR is in the supported range, and that the recorded drop
+    /// accounting respects the FPR budget — a corrupt companion would
+    /// silently widen or (worse) narrow the filter, so every failure is a
+    /// typed [`IbisError::Corrupt`].
+    pub fn load_lossy(&self, step: usize, variable: &str) -> Result<Option<LossyCompanion>> {
+        let entry = format!("{LOSSY_PREFIX}{variable}");
+        let Some(meta) = self.entries.get(&(step, entry)) else {
+            return Ok(None);
+        };
+        let (payload, tag) = self.verified_payload(meta)?;
+        let corrupt = |detail: String| IbisError::Corrupt {
+            file: meta.file.clone(),
+            detail,
+        };
+        let FrameTag::Lossy(class) = tag else {
+            return Err(corrupt("lossy companion lost its IBL1 framing".into()));
+        };
+        let (fpr, bits_dropped, zeros, index_payload) =
+            decode_lossy_payload(&payload).map_err(&corrupt)?;
+        if fpr_class(fpr) != class {
+            return Err(corrupt(format!(
+                "frame FPR class {class} does not match the payload FPR {fpr} (class {})",
+                fpr_class(fpr)
+            )));
+        }
+        let index = codec::decode_index(index_payload).map_err(|source| IbisError::Decode {
+            file: Some(meta.file.clone()),
+            source,
+        })?;
+        OBS_LOSSY_LOADED.inc();
+        Ok(Some(LossyCompanion {
+            index,
+            fpr,
+            bits_dropped,
+            zeros,
+        }))
+    }
+
     /// Verifies every blob end-to-end (framing, CRC, decode, frame codec
     /// tag vs the codecs actually present in the payload) and quarantines
     /// the ones that fail: the file is renamed to `<file>.quarantined`
@@ -797,6 +995,10 @@ impl Store {
                 // Permutation entry: the full IBP1 check load_order runs
                 // (framing, CRC, known order tag, bijection).
                 self.load_order(step).map(|_| ())
+            } else if let Some(base) = variable.strip_prefix(LOSSY_PREFIX) {
+                // Lossy companion: the full IBL1 check load_lossy runs
+                // (framing, CRC, FPR range + budget, class cross-check).
+                self.load_lossy(step, base).map(|_| ())
             } else {
                 self.verified_payload(&meta)
                     .and_then(|(payload, tag)| {
@@ -1486,6 +1688,91 @@ mod tests {
         let err = w.put(0, "../evil", &sample_index(0)).unwrap_err();
         assert!(matches!(err, IbisError::Config(_)), "{err}");
         assert!(w.put(0, "", &sample_index(0)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lossy_companion_round_trip() {
+        let dir = tmp("lossyroundtrip");
+        let exact = sample_index(7);
+        let (lossy, stats) = exact.lossy(1e-2);
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &exact).unwrap();
+        w.put_lossy(0, "temperature", &lossy, 1e-2, &stats).unwrap();
+        w.finish().unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        // the companion entry is hidden from the data-variable catalog
+        assert_eq!(store.variables(0), vec!["temperature"]);
+        assert!(matches!(
+            store.get(0, "__lossy_temperature").unwrap_err(),
+            IbisError::NotFound { .. }
+        ));
+        let companion = store.load_lossy(0, "temperature").unwrap().unwrap();
+        assert!((companion.fpr - 1e-2).abs() < 1e-12);
+        assert_eq!(companion.bits_dropped, stats.bits_dropped);
+        assert_eq!(companion.zeros, stats.zeros);
+        assert!(companion.measured_fpr() <= 1e-2);
+        for b in 0..exact.nbins() {
+            assert_eq!(
+                exact.bin(b).and(companion.index.bin(b)),
+                *exact.bin(b),
+                "bin {b} superset"
+            );
+        }
+        assert_eq!(store.load_lossy(0, "salinity").unwrap().map(|_| ()), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lossy_reserved_prefix_and_bad_fpr_rejected() {
+        let dir = tmp("lossyreserved");
+        let mut w = StoreWriter::create(&dir).unwrap();
+        let err = w
+            .put(0, "__lossy_temperature", &sample_index(0))
+            .unwrap_err();
+        assert!(matches!(err, IbisError::Config(_)), "{err}");
+        let (lossy, stats) = sample_index(0).lossy(1e-2);
+        for bad in [0.0, 1e-5, 0.5, f64::NAN] {
+            let err = w
+                .put_lossy(0, "temperature", &lossy, bad, &stats)
+                .unwrap_err();
+            assert!(matches!(err, IbisError::Config(_)), "fpr {bad}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_cross_checks_lossy_class_byte() {
+        // the FPR class in the frame tag sits outside the payload CRC, so
+        // only fsck's cross-check against the payload FPR catches it
+        let dir = tmp("lossytag");
+        let exact = sample_index(3);
+        let (lossy, stats) = exact.lossy(1e-1);
+        let mut w = StoreWriter::create(&dir).unwrap();
+        w.put(0, "temperature", &exact).unwrap();
+        w.put_lossy(0, "temperature", &lossy, 1e-1, &stats).unwrap();
+        let finished = w.finish().unwrap();
+
+        let f = finished.join("s000000___lossy_temperature.ibis");
+        let mut bytes = std::fs::read(&f).unwrap();
+        assert_eq!(&bytes[..4], BLOB_MAGIC_LOSSY);
+        assert_eq!(bytes[4], 1, "1e-1 is class 1");
+        bytes[4] = 3; // claim class 3 (≤1e-3): a stricter FPR than real
+        std::fs::write(&f, &bytes).unwrap();
+
+        let mut store = Store::open(&dir).unwrap();
+        let err = store.load_lossy(0, "temperature").unwrap_err();
+        assert!(matches!(err, IbisError::Corrupt { .. }), "{err}");
+        let report = store.fsck();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].variable, "__lossy_temperature");
+        // after quarantine the companion is simply absent; data survives
+        assert!(store.load_lossy(0, "temperature").unwrap().is_none());
+        assert_eq!(
+            store.get(0, "temperature").unwrap().counts(),
+            exact.counts()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

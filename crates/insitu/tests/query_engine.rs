@@ -234,6 +234,120 @@ fn reordered_store_matches_identity_store_through_engine() {
     std::fs::remove_dir_all(&dir_r).ok();
 }
 
+/// Builds a durable store like [`build_store`] plus a lossy superset
+/// companion for every `(step, variable)`.
+fn build_lossy_store(name: &str, fpr: f64) -> (PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("ibis-qe-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut w = StoreWriter::create(&dir).unwrap();
+    for step in [0usize, 4, 9] {
+        for (phase, var) in ["temperature", "salinity"].iter().enumerate() {
+            let idx = BitmapIndex::build(&field(step, phase), Binner::fixed_width(0.0, 40.0, 64));
+            let (lossy, stats) = idx.lossy(fpr);
+            w.put(step, var, &idx).unwrap();
+            w.put_lossy(step, var, &lossy, fpr, &stats).unwrap();
+        }
+    }
+    w.finish().unwrap();
+    let store = Store::open(&dir).unwrap();
+    (dir, store)
+}
+
+#[test]
+fn lossy_filtered_engine_is_byte_identical_to_exact_engine() {
+    let (dir_l, store_l) = build_lossy_store("lossy-oracle", 1e-2);
+    let (dir_e, store_e) = build_store("lossy-oracle-exact");
+    let lossy = QueryEngine::new(CachedStore::new(store_l, 64 << 20)).with_lossy_fpr(1e-2);
+    assert_eq!(lossy.lossy_fpr(), Some(1e-2));
+    let exact = QueryEngine::new(CachedStore::new(store_e, 64 << 20));
+
+    let queries = [
+        SubsetQuery::value(3.0, 17.0),
+        SubsetQuery::value(0.0, 40.0),
+        SubsetQuery::value(39.9, 40.0),
+        SubsetQuery::value(17.0, 3.0), // inverted → empty
+        SubsetQuery::region(100..2000),
+        SubsetQuery::value(5.0, 30.0).with_region(7..3001),
+        SubsetQuery::value(12.25, 12.5).with_region(0..64),
+    ];
+    for step in [0usize, 4, 9] {
+        for var in ["temperature", "salinity"] {
+            for q in &queries {
+                let req = QueryRequest::Subset {
+                    step,
+                    variable: var.into(),
+                    query: q.clone(),
+                };
+                assert_eq!(
+                    lossy.run(&req).unwrap(),
+                    exact.run(&req).unwrap(),
+                    "step {step} {var} {q:?} diverged"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir_l).ok();
+    std::fs::remove_dir_all(&dir_e).ok();
+}
+
+#[test]
+fn empty_lossy_filter_skips_the_exact_load() {
+    let (dir, store) = build_lossy_store("lossy-shortcircuit", 1e-2);
+    let engine = QueryEngine::new(CachedStore::new(store, 64 << 20)).with_lossy_fpr(1e-2);
+    // a predicate no row can match: the companion proves the answer empty
+    let answer = engine
+        .run(&QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery::value(17.0, 3.0), // inverted → empty
+        })
+        .unwrap();
+    assert_eq!(
+        answer,
+        QueryAnswer::Subset {
+            selected: 0,
+            of: N as u64
+        }
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 0),
+        "exact index must never be loaded for a provably-empty answer"
+    );
+    // a matching predicate then loads the exact index exactly once
+    engine
+        .run(&QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery::value(3.0, 17.0),
+        })
+        .unwrap();
+    assert_eq!(engine.cache_stats().misses, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lossy_engine_ignores_companions_above_its_fpr_ceiling() {
+    let (dir, store) = build_lossy_store("lossy-ceiling", 1e-1);
+    // engine ceiling 1e-3 < stored 1e-1: the companion must be ignored,
+    // every answer comes from the exact path
+    let engine = QueryEngine::new(CachedStore::new(store, 64 << 20)).with_lossy_fpr(1e-3);
+    engine
+        .run(&QueryRequest::Subset {
+            step: 0,
+            variable: "temperature".into(),
+            query: SubsetQuery::value(-10.0, -5.0),
+        })
+        .unwrap();
+    assert_eq!(
+        engine.cache_stats().misses,
+        1,
+        "an over-ceiling companion must not filter"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn reordered_durable_run_resumes_byte_identical_and_answers_like_identity() {
     let cfg = |row_order: RowOrder| PipelineConfig {

@@ -148,6 +148,44 @@ check_codec_report target/BENCH_codecs.smoke.json
 echo "==> committed BENCH_codecs.json present with full-size sweep"
 check_codec_report BENCH_codecs.json
 
+echo "==> lossy superset sweep smoke (both obs configs) + report schema"
+# IBIS_LOSSY_SMOKE=1 shrinks the grids and writes to target/ so CI never
+# clobbers the committed full-size BENCH_lossy.json. The sweep asserts
+# the superset identity (exact & lossy == exact), the FPR bound, and the
+# refine byte-identity before every timed point, so a pass is also a
+# lossy-correctness gate.
+check_lossy_report() {
+    local report="$1"
+    test -f "$report"
+    for key in '"samples"' '"identity_checked"' '"size_reduction"' \
+        '"measured_fpr"' '"fpr_bound_met"' '"bits_dropped"' \
+        '"size_reduction_ge_1p5x_at_fpr_le_1e-2"' '"all_fpr_bounds_met"'; do
+        grep -q "$key" "$report" || {
+            echo "error: $report missing $key" >&2
+            exit 1
+        }
+    done
+    grep -q '"all_fpr_bounds_met": true' "$report" || {
+        echo "error: $report has a sample above its requested FPR bound" >&2
+        exit 1
+    }
+}
+rm -f target/BENCH_lossy.smoke.json
+IBIS_LOSSY_SMOKE=1 cargo bench -q -p ibis-bench --bench lossy
+check_lossy_report target/BENCH_lossy.smoke.json
+rm -f target/BENCH_lossy.smoke.json
+IBIS_LOSSY_SMOKE=1 cargo bench -q -p ibis-bench --no-default-features \
+    --bench lossy
+check_lossy_report target/BENCH_lossy.smoke.json
+echo "==> committed BENCH_lossy.json present with full-size sweep"
+check_lossy_report BENCH_lossy.json
+# The headline size target only binds on the committed full-size sweep:
+# the smoke grids are too small for the surface/volume ratio it rides on.
+grep -q '"size_reduction_ge_1p5x_at_fpr_le_1e-2": true' BENCH_lossy.json || {
+    echo "error: committed BENCH_lossy.json does not meet the size target" >&2
+    exit 1
+}
+
 echo "==> row-order sweep smoke (both obs configs) + report schema"
 # IBIS_ORDER_SMOKE=1 shrinks the grids and writes to target/ so CI never
 # clobbers the committed full-size BENCH_reorder.json. The sweep asserts

@@ -88,7 +88,7 @@ USAGE:
   ibis insitu [--sim heat3d|lulesh] [--steps N] [--select K] [--cores C]
               [--machine xeon|mic] [--method bitmaps|full|sample:<pct>]
               [--allocation shared|auto|<simcores>:<bmcores>] [--out DIR]
-              [--shards K]
+              [--shards K] [--lossy-fpr X]
               [--row-order identity|zorder|hilbert|graybin|histsorted|auto]
   ibis mine   [--grid LONxLATxDEPTH] [--bins N] [--t1 X] [--t2 Y]
               [--unit N] [--top N]
@@ -96,6 +96,7 @@ USAGE:
               [--region LO:HI] [--grid LONxLATxDEPTH]
               [--row-order identity|zorder|hilbert|graybin|histsorted]
   ibis query  --store DIR --batch FILE [--cache-mb N] [--json-out PATH]
+              [--lossy-fpr X]
   ibis serve  --store DIR [--addr HOST:PORT] [--workers N] [--queue N]
               [--cache-mb N] [--deadline-ms N] [--max-conns N] [--conns N]
               [--shards K] [--maintain-ms N]
@@ -108,6 +109,11 @@ USAGE:
 a sharded directory automatically and run scatter-gather execution.
 `serve --shards K` asserts the expected shard count; `--maintain-ms N`
 runs background compaction/eviction maintenance every N ms.
+
+`--lossy-fpr X` (X in [1e-4, 1e-1]): on `insitu --out`, also persist each
+variable's lossy superset companion (flat stores only); on `query --store`,
+answer subset queries as cheap lossy filter + exact refine when a
+companion at or below X is present — answers stay byte-identical.
 
 Any command also accepts --obs-json PATH to dump the run's metrics
 snapshot (empty when built with --no-default-features).";
@@ -142,6 +148,21 @@ fn get_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
     }
+}
+
+/// `--lossy-fpr X`: the false-positive-rate bound for lossy superset
+/// companions. 0.0 (the default) means "off"; anything else must sit in
+/// the supported `[FPR_MIN, FPR_MAX]` band.
+fn get_lossy_fpr(flags: &Flags) -> Result<f64, String> {
+    let fpr = get_f64(flags, "lossy-fpr", 0.0)?;
+    if fpr != 0.0 && !ibis::core::valid_fpr(fpr) {
+        return Err(format!(
+            "--lossy-fpr: {fpr} outside [{:e}, {:e}]",
+            ibis::core::FPR_MIN,
+            ibis::core::FPR_MAX
+        ));
+    }
+    Ok(fpr)
 }
 
 fn get_range(flags: &Flags, name: &str) -> Result<Option<(f64, f64)>, String> {
@@ -223,6 +244,21 @@ impl OutWriter {
         match self {
             OutWriter::Flat(w) => w.put_order(step, order, perm),
             OutWriter::Sharded(w) => w.put_order(step, order, perm),
+        }
+    }
+
+    fn put_lossy(
+        &mut self,
+        step: usize,
+        variable: &str,
+        lossy: &BitmapIndex,
+        fpr: f64,
+        stats: &ibis::core::LossyStats,
+    ) -> ibis::insitu::Result<()> {
+        match self {
+            OutWriter::Flat(w) => w.put_lossy(step, variable, lossy, fpr, stats),
+            // cmd_insitu rejects --lossy-fpr with --shards > 1 up front
+            OutWriter::Sharded(_) => unreachable!("lossy companions need a flat store"),
         }
     }
 
@@ -390,6 +426,10 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
             return Err("--out requires --method bitmaps".into());
         }
         let shards = get_usize(flags, "shards", 1)?;
+        let lossy_fpr = get_lossy_fpr(flags)?;
+        if lossy_fpr > 0.0 && shards > 1 {
+            return Err("--lossy-fpr: lossy companions need a flat store (--shards 1)".into());
+        }
         let mut store = if shards > 1 {
             OutWriter::Sharded(
                 ShardedWriter::create(dir, shards).map_err(|e| format!("--out: {e}"))?,
@@ -425,6 +465,12 @@ fn cmd_insitu(flags: &Flags) -> Result<(), String> {
                 store
                     .put(step, f.name, &idx)
                     .map_err(|e| format!("--out: {e}"))?;
+                if lossy_fpr > 0.0 {
+                    let (lossy, stats) = idx.lossy(lossy_fpr);
+                    store
+                        .put_lossy(step, f.name, &lossy, lossy_fpr, &stats)
+                        .map_err(|e| format!("--out: {e}"))?;
+                }
             }
             if let Some(p) = &perm {
                 store
@@ -565,14 +611,21 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
 
 /// Opens `dir` as the right engine backend: scatter-gather over shards
 /// when the directory holds a `SHARDS` file, the flat engine otherwise.
-fn open_backend(dir: &str, cache_bytes: u64) -> Result<EngineBackend, String> {
+fn open_backend(dir: &str, cache_bytes: u64, lossy_fpr: f64) -> Result<EngineBackend, String> {
     if is_sharded(dir) {
+        if lossy_fpr > 0.0 {
+            return Err("--lossy-fpr: sharded stores carry no lossy companions".into());
+        }
         let engine =
             ShardedEngine::open(dir, cache_bytes).map_err(|e| format!("--store {dir}: {e}"))?;
         Ok(engine.into())
     } else {
         let store = Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
-        Ok(QueryEngine::new(CachedStore::new(store, cache_bytes)).into())
+        let mut engine = QueryEngine::new(CachedStore::new(store, cache_bytes));
+        if lossy_fpr > 0.0 {
+            engine = engine.with_lossy_fpr(lossy_fpr);
+        }
+        Ok(engine.into())
     }
 }
 
@@ -587,7 +640,7 @@ fn cmd_query_store(flags: &Flags) -> Result<(), String> {
     let batch = flags.get("batch").ok_or("--batch FILE is required")?;
     let cache_mb = get_usize(flags, "cache-mb", 256)?;
     let text = std::fs::read_to_string(batch).map_err(|e| format!("--batch {batch}: {e}"))?;
-    let engine = open_backend(dir, (cache_mb as u64) << 20)?;
+    let engine = open_backend(dir, (cache_mb as u64) << 20, get_lossy_fpr(flags)?)?;
     let answers = engine.run_batch_json(&text).map_err(|e| e.to_string())?;
     match flags.get("json-out") {
         Some(path) => {
@@ -632,7 +685,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let stop_after = get_usize(flags, "conns", 0)? as u64;
     let maintain_ms = get_usize(flags, "maintain-ms", 0)? as u64;
 
-    let engine = open_backend(dir, (cache_mb as u64) << 20)?;
+    let engine = open_backend(dir, (cache_mb as u64) << 20, get_lossy_fpr(flags)?)?;
     let want_shards = get_usize(flags, "shards", 0)?;
     if want_shards > 0 && engine.nshards() != want_shards {
         return Err(format!(
